@@ -1,0 +1,109 @@
+// Model ablation (DESIGN.md §3): quantifies the two approximations inside
+// the WA models.
+//
+//  1. ζ(n): the deterministic arrival-gap approximation (T̃_m ≈ m·Δt) vs a
+//     Monte-Carlo oracle that simulates real arrival gaps.
+//  2. g(x): the ι_i ≈ i·Δt approximation vs out-of-order counts measured
+//     from a simulated stream between C_seq flushes.
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "dist/parametric.h"
+#include "model/arrival_model.h"
+#include "model/subsequent_model.h"
+#include "workload/synthetic.h"
+
+namespace seplsm {
+namespace {
+
+// Measures g(n_seq) by simulation: stream points in arrival order, track
+// LAST(R) as the max generation time at each "flush" (whenever n_seq
+// in-order points accumulated), count out-of-order arrivals in between.
+double MeasureG(const dist::DelayDistribution& delay, double dt,
+                size_t n_seq, size_t num_points, uint64_t seed) {
+  workload::SyntheticConfig sc;
+  sc.num_points = num_points;
+  sc.delta_t = dt;
+  sc.seed = seed;
+  auto points = workload::GenerateSynthetic(sc, delay);
+  int64_t last_r = std::numeric_limits<int64_t>::min();
+  int64_t pending_max = std::numeric_limits<int64_t>::min();
+  size_t in_order = 0;
+  size_t out_of_order = 0;
+  size_t fills = 0;
+  for (const auto& p : points) {
+    if (p.generation_time > last_r) {
+      ++in_order;
+      pending_max = std::max(pending_max, p.generation_time);
+      if (in_order % n_seq == 0) {
+        last_r = pending_max;  // C_seq flush updates LAST(R)
+        ++fills;
+      }
+    } else {
+      ++out_of_order;
+    }
+  }
+  return fills == 0 ? 0.0
+                    : static_cast<double>(out_of_order) /
+                          static_cast<double>(fills);
+}
+
+}  // namespace
+}  // namespace seplsm
+
+int main(int argc, char** argv) {
+  using namespace seplsm;
+  auto args = bench::BenchArgs::Parse(argc, argv, /*default_points=*/200'000);
+
+  std::printf("=== Ablation 1: zeta(n) analytic vs Monte-Carlo oracle ===\n");
+  bench::TablePrinter zeta_table(
+      {"distribution", "dt", "n", "analytic", "monte_carlo", "rel_err"});
+  struct ZetaCase {
+    double mu, sigma, dt;
+    size_t n;
+  };
+  for (const auto& c : {ZetaCase{4.0, 1.5, 50.0, 64},
+                        ZetaCase{4.0, 1.5, 50.0, 256},
+                        ZetaCase{4.0, 1.75, 50.0, 128},
+                        ZetaCase{5.0, 2.0, 50.0, 128},
+                        ZetaCase{4.0, 1.5, 10.0, 128}}) {
+    dist::LognormalDistribution d(c.mu, c.sigma);
+    model::SubsequentModel m(d, c.dt);
+    double analytic = m.Estimate(c.n);
+    double oracle = model::ZetaMonteCarlo(d, c.dt, c.n, /*disk_points=*/30000,
+                                          /*rounds=*/400, /*seed=*/1);
+    char label[64];
+    std::snprintf(label, sizeof(label), "lognormal(%.0f,%.2f)", c.mu,
+                  c.sigma);
+    zeta_table.AddRow({label, bench::Fmt(c.dt, 0), bench::Fmt(c.n),
+                       bench::Fmt(analytic, 1), bench::Fmt(oracle, 1),
+                       bench::Fmt(oracle > 0 ? analytic / oracle - 1.0 : 0.0,
+                                  3)});
+  }
+  zeta_table.Print();
+
+  std::printf("\n=== Ablation 2: g(n_seq) model vs stream simulation ===\n");
+  bench::TablePrinter g_table(
+      {"distribution", "dt", "n_seq", "model g", "simulated g"});
+  struct GCase {
+    double mu, sigma, dt;
+    size_t n_seq;
+  };
+  for (const auto& c :
+       {GCase{4.0, 1.5, 50.0, 64}, GCase{4.0, 1.5, 50.0, 256},
+        GCase{5.0, 2.0, 50.0, 128}, GCase{4.0, 1.75, 10.0, 128}}) {
+    dist::LognormalDistribution d(c.mu, c.sigma);
+    model::ArrivalRateModel m(d, c.dt);
+    double model_g = m.G(static_cast<double>(c.n_seq));
+    double sim_g = MeasureG(d, c.dt, c.n_seq, args.points, 5);
+    char label[64];
+    std::snprintf(label, sizeof(label), "lognormal(%.0f,%.2f)", c.mu,
+                  c.sigma);
+    g_table.AddRow({label, bench::Fmt(c.dt, 0), bench::Fmt(c.n_seq),
+                    bench::Fmt(model_g, 2), bench::Fmt(sim_g, 2)});
+  }
+  g_table.Print();
+  return 0;
+}

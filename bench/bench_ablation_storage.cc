@@ -1,0 +1,131 @@
+// Storage ablations for the engine extensions (DESIGN.md §1): what each
+// optional subsystem costs or saves on the same M5-style workload.
+//
+//  1. WAL:          ingest throughput with/without write-ahead logging.
+//  2. Table cache:  simulated device time of a query loop with/without
+//                   cached readers.
+//  3. Compression:  bytes written raw vs Gorilla (quantized sensor values).
+
+#include <chrono>
+#include <cmath>
+
+#include "bench_util.h"
+#include "dist/parametric.h"
+#include "env/latency_env.h"
+#include "env/mem_env.h"
+#include "workload/synthetic.h"
+
+namespace seplsm {
+namespace {
+
+std::vector<DataPoint> QuantizedWorkload(size_t points) {
+  workload::SyntheticConfig sc;
+  sc.num_points = points;
+  sc.delta_t = 50.0;
+  sc.seed = 5;
+  dist::LognormalDistribution delay(5.0, 1.75);
+  auto stream = workload::GenerateSynthetic(sc, delay);
+  // Quantized sensor payloads (0.1-unit resolution) for the codec study.
+  for (size_t i = 0; i < stream.size(); ++i) {
+    stream[i].value =
+        std::round((20.0 + std::sin(static_cast<double>(i) * 0.003)) * 10.0) /
+        10.0;
+  }
+  return stream;
+}
+
+engine::Metrics IngestWith(const std::vector<DataPoint>& points,
+                           bool wal, format::ValueEncoding encoding,
+                           double* elapsed_ms) {
+  MemEnv env;
+  engine::Options o;
+  o.env = &env;
+  o.dir = "/abl";
+  o.policy = engine::PolicyConfig::Conventional(512);
+  o.enable_wal = wal;
+  o.value_encoding = encoding;
+  o.record_merge_events = false;
+  auto db = engine::TsEngine::Open(o);
+  if (!db.ok()) std::exit(1);
+  auto start = std::chrono::steady_clock::now();
+  for (const auto& p : points) {
+    if (!(*db)->Append(p).ok()) std::exit(1);
+  }
+  auto end = std::chrono::steady_clock::now();
+  if (!(*db)->FlushAll().ok()) std::exit(1);
+  *elapsed_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  return (*db)->GetMetrics();
+}
+
+int64_t QueryLoopNanos(const std::vector<DataPoint>& points,
+                       size_t cache_entries) {
+  MemEnv base;
+  DeviceLatencyModel hdd;
+  LatencyEnv env(&base, hdd);
+  engine::Options o;
+  o.env = &env;
+  o.dir = "/ablq";
+  o.policy = engine::PolicyConfig::Conventional(512);
+  o.table_cache_entries = cache_entries;
+  o.record_merge_events = false;
+  auto db = engine::TsEngine::Open(o);
+  if (!db.ok()) std::exit(1);
+  for (const auto& p : points) {
+    if (!(*db)->Append(p).ok()) std::exit(1);
+  }
+  if (!(*db)->FlushAll().ok()) std::exit(1);
+  env.ResetCounters();
+  int64_t max_t = (*db)->MaxPersistedGenerationTime();
+  for (int64_t i = 0; i < 200; ++i) {
+    int64_t lo = (i * 37) % (max_t > 20000 ? max_t - 20000 : 1);
+    std::vector<DataPoint> out;
+    if (!(*db)->Query(lo, lo + 20000, &out).ok()) std::exit(1);
+  }
+  return env.simulated_nanos();
+}
+
+}  // namespace
+}  // namespace seplsm
+
+int main(int argc, char** argv) {
+  using namespace seplsm;
+  auto args = bench::BenchArgs::Parse(argc, argv, /*default_points=*/100'000);
+  auto points = QuantizedWorkload(args.points);
+
+  std::printf("=== Storage ablations (%zu points, lognormal(5,1.75)) ===\n\n",
+              args.points);
+
+  double ms_plain, ms_wal;
+  auto plain =
+      IngestWith(points, false, format::ValueEncoding::kRaw, &ms_plain);
+  auto with_wal =
+      IngestWith(points, true, format::ValueEncoding::kRaw, &ms_wal);
+  double ms_gorilla;
+  auto gorilla =
+      IngestWith(points, false, format::ValueEncoding::kGorilla, &ms_gorilla);
+
+  bench::TablePrinter table(
+      {"configuration", "ingest points/ms", "bytes written", "WA(points)"});
+  table.AddRow({"baseline", bench::Fmt(args.points / ms_plain, 1),
+                bench::Fmt(plain.bytes_written),
+                bench::Fmt(plain.WriteAmplification())});
+  table.AddRow({"WAL enabled", bench::Fmt(args.points / ms_wal, 1),
+                bench::Fmt(with_wal.bytes_written),
+                bench::Fmt(with_wal.WriteAmplification())});
+  table.AddRow({"gorilla values", bench::Fmt(args.points / ms_gorilla, 1),
+                bench::Fmt(gorilla.bytes_written),
+                bench::Fmt(gorilla.WriteAmplification())});
+  table.Print();
+  std::printf("\ncompression ratio (bytes): %.2fx\n",
+              static_cast<double>(plain.bytes_written) /
+                  static_cast<double>(gorilla.bytes_written));
+
+  int64_t uncached = QueryLoopNanos(points, 0);
+  int64_t cached = QueryLoopNanos(points, 64);
+  std::printf("\nquery loop simulated device time: uncached %.1f ms, "
+              "table cache %.1f ms (%.2fx)\n",
+              uncached / 1e6, cached / 1e6,
+              static_cast<double>(uncached) /
+                  static_cast<double>(std::max<int64_t>(cached, 1)));
+  return 0;
+}

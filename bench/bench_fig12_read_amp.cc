@@ -1,0 +1,52 @@
+// Fig. 12 reproduction: read amplification of the recent-data query
+// workload across M1-M12 for windows of 500/1000/5000 ms, π_c vs π_s with
+// the tuner-recommended capacities.
+//
+// Expected shapes (paper §V-D1): π_s ≤ π_c per window (smaller SSTables
+// -> fewer useless points decoded), and RA decreases as the window grows.
+
+#include "bench_query_util.h"
+#include "model/tuner.h"
+#include "workload/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace seplsm;
+  auto args = bench::BenchArgs::Parse(argc, argv, /*default_points=*/60'000);
+  const size_t n = args.budget;
+  const int64_t windows[] = {500, 1000, 5000};
+
+  std::printf("=== Fig. 12: read amplification, recent-data queries ===\n");
+  std::printf("(%zu points/dataset, n=%zu, windows 500/1000/5000)\n\n",
+              args.points, n);
+
+  bench::TablePrinter table({"dataset", "policy", "w=500", "w=1000",
+                             "w=5000"});
+  for (const auto& config : workload::TableII()) {
+    auto points = workload::GenerateTableII(config, args.points);
+    auto delay = workload::MakeTableIIDistribution(config);
+    auto tuned = model::TunePolicy(*delay, config.delta_t, n,
+                                   model::TuningOptions{.sweep_step = 32,
+                                                        .min_nseq = 32,
+                                                        .min_nonseq = 32,
+                                                        .granularity_sstable_points = 512});
+    size_t nseq = tuned.best_nseq == 0 ? n / 2 : tuned.best_nseq;
+
+    std::vector<std::string> row_c = {config.name, "pi_c"};
+    std::vector<std::string> row_s = {
+        config.name, "pi_s(ns=" + std::to_string(nseq) + ")"};
+    for (int64_t w : windows) {
+      auto rc = bench::RunQueryWorkload(engine::PolicyConfig::Conventional(n),
+                                        points, w, bench::QueryMode::kRecent);
+      auto rs = bench::RunQueryWorkload(
+          engine::PolicyConfig::Separation(n, nseq), points, w,
+          bench::QueryMode::kRecent);
+      row_c.push_back(bench::Fmt(rc.mean_read_amplification, 2));
+      row_s.push_back(bench::Fmt(rs.mean_read_amplification, 2));
+    }
+    table.AddRow(row_c);
+    table.AddRow(row_s);
+  }
+  table.Print();
+  table.WriteCsv(args.out);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 13 reproduction: recent-data query latency (simulated HDD
+// nanoseconds) on M1-M12 for windows 500/1000/5000, π_c vs π_s.
+//
+// Expected shapes (paper §V-D1): latency grows with the window; π_s is
+// *slower* than π_c on this workload despite its lower read amplification,
+// because its smaller SSTables force more file opens (seeks) per query.
+
+#include "bench_query_util.h"
+#include "model/tuner.h"
+#include "workload/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace seplsm;
+  auto args = bench::BenchArgs::Parse(argc, argv, /*default_points=*/60'000);
+  const size_t n = args.budget;
+  const int64_t windows[] = {500, 1000, 5000};
+
+  std::printf("=== Fig. 13: recent-data query latency (simulated HDD ns) "
+              "===\n");
+  std::printf("(%zu points/dataset, n=%zu; LatencyEnv: 8 ms seek, "
+              "100 MB/s)\n\n",
+              args.points, n);
+
+  bench::TablePrinter table({"dataset", "policy", "w=500", "w=1000", "w=5000",
+                             "files/query(w=5000)"});
+  for (const auto& config : workload::TableII()) {
+    auto points = workload::GenerateTableII(config, args.points);
+    auto delay = workload::MakeTableIIDistribution(config);
+    auto tuned = model::TunePolicy(*delay, config.delta_t, n,
+                                   model::TuningOptions{.sweep_step = 32,
+                                                        .min_nseq = 32,
+                                                        .min_nonseq = 32,
+                                                        .granularity_sstable_points = 512});
+    size_t nseq = tuned.best_nseq == 0 ? n / 2 : tuned.best_nseq;
+
+    std::vector<std::string> row_c = {config.name, "pi_c"};
+    std::vector<std::string> row_s = {
+        config.name, "pi_s(ns=" + std::to_string(nseq) + ")"};
+    double files_c = 0.0, files_s = 0.0;
+    for (int64_t w : windows) {
+      auto rc = bench::RunQueryWorkload(engine::PolicyConfig::Conventional(n),
+                                        points, w, bench::QueryMode::kRecent);
+      auto rs = bench::RunQueryWorkload(
+          engine::PolicyConfig::Separation(n, nseq), points, w,
+          bench::QueryMode::kRecent);
+      row_c.push_back(bench::Fmt(rc.mean_latency_ns, 0));
+      row_s.push_back(bench::Fmt(rs.mean_latency_ns, 0));
+      files_c = rc.mean_files_opened;
+      files_s = rs.mean_files_opened;
+    }
+    row_c.push_back(bench::Fmt(files_c, 1));
+    row_s.push_back(bench::Fmt(files_s, 1));
+    table.AddRow(row_c);
+    table.AddRow(row_s);
+  }
+  table.Print();
+  table.WriteCsv(args.out);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 14 reproduction: historical query latency (random windows over the
+// written history) on M1-M12, π_c vs π_s.
+//
+// Expected shapes (paper §V-D2): π_s fares better here than on the
+// recent-data workload — historical ranges under π_c can hit many
+// not-yet-compacted overlapping tables, while under π_s old data sit in one
+// sorted run (cf. the paper's Fig. 15) — and for the severely disordered
+// datasets (M6, M11, M12) π_s can win outright.
+
+#include "bench_query_util.h"
+#include "model/tuner.h"
+#include "workload/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace seplsm;
+  auto args = bench::BenchArgs::Parse(argc, argv, /*default_points=*/60'000);
+  const size_t n = args.budget;
+  const int64_t windows[] = {500, 1000, 5000};
+
+  std::printf("=== Fig. 14: historical query latency (simulated HDD ns) "
+              "===\n");
+  std::printf("(%zu points/dataset, n=%zu)\n\n", args.points, n);
+
+  bench::TablePrinter table(
+      {"dataset", "policy", "w=500", "w=1000", "w=5000"});
+  for (const auto& config : workload::TableII()) {
+    auto points = workload::GenerateTableII(config, args.points);
+    auto delay = workload::MakeTableIIDistribution(config);
+    auto tuned = model::TunePolicy(*delay, config.delta_t, n,
+                                   model::TuningOptions{.sweep_step = 32,
+                                                        .min_nseq = 32,
+                                                        .min_nonseq = 32,
+                                                        .granularity_sstable_points = 512});
+    size_t nseq = tuned.best_nseq == 0 ? n / 2 : tuned.best_nseq;
+
+    std::vector<std::string> row_c = {config.name, "pi_c"};
+    std::vector<std::string> row_s = {
+        config.name, "pi_s(ns=" + std::to_string(nseq) + ")"};
+    for (int64_t w : windows) {
+      auto rc = bench::RunQueryWorkload(
+          engine::PolicyConfig::Conventional(n), points, w,
+          bench::QueryMode::kHistorical);
+      auto rs = bench::RunQueryWorkload(
+          engine::PolicyConfig::Separation(n, nseq), points, w,
+          bench::QueryMode::kHistorical);
+      row_c.push_back(bench::Fmt(rc.mean_latency_ns, 0));
+      row_s.push_back(bench::Fmt(rs.mean_latency_ns, 0));
+    }
+    table.AddRow(row_c);
+    table.AddRow(row_s);
+  }
+  table.Print();
+  table.WriteCsv(args.out);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 20 reproduction: query latency on the simulated H dataset —
+// (a) recent-data workload, (b) historical workload — π_c vs π_s, windows
+// of 5/10/20 seconds (the paper uses seconds on H because Δt = 1 s).
+//
+// Expected shapes: π_c is faster on recent-data queries; the gap narrows on
+// historical queries, where for long windows π_s can win.
+
+#include "bench_query_util.h"
+#include "model/tuner.h"
+#include "workload/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace seplsm;
+  auto args = bench::BenchArgs::Parse(argc, argv, /*default_points=*/150'000);
+  const size_t n = args.budget;
+  const int64_t windows[] = {5'000, 10'000, 20'000};
+
+  workload::HSimConfig h;
+  h.num_points = args.points;
+  auto points = workload::GenerateHSimulated(h);
+
+  // n_seq from the tuner (as in the paper's deployment).
+  std::vector<double> delays;
+  for (const auto& p : points) {
+    delays.push_back(static_cast<double>(p.delay()));
+  }
+  size_t nseq = n / 2;
+
+  std::printf("=== Fig. 20: query latency on H (simulated HDD ns) ===\n");
+  std::printf("(%zu points, n=%zu, pi_s uses n_seq=%zu)\n\n", args.points, n,
+              nseq);
+
+  bench::TablePrinter table(
+      {"workload", "policy", "w=5s", "w=10s", "w=20s"});
+  for (auto mode : {bench::QueryMode::kRecent, bench::QueryMode::kHistorical}) {
+    const char* label =
+        mode == bench::QueryMode::kRecent ? "recent" : "historical";
+    std::vector<std::string> row_c = {label, "pi_c"};
+    std::vector<std::string> row_s = {label, "pi_s"};
+    for (int64_t w : windows) {
+      auto rc = bench::RunQueryWorkload(engine::PolicyConfig::Conventional(n),
+                                        points, w, mode);
+      auto rs = bench::RunQueryWorkload(
+          engine::PolicyConfig::Separation(n, nseq), points, w, mode);
+      row_c.push_back(bench::Fmt(rc.mean_latency_ns, 0));
+      row_s.push_back(bench::Fmt(rs.mean_latency_ns, 0));
+    }
+    table.AddRow(row_c);
+    table.AddRow(row_s);
+  }
+  table.Print();
+  table.WriteCsv(args.out);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 7 reproduction: WA under π_c (flat line in n_seq) and π_s as a
+// function of n_seq, model vs measurement, for lognormal(μ=5, σ=2), Δt=50,
+// memory budget n=512, SSTable size 512 points.
+//
+// Expected shape: the π_s curve is U-shaped in n_seq; π_c sits at a level
+// the U crosses, so the better policy depends on n_seq.
+
+#include "bench_util.h"
+#include "dist/parametric.h"
+#include "env/mem_env.h"
+#include "model/wa_model.h"
+#include "workload/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace seplsm;
+  auto args = bench::BenchArgs::Parse(argc, argv, /*default_points=*/150'000);
+
+  dist::LognormalDistribution delay(5.0, 2.0);
+  const double dt = 50.0;
+  const size_t n = args.budget;
+
+  workload::SyntheticConfig sc;
+  sc.num_points = args.points;
+  sc.delta_t = dt;
+  sc.seed = 7;
+  auto points = workload::GenerateSynthetic(sc, delay);
+
+  model::WaModel wa_model(delay, dt);
+
+  std::printf("=== Fig. 7: WA vs n_seq, lognormal(5, 2), dt=50, n=%zu ===\n\n",
+              n);
+  MemEnv env_c;
+  double wa_c_measured =
+      bench::RunIngest(&env_c, "/fig7",
+                       engine::PolicyConfig::Conventional(n), points)
+          .WriteAmplification();
+  double wa_c_model = wa_model.ConventionalWa(n);
+  std::printf("pi_c: measured WA = %.3f, model r_c = %.3f\n\n", wa_c_measured,
+              wa_c_model);
+
+  bench::TablePrinter table(
+      {"n_seq", "measured r_s", "model r_s", "measured r_c", "model r_c"});
+  for (size_t nseq = n / 8; nseq <= n - n / 8; nseq += n / 8) {
+    MemEnv env;
+    double measured =
+        bench::RunIngest(&env, "/fig7",
+                         engine::PolicyConfig::Separation(n, nseq), points)
+            .WriteAmplification();
+    double predicted = wa_model.SeparationWa(n, nseq);
+    table.AddRow({bench::Fmt(nseq), bench::Fmt(measured),
+                  bench::Fmt(predicted), bench::Fmt(wa_c_measured),
+                  bench::Fmt(wa_c_model)});
+  }
+  table.Print();
+  table.WriteCsv(args.out);
+  return 0;
+}

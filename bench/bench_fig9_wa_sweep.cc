@@ -1,0 +1,55 @@
+// Fig. 9 reproduction: measured and modeled WA across the twelve Table II
+// datasets — π_c at the memory budget n, and π_s swept over n_seq.
+//
+// Expected shapes (paper §V-B): WA grows with μ and σ and shrinks with Δt;
+// the model tracks measurement best for Δt=10 (M7-M12); the n_seq sweep is
+// U-shaped for the severely disordered datasets (e.g. M12).
+
+#include "bench_util.h"
+#include "env/mem_env.h"
+#include "model/wa_model.h"
+#include "workload/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace seplsm;
+  auto args = bench::BenchArgs::Parse(argc, argv, /*default_points=*/80'000);
+  const size_t n = args.budget;
+
+  std::printf("=== Fig. 9: WA on M1-M12, measured vs model ===\n");
+  std::printf("(%zu points per dataset, n=%zu; paper: 10M points, n=512)\n\n",
+              args.points, n);
+
+  const size_t sweep[] = {n / 8, n / 4, n / 2, 3 * n / 4, 7 * n / 8};
+
+  bench::TablePrinter table({"dataset", "metric", "pi_c", "ns=n/8", "ns=n/4",
+                             "ns=n/2", "ns=3n/4", "ns=7n/8"});
+  for (const auto& config : workload::TableII()) {
+    auto points = workload::GenerateTableII(config, args.points);
+    auto delay = workload::MakeTableIIDistribution(config);
+    model::WaModel wa_model(*delay, config.delta_t);
+
+    MemEnv env_c;
+    double measured_c =
+        bench::RunIngest(&env_c, "/fig9",
+                         engine::PolicyConfig::Conventional(n), points)
+            .WriteAmplification();
+    std::vector<std::string> measured_row = {config.name, "measured",
+                                             bench::Fmt(measured_c)};
+    std::vector<std::string> model_row = {config.name, "model",
+                                          bench::Fmt(wa_model.ConventionalWa(n))};
+    for (size_t nseq : sweep) {
+      MemEnv env;
+      double measured =
+          bench::RunIngest(&env, "/fig9",
+                           engine::PolicyConfig::Separation(n, nseq), points)
+              .WriteAmplification();
+      measured_row.push_back(bench::Fmt(measured));
+      model_row.push_back(bench::Fmt(wa_model.SeparationWa(n, nseq)));
+    }
+    table.AddRow(measured_row);
+    table.AddRow(model_row);
+  }
+  table.Print();
+  table.WriteCsv(args.out);
+  return 0;
+}

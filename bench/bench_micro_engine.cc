@@ -1,0 +1,153 @@
+// Engine micro-benchmarks (google-benchmark): the primitives behind the
+// Table III throughput numbers — memtable insert, block encode/decode,
+// SSTable write/read, merge, and the end-to-end Append path per policy.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/random.h"
+#include "dist/parametric.h"
+#include "engine/ts_engine.h"
+#include "env/mem_env.h"
+#include "format/block.h"
+#include "storage/memtable.h"
+#include "storage/sstable.h"
+#include "workload/synthetic.h"
+
+namespace seplsm {
+namespace {
+
+std::vector<DataPoint> SortedPoints(size_t n) {
+  std::vector<DataPoint> points(n);
+  for (size_t i = 0; i < n; ++i) {
+    points[i] = {static_cast<int64_t>(i) * 50,
+                 static_cast<int64_t>(i) * 50 + 13,
+                 static_cast<double>(i)};
+  }
+  return points;
+}
+
+void BM_MemTableInsert(benchmark::State& state) {
+  auto points = SortedPoints(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    storage::MemTable m(points.size());
+    for (const auto& p : points) m.Add(p);
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(points.size()));
+}
+BENCHMARK(BM_MemTableInsert)->Arg(512)->Arg(4096);
+
+void BM_BlockEncode(benchmark::State& state) {
+  auto points = SortedPoints(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    format::BlockBuilder builder;
+    for (const auto& p : points) builder.Add(p);
+    std::string data = builder.Finish();
+    benchmark::DoNotOptimize(data.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(points.size()));
+}
+BENCHMARK(BM_BlockEncode)->Arg(128)->Arg(1024);
+
+void BM_BlockDecode(benchmark::State& state) {
+  auto points = SortedPoints(static_cast<size_t>(state.range(0)));
+  format::BlockBuilder builder;
+  for (const auto& p : points) builder.Add(p);
+  std::string data = builder.Finish();
+  for (auto _ : state) {
+    std::vector<DataPoint> out;
+    if (!format::DecodeBlock(data, &out).ok()) state.SkipWithError("decode");
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(points.size()));
+}
+BENCHMARK(BM_BlockDecode)->Arg(128)->Arg(1024);
+
+void BM_SSTableWrite(benchmark::State& state) {
+  auto points = SortedPoints(static_cast<size_t>(state.range(0)));
+  MemEnv env;
+  int i = 0;
+  for (auto _ : state) {
+    storage::SSTableWriter writer(&env, "/t" + std::to_string(i++), 128);
+    for (const auto& p : points) {
+      if (!writer.Add(p).ok()) state.SkipWithError("add");
+    }
+    auto meta = writer.Finish();
+    if (!meta.ok()) state.SkipWithError("finish");
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(points.size()));
+}
+BENCHMARK(BM_SSTableWrite)->Arg(512)->Arg(8192);
+
+void BM_SSTableReadRange(benchmark::State& state) {
+  auto points = SortedPoints(8192);
+  MemEnv env;
+  storage::SSTableWriter writer(&env, "/t", 128);
+  for (const auto& p : points) {
+    if (!writer.Add(p).ok()) return;
+  }
+  (void)writer.Finish();
+  auto reader = storage::SSTableReader::Open(&env, "/t");
+  if (!reader.ok()) return;
+  Rng rng(1);
+  for (auto _ : state) {
+    int64_t lo = rng.UniformInt(0, 8192 * 50 - 10000);
+    std::vector<DataPoint> out;
+    if (!(*reader)->ReadRange(lo, lo + 10000, &out).ok()) {
+      state.SkipWithError("read");
+    }
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_SSTableReadRange);
+
+void RunAppendBenchmark(benchmark::State& state,
+                        const engine::PolicyConfig& policy, double sigma) {
+  workload::SyntheticConfig sc;
+  sc.num_points = 50'000;
+  sc.delta_t = 50.0;
+  dist::LognormalDistribution delay(4.0, sigma);
+  auto points = workload::GenerateSynthetic(sc, delay);
+  for (auto _ : state) {
+    MemEnv env;
+    engine::Options o;
+    o.env = &env;
+    o.dir = "/bench";
+    o.policy = policy;
+    o.record_merge_events = false;
+    auto open = engine::TsEngine::Open(o);
+    if (!open.ok()) {
+      state.SkipWithError("open");
+      return;
+    }
+    for (const auto& p : points) {
+      if (!(*open)->Append(p).ok()) {
+        state.SkipWithError("append");
+        return;
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(points.size()));
+}
+
+void BM_AppendConventional(benchmark::State& state) {
+  RunAppendBenchmark(state, engine::PolicyConfig::Conventional(512), 1.5);
+}
+BENCHMARK(BM_AppendConventional)->Unit(benchmark::kMillisecond);
+
+void BM_AppendSeparation(benchmark::State& state) {
+  RunAppendBenchmark(state, engine::PolicyConfig::Separation(512, 256), 1.5);
+}
+BENCHMARK(BM_AppendSeparation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace seplsm
+
+BENCHMARK_MAIN();

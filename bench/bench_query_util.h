@@ -1,0 +1,99 @@
+#ifndef SEPLSM_BENCH_BENCH_QUERY_UTIL_H_
+#define SEPLSM_BENCH_BENCH_QUERY_UTIL_H_
+
+// Shared machinery for the query-workload reproductions (Fig. 12/13/14/20):
+// ingest a stream and interleave range queries, measuring read
+// amplification and simulated HDD latency via LatencyEnv.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/ts_engine.h"
+#include "env/latency_env.h"
+#include "env/mem_env.h"
+#include "workload/query_workload.h"
+
+namespace seplsm::bench {
+
+struct QueryWorkloadResult {
+  double mean_read_amplification = 0.0;
+  double mean_latency_ns = 0.0;   ///< simulated device time per query
+  double mean_files_opened = 0.0;
+  uint64_t queries = 0;
+};
+
+enum class QueryMode { kRecent, kHistorical };
+
+/// Ingests `points` under `policy`, issuing one `window`-long query every
+/// `query_every` ingested points (after a warm-up of 4 fills).
+inline QueryWorkloadResult RunQueryWorkload(
+    const engine::PolicyConfig& policy, const std::vector<DataPoint>& points,
+    int64_t window, QueryMode mode, size_t query_every = 512,
+    size_t sstable_points = 512) {
+  MemEnv base;
+  DeviceLatencyModel hdd;  // defaults: 8 ms seek, 100 MB/s
+  LatencyEnv env(&base, hdd);
+
+  engine::Options o;
+  o.env = &env;
+  o.dir = "/qw";
+  o.policy = policy;
+  o.sstable_points = sstable_points;
+  o.record_merge_events = false;
+  auto open = engine::TsEngine::Open(o);
+  if (!open.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 open.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto& db = *open;
+
+  workload::RecentQueryGenerator recent(window);
+  workload::HistoricalQueryGenerator historical(window, /*seed=*/913);
+
+  QueryWorkloadResult result;
+  double total_ra = 0.0;
+  double total_latency = 0.0;
+  double total_files = 0.0;
+  int64_t max_written = std::numeric_limits<int64_t>::min();
+  int64_t min_written = std::numeric_limits<int64_t>::max();
+  size_t since_query = 0;
+  size_t warmup = 4 * policy.memtable_capacity;
+
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (!db->Append(points[i]).ok()) std::exit(1);
+    max_written = std::max(max_written, points[i].generation_time);
+    min_written = std::min(min_written, points[i].generation_time);
+    if (i < warmup || ++since_query < query_every) continue;
+    since_query = 0;
+    workload::TimeRangeQuery q =
+        mode == QueryMode::kRecent
+            ? recent.Next(max_written)
+            : historical.Next(min_written, max_written);
+    std::vector<DataPoint> out;
+    engine::QueryStats stats;
+    int64_t nanos_before = env.simulated_nanos();
+    if (!db->Query(q.lo, q.hi, &out, &stats).ok()) std::exit(1);
+    int64_t nanos = env.simulated_nanos() - nanos_before;
+    if (stats.points_returned == 0) continue;  // empty window: RA undefined
+    total_ra += stats.ReadAmplification();
+    total_latency += static_cast<double>(nanos);
+    total_files += static_cast<double>(stats.files_opened);
+    ++result.queries;
+  }
+  if (result.queries > 0) {
+    result.mean_read_amplification =
+        total_ra / static_cast<double>(result.queries);
+    result.mean_latency_ns =
+        total_latency / static_cast<double>(result.queries);
+    result.mean_files_opened =
+        total_files / static_cast<double>(result.queries);
+  }
+  return result;
+}
+
+}  // namespace seplsm::bench
+
+#endif  // SEPLSM_BENCH_BENCH_QUERY_UTIL_H_

@@ -1,0 +1,163 @@
+#ifndef SEPLSM_BENCH_BENCH_UTIL_H_
+#define SEPLSM_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure/table reproduction harnesses. Each bench
+// binary prints the rows/series of one paper table or figure; flags let the
+// runs scale up toward the paper's full sizes:
+//
+//   --points=N      dataset size (default: scaled-down but representative)
+//   --budget=N      memory budget n in points (default 512, paper's value)
+//   --out=path      optional CSV dump of the printed series
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/metrics.h"
+#include "engine/options.h"
+#include "engine/ts_engine.h"
+#include "env/env.h"
+
+namespace seplsm::bench {
+
+struct BenchArgs {
+  size_t points = 200'000;
+  size_t budget = 512;
+  std::string out;
+
+  static BenchArgs Parse(int argc, char** argv, size_t default_points,
+                         size_t default_budget = 512) {
+    BenchArgs args;
+    args.points = default_points;
+    args.budget = default_budget;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--points=", 9) == 0) {
+        args.points = static_cast<size_t>(std::strtoull(a + 9, nullptr, 10));
+      } else if (std::strncmp(a, "--budget=", 9) == 0) {
+        args.budget = static_cast<size_t>(std::strtoull(a + 9, nullptr, 10));
+      } else if (std::strncmp(a, "--out=", 6) == 0) {
+        args.out = a + 6;
+      } else if (std::strcmp(a, "--help") == 0) {
+        std::fprintf(stderr,
+                     "flags: --points=N --budget=N --out=path.csv\n");
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+};
+
+/// Minimal fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    PrintRow(headers_, widths);
+    std::string sep;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      sep += std::string(widths[c] + 2, '-');
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row, widths);
+  }
+
+  /// Writes rows as CSV to `path` via stdio (empty path: no-op).
+  void WriteCsv(const std::string& path) const {
+    if (path.empty()) return;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    WriteCsvRow(f, headers_);
+    for (const auto& row : rows_) WriteCsvRow(f, row);
+    std::fclose(f);
+    std::printf("(series written to %s)\n", path.c_str());
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& row,
+                       const std::vector<size_t>& widths) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  }
+
+  static void WriteCsvRow(std::FILE* f, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(f, "%s%s", c ? "," : "", row[c].c_str());
+    }
+    std::fprintf(f, "\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string Fmt(uint64_t v) { return std::to_string(v); }
+
+/// Ingests a stream into a fresh engine over `env` and returns the final
+/// metrics. `flush_at_end` drains memtables (for query benches; WA studies
+/// keep it off to avoid boundary bias).
+inline engine::Metrics RunIngest(Env* env, const std::string& dir,
+                                 const engine::PolicyConfig& policy,
+                                 const std::vector<DataPoint>& points,
+                                 size_t sstable_points = 512,
+                                 bool flush_at_end = false,
+                                 bool record_timeline = false,
+                                 size_t timeline_batch = 512) {
+  engine::Options o;
+  o.env = env;
+  o.dir = dir;
+  o.policy = policy;
+  o.sstable_points = sstable_points;
+  o.record_wa_timeline = record_timeline;
+  o.wa_timeline_batch = timeline_batch;
+  auto open = engine::TsEngine::Open(o);
+  if (!open.ok()) {
+    std::fprintf(stderr, "engine open failed: %s\n",
+                 open.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto& db = *open;
+  for (const auto& p : points) {
+    Status st = db->Append(p);
+    if (!st.ok()) {
+      std::fprintf(stderr, "append failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  if (flush_at_end) {
+    Status st = db->FlushAll();
+    if (!st.ok()) {
+      std::fprintf(stderr, "flush failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return db->GetMetrics();
+}
+
+}  // namespace seplsm::bench
+
+#endif  // SEPLSM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,82 @@
+#include "analyzer/adaptive_controller.h"
+
+#include "common/logging.h"
+
+namespace seplsm::analyzer {
+
+AdaptiveController::AdaptiveController(engine::TsEngine* engine,
+                                       Options options)
+    : engine_(engine),
+      options_(options),
+      collector_(options.reservoir_capacity, options.recent_window),
+      drift_(options.drift),
+      next_check_(options.warmup_points) {}
+
+bool AdaptiveController::SameConfig(const engine::PolicyConfig& a,
+                                    const engine::PolicyConfig& b) {
+  if (a.kind != b.kind || a.memtable_capacity != b.memtable_capacity) {
+    return false;
+  }
+  return a.kind == engine::PolicyKind::kConventional ||
+         a.nseq_capacity == b.nseq_capacity;
+}
+
+Status AdaptiveController::Observe(const DataPoint& point) {
+  collector_.Observe(point);
+  ++observed_;
+  if (observed_ < next_check_) return Status::OK();
+  next_check_ = observed_ + options_.check_interval;
+
+  if (!drift_.has_reference()) {
+    // First decision after warm-up: fit, tune, install reference profile.
+    SEPLSM_RETURN_IF_ERROR(RunTuning());
+    drift_.SetReference(collector_.sample());
+    return Status::OK();
+  }
+  if (drift_.IsDrift(collector_.RecentSample())) {
+    SEPLSM_LOG(Info) << "delay drift detected after " << observed_
+                     << " points; re-tuning";
+    // Rebuild the profile from recent data only: the old reservoir mixes
+    // both regimes. Timing statistics (Δt) keep their history.
+    std::vector<double> recent = collector_.RecentSample();
+    collector_.ResetDelays();
+    for (double d : recent) collector_.AddDelay(d);
+    SEPLSM_RETURN_IF_ERROR(RunTuning());
+    drift_.SetReference(collector_.sample());
+  }
+  return Status::OK();
+}
+
+Status AdaptiveController::RunTuning() {
+  auto fit = FitDelayDistribution(collector_.sample(), options_.fitter);
+  if (!fit.ok()) return fit.status();
+
+  double delta_t = collector_.EstimateDeltaT(/*fallback=*/1.0);
+  if (delta_t <= 0.0) delta_t = 1.0;
+  size_t n = engine_->options().policy.memtable_capacity;
+  // Tip: setting options_.tuning.granularity_sstable_points to the engine's
+  // sstable_points makes the estimates granularity-aware (recommended for
+  // mildly disordered workloads; see WaModel::set_granularity_sstable_points).
+  model::TuningResult tuned =
+      model::TunePolicy(*fit->distribution, delta_t, n, options_.tuning);
+
+  Decision decision;
+  decision.at_points = observed_;
+  decision.fitted_family = fit->family;
+  decision.wa_conventional = tuned.wa_conventional;
+  decision.wa_separation_best = tuned.wa_separation_best;
+  decision.chosen = tuned.recommended;
+  decision.switched =
+      !SameConfig(engine_->options().policy, tuned.recommended);
+  if (decision.switched) {
+    SEPLSM_LOG(Info) << "switching policy to "
+                     << tuned.recommended.ToString()
+                     << " (r_c=" << tuned.wa_conventional
+                     << ", r_s*=" << tuned.wa_separation_best << ")";
+    SEPLSM_RETURN_IF_ERROR(engine_->SwitchPolicy(tuned.recommended));
+  }
+  decisions_.push_back(std::move(decision));
+  return Status::OK();
+}
+
+}  // namespace seplsm::analyzer

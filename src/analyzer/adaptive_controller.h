@@ -1,0 +1,75 @@
+#ifndef SEPLSM_ANALYZER_ADAPTIVE_CONTROLLER_H_
+#define SEPLSM_ANALYZER_ADAPTIVE_CONTROLLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyzer/delay_collector.h"
+#include "analyzer/drift_detector.h"
+#include "analyzer/fitter.h"
+#include "common/status.h"
+#include "engine/ts_engine.h"
+#include "model/tuner.h"
+
+namespace seplsm::analyzer {
+
+/// The paper's delay-analyzer module: observes the write stream, maintains
+/// the delay profile, and — on startup and whenever the delay distribution
+/// drifts — re-runs the Separation Policy Tuning Algorithm (Algorithm 1)
+/// and reconfigures the engine (π_adaptive).
+///
+/// Usage: call Observe(point) for every point *before or after* handing it
+/// to the engine; the controller calls TsEngine::SwitchPolicy itself.
+class AdaptiveController {
+ public:
+  struct Options {
+    /// Run the first tuning decision after this many points.
+    uint64_t warmup_points = 4096;
+    /// Test for drift every this many points.
+    uint64_t check_interval = 2048;
+    size_t reservoir_capacity = 4096;
+    size_t recent_window = 2048;
+    DriftDetector::Options drift;
+    FitterOptions fitter;
+    model::TuningOptions tuning;
+  };
+
+  /// A tuning decision that was applied (or re-confirmed).
+  struct Decision {
+    uint64_t at_points = 0;          ///< points observed when decided
+    std::string fitted_family;
+    double wa_conventional = 0.0;
+    double wa_separation_best = 0.0;
+    engine::PolicyConfig chosen;
+    bool switched = false;           ///< engine policy actually changed
+  };
+
+  /// `engine` must outlive the controller.
+  explicit AdaptiveController(engine::TsEngine* engine)
+      : AdaptiveController(engine, Options()) {}
+  AdaptiveController(engine::TsEngine* engine, Options options);
+
+  /// Feeds one point's statistics; may trigger a policy switch.
+  Status Observe(const DataPoint& point);
+
+  const std::vector<Decision>& decisions() const { return decisions_; }
+  const DelayCollector& collector() const { return collector_; }
+
+ private:
+  Status RunTuning();
+  static bool SameConfig(const engine::PolicyConfig& a,
+                         const engine::PolicyConfig& b);
+
+  engine::TsEngine* engine_;
+  Options options_;
+  DelayCollector collector_;
+  DriftDetector drift_;
+  std::vector<Decision> decisions_;
+  uint64_t observed_ = 0;
+  uint64_t next_check_ = 0;
+};
+
+}  // namespace seplsm::analyzer
+
+#endif  // SEPLSM_ANALYZER_ADAPTIVE_CONTROLLER_H_

@@ -1,0 +1,97 @@
+#ifndef SEPLSM_ANALYZER_DELAY_COLLECTOR_H_
+#define SEPLSM_ANALYZER_DELAY_COLLECTOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "common/point.h"
+#include "stats/online_stats.h"
+#include "stats/quantile_sketch.h"
+#include "stats/reservoir.h"
+
+namespace seplsm::analyzer {
+
+/// Online statistical profile of a write stream: delays (reservoir sample +
+/// moments), a bounded window of the most recent delays (for drift
+/// detection), and generation-time extremes (for the Δt estimate).
+///
+/// This is the data-gathering half of the paper's delay analyzer (§I-D).
+/// Delay statistics can be reset independently of the timing statistics so
+/// that, after a detected drift, the profile is rebuilt from the new regime
+/// while the Δt estimate keeps its full history.
+class DelayCollector {
+ public:
+  explicit DelayCollector(size_t reservoir_capacity = 4096,
+                          size_t recent_window = 2048,
+                          uint64_t seed = 20220517)
+      : reservoir_(reservoir_capacity, seed), recent_capacity_(recent_window) {}
+
+  void Observe(const DataPoint& point) {
+    AddDelay(static_cast<double>(point.delay()));
+    ++timing_count_;
+    min_generation_ = std::min(min_generation_, point.generation_time);
+    max_generation_ = std::max(max_generation_, point.generation_time);
+  }
+
+  /// Adds a bare delay (no timing information).
+  void AddDelay(double delay) {
+    moments_.Add(delay);
+    reservoir_.Add(delay);
+    p50_.Add(delay);
+    p99_.Add(delay);
+    recent_.push_back(delay);
+    if (recent_.size() > recent_capacity_) recent_.pop_front();
+  }
+
+  uint64_t count() const { return moments_.count(); }
+  const stats::OnlineMoments& moments() const { return moments_; }
+
+  /// Long-term delay sample (reservoir over the current regime).
+  const std::vector<double>& sample() const { return reservoir_.sample(); }
+
+  /// The most recent `recent_window` delays.
+  std::vector<double> RecentSample() const {
+    return {recent_.begin(), recent_.end()};
+  }
+
+  /// Estimated generation interval Δt, assuming near-constant frequency:
+  /// (max - min generation time) / (points - 1). Returns `fallback` until
+  /// two points were observed.
+  double EstimateDeltaT(double fallback = 1.0) const {
+    if (timing_count_ < 2) return fallback;
+    double dt = static_cast<double>(max_generation_ - min_generation_) /
+                static_cast<double>(timing_count_ - 1);
+    return dt > 0.0 ? dt : fallback;
+  }
+
+  /// O(1)-memory streaming percentiles (P² sketches).
+  double MedianDelay() const { return p50_.Value(); }
+  double P99Delay() const { return p99_.Value(); }
+
+  /// Clears the delay profile (drift recovery); timing stats are kept.
+  void ResetDelays() {
+    moments_.Clear();
+    reservoir_.Clear();
+    p50_ = stats::P2Quantile(0.5);
+    p99_ = stats::P2Quantile(0.99);
+    recent_.clear();
+  }
+
+ private:
+  stats::OnlineMoments moments_;
+  stats::ReservoirSample reservoir_;
+  stats::P2Quantile p50_{0.5};
+  stats::P2Quantile p99_{0.99};
+  size_t recent_capacity_;
+  std::deque<double> recent_;
+  uint64_t timing_count_ = 0;
+  int64_t min_generation_ = std::numeric_limits<int64_t>::max();
+  int64_t max_generation_ = std::numeric_limits<int64_t>::min();
+};
+
+}  // namespace seplsm::analyzer
+
+#endif  // SEPLSM_ANALYZER_DELAY_COLLECTOR_H_

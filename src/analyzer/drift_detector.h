@@ -1,0 +1,55 @@
+#ifndef SEPLSM_ANALYZER_DRIFT_DETECTOR_H_
+#define SEPLSM_ANALYZER_DRIFT_DETECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/ecdf.h"
+
+namespace seplsm::analyzer {
+
+/// Detects changes in the delay distribution by comparing a frozen
+/// *reference* sample against the most recent window with the two-sample
+/// Kolmogorov–Smirnov distance. Drives the π_adaptive policy switches of
+/// the paper's Fig. 10/17 experiments.
+class DriftDetector {
+ public:
+  struct Options {
+    /// Flag drift when KS distance exceeds `ks_margin` × the asymptotic
+    /// 5%-significance critical value.
+    double ks_margin = 1.5;
+    /// Minimum samples on both sides before testing.
+    size_t min_samples = 256;
+  };
+
+  DriftDetector() : DriftDetector(Options()) {}
+  explicit DriftDetector(Options options) : options_(options) {}
+
+  /// Installs the current "normal" delay profile.
+  void SetReference(std::vector<double> sample) {
+    reference_ = stats::Ecdf(std::move(sample));
+  }
+
+  bool has_reference() const { return !reference_.empty(); }
+
+  /// Returns true when `recent` deviates significantly from the reference.
+  bool IsDrift(const std::vector<double>& recent) const {
+    if (reference_.size() < options_.min_samples ||
+        recent.size() < options_.min_samples) {
+      return false;
+    }
+    stats::Ecdf recent_ecdf(recent);
+    double d = stats::KsDistance(reference_, recent_ecdf);
+    double critical =
+        stats::KsCriticalValue(reference_.size(), recent.size(), 0.05);
+    return d > options_.ks_margin * critical;
+  }
+
+ private:
+  Options options_;
+  stats::Ecdf reference_;
+};
+
+}  // namespace seplsm::analyzer
+
+#endif  // SEPLSM_ANALYZER_DRIFT_DETECTOR_H_

@@ -1,0 +1,112 @@
+#include "analyzer/fitter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dist/empirical.h"
+#include "dist/gamma.h"
+#include "dist/parametric.h"
+#include "stats/ecdf.h"
+
+namespace seplsm::analyzer {
+
+namespace {
+
+/// One-sample KS distance between a continuous CDF and the sample ECDF.
+double KsAgainstSample(const dist::DelayDistribution& d,
+                       const std::vector<double>& sorted) {
+  double ks = 0.0;
+  size_t n = sorted.size();
+  for (size_t i = 0; i < n; ++i) {
+    double f = d.Cdf(sorted[i]);
+    double lo = static_cast<double>(i) / static_cast<double>(n);
+    double hi = static_cast<double>(i + 1) / static_cast<double>(n);
+    ks = std::max(ks, std::max(std::fabs(f - lo), std::fabs(f - hi)));
+  }
+  return ks;
+}
+
+}  // namespace
+
+Result<FitResult> FitDelayDistribution(const std::vector<double>& sample,
+                                       const FitterOptions& options) {
+  if (sample.empty()) {
+    return Status::InvalidArgument("FitDelayDistribution: empty sample");
+  }
+  std::vector<double> sorted = sample;
+  for (double& x : sorted) x = std::max(x, 0.0);
+  std::sort(sorted.begin(), sorted.end());
+
+  FitResult best;
+  best.ks_distance = std::numeric_limits<double>::infinity();
+
+  auto consider = [&](dist::DistributionPtr d, const std::string& family) {
+    double ks = KsAgainstSample(*d, sorted);
+    if (ks < best.ks_distance) {
+      best.distribution = std::move(d);
+      best.family = family;
+      best.ks_distance = ks;
+    }
+  };
+
+  double mean = 0.0;
+  for (double x : sorted) mean += x;
+  mean /= static_cast<double>(sorted.size());
+
+  if (options.try_lognormal) {
+    // Moment estimates on log(delay); zeros nudged to a small epsilon
+    // relative to the positive minimum.
+    double eps = 1e-6;
+    for (double x : sorted) {
+      if (x > 0.0) {
+        eps = std::max(1e-9, x * 1e-3);
+        break;
+      }
+    }
+    double log_mean = 0.0;
+    for (double x : sorted) log_mean += std::log(std::max(x, eps));
+    log_mean /= static_cast<double>(sorted.size());
+    double log_var = 0.0;
+    for (double x : sorted) {
+      double z = std::log(std::max(x, eps)) - log_mean;
+      log_var += z * z;
+    }
+    log_var /= static_cast<double>(std::max<size_t>(1, sorted.size() - 1));
+    double sigma = std::sqrt(std::max(log_var, 1e-12));
+    consider(std::make_unique<dist::LognormalDistribution>(log_mean, sigma),
+             "lognormal");
+  }
+  if (options.try_exponential && mean > 0.0) {
+    consider(std::make_unique<dist::ExponentialDistribution>(mean),
+             "exponential");
+  }
+  if (options.try_gamma && mean > 0.0) {
+    // Method of moments: shape = mean^2 / var, scale = var / mean.
+    double var = 0.0;
+    for (double x : sorted) var += (x - mean) * (x - mean);
+    var /= static_cast<double>(std::max<size_t>(1, sorted.size() - 1));
+    if (var > 0.0) {
+      double shape = mean * mean / var;
+      double scale = var / mean;
+      if (shape > 1e-3 && shape < 1e4) {
+        consider(std::make_unique<dist::GammaDistribution>(shape, scale),
+                 "gamma");
+      }
+    }
+  }
+
+  if (best.distribution == nullptr ||
+      best.ks_distance > options.max_parametric_ks) {
+    FitResult empirical;
+    empirical.distribution = std::make_unique<dist::EmpiricalDistribution>(
+        sorted, options.empirical_density_bins);
+    empirical.family = "empirical";
+    empirical.ks_distance = KsAgainstSample(*empirical.distribution, sorted);
+    // The interpolated empirical CDF is essentially the ECDF; prefer it when
+    // no parametric family fits.
+    return empirical;
+  }
+  return best;
+}
+
+}  // namespace seplsm::analyzer

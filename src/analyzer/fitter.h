@@ -1,0 +1,39 @@
+#ifndef SEPLSM_ANALYZER_FITTER_H_
+#define SEPLSM_ANALYZER_FITTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/distribution.h"
+
+namespace seplsm::analyzer {
+
+/// A fitted delay distribution plus goodness-of-fit diagnostics.
+struct FitResult {
+  dist::DistributionPtr distribution;
+  std::string family;   ///< "lognormal", "exponential", "empirical"
+  double ks_distance = 0.0;  ///< against the sample ECDF
+};
+
+struct FitterOptions {
+  /// Parametric fits whose KS distance exceeds this fall back to the
+  /// empirical distribution (paper §V-E: real delays often have systematic
+  /// modes no standard family captures).
+  double max_parametric_ks = 0.08;
+  /// Try these families (moment/MLE estimators) before falling back.
+  bool try_lognormal = true;
+  bool try_exponential = true;
+  bool try_gamma = true;
+  size_t empirical_density_bins = 64;
+};
+
+/// Fits a delay distribution to an i.i.d.-assumed sample (the analyzer's
+/// statistical-profile step). Requires a non-empty sample.
+Result<FitResult> FitDelayDistribution(const std::vector<double>& sample,
+                                       const FitterOptions& options = {});
+
+}  // namespace seplsm::analyzer
+
+#endif  // SEPLSM_ANALYZER_FITTER_H_

@@ -1,0 +1,83 @@
+#ifndef SEPLSM_COMMON_BITS_H_
+#define SEPLSM_COMMON_BITS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace seplsm {
+
+/// Appends bits (MSB-first within the stream) to a byte buffer. Used by the
+/// Gorilla-style value compressor in format/.
+class BitWriter {
+ public:
+  explicit BitWriter(std::string* out) : out_(out) {}
+
+  /// Writes the low `count` bits of `bits`, most significant first.
+  void Write(uint64_t bits, int count) {
+    for (int i = count - 1; i >= 0; --i) {
+      current_ = static_cast<uint8_t>((current_ << 1) |
+                                      ((bits >> i) & 1));
+      if (++filled_ == 8) {
+        out_->push_back(static_cast<char>(current_));
+        current_ = 0;
+        filled_ = 0;
+      }
+    }
+  }
+
+  void WriteBit(bool bit) { Write(bit ? 1 : 0, 1); }
+
+  /// Pads the final partial byte with zeros.
+  void Finish() {
+    if (filled_ > 0) {
+      current_ = static_cast<uint8_t>(current_ << (8 - filled_));
+      out_->push_back(static_cast<char>(current_));
+      current_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  std::string* out_;
+  uint8_t current_ = 0;
+  int filled_ = 0;
+};
+
+/// Reads bits written by BitWriter. Returns false on underflow.
+class BitReader {
+ public:
+  explicit BitReader(std::string_view data) : data_(data) {}
+
+  bool Read(int count, uint64_t* bits) {
+    uint64_t value = 0;
+    for (int i = 0; i < count; ++i) {
+      size_t byte = pos_ / 8;
+      if (byte >= data_.size()) return false;
+      int shift = 7 - static_cast<int>(pos_ % 8);
+      value = (value << 1) |
+              ((static_cast<uint8_t>(data_[byte]) >> shift) & 1);
+      ++pos_;
+    }
+    *bits = value;
+    return true;
+  }
+
+  bool ReadBit(bool* bit) {
+    uint64_t v;
+    if (!Read(1, &v)) return false;
+    *bit = v != 0;
+    return true;
+  }
+
+  /// Bits consumed so far.
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace seplsm
+
+#endif  // SEPLSM_COMMON_BITS_H_

@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace seplsm {
+
+SystemClock* SystemClock::Default() {
+  static SystemClock* instance = new SystemClock();
+  return instance;
+}
+
+}  // namespace seplsm

@@ -1,0 +1,50 @@
+#ifndef SEPLSM_COMMON_CLOCK_H_
+#define SEPLSM_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace seplsm {
+
+/// Monotonic time source. The engine only needs relative time (latency
+/// measurement, background scheduling); a `ManualClock` lets tests and the
+/// HDD-latency simulation advance time deterministically.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Nanoseconds since an arbitrary epoch; monotonic non-decreasing.
+  virtual int64_t NowNanos() const = 0;
+
+  int64_t NowMicros() const { return NowNanos() / 1000; }
+};
+
+/// Wraps std::chrono::steady_clock.
+class SystemClock final : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// A process-wide instance (stateless, safe to share).
+  static SystemClock* Default();
+};
+
+/// Deterministic clock advanced explicitly by the caller.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(int64_t start_nanos = 0) : now_(start_nanos) {}
+
+  int64_t NowNanos() const override { return now_; }
+  void AdvanceNanos(int64_t delta) { now_ += delta; }
+  void AdvanceMicros(int64_t delta) { now_ += delta * 1000; }
+
+ private:
+  int64_t now_;
+};
+
+}  // namespace seplsm
+
+#endif  // SEPLSM_COMMON_CLOCK_H_

@@ -1,0 +1,88 @@
+#ifndef SEPLSM_COMMON_CODING_H_
+#define SEPLSM_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace seplsm {
+
+/// Little-endian fixed-width and varint encodings used by the SSTable format.
+/// All Put* functions append to `dst`; all Get* functions consume from the
+/// front of `*input` and return false on underflow/overflow.
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v);
+  buf[1] = static_cast<char>(v >> 8);
+  buf[2] = static_cast<char>(v >> 16);
+  buf[3] = static_cast<char>(v >> 24);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  dst->append(buf, 8);
+}
+
+inline uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;  // assumes little-endian host (x86/arm64 linux)
+}
+
+inline uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline bool GetFixed32(std::string_view* input, uint32_t* v) {
+  if (input->size() < 4) return false;
+  *v = DecodeFixed32(input->data());
+  input->remove_prefix(4);
+  return true;
+}
+
+inline bool GetFixed64(std::string_view* input, uint64_t* v) {
+  if (input->size() < 8) return false;
+  *v = DecodeFixed64(input->data());
+  input->remove_prefix(8);
+  return true;
+}
+
+/// Appends v in LEB128 varint form (1-10 bytes).
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Parses a varint64; returns false on truncation or >10 byte encodings.
+bool GetVarint64(std::string_view* input, uint64_t* v);
+
+/// ZigZag maps signed to unsigned so small-magnitude negatives stay short.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+inline void PutVarint64Signed(std::string* dst, int64_t v) {
+  PutVarint64(dst, ZigZagEncode(v));
+}
+
+inline bool GetVarint64Signed(std::string_view* input, int64_t* v) {
+  uint64_t u;
+  if (!GetVarint64(input, &u)) return false;
+  *v = ZigZagDecode(u);
+  return true;
+}
+
+/// Length-prefixed string.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+}  // namespace seplsm
+
+#endif  // SEPLSM_COMMON_CODING_H_

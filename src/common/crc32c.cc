@@ -1,0 +1,38 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace seplsm::crc32c {
+
+namespace {
+
+// Table-driven software CRC-32C, generated at first use.
+// Polynomial 0x1EDC6F41, reflected form 0x82F63B78.
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256>* table = [] {
+    auto* t = new std::array<uint32_t, 256>();
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+      }
+      (*t)[i] = crc;
+    }
+    return t;
+  }();
+  return *table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const auto& table = Table();
+  uint32_t crc = ~init_crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFF] ^
+          (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace seplsm::crc32c

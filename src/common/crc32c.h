@@ -1,0 +1,30 @@
+#ifndef SEPLSM_COMMON_CRC32C_H_
+#define SEPLSM_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace seplsm::crc32c {
+
+/// Returns the CRC-32C (Castagnoli) of data[0, n), extending `init_crc`.
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+/// CRC-32C of a whole buffer.
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+inline uint32_t Value(std::string_view s) { return Value(s.data(), s.size()); }
+
+/// Masked CRCs are stored in files so that a CRC of data that itself contains
+/// embedded CRCs stays well distributed (same scheme as LevelDB).
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8ul;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace seplsm::crc32c
+
+#endif  // SEPLSM_COMMON_CRC32C_H_

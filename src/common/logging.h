@@ -1,0 +1,43 @@
+#ifndef SEPLSM_COMMON_LOGGING_H_
+#define SEPLSM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace seplsm {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal process-wide logger. Disabled below the configured level;
+/// writes to stderr. Not a substrate of the paper, just operational glue.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void Write(LogLevel level, const std::string& msg);
+};
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Write(level_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define SEPLSM_LOG(level_name)                                           \
+  if (::seplsm::LogLevel::k##level_name >= ::seplsm::Logger::level())    \
+  ::seplsm::log_internal::LogMessage(::seplsm::LogLevel::k##level_name)  \
+      .stream()
+
+}  // namespace seplsm
+
+#endif  // SEPLSM_COMMON_LOGGING_H_

@@ -1,0 +1,38 @@
+#ifndef SEPLSM_COMMON_POINT_H_
+#define SEPLSM_COMMON_POINT_H_
+
+#include <cstdint>
+
+namespace seplsm {
+
+/// A time-series data point (paper Definition 1): `generation_time` is when
+/// the value was produced at the device (the unique key the LSM sorts by),
+/// `arrival_time` is when it reached the database, and `value` is the
+/// payload. delay = arrival_time - generation_time (Definition 2).
+///
+/// Times are integral ticks; the unit (paper: milliseconds) is up to the
+/// workload and only needs to be consistent with the generation interval Δt.
+struct DataPoint {
+  int64_t generation_time = 0;
+  int64_t arrival_time = 0;
+  double value = 0.0;
+
+  int64_t delay() const { return arrival_time - generation_time; }
+
+  friend bool operator==(const DataPoint&, const DataPoint&) = default;
+};
+
+/// Orders points by the LSM key (generation time).
+struct OrderByGenerationTime {
+  bool operator()(const DataPoint& a, const DataPoint& b) const {
+    return a.generation_time < b.generation_time;
+  }
+};
+
+/// Nominal storage footprint of one point; used for byte-level accounting
+/// when comparing against point-level write amplification.
+inline constexpr int64_t kPointNominalBytes = 24;
+
+}  // namespace seplsm
+
+#endif  // SEPLSM_COMMON_POINT_H_

@@ -1,0 +1,52 @@
+#ifndef SEPLSM_COMMON_RANDOM_H_
+#define SEPLSM_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace seplsm {
+
+/// A small, fast, reproducible PRNG (xoshiro256++ seeded via SplitMix64).
+///
+/// All randomized components of the library (workload generators, delay
+/// distributions, reservoir samples) take an explicit `Rng&` so experiments
+/// are reproducible from a single seed.
+class Rng {
+ public:
+  /// Seeds the generator. Two Rng instances with equal seeds produce
+  /// identical streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound). `bound` must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Uniform double in (0, 1) — never exactly zero; safe for log().
+  double NextDoubleOpen();
+
+  /// Standard normal deviate (Box–Muller with caching).
+  double NextGaussian();
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponential deviate with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace seplsm
+
+#endif  // SEPLSM_COMMON_RANDOM_H_

@@ -1,0 +1,76 @@
+#ifndef SEPLSM_COMMON_RESULT_H_
+#define SEPLSM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace seplsm {
+
+/// A value-or-error type: either holds a `T` or a non-OK `Status`.
+///
+/// Usage:
+///   Result<int> r = ParseCount(s);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// assigns the value to `lhs`.
+#define SEPLSM_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto _res_##__LINE__ = (rexpr);                    \
+  if (!_res_##__LINE__.ok()) {                       \
+    return _res_##__LINE__.status();                 \
+  }                                                  \
+  lhs = std::move(_res_##__LINE__).value()
+
+}  // namespace seplsm
+
+#endif  // SEPLSM_COMMON_RESULT_H_

@@ -1,0 +1,113 @@
+#ifndef SEPLSM_COMMON_STATUS_H_
+#define SEPLSM_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace seplsm {
+
+/// Error codes used across the library. The library does not throw; every
+/// fallible operation returns a `Status` (or a `Result<T>`, see result.h).
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kCorruption = 2,
+  kNotSupported = 3,
+  kInvalidArgument = 4,
+  kIOError = 5,
+  kBusy = 6,
+  kAborted = 7,
+  kOutOfRange = 8,
+  kInternal = 9,
+};
+
+/// Returns a human-readable name for `code` ("OK", "IO error", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value in the style of RocksDB/Arrow.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// message. `Status` is cheap to move and copy (copying an error copies the
+/// message string).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory functions, one per code.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = "") {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg = "") {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg = "") {
+    return Status(StatusCode::kNotSupported, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg = "") {
+    return Status(StatusCode::kIOError, msg);
+  }
+  static Status Busy(std::string_view msg = "") {
+    return Status(StatusCode::kBusy, msg);
+  }
+  static Status Aborted(std::string_view msg = "") {
+    return Status(StatusCode::kAborted, msg);
+  }
+  static Status OutOfRange(std::string_view msg = "") {
+    return Status(StatusCode::kOutOfRange, msg);
+  }
+  static Status Internal(std::string_view msg = "") {
+    return Status(StatusCode::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string_view msg)
+      : code_(code), message_(msg) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define SEPLSM_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::seplsm::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+}  // namespace seplsm
+
+#endif  // SEPLSM_COMMON_STATUS_H_

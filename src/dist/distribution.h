@@ -1,0 +1,46 @@
+#ifndef SEPLSM_DIST_DISTRIBUTION_H_
+#define SEPLSM_DIST_DISTRIBUTION_H_
+
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+
+namespace seplsm::dist {
+
+/// A continuous, non-negative delay distribution.
+///
+/// The WA models (paper Eq. 2/3/5) consume the pdf `f` and cdf `F`; the
+/// workload generators consume `Sample`. Delays are expressed in the same
+/// time unit as the generation interval Δt (the paper uses milliseconds).
+class DelayDistribution {
+ public:
+  virtual ~DelayDistribution() = default;
+
+  /// Probability density at x. Zero for x < 0.
+  virtual double Pdf(double x) const = 0;
+
+  /// P(delay <= x). Zero for x < 0, non-decreasing, -> 1.
+  virtual double Cdf(double x) const = 0;
+
+  /// Inverse CDF: smallest x with Cdf(x) >= q, q in (0, 1).
+  virtual double Quantile(double q) const = 0;
+
+  /// Draws one delay.
+  virtual double Sample(Rng& rng) const = 0;
+
+  /// Expected delay; may be +inf for very heavy tails.
+  virtual double Mean() const = 0;
+
+  /// Human-readable description, e.g. "lognormal(mu=5, sigma=2)".
+  virtual std::string Name() const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<DelayDistribution> Clone() const = 0;
+};
+
+using DistributionPtr = std::unique_ptr<DelayDistribution>;
+
+}  // namespace seplsm::dist
+
+#endif  // SEPLSM_DIST_DISTRIBUTION_H_

@@ -1,0 +1,109 @@
+#include "dist/empirical.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace seplsm::dist {
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples,
+                                             size_t density_bins) {
+  assert(!samples.empty());
+  for (double& s : samples) s = std::max(s, 0.0);
+  std::sort(samples.begin(), samples.end());
+  n_ = samples.size();
+  mean_ = std::accumulate(samples.begin(), samples.end(), 0.0) /
+          static_cast<double>(n_);
+
+  // Continuous CDF through the order statistics: F(x_(i)) = i/n, anchored
+  // at zero mass just below the minimum so no probability is invented
+  // beneath the observed range.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(n_ + 1);
+  ys.reserve(n_ + 1);
+  {
+    double span = samples.back() - samples.front();
+    double anchor_gap = std::max(span * 1e-9, 1e-9);
+    xs.push_back(samples.front() - anchor_gap);
+    ys.push_back(0.0);
+  }
+  for (size_t i = 0; i < n_; ++i) {
+    // Collapse duplicate x knots: keep the highest y.
+    double y = static_cast<double>(i + 1) / static_cast<double>(n_);
+    if (!xs.empty() && xs.back() == samples[i]) {
+      ys.back() = y;
+    } else {
+      xs.push_back(samples[i]);
+      ys.push_back(y);
+    }
+  }
+  cdf_ = numeric::LinearInterpolator(std::move(xs), std::move(ys));
+
+  // Equal-mass histogram density: each of `density_bins` bins holds the same
+  // probability mass, so bins are narrow where data are dense.
+  density_bins = std::min(density_bins, n_);
+  density_bins = std::max<size_t>(density_bins, 1);
+  density_edges_.clear();
+  density_values_.clear();
+  double prev_edge = samples.front();
+  density_edges_.push_back(prev_edge);
+  for (size_t b = 1; b <= density_bins; ++b) {
+    size_t idx = std::min(n_ - 1, b * n_ / density_bins - 1);
+    double edge = samples[idx];
+    if (edge <= prev_edge) continue;  // skip zero-width bins (duplicates)
+    density_edges_.push_back(edge);
+    prev_edge = edge;
+  }
+  // Compute densities from the CDF so skipped bins stay consistent.
+  for (size_t i = 0; i + 1 < density_edges_.size(); ++i) {
+    double lo = density_edges_[i];
+    double hi = density_edges_[i + 1];
+    double mass = cdf_(hi) - cdf_(lo);
+    density_values_.push_back(mass / (hi - lo));
+  }
+  if (density_values_.empty()) {
+    // All samples equal: approximate a narrow uniform spike.
+    double c = samples.front();
+    double w = std::max(1e-9, std::fabs(c) * 1e-6 + 1e-9);
+    density_edges_ = {c - w / 2, c + w / 2};
+    density_values_ = {1.0 / w};
+  }
+}
+
+double EmpiricalDistribution::Pdf(double x) const {
+  if (x < density_edges_.front() || x >= density_edges_.back()) return 0.0;
+  auto it = std::upper_bound(density_edges_.begin(), density_edges_.end(), x);
+  size_t i = static_cast<size_t>(it - density_edges_.begin());
+  if (i == 0) return 0.0;
+  return density_values_[i - 1];
+}
+
+double EmpiricalDistribution::Cdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return cdf_(x);
+}
+
+double EmpiricalDistribution::Quantile(double q) const {
+  // Delays are non-negative; the sub-minimum anchor knot can dip slightly
+  // below zero when the minimum is zero.
+  return std::max(0.0, cdf_.Inverse(q));
+}
+
+double EmpiricalDistribution::Sample(Rng& rng) const {
+  return Quantile(rng.NextDoubleOpen());
+}
+
+std::string EmpiricalDistribution::Name() const {
+  std::ostringstream out;
+  out << "empirical(n=" << n_ << ", mean=" << mean_ << ")";
+  return out.str();
+}
+
+DistributionPtr EmpiricalDistribution::Clone() const {
+  return std::make_unique<EmpiricalDistribution>(*this);
+}
+
+}  // namespace seplsm::dist

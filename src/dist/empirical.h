@@ -1,0 +1,46 @@
+#ifndef SEPLSM_DIST_EMPIRICAL_H_
+#define SEPLSM_DIST_EMPIRICAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "numeric/interpolation.h"
+
+namespace seplsm::dist {
+
+/// Delay distribution estimated from observed samples.
+///
+/// The delay analyzer builds one of these when no parametric family fits the
+/// collected delays (paper §VI: real-world delays have systematic modes).
+/// The CDF interpolates linearly between order statistics (a continuous
+/// approximation of the ECDF); the PDF is a normalized equal-mass histogram
+/// density derived from the same order statistics.
+class EmpiricalDistribution final : public DelayDistribution {
+ public:
+  /// `samples` must be non-empty; negative values are clamped to 0.
+  explicit EmpiricalDistribution(std::vector<double> samples,
+                                 size_t density_bins = 64);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double q) const override;
+  double Sample(Rng& rng) const override;
+  double Mean() const override { return mean_; }
+  std::string Name() const override;
+  DistributionPtr Clone() const override;
+
+  size_t sample_size() const { return n_; }
+
+ private:
+  size_t n_;
+  double mean_;
+  numeric::LinearInterpolator cdf_;       // x -> F(x)
+  std::vector<double> density_edges_;     // bin edges for the pdf
+  std::vector<double> density_values_;    // density per bin
+};
+
+}  // namespace seplsm::dist
+
+#endif  // SEPLSM_DIST_EMPIRICAL_H_

@@ -1,0 +1,35 @@
+#ifndef SEPLSM_DIST_GAMMA_H_
+#define SEPLSM_DIST_GAMMA_H_
+
+#include <memory>
+#include <string>
+
+#include "dist/distribution.h"
+
+namespace seplsm::dist {
+
+/// Gamma delay with shape k and scale θ (mean kθ). Models multi-hop
+/// transmission delays (a sum of k exponential hops).
+class GammaDistribution final : public DelayDistribution {
+ public:
+  GammaDistribution(double shape, double scale);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double q) const override;
+  double Sample(Rng& rng) const override;
+  double Mean() const override { return shape_ * scale_; }
+  std::string Name() const override;
+  DistributionPtr Clone() const override;
+
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace seplsm::dist
+
+#endif  // SEPLSM_DIST_GAMMA_H_

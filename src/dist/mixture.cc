@@ -1,0 +1,99 @@
+#include "dist/mixture.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace seplsm::dist {
+
+MixtureDistribution::MixtureDistribution(std::vector<Component> components)
+    : components_(std::move(components)) {
+  assert(!components_.empty());
+  double total = 0.0;
+  for (const auto& c : components_) {
+    assert(c.weight > 0.0 && c.distribution != nullptr);
+    total += c.weight;
+  }
+  for (auto& c : components_) c.weight /= total;
+}
+
+double MixtureDistribution::Pdf(double x) const {
+  double p = 0.0;
+  for (const auto& c : components_) p += c.weight * c.distribution->Pdf(x);
+  return p;
+}
+
+double MixtureDistribution::Cdf(double x) const {
+  double p = 0.0;
+  for (const auto& c : components_) p += c.weight * c.distribution->Cdf(x);
+  return p;
+}
+
+double MixtureDistribution::Quantile(double q) const {
+  // Bisection on the mixture CDF between the min/max component quantiles.
+  double lo = components_[0].distribution->Quantile(q);
+  double hi = lo;
+  for (const auto& c : components_) {
+    double cq = c.distribution->Quantile(q);
+    lo = std::min(lo, cq);
+    hi = std::max(hi, cq);
+  }
+  if (hi - lo < 1e-12) return lo;
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (Cdf(mid) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-9 * std::max(1.0, hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double MixtureDistribution::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  double cum = 0.0;
+  for (const auto& c : components_) {
+    cum += c.weight;
+    if (u < cum) return c.distribution->Sample(rng);
+  }
+  return components_.back().distribution->Sample(rng);
+}
+
+double MixtureDistribution::Mean() const {
+  double m = 0.0;
+  for (const auto& c : components_) m += c.weight * c.distribution->Mean();
+  return m;
+}
+
+std::string MixtureDistribution::Name() const {
+  std::ostringstream out;
+  out << "mixture(";
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out << " + ";
+    out << components_[i].weight << "*" << components_[i].distribution->Name();
+  }
+  out << ")";
+  return out.str();
+}
+
+DistributionPtr MixtureDistribution::Clone() const {
+  std::vector<Component> copy;
+  copy.reserve(components_.size());
+  for (const auto& c : components_) {
+    copy.push_back({c.weight, c.distribution->Clone()});
+  }
+  return std::make_unique<MixtureDistribution>(std::move(copy));
+}
+
+DistributionPtr MakeMixture(double w1, DistributionPtr d1, double w2,
+                            DistributionPtr d2) {
+  std::vector<MixtureDistribution::Component> cs;
+  cs.push_back({w1, std::move(d1)});
+  cs.push_back({w2, std::move(d2)});
+  return std::make_unique<MixtureDistribution>(std::move(cs));
+}
+
+}  // namespace seplsm::dist

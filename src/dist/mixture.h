@@ -1,0 +1,49 @@
+#ifndef SEPLSM_DIST_MIXTURE_H_
+#define SEPLSM_DIST_MIXTURE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace seplsm::dist {
+
+/// Finite mixture of delay distributions. The simulated S-9 dataset is a
+/// lognormal body plus a heavy Pareto tail; the simulated H dataset mixes an
+/// "online" mode with a "buffered re-send" mode (see DESIGN.md §4).
+class MixtureDistribution final : public DelayDistribution {
+ public:
+  struct Component {
+    double weight;
+    DistributionPtr distribution;
+  };
+
+  /// Weights must be positive; they are normalized internally.
+  explicit MixtureDistribution(std::vector<Component> components);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double q) const override;
+  double Sample(Rng& rng) const override;
+  double Mean() const override;
+  std::string Name() const override;
+  DistributionPtr Clone() const override;
+
+  size_t num_components() const { return components_.size(); }
+  double weight(size_t i) const { return components_[i].weight; }
+  const DelayDistribution& component(size_t i) const {
+    return *components_[i].distribution;
+  }
+
+ private:
+  std::vector<Component> components_;
+};
+
+/// Convenience builder: two-component mixture.
+DistributionPtr MakeMixture(double w1, DistributionPtr d1, double w2,
+                            DistributionPtr d2);
+
+}  // namespace seplsm::dist
+
+#endif  // SEPLSM_DIST_MIXTURE_H_

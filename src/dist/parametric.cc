@@ -1,0 +1,289 @@
+#include "dist/parametric.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace seplsm::dist {
+
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+constexpr double kSqrt2Pi = 2.5066282746310002;
+
+std::string FormatParams(const char* name,
+                         std::initializer_list<std::pair<const char*, double>>
+                             params) {
+  std::ostringstream out;
+  out << name << "(";
+  bool first = true;
+  for (const auto& [k, v] : params) {
+    if (!first) out << ", ";
+    out << k << "=" << v;
+    first = false;
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace
+
+double StdNormalCdf(double z) { return 0.5 * std::erfc(-z / kSqrt2); }
+
+double StdNormalQuantile(double p) {
+  // Acklam's rational approximation, |relative error| < 1.15e-9.
+  assert(p > 0.0 && p < 1.0);
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  const double phigh = 1 - plow;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > phigh) {
+    q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+// ---------------------------------------------------------------- Lognormal
+
+LognormalDistribution::LognormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  assert(sigma > 0.0);
+}
+
+double LognormalDistribution::Pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (x * sigma_ * kSqrt2Pi);
+}
+
+double LognormalDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return StdNormalCdf((std::log(x) - mu_) / sigma_);
+}
+
+double LognormalDistribution::Quantile(double q) const {
+  return std::exp(mu_ + sigma_ * StdNormalQuantile(q));
+}
+
+double LognormalDistribution::Sample(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * rng.NextGaussian());
+}
+
+double LognormalDistribution::Mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+std::string LognormalDistribution::Name() const {
+  return FormatParams("lognormal", {{"mu", mu_}, {"sigma", sigma_}});
+}
+
+DistributionPtr LognormalDistribution::Clone() const {
+  return std::make_unique<LognormalDistribution>(mu_, sigma_);
+}
+
+// -------------------------------------------------------------- Exponential
+
+ExponentialDistribution::ExponentialDistribution(double mean) : mean_(mean) {
+  assert(mean > 0.0);
+}
+
+double ExponentialDistribution::Pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return std::exp(-x / mean_) / mean_;
+}
+
+double ExponentialDistribution::Cdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return 1.0 - std::exp(-x / mean_);
+}
+
+double ExponentialDistribution::Quantile(double q) const {
+  return -mean_ * std::log1p(-q);
+}
+
+double ExponentialDistribution::Sample(Rng& rng) const {
+  return rng.NextExponential(1.0 / mean_);
+}
+
+std::string ExponentialDistribution::Name() const {
+  return FormatParams("exponential", {{"mean", mean_}});
+}
+
+DistributionPtr ExponentialDistribution::Clone() const {
+  return std::make_unique<ExponentialDistribution>(mean_);
+}
+
+// ------------------------------------------------------------------ Uniform
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi) {
+  assert(lo >= 0.0 && hi > lo);
+}
+
+double UniformDistribution::Pdf(double x) const {
+  if (x < lo_ || x > hi_) return 0.0;
+  return 1.0 / (hi_ - lo_);
+}
+
+double UniformDistribution::Cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double UniformDistribution::Quantile(double q) const {
+  return lo_ + q * (hi_ - lo_);
+}
+
+double UniformDistribution::Sample(Rng& rng) const {
+  return lo_ + rng.NextDouble() * (hi_ - lo_);
+}
+
+std::string UniformDistribution::Name() const {
+  return FormatParams("uniform", {{"lo", lo_}, {"hi", hi_}});
+}
+
+DistributionPtr UniformDistribution::Clone() const {
+  return std::make_unique<UniformDistribution>(lo_, hi_);
+}
+
+// ------------------------------------------------------------------- Pareto
+
+ParetoDistribution::ParetoDistribution(double scale, double shape)
+    : scale_(scale), shape_(shape) {
+  assert(scale > 0.0 && shape > 0.0);
+}
+
+double ParetoDistribution::Pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return shape_ / scale_ * std::pow(scale_ / (x + scale_), shape_ + 1.0);
+}
+
+double ParetoDistribution::Cdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return 1.0 - std::pow(scale_ / (x + scale_), shape_);
+}
+
+double ParetoDistribution::Quantile(double q) const {
+  return scale_ * (std::pow(1.0 - q, -1.0 / shape_) - 1.0);
+}
+
+double ParetoDistribution::Sample(Rng& rng) const {
+  return Quantile(rng.NextDoubleOpen());
+}
+
+double ParetoDistribution::Mean() const {
+  if (shape_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return scale_ / (shape_ - 1.0);
+}
+
+std::string ParetoDistribution::Name() const {
+  return FormatParams("pareto", {{"scale", scale_}, {"shape", shape_}});
+}
+
+DistributionPtr ParetoDistribution::Clone() const {
+  return std::make_unique<ParetoDistribution>(scale_, shape_);
+}
+
+// ------------------------------------------------------------------ Weibull
+
+WeibullDistribution::WeibullDistribution(double scale, double shape)
+    : scale_(scale), shape_(shape) {
+  assert(scale > 0.0 && shape > 0.0);
+}
+
+double WeibullDistribution::Pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) return shape_ >= 1.0 ? (shape_ == 1.0 ? 1.0 / scale_ : 0.0)
+                                     : std::numeric_limits<double>::infinity();
+  double t = x / scale_;
+  return shape_ / scale_ * std::pow(t, shape_ - 1.0) *
+         std::exp(-std::pow(t, shape_));
+}
+
+double WeibullDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(x / scale_, shape_));
+}
+
+double WeibullDistribution::Quantile(double q) const {
+  return scale_ * std::pow(-std::log1p(-q), 1.0 / shape_);
+}
+
+double WeibullDistribution::Sample(Rng& rng) const {
+  return Quantile(rng.NextDouble());
+}
+
+double WeibullDistribution::Mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+std::string WeibullDistribution::Name() const {
+  return FormatParams("weibull", {{"scale", scale_}, {"shape", shape_}});
+}
+
+DistributionPtr WeibullDistribution::Clone() const {
+  return std::make_unique<WeibullDistribution>(scale_, shape_);
+}
+
+// --------------------------------------------------------------- Point mass
+
+PointMassDistribution::PointMassDistribution(double value) : value_(value) {
+  assert(value >= 0.0);
+}
+
+double PointMassDistribution::Pdf(double x) const {
+  // Dirac mass has no density; callers integrating against Pdf should treat
+  // a point mass via its CDF. We return 0 everywhere for safety.
+  (void)x;
+  return 0.0;
+}
+
+double PointMassDistribution::Cdf(double x) const {
+  return x >= value_ ? 1.0 : 0.0;
+}
+
+double PointMassDistribution::Quantile(double q) const {
+  (void)q;
+  return value_;
+}
+
+double PointMassDistribution::Sample(Rng& rng) const {
+  (void)rng;
+  return value_;
+}
+
+std::string PointMassDistribution::Name() const {
+  return FormatParams("point_mass", {{"value", value_}});
+}
+
+DistributionPtr PointMassDistribution::Clone() const {
+  return std::make_unique<PointMassDistribution>(value_);
+}
+
+}  // namespace seplsm::dist

@@ -1,0 +1,130 @@
+#ifndef SEPLSM_DIST_PARAMETRIC_H_
+#define SEPLSM_DIST_PARAMETRIC_H_
+
+#include <memory>
+#include <string>
+
+#include "dist/distribution.h"
+
+namespace seplsm::dist {
+
+/// Lognormal delay: ln(delay) ~ N(mu, sigma^2). The paper's synthetic
+/// datasets (Table II) all use lognormal delays.
+class LognormalDistribution final : public DelayDistribution {
+ public:
+  LognormalDistribution(double mu, double sigma);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double q) const override;
+  double Sample(Rng& rng) const override;
+  double Mean() const override;
+  std::string Name() const override;
+  DistributionPtr Clone() const override;
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Exponential delay with the given mean.
+class ExponentialDistribution final : public DelayDistribution {
+ public:
+  explicit ExponentialDistribution(double mean);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double q) const override;
+  double Sample(Rng& rng) const override;
+  double Mean() const override { return mean_; }
+  std::string Name() const override;
+  DistributionPtr Clone() const override;
+
+ private:
+  double mean_;
+};
+
+/// Uniform delay on [lo, hi], 0 <= lo < hi.
+class UniformDistribution final : public DelayDistribution {
+ public:
+  UniformDistribution(double lo, double hi);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double q) const override;
+  double Sample(Rng& rng) const override;
+  double Mean() const override { return 0.5 * (lo_ + hi_); }
+  std::string Name() const override;
+  DistributionPtr Clone() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Pareto (Lomax form): P(delay > x) = (scale / (x + scale))^shape.
+/// Heavy tail used in the simulated S-9 dataset.
+class ParetoDistribution final : public DelayDistribution {
+ public:
+  ParetoDistribution(double scale, double shape);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double q) const override;
+  double Sample(Rng& rng) const override;
+  double Mean() const override;
+  std::string Name() const override;
+  DistributionPtr Clone() const override;
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+/// Weibull delay with scale lambda and shape k.
+class WeibullDistribution final : public DelayDistribution {
+ public:
+  WeibullDistribution(double scale, double shape);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double q) const override;
+  double Sample(Rng& rng) const override;
+  double Mean() const override;
+  std::string Name() const override;
+  DistributionPtr Clone() const override;
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+/// Degenerate distribution: every delay equals `value` (models a fixed
+/// transmission latency; CDF is a step).
+class PointMassDistribution final : public DelayDistribution {
+ public:
+  explicit PointMassDistribution(double value);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double q) const override;
+  double Sample(Rng& rng) const override;
+  double Mean() const override { return value_; }
+  std::string Name() const override;
+  DistributionPtr Clone() const override;
+
+ private:
+  double value_;
+};
+
+/// Standard normal CDF helper (shared by lognormal and fitters).
+double StdNormalCdf(double z);
+/// Inverse standard normal CDF (Acklam's rational approximation).
+double StdNormalQuantile(double p);
+
+}  // namespace seplsm::dist
+
+#endif  // SEPLSM_DIST_PARAMETRIC_H_

@@ -1,0 +1,50 @@
+#include "dist/shifted.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace seplsm::dist {
+
+ShiftedScaledDistribution::ShiftedScaledDistribution(DistributionPtr base,
+                                                     double offset,
+                                                     double scale)
+    : base_(std::move(base)), offset_(offset), scale_(scale) {
+  assert(base_ != nullptr);
+  assert(offset >= 0.0 && scale > 0.0);
+}
+
+double ShiftedScaledDistribution::Pdf(double x) const {
+  if (x < offset_) return 0.0;
+  return base_->Pdf((x - offset_) / scale_) / scale_;
+}
+
+double ShiftedScaledDistribution::Cdf(double x) const {
+  if (x < offset_) return 0.0;
+  return base_->Cdf((x - offset_) / scale_);
+}
+
+double ShiftedScaledDistribution::Quantile(double q) const {
+  return offset_ + scale_ * base_->Quantile(q);
+}
+
+double ShiftedScaledDistribution::Sample(Rng& rng) const {
+  return offset_ + scale_ * base_->Sample(rng);
+}
+
+double ShiftedScaledDistribution::Mean() const {
+  return offset_ + scale_ * base_->Mean();
+}
+
+std::string ShiftedScaledDistribution::Name() const {
+  std::ostringstream out;
+  out << "shifted(offset=" << offset_ << ", scale=" << scale_ << ", "
+      << base_->Name() << ")";
+  return out.str();
+}
+
+DistributionPtr ShiftedScaledDistribution::Clone() const {
+  return std::make_unique<ShiftedScaledDistribution>(base_->Clone(), offset_,
+                                                     scale_);
+}
+
+}  // namespace seplsm::dist

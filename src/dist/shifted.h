@@ -1,0 +1,34 @@
+#ifndef SEPLSM_DIST_SHIFTED_H_
+#define SEPLSM_DIST_SHIFTED_H_
+
+#include <memory>
+#include <string>
+
+#include "dist/distribution.h"
+
+namespace seplsm::dist {
+
+/// delay = offset + scale * base_delay. Models a fixed propagation latency
+/// plus a scaled random component.
+class ShiftedScaledDistribution final : public DelayDistribution {
+ public:
+  ShiftedScaledDistribution(DistributionPtr base, double offset,
+                            double scale = 1.0);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double q) const override;
+  double Sample(Rng& rng) const override;
+  double Mean() const override;
+  std::string Name() const override;
+  DistributionPtr Clone() const override;
+
+ private:
+  DistributionPtr base_;
+  double offset_;
+  double scale_;
+};
+
+}  // namespace seplsm::dist
+
+#endif  // SEPLSM_DIST_SHIFTED_H_

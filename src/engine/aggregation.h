@@ -1,0 +1,56 @@
+#ifndef SEPLSM_ENGINE_AGGREGATION_H_
+#define SEPLSM_ENGINE_AGGREGATION_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/point.h"
+
+namespace seplsm::engine {
+
+/// Aggregates over a generation-time range (the dashboards of the paper's
+/// §VI deployment mostly read min/max/avg per window, not raw points).
+struct Aggregates {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  int64_t first_time = 0;  ///< earliest generation time in range
+  int64_t last_time = 0;   ///< latest generation time in range
+  double first_value = 0.0;
+  double last_value = 0.0;
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
+  void Accumulate(const DataPoint& p) {
+    if (count == 0) {
+      first_time = p.generation_time;
+      first_value = p.value;
+    }
+    last_time = p.generation_time;
+    last_value = p.value;
+    ++count;
+    sum += p.value;
+    if (p.value < min) min = p.value;
+    if (p.value > max) max = p.value;
+  }
+};
+
+/// One bucket of a GROUP-BY-time downsampling query.
+struct TimeBucket {
+  int64_t bucket_start = 0;  ///< inclusive
+  int64_t bucket_end = 0;    ///< exclusive
+  Aggregates aggregates;
+};
+
+/// Folds sorted points into fixed-width buckets aligned to `lo`.
+/// Buckets with no points are omitted. `width` must be positive.
+std::vector<TimeBucket> BucketizePoints(const std::vector<DataPoint>& sorted,
+                                        int64_t lo, int64_t hi, int64_t width);
+
+}  // namespace seplsm::engine
+
+#endif  // SEPLSM_ENGINE_AGGREGATION_H_

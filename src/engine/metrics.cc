@@ -1,0 +1,22 @@
+#include "engine/metrics.h"
+
+#include <sstream>
+
+namespace seplsm::engine {
+
+std::string Metrics::ToString() const {
+  std::ostringstream out;
+  out << "ingested=" << points_ingested << " flushed=" << points_flushed
+      << " rewritten=" << points_rewritten
+      << " WA=" << WriteAmplification() << " flushes=" << flush_count
+      << " merges=" << merge_count << " files_created=" << files_created
+      << " files_deleted=" << files_deleted << " bytes=" << bytes_written;
+  if (queries > 0) {
+    out << " | queries=" << queries << " returned=" << points_returned
+        << " scanned=" << disk_points_scanned
+        << " RA=" << ReadAmplification();
+  }
+  return out.str();
+}
+
+}  // namespace seplsm::engine

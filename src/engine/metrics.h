@@ -1,0 +1,94 @@
+#ifndef SEPLSM_ENGINE_METRICS_H_
+#define SEPLSM_ENGINE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seplsm::engine {
+
+/// One compaction of buffered points into the run.
+struct MergeEvent {
+  uint64_t buffered_points = 0;        ///< points coming from memory
+  uint64_t disk_points_rewritten = 0;  ///< whole-SSTable rewrite granularity
+  /// Subsequent data points among the rewritten ones (Definition 4: disk
+  /// points generated later than some buffered point). This is what ζ(n)
+  /// estimates; `disk_points_rewritten` exceeds it by at most one partial
+  /// boundary SSTable (paper §III).
+  uint64_t disk_points_subsequent = 0;
+  uint64_t output_points = 0;
+  uint64_t input_files = 0;
+  uint64_t output_files = 0;
+};
+
+/// Per-query statistics (read amplification inputs, Fig. 12).
+struct QueryStats {
+  uint64_t points_returned = 0;
+  uint64_t disk_points_scanned = 0;  ///< points decoded from disk blocks
+  uint64_t files_opened = 0;
+  uint64_t memtable_points = 0;
+
+  /// scanned / returned; 0 when nothing was returned.
+  double ReadAmplification() const {
+    return points_returned == 0
+               ? 0.0
+               : static_cast<double>(disk_points_scanned) /
+                     static_cast<double>(points_returned);
+  }
+};
+
+/// Cumulative engine counters. Points are the unit of the paper's WA
+/// definition; bytes are tracked in parallel for completeness.
+struct Metrics {
+  // Write path.
+  uint64_t points_ingested = 0;
+  uint64_t points_flushed = 0;    ///< memory -> disk
+  uint64_t points_rewritten = 0;  ///< disk -> disk (compaction)
+  uint64_t bytes_written = 0;
+  uint64_t flush_count = 0;
+  uint64_t merge_count = 0;
+  uint64_t files_created = 0;
+  uint64_t files_deleted = 0;
+  uint64_t wal_records = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_checkpoints = 0;
+
+  // Read path (sums of QueryStats).
+  uint64_t queries = 0;
+  uint64_t points_returned = 0;
+  uint64_t disk_points_scanned = 0;
+  uint64_t query_files_opened = 0;
+
+  std::vector<MergeEvent> merge_events;
+
+  /// Cumulative (flushed + rewritten) after each ingest batch, when
+  /// Options::record_wa_timeline is set.
+  std::vector<uint64_t> wa_timeline;
+
+  uint64_t points_written_total() const {
+    return points_flushed + points_rewritten;
+  }
+
+  /// The paper's WA: total points physically written / points ingested.
+  /// (Data still buffered in memory have not been written yet; call
+  /// TsEngine::FlushAll() first for an end-of-workload figure.)
+  double WriteAmplification() const {
+    return points_ingested == 0
+               ? 0.0
+               : static_cast<double>(points_written_total()) /
+                     static_cast<double>(points_ingested);
+  }
+
+  double ReadAmplification() const {
+    return points_returned == 0
+               ? 0.0
+               : static_cast<double>(disk_points_scanned) /
+                     static_cast<double>(points_returned);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace seplsm::engine
+
+#endif  // SEPLSM_ENGINE_METRICS_H_

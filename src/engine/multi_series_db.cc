@@ -1,0 +1,203 @@
+#include "engine/multi_series_db.h"
+
+#include <cctype>
+
+namespace seplsm::engine {
+
+namespace {
+
+bool IsSafeChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string MultiSeriesDB::EscapeSeriesName(const std::string& series) {
+  std::string out = "s_";  // prefix so nothing collides with engine files
+  for (char c : series) {
+    if (IsSafeChar(c) && c != '%') {
+      out += c;
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+Result<std::string> MultiSeriesDB::UnescapeSeriesName(
+    const std::string& escaped) {
+  if (escaped.rfind("s_", 0) != 0) {
+    return Status::InvalidArgument(escaped + ": not a series directory");
+  }
+  std::string out;
+  for (size_t i = 2; i < escaped.size(); ++i) {
+    if (escaped[i] == '%') {
+      if (i + 2 >= escaped.size()) {
+        return Status::Corruption(escaped + ": truncated escape");
+      }
+      int hi = HexValue(escaped[i + 1]);
+      int lo = HexValue(escaped[i + 2]);
+      if (hi < 0 || lo < 0) {
+        return Status::Corruption(escaped + ": bad escape");
+      }
+      out += static_cast<char>(hi * 16 + lo);
+      i += 2;
+    } else {
+      out += escaped[i];
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<MultiSeriesDB>> MultiSeriesDB::Open(
+    MultiOptions options) {
+  if (options.base.dir.empty()) {
+    return Status::InvalidArgument("MultiOptions::base.dir must be set");
+  }
+  SEPLSM_RETURN_IF_ERROR(
+      options.base.env->CreateDirIfMissing(options.base.dir));
+  std::unique_ptr<MultiSeriesDB> db(new MultiSeriesDB(std::move(options)));
+
+  // Recover existing series: every "s_*" child directory.
+  std::vector<std::string> children;
+  // A flat Env has no directory listing of directories; we detect series by
+  // listing the root and re-opening anything that unescapes. PosixEnv lists
+  // directories as children too; MemEnv needs the probe below.
+  Status st = db->options_.base.env->ListDir(db->options_.base.dir, &children);
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lock(db->mutex_);
+    for (const auto& child : children) {
+      auto name = UnescapeSeriesName(child);
+      if (!name.ok()) continue;  // unrelated file
+      Series* series = nullptr;
+      SEPLSM_RETURN_IF_ERROR(db->OpenSeriesLocked(*name, &series));
+    }
+  }
+  return db;
+}
+
+Status MultiSeriesDB::OpenSeriesLocked(const std::string& series,
+                                       Series** out) {
+  auto it = series_.find(series);
+  if (it == series_.end()) {
+    Options options = options_.base;
+    options.dir =
+        options_.base.dir + "/" + EscapeSeriesName(series);
+    auto engine = TsEngine::Open(std::move(options));
+    if (!engine.ok()) return engine.status();
+    Series entry;
+    entry.engine = std::move(engine).value();
+    if (options_.adaptive) {
+      entry.controller = std::make_unique<analyzer::AdaptiveController>(
+          entry.engine.get(), options_.adaptive_options);
+    }
+    it = series_.emplace(series, std::move(entry)).first;
+  }
+  *out = &it->second;
+  return Status::OK();
+}
+
+Status MultiSeriesDB::Append(const std::string& series,
+                             const DataPoint& point) {
+  Series* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SEPLSM_RETURN_IF_ERROR(OpenSeriesLocked(series, &entry));
+  }
+  if (entry->controller != nullptr) {
+    SEPLSM_RETURN_IF_ERROR(entry->controller->Observe(point));
+  }
+  return entry->engine->Append(point);
+}
+
+Status MultiSeriesDB::Query(const std::string& series, int64_t lo, int64_t hi,
+                            std::vector<DataPoint>* out, QueryStats* stats) {
+  Series* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = series_.find(series);
+    if (it == series_.end()) {
+      return Status::NotFound("series " + series);
+    }
+    entry = &it->second;
+  }
+  return entry->engine->Query(lo, hi, out, stats);
+}
+
+Status MultiSeriesDB::FlushAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : series_) {
+    (void)name;
+    SEPLSM_RETURN_IF_ERROR(entry.engine->FlushAll());
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> MultiSeriesDB::ListSeries() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, entry] : series_) {
+    (void)entry;
+    out.push_back(name);
+  }
+  return out;
+}
+
+size_t MultiSeriesDB::series_count() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+Result<Metrics> MultiSeriesDB::GetSeriesMetrics(const std::string& series) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = series_.find(series);
+  if (it == series_.end()) return Status::NotFound("series " + series);
+  return it->second.engine->GetMetrics();
+}
+
+Metrics MultiSeriesDB::GetAggregateMetrics() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Metrics total;
+  for (auto& [name, entry] : series_) {
+    (void)name;
+    Metrics m = entry.engine->GetMetrics();
+    total.points_ingested += m.points_ingested;
+    total.points_flushed += m.points_flushed;
+    total.points_rewritten += m.points_rewritten;
+    total.bytes_written += m.bytes_written;
+    total.flush_count += m.flush_count;
+    total.merge_count += m.merge_count;
+    total.files_created += m.files_created;
+    total.files_deleted += m.files_deleted;
+    total.wal_records += m.wal_records;
+    total.wal_bytes += m.wal_bytes;
+    total.wal_checkpoints += m.wal_checkpoints;
+    total.queries += m.queries;
+    total.points_returned += m.points_returned;
+    total.disk_points_scanned += m.disk_points_scanned;
+    total.query_files_opened += m.query_files_opened;
+  }
+  return total;
+}
+
+Result<PolicyConfig> MultiSeriesDB::GetSeriesPolicy(
+    const std::string& series) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = series_.find(series);
+  if (it == series_.end()) return Status::NotFound("series " + series);
+  return it->second.engine->options().policy;
+}
+
+}  // namespace seplsm::engine

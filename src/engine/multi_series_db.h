@@ -1,0 +1,81 @@
+#ifndef SEPLSM_ENGINE_MULTI_SERIES_DB_H_
+#define SEPLSM_ENGINE_MULTI_SERIES_DB_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analyzer/adaptive_controller.h"
+#include "common/point.h"
+#include "common/result.h"
+#include "engine/ts_engine.h"
+
+namespace seplsm::engine {
+
+/// A database of many independent time series (the paper's deployment
+/// stores >2000 series per vehicle). Each series gets its own `TsEngine`
+/// in a sub-directory of `Options::dir` and, optionally, its own
+/// `AdaptiveController` so the separation decision is made per series —
+/// delays differ per sensor, so one policy rarely fits all.
+///
+/// Thread-safe; per-series operations run under the series engine's own
+/// synchronization.
+class MultiSeriesDB {
+ public:
+  struct MultiOptions {
+    Options base;  ///< template for every series (dir = root directory)
+    /// Attach an AdaptiveController per series (π_adaptive).
+    bool adaptive = false;
+    analyzer::AdaptiveController::Options adaptive_options;
+  };
+
+  /// Opens the root directory and recovers every existing series.
+  static Result<std::unique_ptr<MultiSeriesDB>> Open(MultiOptions options);
+
+  /// Writes one point; creates the series on first use. Series ids may use
+  /// any characters (escaped on disk).
+  Status Append(const std::string& series, const DataPoint& point);
+
+  /// Range query on one series.
+  Status Query(const std::string& series, int64_t lo, int64_t hi,
+               std::vector<DataPoint>* out, QueryStats* stats = nullptr);
+
+  /// Drains every series.
+  Status FlushAll();
+
+  std::vector<std::string> ListSeries();
+  size_t series_count();
+
+  /// Per-series metrics; NotFound for unknown series.
+  Result<Metrics> GetSeriesMetrics(const std::string& series);
+
+  /// Sum of all per-series counters (merge events are not aggregated).
+  Metrics GetAggregateMetrics();
+
+  /// The policy currently in effect for a series (useful with adaptive
+  /// mode); NotFound for unknown series.
+  Result<PolicyConfig> GetSeriesPolicy(const std::string& series);
+
+ private:
+  struct Series {
+    std::unique_ptr<TsEngine> engine;
+    std::unique_ptr<analyzer::AdaptiveController> controller;
+  };
+
+  explicit MultiSeriesDB(MultiOptions options)
+      : options_(std::move(options)) {}
+
+  Status OpenSeriesLocked(const std::string& series, Series** out);
+  static std::string EscapeSeriesName(const std::string& series);
+  static Result<std::string> UnescapeSeriesName(const std::string& escaped);
+
+  MultiOptions options_;
+  std::mutex mutex_;  // guards the series map only
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace seplsm::engine
+
+#endif  // SEPLSM_ENGINE_MULTI_SERIES_DB_H_

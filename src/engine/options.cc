@@ -1,0 +1,18 @@
+#include "engine/options.h"
+
+#include <sstream>
+
+namespace seplsm::engine {
+
+std::string PolicyConfig::ToString() const {
+  std::ostringstream out;
+  if (kind == PolicyKind::kConventional) {
+    out << "pi_c(n=" << memtable_capacity << ")";
+  } else {
+    out << "pi_s(n=" << memtable_capacity << ", n_seq=" << nseq_capacity
+        << ", n_nonseq=" << nonseq_capacity() << ")";
+  }
+  return out.str();
+}
+
+}  // namespace seplsm::engine

@@ -1,0 +1,95 @@
+#ifndef SEPLSM_ENGINE_OPTIONS_H_
+#define SEPLSM_ENGINE_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/clock.h"
+#include "env/env.h"
+#include "format/value_codec.h"
+
+namespace seplsm::engine {
+
+/// Which MemTable policy the engine runs (paper §I).
+enum class PolicyKind {
+  kConventional,  ///< π_c: a single MemTable C0 of capacity n
+  kSeparation,    ///< π_s: C_seq (in-order) + C_nonseq (out-of-order)
+};
+
+/// MemTable policy and capacity split. The paper's memory budget `n` is
+/// `memtable_capacity` points; under π_s it is divided into
+/// `nseq_capacity` (C_seq) and the remainder (C_nonseq).
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kConventional;
+  size_t memtable_capacity = 512;  ///< n, in points
+  size_t nseq_capacity = 256;      ///< n_seq; only used by π_s
+
+  size_t nonseq_capacity() const { return memtable_capacity - nseq_capacity; }
+
+  static PolicyConfig Conventional(size_t n) {
+    return {PolicyKind::kConventional, n, 0};
+  }
+  static PolicyConfig Separation(size_t n, size_t nseq) {
+    return {PolicyKind::kSeparation, n, nseq};
+  }
+
+  std::string ToString() const;
+};
+
+/// Engine configuration.
+struct Options {
+  /// File system to store SSTables in. Not owned.
+  Env* env = Env::Default();
+  /// Time source for latency accounting. Not owned.
+  Clock* clock = SystemClock::Default();
+  /// Directory for SSTables (created if missing).
+  std::string dir;
+
+  PolicyConfig policy;
+
+  /// Target SSTable size in points (paper experiments: 512).
+  size_t sstable_points = 512;
+  /// Index granularity inside an SSTable.
+  size_t points_per_block = 128;
+
+  /// Keep up to this many SSTable readers open (LRU). 0 disables the cache
+  /// and every access re-opens the file — the behaviour the HDD-latency
+  /// experiments model, since the paper's testbed was not page-cache-hot.
+  size_t table_cache_entries = 0;
+
+  /// Value-column codec for new SSTables (kGorilla shrinks smooth sensor
+  /// series several-fold; WA in *points* is unchanged, WA in bytes drops).
+  format::ValueEncoding value_encoding = format::ValueEncoding::kRaw;
+
+  /// When true, a full MemTable is flushed to an overlapping level-0 file
+  /// and a background thread folds level-0 into the sorted run — the
+  /// non-blocking variant of paper §V-C used for the throughput study.
+  /// When false (default), flush/merge run synchronously inside Append,
+  /// which makes WA experiments deterministic.
+  bool background_mode = false;
+  /// Backpressure: Append blocks while level-0 holds this many files.
+  size_t max_level0_files = 64;
+
+  /// Write-ahead logging for MemTable durability (engine extension; see
+  /// storage/wal.h). Buffered points are replayed on Open after a crash.
+  bool enable_wal = false;
+  /// fsync the log on every Append (safest, slowest). Off: the log is
+  /// buffered and synced at flush boundaries.
+  bool wal_sync_every_append = false;
+  /// When the log grows past this, the engine drains the MemTables and
+  /// truncates it.
+  uint64_t wal_checkpoint_bytes = 8ull << 20;
+
+  /// Record one MergeEvent per compaction (measured subsequent points,
+  /// Fig. 5). Cheap; on by default.
+  bool record_merge_events = true;
+
+  /// Record cumulative written-points after every `wa_timeline_batch`
+  /// ingested points (WA-over-time series for Fig. 10/17).
+  bool record_wa_timeline = false;
+  size_t wa_timeline_batch = 512;
+};
+
+}  // namespace seplsm::engine
+
+#endif  // SEPLSM_ENGINE_OPTIONS_H_

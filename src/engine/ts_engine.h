@@ -1,0 +1,177 @@
+#ifndef SEPLSM_ENGINE_TS_ENGINE_H_
+#define SEPLSM_ENGINE_TS_ENGINE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/point.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/aggregation.h"
+#include "engine/metrics.h"
+#include "engine/options.h"
+#include "storage/memtable.h"
+#include "storage/table_cache.h"
+#include "storage/version.h"
+#include "storage/wal.h"
+
+namespace seplsm::engine {
+
+/// A leveled LSM-tree engine for time-series points keyed by generation
+/// time, supporting the paper's two write policies:
+///
+/// - **π_c (conventional)**: one MemTable `C0`; when full it is merged with
+///   every run SSTable whose key range overlaps, and the merged output is
+///   re-cut into `sstable_points`-sized files.
+/// - **π_s (separation)**: `C_seq` buffers in-order points (generation time
+///   above everything persisted) and is flushed — appended above the run —
+///   when full; `C_nonseq` buffers out-of-order points and triggers a real
+///   merge when full.
+///
+/// Level 1 is always a single sorted run of non-overlapping SSTables. With
+/// `Options::background_mode` full MemTables are instead flushed to
+/// overlapping level-0 files and a background thread folds them into the
+/// run (the IoTDB variant of paper §V-C), so ingest never blocks on
+/// compaction.
+///
+/// Thread safety: all public methods are safe to call concurrently; the
+/// write path is serialized internally.
+class TsEngine {
+ public:
+  /// Opens (and recovers) an engine in `options.dir`. Existing `*.sst`
+  /// files are picked up: non-overlapping files form the run, the rest
+  /// re-enter through level 0.
+  static Result<std::unique_ptr<TsEngine>> Open(Options options);
+
+  ~TsEngine();
+
+  TsEngine(const TsEngine&) = delete;
+  TsEngine& operator=(const TsEngine&) = delete;
+
+  /// Ingests one point (upsert by generation time).
+  Status Append(const DataPoint& point);
+
+  /// Drains every MemTable to disk (flushing/merging per policy semantics)
+  /// and, in background mode, waits for level 0 to fully fold into the run.
+  Status FlushAll();
+
+  /// FlushAll + truncate the write-ahead log (no-op truncation when WAL is
+  /// disabled). Call before clean shutdown to make recovery instant.
+  Status Checkpoint();
+
+  /// Returns all points with generation_time in [lo, hi], sorted, newest
+  /// version of each key. `stats` (optional) receives read-amplification
+  /// counters for this query.
+  Status Query(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
+               QueryStats* stats = nullptr);
+
+  /// Aggregates (count/sum/min/max/first/last) over [lo, hi].
+  Status Aggregate(int64_t lo, int64_t hi, Aggregates* out,
+                   QueryStats* stats = nullptr);
+
+  /// Downsampling: fixed `bucket_width` buckets aligned to `lo` over
+  /// [lo, hi]; empty buckets are omitted (the dashboard "GROUP BY time"
+  /// query).
+  Status Downsample(int64_t lo, int64_t hi, int64_t bucket_width,
+                    std::vector<TimeBucket>* out,
+                    QueryStats* stats = nullptr);
+
+  /// Largest generation time persisted on disk — LAST(R).t_g in the paper.
+  /// INT64_MIN when the disk is empty.
+  int64_t MaxPersistedGenerationTime();
+
+  /// Largest generation time seen (disk or memory); INT64_MIN when empty.
+  int64_t MaxSeenGenerationTime();
+
+  /// Drains the MemTables under the old policy, then installs `config`
+  /// (the analyzer's π_adaptive switch, paper Fig. 10).
+  Status SwitchPolicy(const PolicyConfig& config);
+
+  /// Copy of the cumulative counters.
+  Metrics GetMetrics();
+
+  /// Blocks until level 0 is empty (no-op in synchronous mode).
+  Status WaitForBackgroundIdle();
+
+  /// Verifies the run invariant and (in tests) the policy invariants.
+  Status CheckInvariants();
+
+  const Options& options() const { return options_; }
+  size_t RunFileCount();
+  size_t Level0FileCount();
+
+ private:
+  explicit TsEngine(Options options);
+
+  Status Recover();
+
+  // --- Write path (mutex_ held) ---
+  Status AppendLocked(const DataPoint& point);
+  Status HandleFullConventional();
+  Status HandleFullSeq();
+  Status HandleFullNonseq();
+  Status DrainMemTablesLocked();
+
+  /// Writes `points` (sorted) as run files strictly above the current run.
+  /// Falls back to MergeLocked if an overlap exists.
+  Status FlushAboveRunLocked(std::vector<DataPoint> points);
+
+  /// Merges `points` (sorted) with the overlapping slice of the run.
+  Status MergeLocked(std::vector<DataPoint> points);
+
+  /// Background-mode flush of `points` to one level-0 file.
+  Status FlushToLevel0Locked(std::vector<DataPoint> points);
+
+  /// Folds the oldest level-0 file into the run. Returns NotFound when
+  /// level 0 is empty.
+  Status CompactOneLevel0Locked();
+
+  void MaybeRecordTimelineLocked();
+  void BackgroundWork();
+  Status RemoveFileAndCount(const std::string& path);
+  size_t Level0FileCountLockedForRecovery();
+  std::string WalPath() const;
+  Status RotateWalLocked();
+  Status MaybeCheckpointWalLocked();
+
+  /// Reads [lo, hi] from one table via the table cache when enabled.
+  Status ReadTableRange(const storage::FileMetadata& file, int64_t lo,
+                        int64_t hi, std::vector<DataPoint>* out,
+                        uint64_t* points_scanned);
+  Status ReadTableAll(const storage::FileMetadata& file,
+                      std::vector<DataPoint>* out);
+  Status RemoveTableAndCount(const storage::FileMetadata& file);
+
+  int64_t MaxPersistedLocked() const;
+
+  Options options_;
+
+  std::mutex mutex_;
+  std::condition_variable background_cv_;
+  std::condition_variable writer_cv_;
+
+  storage::Version version_;
+  std::unique_ptr<storage::MemTable> c0_;      // π_c
+  std::unique_ptr<storage::MemTable> cseq_;    // π_s
+  std::unique_ptr<storage::MemTable> cnonseq_; // π_s
+  int64_t max_seen_tg_;
+
+  uint64_t next_file_number_ = 1;
+  Metrics metrics_;
+  uint64_t timeline_batch_accum_ = 0;
+  std::unique_ptr<storage::WalWriter> wal_;
+  bool wal_replaying_ = false;
+  std::unique_ptr<storage::TableCache> table_cache_;
+
+  bool shutting_down_ = false;
+  bool background_error_set_ = false;
+  Status background_error_;
+  std::thread background_thread_;
+};
+
+}  // namespace seplsm::engine
+
+#endif  // SEPLSM_ENGINE_TS_ENGINE_H_

@@ -1,0 +1,65 @@
+#ifndef SEPLSM_ENV_ENV_H_
+#define SEPLSM_ENV_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace seplsm {
+
+/// Append-only file handle used by the SSTable writer.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Positioned-read file handle used by the SSTable reader.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to n bytes at `offset` into *out (replaced, not appended).
+  /// Short reads at EOF are not an error; *out is sized to what was read.
+  virtual Status Read(uint64_t offset, size_t n, std::string* out) const = 0;
+
+  virtual uint64_t Size() const = 0;
+};
+
+/// Abstraction over the file system so the engine can run against real files
+/// (`PosixEnv`), purely in memory (`MemEnv`, tests), with injected device
+/// latency (`LatencyEnv`, HDD simulation for the query-latency experiments),
+/// or with injected failures (`FaultInjectionEnv`, robustness tests).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* file) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* file) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& dst) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dirname) = 0;
+  virtual Status ListDir(const std::string& dirname,
+                         std::vector<std::string>* children) = 0;
+
+  /// Process-wide Posix environment.
+  static Env* Default();
+};
+
+}  // namespace seplsm
+
+#endif  // SEPLSM_ENV_ENV_H_

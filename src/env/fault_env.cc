@@ -1,0 +1,74 @@
+#include "env/fault_env.h"
+
+namespace seplsm {
+
+namespace {
+
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectionEnv* env, std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    SEPLSM_RETURN_IF_ERROR(env_->CheckOp());
+    return base_->Append(data);
+  }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override {
+    SEPLSM_RETURN_IF_ERROR(env_->CheckOp());
+    return base_->Sync();
+  }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+class FaultRandomAccessFile final : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(FaultInjectionEnv* env,
+                        std::unique_ptr<RandomAccessFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    SEPLSM_RETURN_IF_ERROR(env_->CheckOp());
+    return base_->Read(offset, n, out);
+  }
+  uint64_t Size() const override { return base_->Size(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+}  // namespace
+
+Status FaultInjectionEnv::CheckOp() {
+  int64_t limit = fail_after_ops_.load(std::memory_order_relaxed);
+  int64_t count = ops_.fetch_add(1, std::memory_order_relaxed);
+  if (limit >= 0 && count >= limit) {
+    return Status::IOError("injected fault");
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* file) {
+  SEPLSM_RETURN_IF_ERROR(CheckOp());
+  std::unique_ptr<WritableFile> base_file;
+  SEPLSM_RETURN_IF_ERROR(base_->NewWritableFile(fname, &base_file));
+  *file = std::make_unique<FaultWritableFile>(this, std::move(base_file));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* file) {
+  SEPLSM_RETURN_IF_ERROR(CheckOp());
+  std::unique_ptr<RandomAccessFile> base_file;
+  SEPLSM_RETURN_IF_ERROR(base_->NewRandomAccessFile(fname, &base_file));
+  *file = std::make_unique<FaultRandomAccessFile>(this, std::move(base_file));
+  return Status::OK();
+}
+
+}  // namespace seplsm

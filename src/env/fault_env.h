@@ -1,0 +1,65 @@
+#ifndef SEPLSM_ENV_FAULT_ENV_H_
+#define SEPLSM_ENV_FAULT_ENV_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "env/env.h"
+
+namespace seplsm {
+
+/// Fault-injection wrapper: after `fail_after_ops` successful I/O operations
+/// (appends + reads + opens), every subsequent operation returns IOError.
+/// Used by robustness tests to check that the engine surfaces errors as
+/// Status instead of crashing or corrupting state.
+class FaultInjectionEnv final : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  /// Arms the fault: ops beyond this count fail. Negative disarms.
+  void SetFailAfterOps(int64_t fail_after_ops) {
+    fail_after_ops_.store(fail_after_ops, std::memory_order_relaxed);
+    ops_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Number of I/O ops observed since the last SetFailAfterOps.
+  int64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* file) override;
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status RenameFile(const std::string& src, const std::string& dst) override {
+    return base_->RenameFile(src, dst);
+  }
+  Status CreateDirIfMissing(const std::string& dirname) override {
+    return base_->CreateDirIfMissing(dirname);
+  }
+  Status ListDir(const std::string& dirname,
+                 std::vector<std::string>* children) override {
+    return base_->ListDir(dirname, children);
+  }
+
+  /// Internal: returns non-OK when the fault is tripped; counts the op.
+  Status CheckOp();
+
+ private:
+  Env* base_;
+  std::atomic<int64_t> fail_after_ops_{-1};
+  std::atomic<int64_t> ops_{0};
+};
+
+}  // namespace seplsm
+
+#endif  // SEPLSM_ENV_FAULT_ENV_H_

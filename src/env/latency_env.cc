@@ -1,0 +1,127 @@
+#include "env/latency_env.h"
+
+#include <chrono>
+#include <thread>
+
+namespace seplsm {
+
+namespace {
+
+class LatencyWritableFile final : public WritableFile {
+ public:
+  LatencyWritableFile(LatencyEnv* env, std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    if (env_->model().charge_writes) {
+      env_->Charge(static_cast<int64_t>(
+          env_->model().transfer_nanos_per_byte * static_cast<double>(data.size())));
+    }
+    return base_->Append(data);
+  }
+
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override {
+    if (env_->model().charge_writes) env_->Charge(env_->model().seek_nanos);
+    return base_->Sync();
+  }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  LatencyEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+class LatencyRandomAccessFile final : public RandomAccessFile {
+ public:
+  LatencyRandomAccessFile(LatencyEnv* env,
+                          std::unique_ptr<RandomAccessFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    // A read that does not continue where the previous one ended costs a
+    // seek; all bytes cost transfer time.
+    if (offset != next_contiguous_offset_) {
+      env_->Charge(env_->model().seek_nanos);
+    }
+    Status st = base_->Read(offset, n, out);
+    if (st.ok()) {
+      env_->Charge(static_cast<int64_t>(env_->model().transfer_nanos_per_byte *
+                                        static_cast<double>(out->size())));
+      env_->CountRead(out->size());
+      next_contiguous_offset_ = offset + out->size();
+    }
+    return st;
+  }
+
+  uint64_t Size() const override { return base_->Size(); }
+
+ private:
+  LatencyEnv* env_;
+  std::unique_ptr<RandomAccessFile> base_;
+  mutable uint64_t next_contiguous_offset_ = ~0ull;
+};
+
+}  // namespace
+
+LatencyEnv::LatencyEnv(Env* base, DeviceLatencyModel model,
+                       bool sleep_for_real)
+    : base_(base), model_(model), sleep_for_real_(sleep_for_real) {}
+
+void LatencyEnv::Charge(int64_t nanos) {
+  simulated_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  if (sleep_for_real_) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+  }
+}
+
+void LatencyEnv::ResetCounters() {
+  simulated_nanos_.store(0, std::memory_order_relaxed);
+  opens_.store(0, std::memory_order_relaxed);
+  bytes_read_.store(0, std::memory_order_relaxed);
+}
+
+Status LatencyEnv::NewWritableFile(const std::string& fname,
+                                   std::unique_ptr<WritableFile>* file) {
+  std::unique_ptr<WritableFile> base_file;
+  SEPLSM_RETURN_IF_ERROR(base_->NewWritableFile(fname, &base_file));
+  *file = std::make_unique<LatencyWritableFile>(this, std::move(base_file));
+  return Status::OK();
+}
+
+Status LatencyEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* file) {
+  opens_.fetch_add(1, std::memory_order_relaxed);
+  Charge(model_.seek_nanos);
+  std::unique_ptr<RandomAccessFile> base_file;
+  SEPLSM_RETURN_IF_ERROR(base_->NewRandomAccessFile(fname, &base_file));
+  *file = std::make_unique<LatencyRandomAccessFile>(this, std::move(base_file));
+  return Status::OK();
+}
+
+bool LatencyEnv::FileExists(const std::string& fname) {
+  return base_->FileExists(fname);
+}
+
+Status LatencyEnv::GetFileSize(const std::string& fname, uint64_t* size) {
+  return base_->GetFileSize(fname, size);
+}
+
+Status LatencyEnv::RemoveFile(const std::string& fname) {
+  return base_->RemoveFile(fname);
+}
+
+Status LatencyEnv::RenameFile(const std::string& src, const std::string& dst) {
+  return base_->RenameFile(src, dst);
+}
+
+Status LatencyEnv::CreateDirIfMissing(const std::string& dirname) {
+  return base_->CreateDirIfMissing(dirname);
+}
+
+Status LatencyEnv::ListDir(const std::string& dirname,
+                           std::vector<std::string>* children) {
+  return base_->ListDir(dirname, children);
+}
+
+}  // namespace seplsm

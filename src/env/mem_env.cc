@@ -1,0 +1,153 @@
+#include "env/mem_env.h"
+
+#include <algorithm>
+
+namespace seplsm {
+
+namespace {
+
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::shared_ptr<std::string> data)
+      : data_(std::move(data)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->clear();
+    if (offset >= data_->size()) return Status::OK();
+    size_t avail = data_->size() - static_cast<size_t>(offset);
+    out->assign(data_->data() + offset, std::min(n, avail));
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return data_->size(); }
+
+ private:
+  std::shared_ptr<std::string> data_;
+};
+
+}  // namespace
+
+class MemWritableFile final : public WritableFile {
+ public:
+  MemWritableFile(MemEnv* env, std::string fname)
+      : env_(env), fname_(std::move(fname)) {}
+
+  ~MemWritableFile() override { PublishLocked(); }
+
+  Status Append(std::string_view data) override {
+    buffer_.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    PublishLocked();
+    return Status::OK();
+  }
+
+  Status Sync() override { return Flush(); }
+
+  Status Close() override {
+    PublishLocked();
+    return Status::OK();
+  }
+
+ private:
+  void PublishLocked() { env_->Put(fname_, buffer_); }
+
+  MemEnv* env_;
+  std::string fname_;
+  std::string buffer_;
+};
+
+Status MemEnv::NewWritableFile(const std::string& fname,
+                               std::unique_ptr<WritableFile>* file) {
+  *file = std::make_unique<MemWritableFile>(this, fname);
+  return Status::OK();
+}
+
+Status MemEnv::NewRandomAccessFile(const std::string& fname,
+                                   std::unique_ptr<RandomAccessFile>* file) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(fname);
+  if (it == files_.end()) return Status::NotFound(fname);
+  *file = std::make_unique<MemRandomAccessFile>(it->second);
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& fname) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(fname) > 0;
+}
+
+Status MemEnv::GetFileSize(const std::string& fname, uint64_t* size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(fname);
+  if (it == files_.end()) return Status::NotFound(fname);
+  *size = it->second->size();
+  return Status::OK();
+}
+
+Status MemEnv::RemoveFile(const std::string& fname) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (files_.erase(fname) == 0) return Status::NotFound(fname);
+  return Status::OK();
+}
+
+Status MemEnv::RenameFile(const std::string& src, const std::string& dst) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(src);
+  if (it == files_.end()) return Status::NotFound(src);
+  files_[dst] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MemEnv::CreateDirIfMissing(const std::string& dirname) {
+  (void)dirname;  // directories are implicit
+  return Status::OK();
+}
+
+Status MemEnv::ListDir(const std::string& dirname,
+                       std::vector<std::string>* children) {
+  children->clear();
+  std::string prefix = dirname;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string last_dir;
+  for (const auto& [path, contents] : files_) {
+    (void)contents;
+    if (path.rfind(prefix, 0) == 0) {
+      std::string rest = path.substr(prefix.size());
+      if (rest.empty()) continue;
+      size_t slash = rest.find('/');
+      if (slash == std::string::npos) {
+        children->push_back(rest);
+      } else {
+        // Implicit child directory (reported once, like Posix readdir).
+        std::string dir = rest.substr(0, slash);
+        if (dir != last_dir) {
+          children->push_back(dir);
+          last_dir = dir;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t MemEnv::TotalBytes() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [path, contents] : files_) {
+    (void)path;
+    total += contents->size();
+  }
+  return total;
+}
+
+void MemEnv::Put(const std::string& fname, std::string contents) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_[fname] = std::make_shared<std::string>(std::move(contents));
+}
+
+}  // namespace seplsm

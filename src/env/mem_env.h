@@ -1,0 +1,48 @@
+#ifndef SEPLSM_ENV_MEM_ENV_H_
+#define SEPLSM_ENV_MEM_ENV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "env/env.h"
+
+namespace seplsm {
+
+/// In-memory Env: a flat map from path to contents. Directories are
+/// implicit (a prefix ending in '/'). Thread-safe. Used by tests and by the
+/// latency-simulation benches, where device time is injected explicitly and
+/// real disk I/O would only add noise.
+class MemEnv final : public Env {
+ public:
+  MemEnv() = default;
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* file) override;
+  bool FileExists(const std::string& fname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status RenameFile(const std::string& src, const std::string& dst) override;
+  Status CreateDirIfMissing(const std::string& dirname) override;
+  Status ListDir(const std::string& dirname,
+                 std::vector<std::string>* children) override;
+
+  /// Total bytes held across all files (test/diagnostic aid).
+  uint64_t TotalBytes();
+
+ private:
+  friend class MemWritableFile;
+
+  void Put(const std::string& fname, std::string contents);
+
+  std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<std::string>> files_;
+};
+
+}  // namespace seplsm
+
+#endif  // SEPLSM_ENV_MEM_ENV_H_

@@ -1,0 +1,168 @@
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "env/env.h"
+
+namespace seplsm {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Status ErrnoStatus(const std::string& context) {
+  return Status::IOError(context + ": " + std::strerror(errno));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string fname, std::FILE* f)
+      : fname_(std::move(fname)), file_(f) {}
+
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) return Status::IOError(fname_ + ": closed");
+    size_t written = std::fwrite(data.data(), 1, data.size(), file_);
+    if (written != data.size()) return ErrnoStatus(fname_ + " write");
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (file_ != nullptr && std::fflush(file_) != 0) {
+      return ErrnoStatus(fname_ + " flush");
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override { return Flush(); }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) return ErrnoStatus(fname_ + " close");
+    return Status::OK();
+  }
+
+ private:
+  std::string fname_;
+  std::FILE* file_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string fname, std::FILE* f, uint64_t size)
+      : fname_(std::move(fname)), file_(f), size_(size) {}
+
+  ~PosixRandomAccessFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->resize(n);
+    if (n == 0) return Status::OK();
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return ErrnoStatus(fname_ + " seek");
+    }
+    size_t got = std::fread(out->data(), 1, n, file_);
+    if (got < n && std::ferror(file_)) {
+      return ErrnoStatus(fname_ + " read");
+    }
+    out->resize(got);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::string fname_;
+  std::FILE* file_;
+  uint64_t size_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* file) override {
+    std::FILE* f = std::fopen(fname.c_str(), "wb");
+    if (f == nullptr) return ErrnoStatus(fname + " open for write");
+    *file = std::make_unique<PosixWritableFile>(fname, f);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* file) override {
+    std::FILE* f = std::fopen(fname.c_str(), "rb");
+    if (f == nullptr) return ErrnoStatus(fname + " open for read");
+    std::error_code ec;
+    uint64_t size = fs::file_size(fname, ec);
+    if (ec) {
+      std::fclose(f);
+      return Status::IOError(fname + " size: " + ec.message());
+    }
+    *file = std::make_unique<PosixRandomAccessFile>(fname, f, size);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    std::error_code ec;
+    return fs::exists(fname, ec);
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    std::error_code ec;
+    uint64_t s = fs::file_size(fname, ec);
+    if (ec) return Status::IOError(fname + " size: " + ec.message());
+    *size = s;
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    std::error_code ec;
+    if (!fs::remove(fname, ec) || ec) {
+      return Status::IOError(fname + " remove: " +
+                             (ec ? ec.message() : "not found"));
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src, const std::string& dst) override {
+    std::error_code ec;
+    fs::rename(src, dst, ec);
+    if (ec) return Status::IOError(src + " -> " + dst + ": " + ec.message());
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& dirname) override {
+    std::error_code ec;
+    fs::create_directories(dirname, ec);
+    if (ec) return Status::IOError(dirname + " mkdir: " + ec.message());
+    return Status::OK();
+  }
+
+  Status ListDir(const std::string& dirname,
+                 std::vector<std::string>* children) override {
+    children->clear();
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dirname, ec)) {
+      children->push_back(entry.path().filename().string());
+    }
+    if (ec) return Status::IOError(dirname + " list: " + ec.message());
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static Env* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace seplsm

@@ -1,0 +1,87 @@
+#include "format/block.h"
+
+#include <cassert>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace seplsm::format {
+
+void BlockBuilder::Add(const DataPoint& point) {
+  if (count_ == 0) {
+    PutVarint64Signed(&times_, point.generation_time);
+  } else {
+    assert(point.generation_time >= last_generation_time_);
+    PutVarint64Signed(&times_, point.generation_time - last_generation_time_);
+  }
+  last_generation_time_ = point.generation_time;
+  PutVarint64Signed(&delays_, point.arrival_time - point.generation_time);
+  values_.push_back(point.value);
+  ++count_;
+}
+
+std::string BlockBuilder::Finish() {
+  std::string out;
+  PutVarint64(&out, count_);
+  out.push_back(static_cast<char>(encoding_));
+  out += times_;
+  out += delays_;
+  EncodeValues(encoding_, values_, &out);
+  PutFixed32(&out, crc32c::Mask(crc32c::Value(out)));
+  Reset();
+  return out;
+}
+
+void BlockBuilder::Reset() {
+  times_.clear();
+  delays_.clear();
+  values_.clear();
+  count_ = 0;
+  last_generation_time_ = 0;
+}
+
+Status DecodeBlock(std::string_view data, std::vector<DataPoint>* out) {
+  if (data.size() < 4) return Status::Corruption("block too small");
+  std::string_view payload = data.substr(0, data.size() - 4);
+  uint32_t stored_crc =
+      crc32c::Unmask(DecodeFixed32(data.data() + data.size() - 4));
+  if (crc32c::Value(payload) != stored_crc) {
+    return Status::Corruption("block checksum mismatch");
+  }
+  uint64_t count;
+  if (!GetVarint64(&payload, &count)) {
+    return Status::Corruption("block count truncated");
+  }
+  if (payload.empty()) return Status::Corruption("block encoding truncated");
+  auto encoding = static_cast<ValueEncoding>(payload.front());
+  if (encoding != ValueEncoding::kRaw && encoding != ValueEncoding::kGorilla) {
+    return Status::Corruption("block value encoding unknown");
+  }
+  payload.remove_prefix(1);
+  size_t base = out->size();
+  out->resize(base + count);
+  int64_t t = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t delta;
+    if (!GetVarint64Signed(&payload, &delta)) {
+      return Status::Corruption("block time truncated");
+    }
+    t = (i == 0) ? delta : t + delta;
+    (*out)[base + i].generation_time = t;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t delay;
+    if (!GetVarint64Signed(&payload, &delay)) {
+      return Status::Corruption("block delay truncated");
+    }
+    (*out)[base + i].arrival_time = (*out)[base + i].generation_time + delay;
+  }
+  std::vector<double> values;
+  SEPLSM_RETURN_IF_ERROR(DecodeValues(encoding, payload, count, &values));
+  for (uint64_t i = 0; i < count; ++i) {
+    (*out)[base + i].value = values[i];
+  }
+  return Status::OK();
+}
+
+}  // namespace seplsm::format

@@ -1,0 +1,55 @@
+#ifndef SEPLSM_FORMAT_BLOCK_H_
+#define SEPLSM_FORMAT_BLOCK_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/point.h"
+#include "common/status.h"
+#include "format/value_codec.h"
+
+namespace seplsm::format {
+
+/// Serializes a run of points (sorted by generation time) into a compact
+/// block:
+///
+///   varint   point_count
+///   uint8    value encoding (ValueEncoding)
+///   varint   first generation_time (zigzag)
+///   varint*  generation_time deltas (zigzag; sorted input => non-negative)
+///   varint*  (arrival_time - generation_time) per point (zigzag)
+///   bytes    value column (raw fixed64 or Gorilla bit stream)
+///   fixed32  masked CRC-32C of everything above
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(ValueEncoding encoding = ValueEncoding::kRaw)
+      : encoding_(encoding) {}
+
+  /// Appends one point; generation_time must be >= the previous one.
+  void Add(const DataPoint& point);
+
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Finalizes and returns the encoded block; the builder resets.
+  std::string Finish();
+
+  void Reset();
+
+ private:
+  ValueEncoding encoding_;
+  std::string times_;
+  std::string delays_;
+  std::vector<double> values_;
+  size_t count_ = 0;
+  int64_t last_generation_time_ = 0;
+};
+
+/// Decodes a block produced by BlockBuilder; verifies the CRC.
+/// Appends points to *out.
+Status DecodeBlock(std::string_view data, std::vector<DataPoint>* out);
+
+}  // namespace seplsm::format
+
+#endif  // SEPLSM_FORMAT_BLOCK_H_

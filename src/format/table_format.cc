@@ -1,0 +1,75 @@
+#include "format/table_format.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace seplsm::format {
+
+void EncodeIndex(const std::vector<BlockIndexEntry>& entries,
+                 std::string* dst) {
+  std::string body;
+  PutVarint64(&body, entries.size());
+  for (const auto& e : entries) {
+    PutVarint64Signed(&body, e.min_generation_time);
+    PutVarint64Signed(&body, e.max_generation_time);
+    PutVarint64(&body, e.offset);
+    PutVarint64(&body, e.size);
+    PutVarint64(&body, e.point_count);
+  }
+  PutFixed32(&body, crc32c::Mask(crc32c::Value(body)));
+  dst->append(body);
+}
+
+Status DecodeIndex(std::string_view data,
+                   std::vector<BlockIndexEntry>* entries) {
+  entries->clear();
+  if (data.size() < 4) return Status::Corruption("index too small");
+  std::string_view payload = data.substr(0, data.size() - 4);
+  uint32_t stored_crc =
+      crc32c::Unmask(DecodeFixed32(data.data() + data.size() - 4));
+  if (crc32c::Value(payload) != stored_crc) {
+    return Status::Corruption("index checksum mismatch");
+  }
+  uint64_t count;
+  if (!GetVarint64(&payload, &count)) {
+    return Status::Corruption("index count truncated");
+  }
+  entries->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    BlockIndexEntry e;
+    if (!GetVarint64Signed(&payload, &e.min_generation_time) ||
+        !GetVarint64Signed(&payload, &e.max_generation_time) ||
+        !GetVarint64(&payload, &e.offset) || !GetVarint64(&payload, &e.size) ||
+        !GetVarint64(&payload, &e.point_count)) {
+      return Status::Corruption("index entry truncated");
+    }
+    entries->push_back(e);
+  }
+  return Status::OK();
+}
+
+void EncodeFooter(const Footer& footer, std::string* dst) {
+  PutFixed64(dst, footer.index_offset);
+  PutFixed64(dst, footer.index_size);
+  PutFixed64(dst, footer.point_count);
+  PutFixed64(dst, static_cast<uint64_t>(footer.min_generation_time));
+  PutFixed64(dst, static_cast<uint64_t>(footer.max_generation_time));
+  PutFixed64(dst, kTableMagic);
+}
+
+Status DecodeFooter(std::string_view data, Footer* footer) {
+  if (data.size() != kFooterSize) {
+    return Status::Corruption("footer size mismatch");
+  }
+  const char* p = data.data();
+  footer->index_offset = DecodeFixed64(p);
+  footer->index_size = DecodeFixed64(p + 8);
+  footer->point_count = DecodeFixed64(p + 16);
+  footer->min_generation_time = static_cast<int64_t>(DecodeFixed64(p + 24));
+  footer->max_generation_time = static_cast<int64_t>(DecodeFixed64(p + 32));
+  uint64_t magic = DecodeFixed64(p + 40);
+  if (magic != kTableMagic) return Status::Corruption("bad table magic");
+  return Status::OK();
+}
+
+}  // namespace seplsm::format

@@ -1,0 +1,54 @@
+#ifndef SEPLSM_FORMAT_TABLE_FORMAT_H_
+#define SEPLSM_FORMAT_TABLE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace seplsm::format {
+
+/// SSTable file layout:
+///
+///   Block 1 | Block 2 | ... | Index | Footer
+///
+/// Index: varint entry count, then per block
+///   {min_tg (zigzag varint), max_tg, offset (varint), size (varint),
+///    point_count (varint)}, followed by a masked CRC-32C (fixed32).
+///
+/// Footer (fixed size, at EOF):
+///   index_offset (fixed64) | index_size (fixed64) | point_count (fixed64) |
+///   min_tg (fixed64) | max_tg (fixed64) | magic (fixed64)
+inline constexpr uint64_t kTableMagic = 0x7365706C736D3144ULL;  // "seplsm1D"
+inline constexpr size_t kFooterSize = 6 * 8;
+
+/// Location and key coverage of one data block inside an SSTable.
+struct BlockIndexEntry {
+  int64_t min_generation_time = 0;
+  int64_t max_generation_time = 0;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint64_t point_count = 0;
+};
+
+struct Footer {
+  uint64_t index_offset = 0;
+  uint64_t index_size = 0;
+  uint64_t point_count = 0;
+  int64_t min_generation_time = 0;
+  int64_t max_generation_time = 0;
+};
+
+void EncodeIndex(const std::vector<BlockIndexEntry>& entries,
+                 std::string* dst);
+Status DecodeIndex(std::string_view data,
+                   std::vector<BlockIndexEntry>* entries);
+
+void EncodeFooter(const Footer& footer, std::string* dst);
+Status DecodeFooter(std::string_view data, Footer* footer);
+
+}  // namespace seplsm::format
+
+#endif  // SEPLSM_FORMAT_TABLE_FORMAT_H_

@@ -1,0 +1,143 @@
+#include "format/value_codec.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/coding.h"
+
+namespace seplsm::format {
+
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Gorilla control codes after the first (raw 64-bit) value:
+//   '0'            -> value identical to predecessor
+//   '10'           -> XOR fits the previous leading/meaningful-bits window
+//   '11' + 5 bits leading + 6 bits (length-1) + payload -> new window
+void EncodeGorilla(const std::vector<double>& values, std::string* dst) {
+  BitWriter writer(dst);
+  uint64_t prev = 0;
+  int prev_leading = -1;  // no window yet
+  int prev_meaningful = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    uint64_t bits = DoubleBits(values[i]);
+    if (i == 0) {
+      writer.Write(bits, 64);
+      prev = bits;
+      continue;
+    }
+    uint64_t x = bits ^ prev;
+    prev = bits;
+    if (x == 0) {
+      writer.WriteBit(false);
+      continue;
+    }
+    int leading = std::countl_zero(x);
+    int trailing = std::countr_zero(x);
+    if (leading > 31) leading = 31;  // 5-bit field
+    int meaningful = 64 - leading - trailing;
+    if (prev_leading >= 0 && leading >= prev_leading &&
+        64 - prev_leading - prev_meaningful <= trailing) {
+      // Reuse the previous window.
+      writer.Write(0b10, 2);
+      writer.Write(x >> (64 - prev_leading - prev_meaningful),
+                   prev_meaningful);
+    } else {
+      writer.Write(0b11, 2);
+      writer.Write(static_cast<uint64_t>(leading), 5);
+      writer.Write(static_cast<uint64_t>(meaningful - 1), 6);
+      writer.Write(x >> trailing, meaningful);
+      prev_leading = leading;
+      prev_meaningful = meaningful;
+    }
+  }
+  writer.Finish();
+}
+
+Status DecodeGorilla(std::string_view data, size_t count,
+                     std::vector<double>* out) {
+  BitReader reader(data);
+  uint64_t prev = 0;
+  int window_leading = -1;
+  int window_meaningful = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (i == 0) {
+      if (!reader.Read(64, &prev)) {
+        return Status::Corruption("gorilla: truncated first value");
+      }
+      out->push_back(BitsToDouble(prev));
+      continue;
+    }
+    bool differs;
+    if (!reader.ReadBit(&differs)) {
+      return Status::Corruption("gorilla: truncated control bit");
+    }
+    if (!differs) {
+      out->push_back(BitsToDouble(prev));
+      continue;
+    }
+    bool new_window;
+    if (!reader.ReadBit(&new_window)) {
+      return Status::Corruption("gorilla: truncated window bit");
+    }
+    if (new_window) {
+      uint64_t leading, meaningful_minus1;
+      if (!reader.Read(5, &leading) || !reader.Read(6, &meaningful_minus1)) {
+        return Status::Corruption("gorilla: truncated window header");
+      }
+      window_leading = static_cast<int>(leading);
+      window_meaningful = static_cast<int>(meaningful_minus1) + 1;
+    } else if (window_leading < 0) {
+      return Status::Corruption("gorilla: window reuse before definition");
+    }
+    uint64_t payload;
+    if (!reader.Read(window_meaningful, &payload)) {
+      return Status::Corruption("gorilla: truncated payload");
+    }
+    int trailing = 64 - window_leading - window_meaningful;
+    uint64_t x = payload << trailing;
+    prev ^= x;
+    out->push_back(BitsToDouble(prev));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeValues(ValueEncoding encoding, const std::vector<double>& values,
+                  std::string* dst) {
+  if (encoding == ValueEncoding::kGorilla) {
+    EncodeGorilla(values, dst);
+    return;
+  }
+  for (double v : values) PutFixed64(dst, DoubleBits(v));
+}
+
+Status DecodeValues(ValueEncoding encoding, std::string_view data,
+                    size_t count, std::vector<double>* out) {
+  out->reserve(out->size() + count);
+  if (encoding == ValueEncoding::kGorilla) {
+    return DecodeGorilla(data, count, out);
+  }
+  if (data.size() != count * 8) {
+    return Status::Corruption("raw value section size mismatch");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    out->push_back(BitsToDouble(DecodeFixed64(data.data() + i * 8)));
+  }
+  return Status::OK();
+}
+
+}  // namespace seplsm::format

@@ -1,0 +1,32 @@
+#ifndef SEPLSM_FORMAT_VALUE_CODEC_H_
+#define SEPLSM_FORMAT_VALUE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace seplsm::format {
+
+/// How a block's value column is encoded.
+enum class ValueEncoding : uint8_t {
+  kRaw = 0,      ///< 8 bytes per value (IEEE-754 bits, little-endian)
+  kGorilla = 1,  ///< Facebook Gorilla XOR compression (Pelkonen et al. 2015)
+};
+
+/// Encodes `values` with the chosen encoding, appending to *dst.
+/// Gorilla stores each value XORed with its predecessor: identical values
+/// cost 1 bit, smooth sensor series typically compress 5-10x.
+void EncodeValues(ValueEncoding encoding, const std::vector<double>& values,
+                  std::string* dst);
+
+/// Decodes exactly `count` values; consumes all of `data` for kRaw and a
+/// bit-padded stream for kGorilla.
+Status DecodeValues(ValueEncoding encoding, std::string_view data,
+                    size_t count, std::vector<double>* out);
+
+}  // namespace seplsm::format
+
+#endif  // SEPLSM_FORMAT_VALUE_CODEC_H_

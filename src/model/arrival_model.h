@@ -1,0 +1,44 @@
+#ifndef SEPLSM_MODEL_ARRIVAL_MODEL_H_
+#define SEPLSM_MODEL_ARRIVAL_MODEL_H_
+
+#include <cstddef>
+
+#include "dist/distribution.h"
+
+namespace seplsm::model {
+
+/// The arrival-rate ratio model of paper §II (Eq. 1).
+///
+/// After a C_seq flush sets LAST(R), the i-th subsequent arrival is in-order
+/// with probability F(ι_i), ι_i ≈ i·Δt + offset. The expected number of
+/// in-order points among α arrivals is x(α) = Σ_{i≤α} F(ι_i) and the
+/// expected out-of-order count is g = α − x(α).
+class ArrivalRateModel {
+ public:
+  /// `iota_offset` shifts ι_i to account for the (small) delay of the point
+  /// that defines LAST(R); 0 reproduces the paper's approximation.
+  ArrivalRateModel(const dist::DelayDistribution& delay_distribution,
+                   double delta_t, double iota_offset = 0.0);
+
+  /// x(α): expected in-order points among the first `alpha` arrivals.
+  double ExpectedInOrder(double alpha) const;
+
+  /// Smallest (fractional) α with x(α) >= in_order_target.
+  /// in_order_target must be positive.
+  double ArrivalsForInOrder(double in_order_target) const;
+
+  /// g(n_seq) of Eq. 1: expected out-of-order arrivals collected while
+  /// filling C_seq with n_seq in-order points.
+  double G(double n_seq) const {
+    return ArrivalsForInOrder(n_seq) - n_seq;
+  }
+
+ private:
+  const dist::DelayDistribution& dist_;
+  double delta_t_;
+  double iota_offset_;
+};
+
+}  // namespace seplsm::model
+
+#endif  // SEPLSM_MODEL_ARRIVAL_MODEL_H_

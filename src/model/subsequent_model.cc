@@ -1,0 +1,188 @@
+#include "model/subsequent_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "numeric/integration.h"
+
+namespace seplsm::model {
+
+namespace {
+
+/// log(CDF) clamped so differences of prefix sums stay finite.
+double ClampedLogCdf(const dist::DelayDistribution& d, double x) {
+  double f = d.Cdf(x);
+  if (f <= 0.0) return -745.0;  // exp(-745) underflows to 0
+  double lf = std::log(f);
+  return std::max(lf, -745.0);
+}
+
+}  // namespace
+
+SubsequentModel::SubsequentModel(
+    const dist::DelayDistribution& delay_distribution, double delta_t,
+    SubsequentModelOptions options)
+    : dist_(delay_distribution), delta_t_(delta_t), options_(options) {}
+
+double SubsequentModel::TailIntegral(double from) const {
+  double hi = dist_.Quantile(1.0 - 1e-12);
+  if (hi <= from) return 0.0;
+  return numeric::GeometricGaussLegendre(
+      [this](double u) { return 1.0 - dist_.Cdf(u); }, from, hi,
+      /*segments=*/24, /*points=*/16);
+}
+
+double SubsequentModel::LogCdfPrefix(size_t n, double x) const {
+  // S(n) = sum_{m=1..n} ln F(m*dt + x). Once 1 - F drops below 1e-4,
+  // ln F ~= -(1 - F) and the remaining sum is the survival integral —
+  // this keeps the cost independent of n for the huge N_arrive values the
+  // tuner can produce.
+  const double dt = delta_t_;
+  double sum = 0.0;
+  size_t m = 1;
+  for (; m <= n; ++m) {
+    double arg = static_cast<double>(m) * dt + x;
+    double survival = 1.0 - dist_.Cdf(arg);
+    // Once ln F ~= -(1 - F) holds to ~0.1% the survival integral below is
+    // as accurate as the term-by-term sum and far cheaper for heavy tails.
+    if (survival < 2e-3) break;
+    sum += ClampedLogCdf(dist_, arg);
+  }
+  if (m <= n) {
+    double lo = (static_cast<double>(m) - 0.5) * dt + x;
+    double hi = (static_cast<double>(n) + 0.5) * dt + x;
+    double q_hi = dist_.Quantile(1.0 - 1e-12);
+    hi = std::min(hi, std::max(q_hi, lo));
+    if (hi > lo) {
+      sum -= numeric::GeometricGaussLegendre(
+                 [this](double u) { return 1.0 - dist_.Cdf(u); }, lo, hi,
+                 /*segments=*/16, /*points=*/8) /
+             dt;
+    }
+  }
+  return sum;
+}
+
+double SubsequentModel::Estimate(size_t n) const {
+  if (n == 0) return 0.0;
+  const double dt = delta_t_;
+
+  // Quadrature nodes over the delay density (the disk point's own delay x).
+  double a = dist_.Quantile(options_.quantile_lo);
+  double b = dist_.Quantile(options_.quantile_hi);
+  if (!(b > a)) b = a + 1.0;
+  struct Node {
+    double x;
+    double wf;
+  };
+  std::vector<Node> nodes;
+  {
+    const double ratio = 1.5;
+    int segments = options_.quad_segments;
+    double total_units = (std::pow(ratio, segments) - 1.0) / (ratio - 1.0);
+    double width = (b - a) / total_units;
+    double lo = a;
+    for (int s = 0; s < segments; ++s) {
+      double seg_hi = (s + 1 == segments) ? b : lo + width;
+      // Gauss–Legendre points within [lo, seg_hi] via simple midpoint set:
+      // use Chebyshev-like composite (equal-weight midpoints) — adequate
+      // because segments already concentrate resolution near the mode.
+      int pts = options_.quad_points;
+      double h = (seg_hi - lo) / pts;
+      for (int k = 0; k < pts; ++k) {
+        double x = lo + (k + 0.5) * h;
+        nodes.push_back({x, h * dist_.Pdf(x)});
+      }
+      lo = seg_hi;
+      width *= ratio;
+    }
+  }
+  double weight_sum = 0.0;
+  for (const auto& node : nodes) weight_sum += node.wf;
+  if (weight_sum <= 0.0) return 0.0;
+
+  // Telescoping prefix sums: s_lo = S(i), s_hi = S(i+n) per node, where
+  // S(k) = sum_{m=1..k} ln F(m*dt + x).
+  std::vector<double> s_lo(nodes.size(), 0.0);
+  std::vector<double> s_hi(nodes.size(), 0.0);
+  for (size_t t = 0; t < nodes.size(); ++t) {
+    s_hi[t] = LogCdfPrefix(n, nodes[t].x);
+  }
+
+  double total = 0.0;
+  size_t i = 0;
+  for (; i < options_.max_exact_terms; ++i) {
+    double inner = 0.0;
+    for (size_t t = 0; t < nodes.size(); ++t) {
+      inner += nodes[t].wf * std::exp(s_hi[t] - s_lo[t]);
+    }
+    double p = 1.0 - inner / weight_sum;
+    p = std::clamp(p, 0.0, 1.0);
+    if (p < options_.tail_switch && i >= 8) break;
+    total += p;
+    double m_lo = static_cast<double>(i + 1) * dt;
+    double m_hi = static_cast<double>(i + 1 + n) * dt;
+    for (size_t t = 0; t < nodes.size(); ++t) {
+      s_lo[t] += ClampedLogCdf(dist_, m_lo + nodes[t].x);
+      s_hi[t] += ClampedLogCdf(dist_, m_hi + nodes[t].x);
+    }
+  }
+
+  // Union-bound tail: sum over remaining depths i' >= i of
+  // sum_{j=1..n} (1 - F((i'+j) dt)). Grouped by m = i'+j:
+  //   m in (i, i+n]  -> weight (m - i)
+  //   m > i+n        -> weight n     (via the survival integral)
+  double tail = 0.0;
+  const double survival_horizon = dist_.Quantile(1.0 - 1e-12);
+  for (size_t m = i + 1; m <= i + n; ++m) {
+    double arg = static_cast<double>(m) * dt;
+    if (arg > survival_horizon) break;  // survival ~0 from here on
+    tail += static_cast<double>(m - i) * (1.0 - dist_.Cdf(arg));
+  }
+  tail += static_cast<double>(n) / dt *
+          TailIntegral((static_cast<double>(i + n) + 0.5) * dt);
+  return total + tail;
+}
+
+double ZetaMonteCarlo(const dist::DelayDistribution& delay_distribution,
+                      double delta_t, size_t n, size_t disk_points,
+                      size_t rounds, uint64_t seed) {
+  Rng rng(seed);
+  // One long stream; sample windows at random offsets past a warm-up.
+  size_t total_points = disk_points + n + 4 * (disk_points + n) + 1024;
+  struct Arrival {
+    double arrival_time;
+    double generation_time;
+  };
+  std::vector<Arrival> stream(total_points);
+  for (size_t i = 0; i < total_points; ++i) {
+    double g = static_cast<double>(i) * delta_t;
+    stream[i] = {g + delay_distribution.Sample(rng), g};
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     return a.arrival_time < b.arrival_time;
+                   });
+  double total = 0.0;
+  size_t warmup = disk_points;
+  size_t max_start = total_points - n - 1;
+  for (size_t r = 0; r < rounds; ++r) {
+    size_t k = warmup + static_cast<size_t>(rng.UniformU64(max_start - warmup));
+    // Buffer = arrivals [k, k+n); disk = arrivals [k - disk_points, k).
+    double min_buffer_g = stream[k].generation_time;
+    for (size_t j = 1; j < n; ++j) {
+      min_buffer_g = std::min(min_buffer_g, stream[k + j].generation_time);
+    }
+    size_t lookback_begin = k >= disk_points ? k - disk_points : 0;
+    size_t count = 0;
+    for (size_t d = lookback_begin; d < k; ++d) {
+      if (stream[d].generation_time > min_buffer_g) ++count;
+    }
+    total += static_cast<double>(count);
+  }
+  return total / static_cast<double>(rounds);
+}
+
+}  // namespace seplsm::model

@@ -1,0 +1,64 @@
+#ifndef SEPLSM_MODEL_SUBSEQUENT_MODEL_H_
+#define SEPLSM_MODEL_SUBSEQUENT_MODEL_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "dist/distribution.h"
+
+namespace seplsm::model {
+
+/// Numerical options for the ζ(n) estimator.
+struct SubsequentModelOptions {
+  /// Quadrature resolution over the delay density (geometric Gauss–Legendre).
+  int quad_segments = 16;
+  int quad_points = 8;
+  /// Quantile truncation of the delay domain.
+  double quantile_lo = 1e-7;
+  double quantile_hi = 1.0 - 1e-9;
+  /// Switch from the exact per-depth probability to the union-bound tail
+  /// once P(B_i) falls below this value (the bound is within O(P^2) there).
+  double tail_switch = 0.02;
+  /// Hard cap on exact per-depth iterations.
+  size_t max_exact_terms = 65536;
+};
+
+/// Estimator of ζ(n) — the expected number of *subsequent data points* on
+/// disk when n points are buffered in memory (paper Eq. 2), given the delay
+/// distribution and the generation interval Δt.
+///
+/// P(B_i) = 1 - ∫ f(x) · Π_{j=1..n} F((i+j)·Δt + x) dx  is evaluated with
+/// the arrival-gap approximation T̃_m ≈ m·Δt, a telescoping log-CDF prefix
+/// sum per quadrature node, and a union-bound tail correction
+/// Σ_j (1 - F((i+j)Δt)) for depths where the probability is already small
+/// (see DESIGN.md §2).
+class SubsequentModel {
+ public:
+  SubsequentModel(const dist::DelayDistribution& delay_distribution,
+                  double delta_t, SubsequentModelOptions options = {});
+
+  /// Expected subsequent points for a buffer of n points. ζ(0) = 0.
+  double Estimate(size_t n) const;
+
+  double delta_t() const { return delta_t_; }
+
+ private:
+  double TailIntegral(double from) const;
+  double LogCdfPrefix(size_t n, double x) const;
+
+  const dist::DelayDistribution& dist_;
+  double delta_t_;
+  SubsequentModelOptions options_;
+};
+
+/// Monte-Carlo oracle for ζ(n): simulates `rounds` independent windows of a
+/// synthetic arrival stream and counts subsequent points directly. Slow but
+/// assumption-free on the arrival-gap approximation; used by the model
+/// ablation bench and tests.
+double ZetaMonteCarlo(const dist::DelayDistribution& delay_distribution,
+                      double delta_t, size_t n, size_t disk_points,
+                      size_t rounds, uint64_t seed);
+
+}  // namespace seplsm::model
+
+#endif  // SEPLSM_MODEL_SUBSEQUENT_MODEL_H_

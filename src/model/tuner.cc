@@ -1,0 +1,76 @@
+#include "model/tuner.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace seplsm::model {
+
+TuningResult TunePolicy(const WaModel& model, size_t n,
+                        const TuningOptions& options) {
+  TuningResult result;
+  result.wa_conventional = model.ConventionalWa(n);
+
+  size_t step = std::max<size_t>(1, options.sweep_step);
+  size_t sweep_lo = std::max<size_t>(1, options.min_nseq);
+  size_t sweep_hi = n > options.min_nonseq ? n - options.min_nonseq : 0;
+  double best_wa = std::numeric_limits<double>::infinity();
+  size_t best_nseq = 0;
+  auto evaluate = [&](size_t nseq) {
+    double wa = model.SeparationWa(n, nseq);
+    if (options.keep_curve) result.separation_curve.emplace_back(nseq, wa);
+    if (wa < best_wa) {
+      best_wa = wa;
+      best_nseq = nseq;
+    }
+  };
+  for (size_t x = sweep_lo; x <= sweep_hi; x += step) evaluate(x);
+  if (step > 1 && sweep_hi >= sweep_lo &&
+      (sweep_hi - sweep_lo) % step != 0) {
+    evaluate(sweep_hi);
+  }
+  if (options.refine && step > 1 && best_nseq != 0) {
+    size_t lo = best_nseq > sweep_lo + step ? best_nseq - step : sweep_lo;
+    size_t hi = std::min(sweep_hi, best_nseq + step);
+    for (size_t x = lo; x <= hi; ++x) {
+      if (x >= sweep_lo && (x - sweep_lo) % step == 0) {
+        continue;  // already evaluated
+      }
+      double wa = model.SeparationWa(n, x);
+      if (options.keep_curve) result.separation_curve.emplace_back(x, wa);
+      if (wa < best_wa) {
+        best_wa = wa;
+        best_nseq = x;
+      }
+    }
+  }
+  result.wa_separation_best = best_wa;
+  result.best_nseq = best_nseq;
+  if (options.keep_curve) {
+    std::sort(result.separation_curve.begin(), result.separation_curve.end());
+    result.separation_curve.erase(
+        std::unique(result.separation_curve.begin(),
+                    result.separation_curve.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first == b.first;
+                    }),
+        result.separation_curve.end());
+  }
+
+  if (best_wa < result.wa_conventional && best_nseq > 0) {
+    result.recommended = engine::PolicyConfig::Separation(n, best_nseq);
+  } else {
+    result.recommended = engine::PolicyConfig::Conventional(n);
+  }
+  return result;
+}
+
+TuningResult TunePolicy(const dist::DelayDistribution& delay_distribution,
+                        double delta_t, size_t n,
+                        const TuningOptions& options) {
+  WaModel model(delay_distribution, delta_t, options.subsequent_options,
+                options.iota_offset);
+  model.set_granularity_sstable_points(options.granularity_sstable_points);
+  return TunePolicy(model, n, options);
+}
+
+}  // namespace seplsm::model

@@ -1,0 +1,56 @@
+#ifndef SEPLSM_MODEL_TUNER_H_
+#define SEPLSM_MODEL_TUNER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "engine/options.h"
+#include "model/wa_model.h"
+
+namespace seplsm::model {
+
+struct TuningOptions {
+  /// Sweep granularity for n_seq in [1, n-1]; 1 reproduces Algorithm 1
+  /// verbatim, larger steps trade a slightly sub-optimal n̂*_seq for speed.
+  size_t sweep_step = 1;
+  /// Deployment bounds on the sweep (defaults reproduce Algorithm 1's full
+  /// [1, n-1] range). Real systems bound both sides: n_seq is the flushed
+  /// SSTable size (tiny n_seq floods the disk with one-point files), and
+  /// n_nonseq bounds merge frequency. The query-workload benches set these.
+  size_t min_nseq = 1;
+  size_t min_nonseq = 1;
+  /// After the coarse sweep, refine around the best point with step 1.
+  bool refine = true;
+  /// Keep the full (n_seq, r_s) curve in the result (Fig. 7 / Fig. 9).
+  bool keep_curve = false;
+  /// Non-zero enables WaModel's whole-SSTable granularity correction with
+  /// this SSTable size (see WaModel::set_granularity_sstable_points).
+  size_t granularity_sstable_points = 0;
+  SubsequentModelOptions subsequent_options = {};
+  double iota_offset = 0.0;
+};
+
+/// Output of the Separation Policy Tuning Algorithm (paper Algorithm 1).
+struct TuningResult {
+  engine::PolicyConfig recommended;   ///< π_c or π_s(n̂*_seq)
+  double wa_conventional = 0.0;       ///< r_c(n)
+  double wa_separation_best = 0.0;    ///< min over the sweep of r_s(n_seq)
+  size_t best_nseq = 0;               ///< n̂*_seq
+  std::vector<std::pair<size_t, double>> separation_curve;  ///< if requested
+};
+
+/// Paper Algorithm 1: given the delay distribution, generation interval and
+/// memory budget n, predict r_c and min_{n_seq} r_s and recommend the
+/// policy with the lower estimated WA.
+TuningResult TunePolicy(const dist::DelayDistribution& delay_distribution,
+                        double delta_t, size_t n,
+                        const TuningOptions& options = {});
+
+/// Same, reusing an existing WaModel (avoids rebuilding quadrature state).
+TuningResult TunePolicy(const WaModel& model, size_t n,
+                        const TuningOptions& options = {});
+
+}  // namespace seplsm::model
+
+#endif  // SEPLSM_MODEL_TUNER_H_

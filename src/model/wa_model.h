@@ -1,0 +1,90 @@
+#ifndef SEPLSM_MODEL_WA_MODEL_H_
+#define SEPLSM_MODEL_WA_MODEL_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "dist/distribution.h"
+#include "model/arrival_model.h"
+#include "model/subsequent_model.h"
+
+namespace seplsm::model {
+
+/// Phase accounting for one r_s(n_seq) evaluation (paper §IV).
+struct SeparationBreakdown {
+  double g = 0.0;            ///< expected OOO per C_seq fill, Eq. 1
+  double fills = 0.0;        ///< C_seq fill count per phase, n_nonseq / g
+  double n_arrive = 0.0;     ///< Eq. 4
+  double n_prime_seq = 0.0;  ///< points excluded from the in-phase rewrite
+  double n_cur = 0.0;        ///< in-phase flushed points rewritten
+  double n_bef = 0.0;        ///< ζ(N_arrive): pre-phase subsequent points
+  double wa = 0.0;           ///< resulting write amplification
+};
+
+/// Write-amplification models for both policies (paper Eq. 3 and Eq. 5).
+///
+/// Note on Eq. 5: the paper's final simplified line contains an algebra
+/// slip; expanding its own middle expression
+/// (N_cur + N_bef + N_arrive) / N_arrive with
+/// N_cur = N_arrive - (n - n_seq) - n'_seq gives
+///   r_s = 2 + ζ(N_arrive)/N_arrive - (n - n_seq + n'_seq)/N_arrive,
+/// which is what this class computes (it also matches the phase accounting:
+/// every arrival is written once, plus in-phase rewrites N_cur, plus
+/// pre-phase rewrites N_bef, and correctly tends to 2 — flush + one eventual
+/// giant merge — as the out-of-order rate goes to zero, reproducing the
+/// paper's Fig. 2 pathology).
+class WaModel {
+ public:
+  /// Clones the distribution; self-contained afterwards.
+  WaModel(const dist::DelayDistribution& delay_distribution, double delta_t,
+          SubsequentModelOptions subsequent_options = {},
+          double iota_offset = 0.0);
+
+  /// Enables the *whole-SSTable granularity correction* — an extension to
+  /// the paper's models. The subsequent-point models undercount because a
+  /// merge rewrites every point of each overlapped SSTable, not just the
+  /// subsequent ones; when a compaction's subsequent count is far below one
+  /// SSTable (mild disorder, or a tiny C_nonseq producing short phases),
+  /// the boundary file dominates the real cost. The correction adds
+  /// `P(merge overlaps disk) * max(0, sstable_points - ζ)/per-phase-arrivals`
+  /// to each estimate. 0 (default) keeps the paper-faithful models; the
+  /// AdaptiveController enables it with the engine's SSTable size so the
+  /// tuner never recommends a split whose merge cost is granularity-bound.
+  void set_granularity_sstable_points(size_t points) {
+    granularity_sstable_points_ = points;
+  }
+  size_t granularity_sstable_points() const {
+    return granularity_sstable_points_;
+  }
+
+  /// r_c(n) = ζ(n)/n + 1 (Eq. 3).
+  double ConventionalWa(size_t n) const;
+
+  /// r_s with C_seq capacity n_seq out of total budget n (corrected Eq. 5).
+  double SeparationWa(size_t n, size_t n_seq) const {
+    return SeparationDetail(n, n_seq).wa;
+  }
+
+  /// Full phase accounting behind r_s.
+  SeparationBreakdown SeparationDetail(size_t n, size_t n_seq) const;
+
+  /// ζ(n) passthrough (Fig. 5).
+  double Zeta(size_t n) const { return subsequent_.Estimate(n); }
+
+  /// g(n_seq) passthrough (Eq. 1).
+  double G(double n_seq) const { return arrival_.G(n_seq); }
+
+  double delta_t() const { return delta_t_; }
+  const dist::DelayDistribution& distribution() const { return *dist_; }
+
+ private:
+  dist::DistributionPtr dist_;
+  double delta_t_;
+  SubsequentModel subsequent_;
+  ArrivalRateModel arrival_;
+  size_t granularity_sstable_points_ = 0;
+};
+
+}  // namespace seplsm::model
+
+#endif  // SEPLSM_MODEL_WA_MODEL_H_

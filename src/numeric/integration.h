@@ -1,0 +1,35 @@
+#ifndef SEPLSM_NUMERIC_INTEGRATION_H_
+#define SEPLSM_NUMERIC_INTEGRATION_H_
+
+#include <functional>
+
+namespace seplsm::numeric {
+
+/// Options for adaptive quadrature.
+struct IntegrationOptions {
+  double abs_tolerance = 1e-9;   ///< stop when the local error estimate falls below this
+  double rel_tolerance = 1e-8;   ///< ... or below rel_tolerance * |integral so far|
+  int max_depth = 40;            ///< recursion depth cap per interval
+};
+
+/// Integrates f over [a, b] with adaptive Simpson's rule.
+/// f must be finite over [a, b]. Returns the estimate; accuracy is
+/// best-effort within the given tolerances.
+double AdaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, const IntegrationOptions& opts = {});
+
+/// Fixed-order Gauss–Legendre quadrature over [a, b].
+/// `points` must be one of {8, 16, 32, 64}.
+double GaussLegendre(const std::function<double(double)>& f, double a,
+                     double b, int points = 32);
+
+/// Integrates f over [a, b] by splitting into `segments` geometric
+/// subintervals (denser near `a`) and applying Gauss–Legendre to each.
+/// Suited to integrands that decay over several orders of magnitude, e.g.
+/// heavy-tailed densities. Requires 0 <= a < b.
+double GeometricGaussLegendre(const std::function<double(double)>& f, double a,
+                              double b, int segments = 24, int points = 16);
+
+}  // namespace seplsm::numeric
+
+#endif  // SEPLSM_NUMERIC_INTEGRATION_H_

@@ -1,0 +1,41 @@
+#include "numeric/interpolation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace seplsm::numeric {
+
+LinearInterpolator::LinearInterpolator(std::vector<double> xs,
+                                       std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  assert(xs_.size() == ys_.size());
+  assert(std::is_sorted(xs_.begin(), xs_.end()));
+}
+
+double LinearInterpolator::operator()(double x) const {
+  if (xs_.empty()) return 0.0;
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  size_t i = static_cast<size_t>(it - xs_.begin());
+  double x0 = xs_[i - 1], x1 = xs_[i];
+  double y0 = ys_[i - 1], y1 = ys_[i];
+  if (x1 == x0) return y1;
+  double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+double LinearInterpolator::Inverse(double y) const {
+  if (ys_.empty()) return 0.0;
+  if (y <= ys_.front()) return xs_.front();
+  if (y >= ys_.back()) return xs_.back();
+  auto it = std::upper_bound(ys_.begin(), ys_.end(), y);
+  size_t i = static_cast<size_t>(it - ys_.begin());
+  double y0 = ys_[i - 1], y1 = ys_[i];
+  double x0 = xs_[i - 1], x1 = xs_[i];
+  if (y1 == y0) return x1;
+  double t = (y - y0) / (y1 - y0);
+  return x0 + t * (x1 - x0);
+}
+
+}  // namespace seplsm::numeric

@@ -1,0 +1,38 @@
+#ifndef SEPLSM_NUMERIC_INTERPOLATION_H_
+#define SEPLSM_NUMERIC_INTERPOLATION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace seplsm::numeric {
+
+/// Piecewise-linear interpolation over a set of (x, y) knots with
+/// non-decreasing x. Used for empirical CDFs and their inverses.
+class LinearInterpolator {
+ public:
+  LinearInterpolator() = default;
+
+  /// Knots must be sorted by x (ties allowed; the last y among equal x wins).
+  LinearInterpolator(std::vector<double> xs, std::vector<double> ys);
+
+  bool empty() const { return xs_.empty(); }
+  size_t size() const { return xs_.size(); }
+
+  /// Evaluates at x; clamps outside [xs.front(), xs.back()].
+  double operator()(double x) const;
+
+  /// For y-monotone tables: finds x with f(x)=y by inverse interpolation,
+  /// clamped to the knot range. Requires ys non-decreasing.
+  double Inverse(double y) const;
+
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace seplsm::numeric
+
+#endif  // SEPLSM_NUMERIC_INTERPOLATION_H_

@@ -1,0 +1,90 @@
+#include "numeric/root_finding.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seplsm::numeric {
+
+Result<double> Brent(const std::function<double(double)>& f, double a,
+                     double b, const RootOptions& opts) {
+  double fa = f(a);
+  double fb = f(b);
+  if (std::fabs(fa) <= opts.f_tolerance) return a;
+  if (std::fabs(fb) <= opts.f_tolerance) return b;
+  if (fa * fb > 0.0) {
+    return Status::InvalidArgument("Brent: f(a) and f(b) must bracket a root");
+  }
+  if (std::fabs(fa) < std::fabs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a, fc = fa;
+  bool mflag = true;
+  double d = 0.0;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    double s;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // Secant.
+      s = b - fb * (b - a) / (fb - fa);
+    }
+    double lo = (3.0 * a + b) / 4.0;
+    double hi = b;
+    if (lo > hi) std::swap(lo, hi);
+    bool bisect =
+        (s < lo || s > hi) ||
+        (mflag && std::fabs(s - b) >= std::fabs(b - c) / 2.0) ||
+        (!mflag && std::fabs(s - b) >= std::fabs(c - d) / 2.0) ||
+        (mflag && std::fabs(b - c) < opts.x_tolerance) ||
+        (!mflag && std::fabs(c - d) < opts.x_tolerance);
+    if (bisect) {
+      s = 0.5 * (a + b);
+      mflag = true;
+    } else {
+      mflag = false;
+    }
+    double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if (fa * fs < 0.0) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::fabs(fa) < std::fabs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+    if (std::fabs(fb) <= opts.f_tolerance ||
+        std::fabs(b - a) <= opts.x_tolerance) {
+      return b;
+    }
+  }
+  return b;  // best effort after max iterations
+}
+
+Result<long long> MonotoneIntSearch(const std::function<double(long long)>& g,
+                                    long long lo, long long hi,
+                                    double target) {
+  if (g(hi) < target) {
+    return Status::OutOfRange("MonotoneIntSearch: g(hi) below target");
+  }
+  while (lo < hi) {
+    long long mid = lo + (hi - lo) / 2;
+    if (g(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace seplsm::numeric

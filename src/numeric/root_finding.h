@@ -1,0 +1,29 @@
+#ifndef SEPLSM_NUMERIC_ROOT_FINDING_H_
+#define SEPLSM_NUMERIC_ROOT_FINDING_H_
+
+#include <functional>
+
+#include "common/result.h"
+
+namespace seplsm::numeric {
+
+struct RootOptions {
+  double x_tolerance = 1e-10;
+  double f_tolerance = 1e-12;
+  int max_iterations = 200;
+};
+
+/// Finds x in [a, b] with f(x) ~= 0 using Brent's method.
+/// Requires f(a) and f(b) to have opposite signs (or one of them ~0).
+Result<double> Brent(const std::function<double(double)>& f, double a,
+                     double b, const RootOptions& opts = {});
+
+/// Finds the smallest integer k in [lo, hi] with g(k) >= target, where g is
+/// non-decreasing. Returns hi+1 sentinel as OutOfRange error if g(hi) < target.
+Result<long long> MonotoneIntSearch(
+    const std::function<double(long long)>& g, long long lo, long long hi,
+    double target);
+
+}  // namespace seplsm::numeric
+
+#endif  // SEPLSM_NUMERIC_ROOT_FINDING_H_

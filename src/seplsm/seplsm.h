@@ -1,0 +1,60 @@
+#ifndef SEPLSM_SEPLSM_H_
+#define SEPLSM_SEPLSM_H_
+
+/// \file
+/// Umbrella header for the seplsm library — a leveled LSM-tree engine for
+/// out-of-order time-series data with the separation policy (π_s), the
+/// conventional policy (π_c), write-amplification estimation models, and the
+/// adaptive delay analyzer, reproducing Kang et al., "Separation or Not: On
+/// Handling Out-of-Order Time-Series Data in Leveled LSM-Tree" (ICDE 2022).
+///
+/// Typical use:
+///
+///   seplsm::engine::Options options;
+///   options.dir = "/tmp/db";
+///   options.policy = seplsm::engine::PolicyConfig::Separation(512, 256);
+///   auto db = seplsm::engine::TsEngine::Open(options);
+///   db.value()->Append({generation_time, arrival_time, value});
+///
+/// or let the analyzer pick the policy:
+///
+///   seplsm::analyzer::AdaptiveController controller(db->get());
+///   controller.Observe(point);   // before/after each Append
+
+#include "analyzer/adaptive_controller.h"
+#include "analyzer/delay_collector.h"
+#include "analyzer/drift_detector.h"
+#include "analyzer/fitter.h"
+#include "common/point.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "dist/distribution.h"
+#include "dist/empirical.h"
+#include "dist/gamma.h"
+#include "dist/mixture.h"
+#include "dist/parametric.h"
+#include "dist/shifted.h"
+#include "engine/metrics.h"
+#include "engine/multi_series_db.h"
+#include "engine/options.h"
+#include "engine/ts_engine.h"
+#include "env/env.h"
+#include "env/fault_env.h"
+#include "env/latency_env.h"
+#include "env/mem_env.h"
+#include "model/arrival_model.h"
+#include "model/subsequent_model.h"
+#include "model/tuner.h"
+#include "model/wa_model.h"
+#include "model/wa_simulator.h"
+#include "stats/autocorrelation.h"
+#include "storage/integrity.h"
+#include "stats/ecdf.h"
+#include "stats/histogram.h"
+#include "workload/datasets.h"
+#include "workload/query_workload.h"
+#include "workload/synthetic.h"
+#include "workload/trace_io.h"
+
+#endif  // SEPLSM_SEPLSM_H_

@@ -1,0 +1,31 @@
+#include "stats/autocorrelation.h"
+
+#include <cmath>
+
+namespace seplsm::stats {
+
+AutocorrResult Autocorrelation(const std::vector<double>& series,
+                               size_t max_lag) {
+  AutocorrResult out;
+  size_t n = series.size();
+  if (n < 2) return out;
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(n);
+  double denom = 0.0;
+  for (double x : series) denom += (x - mean) * (x - mean);
+  if (denom == 0.0) return out;
+  max_lag = std::min(max_lag, n - 1);
+  out.acf.resize(max_lag + 1);
+  for (size_t k = 0; k <= max_lag; ++k) {
+    double num = 0.0;
+    for (size_t t = 0; t + k < n; ++t) {
+      num += (series[t] - mean) * (series[t + k] - mean);
+    }
+    out.acf[k] = num / denom;
+  }
+  out.conf_bound = 1.96 / std::sqrt(static_cast<double>(n));
+  return out;
+}
+
+}  // namespace seplsm::stats

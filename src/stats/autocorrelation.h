@@ -1,0 +1,23 @@
+#ifndef SEPLSM_STATS_AUTOCORRELATION_H_
+#define SEPLSM_STATS_AUTOCORRELATION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace seplsm::stats {
+
+/// Result of a sample-autocorrelation computation (MATLAB `autocorr`
+/// equivalent, used for the paper's Fig. 16a on dataset H).
+struct AutocorrResult {
+  std::vector<double> acf;  ///< acf[k] for lag k = 0..max_lag (acf[0] == 1)
+  double conf_bound = 0.0;  ///< +-1.96/sqrt(N): bounds for "independent" delays
+};
+
+/// Biased sample autocorrelation: acf[k] = sum (x_t-m)(x_{t+k}-m) / sum (x_t-m)^2.
+/// Returns an empty acf when the series is constant or shorter than 2.
+AutocorrResult Autocorrelation(const std::vector<double>& series,
+                               size_t max_lag);
+
+}  // namespace seplsm::stats
+
+#endif  // SEPLSM_STATS_AUTOCORRELATION_H_

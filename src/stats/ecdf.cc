@@ -1,0 +1,60 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace seplsm::stats {
+
+Ecdf::Ecdf(std::vector<double> sample) : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+  if (!sorted_.empty()) {
+    mean_ = std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+            static_cast<double>(sorted_.size());
+  }
+}
+
+double Ecdf::Cdf(double x) const {
+  if (sorted_.empty()) return 0.0;
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::Quantile(double q) const {
+  if (sorted_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return sorted_.front();
+  size_t idx = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size()))) - 1;
+  idx = std::min(idx, sorted_.size() - 1);
+  return sorted_[idx];
+}
+
+double KsDistance(const Ecdf& a, const Ecdf& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const auto& xa = a.sorted_sample();
+  const auto& xb = b.sorted_sample();
+  double d = 0.0;
+  size_t i = 0, j = 0;
+  size_t n = xa.size(), m = xb.size();
+  while (i < n && j < m) {
+    double x = std::min(xa[i], xb[j]);
+    while (i < n && xa[i] <= x) ++i;
+    while (j < m && xb[j] <= x) ++j;
+    double fa = static_cast<double>(i) / static_cast<double>(n);
+    double fb = static_cast<double>(j) / static_cast<double>(m);
+    d = std::max(d, std::fabs(fa - fb));
+  }
+  return d;
+}
+
+double KsCriticalValue(size_t n, size_t m, double alpha) {
+  // c(alpha) = sqrt(-ln(alpha/2)/2)
+  double c = std::sqrt(-std::log(alpha / 2.0) / 2.0);
+  double nn = static_cast<double>(n);
+  double mm = static_cast<double>(m);
+  return c * std::sqrt((nn + mm) / (nn * mm));
+}
+
+}  // namespace seplsm::stats

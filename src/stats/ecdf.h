@@ -1,0 +1,43 @@
+#ifndef SEPLSM_STATS_ECDF_H_
+#define SEPLSM_STATS_ECDF_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace seplsm::stats {
+
+/// Empirical cumulative distribution function over a fixed sample.
+/// F(x) = (# samples <= x) / n. Quantile is the usual left-continuous
+/// inverse. The sample is copied and sorted once at construction.
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> sample);
+
+  bool empty() const { return sorted_.empty(); }
+  size_t size() const { return sorted_.size(); }
+
+  double Cdf(double x) const;
+  double Quantile(double q) const;
+  double min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }
+  double max() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+  double mean() const { return mean_; }
+
+  const std::vector<double>& sorted_sample() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+};
+
+/// Two-sample Kolmogorov–Smirnov distance sup_x |F1(x) - F2(x)|.
+/// Used by the drift detector to decide when the delay distribution changed.
+double KsDistance(const Ecdf& a, const Ecdf& b);
+
+/// Asymptotic two-sample KS critical value at significance `alpha`
+/// (e.g. 0.05): c(alpha) * sqrt((n+m)/(n*m)).
+double KsCriticalValue(size_t n, size_t m, double alpha = 0.05);
+
+}  // namespace seplsm::stats
+
+#endif  // SEPLSM_STATS_ECDF_H_

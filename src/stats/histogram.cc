@@ -1,0 +1,131 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace seplsm::stats {
+
+FixedHistogram::FixedHistogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void FixedHistogram::Add(double value) {
+  ++count_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  size_t i = static_cast<size_t>((value - lo_) / width_);
+  if (i >= counts_.size()) i = counts_.size() - 1;  // fp edge
+  ++counts_[i];
+}
+
+void FixedHistogram::Merge(const FixedHistogram& other) {
+  assert(other.lo_ == lo_ && other.hi_ == hi_ &&
+         other.counts_.size() == counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+}
+
+void FixedHistogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  underflow_ = overflow_ = count_ = 0;
+}
+
+double FixedHistogram::Quantile(double q) const {
+  if (count_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string FixedHistogram::ToAscii(size_t max_width) const {
+  uint64_t peak = 0;
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    size_t bar = peak == 0 ? 0
+                           : static_cast<size_t>(
+                                 static_cast<double>(counts_[i]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(max_width));
+    out << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+        << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  if (overflow_ > 0) out << ">= " << hi_ << " : " << overflow_ << "\n";
+  return out.str();
+}
+
+LogHistogram::LogHistogram(double min_value, double growth, size_t max_buckets)
+    : min_value_(min_value), log_growth_(std::log(growth)),
+      counts_(max_buckets, 0) {
+  assert(min_value > 0.0 && growth > 1.0);
+}
+
+size_t LogHistogram::BucketFor(double value) const {
+  if (value < min_value_) return 0;
+  double b = std::log(value / min_value_) / log_growth_;
+  size_t i = static_cast<size_t>(b) + 1;
+  return std::min(i, counts_.size() - 1);
+}
+
+void LogHistogram::Add(double value) {
+  if (value < 0.0) value = 0.0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++counts_[BucketFor(value)];
+}
+
+void LogHistogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= target && counts_[i] > 0) {
+      // Bucket edges: bucket 0 is [0, min_value); i>0 covers
+      // [min_value*g^(i-1), min_value*g^i).
+      if (i == 0) return min_value_ * 0.5;
+      double lo = min_value_ * std::exp(log_growth_ * static_cast<double>(i - 1));
+      double hi = lo * std::exp(log_growth_);
+      return 0.5 * (lo + hi);
+    }
+  }
+  return max_;
+}
+
+}  // namespace seplsm::stats

@@ -1,0 +1,79 @@
+#ifndef SEPLSM_STATS_HISTOGRAM_H_
+#define SEPLSM_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seplsm::stats {
+
+/// A fixed-bin histogram over [lo, hi) with `bins` equal-width buckets plus
+/// underflow/overflow buckets. Used for delay profiles (paper Fig. 8/19b).
+class FixedHistogram {
+ public:
+  FixedHistogram(double lo, double hi, size_t bins);
+
+  void Add(double value);
+  void Merge(const FixedHistogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  size_t bins() const { return counts_.size(); }
+  uint64_t bin_count(size_t i) const { return counts_[i]; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+
+  /// Lower edge of bin i.
+  double bin_lo(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  double bin_hi(size_t i) const { return bin_lo(i) + width_; }
+
+  /// Approximate quantile (linear within the containing bin), q in [0, 1].
+  double Quantile(double q) const;
+
+  /// Multi-line ASCII rendering (for bench/report output).
+  std::string ToAscii(size_t max_width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t count_ = 0;
+};
+
+/// A log-scaled histogram for latency-style values spanning orders of
+/// magnitude (value >= 0). Buckets grow geometrically from `min_value`.
+class LogHistogram {
+ public:
+  /// Bucket i covers [min_value * growth^i, min_value * growth^(i+1)).
+  explicit LogHistogram(double min_value = 1.0, double growth = 1.5,
+                        size_t max_buckets = 120);
+
+  void Add(double value);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double Quantile(double q) const;
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double max() const { return max_; }
+  double min() const { return count_ ? min_ : 0.0; }
+
+ private:
+  size_t BucketFor(double value) const;
+
+  double min_value_;
+  double log_growth_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace seplsm::stats
+
+#endif  // SEPLSM_STATS_HISTOGRAM_H_

@@ -1,0 +1,50 @@
+#ifndef SEPLSM_STATS_ONLINE_STATS_H_
+#define SEPLSM_STATS_ONLINE_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace seplsm::stats {
+
+/// Streaming mean/variance via Welford's algorithm, plus min/max.
+class OnlineMoments {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1) {
+      min_ = max_ = x;
+    } else {
+      if (x < min_) min_ = x;
+      if (x > max_) max_ = x;
+    }
+  }
+
+  void Clear() {
+    n_ = 0;
+    mean_ = m2_ = min_ = max_ = 0.0;
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when n < 2.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace seplsm::stats
+
+#endif  // SEPLSM_STATS_ONLINE_STATS_H_

@@ -1,0 +1,87 @@
+#include "stats/quantile_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace seplsm::stats {
+
+P2Quantile::P2Quantile(double quantile) : quantile_(quantile) {
+  assert(quantile > 0.0 && quantile < 1.0);
+  desired_ = {1.0, 1.0 + 2.0 * quantile, 1.0 + 4.0 * quantile,
+              3.0 + 2.0 * quantile, 5.0};
+  increments_ = {0.0, quantile / 2.0, quantile, (1.0 + quantile) / 2.0, 1.0};
+}
+
+double P2Quantile::Parabolic(int i, double d) const {
+  double qi = heights_[i];
+  double np = positions_[i + 1] - positions_[i];
+  double nm = positions_[i] - positions_[i - 1];
+  double hp = (heights_[i + 1] - qi) / np;
+  double hm = (qi - heights_[i - 1]) / nm;
+  return qi + d / (np + nm) * ((nm + d) * hp + (np - d) * hm);
+}
+
+double P2Quantile::Linear(int i, double d) const {
+  int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+    }
+    return;
+  }
+  ++count_;
+
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    double d = desired_[i] - positions_[i];
+    if ((d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      double sign = d >= 0 ? 1.0 : -1.0;
+      double candidate = Parabolic(i, sign);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = Linear(i, sign);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+    size_t idx = static_cast<size_t>(
+        std::ceil(quantile_ * static_cast<double>(count_)));
+    idx = idx == 0 ? 0 : idx - 1;
+    return sorted[std::min(idx, static_cast<size_t>(count_ - 1))];
+  }
+  return heights_[2];
+}
+
+}  // namespace seplsm::stats

@@ -1,0 +1,39 @@
+#ifndef SEPLSM_STATS_QUANTILE_SKETCH_H_
+#define SEPLSM_STATS_QUANTILE_SKETCH_H_
+
+#include <array>
+#include <cstdint>
+
+namespace seplsm::stats {
+
+/// Streaming quantile estimator using the P² algorithm (Jain & Chlamtac,
+/// 1985): tracks one target quantile in O(1) memory with five markers.
+/// The delay analyzer uses these for cheap online delay percentiles without
+/// retaining samples.
+class P2Quantile {
+ public:
+  /// `quantile` in (0, 1), e.g. 0.99.
+  explicit P2Quantile(double quantile);
+
+  void Add(double x);
+
+  /// Current estimate; exact until five observations arrive.
+  double Value() const;
+
+  uint64_t count() const { return count_; }
+
+ private:
+  double Parabolic(int i, double d) const;
+  double Linear(int i, double d) const;
+
+  double quantile_;
+  uint64_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights
+  std::array<double, 5> positions_{};  // actual marker positions
+  std::array<double, 5> desired_{};    // desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace seplsm::stats
+
+#endif  // SEPLSM_STATS_QUANTILE_SKETCH_H_

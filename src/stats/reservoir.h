@@ -1,0 +1,48 @@
+#ifndef SEPLSM_STATS_RESERVOIR_H_
+#define SEPLSM_STATS_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace seplsm::stats {
+
+/// Classic reservoir sample of up to `capacity` doubles from a stream.
+/// The delay analyzer keeps a reservoir so the empirical CDF stays bounded
+/// in memory regardless of ingest volume.
+class ReservoirSample {
+ public:
+  explicit ReservoirSample(size_t capacity, uint64_t seed = 42)
+      : capacity_(capacity), rng_(seed) {
+    sample_.reserve(capacity);
+  }
+
+  void Add(double x) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(x);
+      return;
+    }
+    uint64_t j = rng_.UniformU64(seen_);
+    if (j < capacity_) sample_[static_cast<size_t>(j)] = x;
+  }
+
+  void Clear() {
+    sample_.clear();
+    seen_ = 0;
+  }
+
+  uint64_t seen() const { return seen_; }
+  const std::vector<double>& sample() const { return sample_; }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  std::vector<double> sample_;
+  uint64_t seen_ = 0;
+};
+
+}  // namespace seplsm::stats
+
+#endif  // SEPLSM_STATS_RESERVOIR_H_

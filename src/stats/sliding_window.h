@@ -1,0 +1,43 @@
+#ifndef SEPLSM_STATS_SLIDING_WINDOW_H_
+#define SEPLSM_STATS_SLIDING_WINDOW_H_
+
+#include <cstddef>
+#include <deque>
+
+namespace seplsm::stats {
+
+/// Fixed-capacity sliding window keeping a running sum (used to smooth the
+/// per-batch WA series in the Fig. 10/17 reproductions).
+class SlidingWindowMean {
+ public:
+  explicit SlidingWindowMean(size_t capacity) : capacity_(capacity) {}
+
+  void Add(double x) {
+    window_.push_back(x);
+    sum_ += x;
+    if (window_.size() > capacity_) {
+      sum_ -= window_.front();
+      window_.pop_front();
+    }
+  }
+
+  size_t size() const { return window_.size(); }
+  bool full() const { return window_.size() == capacity_; }
+  double mean() const {
+    return window_.empty() ? 0.0 : sum_ / static_cast<double>(window_.size());
+  }
+
+  void Clear() {
+    window_.clear();
+    sum_ = 0.0;
+  }
+
+ private:
+  size_t capacity_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+};
+
+}  // namespace seplsm::stats
+
+#endif  // SEPLSM_STATS_SLIDING_WINDOW_H_

@@ -1,0 +1,67 @@
+#include "storage/integrity.h"
+
+#include "storage/sstable.h"
+#include "storage/wal.h"
+
+namespace seplsm::storage {
+
+TableReport VerifySSTable(Env* env, const std::string& path) {
+  TableReport report;
+  report.path = path;
+  auto reader = SSTableReader::Open(env, path);
+  if (!reader.ok()) {
+    report.error = reader.status().ToString();
+    return report;
+  }
+  report.blocks = (*reader)->block_count();
+  std::vector<DataPoint> points;
+  Status st = (*reader)->ReadAll(&points);
+  if (!st.ok()) {
+    report.error = st.ToString();
+    return report;
+  }
+  report.point_count = points.size();
+  if (points.size() != (*reader)->point_count()) {
+    report.error = "footer point count does not match decoded points";
+    return report;
+  }
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].generation_time < points[i - 1].generation_time) {
+      report.error = "keys out of order inside table";
+      return report;
+    }
+  }
+  if (!points.empty() &&
+      (points.front().generation_time != (*reader)->min_generation_time() ||
+       points.back().generation_time != (*reader)->max_generation_time())) {
+    report.error = "footer key range does not match contents";
+    return report;
+  }
+  report.ok = true;
+  return report;
+}
+
+Result<DatabaseReport> VerifyDatabase(Env* env, const std::string& dir) {
+  DatabaseReport report;
+  std::vector<std::string> children;
+  SEPLSM_RETURN_IF_ERROR(env->ListDir(dir, &children));
+  for (const auto& name : children) {
+    if (name.size() < 4 || name.substr(name.size() - 4) != ".sst") continue;
+    TableReport table = VerifySSTable(env, dir + "/" + name);
+    if (table.ok) {
+      report.total_points += table.point_count;
+    } else {
+      ++report.corrupt_tables;
+    }
+    report.tables.push_back(std::move(table));
+  }
+  std::string wal_path = dir + "/wal.log";
+  if (env->FileExists(wal_path)) {
+    report.wal_present = true;
+    auto wal = ReadWal(env, wal_path, &report.wal_tail_truncated);
+    if (wal.ok()) report.wal_records = wal->size();
+  }
+  return report;
+}
+
+}  // namespace seplsm::storage

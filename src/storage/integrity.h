@@ -1,0 +1,45 @@
+#ifndef SEPLSM_STORAGE_INTEGRITY_H_
+#define SEPLSM_STORAGE_INTEGRITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "env/env.h"
+
+namespace seplsm::storage {
+
+/// Verification report for one SSTable.
+struct TableReport {
+  std::string path;
+  bool ok = false;
+  std::string error;          ///< first problem found, empty when ok
+  uint64_t point_count = 0;   ///< decoded points (when readable)
+  uint64_t blocks = 0;
+};
+
+/// Verification report for a whole database directory.
+struct DatabaseReport {
+  std::vector<TableReport> tables;
+  uint64_t total_points = 0;
+  uint64_t corrupt_tables = 0;
+  bool wal_present = false;
+  bool wal_tail_truncated = false;
+  uint64_t wal_records = 0;
+
+  bool ok() const { return corrupt_tables == 0; }
+};
+
+/// Deep-verifies one SSTable: footer magic, index CRC, every block CRC,
+/// in-file key ordering, and footer/point-count consistency.
+TableReport VerifySSTable(Env* env, const std::string& path);
+
+/// Verifies every `*.sst` in `dir` plus the WAL (if any). IO errors while
+/// listing the directory surface as a non-OK status; per-table corruption
+/// is reported in the result instead.
+Result<DatabaseReport> VerifyDatabase(Env* env, const std::string& dir);
+
+}  // namespace seplsm::storage
+
+#endif  // SEPLSM_STORAGE_INTEGRITY_H_

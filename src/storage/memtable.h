@@ -1,0 +1,72 @@
+#ifndef SEPLSM_STORAGE_MEMTABLE_H_
+#define SEPLSM_STORAGE_MEMTABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/point.h"
+
+namespace seplsm::storage {
+
+/// An in-memory buffer of points sorted by generation time with upsert
+/// semantics (writing a point with an existing generation time replaces the
+/// value — generation time is the key, per paper Definition 1).
+///
+/// The engine instantiates one (`C0`, conventional policy) or two (`C_seq`
+/// and `C_nonseq`, separation policy). Capacity is counted in points, as in
+/// the paper's memory-budget model.
+class MemTable {
+ public:
+  explicit MemTable(size_t capacity_points)
+      : capacity_(capacity_points) {}
+
+  /// Inserts/overwrites. Returns true if this was a new key (the table
+  /// grew), false if an existing generation time was overwritten.
+  bool Add(const DataPoint& point) {
+    auto [it, inserted] = points_.insert_or_assign(
+        point.generation_time, point);
+    (void)it;
+    return inserted;
+  }
+
+  size_t size() const { return points_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return points_.empty(); }
+  bool full() const { return points_.size() >= capacity_; }
+
+  int64_t min_generation_time() const { return points_.begin()->first; }
+  int64_t max_generation_time() const { return points_.rbegin()->first; }
+
+  /// Extracts all points in generation-time order and clears the table.
+  std::vector<DataPoint> Drain() {
+    std::vector<DataPoint> out;
+    out.reserve(points_.size());
+    for (auto& [t, p] : points_) {
+      (void)t;
+      out.push_back(p);
+    }
+    points_.clear();
+    return out;
+  }
+
+  /// Copies points with generation_time in [lo, hi] into *out (sorted).
+  void CollectRange(int64_t lo, int64_t hi,
+                    std::vector<DataPoint>* out) const {
+    for (auto it = points_.lower_bound(lo);
+         it != points_.end() && it->first <= hi; ++it) {
+      out->push_back(it->second);
+    }
+  }
+
+  void Clear() { points_.clear(); }
+
+ private:
+  size_t capacity_;
+  std::map<int64_t, DataPoint> points_;
+};
+
+}  // namespace seplsm::storage
+
+#endif  // SEPLSM_STORAGE_MEMTABLE_H_

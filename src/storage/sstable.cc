@@ -1,0 +1,171 @@
+#include "storage/sstable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace seplsm::storage {
+
+std::string TableFilePath(const std::string& dir, uint64_t file_number) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/%08llu.sst",
+                static_cast<unsigned long long>(file_number));
+  return dir + buf;
+}
+
+SSTableWriter::SSTableWriter(Env* env, std::string path,
+                             size_t points_per_block,
+                             format::ValueEncoding encoding)
+    : env_(env), path_(std::move(path)), points_per_block_(points_per_block),
+      block_(encoding) {
+  assert(points_per_block_ > 0);
+  open_status_ = env_->NewWritableFile(path_, &file_);
+}
+
+Status SSTableWriter::Add(const DataPoint& point) {
+  SEPLSM_RETURN_IF_ERROR(open_status_);
+  if (points_added_ == 0) {
+    file_min_tg_ = point.generation_time;
+  } else if (point.generation_time < file_max_tg_) {
+    return Status::InvalidArgument("SSTableWriter: points out of order");
+  }
+  file_max_tg_ = point.generation_time;
+  if (block_.empty()) block_min_tg_ = point.generation_time;
+  block_max_tg_ = point.generation_time;
+  block_.Add(point);
+  ++points_added_;
+  if (block_.count() >= points_per_block_) {
+    SEPLSM_RETURN_IF_ERROR(FlushBlock());
+  }
+  return Status::OK();
+}
+
+Status SSTableWriter::FlushBlock() {
+  if (block_.empty()) return Status::OK();
+  uint64_t count = block_.count();
+  std::string data = block_.Finish();
+  format::BlockIndexEntry entry;
+  entry.min_generation_time = block_min_tg_;
+  entry.max_generation_time = block_max_tg_;
+  entry.offset = offset_;
+  entry.size = data.size();
+  entry.point_count = count;
+  SEPLSM_RETURN_IF_ERROR(file_->Append(data));
+  offset_ += data.size();
+  index_.push_back(entry);
+  ++block_count_;
+  return Status::OK();
+}
+
+Result<FileMetadata> SSTableWriter::Finish() {
+  SEPLSM_RETURN_IF_ERROR(open_status_);
+  if (points_added_ == 0) {
+    return Status::InvalidArgument("SSTableWriter: empty table");
+  }
+  SEPLSM_RETURN_IF_ERROR(FlushBlock());
+  std::string index_data;
+  format::EncodeIndex(index_, &index_data);
+  SEPLSM_RETURN_IF_ERROR(file_->Append(index_data));
+  format::Footer footer;
+  footer.index_offset = offset_;
+  footer.index_size = index_data.size();
+  footer.point_count = points_added_;
+  footer.min_generation_time = file_min_tg_;
+  footer.max_generation_time = file_max_tg_;
+  std::string footer_data;
+  format::EncodeFooter(footer, &footer_data);
+  SEPLSM_RETURN_IF_ERROR(file_->Append(footer_data));
+  SEPLSM_RETURN_IF_ERROR(file_->Sync());
+  SEPLSM_RETURN_IF_ERROR(file_->Close());
+
+  FileMetadata meta;
+  meta.path = path_;
+  meta.point_count = points_added_;
+  meta.file_bytes = offset_ + index_data.size() + footer_data.size();
+  meta.min_generation_time = file_min_tg_;
+  meta.max_generation_time = file_max_tg_;
+  return meta;
+}
+
+Result<std::unique_ptr<SSTableReader>> SSTableReader::Open(
+    Env* env, const std::string& path) {
+  std::unique_ptr<RandomAccessFile> file;
+  SEPLSM_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &file));
+  uint64_t size = file->Size();
+  if (size < format::kFooterSize) {
+    return Status::Corruption(path + ": file smaller than footer");
+  }
+  std::string footer_data;
+  SEPLSM_RETURN_IF_ERROR(
+      file->Read(size - format::kFooterSize, format::kFooterSize,
+                 &footer_data));
+  format::Footer footer;
+  SEPLSM_RETURN_IF_ERROR(format::DecodeFooter(footer_data, &footer));
+  if (footer.index_offset + footer.index_size + format::kFooterSize != size) {
+    return Status::Corruption(path + ": footer does not match file size");
+  }
+  std::string index_data;
+  SEPLSM_RETURN_IF_ERROR(
+      file->Read(footer.index_offset, footer.index_size, &index_data));
+  std::vector<format::BlockIndexEntry> index;
+  SEPLSM_RETURN_IF_ERROR(format::DecodeIndex(index_data, &index));
+  return std::unique_ptr<SSTableReader>(
+      new SSTableReader(std::move(file), footer, std::move(index)));
+}
+
+Status SSTableReader::ReadAll(std::vector<DataPoint>* out) const {
+  return ReadRange(footer_.min_generation_time, footer_.max_generation_time,
+                   out, nullptr);
+}
+
+Status SSTableReader::ReadRange(int64_t lo, int64_t hi,
+                                std::vector<DataPoint>* out,
+                                uint64_t* points_scanned) const {
+  for (const auto& entry : index_) {
+    if (entry.min_generation_time > hi || entry.max_generation_time < lo) {
+      continue;
+    }
+    std::string data;
+    SEPLSM_RETURN_IF_ERROR(file_->Read(entry.offset, entry.size, &data));
+    if (data.size() != entry.size) {
+      return Status::Corruption("short block read");
+    }
+    std::vector<DataPoint> block_points;
+    SEPLSM_RETURN_IF_ERROR(format::DecodeBlock(data, &block_points));
+    if (points_scanned != nullptr) *points_scanned += block_points.size();
+    for (const auto& p : block_points) {
+      if (p.generation_time >= lo && p.generation_time <= hi) {
+        out->push_back(p);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteSortedPointsAsTables(Env* env, const std::string& dir,
+                                 const std::vector<DataPoint>& points,
+                                 size_t points_per_file,
+                                 size_t points_per_block,
+                                 uint64_t* next_file_no,
+                                 std::vector<FileMetadata>* files,
+                                 format::ValueEncoding encoding) {
+  assert(points_per_file > 0);
+  size_t i = 0;
+  while (i < points.size()) {
+    size_t take = std::min(points_per_file, points.size() - i);
+    uint64_t file_no = (*next_file_no)++;
+    std::string path = TableFilePath(dir, file_no);
+    SSTableWriter writer(env, path, points_per_block, encoding);
+    for (size_t j = 0; j < take; ++j) {
+      SEPLSM_RETURN_IF_ERROR(writer.Add(points[i + j]));
+    }
+    auto meta = writer.Finish();
+    if (!meta.ok()) return meta.status();
+    meta.value().file_number = file_no;
+    files->push_back(std::move(meta).value());
+    i += take;
+  }
+  return Status::OK();
+}
+
+}  // namespace seplsm::storage

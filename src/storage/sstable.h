@@ -1,0 +1,114 @@
+#ifndef SEPLSM_STORAGE_SSTABLE_H_
+#define SEPLSM_STORAGE_SSTABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "env/env.h"
+#include "format/block.h"
+#include "format/table_format.h"
+
+namespace seplsm::storage {
+
+/// Immutable description of an on-disk SSTable (kept in the Version).
+struct FileMetadata {
+  uint64_t file_number = 0;
+  std::string path;
+  uint64_t point_count = 0;
+  uint64_t file_bytes = 0;
+  int64_t min_generation_time = 0;
+  int64_t max_generation_time = 0;
+
+  bool Overlaps(int64_t lo, int64_t hi) const {
+    return min_generation_time <= hi && max_generation_time >= lo;
+  }
+};
+
+/// Streams sorted points into an SSTable file.
+class SSTableWriter {
+ public:
+  /// `points_per_block` controls index granularity within the file;
+  /// `encoding` selects the value-column codec (see format/value_codec.h).
+  SSTableWriter(Env* env, std::string path, size_t points_per_block = 128,
+                format::ValueEncoding encoding = format::ValueEncoding::kRaw);
+
+  /// Points must arrive in non-decreasing generation-time order.
+  Status Add(const DataPoint& point);
+
+  /// Flushes remaining data, writes index + footer, closes the file, and
+  /// returns the metadata (file_number left 0 for the caller to assign).
+  Result<FileMetadata> Finish();
+
+  uint64_t points_added() const { return points_added_; }
+
+ private:
+  Status FlushBlock();
+
+  Env* env_;
+  std::string path_;
+  size_t points_per_block_;
+  std::unique_ptr<WritableFile> file_;
+  Status open_status_;
+  format::BlockBuilder block_;
+  std::vector<format::BlockIndexEntry> index_;
+  uint64_t offset_ = 0;
+  uint64_t points_added_ = 0;
+  int64_t block_min_tg_ = 0;
+  int64_t block_max_tg_ = 0;
+  int64_t file_min_tg_ = 0;
+  int64_t file_max_tg_ = 0;
+  size_t block_count_ = 0;
+};
+
+/// Reads an SSTable written by SSTableWriter.
+class SSTableReader {
+ public:
+  /// Opens the file and loads footer + index.
+  static Result<std::unique_ptr<SSTableReader>> Open(Env* env,
+                                                     const std::string& path);
+
+  uint64_t point_count() const { return footer_.point_count; }
+  int64_t min_generation_time() const { return footer_.min_generation_time; }
+  int64_t max_generation_time() const { return footer_.max_generation_time; }
+  size_t block_count() const { return index_.size(); }
+
+  /// Appends every point to *out in generation-time order.
+  Status ReadAll(std::vector<DataPoint>* out) const;
+
+  /// Appends points with generation_time in [lo, hi]; reads only the blocks
+  /// whose index range overlaps. *points_scanned (optional) is incremented
+  /// by the number of points decoded from disk (>= number appended) — the
+  /// read-amplification numerator.
+  Status ReadRange(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
+                   uint64_t* points_scanned = nullptr) const;
+
+ private:
+  SSTableReader(std::unique_ptr<RandomAccessFile> file, format::Footer footer,
+                std::vector<format::BlockIndexEntry> index)
+      : file_(std::move(file)), footer_(footer), index_(std::move(index)) {}
+
+  std::unique_ptr<RandomAccessFile> file_;
+  format::Footer footer_;
+  std::vector<format::BlockIndexEntry> index_;
+};
+
+/// Writes `points[begin, end)` (sorted) into one or more SSTables of at most
+/// `points_per_file` points each, assigning file numbers via `next_file_no`.
+/// File paths are `<dir>/<number>.sst`. Appends metadata to *files.
+Status WriteSortedPointsAsTables(
+    Env* env, const std::string& dir, const std::vector<DataPoint>& points,
+    size_t points_per_file, size_t points_per_block, uint64_t* next_file_no,
+    std::vector<FileMetadata>* files,
+    format::ValueEncoding encoding = format::ValueEncoding::kRaw);
+
+/// Path helpers: `<dir>/<number>.sst`.
+std::string TableFilePath(const std::string& dir, uint64_t file_number);
+
+}  // namespace seplsm::storage
+
+#endif  // SEPLSM_STORAGE_SSTABLE_H_

@@ -1,0 +1,54 @@
+#include "storage/table_cache.h"
+
+#include <cassert>
+
+namespace seplsm::storage {
+
+TableCache::TableCache(Env* env, size_t capacity)
+    : env_(env), capacity_(capacity) {
+  assert(capacity > 0);
+}
+
+Result<std::shared_ptr<SSTableReader>> TableCache::Get(
+    uint64_t file_number, const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(file_number);
+    if (it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+      return it->second->reader;
+    }
+    ++misses_;
+  }
+  // Open outside the lock; concurrent misses on the same file may both
+  // open, the second insert wins harmlessly.
+  auto opened = SSTableReader::Open(env_, path);
+  if (!opened.ok()) return opened.status();
+  std::shared_ptr<SSTableReader> reader = std::move(opened).value();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(file_number);
+  if (it != index_.end()) return it->second->reader;
+  lru_.push_front({file_number, reader});
+  index_[file_number] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().file_number);
+    lru_.pop_back();
+  }
+  return reader;
+}
+
+void TableCache::Erase(uint64_t file_number) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(file_number);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+size_t TableCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace seplsm::storage

@@ -1,0 +1,55 @@
+#ifndef SEPLSM_STORAGE_TABLE_CACHE_H_
+#define SEPLSM_STORAGE_TABLE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "storage/sstable.h"
+
+namespace seplsm::storage {
+
+/// LRU cache of open `SSTableReader`s keyed by file number. Re-opening a
+/// table costs a footer + index read (two device seeks under `LatencyEnv`);
+/// hot query workloads hit the same run files repeatedly, so the engine can
+/// keep readers open (`Options::table_cache_entries`).
+///
+/// Readers are shared; eviction or Erase only drops the cache's reference,
+/// so in-flight reads stay valid. Thread-safe.
+class TableCache {
+ public:
+  TableCache(Env* env, size_t capacity);
+
+  /// Returns a cached reader or opens (and caches) one.
+  Result<std::shared_ptr<SSTableReader>> Get(uint64_t file_number,
+                                             const std::string& path);
+
+  /// Drops the entry for a deleted file (no-op when absent).
+  void Erase(uint64_t file_number);
+
+  size_t size() const;
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    uint64_t file_number;
+    std::shared_ptr<SSTableReader> reader;
+  };
+
+  Env* env_;
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace seplsm::storage
+
+#endif  // SEPLSM_STORAGE_TABLE_CACHE_H_

@@ -1,0 +1,92 @@
+#include "storage/version.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace seplsm::storage {
+
+int64_t Version::MaxPersistedGenerationTime() const {
+  int64_t max_tg = std::numeric_limits<int64_t>::min();
+  if (!run_.empty()) {
+    max_tg = std::max(max_tg, run_.back().max_generation_time);
+  }
+  for (const auto& f : level0_) {
+    max_tg = std::max(max_tg, f.max_generation_time);
+  }
+  return max_tg;
+}
+
+uint64_t Version::TotalPoints() const {
+  uint64_t total = 0;
+  for (const auto& f : level0_) total += f.point_count;
+  for (const auto& f : run_) total += f.point_count;
+  return total;
+}
+
+FileMetadata Version::PopLevel0Front() {
+  FileMetadata f = std::move(level0_.front());
+  level0_.erase(level0_.begin());
+  return f;
+}
+
+Status Version::AppendToRun(FileMetadata file) {
+  if (!run_.empty() &&
+      file.min_generation_time <= run_.back().max_generation_time) {
+    return Status::InvalidArgument(
+        "AppendToRun: file overlaps or is below the run");
+  }
+  run_.push_back(std::move(file));
+  return Status::OK();
+}
+
+Status Version::ReplaceRunSlice(size_t begin, size_t end,
+                                std::vector<FileMetadata> replacements) {
+  if (begin > end || end > run_.size()) {
+    return Status::InvalidArgument("ReplaceRunSlice: bad slice");
+  }
+  std::vector<FileMetadata> next;
+  next.reserve(run_.size() - (end - begin) + replacements.size());
+  next.insert(next.end(), run_.begin(), run_.begin() + begin);
+  next.insert(next.end(), std::make_move_iterator(replacements.begin()),
+              std::make_move_iterator(replacements.end()));
+  next.insert(next.end(), run_.begin() + end, run_.end());
+  run_ = std::move(next);
+  return CheckInvariants();
+}
+
+void Version::OverlappingRunRange(int64_t lo, int64_t hi, size_t* begin,
+                                  size_t* end) const {
+  // First file with max >= lo.
+  auto first = std::partition_point(
+      run_.begin(), run_.end(),
+      [lo](const FileMetadata& f) { return f.max_generation_time < lo; });
+  // First file with min > hi.
+  auto last = std::partition_point(
+      first, run_.end(),
+      [hi](const FileMetadata& f) { return f.min_generation_time <= hi; });
+  *begin = static_cast<size_t>(first - run_.begin());
+  *end = static_cast<size_t>(last - run_.begin());
+}
+
+std::vector<size_t> Version::OverlappingLevel0(int64_t lo, int64_t hi) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < level0_.size(); ++i) {
+    if (level0_[i].Overlaps(lo, hi)) out.push_back(i);
+  }
+  return out;
+}
+
+Status Version::CheckInvariants() const {
+  for (size_t i = 0; i < run_.size(); ++i) {
+    if (run_[i].min_generation_time > run_[i].max_generation_time) {
+      return Status::Corruption("run file with inverted range");
+    }
+    if (i > 0 && run_[i].min_generation_time <=
+                     run_[i - 1].max_generation_time) {
+      return Status::Corruption("run files overlap or are unsorted");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace seplsm::storage

@@ -1,0 +1,68 @@
+#ifndef SEPLSM_STORAGE_VERSION_H_
+#define SEPLSM_STORAGE_VERSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/sstable.h"
+
+namespace seplsm::storage {
+
+/// The persisted state of the tree:
+///
+/// - `level0`: recently flushed SSTables, in flush order; files may overlap
+///   each other and the run. Only populated when the engine runs the
+///   background-compaction variant (paper §V-C); empty in synchronous mode.
+/// - `run`: level 1, kept sorted by min generation time with pairwise
+///   disjoint ranges — the paper's single sorted *run* R.
+///
+/// Not thread-safe; the engine serializes access.
+class Version {
+ public:
+  const std::vector<FileMetadata>& level0() const { return level0_; }
+  const std::vector<FileMetadata>& run() const { return run_; }
+
+  bool empty() const { return level0_.empty() && run_.empty(); }
+
+  /// Max generation time across all persisted data: LAST(R).t_g in the
+  /// paper (the engine also folds in level0 in background mode).
+  /// Returns INT64_MIN when nothing is persisted.
+  int64_t MaxPersistedGenerationTime() const;
+
+  uint64_t TotalPoints() const;
+  uint64_t TotalFiles() const { return level0_.size() + run_.size(); }
+
+  void AddLevel0(FileMetadata file) { level0_.push_back(std::move(file)); }
+
+  /// Removes and returns the oldest level-0 file metadata.
+  FileMetadata PopLevel0Front();
+
+  /// Appends a file strictly above the current run (C_seq flush fast path).
+  /// Fails if the file overlaps the run.
+  Status AppendToRun(FileMetadata file);
+
+  /// Replaces run files [begin, end) with `replacements` (sorted,
+  /// non-overlapping, and fitting the gap). Indices into run().
+  Status ReplaceRunSlice(size_t begin, size_t end,
+                         std::vector<FileMetadata> replacements);
+
+  /// Returns [begin, end) indices of run files overlapping [lo, hi].
+  void OverlappingRunRange(int64_t lo, int64_t hi, size_t* begin,
+                           size_t* end) const;
+
+  /// Indices of level0 files overlapping [lo, hi].
+  std::vector<size_t> OverlappingLevel0(int64_t lo, int64_t hi) const;
+
+  /// Verifies the run invariant (sorted, pairwise disjoint).
+  Status CheckInvariants() const;
+
+ private:
+  std::vector<FileMetadata> level0_;
+  std::vector<FileMetadata> run_;
+};
+
+}  // namespace seplsm::storage
+
+#endif  // SEPLSM_STORAGE_VERSION_H_

@@ -1,0 +1,82 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace seplsm::storage {
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env,
+                                                   const std::string& path) {
+  std::unique_ptr<WritableFile> file;
+  SEPLSM_RETURN_IF_ERROR(env->NewWritableFile(path, &file));
+  // Make the (empty) truncation visible immediately, so a rotation is
+  // durable even before the first record lands.
+  SEPLSM_RETURN_IF_ERROR(file->Flush());
+  return std::unique_ptr<WalWriter>(new WalWriter(std::move(file)));
+}
+
+Status WalWriter::Append(const DataPoint& point) {
+  std::string payload;
+  PutVarint64Signed(&payload, point.generation_time);
+  PutVarint64Signed(&payload, point.arrival_time - point.generation_time);
+  uint64_t bits;
+  std::memcpy(&bits, &point.value, sizeof(bits));
+  PutFixed64(&payload, bits);
+
+  std::string record;
+  PutFixed32(&record, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&record, crc32c::Mask(crc32c::Value(payload)));
+  record += payload;
+  SEPLSM_RETURN_IF_ERROR(file_->Append(record));
+  bytes_written_ += record.size();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  SEPLSM_RETURN_IF_ERROR(file_->Flush());
+  return file_->Sync();
+}
+
+Result<std::vector<DataPoint>> ReadWal(Env* env, const std::string& path,
+                                       bool* tail_truncated) {
+  if (tail_truncated != nullptr) *tail_truncated = false;
+  std::vector<DataPoint> points;
+  if (!env->FileExists(path)) return points;
+  std::unique_ptr<RandomAccessFile> file;
+  SEPLSM_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &file));
+  std::string contents;
+  SEPLSM_RETURN_IF_ERROR(file->Read(0, file->Size(), &contents));
+  std::string_view rest = contents;
+  while (!rest.empty()) {
+    uint32_t len, stored_crc;
+    if (!GetFixed32(&rest, &len) || !GetFixed32(&rest, &stored_crc) ||
+        rest.size() < len) {
+      if (tail_truncated != nullptr) *tail_truncated = true;
+      break;  // torn tail
+    }
+    std::string_view payload = rest.substr(0, len);
+    rest.remove_prefix(len);
+    if (crc32c::Value(payload) != crc32c::Unmask(stored_crc)) {
+      if (tail_truncated != nullptr) *tail_truncated = true;
+      break;  // corrupt tail
+    }
+    DataPoint p;
+    int64_t delay;
+    uint64_t bits;
+    std::string_view body = payload;
+    if (!GetVarint64Signed(&body, &p.generation_time) ||
+        !GetVarint64Signed(&body, &delay) || !GetFixed64(&body, &bits) ||
+        !body.empty()) {
+      if (tail_truncated != nullptr) *tail_truncated = true;
+      break;
+    }
+    p.arrival_time = p.generation_time + delay;
+    std::memcpy(&p.value, &bits, sizeof(p.value));
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace seplsm::storage

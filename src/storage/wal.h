@@ -1,0 +1,60 @@
+#ifndef SEPLSM_STORAGE_WAL_H_
+#define SEPLSM_STORAGE_WAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "env/env.h"
+
+namespace seplsm::storage {
+
+/// Write-ahead log for MemTable durability (an engine extension; Apache
+/// IoTDB ships one too — without it, points still buffered in C0/C_seq/
+/// C_nonseq are lost on crash).
+///
+/// Record layout: fixed32 payload length | fixed32 masked CRC-32C of the
+/// payload | payload (zigzag-varint generation_time, zigzag-varint
+/// arrival_time delta from generation_time, fixed64 value bits).
+/// Replay stops cleanly at the first torn or corrupt record (a crashed
+/// writer can only damage the tail).
+///
+/// Because generation time uniquely keys a point and writes are upserts,
+/// replaying a WAL that also covers already-persisted points is idempotent;
+/// the engine therefore truncates the log only at explicit checkpoints
+/// (after draining every MemTable).
+class WalWriter {
+ public:
+  /// Creates/overwrites the log at `path`.
+  static Result<std::unique_ptr<WalWriter>> Open(Env* env,
+                                                 const std::string& path);
+
+  /// Appends one record (buffered; call Sync to force it to the device).
+  Status Append(const DataPoint& point);
+
+  Status Sync();
+
+  /// Bytes appended so far (for checkpoint-size policies).
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  explicit WalWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+
+  std::unique_ptr<WritableFile> file_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Reads every intact record of a WAL file. A missing file yields an empty
+/// vector (fresh database); a corrupt tail is truncated silently, matching
+/// crash semantics. `tail_truncated` (optional) reports whether that
+/// happened.
+Result<std::vector<DataPoint>> ReadWal(Env* env, const std::string& path,
+                                       bool* tail_truncated = nullptr);
+
+}  // namespace seplsm::storage
+
+#endif  // SEPLSM_STORAGE_WAL_H_

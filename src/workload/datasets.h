@@ -1,0 +1,79 @@
+#ifndef SEPLSM_WORKLOAD_DATASETS_H_
+#define SEPLSM_WORKLOAD_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+#include "dist/distribution.h"
+#include "workload/synthetic.h"
+
+namespace seplsm::workload {
+
+/// One of the paper's twelve synthetic dataset configurations (Table II):
+/// lognormal delays with parameters (μ, σ) over a constant generation
+/// interval Δt. M1–M6 use Δt = 50, M7–M12 use Δt = 10; within each group μ
+/// is 4 then 5 and σ sweeps {1.5, 1.75, 2}. The paper writes 10 M tuples
+/// per dataset; `num_points` scales that down proportionally for bench runs
+/// (WA is a ratio, so the shape is preserved).
+struct TableIIConfig {
+  std::string name;  ///< "M1" ... "M12"
+  double mu = 4.0;
+  double sigma = 1.5;
+  double delta_t = 50.0;
+};
+
+/// All twelve configurations in paper order.
+const std::vector<TableIIConfig>& TableII();
+
+/// The configuration with the given name ("M1".."M12"); aborts on typos.
+const TableIIConfig& TableIIByName(const std::string& name);
+
+/// Builds the lognormal delay distribution of a Table II config.
+dist::DistributionPtr MakeTableIIDistribution(const TableIIConfig& config);
+
+/// Generates a Table II dataset with `num_points` tuples.
+std::vector<DataPoint> GenerateTableII(const TableIIConfig& config,
+                                       size_t num_points, uint64_t seed = 1);
+
+/// Simulated stand-in for the real S-9 dataset of Weiss et al. (mobile
+/// device -> server telemetry, 30 k points): a lognormal delay body plus a
+/// heavy Pareto tail so a small share of points suffers very long delays,
+/// yielding ≈7 % out-of-order points under Definition 3 (paper §V-A).
+/// `jitter_intervals` additionally randomizes the generation interval, the
+/// property exercised by the paper's Fig. 18.
+std::vector<DataPoint> GenerateS9Simulated(size_t num_points = 30'000,
+                                           bool jitter_intervals = true,
+                                           uint64_t seed = 9);
+
+/// The delay distribution used by the S-9 simulation (for model inputs).
+dist::DistributionPtr MakeS9DelayDistribution();
+
+/// Nominal S-9 generation interval (ms).
+inline constexpr double kS9DeltaT = 100.0;
+
+/// Simulated stand-in for the industrial vehicle-fleet dataset H (paper
+/// §VI): one point per second; the device is normally "online" (small
+/// lognormal delays) but occasionally loses connectivity, buffers points
+/// locally, and re-sends them in a batch at the next ~5·10⁴ ms boundary.
+/// This produces the paper's three H properties: autocorrelated delays
+/// (Fig. 16a), a systematic delay mode near 5·10⁴ ms (Fig. 19b), and a tiny
+/// out-of-order fraction.
+struct HSimConfig {
+  size_t num_points = 1'000'000;
+  double delta_t = 1000.0;            ///< 1 s in ms
+  double resend_period = 50'000.0;    ///< batch re-send boundary
+  double outage_start_probability = 2e-4;  ///< per-point P(online -> outage)
+  double online_delay_median = 200.0;
+  double online_delay_sigma = 0.4;
+  uint64_t seed = 17;
+};
+
+std::vector<DataPoint> GenerateHSimulated(const HSimConfig& config = {});
+
+/// Nominal H generation interval (ms).
+inline constexpr double kHDeltaT = 1000.0;
+
+}  // namespace seplsm::workload
+
+#endif  // SEPLSM_WORKLOAD_DATASETS_H_

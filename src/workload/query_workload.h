@@ -1,0 +1,63 @@
+#ifndef SEPLSM_WORKLOAD_QUERY_WORKLOAD_H_
+#define SEPLSM_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace seplsm::workload {
+
+/// A half-open time-range predicate on generation time: [lo, hi].
+struct TimeRangeQuery {
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+/// The paper's *recent data query workload* (§V-D1): a real-time dashboard
+/// repeatedly asking for the trailing `window` of the series —
+/// `SELECT * FROM TS WHERE time > max_time - window`.
+class RecentQueryGenerator {
+ public:
+  explicit RecentQueryGenerator(int64_t window) : window_(window) {}
+
+  /// `max_written_generation_time` is the client-tracked maximum generation
+  /// time already written (the paper's client records it during ingest).
+  TimeRangeQuery Next(int64_t max_written_generation_time) const {
+    return {max_written_generation_time - window_,
+            max_written_generation_time};
+  }
+
+  int64_t window() const { return window_; }
+
+ private:
+  int64_t window_;
+};
+
+/// The paper's *historical query workload* (§V-D2): a uniformly random
+/// window placed anywhere in the already-written history —
+/// `SELECT * FROM TS WHERE time > r AND time < r + window`.
+class HistoricalQueryGenerator {
+ public:
+  HistoricalQueryGenerator(int64_t window, uint64_t seed = 77)
+      : window_(window), rng_(seed) {}
+
+  /// Draws a window within [min_time, max_time]; the upper bound never
+  /// exceeds max_time (paper's guarantee).
+  TimeRangeQuery Next(int64_t min_time, int64_t max_time) {
+    int64_t span = max_time - min_time - window_;
+    int64_t lo = span <= 0
+                     ? min_time
+                     : min_time + rng_.UniformInt(0, span);
+    return {lo, lo + window_};
+  }
+
+  int64_t window() const { return window_; }
+
+ private:
+  int64_t window_;
+  Rng rng_;
+};
+
+}  // namespace seplsm::workload
+
+#endif  // SEPLSM_WORKLOAD_QUERY_WORKLOAD_H_

@@ -1,0 +1,97 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace seplsm::workload {
+
+std::vector<DataPoint> GenerateSynthetic(
+    const SyntheticConfig& config,
+    const dist::DelayDistribution& delay_distribution) {
+  Rng rng(config.seed);
+  std::vector<DataPoint> points(config.num_points);
+  double t = static_cast<double>(config.start_time);
+  for (size_t i = 0; i < config.num_points; ++i) {
+    double interval = config.delta_t;
+    if (config.interval_jitter > 0.0) {
+      interval *= std::max(0.05, 1.0 + config.interval_jitter *
+                                           rng.NextGaussian());
+    }
+    if (i > 0) t += interval;
+    double delay = delay_distribution.Sample(rng);
+    points[i].generation_time = static_cast<int64_t>(std::llround(t));
+    points[i].arrival_time =
+        points[i].generation_time + static_cast<int64_t>(std::llround(delay));
+    // Deterministic payload: a smooth signal over the generation index.
+    points[i].value = std::sin(static_cast<double>(i) * 0.001) * 100.0;
+  }
+  // Generation times must be unique (they are the key): the jitter path can
+  // collide after rounding; nudge duplicates forward.
+  std::vector<DataPoint> by_generation = points;
+  std::sort(by_generation.begin(), by_generation.end(),
+            OrderByGenerationTime());
+  bool had_duplicates = false;
+  for (size_t i = 1; i < by_generation.size(); ++i) {
+    if (by_generation[i].generation_time <=
+        by_generation[i - 1].generation_time) {
+      had_duplicates = true;
+      break;
+    }
+  }
+  if (had_duplicates) {
+    int64_t last = by_generation.empty()
+                       ? 0
+                       : by_generation.front().generation_time - 1;
+    for (auto& p : by_generation) {
+      if (p.generation_time <= last) {
+        int64_t delta = last + 1 - p.generation_time;
+        p.generation_time += delta;
+        p.arrival_time += delta;
+      }
+      last = p.generation_time;
+    }
+    points = std::move(by_generation);
+  }
+  std::stable_sort(points.begin(), points.end(),
+                   [](const DataPoint& a, const DataPoint& b) {
+                     return a.arrival_time < b.arrival_time;
+                   });
+  return points;
+}
+
+DisorderStats ComputeDisorderStats(const std::vector<DataPoint>& stream) {
+  DisorderStats out;
+  out.num_points = stream.size();
+  if (stream.empty()) return out;
+  int64_t running_max = stream.front().generation_time;
+  size_t late = 0;
+  size_t ooo = 0;
+  double delay_sum = 0.0;
+  double ooo_delay_sum = 0.0;
+  double max_delay = 0.0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    double d = static_cast<double>(stream[i].delay());
+    delay_sum += d;
+    max_delay = std::max(max_delay, d);
+    if (i > 0) {
+      if (stream[i].generation_time < stream[i - 1].generation_time) ++late;
+      if (stream[i].generation_time < running_max) {
+        ++ooo;
+        ooo_delay_sum += d;
+      }
+      running_max = std::max(running_max, stream[i].generation_time);
+    }
+  }
+  double n = static_cast<double>(stream.size());
+  out.late_event_fraction = static_cast<double>(late) / n;
+  out.out_of_order_fraction = static_cast<double>(ooo) / n;
+  out.mean_delay = delay_sum / n;
+  out.max_delay = max_delay;
+  out.mean_out_of_order_delay =
+      ooo > 0 ? ooo_delay_sum / static_cast<double>(ooo) : 0.0;
+  return out;
+}
+
+}  // namespace seplsm::workload

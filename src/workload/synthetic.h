@@ -1,0 +1,55 @@
+#ifndef SEPLSM_WORKLOAD_SYNTHETIC_H_
+#define SEPLSM_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+#include "dist/distribution.h"
+
+namespace seplsm::workload {
+
+/// Configuration for a synthetic write stream generated the way the paper
+/// builds its datasets (§V-A): generation times form an arithmetic
+/// progression with interval Δt, each point gets an i.i.d. delay from the
+/// distribution, arrival = generation + delay, and the stream is sorted by
+/// arrival time.
+struct SyntheticConfig {
+  size_t num_points = 100'000;
+  double delta_t = 50.0;
+  int64_t start_time = 0;
+  uint64_t seed = 1;
+  /// Optional jitter on the generation interval (Fig. 18 robustness case):
+  /// interval_i = Δt * max(0.05, 1 + jitter * N(0,1)).
+  double interval_jitter = 0.0;
+};
+
+/// Generates the stream (sorted by arrival; ties keep generation order).
+/// Values are a deterministic function of the generation index so tests can
+/// verify round-trips.
+std::vector<DataPoint> GenerateSynthetic(
+    const SyntheticConfig& config,
+    const dist::DelayDistribution& delay_distribution);
+
+/// Disorder profile of an arrival-ordered stream.
+struct DisorderStats {
+  size_t num_points = 0;
+  /// Fraction of *late events*: generation time below the immediately
+  /// preceding arrival's generation time (literature's metric, §II).
+  double late_event_fraction = 0.0;
+  /// Fraction of *out-of-order points* under Definition 3 with an
+  /// immediately-flushed disk (generation time below the running maximum).
+  double out_of_order_fraction = 0.0;
+  double mean_delay = 0.0;
+  double max_delay = 0.0;
+  /// Mean delay among the out-of-order points only.
+  double mean_out_of_order_delay = 0.0;
+};
+
+DisorderStats ComputeDisorderStats(const std::vector<DataPoint>& stream);
+
+}  // namespace seplsm::workload
+
+#endif  // SEPLSM_WORKLOAD_SYNTHETIC_H_

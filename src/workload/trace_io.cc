@@ -1,0 +1,99 @@
+#include "workload/trace_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <string_view>
+
+namespace seplsm::workload {
+
+namespace {
+
+bool ParseField(std::string_view* line, std::string_view* field) {
+  if (line->empty()) return false;
+  size_t comma = line->find(',');
+  if (comma == std::string_view::npos) {
+    *field = *line;
+    line->remove_prefix(line->size());
+  } else {
+    *field = line->substr(0, comma);
+    line->remove_prefix(comma + 1);
+  }
+  return true;
+}
+
+bool ParseInt64(std::string_view field, int64_t* out) {
+  auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), *out);
+  return ec == std::errc() && ptr == field.data() + field.size();
+}
+
+}  // namespace
+
+Status WriteTraceCsv(Env* env, const std::string& path,
+                     const std::vector<DataPoint>& points) {
+  std::unique_ptr<WritableFile> file;
+  SEPLSM_RETURN_IF_ERROR(env->NewWritableFile(path, &file));
+  SEPLSM_RETURN_IF_ERROR(file->Append("generation_time,arrival_time,value\n"));
+  std::string buffer;
+  char row[96];
+  for (const auto& p : points) {
+    int len = std::snprintf(row, sizeof(row), "%lld,%lld,%.17g\n",
+                            static_cast<long long>(p.generation_time),
+                            static_cast<long long>(p.arrival_time), p.value);
+    buffer.append(row, static_cast<size_t>(len));
+    if (buffer.size() > (1u << 20)) {
+      SEPLSM_RETURN_IF_ERROR(file->Append(buffer));
+      buffer.clear();
+    }
+  }
+  SEPLSM_RETURN_IF_ERROR(file->Append(buffer));
+  SEPLSM_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
+Result<std::vector<DataPoint>> ReadTraceCsv(Env* env,
+                                            const std::string& path) {
+  std::unique_ptr<RandomAccessFile> file;
+  SEPLSM_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &file));
+  std::string contents;
+  SEPLSM_RETURN_IF_ERROR(file->Read(0, file->Size(), &contents));
+  std::vector<DataPoint> points;
+  std::string_view rest = contents;
+  bool header = true;
+  size_t line_no = 0;
+  while (!rest.empty()) {
+    ++line_no;
+    size_t nl = rest.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? rest : rest.substr(0, nl);
+    rest.remove_prefix(nl == std::string_view::npos ? rest.size() : nl + 1);
+    if (line.empty()) continue;
+    if (header) {
+      header = false;
+      continue;
+    }
+    std::string_view f1, f2, f3;
+    DataPoint p;
+    if (!ParseField(&line, &f1) || !ParseField(&line, &f2) ||
+        !ParseField(&line, &f3) || !ParseInt64(f1, &p.generation_time) ||
+        !ParseInt64(f2, &p.arrival_time)) {
+      return Status::Corruption(path + ": malformed row at line " +
+                                std::to_string(line_no));
+    }
+    // Parse the value with strtod semantics (from_chars<double> is fine on
+    // this toolchain but keep it simple and locale-free).
+    {
+      double v;
+      auto [ptr, ec] = std::from_chars(f3.data(), f3.data() + f3.size(), v);
+      if (ec != std::errc() || ptr != f3.data() + f3.size()) {
+        return Status::Corruption(path + ": malformed value at line " +
+                                  std::to_string(line_no));
+      }
+      p.value = v;
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace seplsm::workload

@@ -1,0 +1,25 @@
+#ifndef SEPLSM_WORKLOAD_TRACE_IO_H_
+#define SEPLSM_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "env/env.h"
+
+namespace seplsm::workload {
+
+/// Writes a stream as CSV (`generation_time,arrival_time,value`, one header
+/// line) so traces can be exchanged with external tools.
+Status WriteTraceCsv(Env* env, const std::string& path,
+                     const std::vector<DataPoint>& points);
+
+/// Reads a CSV trace written by WriteTraceCsv (or hand-made with the same
+/// columns). Rejects malformed rows.
+Result<std::vector<DataPoint>> ReadTraceCsv(Env* env, const std::string& path);
+
+}  // namespace seplsm::workload
+
+#endif  // SEPLSM_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,143 @@
+#include "engine/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/ts_engine.h"
+#include "env/mem_env.h"
+
+namespace seplsm::engine {
+namespace {
+
+TEST(AggregatesTest, AccumulateBasics) {
+  Aggregates a;
+  a.Accumulate({10, 11, 5.0});
+  a.Accumulate({20, 21, -1.0});
+  a.Accumulate({30, 31, 2.0});
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_DOUBLE_EQ(a.sum, 6.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min, -1.0);
+  EXPECT_DOUBLE_EQ(a.max, 5.0);
+  EXPECT_EQ(a.first_time, 10);
+  EXPECT_EQ(a.last_time, 30);
+  EXPECT_DOUBLE_EQ(a.first_value, 5.0);
+  EXPECT_DOUBLE_EQ(a.last_value, 2.0);
+}
+
+TEST(AggregatesTest, EmptyMeanIsZero) {
+  Aggregates a;
+  EXPECT_EQ(a.count, 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(BucketizeTest, AlignsToLowerBound) {
+  std::vector<DataPoint> points;
+  for (int64_t t = 0; t < 100; t += 10) points.push_back({t, t, 1.0});
+  auto buckets = BucketizePoints(points, 0, 99, 30);
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0].bucket_start, 0);
+  EXPECT_EQ(buckets[0].bucket_end, 30);
+  EXPECT_EQ(buckets[0].aggregates.count, 3u);  // 0,10,20
+  EXPECT_EQ(buckets[3].bucket_start, 90);
+  EXPECT_EQ(buckets[3].aggregates.count, 1u);  // 90
+}
+
+TEST(BucketizeTest, SkipsEmptyBuckets) {
+  std::vector<DataPoint> points = {{0, 0, 1.0}, {95, 95, 2.0}};
+  auto buckets = BucketizePoints(points, 0, 99, 10);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].bucket_start, 0);
+  EXPECT_EQ(buckets[1].bucket_start, 90);
+}
+
+TEST(BucketizeTest, IgnoresOutOfRangePoints) {
+  std::vector<DataPoint> points = {{-5, 0, 1.0}, {5, 5, 2.0}, {200, 200, 3.0}};
+  auto buckets = BucketizePoints(points, 0, 99, 50);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].aggregates.count, 1u);
+}
+
+TEST(BucketizeTest, NonPositiveWidthEmpty) {
+  std::vector<DataPoint> points = {{0, 0, 1.0}};
+  EXPECT_TRUE(BucketizePoints(points, 0, 10, 0).empty());
+  EXPECT_TRUE(BucketizePoints(points, 0, 10, -5).empty());
+}
+
+class EngineAggregationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Options o;
+    o.env = &env_;
+    o.dir = "/agg";
+    o.policy = PolicyConfig::Conventional(16);
+    o.sstable_points = 32;
+    auto open = TsEngine::Open(o);
+    ASSERT_TRUE(open.ok());
+    db_ = std::move(open).value();
+    // 100 points: value = t, every 10th point overwritten to 1000 later.
+    for (int64_t t = 0; t < 100; ++t) {
+      ASSERT_TRUE(db_->Append({t, t, static_cast<double>(t)}).ok());
+    }
+    for (int64_t t = 0; t < 100; t += 10) {
+      ASSERT_TRUE(db_->Append({t, 1000 + t, 1000.0}).ok());
+    }
+  }
+
+  MemEnv env_;
+  std::unique_ptr<TsEngine> db_;
+};
+
+TEST_F(EngineAggregationTest, AggregateRespectsUpserts) {
+  Aggregates a;
+  ASSERT_TRUE(db_->Aggregate(0, 99, &a).ok());
+  EXPECT_EQ(a.count, 100u);  // no duplicates despite rewrites
+  EXPECT_DOUBLE_EQ(a.max, 1000.0);
+  // Sum: 0..99 minus overwritten (0,10,...,90 -> originally 450) plus
+  // 10 * 1000.
+  EXPECT_DOUBLE_EQ(a.sum, 4950.0 - 450.0 + 10000.0);
+}
+
+TEST_F(EngineAggregationTest, AggregateSubRange) {
+  Aggregates a;
+  ASSERT_TRUE(db_->Aggregate(25, 29, &a).ok());
+  EXPECT_EQ(a.count, 5u);
+  EXPECT_DOUBLE_EQ(a.min, 25.0);
+  EXPECT_DOUBLE_EQ(a.max, 29.0);
+  EXPECT_EQ(a.first_time, 25);
+  EXPECT_EQ(a.last_time, 29);
+}
+
+TEST_F(EngineAggregationTest, AggregateEmptyRange) {
+  Aggregates a;
+  ASSERT_TRUE(db_->Aggregate(5000, 6000, &a).ok());
+  EXPECT_EQ(a.count, 0u);
+}
+
+TEST_F(EngineAggregationTest, DownsampleBuckets) {
+  std::vector<TimeBucket> buckets;
+  ASSERT_TRUE(db_->Downsample(0, 99, 25, &buckets).ok());
+  ASSERT_EQ(buckets.size(), 4u);
+  uint64_t total = 0;
+  for (const auto& b : buckets) {
+    EXPECT_EQ(b.bucket_end - b.bucket_start, 25);
+    total += b.aggregates.count;
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST_F(EngineAggregationTest, DownsampleInvalidWidth) {
+  std::vector<TimeBucket> buckets;
+  EXPECT_TRUE(db_->Downsample(0, 99, 0, &buckets).IsInvalidArgument());
+}
+
+TEST_F(EngineAggregationTest, QueryStatsPropagated) {
+  QueryStats stats;
+  Aggregates a;
+  ASSERT_TRUE(db_->FlushAll().ok());
+  ASSERT_TRUE(db_->Aggregate(0, 99, &a, &stats).ok());
+  EXPECT_EQ(stats.points_returned, 100u);
+  EXPECT_GT(stats.disk_points_scanned, 0u);
+}
+
+}  // namespace
+}  // namespace seplsm::engine

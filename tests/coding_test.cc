@@ -1,0 +1,137 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace seplsm {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed32(&buf, std::numeric_limits<uint32_t>::max());
+  std::string_view in = buf;
+  uint32_t v;
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 0xDEADBEEFu);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, std::numeric_limits<uint32_t>::max());
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  std::string_view in = buf;
+  uint64_t v;
+  ASSERT_TRUE(GetFixed64(&in, &v));
+  EXPECT_EQ(v, 0x0123456789ABCDEFull);
+}
+
+TEST(CodingTest, FixedUnderflowFails) {
+  std::string buf = "abc";
+  std::string_view in = buf;
+  uint32_t v32;
+  uint64_t v64;
+  EXPECT_FALSE(GetFixed32(&in, &v32));
+  EXPECT_FALSE(GetFixed64(&in, &v64));
+}
+
+TEST(CodingTest, VarintSmallValuesAreOneByte) {
+  for (uint64_t v : {0ull, 1ull, 127ull}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(buf.size(), 1u) << v;
+  }
+}
+
+TEST(CodingTest, VarintBoundaries) {
+  std::vector<uint64_t> values = {0, 127, 128, 16383, 16384,
+                                  (1ull << 32) - 1, 1ull << 32,
+                                  std::numeric_limits<uint64_t>::max()};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  std::string_view in = buf;
+  for (uint64_t expected : values) {
+    uint64_t v;
+    ASSERT_TRUE(GetVarint64(&in, &v));
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, VarintTruncatedFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.resize(buf.size() - 1);
+  std::string_view in = buf;
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&in, &v));
+}
+
+TEST(CodingTest, ZigZagMapsSmallMagnitudes) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+}
+
+TEST(CodingTest, ZigZagRoundTripExtremes) {
+  for (int64_t v : {std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max(), int64_t{0},
+                    int64_t{-123456789}}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(CodingTest, SignedVarintRoundTripRandom) {
+  Rng rng(7);
+  std::string buf;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.NextU64());
+    values.push_back(v);
+    PutVarint64Signed(&buf, v);
+  }
+  std::string_view in = buf;
+  for (int64_t expected : values) {
+    int64_t v;
+    ASSERT_TRUE(GetVarint64Signed(&in, &v));
+    EXPECT_EQ(v, expected);
+  }
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, "hello");
+  std::string big(100000, 'x');
+  PutLengthPrefixed(&buf, big);
+  std::string_view in = buf;
+  std::string_view v;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &v));
+  EXPECT_EQ(v, "");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &v));
+  EXPECT_EQ(v, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &v));
+  EXPECT_EQ(v, big);
+}
+
+TEST(CodingTest, LengthPrefixedTruncatedPayloadFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  buf.resize(buf.size() - 2);
+  std::string_view in = buf;
+  std::string_view v;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &v));
+}
+
+}  // namespace
+}  // namespace seplsm

@@ -1,0 +1,43 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace seplsm {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC-32C test vectors.
+  EXPECT_EQ(crc32c::Value("", 0), 0u);
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xE3069283u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c::Value(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, ExtendMatchesWhole) {
+  std::string data = "hello world, this is a longer buffer";
+  uint32_t whole = crc32c::Value(data);
+  uint32_t split = crc32c::Extend(crc32c::Value(data.data(), 10),
+                                  data.data() + 10, data.size() - 10);
+  EXPECT_EQ(whole, split);
+}
+
+TEST(Crc32cTest, DifferentInputsDiffer) {
+  EXPECT_NE(crc32c::Value("abc"), crc32c::Value("abd"));
+  EXPECT_NE(crc32c::Value("abc"), crc32c::Value("cba"));
+}
+
+TEST(Crc32cTest, MaskUnmaskRoundTrip) {
+  for (uint32_t crc : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu}) {
+    EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+  }
+}
+
+TEST(Crc32cTest, MaskChangesValue) {
+  uint32_t crc = crc32c::Value("abc");
+  EXPECT_NE(crc32c::Mask(crc), crc);
+}
+
+}  // namespace
+}  // namespace seplsm

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "dist/empirical.h"
+#include "dist/gamma.h"
+#include "dist/mixture.h"
+#include "dist/parametric.h"
+#include "dist/shifted.h"
+#include "numeric/integration.h"
+
+namespace seplsm::dist {
+namespace {
+
+using Factory = std::function<DistributionPtr()>;
+
+struct DistCase {
+  std::string label;
+  Factory make;
+};
+
+std::vector<DistCase> AllCases() {
+  return {
+      {"lognormal_4_15",
+       [] { return std::make_unique<LognormalDistribution>(4.0, 1.5); }},
+      {"lognormal_5_2",
+       [] { return std::make_unique<LognormalDistribution>(5.0, 2.0); }},
+      {"exponential_100",
+       [] { return std::make_unique<ExponentialDistribution>(100.0); }},
+      {"uniform_10_200",
+       [] { return std::make_unique<UniformDistribution>(10.0, 200.0); }},
+      {"pareto_50_25",
+       [] { return std::make_unique<ParetoDistribution>(50.0, 2.5); }},
+      {"weibull_80_14",
+       [] { return std::make_unique<WeibullDistribution>(80.0, 1.4); }},
+      {"gamma_2_50",
+       [] { return std::make_unique<GammaDistribution>(2.0, 50.0); }},
+      {"gamma_05_200",
+       [] { return std::make_unique<GammaDistribution>(0.5, 200.0); }},
+      {"mixture",
+       [] {
+         return MakeMixture(
+             0.7, std::make_unique<LognormalDistribution>(3.0, 0.5), 0.3,
+             std::make_unique<ExponentialDistribution>(500.0));
+       }},
+      {"shifted",
+       [] {
+         return std::make_unique<ShiftedScaledDistribution>(
+             std::make_unique<ExponentialDistribution>(50.0), 20.0, 2.0);
+       }},
+  };
+}
+
+class DistributionContractTest
+    : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionContractTest, CdfMonotoneAndBounded) {
+  auto d = GetParam().make();
+  double prev = -1.0;
+  for (double x = 0.0; x <= 10000.0; x += 97.0) {
+    double f = d->Cdf(x);
+    EXPECT_GE(f, prev - 1e-12);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_EQ(d->Cdf(-5.0), 0.0);
+}
+
+TEST_P(DistributionContractTest, QuantileInvertsCdf) {
+  auto d = GetParam().make();
+  for (double q : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    double x = d->Quantile(q);
+    EXPECT_NEAR(d->Cdf(x), q, 5e-3) << "q=" << q;
+  }
+}
+
+TEST_P(DistributionContractTest, PdfIntegratesToCdfDifference) {
+  auto d = GetParam().make();
+  double a = d->Quantile(0.1);
+  double b = d->Quantile(0.8);
+  double integral = numeric::AdaptiveSimpson(
+      [&](double x) { return d->Pdf(x); }, a, b);
+  // Empirical-style densities are piecewise; allow some slack.
+  EXPECT_NEAR(integral, d->Cdf(b) - d->Cdf(a), 2e-2);
+}
+
+TEST_P(DistributionContractTest, SampleMatchesCdfAtMedian) {
+  auto d = GetParam().make();
+  Rng rng(1234);
+  double median = d->Quantile(0.5);
+  int below = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (d->Sample(rng) <= median) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.02);
+}
+
+TEST_P(DistributionContractTest, SamplesNonNegative) {
+  auto d = GetParam().make();
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) EXPECT_GE(d->Sample(rng), 0.0);
+}
+
+TEST_P(DistributionContractTest, CloneIsIndependentAndEquivalent) {
+  auto d = GetParam().make();
+  auto c = d->Clone();
+  for (double q : {0.2, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(d->Quantile(q), c->Quantile(q));
+  }
+  EXPECT_EQ(d->Name(), c->Name());
+}
+
+TEST_P(DistributionContractTest, SampleMeanMatchesMean) {
+  auto d = GetParam().make();
+  if (!std::isfinite(d->Mean())) GTEST_SKIP() << "infinite mean";
+  Rng rng(555);
+  const int n = 400000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += d->Sample(rng);
+  double sample_mean = sum / n;
+  // Heavy tails converge slowly; 12% relative tolerance.
+  EXPECT_NEAR(sample_mean, d->Mean(),
+              std::max(0.12 * d->Mean(), 1.0))
+      << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, DistributionContractTest,
+                         ::testing::ValuesIn(AllCases()),
+                         [](const auto& info) { return info.param.label; });
+
+TEST(LognormalTest, ClosedFormMoments) {
+  LognormalDistribution d(2.0, 0.5);
+  EXPECT_NEAR(d.Mean(), std::exp(2.0 + 0.125), 1e-9);
+  EXPECT_NEAR(d.Quantile(0.5), std::exp(2.0), 1e-6);
+}
+
+TEST(LognormalTest, CdfAtMedianIsHalf) {
+  LognormalDistribution d(4.0, 1.5);
+  EXPECT_NEAR(d.Cdf(std::exp(4.0)), 0.5, 1e-9);
+}
+
+TEST(StdNormalTest, CdfKnownValues) {
+  EXPECT_NEAR(StdNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StdNormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(StdNormalCdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(StdNormalTest, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.3, 0.5, 0.7, 0.99, 0.999}) {
+    EXPECT_NEAR(StdNormalCdf(StdNormalQuantile(p)), p, 1e-7);
+  }
+}
+
+TEST(ExponentialTest, Memorylessness) {
+  ExponentialDistribution d(10.0);
+  // P(X > s+t | X > s) == P(X > t)
+  double s = 5.0, t = 7.0;
+  double lhs = (1.0 - d.Cdf(s + t)) / (1.0 - d.Cdf(s));
+  EXPECT_NEAR(lhs, 1.0 - d.Cdf(t), 1e-12);
+}
+
+TEST(UniformTest, DensityFlat) {
+  UniformDistribution d(10.0, 20.0);
+  EXPECT_DOUBLE_EQ(d.Pdf(15.0), 0.1);
+  EXPECT_DOUBLE_EQ(d.Pdf(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.Pdf(25.0), 0.0);
+}
+
+TEST(ParetoTest, InfiniteMeanWhenShapeBelowOne) {
+  ParetoDistribution d(100.0, 0.9);
+  EXPECT_TRUE(std::isinf(d.Mean()));
+}
+
+TEST(ParetoTest, SurvivalPowerLaw) {
+  ParetoDistribution d(100.0, 2.0);
+  double s1 = 1.0 - d.Cdf(100.0);   // (100/200)^2 = 0.25
+  EXPECT_NEAR(s1, 0.25, 1e-12);
+}
+
+TEST(GammaTest, ShapeOneIsExponential) {
+  GammaDistribution g(1.0, 100.0);
+  ExponentialDistribution e(100.0);
+  for (double x : {1.0, 50.0, 200.0, 1000.0}) {
+    EXPECT_NEAR(g.Cdf(x), e.Cdf(x), 1e-10);
+    EXPECT_NEAR(g.Pdf(x), e.Pdf(x), 1e-10);
+  }
+}
+
+TEST(GammaTest, KnownCdfValues) {
+  // Erlang-2 CDF: 1 - e^{-u}(1+u), u = x/theta.
+  GammaDistribution g(2.0, 1.0);
+  for (double u : {0.5, 1.0, 3.0}) {
+    double want = 1.0 - std::exp(-u) * (1.0 + u);
+    EXPECT_NEAR(g.Cdf(u), want, 1e-10);
+  }
+}
+
+TEST(GammaTest, MeanAndSampleAgree) {
+  GammaDistribution g(3.0, 40.0);
+  EXPECT_DOUBLE_EQ(g.Mean(), 120.0);
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += g.Sample(rng);
+  EXPECT_NEAR(sum / n, 120.0, 1.5);
+}
+
+TEST(GammaTest, SmallShapeSamplesValid) {
+  GammaDistribution g(0.3, 10.0);
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double s = g.Sample(rng);
+    ASSERT_GE(s, 0.0);
+    sum += s;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(PointMassTest, StepCdf) {
+  PointMassDistribution d(42.0);
+  EXPECT_EQ(d.Cdf(41.999), 0.0);
+  EXPECT_EQ(d.Cdf(42.0), 1.0);
+  Rng rng(1);
+  EXPECT_EQ(d.Sample(rng), 42.0);
+  EXPECT_EQ(d.Quantile(0.77), 42.0);
+}
+
+TEST(MixtureTest, CdfIsWeightedSum) {
+  auto a = std::make_unique<UniformDistribution>(0.0, 10.0);
+  auto b = std::make_unique<UniformDistribution>(100.0, 110.0);
+  auto m = MakeMixture(0.25, std::move(a), 0.75, std::move(b));
+  EXPECT_NEAR(m->Cdf(10.0), 0.25, 1e-12);
+  EXPECT_NEAR(m->Cdf(105.0), 0.25 + 0.75 * 0.5, 1e-12);
+}
+
+TEST(MixtureTest, WeightsNormalized) {
+  auto m = MakeMixture(2.0, std::make_unique<ExponentialDistribution>(1.0),
+                       6.0, std::make_unique<ExponentialDistribution>(1.0));
+  auto* mix = dynamic_cast<MixtureDistribution*>(m.get());
+  ASSERT_NE(mix, nullptr);
+  EXPECT_NEAR(mix->weight(0), 0.25, 1e-12);
+  EXPECT_NEAR(mix->weight(1), 0.75, 1e-12);
+}
+
+TEST(MixtureTest, QuantileBisectionConsistent) {
+  auto m = MakeMixture(0.5, std::make_unique<LognormalDistribution>(2.0, 1.0),
+                       0.5, std::make_unique<ExponentialDistribution>(50.0));
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(m->Cdf(m->Quantile(q)), q, 1e-6);
+  }
+}
+
+TEST(ShiftedTest, OffsetMovesSupport) {
+  ShiftedScaledDistribution d(std::make_unique<ExponentialDistribution>(10.0),
+                              100.0);
+  EXPECT_EQ(d.Cdf(99.0), 0.0);
+  EXPECT_GT(d.Cdf(101.0), 0.0);
+  EXPECT_NEAR(d.Mean(), 110.0, 1e-9);
+}
+
+TEST(ShiftedTest, ScaleStretches) {
+  ShiftedScaledDistribution d(std::make_unique<UniformDistribution>(0.0, 1.0),
+                              0.0, 10.0);
+  EXPECT_NEAR(d.Quantile(0.5), 5.0, 1e-9);
+  EXPECT_NEAR(d.Pdf(5.0), 0.1, 1e-9);
+}
+
+TEST(EmpiricalTest, MatchesSampleQuantiles) {
+  Rng rng(77);
+  LognormalDistribution source(3.0, 1.0);
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) sample.push_back(source.Sample(rng));
+  EmpiricalDistribution d(sample);
+  for (double q : {0.1, 0.5, 0.9}) {
+    double got = d.Quantile(q);
+    double want = source.Quantile(q);
+    EXPECT_NEAR(got / want, 1.0, 0.08) << "q=" << q;
+  }
+}
+
+TEST(EmpiricalTest, CdfOfSampleValuesConsistent) {
+  EmpiricalDistribution d(std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_NEAR(d.Cdf(3.0), 0.6, 1e-9);
+  EXPECT_EQ(d.Cdf(-1.0), 0.0);
+  EXPECT_EQ(d.Cdf(5.0), 1.0);
+}
+
+TEST(EmpiricalTest, NegativeSamplesClamped) {
+  EmpiricalDistribution d(std::vector<double>{-5.0, -1.0, 2.0});
+  EXPECT_EQ(d.Quantile(0.01), 0.0);
+}
+
+TEST(EmpiricalTest, ConstantSampleDegenerate) {
+  EmpiricalDistribution d(std::vector<double>{7.0, 7.0, 7.0});
+  EXPECT_NEAR(d.Mean(), 7.0, 1e-9);
+  Rng rng(2);
+  EXPECT_NEAR(d.Sample(rng), 7.0, 1e-6);
+}
+
+TEST(EmpiricalTest, PdfIntegratesToOne) {
+  Rng rng(31);
+  ExponentialDistribution source(20.0);
+  std::vector<double> sample;
+  for (int i = 0; i < 5000; ++i) sample.push_back(source.Sample(rng));
+  EmpiricalDistribution d(sample);
+  double mass = numeric::AdaptiveSimpson(
+      [&](double x) { return d.Pdf(x); }, 0.0, d.Quantile(0.9999) * 1.01);
+  EXPECT_NEAR(mass, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace seplsm::dist

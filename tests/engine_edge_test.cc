@@ -1,0 +1,250 @@
+// Edge-case and boundary tests for TsEngine beyond the main behavioural
+// suite: extreme capacities, empty-state queries, key-space gaps, negative
+// timestamps, background-mode shutdown/backpressure.
+
+#include <gtest/gtest.h>
+
+#include "engine/ts_engine.h"
+#include "env/mem_env.h"
+
+namespace seplsm::engine {
+namespace {
+
+class EngineEdgeTest : public ::testing::Test {
+ protected:
+  Options BaseOptions() {
+    Options o;
+    o.env = &env_;
+    o.dir = "/db";
+    o.sstable_points = 16;
+    o.points_per_block = 4;
+    return o;
+  }
+
+  std::unique_ptr<TsEngine> MustOpen(Options o) {
+    auto e = TsEngine::Open(std::move(o));
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    return std::move(e).value();
+  }
+
+  MemEnv env_;
+};
+
+TEST_F(EngineEdgeTest, QueryEmptyEngine) {
+  auto db = MustOpen(BaseOptions());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(-1000, 1000, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(EngineEdgeTest, FlushAllOnEmptyEngine) {
+  auto db = MustOpen(BaseOptions());
+  EXPECT_TRUE(db->FlushAll().ok());
+  EXPECT_TRUE(db->Checkpoint().ok());
+}
+
+TEST_F(EngineEdgeTest, NegativeGenerationTimes) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(4);
+  auto db = MustOpen(o);
+  for (int64_t t = -100; t < -50; ++t) {
+    ASSERT_TRUE(db->Append({t, t + 5, 1.0}).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(-100, -51, &out).ok());
+  EXPECT_EQ(out.size(), 50u);
+  EXPECT_TRUE(db->CheckInvariants().ok());
+}
+
+TEST_F(EngineEdgeTest, MemTableCapacityOne) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(1);
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 20; ++t) {
+    ASSERT_TRUE(db->Append({t, t, 0.0}).ok());
+  }
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(0, 19, &out).ok());
+  EXPECT_EQ(out.size(), 20u);
+  // Every point flushed individually, nothing buffered.
+  EXPECT_EQ(db->GetMetrics().points_flushed, 20u);
+}
+
+TEST_F(EngineEdgeTest, SSTablePointsOne) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(4);
+  o.sstable_points = 1;
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 12; ++t) {
+    ASSERT_TRUE(db->Append({t, t, 0.0}).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  EXPECT_EQ(db->RunFileCount(), 12u);
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(0, 11, &out).ok());
+  EXPECT_EQ(out.size(), 12u);
+}
+
+TEST_F(EngineEdgeTest, QuerySpanningRunGaps) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Separation(8, 4);
+  auto db = MustOpen(o);
+  // In-order points with large key gaps: files [0..30], [40..70], ...
+  for (int64_t t = 0; t < 16; ++t) {
+    ASSERT_TRUE(db->Append({t * 10, t * 10, 0.0}).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  std::vector<DataPoint> out;
+  // A query entirely inside a gap.
+  ASSERT_TRUE(db->Query(41, 49, &out).ok());
+  EXPECT_TRUE(out.empty());
+  // A query straddling gaps.
+  ASSERT_TRUE(db->Query(35, 95, &out).ok());
+  EXPECT_EQ(out.size(), 6u);  // 40,50,60,70,80,90
+}
+
+TEST_F(EngineEdgeTest, OutOfOrderPointIntoRunGap) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Separation(8, 6);  // C_nonseq = 2
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 36; ++t) {
+    ASSERT_TRUE(db->Append({t * 100, t * 100, 0.0}).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  // Two stale points whose keys fall between existing keys.
+  ASSERT_TRUE(db->Append({155, 100000, 7.0}).ok());
+  ASSERT_TRUE(db->Append({255, 100001, 8.0}).ok());  // fills C_nonseq
+  ASSERT_TRUE(db->FlushAll().ok());
+  ASSERT_TRUE(db->CheckInvariants().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(150, 260, &out).ok());
+  ASSERT_EQ(out.size(), 3u);  // 155 (merged in), 200 (original), 255
+  EXPECT_EQ(out[0].generation_time, 155);
+  EXPECT_EQ(out[1].generation_time, 200);
+  EXPECT_EQ(out[2].generation_time, 255);
+}
+
+TEST_F(EngineEdgeTest, SeparationAllPointsOutOfOrderAfterSeed) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Separation(8, 4);
+  auto db = MustOpen(o);
+  // Seed the disk with a high key, then send only stale points.
+  ASSERT_TRUE(db->Append({1'000'000, 1'000'000, 0.0}).ok());
+  ASSERT_TRUE(db->FlushAll().ok());
+  for (int64_t t = 0; t < 40; ++t) {
+    ASSERT_TRUE(db->Append({t, 2'000'000 + t, 0.0}).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(0, 2'000'000, &out).ok());
+  EXPECT_EQ(out.size(), 41u);
+  Metrics m = db->GetMetrics();
+  EXPECT_GT(m.merge_count, 0u);
+  EXPECT_TRUE(db->CheckInvariants().ok());
+}
+
+TEST_F(EngineEdgeTest, BackpressureBoundsLevel0) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(4);
+  o.background_mode = true;
+  o.max_level0_files = 2;
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 400; ++t) {
+    ASSERT_TRUE(db->Append({t, t, 0.0}).ok());
+    ASSERT_LE(db->Level0FileCount(), 3u);  // cap + one in-flight flush
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(0, 399, &out).ok());
+  EXPECT_EQ(out.size(), 400u);
+}
+
+TEST_F(EngineEdgeTest, DestructorWithPendingLevel0ThenReopen) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(4);
+  o.background_mode = true;
+  {
+    auto db = MustOpen(o);
+    for (int64_t t = 0; t < 100; ++t) {
+      ASSERT_TRUE(db->Append({t, t, 0.0}).ok());
+    }
+    // Destroy without waiting: the background thread must finish its queue.
+  }
+  Options o2 = BaseOptions();
+  o2.policy = PolicyConfig::Conventional(4);
+  auto db = MustOpen(o2);
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(0, 99, &out).ok());
+  // Everything flushed to level 0 before destruction is recovered; only
+  // the final partial MemTable (< 4 points) may be missing.
+  EXPECT_GE(out.size(), 96u);
+  EXPECT_TRUE(db->CheckInvariants().ok());
+}
+
+TEST_F(EngineEdgeTest, SwitchPolicyInBackgroundMode) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(8);
+  o.background_mode = true;
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 50; ++t) {
+    ASSERT_TRUE(db->Append({t, t, 0.0}).ok());
+  }
+  ASSERT_TRUE(db->SwitchPolicy(PolicyConfig::Separation(8, 4)).ok());
+  for (int64_t t = 50; t < 100; ++t) {
+    ASSERT_TRUE(db->Append({t, t, 0.0}).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(0, 99, &out).ok());
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_TRUE(db->CheckInvariants().ok());
+}
+
+TEST_F(EngineEdgeTest, SingleKeyRewrittenManyTimes) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(2);
+  auto db = MustOpen(o);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db->Append({42, 1000 + i, static_cast<double>(i)}).ok());
+    ASSERT_TRUE(db->Append({43, 1000 + i, static_cast<double>(-i)}).ok());
+  }
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(42, 43, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].value, 99.0);
+  EXPECT_EQ(out[1].value, -99.0);
+}
+
+TEST_F(EngineEdgeTest, LargeTimestampMagnitudes) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(4);
+  auto db = MustOpen(o);
+  const int64_t base = 1'600'000'000'000'000'000LL;  // ~ns epoch scale
+  for (int64_t t = 0; t < 20; ++t) {
+    ASSERT_TRUE(db->Append({base + t, base + t + 7, 0.5}).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(base, base + 19, &out).ok());
+  EXPECT_EQ(out.size(), 20u);
+  EXPECT_EQ(out[0].generation_time, base);
+}
+
+TEST_F(EngineEdgeTest, MetricsMergeEventsDisabled) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(4);
+  o.record_merge_events = false;
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 16; ++t) ASSERT_TRUE(db->Append({t, t, 0.0}).ok());
+  ASSERT_TRUE(db->Append({2, 100, 0.0}).ok());
+  for (int64_t t = 16; t < 19; ++t) {
+    ASSERT_TRUE(db->Append({t, t, 0.0}).ok());
+  }
+  Metrics m = db->GetMetrics();
+  EXPECT_GT(m.merge_count, 0u);
+  EXPECT_TRUE(m.merge_events.empty());
+}
+
+}  // namespace
+}  // namespace seplsm::engine

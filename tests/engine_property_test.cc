@@ -1,0 +1,207 @@
+// Property-based tests: for arbitrary delay-disordered workloads, under both
+// policies and both execution modes, the engine must (a) keep the run sorted
+// and non-overlapping, (b) return exactly the ingested set from range
+// queries, (c) satisfy the WA accounting identity, and (d) agree with a
+// brute-force in-memory reference on random range queries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "dist/parametric.h"
+#include "engine/ts_engine.h"
+#include "env/mem_env.h"
+#include "workload/synthetic.h"
+
+namespace seplsm::engine {
+namespace {
+
+struct PropertyCase {
+  std::string label;
+  PolicyConfig policy;
+  bool background_mode;
+  double sigma;      // lognormal delay spread
+  uint64_t seed;
+};
+
+std::vector<PropertyCase> Cases() {
+  std::vector<PropertyCase> cases;
+  int i = 0;
+  for (bool bg : {false, true}) {
+    for (double sigma : {0.5, 1.5, 2.5}) {
+      cases.push_back({"conv_" + std::to_string(i), PolicyConfig::Conventional(32),
+                       bg, sigma, 100u + static_cast<uint64_t>(i)});
+      ++i;
+      cases.push_back({"sep_" + std::to_string(i),
+                       PolicyConfig::Separation(32, 16), bg, sigma,
+                       200u + static_cast<uint64_t>(i)});
+      ++i;
+      cases.push_back({"sep_skew_" + std::to_string(i),
+                       PolicyConfig::Separation(32, 28), bg, sigma,
+                       300u + static_cast<uint64_t>(i)});
+      ++i;
+    }
+  }
+  return cases;
+}
+
+class EnginePropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(EnginePropertyTest, FuzzedWorkloadInvariants) {
+  const PropertyCase& pc = GetParam();
+  MemEnv env;
+  Options o;
+  o.env = &env;
+  o.dir = "/db";
+  o.policy = pc.policy;
+  o.background_mode = pc.background_mode;
+  o.sstable_points = 32;
+  o.points_per_block = 8;
+  auto open = TsEngine::Open(o);
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  auto& db = *open;
+
+  workload::SyntheticConfig sc;
+  sc.num_points = 3000;
+  sc.delta_t = 20.0;
+  sc.seed = pc.seed;
+  dist::LognormalDistribution delay(3.0, pc.sigma);
+  auto points = workload::GenerateSynthetic(sc, delay);
+
+  std::map<int64_t, DataPoint> reference;
+  Rng rng(pc.seed * 7 + 1);
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(db->Append(points[i]).ok());
+    reference.insert_or_assign(points[i].generation_time, points[i]);
+    // Interleave occasional queries against the reference.
+    if (i % 500 == 499) {
+      int64_t lo = rng.UniformInt(0, 60000);
+      int64_t hi = lo + rng.UniformInt(0, 20000);
+      std::vector<DataPoint> got;
+      ASSERT_TRUE(db->Query(lo, hi, &got).ok());
+      std::vector<DataPoint> want;
+      for (auto it = reference.lower_bound(lo);
+           it != reference.end() && it->first <= hi; ++it) {
+        want.push_back(it->second);
+      }
+      ASSERT_EQ(got, want) << "mid-ingest query [" << lo << "," << hi << "]";
+    }
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  ASSERT_TRUE(db->CheckInvariants().ok());
+
+  // (b) Full-range query returns exactly the ingested set.
+  std::vector<DataPoint> all;
+  ASSERT_TRUE(db
+                  ->Query(std::numeric_limits<int64_t>::min() / 2,
+                          std::numeric_limits<int64_t>::max() / 2, &all)
+                  .ok());
+  ASSERT_EQ(all.size(), reference.size());
+  size_t idx = 0;
+  for (const auto& [tg, p] : reference) {
+    ASSERT_EQ(all[idx].generation_time, tg);
+    ASSERT_EQ(all[idx], p);
+    ++idx;
+  }
+
+  // (c) Accounting identity: everything ingested is on disk exactly once
+  // after FlushAll, and written = flushed + rewritten >= ingested.
+  Metrics m = db->GetMetrics();
+  EXPECT_EQ(m.points_ingested, points.size());
+  EXPECT_GE(m.points_flushed, reference.size());
+  EXPECT_EQ(m.points_written_total(), m.points_flushed + m.points_rewritten);
+  EXPECT_GE(m.WriteAmplification(), 1.0 - 1e-9);
+
+  // (d) Random range queries match brute force.
+  for (int trial = 0; trial < 30; ++trial) {
+    int64_t lo = rng.UniformInt(-100, 70000);
+    int64_t hi = lo + rng.UniformInt(0, 30000);
+    std::vector<DataPoint> got;
+    ASSERT_TRUE(db->Query(lo, hi, &got).ok());
+    std::vector<DataPoint> want;
+    for (auto it = reference.lower_bound(lo);
+         it != reference.end() && it->first <= hi; ++it) {
+      want.push_back(it->second);
+    }
+    ASSERT_EQ(got, want) << "[" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, EnginePropertyTest,
+                         ::testing::ValuesIn(Cases()),
+                         [](const auto& info) { return info.param.label; });
+
+TEST(EnginePropertyExtraTest, ReopenAfterEveryBatchKeepsData) {
+  MemEnv env;
+  Options o;
+  o.env = &env;
+  o.dir = "/db";
+  o.policy = PolicyConfig::Conventional(16);
+  o.sstable_points = 16;
+  o.points_per_block = 8;
+
+  workload::SyntheticConfig sc;
+  sc.num_points = 1000;
+  sc.delta_t = 10.0;
+  sc.seed = 5;
+  dist::LognormalDistribution delay(3.0, 1.5);
+  auto points = workload::GenerateSynthetic(sc, delay);
+
+  std::map<int64_t, DataPoint> reference;
+  size_t cursor = 0;
+  while (cursor < points.size()) {
+    auto open = TsEngine::Open(o);
+    ASSERT_TRUE(open.ok()) << open.status().ToString();
+    auto& db = *open;
+    size_t batch = std::min<size_t>(250, points.size() - cursor);
+    for (size_t i = 0; i < batch; ++i, ++cursor) {
+      ASSERT_TRUE(db->Append(points[cursor]).ok());
+      reference.insert_or_assign(points[cursor].generation_time,
+                                 points[cursor]);
+    }
+    ASSERT_TRUE(db->FlushAll().ok());
+    ASSERT_TRUE(db->CheckInvariants().ok());
+  }
+  auto open = TsEngine::Open(o);
+  ASSERT_TRUE(open.ok());
+  std::vector<DataPoint> all;
+  ASSERT_TRUE((*open)->Query(-1, 1 << 30, &all).ok());
+  EXPECT_EQ(all.size(), reference.size());
+}
+
+TEST(EnginePropertyExtraTest, DuplicateHeavyWorkload) {
+  MemEnv env;
+  Options o;
+  o.env = &env;
+  o.dir = "/db";
+  o.policy = PolicyConfig::Separation(16, 8);
+  o.sstable_points = 16;
+  o.points_per_block = 4;
+  auto open = TsEngine::Open(o);
+  ASSERT_TRUE(open.ok());
+  auto& db = *open;
+  Rng rng(88);
+  std::map<int64_t, double> reference;
+  // Only 50 distinct keys, written 2000 times: exercises upsert through
+  // memtables, flushes and merges.
+  for (int i = 0; i < 2000; ++i) {
+    int64_t key = rng.UniformInt(0, 49);
+    double value = static_cast<double>(i);
+    DataPoint p{key, 10000 + i, value};
+    ASSERT_TRUE(db->Append(p).ok());
+    reference[key] = value;
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  std::vector<DataPoint> all;
+  ASSERT_TRUE(db->Query(0, 49, &all).ok());
+  ASSERT_EQ(all.size(), reference.size());
+  for (const auto& p : all) {
+    EXPECT_EQ(p.value, reference[p.generation_time])
+        << "key " << p.generation_time;
+  }
+}
+
+}  // namespace
+}  // namespace seplsm::engine

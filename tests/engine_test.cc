@@ -1,0 +1,369 @@
+#include "engine/ts_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "env/fault_env.h"
+#include "env/mem_env.h"
+
+namespace seplsm::engine {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  Options BaseOptions() {
+    Options o;
+    o.env = &env_;
+    o.dir = "/db";
+    o.sstable_points = 16;
+    o.points_per_block = 8;
+    return o;
+  }
+
+  std::unique_ptr<TsEngine> MustOpen(Options o) {
+    auto e = TsEngine::Open(std::move(o));
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    return std::move(e).value();
+  }
+
+  static DataPoint P(int64_t tg, int64_t ta = -1, double v = 0.0) {
+    return {tg, ta < 0 ? tg : ta, v};
+  }
+
+  MemEnv env_;
+};
+
+TEST_F(EngineTest, OpenRequiresDir) {
+  Options o = BaseOptions();
+  o.dir.clear();
+  EXPECT_FALSE(TsEngine::Open(o).ok());
+}
+
+TEST_F(EngineTest, OpenValidatesSeparationCapacities) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Separation(16, 16);  // nseq == n
+  EXPECT_FALSE(TsEngine::Open(o).ok());
+  o.policy = PolicyConfig::Separation(16, 0);
+  EXPECT_FALSE(TsEngine::Open(o).ok());
+  o.policy = PolicyConfig::Separation(16, 8);
+  EXPECT_TRUE(TsEngine::Open(o).ok());
+}
+
+TEST_F(EngineTest, InOrderIngestConventional) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(8);
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 64; ++t) {
+    ASSERT_TRUE(db->Append(P(t * 10)).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  Metrics m = db->GetMetrics();
+  EXPECT_EQ(m.points_ingested, 64u);
+  EXPECT_EQ(m.points_flushed, 64u);
+  // Fully ordered data never rewrites anything: WA == 1.
+  EXPECT_EQ(m.points_rewritten, 0u);
+  EXPECT_DOUBLE_EQ(m.WriteAmplification(), 1.0);
+  EXPECT_TRUE(db->CheckInvariants().ok());
+}
+
+TEST_F(EngineTest, QueryReturnsAllPoints) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(8);
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 100; ++t) ASSERT_TRUE(db->Append(P(t)).ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(0, 99, &out).ok());
+  ASSERT_EQ(out.size(), 100u);
+  for (int64_t t = 0; t < 100; ++t) EXPECT_EQ(out[t].generation_time, t);
+}
+
+TEST_F(EngineTest, QueryRangeSubset) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(8);
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 100; ++t) ASSERT_TRUE(db->Append(P(t)).ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(40, 49, &out).ok());
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_EQ(out.front().generation_time, 40);
+  EXPECT_EQ(out.back().generation_time, 49);
+}
+
+TEST_F(EngineTest, QueryBadRangeRejected) {
+  auto db = MustOpen(BaseOptions());
+  std::vector<DataPoint> out;
+  EXPECT_TRUE(db->Query(10, 5, &out).IsInvalidArgument());
+}
+
+TEST_F(EngineTest, UpsertNewestWins) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(4);
+  auto db = MustOpen(o);
+  // First version goes to disk.
+  for (int64_t t = 0; t < 8; ++t) ASSERT_TRUE(db->Append(P(t, t, 1.0)).ok());
+  ASSERT_TRUE(db->FlushAll().ok());
+  // Rewrite key 3 with a new value (arrives out of order).
+  ASSERT_TRUE(db->Append(P(3, 100, 42.0)).ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(3, 3, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, 42.0);
+  // Also after the overwrite is compacted to disk.
+  ASSERT_TRUE(db->FlushAll().ok());
+  ASSERT_TRUE(db->Query(3, 3, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, 42.0);
+}
+
+TEST_F(EngineTest, OutOfOrderTriggersRewrite) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(4);
+  auto db = MustOpen(o);
+  // Fill disk with 0..15.
+  for (int64_t t = 0; t < 16; ++t) ASSERT_TRUE(db->Append(P(t)).ok());
+  // Now one stale point plus fresh ones: merging rewrites the overlap.
+  ASSERT_TRUE(db->Append(P(2, 100)).ok());
+  for (int64_t t = 16; t < 19; ++t) ASSERT_TRUE(db->Append(P(t)).ok());
+  Metrics m = db->GetMetrics();
+  EXPECT_GT(m.points_rewritten, 0u);
+  EXPECT_GT(m.WriteAmplification(), 1.0);
+  EXPECT_TRUE(db->CheckInvariants().ok());
+}
+
+TEST_F(EngineTest, SeparationFlushDoesNotRewrite) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Separation(8, 4);
+  auto db = MustOpen(o);
+  // Pure in-order load: only C_seq flushes, zero rewrites.
+  for (int64_t t = 0; t < 64; ++t) ASSERT_TRUE(db->Append(P(t)).ok());
+  Metrics m = db->GetMetrics();
+  EXPECT_EQ(m.points_rewritten, 0u);
+  EXPECT_EQ(m.merge_count, 0u);
+  EXPECT_GT(m.flush_count, 0u);
+  EXPECT_TRUE(db->CheckInvariants().ok());
+}
+
+TEST_F(EngineTest, SeparationClassifiesAgainstDisk) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Separation(8, 4);
+  auto db = MustOpen(o);
+  // Persist 0..39 via C_seq flushes (capacity 4 -> flush at 4,8,...).
+  for (int64_t t = 0; t < 40; ++t) ASSERT_TRUE(db->Append(P(t * 10)).ok());
+  EXPECT_GT(db->MaxPersistedGenerationTime(), 0);
+  int64_t last = db->MaxPersistedGenerationTime();
+  // A point below LAST(R) must land in C_nonseq: no flush yet (capacity 4),
+  // and the run must not change.
+  size_t files_before = db->RunFileCount();
+  ASSERT_TRUE(db->Append(P(last - 5, last + 1000)).ok());
+  EXPECT_EQ(db->RunFileCount(), files_before);
+  Metrics m = db->GetMetrics();
+  EXPECT_EQ(m.merge_count, 0u);
+  EXPECT_TRUE(db->CheckInvariants().ok());
+}
+
+TEST_F(EngineTest, SeparationNonseqFullTriggersMerge) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Separation(8, 6);  // C_nonseq capacity 2
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 60; ++t) ASSERT_TRUE(db->Append(P(t * 10)).ok());
+  int64_t last = db->MaxPersistedGenerationTime();
+  ASSERT_GT(last, 100);
+  ASSERT_TRUE(db->Append(P(last - 15, last + 1)).ok());
+  ASSERT_TRUE(db->Append(P(last - 25, last + 2)).ok());  // fills C_nonseq
+  Metrics m = db->GetMetrics();
+  EXPECT_EQ(m.merge_count, 1u);
+  EXPECT_GT(m.points_rewritten, 0u);
+  ASSERT_EQ(m.merge_events.size(), 1u);
+  EXPECT_EQ(m.merge_events[0].buffered_points, 2u);
+  EXPECT_TRUE(db->CheckInvariants().ok());
+}
+
+TEST_F(EngineTest, FlushAllDrainsEverything) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Separation(8, 4);
+  auto db = MustOpen(o);
+  ASSERT_TRUE(db->Append(P(100)).ok());
+  ASSERT_TRUE(db->Append(P(50, 200)).ok());  // below nothing persisted yet
+  ASSERT_TRUE(db->FlushAll().ok());
+  Metrics m = db->GetMetrics();
+  EXPECT_EQ(m.points_flushed, 2u);
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(0, 1000, &out).ok());
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(EngineTest, MaxSeenVsMaxPersisted) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(8);
+  auto db = MustOpen(o);
+  EXPECT_EQ(db->MaxPersistedGenerationTime(),
+            std::numeric_limits<int64_t>::min());
+  ASSERT_TRUE(db->Append(P(500)).ok());
+  EXPECT_EQ(db->MaxSeenGenerationTime(), 500);
+  EXPECT_EQ(db->MaxPersistedGenerationTime(),
+            std::numeric_limits<int64_t>::min());
+  ASSERT_TRUE(db->FlushAll().ok());
+  EXPECT_EQ(db->MaxPersistedGenerationTime(), 500);
+}
+
+TEST_F(EngineTest, SwitchPolicyPreservesData) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(8);
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 20; ++t) ASSERT_TRUE(db->Append(P(t)).ok());
+  ASSERT_TRUE(db->SwitchPolicy(PolicyConfig::Separation(8, 4)).ok());
+  for (int64_t t = 20; t < 40; ++t) ASSERT_TRUE(db->Append(P(t)).ok());
+  ASSERT_TRUE(db->SwitchPolicy(PolicyConfig::Conventional(8)).ok());
+  for (int64_t t = 40; t < 60; ++t) ASSERT_TRUE(db->Append(P(t)).ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(0, 59, &out).ok());
+  EXPECT_EQ(out.size(), 60u);
+  EXPECT_TRUE(db->CheckInvariants().ok());
+}
+
+TEST_F(EngineTest, SwitchPolicyValidatesConfig) {
+  auto db = MustOpen(BaseOptions());
+  EXPECT_TRUE(db->SwitchPolicy(PolicyConfig::Separation(8, 8))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      db->SwitchPolicy(PolicyConfig{PolicyKind::kConventional, 0, 0})
+          .IsInvalidArgument());
+}
+
+TEST_F(EngineTest, ReopenRecoversData) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(4);
+  {
+    auto db = MustOpen(o);
+    for (int64_t t = 0; t < 30; ++t) ASSERT_TRUE(db->Append(P(t)).ok());
+    ASSERT_TRUE(db->FlushAll().ok());
+  }
+  auto db = MustOpen(o);
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(0, 29, &out).ok());
+  EXPECT_EQ(out.size(), 30u);
+  EXPECT_EQ(db->MaxPersistedGenerationTime(), 29);
+  EXPECT_TRUE(db->CheckInvariants().ok());
+}
+
+TEST_F(EngineTest, ReopenContinuesFileNumbers) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(4);
+  {
+    auto db = MustOpen(o);
+    for (int64_t t = 0; t < 8; ++t) ASSERT_TRUE(db->Append(P(t)).ok());
+  }
+  auto db = MustOpen(o);
+  for (int64_t t = 8; t < 16; ++t) ASSERT_TRUE(db->Append(P(t)).ok());
+  ASSERT_TRUE(db->FlushAll().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(0, 15, &out).ok());
+  EXPECT_EQ(out.size(), 16u);
+}
+
+TEST_F(EngineTest, SSTableSizeRespected) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(64);
+  o.sstable_points = 16;
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 64; ++t) ASSERT_TRUE(db->Append(P(t)).ok());
+  // 64 points in files of <= 16 points: at least 4 files.
+  EXPECT_GE(db->RunFileCount(), 4u);
+}
+
+TEST_F(EngineTest, QueryStatsReadAmplification) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(16);
+  o.sstable_points = 16;
+  o.points_per_block = 4;
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 64; ++t) ASSERT_TRUE(db->Append(P(t)).ok());
+  QueryStats qs;
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(20, 23, &out, &qs).ok());
+  EXPECT_EQ(qs.points_returned, 4u);
+  EXPECT_GE(qs.disk_points_scanned, 4u);
+  EXPECT_GE(qs.ReadAmplification(), 1.0);
+  EXPECT_EQ(qs.files_opened, 1u);
+}
+
+TEST_F(EngineTest, BackgroundModeIngestAndQuery) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(8);
+  o.background_mode = true;
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 200; ++t) ASSERT_TRUE(db->Append(P(t)).ok());
+  ASSERT_TRUE(db->FlushAll().ok());
+  EXPECT_EQ(db->Level0FileCount(), 0u);
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(0, 199, &out).ok());
+  EXPECT_EQ(out.size(), 200u);
+  EXPECT_TRUE(db->CheckInvariants().ok());
+}
+
+TEST_F(EngineTest, BackgroundModeOutOfOrder) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Separation(8, 4);
+  o.background_mode = true;
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 100; ++t) ASSERT_TRUE(db->Append(P(t * 10)).ok());
+  // Inject stale points.
+  for (int64_t t = 0; t < 8; ++t) {
+    ASSERT_TRUE(db->Append(P(t * 10 + 5, 100000 + t)).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(0, 100000, &out).ok());
+  EXPECT_EQ(out.size(), 108u);
+  EXPECT_TRUE(db->CheckInvariants().ok());
+}
+
+TEST_F(EngineTest, FaultDuringMergeSurfacesStatus) {
+  FaultInjectionEnv fault_env(&env_);
+  Options o = BaseOptions();
+  o.env = &fault_env;
+  o.policy = PolicyConfig::Conventional(4);
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 8; ++t) ASSERT_TRUE(db->Append(P(t)).ok());
+  fault_env.SetFailAfterOps(0);  // everything fails now
+  Status st;
+  // The 4th point triggers a merge which must fail, not crash.
+  for (int64_t t = 8; t < 13 && st.ok(); ++t) st = db->Append(P(t));
+  EXPECT_TRUE(st.IsIOError());
+  fault_env.SetFailAfterOps(-1);
+  // Engine remains usable after the fault clears.
+  ASSERT_TRUE(db->Append(P(100)).ok());
+  std::vector<DataPoint> out;
+  EXPECT_TRUE(db->Query(0, 200, &out).ok());
+}
+
+TEST_F(EngineTest, WaTimelineRecorded) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(8);
+  o.record_wa_timeline = true;
+  o.wa_timeline_batch = 16;
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 64; ++t) ASSERT_TRUE(db->Append(P(t)).ok());
+  Metrics m = db->GetMetrics();
+  ASSERT_EQ(m.wa_timeline.size(), 4u);
+  // Cumulative counters are non-decreasing.
+  for (size_t i = 1; i < m.wa_timeline.size(); ++i) {
+    EXPECT_GE(m.wa_timeline[i], m.wa_timeline[i - 1]);
+  }
+}
+
+TEST_F(EngineTest, MetricsToStringMentionsWa) {
+  auto db = MustOpen(BaseOptions());
+  ASSERT_TRUE(db->Append(P(1)).ok());
+  EXPECT_NE(db->GetMetrics().ToString().find("WA="), std::string::npos);
+}
+
+TEST_F(EngineTest, PolicyConfigToString) {
+  EXPECT_EQ(PolicyConfig::Conventional(512).ToString(), "pi_c(n=512)");
+  EXPECT_EQ(PolicyConfig::Separation(512, 128).ToString(),
+            "pi_s(n=512, n_seq=128, n_nonseq=384)");
+}
+
+}  // namespace
+}  // namespace seplsm::engine

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "format/block.h"
+#include "format/table_format.h"
+
+namespace seplsm::format {
+namespace {
+
+std::vector<DataPoint> MakePoints(size_t n, int64_t start = 0,
+                                  int64_t step = 50) {
+  std::vector<DataPoint> points(n);
+  for (size_t i = 0; i < n; ++i) {
+    points[i].generation_time = start + static_cast<int64_t>(i) * step;
+    points[i].arrival_time = points[i].generation_time + 17;
+    points[i].value = static_cast<double>(i) * 0.5;
+  }
+  return points;
+}
+
+TEST(BlockTest, RoundTripSmall) {
+  BlockBuilder builder;
+  auto points = MakePoints(10);
+  for (const auto& p : points) builder.Add(p);
+  std::string data = builder.Finish();
+  std::vector<DataPoint> decoded;
+  ASSERT_TRUE(DecodeBlock(data, &decoded).ok());
+  EXPECT_EQ(decoded, points);
+}
+
+TEST(BlockTest, RoundTripNegativeTimesAndDelays) {
+  BlockBuilder builder;
+  std::vector<DataPoint> points = {
+      {-1000, -500, 1.5},
+      {-999, -1050, -2.25},  // negative delay (clock skew)
+      {0, 0, 0.0},
+      {5, 100000, 3.14},
+  };
+  for (const auto& p : points) builder.Add(p);
+  std::string data = builder.Finish();
+  std::vector<DataPoint> decoded;
+  ASSERT_TRUE(DecodeBlock(data, &decoded).ok());
+  EXPECT_EQ(decoded, points);
+}
+
+TEST(BlockTest, RoundTripSpecialValues) {
+  BlockBuilder builder;
+  std::vector<DataPoint> points = {
+      {1, 2, std::numeric_limits<double>::infinity()},
+      {2, 3, -0.0},
+      {3, 4, std::numeric_limits<double>::denorm_min()},
+  };
+  for (const auto& p : points) builder.Add(p);
+  std::string data = builder.Finish();
+  std::vector<DataPoint> decoded;
+  ASSERT_TRUE(DecodeBlock(data, &decoded).ok());
+  EXPECT_EQ(decoded, points);
+}
+
+TEST(BlockTest, FinishResetsBuilder) {
+  BlockBuilder builder;
+  builder.Add({1, 2, 3.0});
+  builder.Finish();
+  EXPECT_TRUE(builder.empty());
+  builder.Add({100, 200, 1.0});
+  std::string data = builder.Finish();
+  std::vector<DataPoint> decoded;
+  ASSERT_TRUE(DecodeBlock(data, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].generation_time, 100);
+}
+
+TEST(BlockTest, CorruptionDetectedByCrc) {
+  BlockBuilder builder;
+  for (const auto& p : MakePoints(50)) builder.Add(p);
+  std::string data = builder.Finish();
+  for (size_t i : {size_t{0}, data.size() / 2, data.size() - 5}) {
+    std::string bad = data;
+    bad[i] ^= 0x40;
+    std::vector<DataPoint> decoded;
+    EXPECT_TRUE(DecodeBlock(bad, &decoded).IsCorruption()) << "byte " << i;
+  }
+}
+
+TEST(BlockTest, TruncationDetected) {
+  BlockBuilder builder;
+  for (const auto& p : MakePoints(20)) builder.Add(p);
+  std::string data = builder.Finish();
+  std::vector<DataPoint> decoded;
+  EXPECT_TRUE(DecodeBlock(data.substr(0, 3), &decoded).IsCorruption());
+  EXPECT_TRUE(DecodeBlock("", &decoded).IsCorruption());
+}
+
+TEST(BlockTest, DeltaEncodingIsCompact) {
+  BlockBuilder builder;
+  for (const auto& p : MakePoints(128)) builder.Add(p);
+  std::string data = builder.Finish();
+  // 8-byte value + ~1-2 bytes per timestamp/delay: far below 24B/point.
+  EXPECT_LT(data.size(), 128 * 14);
+}
+
+TEST(BlockTest, LargeBlockRoundTrip) {
+  BlockBuilder builder;
+  Rng rng(5);
+  std::vector<DataPoint> points;
+  int64_t t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    t += static_cast<int64_t>(rng.UniformU64(1000));
+    points.push_back({t, t + static_cast<int64_t>(rng.UniformU64(100000)),
+                      rng.NextDouble()});
+    builder.Add(points.back());
+  }
+  std::string data = builder.Finish();
+  std::vector<DataPoint> decoded;
+  ASSERT_TRUE(DecodeBlock(data, &decoded).ok());
+  EXPECT_EQ(decoded, points);
+}
+
+TEST(TableFormatTest, IndexRoundTrip) {
+  std::vector<BlockIndexEntry> entries = {
+      {0, 100, 0, 500, 10},
+      {101, 250, 500, 700, 12},
+      {-50, -10, 1200, 90, 3},
+  };
+  std::string data;
+  EncodeIndex(entries, &data);
+  std::vector<BlockIndexEntry> decoded;
+  ASSERT_TRUE(DecodeIndex(data, &decoded).ok());
+  ASSERT_EQ(decoded.size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(decoded[i].min_generation_time, entries[i].min_generation_time);
+    EXPECT_EQ(decoded[i].max_generation_time, entries[i].max_generation_time);
+    EXPECT_EQ(decoded[i].offset, entries[i].offset);
+    EXPECT_EQ(decoded[i].size, entries[i].size);
+    EXPECT_EQ(decoded[i].point_count, entries[i].point_count);
+  }
+}
+
+TEST(TableFormatTest, IndexCorruptionDetected) {
+  std::vector<BlockIndexEntry> entries = {{0, 1, 2, 3, 4}};
+  std::string data;
+  EncodeIndex(entries, &data);
+  data[1] ^= 0xFF;
+  std::vector<BlockIndexEntry> decoded;
+  EXPECT_TRUE(DecodeIndex(data, &decoded).IsCorruption());
+}
+
+TEST(TableFormatTest, EmptyIndexRoundTrip) {
+  std::string data;
+  EncodeIndex({}, &data);
+  std::vector<BlockIndexEntry> decoded;
+  ASSERT_TRUE(DecodeIndex(data, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(TableFormatTest, FooterRoundTrip) {
+  Footer f;
+  f.index_offset = 123456;
+  f.index_size = 789;
+  f.point_count = 42;
+  f.min_generation_time = -100;
+  f.max_generation_time = 1'000'000'000'000;
+  std::string data;
+  EncodeFooter(f, &data);
+  ASSERT_EQ(data.size(), kFooterSize);
+  Footer g;
+  ASSERT_TRUE(DecodeFooter(data, &g).ok());
+  EXPECT_EQ(g.index_offset, f.index_offset);
+  EXPECT_EQ(g.index_size, f.index_size);
+  EXPECT_EQ(g.point_count, f.point_count);
+  EXPECT_EQ(g.min_generation_time, f.min_generation_time);
+  EXPECT_EQ(g.max_generation_time, f.max_generation_time);
+}
+
+TEST(TableFormatTest, BadMagicRejected) {
+  Footer f;
+  std::string data;
+  EncodeFooter(f, &data);
+  data[kFooterSize - 1] ^= 0x01;
+  Footer g;
+  EXPECT_TRUE(DecodeFooter(data, &g).IsCorruption());
+}
+
+TEST(TableFormatTest, WrongFooterSizeRejected) {
+  Footer g;
+  EXPECT_TRUE(DecodeFooter("short", &g).IsCorruption());
+}
+
+}  // namespace
+}  // namespace seplsm::format

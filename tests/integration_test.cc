@@ -1,0 +1,217 @@
+// Model-vs-engine integration tests: the paper's central claim is that r_c
+// and r_s predict the measured write amplification well enough to choose
+// the right policy. These tests ingest real (synthetic) workloads through
+// the full storage engine and compare measured WA against the models.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dist/parametric.h"
+#include "engine/ts_engine.h"
+#include "env/mem_env.h"
+#include "model/tuner.h"
+#include "model/wa_model.h"
+#include "workload/datasets.h"
+#include "workload/synthetic.h"
+
+namespace seplsm {
+namespace {
+
+using engine::Options;
+using engine::PolicyConfig;
+using engine::TsEngine;
+
+double MeasureWa(Env* env, const PolicyConfig& policy,
+                 const std::vector<DataPoint>& points,
+                 size_t sstable_points = 512) {
+  Options o;
+  o.env = env;
+  o.dir = "/wa_run";
+  o.policy = policy;
+  o.sstable_points = sstable_points;
+  auto open = TsEngine::Open(o);
+  EXPECT_TRUE(open.ok()) << open.status().ToString();
+  auto& db = *open;
+  for (const auto& p : points) {
+    EXPECT_TRUE(db->Append(p).ok());
+  }
+  // Deliberately do NOT flush remaining memtables: the paper measures WA
+  // over a long stream where boundary effects vanish; flushing partial
+  // tables would bias small runs upward. Drop the data dir afterwards.
+  engine::Metrics m = db->GetMetrics();
+  db.reset();
+  std::vector<std::string> children;
+  EXPECT_TRUE(env->ListDir("/wa_run", &children).ok());
+  for (const auto& c : children) {
+    EXPECT_TRUE(env->RemoveFile("/wa_run/" + c).ok());
+  }
+  return m.WriteAmplification();
+}
+
+TEST(ModelVsEngineTest, ConventionalWaMatchesModelModerateDisorder) {
+  MemEnv env;
+  dist::LognormalDistribution delay(4.0, 1.5);
+  workload::SyntheticConfig sc;
+  sc.num_points = 60000;
+  sc.delta_t = 50.0;
+  sc.seed = 11;
+  auto points = workload::GenerateSynthetic(sc, delay);
+
+  double measured =
+      MeasureWa(&env, PolicyConfig::Conventional(512), points);
+  model::WaModel wa_model(delay, 50.0);
+  double predicted = wa_model.ConventionalWa(512);
+  // Paper §III: the model undercounts by at most ~1 (whole-SSTable rewrite
+  // granularity); allow that bias plus estimation noise.
+  EXPECT_NEAR(measured, predicted, std::max(1.2, 0.35 * measured))
+      << "measured=" << measured << " predicted=" << predicted;
+  EXPECT_GE(measured, predicted - 0.3);
+}
+
+TEST(ModelVsEngineTest, ConventionalWaMatchesModelDenseInterval) {
+  MemEnv env;
+  dist::LognormalDistribution delay(4.0, 1.75);
+  workload::SyntheticConfig sc;
+  sc.num_points = 60000;
+  sc.delta_t = 10.0;
+  sc.seed = 12;
+  auto points = workload::GenerateSynthetic(sc, delay);
+
+  double measured =
+      MeasureWa(&env, PolicyConfig::Conventional(512), points);
+  model::WaModel wa_model(delay, 10.0);
+  double predicted = wa_model.ConventionalWa(512);
+  // Paper §V-B: with shorter Δt the relative error shrinks.
+  EXPECT_NEAR(measured / predicted, 1.0, 0.35)
+      << "measured=" << measured << " predicted=" << predicted;
+}
+
+TEST(ModelVsEngineTest, SeparationWaMatchesModel) {
+  MemEnv env;
+  dist::LognormalDistribution delay(5.0, 2.0);
+  workload::SyntheticConfig sc;
+  sc.num_points = 60000;
+  sc.delta_t = 50.0;
+  sc.seed = 13;
+  auto points = workload::GenerateSynthetic(sc, delay);
+
+  model::WaModel wa_model(delay, 50.0);
+  for (size_t nseq : {128u, 256u, 384u}) {
+    double measured =
+        MeasureWa(&env, PolicyConfig::Separation(512, nseq), points);
+    double predicted = wa_model.SeparationWa(512, nseq);
+    EXPECT_NEAR(measured / predicted, 1.0, 0.40)
+        << "nseq=" << nseq << " measured=" << measured
+        << " predicted=" << predicted;
+  }
+}
+
+TEST(ModelVsEngineTest, TunerPicksMeasuredWinnerNearlyOrdered) {
+  // Almost ordered stream: π_c must win both in model and measurement.
+  MemEnv env;
+  dist::UniformDistribution delay(0.0, 20.0);
+  workload::SyntheticConfig sc;
+  sc.num_points = 40000;
+  sc.delta_t = 500.0;
+  sc.seed = 14;
+  auto points = workload::GenerateSynthetic(sc, delay);
+
+  double wa_c = MeasureWa(&env, PolicyConfig::Conventional(512), points);
+  double wa_s =
+      MeasureWa(&env, PolicyConfig::Separation(512, 256), points);
+  auto tuned = model::TunePolicy(delay, 500.0, 512,
+                                 model::TuningOptions{.sweep_step = 32});
+  EXPECT_EQ(tuned.recommended.kind, engine::PolicyKind::kConventional);
+  // With zero out-of-order points neither policy ever merges, so measured
+  // WA ties; π_c must never lose here.
+  EXPECT_LE(wa_c, wa_s) << "measurement should agree with the tuner";
+}
+
+TEST(ModelVsEngineTest, TunerPicksMeasuredWinnerSevereDisorder) {
+  MemEnv env;
+  dist::LognormalDistribution delay(6.0, 2.0);
+  workload::SyntheticConfig sc;
+  sc.num_points = 40000;
+  sc.delta_t = 10.0;
+  sc.seed = 15;
+  auto points = workload::GenerateSynthetic(sc, delay);
+
+  double wa_c = MeasureWa(&env, PolicyConfig::Conventional(512), points);
+  auto tuned = model::TunePolicy(delay, 10.0, 512,
+                                 model::TuningOptions{.sweep_step = 32});
+  ASSERT_EQ(tuned.recommended.kind, engine::PolicyKind::kSeparation)
+      << "r_c=" << tuned.wa_conventional
+      << " r_s*=" << tuned.wa_separation_best;
+  double wa_s = MeasureWa(
+      &env,
+      PolicyConfig::Separation(512, tuned.recommended.nseq_capacity),
+      points);
+  EXPECT_LT(wa_s, wa_c) << "measurement should agree with the tuner";
+}
+
+TEST(ModelVsEngineTest, MeasuredSubsequentPointsTrackZeta) {
+  // Fig. 5 in miniature: mean rewritten points per merge vs ζ(n).
+  MemEnv env;
+  dist::LognormalDistribution delay(4.0, 1.5);
+  workload::SyntheticConfig sc;
+  sc.num_points = 50000;
+  sc.delta_t = 50.0;
+  sc.seed = 16;
+  auto points = workload::GenerateSynthetic(sc, delay);
+
+  Options o;
+  o.env = &env;
+  o.dir = "/fig5";
+  o.policy = PolicyConfig::Conventional(256);
+  o.sstable_points = 512;
+  auto open = TsEngine::Open(o);
+  ASSERT_TRUE(open.ok());
+  auto& db = *open;
+  for (const auto& p : points) ASSERT_TRUE(db->Append(p).ok());
+  engine::Metrics m = db->GetMetrics();
+  ASSERT_GT(m.merge_events.size(), 20u);
+  double mean_subsequent = 0.0;
+  double mean_rewritten = 0.0;
+  for (const auto& e : m.merge_events) {
+    mean_subsequent += static_cast<double>(e.disk_points_subsequent);
+    mean_rewritten += static_cast<double>(e.disk_points_rewritten);
+  }
+  mean_subsequent /= static_cast<double>(m.merge_events.size());
+  mean_rewritten /= static_cast<double>(m.merge_events.size());
+
+  model::SubsequentModel zeta(delay, 50.0);
+  double predicted = zeta.Estimate(256);
+  EXPECT_NEAR(mean_subsequent / std::max(predicted, 1.0), 1.0, 0.5)
+      << "measured=" << mean_subsequent << " zeta=" << predicted;
+  // Whole-SSTable granularity: rewritten exceeds subsequent by at most one
+  // partial file per merge (paper §III bounds the WA gap by 1).
+  EXPECT_GE(mean_rewritten, mean_subsequent);
+  EXPECT_LE(mean_rewritten, mean_subsequent + 512.0);
+}
+
+TEST(EndToEndTest, S9WorkloadThroughFullStack) {
+  MemEnv env;
+  auto points = workload::GenerateS9Simulated(30000);
+  Options o;
+  o.env = &env;
+  o.dir = "/s9";
+  // Paper uses memory budget 8 for S-9 because the dataset is small.
+  o.policy = PolicyConfig::Separation(8, 4);
+  o.sstable_points = 512;
+  auto open = TsEngine::Open(o);
+  ASSERT_TRUE(open.ok());
+  auto& db = *open;
+  for (const auto& p : points) ASSERT_TRUE(db->Append(p).ok());
+  ASSERT_TRUE(db->FlushAll().ok());
+  ASSERT_TRUE(db->CheckInvariants().ok());
+  std::vector<DataPoint> all;
+  ASSERT_TRUE(db->Query(std::numeric_limits<int64_t>::min() / 2,
+                        std::numeric_limits<int64_t>::max() / 2, &all)
+                  .ok());
+  EXPECT_EQ(all.size(), points.size());
+  EXPECT_GT(db->GetMetrics().WriteAmplification(), 1.0);
+}
+
+}  // namespace
+}  // namespace seplsm

@@ -1,0 +1,144 @@
+#include "storage/integrity.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/ts_engine.h"
+#include "env/mem_env.h"
+#include "storage/sstable.h"
+
+namespace seplsm::storage {
+namespace {
+
+class IntegrityTest : public ::testing::Test {
+ protected:
+  void BuildDatabase(bool with_wal = false) {
+    engine::Options o;
+    o.env = &env_;
+    o.dir = "/db";
+    o.policy = engine::PolicyConfig::Conventional(16);
+    o.sstable_points = 32;
+    o.enable_wal = with_wal;
+    auto db = engine::TsEngine::Open(o);
+    ASSERT_TRUE(db.ok());
+    for (int64_t t = 0; t < 200; ++t) {
+      ASSERT_TRUE((*db)->Append({t, t + 1, 0.5}).ok());
+    }
+    ASSERT_TRUE((*db)->Checkpoint().ok());  // also truncates the WAL
+  }
+
+  void CorruptFile(const std::string& path, size_t offset) {
+    std::unique_ptr<RandomAccessFile> f;
+    ASSERT_TRUE(env_.NewRandomAccessFile(path, &f).ok());
+    std::string contents;
+    ASSERT_TRUE(f->Read(0, f->Size(), &contents).ok());
+    contents[offset] ^= 0x55;
+    std::unique_ptr<WritableFile> w;
+    ASSERT_TRUE(env_.NewWritableFile(path, &w).ok());
+    ASSERT_TRUE(w->Append(contents).ok());
+    ASSERT_TRUE(w->Close().ok());
+  }
+
+  MemEnv env_;
+};
+
+TEST_F(IntegrityTest, CleanDatabaseVerifies) {
+  BuildDatabase();
+  auto report = VerifyDatabase(&env_, "/db");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+  EXPECT_EQ(report->total_points, 200u);
+  EXPECT_GT(report->tables.size(), 1u);
+  for (const auto& t : report->tables) {
+    EXPECT_TRUE(t.ok) << t.path << ": " << t.error;
+  }
+}
+
+TEST_F(IntegrityTest, DetectsCorruptBlock) {
+  BuildDatabase();
+  auto report = VerifyDatabase(&env_, "/db");
+  ASSERT_TRUE(report.ok());
+  std::string victim = report->tables.front().path;
+  CorruptFile(victim, 5);  // inside the first data block
+  auto after = VerifyDatabase(&env_, "/db");
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->ok());
+  EXPECT_EQ(after->corrupt_tables, 1u);
+  for (const auto& t : after->tables) {
+    if (t.path == victim) {
+      EXPECT_FALSE(t.ok);
+      EXPECT_FALSE(t.error.empty());
+    } else {
+      EXPECT_TRUE(t.ok);
+    }
+  }
+}
+
+TEST_F(IntegrityTest, DetectsTruncatedFooter) {
+  BuildDatabase();
+  auto report = VerifyDatabase(&env_, "/db");
+  std::string victim = report->tables.front().path;
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env_.NewRandomAccessFile(victim, &f).ok());
+  std::string contents;
+  ASSERT_TRUE(f->Read(0, f->Size() - 10, &contents).ok());
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env_.NewWritableFile(victim, &w).ok());
+  ASSERT_TRUE(w->Append(contents).ok());
+  ASSERT_TRUE(w->Close().ok());
+  auto after = VerifyDatabase(&env_, "/db");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->corrupt_tables, 1u);
+}
+
+TEST_F(IntegrityTest, ReportsWal) {
+  BuildDatabase(/*with_wal=*/true);
+  // Leave a couple of un-checkpointed records in the log.
+  engine::Options o;
+  o.env = &env_;
+  o.dir = "/db";
+  o.policy = engine::PolicyConfig::Conventional(16);
+  o.enable_wal = true;
+  {
+    auto db = engine::TsEngine::Open(o);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Append({1000, 1001, 1.0}).ok());
+    ASSERT_TRUE((*db)->Append({1001, 1002, 1.0}).ok());
+  }
+  auto report = VerifyDatabase(&env_, "/db");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->wal_present);
+  EXPECT_EQ(report->wal_records, 2u);
+  EXPECT_FALSE(report->wal_tail_truncated);
+}
+
+TEST_F(IntegrityTest, EmptyDirectoryOk) {
+  ASSERT_TRUE(env_.CreateDirIfMissing("/empty").ok());
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_.NewWritableFile("/empty/notes.txt", &f).ok());
+  ASSERT_TRUE(f->Close().ok());
+  auto report = VerifyDatabase(&env_, "/empty");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+  EXPECT_TRUE(report->tables.empty());
+}
+
+TEST_F(IntegrityTest, VerifySingleTableDirect) {
+  SSTableWriter writer(&env_, "/solo.sst", 8);
+  for (int64_t t = 0; t < 20; ++t) {
+    ASSERT_TRUE(writer.Add({t, t, 1.0}).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  TableReport report = VerifySSTable(&env_, "/solo.sst");
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.point_count, 20u);
+  EXPECT_EQ(report.blocks, 3u);  // ceil(20/8)
+}
+
+TEST_F(IntegrityTest, MissingFileReported) {
+  TableReport report = VerifySSTable(&env_, "/missing.sst");
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.error.empty());
+}
+
+}  // namespace
+}  // namespace seplsm::storage

@@ -1,0 +1,77 @@
+#include "storage/memtable.h"
+
+#include <gtest/gtest.h>
+
+namespace seplsm::storage {
+namespace {
+
+TEST(MemTableTest, InsertAndDrainSorted) {
+  MemTable m(10);
+  EXPECT_TRUE(m.Add({30, 31, 3.0}));
+  EXPECT_TRUE(m.Add({10, 11, 1.0}));
+  EXPECT_TRUE(m.Add({20, 21, 2.0}));
+  EXPECT_EQ(m.size(), 3u);
+  auto points = m.Drain();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].generation_time, 10);
+  EXPECT_EQ(points[1].generation_time, 20);
+  EXPECT_EQ(points[2].generation_time, 30);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MemTableTest, UpsertReplacesValue) {
+  MemTable m(10);
+  EXPECT_TRUE(m.Add({5, 6, 1.0}));
+  EXPECT_FALSE(m.Add({5, 7, 2.0}));  // same key
+  EXPECT_EQ(m.size(), 1u);
+  auto points = m.Drain();
+  EXPECT_EQ(points[0].value, 2.0);
+  EXPECT_EQ(points[0].arrival_time, 7);
+}
+
+TEST(MemTableTest, FullAtCapacity) {
+  MemTable m(3);
+  m.Add({1, 1, 0});
+  m.Add({2, 2, 0});
+  EXPECT_FALSE(m.full());
+  m.Add({3, 3, 0});
+  EXPECT_TRUE(m.full());
+}
+
+TEST(MemTableTest, MinMaxGenerationTime) {
+  MemTable m(10);
+  m.Add({50, 51, 0});
+  m.Add({-3, 0, 0});
+  m.Add({17, 18, 0});
+  EXPECT_EQ(m.min_generation_time(), -3);
+  EXPECT_EQ(m.max_generation_time(), 50);
+}
+
+TEST(MemTableTest, CollectRangeInclusive) {
+  MemTable m(10);
+  for (int64_t t : {10, 20, 30, 40}) m.Add({t, t, 0});
+  std::vector<DataPoint> out;
+  m.CollectRange(20, 30, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].generation_time, 20);
+  EXPECT_EQ(out[1].generation_time, 30);
+}
+
+TEST(MemTableTest, CollectRangeEmptyOutside) {
+  MemTable m(10);
+  m.Add({10, 10, 0});
+  std::vector<DataPoint> out;
+  m.CollectRange(100, 200, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MemTableTest, ClearEmpties) {
+  MemTable m(5);
+  m.Add({1, 1, 0});
+  m.Clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+}
+
+}  // namespace
+}  // namespace seplsm::storage

@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/parametric.h"
+#include "model/arrival_model.h"
+#include "model/subsequent_model.h"
+#include "model/tuner.h"
+#include "model/wa_model.h"
+
+namespace seplsm::model {
+namespace {
+
+TEST(SubsequentModelTest, ZetaZeroForEmptyBuffer) {
+  dist::LognormalDistribution d(4.0, 1.5);
+  SubsequentModel m(d, 50.0);
+  EXPECT_EQ(m.Estimate(0), 0.0);
+}
+
+TEST(SubsequentModelTest, ZetaMonotoneInBufferSize) {
+  dist::LognormalDistribution d(4.0, 1.5);
+  SubsequentModel m(d, 50.0);
+  double prev = 0.0;
+  for (size_t n : {1u, 4u, 16u, 64u, 256u}) {
+    double z = m.Estimate(n);
+    EXPECT_GE(z, prev - 1e-6) << "n=" << n;
+    prev = z;
+  }
+}
+
+TEST(SubsequentModelTest, ZetaGrowsWithSigma) {
+  dist::LognormalDistribution d1(4.0, 1.5);
+  dist::LognormalDistribution d2(4.0, 1.75);
+  SubsequentModel m1(d1, 50.0), m2(d2, 50.0);
+  EXPECT_GT(m2.Estimate(128), m1.Estimate(128));
+}
+
+TEST(SubsequentModelTest, ZetaGrowsWithMu) {
+  dist::LognormalDistribution d1(4.0, 1.5);
+  dist::LognormalDistribution d2(5.0, 1.5);
+  SubsequentModel m1(d1, 50.0), m2(d2, 50.0);
+  EXPECT_GT(m2.Estimate(128), m1.Estimate(128));
+}
+
+TEST(SubsequentModelTest, LargerDeltaTReducesZeta) {
+  dist::LognormalDistribution d(4.0, 1.5);
+  SubsequentModel m50(d, 50.0), m10(d, 10.0);
+  EXPECT_GT(m10.Estimate(128), m50.Estimate(128));
+}
+
+TEST(SubsequentModelTest, TinyDelaysGiveNearZeroZeta) {
+  // Delays far below Δt: essentially no disorder.
+  dist::UniformDistribution d(0.0, 1.0);
+  SubsequentModel m(d, 1000.0);
+  EXPECT_LT(m.Estimate(256), 0.01);
+}
+
+struct McCase {
+  std::string label;
+  double mu;
+  double sigma;
+  double delta_t;
+  size_t n;
+};
+
+class ZetaVsMonteCarloTest : public ::testing::TestWithParam<McCase> {};
+
+TEST_P(ZetaVsMonteCarloTest, ModelWithinToleranceOfOracle) {
+  const auto& c = GetParam();
+  dist::LognormalDistribution d(c.mu, c.sigma);
+  SubsequentModel m(d, c.delta_t);
+  double analytic = m.Estimate(c.n);
+  double oracle = ZetaMonteCarlo(d, c.delta_t, c.n, /*disk_points=*/20000,
+                                 /*rounds=*/300, /*seed=*/42);
+  // The arrival-gap approximation and MC noise both contribute; the paper's
+  // Fig. 5 shows the same order of agreement.
+  double tolerance = std::max(2.0, 0.30 * oracle);
+  EXPECT_NEAR(analytic, oracle, tolerance)
+      << "analytic=" << analytic << " oracle=" << oracle;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ZetaVsMonteCarloTest,
+    ::testing::Values(McCase{"fig5_a_n64", 4.0, 1.5, 50.0, 64},
+                      McCase{"fig5_a_n256", 4.0, 1.5, 50.0, 256},
+                      McCase{"fig5_b_n128", 4.0, 1.75, 50.0, 128},
+                      McCase{"small_delay", 2.0, 1.0, 50.0, 128},
+                      McCase{"dense_interval", 4.0, 1.5, 10.0, 64}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(ArrivalModelTest, ExpectedInOrderBetweenZeroAndAlpha) {
+  dist::LognormalDistribution d(4.0, 1.5);
+  ArrivalRateModel m(d, 50.0);
+  for (double alpha : {1.0, 10.0, 100.0}) {
+    double x = m.ExpectedInOrder(alpha);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, alpha);
+  }
+}
+
+TEST(ArrivalModelTest, ExpectedInOrderMonotone) {
+  dist::LognormalDistribution d(4.0, 1.5);
+  ArrivalRateModel m(d, 50.0);
+  EXPECT_LT(m.ExpectedInOrder(10), m.ExpectedInOrder(20));
+}
+
+TEST(ArrivalModelTest, InversionRoundTrip) {
+  dist::LognormalDistribution d(4.0, 1.5);
+  ArrivalRateModel m(d, 50.0);
+  for (double target : {5.0, 50.0, 500.0}) {
+    double alpha = m.ArrivalsForInOrder(target);
+    EXPECT_NEAR(m.ExpectedInOrder(alpha), target, 0.05 * target + 0.5);
+  }
+}
+
+TEST(ArrivalModelTest, GNonNegativeAndGrowsWithDisorder) {
+  dist::LognormalDistribution mild(3.0, 1.0);
+  dist::LognormalDistribution severe(5.0, 2.0);
+  ArrivalRateModel m1(mild, 50.0), m2(severe, 50.0);
+  double g1 = m1.G(256);
+  double g2 = m2.G(256);
+  EXPECT_GE(g1, 0.0);
+  EXPECT_GT(g2, g1);
+}
+
+TEST(ArrivalModelTest, NoDisorderMeansNoOutOfOrder) {
+  dist::UniformDistribution d(0.0, 1.0);  // delays << Δt
+  ArrivalRateModel m(d, 1000.0);
+  EXPECT_NEAR(m.G(100), 0.0, 1e-6);
+}
+
+TEST(ArrivalModelTest, FractionalAlphaInterpolates) {
+  dist::UniformDistribution d(0.0, 100.0);
+  ArrivalRateModel m(d, 50.0);
+  // F(50)=0.5, F(100)=1: x(1)=0.5, x(2)=1.5. Target 1.0 -> alpha=1.5.
+  EXPECT_NEAR(m.ArrivalsForInOrder(1.0), 1.5, 1e-9);
+}
+
+TEST(WaModelTest, ConventionalWaAtLeastOne) {
+  dist::LognormalDistribution d(4.0, 1.5);
+  WaModel m(d, 50.0);
+  for (size_t n : {8u, 64u, 512u}) {
+    EXPECT_GE(m.ConventionalWa(n), 1.0);
+  }
+}
+
+TEST(WaModelTest, ConventionalWaOneWithoutDisorder) {
+  dist::UniformDistribution d(0.0, 1.0);
+  WaModel m(d, 1000.0);
+  EXPECT_NEAR(m.ConventionalWa(512), 1.0, 1e-3);
+}
+
+TEST(WaModelTest, SeparationWaApproachesTwoWithoutDisorder) {
+  // With almost no out-of-order data, π_s still eventually pays one giant
+  // merge: r_s -> 2 while r_c -> 1 (the paper's Fig. 2 pathology).
+  dist::UniformDistribution d(0.0, 1.0);
+  WaModel m(d, 1000.0);
+  double rs = m.SeparationWa(512, 256);
+  double rc = m.ConventionalWa(512);
+  EXPECT_GT(rs, 1.5);
+  EXPECT_LT(rs, 2.3);
+  EXPECT_LT(rc, rs);
+}
+
+TEST(WaModelTest, SeparationBreakdownConsistent) {
+  dist::LognormalDistribution d(5.0, 2.0);
+  WaModel m(d, 50.0);
+  auto b = m.SeparationDetail(512, 256);
+  EXPECT_GT(b.g, 0.0);
+  EXPECT_GT(b.fills, 0.0);
+  EXPECT_NEAR(b.n_arrive, 256.0 * b.fills + 256.0, 1e-6);
+  EXPECT_GE(b.n_cur, 0.0);
+  EXPECT_GE(b.n_bef, 0.0);
+  EXPECT_NEAR(b.wa, (b.n_arrive + b.n_cur + b.n_bef) / b.n_arrive, 1e-12);
+}
+
+TEST(WaModelTest, SeverelyDisorderedFavorsSeparation) {
+  // Heavy disorder: out-of-order points are common and π_c merges on every
+  // MemTable fill; accumulating them (π_s) must help.
+  dist::LognormalDistribution d(6.0, 2.0);
+  WaModel m(d, 10.0);
+  TuningOptions topt;
+  topt.sweep_step = 16;
+  auto result = TunePolicy(m, 512, topt);
+  EXPECT_EQ(result.recommended.kind, engine::PolicyKind::kSeparation)
+      << "r_c=" << result.wa_conventional
+      << " r_s*=" << result.wa_separation_best;
+}
+
+TEST(WaModelTest, NearlyOrderedFavorsConventional) {
+  dist::UniformDistribution d(0.0, 5.0);
+  WaModel m(d, 1000.0);
+  TuningOptions topt;
+  topt.sweep_step = 16;
+  auto result = TunePolicy(m, 512, topt);
+  EXPECT_EQ(result.recommended.kind, engine::PolicyKind::kConventional);
+}
+
+TEST(TunerTest, CurveCoversSweep) {
+  dist::LognormalDistribution d(4.0, 1.5);
+  WaModel m(d, 50.0);
+  TuningOptions topt;
+  topt.sweep_step = 8;
+  topt.keep_curve = true;
+  auto result = TunePolicy(m, 64, topt);
+  ASSERT_FALSE(result.separation_curve.empty());
+  // Curve is sorted by n_seq and includes the best point.
+  bool found_best = false;
+  for (size_t i = 0; i < result.separation_curve.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GT(result.separation_curve[i].first,
+                result.separation_curve[i - 1].first);
+    }
+    if (result.separation_curve[i].first == result.best_nseq) {
+      found_best = true;
+      EXPECT_DOUBLE_EQ(result.separation_curve[i].second,
+                       result.wa_separation_best);
+    }
+  }
+  EXPECT_TRUE(found_best);
+}
+
+TEST(TunerTest, BestNseqWithinRange) {
+  dist::LognormalDistribution d(5.0, 2.0);
+  WaModel m(d, 50.0);
+  TuningOptions topt;
+  topt.sweep_step = 8;
+  auto result = TunePolicy(m, 128, topt);
+  EXPECT_GE(result.best_nseq, 1u);
+  EXPECT_LE(result.best_nseq, 127u);
+}
+
+TEST(TunerTest, RecommendedSeparationCarriesBestNseq) {
+  dist::LognormalDistribution d(6.0, 2.0);
+  auto result = TunePolicy(d, 10.0, 128,
+                           TuningOptions{.sweep_step = 8});
+  if (result.recommended.kind == engine::PolicyKind::kSeparation) {
+    EXPECT_EQ(result.recommended.nseq_capacity, result.best_nseq);
+    EXPECT_EQ(result.recommended.memtable_capacity, 128u);
+  }
+}
+
+TEST(GranularityCorrectionTest, PenalizesTinyNonseq) {
+  // Mild disorder, tiny C_nonseq: short phases whose merges are dominated
+  // by boundary-file rewrites. The corrected model must reflect that.
+  dist::LognormalDistribution d(5.0, 1.0);
+  WaModel plain(d, 50.0);
+  WaModel corrected(d, 50.0);
+  corrected.set_granularity_sstable_points(512);
+  double rs_plain = plain.SeparationWa(512, 504);
+  double rs_corrected = corrected.SeparationWa(512, 504);
+  EXPECT_GT(rs_corrected, rs_plain + 0.5)
+      << "plain=" << rs_plain << " corrected=" << rs_corrected;
+}
+
+TEST(GranularityCorrectionTest, NegligibleUnderHeavyDisorder) {
+  // Heavy disorder: ζ per merge already exceeds one SSTable, so the
+  // correction must vanish.
+  dist::LognormalDistribution d(5.0, 2.0);
+  WaModel plain(d, 50.0);
+  WaModel corrected(d, 50.0);
+  corrected.set_granularity_sstable_points(512);
+  double rc_plain = plain.ConventionalWa(512);
+  double rc_corrected = corrected.ConventionalWa(512);
+  EXPECT_NEAR(rc_corrected, rc_plain, 0.05);
+}
+
+TEST(GranularityCorrectionTest, ConventionalNoOverlapNoPenalty) {
+  // Fully ordered stream: flushes never overlap the run, so even with
+  // granularity awareness r_c stays ~1.
+  dist::UniformDistribution d(0.0, 1.0);
+  WaModel corrected(d, 1000.0);
+  corrected.set_granularity_sstable_points(512);
+  EXPECT_NEAR(corrected.ConventionalWa(512), 1.0, 0.01);
+}
+
+TEST(GranularityCorrectionTest, CorrectedAtLeastPlain) {
+  dist::LognormalDistribution d(4.0, 1.5);
+  WaModel plain(d, 50.0);
+  WaModel corrected(d, 50.0);
+  corrected.set_granularity_sstable_points(512);
+  for (size_t nseq : {64u, 256u, 448u}) {
+    EXPECT_GE(corrected.SeparationWa(512, nseq),
+              plain.SeparationWa(512, nseq) - 1e-9);
+  }
+  EXPECT_GE(corrected.ConventionalWa(512), plain.ConventionalWa(512) - 1e-9);
+}
+
+TEST(GranularityCorrectionTest, TunerAvoidsDegenerateSplit) {
+  // With the correction the tuner must not recommend n_nonseq so small
+  // that each phase rewrites a whole file for a handful of points.
+  dist::LognormalDistribution d(5.0, 1.25);
+  TuningOptions topt;
+  topt.sweep_step = 16;
+  topt.granularity_sstable_points = 512;
+  auto result = TunePolicy(d, 50.0, 512, topt);
+  if (result.recommended.kind == engine::PolicyKind::kSeparation) {
+    EXPECT_GE(result.recommended.nonseq_capacity(), 16u);
+  }
+}
+
+TEST(TunerTest, FineSweepNoWorseThanCoarse) {
+  dist::LognormalDistribution d(5.0, 1.75);
+  WaModel m(d, 50.0);
+  auto coarse = TunePolicy(m, 64, TuningOptions{.sweep_step = 16,
+                                                .refine = false});
+  auto fine = TunePolicy(m, 64, TuningOptions{.sweep_step = 1});
+  EXPECT_LE(fine.wa_separation_best, coarse.wa_separation_best + 1e-9);
+}
+
+}  // namespace
+}  // namespace seplsm::model

@@ -1,0 +1,159 @@
+#include "engine/multi_series_db.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/parametric.h"
+#include "env/mem_env.h"
+#include "workload/synthetic.h"
+
+namespace seplsm::engine {
+namespace {
+
+class MultiSeriesTest : public ::testing::Test {
+ protected:
+  MultiSeriesDB::MultiOptions BaseOptions() {
+    MultiSeriesDB::MultiOptions o;
+    o.base.env = &env_;
+    o.base.dir = "/fleet";
+    o.base.policy = PolicyConfig::Conventional(8);
+    o.base.sstable_points = 16;
+    return o;
+  }
+
+  std::unique_ptr<MultiSeriesDB> MustOpen(MultiSeriesDB::MultiOptions o) {
+    auto db = MultiSeriesDB::Open(std::move(o));
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    return std::move(db).value();
+  }
+
+  MemEnv env_;
+};
+
+TEST_F(MultiSeriesTest, SeriesCreatedOnFirstWrite) {
+  auto db = MustOpen(BaseOptions());
+  EXPECT_EQ(db->series_count(), 0u);
+  ASSERT_TRUE(db->Append("engine.temp", {1, 2, 90.0}).ok());
+  ASSERT_TRUE(db->Append("engine.rpm", {1, 2, 3000.0}).ok());
+  EXPECT_EQ(db->series_count(), 2u);
+}
+
+TEST_F(MultiSeriesTest, SeriesAreIsolated) {
+  auto db = MustOpen(BaseOptions());
+  for (int64_t t = 0; t < 50; ++t) {
+    ASSERT_TRUE(db->Append("a", {t, t, 1.0}).ok());
+    ASSERT_TRUE(db->Append("b", {t, t, 2.0}).ok());
+  }
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query("a", 0, 100, &out).ok());
+  ASSERT_EQ(out.size(), 50u);
+  for (const auto& p : out) EXPECT_EQ(p.value, 1.0);
+  ASSERT_TRUE(db->Query("b", 0, 100, &out).ok());
+  for (const auto& p : out) EXPECT_EQ(p.value, 2.0);
+}
+
+TEST_F(MultiSeriesTest, QueryUnknownSeriesNotFound) {
+  auto db = MustOpen(BaseOptions());
+  std::vector<DataPoint> out;
+  EXPECT_TRUE(db->Query("ghost", 0, 1, &out).IsNotFound());
+  EXPECT_TRUE(db->GetSeriesMetrics("ghost").status().IsNotFound());
+  EXPECT_TRUE(db->GetSeriesPolicy("ghost").status().IsNotFound());
+}
+
+TEST_F(MultiSeriesTest, SpecialCharactersInSeriesNames) {
+  auto db = MustOpen(BaseOptions());
+  const std::string weird = "vehicle/7#sensor temp&raw%2F";
+  for (int64_t t = 0; t < 20; ++t) {
+    ASSERT_TRUE(db->Append(weird, {t, t, 5.0}).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(weird, 0, 100, &out).ok());
+  EXPECT_EQ(out.size(), 20u);
+}
+
+TEST_F(MultiSeriesTest, ReopenRecoversAllSeries) {
+  const std::string weird = "a/b c%d";
+  {
+    auto db = MustOpen(BaseOptions());
+    for (int64_t t = 0; t < 40; ++t) {
+      ASSERT_TRUE(db->Append("x", {t, t, 1.0}).ok());
+      ASSERT_TRUE(db->Append(weird, {t, t, 2.0}).ok());
+    }
+    ASSERT_TRUE(db->FlushAll().ok());
+  }
+  auto db = MustOpen(BaseOptions());
+  EXPECT_EQ(db->series_count(), 2u);
+  auto names = db->ListSeries();
+  EXPECT_NE(std::find(names.begin(), names.end(), weird), names.end());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(weird, 0, 100, &out).ok());
+  EXPECT_EQ(out.size(), 40u);
+}
+
+TEST_F(MultiSeriesTest, AggregateMetricsSumSeries) {
+  auto db = MustOpen(BaseOptions());
+  for (int64_t t = 0; t < 64; ++t) {
+    ASSERT_TRUE(db->Append("a", {t, t, 0.0}).ok());
+    ASSERT_TRUE(db->Append("b", {t, t, 0.0}).ok());
+  }
+  Metrics total = db->GetAggregateMetrics();
+  EXPECT_EQ(total.points_ingested, 128u);
+  auto a = db->GetSeriesMetrics("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->points_ingested, 64u);
+}
+
+TEST_F(MultiSeriesTest, PerSeriesAdaptivePolicies) {
+  auto options = BaseOptions();
+  options.base.policy = PolicyConfig::Conventional(64);
+  options.adaptive = true;
+  options.adaptive_options.warmup_points = 1024;
+  options.adaptive_options.check_interval = 1024;
+  options.adaptive_options.tuning.sweep_step = 8;
+  auto db = MustOpen(std::move(options));
+
+  // Series "ordered": near-zero delays; series "chaotic": severe disorder.
+  workload::SyntheticConfig sc;
+  sc.num_points = 4000;
+  sc.delta_t = 1000.0;
+  dist::UniformDistribution mild(0.0, 5.0);
+  auto ordered = workload::GenerateSynthetic(sc, mild);
+  sc.delta_t = 10.0;
+  sc.seed = 2;
+  dist::LognormalDistribution severe(6.0, 2.0);
+  auto chaotic = workload::GenerateSynthetic(sc, severe);
+
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    ASSERT_TRUE(db->Append("ordered", ordered[i]).ok());
+    ASSERT_TRUE(db->Append("chaotic", chaotic[i]).ok());
+  }
+  auto ordered_policy = db->GetSeriesPolicy("ordered");
+  auto chaotic_policy = db->GetSeriesPolicy("chaotic");
+  ASSERT_TRUE(ordered_policy.ok());
+  ASSERT_TRUE(chaotic_policy.ok());
+  EXPECT_EQ(ordered_policy->kind, PolicyKind::kConventional);
+  EXPECT_EQ(chaotic_policy->kind, PolicyKind::kSeparation)
+      << "per-series tuning should separate only the disordered series";
+}
+
+TEST_F(MultiSeriesTest, ManySeriesStress) {
+  auto db = MustOpen(BaseOptions());
+  const size_t kSeries = 64;
+  for (int64_t t = 0; t < 30; ++t) {
+    for (size_t s = 0; s < kSeries; ++s) {
+      ASSERT_TRUE(db->Append("sensor." + std::to_string(s),
+                             {t, t, static_cast<double>(s)})
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  EXPECT_EQ(db->series_count(), kSeries);
+  for (size_t s = 0; s < kSeries; s += 7) {
+    std::vector<DataPoint> out;
+    ASSERT_TRUE(db->Query("sensor." + std::to_string(s), 0, 100, &out).ok());
+    EXPECT_EQ(out.size(), 30u);
+  }
+}
+
+}  // namespace
+}  // namespace seplsm::engine

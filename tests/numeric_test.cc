@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/integration.h"
+#include "numeric/interpolation.h"
+#include "numeric/root_finding.h"
+#include "numeric/special_functions.h"
+
+namespace seplsm::numeric {
+namespace {
+
+TEST(IntegrationTest, SimpsonPolynomialExact) {
+  // Simpson is exact for cubics.
+  auto f = [](double x) { return x * x * x - 2 * x + 1; };
+  double got = AdaptiveSimpson(f, 0.0, 2.0);
+  double want = 4.0 - 4.0 + 2.0;  // x^4/4 - x^2 + x over [0,2]
+  EXPECT_NEAR(got, want, 1e-10);
+}
+
+TEST(IntegrationTest, SimpsonSine) {
+  double got = AdaptiveSimpson([](double x) { return std::sin(x); }, 0.0,
+                               M_PI);
+  EXPECT_NEAR(got, 2.0, 1e-8);
+}
+
+TEST(IntegrationTest, SimpsonEmptyInterval) {
+  EXPECT_EQ(AdaptiveSimpson([](double) { return 1.0; }, 3.0, 3.0), 0.0);
+}
+
+TEST(IntegrationTest, SimpsonSteepGaussian) {
+  // Narrow Gaussian: total mass 1.
+  auto f = [](double x) {
+    double z = (x - 5.0) / 0.01;
+    return std::exp(-0.5 * z * z) / (0.01 * std::sqrt(2 * M_PI));
+  };
+  IntegrationOptions opts;
+  opts.abs_tolerance = 1e-12;
+  double got = AdaptiveSimpson(f, 0.0, 10.0, opts);
+  EXPECT_NEAR(got, 1.0, 1e-6);
+}
+
+class GaussLegendreTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaussLegendreTest, ExpIntegral) {
+  int points = GetParam();
+  double got =
+      GaussLegendre([](double x) { return std::exp(x); }, 0.0, 1.0, points);
+  EXPECT_NEAR(got, std::exp(1.0) - 1.0, 1e-9) << "points=" << points;
+}
+
+TEST_P(GaussLegendreTest, ExactForHighDegreePolynomials) {
+  int points = GetParam();
+  // GL with k points integrates degree 2k-1 exactly; use degree 7.
+  auto f = [](double x) { return std::pow(x, 7); };
+  double got = GaussLegendre(f, -1.0, 2.0, points);
+  double want = (std::pow(2.0, 8) - std::pow(-1.0, 8)) / 8.0;
+  EXPECT_NEAR(got, want, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussLegendreTest,
+                         ::testing::Values(8, 16, 32, 64));
+
+TEST(IntegrationTest, GeometricGLHeavyTail) {
+  // Integral of 1/(1+x)^2 over [0, 1e6] = 1 - 1/(1+1e6).
+  auto f = [](double x) { return 1.0 / ((1.0 + x) * (1.0 + x)); };
+  double got = GeometricGaussLegendre(f, 0.0, 1e6, 32, 16);
+  EXPECT_NEAR(got, 1.0 - 1.0 / (1.0 + 1e6), 1e-6);
+}
+
+TEST(IntegrationTest, GeometricGLDegenerateInterval) {
+  EXPECT_EQ(GeometricGaussLegendre([](double) { return 1.0; }, 5.0, 5.0), 0.0);
+}
+
+TEST(BrentTest, FindsSqrtTwo) {
+  auto r = Brent([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, std::sqrt(2.0), 1e-9);
+}
+
+TEST(BrentTest, FindsCosRoot) {
+  auto r = Brent([](double x) { return std::cos(x); }, 0.0, 3.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, M_PI / 2.0, 1e-9);
+}
+
+TEST(BrentTest, EndpointRoot) {
+  auto r = Brent([](double x) { return x; }, 0.0, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 0.0, 1e-9);
+}
+
+TEST(BrentTest, NoBracketFails) {
+  auto r = Brent([](double x) { return x * x + 1.0; }, -1.0, 1.0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(MonotoneIntSearchTest, FindsThreshold) {
+  auto g = [](long long k) { return static_cast<double>(k) * 0.5; };
+  auto r = MonotoneIntSearch(g, 0, 1000, 10.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 20);
+}
+
+TEST(MonotoneIntSearchTest, TargetAboveRangeFails) {
+  auto g = [](long long k) { return static_cast<double>(k); };
+  auto r = MonotoneIntSearch(g, 0, 10, 100.0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+}
+
+TEST(SpecialFunctionsTest, GammaPKnownValues) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.1, 1.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(0.5, x) = erf(sqrt(x)).
+  for (double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(RegularizedGammaP(0.5, x), std::erf(std::sqrt(x)), 1e-10);
+  }
+}
+
+TEST(SpecialFunctionsTest, GammaPBoundaries) {
+  EXPECT_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(2.0, 1e6), 1.0, 1e-12);
+  EXPECT_NEAR(RegularizedGammaP(3.0, 3.0) + RegularizedGammaQ(3.0, 3.0), 1.0,
+              1e-12);
+}
+
+TEST(SpecialFunctionsTest, GammaPMonotone) {
+  double prev = -1.0;
+  for (double x = 0.0; x < 20.0; x += 0.5) {
+    double p = RegularizedGammaP(2.5, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(SpecialFunctionsTest, GammaPInverseRoundTrip) {
+  for (double a : {0.5, 1.0, 2.0, 10.0}) {
+    for (double p : {0.01, 0.25, 0.5, 0.9, 0.999}) {
+      double x = RegularizedGammaPInverse(a, p);
+      EXPECT_NEAR(RegularizedGammaP(a, x), p, 1e-9)
+          << "a=" << a << " p=" << p;
+    }
+  }
+}
+
+TEST(InterpolationTest, LinearBetweenKnots) {
+  LinearInterpolator interp({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0});
+  EXPECT_DOUBLE_EQ(interp(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp(1.5), 25.0);
+}
+
+TEST(InterpolationTest, ClampsOutsideRange) {
+  LinearInterpolator interp({1.0, 2.0}, {3.0, 7.0});
+  EXPECT_DOUBLE_EQ(interp(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(interp(9.0), 7.0);
+}
+
+TEST(InterpolationTest, InverseRoundTrip) {
+  LinearInterpolator interp({0.0, 5.0, 10.0}, {0.0, 0.25, 1.0});
+  for (double y : {0.0, 0.1, 0.25, 0.6, 1.0}) {
+    double x = interp.Inverse(y);
+    EXPECT_NEAR(interp(x), y, 1e-12);
+  }
+}
+
+TEST(InterpolationTest, EmptyIsZero) {
+  LinearInterpolator interp;
+  EXPECT_TRUE(interp.empty());
+  EXPECT_EQ(interp(1.0), 0.0);
+  EXPECT_EQ(interp.Inverse(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace seplsm::numeric

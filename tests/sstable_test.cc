@@ -1,0 +1,184 @@
+#include "storage/sstable.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "env/mem_env.h"
+
+namespace seplsm::storage {
+namespace {
+
+std::vector<DataPoint> MakePoints(size_t n, int64_t start = 0,
+                                  int64_t step = 10) {
+  std::vector<DataPoint> points(n);
+  for (size_t i = 0; i < n; ++i) {
+    points[i].generation_time = start + static_cast<int64_t>(i) * step;
+    points[i].arrival_time = points[i].generation_time + 5;
+    points[i].value = static_cast<double>(i);
+  }
+  return points;
+}
+
+class SSTableTest : public ::testing::Test {
+ protected:
+  FileMetadata WriteTable(const std::vector<DataPoint>& points,
+                          const std::string& path,
+                          size_t points_per_block = 16) {
+    SSTableWriter writer(&env_, path, points_per_block);
+    for (const auto& p : points) EXPECT_TRUE(writer.Add(p).ok());
+    auto meta = writer.Finish();
+    EXPECT_TRUE(meta.ok()) << meta.status().ToString();
+    return *meta;
+  }
+
+  MemEnv env_;
+};
+
+TEST_F(SSTableTest, WriteReadAllRoundTrip) {
+  auto points = MakePoints(100);
+  WriteTable(points, "/t.sst");
+  auto reader = SSTableReader::Open(&env_, "/t.sst");
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  std::vector<DataPoint> out;
+  ASSERT_TRUE((*reader)->ReadAll(&out).ok());
+  EXPECT_EQ(out, points);
+}
+
+TEST_F(SSTableTest, MetadataReflectsContents) {
+  auto points = MakePoints(57, 1000, 3);
+  FileMetadata meta = WriteTable(points, "/t.sst");
+  EXPECT_EQ(meta.point_count, 57u);
+  EXPECT_EQ(meta.min_generation_time, 1000);
+  EXPECT_EQ(meta.max_generation_time, 1000 + 56 * 3);
+  EXPECT_GT(meta.file_bytes, 0u);
+  auto reader = SSTableReader::Open(&env_, "/t.sst");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->point_count(), 57u);
+  EXPECT_EQ((*reader)->min_generation_time(), 1000);
+}
+
+TEST_F(SSTableTest, MultipleBlocksCreated) {
+  auto points = MakePoints(100);
+  WriteTable(points, "/t.sst", 16);
+  auto reader = SSTableReader::Open(&env_, "/t.sst");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->block_count(), 7u);  // ceil(100/16)
+}
+
+TEST_F(SSTableTest, ReadRangeSelectsBlocks) {
+  auto points = MakePoints(100, 0, 10);  // keys 0..990
+  WriteTable(points, "/t.sst", 10);
+  auto reader = SSTableReader::Open(&env_, "/t.sst");
+  ASSERT_TRUE(reader.ok());
+  std::vector<DataPoint> out;
+  uint64_t scanned = 0;
+  ASSERT_TRUE((*reader)->ReadRange(500, 520, &out, &scanned).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].generation_time, 500);
+  EXPECT_EQ(out[2].generation_time, 520);
+  // Only the covering block(s) should be decoded, not the whole file.
+  EXPECT_LE(scanned, 20u);
+  EXPECT_GE(scanned, out.size());
+}
+
+TEST_F(SSTableTest, ReadRangeOutsideKeySpaceEmpty) {
+  WriteTable(MakePoints(10), "/t.sst");
+  auto reader = SSTableReader::Open(&env_, "/t.sst");
+  ASSERT_TRUE(reader.ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE((*reader)->ReadRange(10000, 20000, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(SSTableTest, OutOfOrderAddRejected) {
+  SSTableWriter writer(&env_, "/t.sst", 16);
+  ASSERT_TRUE(writer.Add({100, 100, 0}).ok());
+  EXPECT_TRUE(writer.Add({50, 50, 0}).IsInvalidArgument());
+}
+
+TEST_F(SSTableTest, EmptyTableRejected) {
+  SSTableWriter writer(&env_, "/t.sst", 16);
+  EXPECT_FALSE(writer.Finish().ok());
+}
+
+TEST_F(SSTableTest, CorruptedFooterDetected) {
+  WriteTable(MakePoints(20), "/t.sst");
+  // Truncate the file: footer invalid.
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env_.NewRandomAccessFile("/t.sst", &f).ok());
+  std::string contents;
+  ASSERT_TRUE(f->Read(0, f->Size() - 8, &contents).ok());
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env_.NewWritableFile("/t.sst", &w).ok());
+  ASSERT_TRUE(w->Append(contents).ok());
+  ASSERT_TRUE(w->Close().ok());
+  EXPECT_FALSE(SSTableReader::Open(&env_, "/t.sst").ok());
+}
+
+TEST_F(SSTableTest, CorruptedBlockDetectedOnRead) {
+  WriteTable(MakePoints(50), "/t.sst", 50);
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env_.NewRandomAccessFile("/t.sst", &f).ok());
+  std::string contents;
+  ASSERT_TRUE(f->Read(0, f->Size(), &contents).ok());
+  contents[10] ^= 0x20;  // flip a bit inside the data block
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env_.NewWritableFile("/t.sst", &w).ok());
+  ASSERT_TRUE(w->Append(contents).ok());
+  ASSERT_TRUE(w->Close().ok());
+  auto reader = SSTableReader::Open(&env_, "/t.sst");
+  ASSERT_TRUE(reader.ok());  // index+footer are intact
+  std::vector<DataPoint> out;
+  EXPECT_TRUE((*reader)->ReadAll(&out).IsCorruption());
+}
+
+TEST_F(SSTableTest, WriteSortedPointsCutsFiles) {
+  auto points = MakePoints(1000);
+  uint64_t next = 1;
+  std::vector<FileMetadata> files;
+  ASSERT_TRUE(WriteSortedPointsAsTables(&env_, "/db", points, 300, 64, &next,
+                                        &files)
+                  .ok());
+  ASSERT_EQ(files.size(), 4u);  // 300+300+300+100
+  EXPECT_EQ(files[0].point_count, 300u);
+  EXPECT_EQ(files[3].point_count, 100u);
+  EXPECT_EQ(next, 5u);
+  // Ranges must be contiguous and disjoint.
+  for (size_t i = 1; i < files.size(); ++i) {
+    EXPECT_GT(files[i].min_generation_time, files[i - 1].max_generation_time);
+  }
+}
+
+TEST_F(SSTableTest, TableFilePathFormat) {
+  EXPECT_EQ(TableFilePath("/db", 7), "/db/00000007.sst");
+  EXPECT_EQ(TableFilePath("/db", 12345678), "/db/12345678.sst");
+}
+
+TEST_F(SSTableTest, RandomizedRangeQueriesMatchBruteForce) {
+  Rng rng(2024);
+  std::vector<DataPoint> points;
+  int64_t t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += 1 + static_cast<int64_t>(rng.UniformU64(20));
+    points.push_back({t, t + 3, static_cast<double>(i)});
+  }
+  WriteTable(points, "/t.sst", 32);
+  auto reader = SSTableReader::Open(&env_, "/t.sst");
+  ASSERT_TRUE(reader.ok());
+  for (int trial = 0; trial < 50; ++trial) {
+    int64_t lo = rng.UniformInt(0, t);
+    int64_t hi = lo + rng.UniformInt(0, 500);
+    std::vector<DataPoint> got;
+    ASSERT_TRUE((*reader)->ReadRange(lo, hi, &got).ok());
+    std::vector<DataPoint> want;
+    for (const auto& p : points) {
+      if (p.generation_time >= lo && p.generation_time <= hi) {
+        want.push_back(p);
+      }
+    }
+    EXPECT_EQ(got, want) << "[" << lo << ", " << hi << "]";
+  }
+}
+
+}  // namespace
+}  // namespace seplsm::storage

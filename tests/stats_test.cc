@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "stats/autocorrelation.h"
+#include "stats/ecdf.h"
+#include "stats/histogram.h"
+#include "stats/online_stats.h"
+#include "stats/quantile_sketch.h"
+#include "stats/reservoir.h"
+#include "stats/sliding_window.h"
+
+namespace seplsm::stats {
+namespace {
+
+TEST(FixedHistogramTest, BinAssignment) {
+  FixedHistogram h(0.0, 10.0, 10);
+  h.Add(0.0);
+  h.Add(0.5);
+  h.Add(9.99);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(FixedHistogramTest, UnderOverflow) {
+  FixedHistogram h(0.0, 10.0, 5);
+  h.Add(-1.0);
+  h.Add(10.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(FixedHistogramTest, QuantileUniformData) {
+  FixedHistogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 1.5);
+}
+
+TEST(FixedHistogramTest, MergeAddsCounts) {
+  FixedHistogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+  a.Add(1.0);
+  b.Add(1.0);
+  b.Add(9.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bin_count(1), 2u);
+}
+
+TEST(FixedHistogramTest, ClearResets) {
+  FixedHistogram h(0.0, 1.0, 4);
+  h.Add(0.5);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bin_count(2), 0u);
+}
+
+TEST(FixedHistogramTest, AsciiRenderingMentionsCounts) {
+  FixedHistogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(1.5);
+  std::string art = h.ToAscii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(LogHistogramTest, TracksMinMeanMax) {
+  LogHistogram h(1.0, 2.0);
+  h.Add(1.0);
+  h.Add(10.0);
+  h.Add(100.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.mean(), 37.0, 1e-9);
+}
+
+TEST(LogHistogramTest, QuantileRoughlyOrdered) {
+  // min_value well below the data so the lower half is resolved by real
+  // buckets rather than the single underflow bucket.
+  LogHistogram h(0.01, 1.3);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) h.Add(std::exp(rng.NextGaussian()));
+  EXPECT_LT(h.Quantile(0.25), h.Quantile(0.75));
+  // Median of lognormal(0,1) is 1.
+  EXPECT_NEAR(std::log(h.Quantile(0.5)), 0.0, 0.3);
+}
+
+TEST(OnlineMomentsTest, MeanVarMinMax) {
+  OnlineMoments m;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.Add(x);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_NEAR(m.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+}
+
+TEST(OnlineMomentsTest, SinglePointVarianceZero) {
+  OnlineMoments m;
+  m.Add(3.0);
+  EXPECT_EQ(m.variance(), 0.0);
+}
+
+TEST(ReservoirTest, KeepsAllUnderCapacity) {
+  ReservoirSample r(10);
+  for (int i = 0; i < 5; ++i) r.Add(i);
+  EXPECT_EQ(r.sample().size(), 5u);
+}
+
+TEST(ReservoirTest, BoundedAboveCapacity) {
+  ReservoirSample r(100);
+  for (int i = 0; i < 100000; ++i) r.Add(i);
+  EXPECT_EQ(r.sample().size(), 100u);
+  EXPECT_EQ(r.seen(), 100000u);
+}
+
+TEST(ReservoirTest, SampleMeanApproximatesStreamMean) {
+  ReservoirSample r(2000, 99);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) r.Add(i);
+  double sum = 0.0;
+  for (double x : r.sample()) sum += x;
+  double mean = sum / static_cast<double>(r.sample().size());
+  EXPECT_NEAR(mean, n / 2.0, n * 0.05);
+}
+
+TEST(EcdfTest, StepValues) {
+  Ecdf e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.Cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.Cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.Cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.Cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.Cdf(99.0), 1.0);
+}
+
+TEST(EcdfTest, QuantileInverseOfCdf) {
+  Ecdf e({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(e.Quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(e.Quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(e.Quantile(1.0), 40.0);
+}
+
+TEST(EcdfTest, MeanComputed) {
+  Ecdf e({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(e.mean(), 2.0);
+}
+
+TEST(KsTest, IdenticalSamplesZeroDistance) {
+  std::vector<double> s = {1, 2, 3, 4, 5};
+  Ecdf a(s), b(s);
+  EXPECT_DOUBLE_EQ(KsDistance(a, b), 0.0);
+}
+
+TEST(KsTest, DisjointSamplesDistanceOne) {
+  Ecdf a({1, 2, 3});
+  Ecdf b({10, 20, 30});
+  EXPECT_DOUBLE_EQ(KsDistance(a, b), 1.0);
+}
+
+TEST(KsTest, SameDistributionBelowCritical) {
+  Rng rng(4);
+  std::vector<double> s1, s2;
+  for (int i = 0; i < 2000; ++i) s1.push_back(rng.NextGaussian());
+  for (int i = 0; i < 2000; ++i) s2.push_back(rng.NextGaussian());
+  Ecdf a(std::move(s1)), b(std::move(s2));
+  EXPECT_LT(KsDistance(a, b), KsCriticalValue(2000, 2000, 0.01));
+}
+
+TEST(KsTest, ShiftedDistributionAboveCritical) {
+  Rng rng(4);
+  std::vector<double> s1, s2;
+  for (int i = 0; i < 2000; ++i) s1.push_back(rng.NextGaussian());
+  for (int i = 0; i < 2000; ++i) s2.push_back(rng.NextGaussian() + 0.5);
+  Ecdf a(std::move(s1)), b(std::move(s2));
+  EXPECT_GT(KsDistance(a, b), KsCriticalValue(2000, 2000, 0.05));
+}
+
+TEST(AutocorrTest, IidNearZero) {
+  Rng rng(8);
+  std::vector<double> s;
+  for (int i = 0; i < 5000; ++i) s.push_back(rng.NextGaussian());
+  auto r = Autocorrelation(s, 10);
+  ASSERT_EQ(r.acf.size(), 11u);
+  EXPECT_DOUBLE_EQ(r.acf[0], 1.0);
+  for (size_t k = 1; k <= 10; ++k) {
+    EXPECT_LT(std::fabs(r.acf[k]), 3.0 * r.conf_bound) << "lag " << k;
+  }
+}
+
+TEST(AutocorrTest, Ar1StronglyPositive) {
+  Rng rng(8);
+  std::vector<double> s;
+  double x = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    x = 0.9 * x + rng.NextGaussian();
+    s.push_back(x);
+  }
+  auto r = Autocorrelation(s, 5);
+  EXPECT_GT(r.acf[1], 0.8);
+  EXPECT_GT(r.acf[1], r.acf[5]);
+}
+
+TEST(AutocorrTest, ConstantSeriesEmpty) {
+  std::vector<double> s(100, 3.0);
+  auto r = Autocorrelation(s, 10);
+  EXPECT_TRUE(r.acf.empty());
+}
+
+TEST(AutocorrTest, ConfidenceBoundFormula) {
+  std::vector<double> s = {1, 2, 1, 2, 1, 2, 1, 2, 1};
+  auto r = Autocorrelation(s, 2);
+  EXPECT_NEAR(r.conf_bound, 1.96 / 3.0, 1e-12);
+}
+
+TEST(P2QuantileTest, ExactForSmallSamples) {
+  P2Quantile q(0.5);
+  q.Add(10.0);
+  EXPECT_DOUBLE_EQ(q.Value(), 10.0);
+  q.Add(30.0);
+  q.Add(20.0);
+  EXPECT_DOUBLE_EQ(q.Value(), 20.0);  // exact median of {10,20,30}
+}
+
+TEST(P2QuantileTest, MedianOfUniformStream) {
+  P2Quantile q(0.5);
+  Rng rng(21);
+  for (int i = 0; i < 100000; ++i) q.Add(rng.NextDouble() * 1000.0);
+  EXPECT_NEAR(q.Value(), 500.0, 25.0);
+}
+
+TEST(P2QuantileTest, TailQuantileOfExponential) {
+  P2Quantile q(0.99);
+  Rng rng(22);
+  for (int i = 0; i < 200000; ++i) q.Add(rng.NextExponential(1.0 / 100.0));
+  // p99 of Exp(mean 100) = -100 ln(0.01) ~= 460.5.
+  EXPECT_NEAR(q.Value(), 460.5, 50.0);
+}
+
+TEST(P2QuantileTest, MonotoneUnderSortedInput) {
+  P2Quantile q(0.9);
+  for (int i = 1; i <= 10000; ++i) q.Add(static_cast<double>(i));
+  EXPECT_NEAR(q.Value(), 9000.0, 300.0);
+}
+
+TEST(P2QuantileTest, EmptyIsZero) {
+  P2Quantile q(0.5);
+  EXPECT_EQ(q.Value(), 0.0);
+  EXPECT_EQ(q.count(), 0u);
+}
+
+TEST(SlidingWindowTest, MeanOverWindow) {
+  SlidingWindowMean w(3);
+  w.Add(3.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  w.Add(6.0);
+  w.Add(9.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 6.0);
+  w.Add(12.0);  // evicts 3
+  EXPECT_DOUBLE_EQ(w.mean(), 9.0);
+  EXPECT_TRUE(w.full());
+}
+
+TEST(SlidingWindowTest, ClearEmpties) {
+  SlidingWindowMean w(2);
+  w.Add(1.0);
+  w.Clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace seplsm::stats

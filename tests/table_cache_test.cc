@@ -1,0 +1,157 @@
+#include "storage/table_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/ts_engine.h"
+#include "env/latency_env.h"
+#include "env/mem_env.h"
+
+namespace seplsm::storage {
+namespace {
+
+class TableCacheTest : public ::testing::Test {
+ protected:
+  FileMetadata WriteTable(uint64_t number, int64_t start) {
+    std::string path = TableFilePath("/db", number);
+    SSTableWriter writer(&env_, path, 16);
+    for (int64_t t = 0; t < 32; ++t) {
+      EXPECT_TRUE(writer.Add({start + t, start + t, 0.0}).ok());
+    }
+    auto meta = writer.Finish();
+    EXPECT_TRUE(meta.ok());
+    meta.value().file_number = number;
+    return *meta;
+  }
+
+  MemEnv env_;
+};
+
+TEST_F(TableCacheTest, HitsOnRepeatedAccess) {
+  auto f = WriteTable(1, 0);
+  TableCache cache(&env_, 4);
+  for (int i = 0; i < 5; ++i) {
+    auto reader = cache.Get(1, f.path);
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ((*reader)->point_count(), 32u);
+  }
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 4u);
+}
+
+TEST_F(TableCacheTest, EvictsLeastRecentlyUsed) {
+  std::vector<FileMetadata> files;
+  for (uint64_t n = 1; n <= 4; ++n) {
+    files.push_back(WriteTable(n, static_cast<int64_t>(n) * 1000));
+  }
+  TableCache cache(&env_, 2);
+  ASSERT_TRUE(cache.Get(1, files[0].path).ok());
+  ASSERT_TRUE(cache.Get(2, files[1].path).ok());
+  ASSERT_TRUE(cache.Get(1, files[0].path).ok());  // 1 is now most recent
+  ASSERT_TRUE(cache.Get(3, files[2].path).ok());  // evicts 2
+  EXPECT_EQ(cache.size(), 2u);
+  uint64_t misses_before = cache.misses();
+  ASSERT_TRUE(cache.Get(1, files[0].path).ok());  // still cached
+  EXPECT_EQ(cache.misses(), misses_before);
+  ASSERT_TRUE(cache.Get(2, files[1].path).ok());  // was evicted: miss
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST_F(TableCacheTest, EraseDropsEntry) {
+  auto f = WriteTable(1, 0);
+  TableCache cache(&env_, 4);
+  ASSERT_TRUE(cache.Get(1, f.path).ok());
+  cache.Erase(1);
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Erase(1);  // idempotent
+}
+
+TEST_F(TableCacheTest, SharedReaderSurvivesEviction) {
+  auto f = WriteTable(1, 0);
+  TableCache cache(&env_, 1);
+  auto reader = cache.Get(1, f.path);
+  ASSERT_TRUE(reader.ok());
+  auto f2 = WriteTable(2, 5000);
+  ASSERT_TRUE(cache.Get(2, f2.path).ok());  // evicts 1
+  // The shared_ptr we hold is still valid.
+  std::vector<DataPoint> out;
+  EXPECT_TRUE((*reader)->ReadAll(&out).ok());
+  EXPECT_EQ(out.size(), 32u);
+}
+
+TEST_F(TableCacheTest, MissingFileSurfacesError) {
+  TableCache cache(&env_, 2);
+  EXPECT_FALSE(cache.Get(9, "/db/nope.sst").ok());
+}
+
+TEST(EngineTableCacheTest, CachedQueriesSkipReopenSeeks) {
+  MemEnv base;
+  DeviceLatencyModel model;
+  model.seek_nanos = 1000;
+  model.transfer_nanos_per_byte = 0.0;
+  LatencyEnv latency(&base, model);
+
+  auto run_queries = [&](size_t cache_entries) -> int64_t {
+    engine::Options o;
+    o.env = &latency;
+    o.dir = cache_entries ? "/cached" : "/uncached";
+    o.policy = engine::PolicyConfig::Conventional(16);
+    o.sstable_points = 16;
+    o.table_cache_entries = cache_entries;
+    auto db = engine::TsEngine::Open(o);
+    EXPECT_TRUE(db.ok());
+    for (int64_t t = 0; t < 160; ++t) {
+      EXPECT_TRUE((*db)->Append({t, t, 0.0}).ok());
+    }
+    latency.ResetCounters();
+    for (int round = 0; round < 10; ++round) {
+      std::vector<DataPoint> out;
+      EXPECT_TRUE((*db)->Query(0, 159, &out).ok());
+      EXPECT_EQ(out.size(), 160u);
+    }
+    return latency.simulated_nanos();
+  };
+
+  int64_t uncached = run_queries(0);
+  int64_t cached = run_queries(32);
+  EXPECT_LT(cached, uncached)
+      << "table cache should avoid footer/index re-reads";
+}
+
+TEST(EngineTableCacheTest, CorrectAcrossCompactions) {
+  MemEnv env;
+  engine::Options o;
+  o.env = &env;
+  o.dir = "/db";
+  o.policy = engine::PolicyConfig::Conventional(8);
+  o.sstable_points = 16;
+  o.table_cache_entries = 4;
+  auto db = engine::TsEngine::Open(o);
+  ASSERT_TRUE(db.ok());
+  // Out-of-order workload forces merges that delete cached files; stale
+  // readers must never be served for replaced file numbers.
+  for (int64_t t = 0; t < 200; ++t) {
+    ASSERT_TRUE((*db)->Append({t, t, 1.0}).ok());
+    if (t % 10 == 9) {
+      ASSERT_TRUE((*db)->Append({t - 5, t + 1000, 2.0}).ok());
+    }
+    if (t % 25 == 24) {
+      std::vector<DataPoint> out;
+      ASSERT_TRUE((*db)->Query(0, t, &out).ok());
+    }
+  }
+  ASSERT_TRUE((*db)->FlushAll().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE((*db)->Query(0, 10000, &out).ok());
+  EXPECT_EQ(out.size(), 200u);
+  for (const auto& p : out) {
+    if ((p.generation_time % 10) == 4 && p.generation_time < 195 &&
+        (p.generation_time + 6) % 10 == 0) {
+      // keys t-5 where t % 10 == 9 got overwritten with value 2.
+      EXPECT_EQ(p.value, 2.0) << p.generation_time;
+    }
+  }
+  ASSERT_TRUE((*db)->CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace seplsm::storage

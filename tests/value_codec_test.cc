@@ -1,0 +1,193 @@
+#include "format/value_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/bits.h"
+#include "common/random.h"
+#include "engine/ts_engine.h"
+#include "env/mem_env.h"
+
+namespace seplsm::format {
+namespace {
+
+TEST(BitIoTest, RoundTripMixedWidths) {
+  std::string buf;
+  BitWriter writer(&buf);
+  writer.Write(0b101, 3);
+  writer.Write(0xDEADBEEFCAFEF00Dull, 64);
+  writer.WriteBit(true);
+  writer.Write(0x3F, 6);
+  writer.Finish();
+  BitReader reader(buf);
+  uint64_t v;
+  ASSERT_TRUE(reader.Read(3, &v));
+  EXPECT_EQ(v, 0b101u);
+  ASSERT_TRUE(reader.Read(64, &v));
+  EXPECT_EQ(v, 0xDEADBEEFCAFEF00Dull);
+  bool bit;
+  ASSERT_TRUE(reader.ReadBit(&bit));
+  EXPECT_TRUE(bit);
+  ASSERT_TRUE(reader.Read(6, &v));
+  EXPECT_EQ(v, 0x3Fu);
+}
+
+TEST(BitIoTest, UnderflowFails) {
+  std::string buf;
+  BitWriter writer(&buf);
+  writer.Write(0xFF, 8);
+  writer.Finish();
+  BitReader reader(buf);
+  uint64_t v;
+  ASSERT_TRUE(reader.Read(8, &v));
+  EXPECT_FALSE(reader.Read(1, &v));
+}
+
+class ValueCodecTest : public ::testing::TestWithParam<ValueEncoding> {};
+
+TEST_P(ValueCodecTest, RoundTripRandomValues) {
+  Rng rng(42);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(rng.NextGaussian() * 1e6);
+  }
+  std::string data;
+  EncodeValues(GetParam(), values, &data);
+  std::vector<double> decoded;
+  ASSERT_TRUE(DecodeValues(GetParam(), data, values.size(), &decoded).ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST_P(ValueCodecTest, RoundTripSpecialValues) {
+  std::vector<double> values = {
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      1.0,
+      1.0,
+      1.0,
+  };
+  std::string data;
+  EncodeValues(GetParam(), values, &data);
+  std::vector<double> decoded;
+  ASSERT_TRUE(DecodeValues(GetParam(), data, values.size(), &decoded).ok());
+  ASSERT_EQ(decoded.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    uint64_t a, b;
+    std::memcpy(&a, &values[i], 8);
+    std::memcpy(&b, &decoded[i], 8);
+    EXPECT_EQ(a, b) << "index " << i;  // bit-exact, including -0.0
+  }
+}
+
+TEST_P(ValueCodecTest, EmptyInput) {
+  std::string data;
+  EncodeValues(GetParam(), {}, &data);
+  std::vector<double> decoded;
+  ASSERT_TRUE(DecodeValues(GetParam(), data, 0, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Encodings, ValueCodecTest,
+                         ::testing::Values(ValueEncoding::kRaw,
+                                           ValueEncoding::kGorilla),
+                         [](const auto& info) {
+                           return info.param == ValueEncoding::kRaw
+                                      ? "raw"
+                                      : "gorilla";
+                         });
+
+TEST(GorillaTest, ConstantSeriesNearOneBitPerValue) {
+  std::vector<double> values(10000, 42.5);
+  std::string data;
+  EncodeValues(ValueEncoding::kGorilla, values, &data);
+  // 64 bits for the first + ~1 bit each after.
+  EXPECT_LT(data.size(), 8 + 10000 / 8 + 16);
+}
+
+TEST(GorillaTest, QuantizedSensorSeriesCompressesWell) {
+  // A slow signal quantized to the sensor's 0.1-unit resolution: long runs
+  // of identical readings — the workload Gorilla was designed for.
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(std::round((20.0 + std::sin(i * 0.01)) * 10.0) / 10.0);
+  }
+  std::string raw, gorilla;
+  EncodeValues(ValueEncoding::kRaw, values, &raw);
+  EncodeValues(ValueEncoding::kGorilla, values, &gorilla);
+  EXPECT_LT(gorilla.size() * 2, raw.size())
+      << "gorilla=" << gorilla.size() << " raw=" << raw.size();
+}
+
+TEST(GorillaTest, TruncatedStreamDetected) {
+  std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  std::string data;
+  EncodeValues(ValueEncoding::kGorilla, values, &data);
+  std::vector<double> decoded;
+  EXPECT_TRUE(DecodeValues(ValueEncoding::kGorilla, data.substr(0, 4), 4,
+                           &decoded)
+                  .IsCorruption());
+}
+
+TEST(GorillaTest, RawSizeMismatchDetected) {
+  std::vector<double> decoded;
+  EXPECT_TRUE(
+      DecodeValues(ValueEncoding::kRaw, "12345", 2, &decoded).IsCorruption());
+}
+
+TEST(EngineGorillaTest, EndToEndWithCompression) {
+  MemEnv env;
+  engine::Options o;
+  o.env = &env;
+  o.dir = "/gorilla";
+  o.policy = engine::PolicyConfig::Conventional(64);
+  o.sstable_points = 64;
+  o.value_encoding = ValueEncoding::kGorilla;
+  auto db = engine::TsEngine::Open(o);
+  ASSERT_TRUE(db.ok());
+  Rng rng(7);
+  std::vector<DataPoint> expected;
+  for (int64_t t = 0; t < 2000; ++t) {
+    DataPoint p{t, t + static_cast<int64_t>(rng.UniformU64(100)),
+                100.0 + std::sin(t * 0.005)};
+    expected.push_back(p);
+    ASSERT_TRUE((*db)->Append(p).ok());
+  }
+  ASSERT_TRUE((*db)->FlushAll().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE((*db)->Query(0, 1999, &out).ok());
+  EXPECT_EQ(out, expected);
+}
+
+TEST(EngineGorillaTest, CompressionShrinksFiles) {
+  auto run = [](ValueEncoding enc) -> uint64_t {
+    MemEnv env;
+    engine::Options o;
+    o.env = &env;
+    o.dir = "/x";
+    o.policy = engine::PolicyConfig::Conventional(512);
+    o.value_encoding = enc;
+    auto db = engine::TsEngine::Open(o);
+    EXPECT_TRUE(db.ok());
+    for (int64_t t = 0; t < 8192; ++t) {
+      double reading =
+          std::round((20.0 + std::sin(t * 0.01)) * 10.0) / 10.0;
+      EXPECT_TRUE((*db)->Append({t * 50, t * 50 + 10, reading}).ok());
+    }
+    EXPECT_TRUE((*db)->FlushAll().ok());
+    return (*db)->GetMetrics().bytes_written;
+  };
+  uint64_t raw_bytes = run(ValueEncoding::kRaw);
+  uint64_t gorilla_bytes = run(ValueEncoding::kGorilla);
+  EXPECT_LT(gorilla_bytes * 3, raw_bytes * 2)
+      << "gorilla=" << gorilla_bytes << " raw=" << raw_bytes;
+}
+
+}  // namespace
+}  // namespace seplsm::format

@@ -1,0 +1,135 @@
+#include "storage/version.h"
+
+#include <gtest/gtest.h>
+
+namespace seplsm::storage {
+namespace {
+
+FileMetadata File(uint64_t number, int64_t min_tg, int64_t max_tg,
+                  uint64_t points = 10) {
+  FileMetadata f;
+  f.file_number = number;
+  f.path = "/db/" + std::to_string(number);
+  f.point_count = points;
+  f.min_generation_time = min_tg;
+  f.max_generation_time = max_tg;
+  return f;
+}
+
+TEST(VersionTest, EmptyVersion) {
+  Version v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.TotalPoints(), 0u);
+  EXPECT_TRUE(v.CheckInvariants().ok());
+}
+
+TEST(VersionTest, AppendToRunKeepsOrder) {
+  Version v;
+  ASSERT_TRUE(v.AppendToRun(File(1, 0, 99)).ok());
+  ASSERT_TRUE(v.AppendToRun(File(2, 100, 199)).ok());
+  EXPECT_TRUE(v.CheckInvariants().ok());
+  EXPECT_EQ(v.MaxPersistedGenerationTime(), 199);
+}
+
+TEST(VersionTest, AppendOverlappingRejected) {
+  Version v;
+  ASSERT_TRUE(v.AppendToRun(File(1, 0, 100)).ok());
+  EXPECT_TRUE(v.AppendToRun(File(2, 100, 200)).IsInvalidArgument());
+  EXPECT_TRUE(v.AppendToRun(File(3, 50, 60)).IsInvalidArgument());
+}
+
+TEST(VersionTest, OverlappingRunRange) {
+  Version v;
+  ASSERT_TRUE(v.AppendToRun(File(1, 0, 99)).ok());
+  ASSERT_TRUE(v.AppendToRun(File(2, 100, 199)).ok());
+  ASSERT_TRUE(v.AppendToRun(File(3, 200, 299)).ok());
+  size_t begin, end;
+  v.OverlappingRunRange(150, 250, &begin, &end);
+  EXPECT_EQ(begin, 1u);
+  EXPECT_EQ(end, 3u);
+  v.OverlappingRunRange(0, 10, &begin, &end);
+  EXPECT_EQ(begin, 0u);
+  EXPECT_EQ(end, 1u);
+  v.OverlappingRunRange(500, 600, &begin, &end);
+  EXPECT_EQ(begin, 3u);
+  EXPECT_EQ(end, 3u);
+}
+
+TEST(VersionTest, OverlappingRangeInGap) {
+  Version v;
+  ASSERT_TRUE(v.AppendToRun(File(1, 0, 99)).ok());
+  ASSERT_TRUE(v.AppendToRun(File(2, 200, 299)).ok());
+  size_t begin, end;
+  v.OverlappingRunRange(120, 150, &begin, &end);
+  EXPECT_EQ(begin, end);  // empty slice between files 1 and 2
+  EXPECT_EQ(begin, 1u);
+}
+
+TEST(VersionTest, ReplaceRunSliceMiddle) {
+  Version v;
+  ASSERT_TRUE(v.AppendToRun(File(1, 0, 99)).ok());
+  ASSERT_TRUE(v.AppendToRun(File(2, 100, 199)).ok());
+  ASSERT_TRUE(v.AppendToRun(File(3, 200, 299)).ok());
+  std::vector<FileMetadata> replacements = {File(10, 100, 150),
+                                            File(11, 151, 199)};
+  ASSERT_TRUE(v.ReplaceRunSlice(1, 2, std::move(replacements)).ok());
+  ASSERT_EQ(v.run().size(), 4u);
+  EXPECT_EQ(v.run()[1].file_number, 10u);
+  EXPECT_EQ(v.run()[2].file_number, 11u);
+  EXPECT_TRUE(v.CheckInvariants().ok());
+}
+
+TEST(VersionTest, ReplaceRunSliceRejectsOverlapResult) {
+  Version v;
+  ASSERT_TRUE(v.AppendToRun(File(1, 0, 99)).ok());
+  ASSERT_TRUE(v.AppendToRun(File(2, 100, 199)).ok());
+  // Replacement overlaps the untouched file 2.
+  std::vector<FileMetadata> replacements = {File(10, 0, 150)};
+  EXPECT_FALSE(v.ReplaceRunSlice(0, 1, std::move(replacements)).ok());
+}
+
+TEST(VersionTest, ReplaceRunSliceBadIndices) {
+  Version v;
+  ASSERT_TRUE(v.AppendToRun(File(1, 0, 99)).ok());
+  EXPECT_TRUE(v.ReplaceRunSlice(2, 1, {}).IsInvalidArgument());
+  EXPECT_TRUE(v.ReplaceRunSlice(0, 5, {}).IsInvalidArgument());
+}
+
+TEST(VersionTest, Level0Fifo) {
+  Version v;
+  v.AddLevel0(File(5, 0, 10));
+  v.AddLevel0(File(6, 5, 15));
+  EXPECT_EQ(v.level0().size(), 2u);
+  FileMetadata f = v.PopLevel0Front();
+  EXPECT_EQ(f.file_number, 5u);
+  EXPECT_EQ(v.level0().size(), 1u);
+}
+
+TEST(VersionTest, MaxPersistedIncludesLevel0) {
+  Version v;
+  ASSERT_TRUE(v.AppendToRun(File(1, 0, 99)).ok());
+  v.AddLevel0(File(2, 50, 500));
+  EXPECT_EQ(v.MaxPersistedGenerationTime(), 500);
+}
+
+TEST(VersionTest, OverlappingLevel0) {
+  Version v;
+  v.AddLevel0(File(1, 0, 100));
+  v.AddLevel0(File(2, 200, 300));
+  v.AddLevel0(File(3, 50, 250));
+  auto hits = v.OverlappingLevel0(90, 210);
+  ASSERT_EQ(hits.size(), 3u);
+  hits = v.OverlappingLevel0(120, 150);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 2u);  // index of file 3
+}
+
+TEST(VersionTest, TotalPointsSumsBothLevels) {
+  Version v;
+  ASSERT_TRUE(v.AppendToRun(File(1, 0, 9, 100)).ok());
+  v.AddLevel0(File(2, 0, 9, 50));
+  EXPECT_EQ(v.TotalPoints(), 150u);
+}
+
+}  // namespace
+}  // namespace seplsm::storage

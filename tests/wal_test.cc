@@ -1,0 +1,280 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+
+#include "common/random.h"
+#include "engine/ts_engine.h"
+#include "env/mem_env.h"
+
+namespace seplsm {
+namespace {
+
+using storage::ReadWal;
+using storage::WalWriter;
+
+std::vector<DataPoint> SamplePoints() {
+  return {{100, 105, 1.5}, {50, 106, -3.25}, {200, 207, 0.0}};
+}
+
+TEST(WalTest, RoundTrip) {
+  MemEnv env;
+  auto writer = WalWriter::Open(&env, "/wal");
+  ASSERT_TRUE(writer.ok());
+  for (const auto& p : SamplePoints()) {
+    ASSERT_TRUE((*writer)->Append(p).ok());
+  }
+  ASSERT_TRUE((*writer)->Sync().ok());
+  auto back = ReadWal(&env, "/wal");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, SamplePoints());
+}
+
+TEST(WalTest, MissingFileIsEmpty) {
+  MemEnv env;
+  auto back = ReadWal(&env, "/nope");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(WalTest, TornTailTruncated) {
+  MemEnv env;
+  {
+    auto writer = WalWriter::Open(&env, "/wal");
+    ASSERT_TRUE(writer.ok());
+    for (const auto& p : SamplePoints()) {
+      ASSERT_TRUE((*writer)->Append(p).ok());
+    }
+    ASSERT_TRUE((*writer)->Sync().ok());
+  }
+  // Chop bytes off the end: the last record must be dropped, earlier ones
+  // must survive.
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env.NewRandomAccessFile("/wal", &f).ok());
+  std::string contents;
+  ASSERT_TRUE(f->Read(0, f->Size() - 3, &contents).ok());
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env.NewWritableFile("/wal", &w).ok());
+  ASSERT_TRUE(w->Append(contents).ok());
+  ASSERT_TRUE(w->Close().ok());
+
+  bool truncated = false;
+  auto back = ReadWal(&env, "/wal", &truncated);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(truncated);
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0], SamplePoints()[0]);
+  EXPECT_EQ((*back)[1], SamplePoints()[1]);
+}
+
+TEST(WalTest, CorruptMiddleStopsReplay) {
+  MemEnv env;
+  {
+    auto writer = WalWriter::Open(&env, "/wal");
+    ASSERT_TRUE(writer.ok());
+    for (const auto& p : SamplePoints()) {
+      ASSERT_TRUE((*writer)->Append(p).ok());
+    }
+    ASSERT_TRUE((*writer)->Sync().ok());
+  }
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env.NewRandomAccessFile("/wal", &f).ok());
+  std::string contents;
+  ASSERT_TRUE(f->Read(0, f->Size(), &contents).ok());
+  contents[10] ^= 0x7F;  // corrupt inside the first record's payload
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env.NewWritableFile("/wal", &w).ok());
+  ASSERT_TRUE(w->Append(contents).ok());
+  ASSERT_TRUE(w->Close().ok());
+
+  bool truncated = false;
+  auto back = ReadWal(&env, "/wal", &truncated);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(truncated);
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(WalTest, BytesWrittenGrows) {
+  MemEnv env;
+  auto writer = WalWriter::Open(&env, "/wal");
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ((*writer)->bytes_written(), 0u);
+  ASSERT_TRUE((*writer)->Append({1, 2, 3.0}).ok());
+  uint64_t after_one = (*writer)->bytes_written();
+  EXPECT_GT(after_one, 0u);
+  ASSERT_TRUE((*writer)->Append({2, 3, 4.0}).ok());
+  EXPECT_GT((*writer)->bytes_written(), after_one);
+}
+
+class EngineWalTest : public ::testing::Test {
+ protected:
+  engine::Options BaseOptions() {
+    engine::Options o;
+    o.env = &env_;
+    o.dir = "/db";
+    o.policy = engine::PolicyConfig::Conventional(8);
+    o.sstable_points = 16;
+    o.enable_wal = true;
+    return o;
+  }
+
+  MemEnv env_;
+};
+
+TEST_F(EngineWalTest, BufferedPointsSurviveReopen) {
+  {
+    auto db = engine::TsEngine::Open(BaseOptions());
+    ASSERT_TRUE(db.ok());
+    // 5 points: below MemTable capacity, so nothing reaches an SSTable.
+    for (int64_t t = 0; t < 5; ++t) {
+      ASSERT_TRUE((*db)->Append({t, t + 1, static_cast<double>(t)}).ok());
+    }
+    // Simulate a crash: no FlushAll, engine just destroyed. MemEnv keeps
+    // the WAL because MemWritableFile publishes on destruction (a real
+    // PosixEnv would need wal_sync_every_append for full crash safety).
+  }
+  auto db = engine::TsEngine::Open(BaseOptions());
+  ASSERT_TRUE(db.ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE((*db)->Query(0, 10, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  for (int64_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(out[t].generation_time, t);
+    EXPECT_EQ(out[t].value, static_cast<double>(t));
+  }
+}
+
+TEST_F(EngineWalTest, ReplayIsIdempotentWithPersistedData) {
+  {
+    auto db = engine::TsEngine::Open(BaseOptions());
+    ASSERT_TRUE(db.ok());
+    // 20 points: some flushed to SSTables, the rest still buffered; the WAL
+    // covers everything since the last checkpoint.
+    for (int64_t t = 0; t < 20; ++t) {
+      ASSERT_TRUE((*db)->Append({t, t + 1, static_cast<double>(t)}).ok());
+    }
+  }
+  auto db = engine::TsEngine::Open(BaseOptions());
+  ASSERT_TRUE(db.ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE((*db)->Query(0, 100, &out).ok());
+  EXPECT_EQ(out.size(), 20u);  // no duplicates despite double coverage
+}
+
+TEST_F(EngineWalTest, CheckpointTruncatesLog) {
+  auto db = engine::TsEngine::Open(BaseOptions());
+  ASSERT_TRUE(db.ok());
+  for (int64_t t = 0; t < 20; ++t) {
+    ASSERT_TRUE((*db)->Append({t, t + 1, 0.0}).ok());
+  }
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  engine::Metrics m = (*db)->GetMetrics();
+  EXPECT_GE(m.wal_checkpoints, 1u);
+  auto wal = storage::ReadWal(&env_, "/db/wal.log");
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE(wal->empty());
+  // Data still fully readable after the checkpoint.
+  std::vector<DataPoint> out;
+  ASSERT_TRUE((*db)->Query(0, 100, &out).ok());
+  EXPECT_EQ(out.size(), 20u);
+}
+
+TEST_F(EngineWalTest, AutomaticCheckpointOnSizeThreshold) {
+  auto options = BaseOptions();
+  options.wal_checkpoint_bytes = 256;  // tiny: trips after ~12 records
+  auto db = engine::TsEngine::Open(options);
+  ASSERT_TRUE(db.ok());
+  for (int64_t t = 0; t < 200; ++t) {
+    ASSERT_TRUE((*db)->Append({t, t + 1, 0.0}).ok());
+  }
+  engine::Metrics m = (*db)->GetMetrics();
+  EXPECT_GE(m.wal_checkpoints, 2u);
+  std::vector<DataPoint> out;
+  ASSERT_TRUE((*db)->Query(0, 1000, &out).ok());
+  EXPECT_EQ(out.size(), 200u);
+}
+
+TEST_F(EngineWalTest, WalMetricsPopulated) {
+  auto db = engine::TsEngine::Open(BaseOptions());
+  ASSERT_TRUE(db.ok());
+  for (int64_t t = 0; t < 5; ++t) {
+    ASSERT_TRUE((*db)->Append({t, t + 1, 0.0}).ok());
+  }
+  engine::Metrics m = (*db)->GetMetrics();
+  EXPECT_EQ(m.wal_records, 5u);
+  EXPECT_GT(m.wal_bytes, 0u);
+}
+
+TEST_F(EngineWalTest, SeparationPolicyWithWal) {
+  auto options = BaseOptions();
+  options.policy = engine::PolicyConfig::Separation(8, 4);
+  {
+    auto db = engine::TsEngine::Open(options);
+    ASSERT_TRUE(db.ok());
+    for (int64_t t = 0; t < 30; ++t) {
+      ASSERT_TRUE((*db)->Append({t * 10, t * 10 + 1, 0.0}).ok());
+    }
+    int64_t last = (*db)->MaxPersistedGenerationTime();
+    ASSERT_TRUE((*db)->Append({last - 5, last + 100, 42.0}).ok());
+  }
+  auto db = engine::TsEngine::Open(options);
+  ASSERT_TRUE(db.ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE((*db)->Query(0, 1000, &out).ok());
+  EXPECT_EQ(out.size(), 31u);
+  ASSERT_TRUE((*db)->CheckInvariants().ok());
+}
+
+// Crash-point sweep: write K points, "crash" (destroy without flushing),
+// reopen, and verify every point is present — for many K values straddling
+// MemTable and SSTable boundaries.
+class WalCrashPointTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WalCrashPointTest, AllPointsSurvive) {
+  int crash_after = GetParam();
+  MemEnv env;
+  engine::Options o;
+  o.env = &env;
+  o.dir = "/db";
+  o.policy = engine::PolicyConfig::Separation(8, 4);
+  o.sstable_points = 16;
+  o.enable_wal = true;
+  {
+    auto db = engine::TsEngine::Open(o);
+    ASSERT_TRUE(db.ok());
+    Rng rng(static_cast<uint64_t>(crash_after));
+    for (int i = 0; i < crash_after; ++i) {
+      // Mildly disordered keys so both MemTables see traffic.
+      int64_t key = i * 10 - static_cast<int64_t>(rng.UniformU64(30));
+      ASSERT_TRUE((*db)->Append({key, 10000 + i, static_cast<double>(i)})
+                      .ok());
+    }
+  }
+  auto db = engine::TsEngine::Open(o);
+  ASSERT_TRUE(db.ok());
+  // Re-drive the same keys into a reference set.
+  std::map<int64_t, bool> keys;
+  Rng rng(static_cast<uint64_t>(crash_after));
+  for (int i = 0; i < crash_after; ++i) {
+    keys[i * 10 - static_cast<int64_t>(rng.UniformU64(30))] = true;
+  }
+  std::vector<DataPoint> out;
+  ASSERT_TRUE((*db)
+                  ->Query(std::numeric_limits<int64_t>::min() / 2,
+                          std::numeric_limits<int64_t>::max() / 2, &out)
+                  .ok());
+  EXPECT_EQ(out.size(), keys.size());
+  for (const auto& p : out) {
+    EXPECT_TRUE(keys.count(p.generation_time)) << p.generation_time;
+  }
+  ASSERT_TRUE((*db)->CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPoints, WalCrashPointTest,
+                         ::testing::Values(1, 3, 4, 7, 8, 9, 15, 16, 17, 31,
+                                           50, 100));
+
+}  // namespace
+}  // namespace seplsm

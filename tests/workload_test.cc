@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dist/parametric.h"
+#include "env/mem_env.h"
+#include "stats/autocorrelation.h"
+#include "workload/datasets.h"
+#include "workload/query_workload.h"
+#include "workload/synthetic.h"
+#include "workload/trace_io.h"
+
+namespace seplsm::workload {
+namespace {
+
+TEST(SyntheticTest, SortedByArrival) {
+  SyntheticConfig c;
+  c.num_points = 5000;
+  c.delta_t = 50.0;
+  dist::LognormalDistribution d(4.0, 1.5);
+  auto points = GenerateSynthetic(c, d);
+  ASSERT_EQ(points.size(), 5000u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i - 1].arrival_time, points[i].arrival_time);
+  }
+}
+
+TEST(SyntheticTest, GenerationTimesUnique) {
+  SyntheticConfig c;
+  c.num_points = 5000;
+  c.delta_t = 10.0;
+  c.interval_jitter = 0.5;  // forces rounding collisions
+  dist::LognormalDistribution d(3.0, 1.0);
+  auto points = GenerateSynthetic(c, d);
+  std::set<int64_t> keys;
+  for (const auto& p : points) keys.insert(p.generation_time);
+  EXPECT_EQ(keys.size(), points.size());
+}
+
+TEST(SyntheticTest, DelaysNonNegative) {
+  SyntheticConfig c;
+  c.num_points = 2000;
+  dist::ExponentialDistribution d(100.0);
+  auto points = GenerateSynthetic(c, d);
+  for (const auto& p : points) EXPECT_GE(p.delay(), 0);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticConfig c;
+  c.num_points = 100;
+  c.seed = 77;
+  dist::LognormalDistribution d(4.0, 1.5);
+  auto a = GenerateSynthetic(c, d);
+  auto b = GenerateSynthetic(c, d);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SyntheticTest, ConstantIntervalWithoutJitter) {
+  SyntheticConfig c;
+  c.num_points = 100;
+  c.delta_t = 50.0;
+  dist::UniformDistribution d(0.0, 1.0);
+  auto points = GenerateSynthetic(c, d);
+  std::sort(points.begin(), points.end(), OrderByGenerationTime());
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].generation_time - points[i - 1].generation_time, 50);
+  }
+}
+
+TEST(DisorderStatsTest, OrderedStreamIsClean) {
+  std::vector<DataPoint> stream;
+  for (int64_t i = 0; i < 100; ++i) stream.push_back({i, i + 1, 0.0});
+  auto s = ComputeDisorderStats(stream);
+  EXPECT_EQ(s.late_event_fraction, 0.0);
+  EXPECT_EQ(s.out_of_order_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_delay, 1.0);
+}
+
+TEST(DisorderStatsTest, CountsDefinitionThreeCorrectly) {
+  // Arrival order: g=0, g=10, g=5 (ooo), g=20, g=7 (ooo).
+  std::vector<DataPoint> stream = {
+      {0, 0, 0.0}, {10, 11, 0.0}, {5, 12, 0.0}, {20, 21, 0.0}, {7, 25, 0.0}};
+  auto s = ComputeDisorderStats(stream);
+  EXPECT_DOUBLE_EQ(s.out_of_order_fraction, 2.0 / 5.0);
+  // Late events: g=5 after g=10, g=7 after g=20.
+  EXPECT_DOUBLE_EQ(s.late_event_fraction, 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(s.mean_out_of_order_delay, (7.0 + 18.0) / 2.0);
+}
+
+TEST(TableIITest, TwelveConfigsInPaperOrder) {
+  const auto& table = TableII();
+  ASSERT_EQ(table.size(), 12u);
+  EXPECT_EQ(table[0].name, "M1");
+  EXPECT_EQ(table[11].name, "M12");
+  // M1-M6: Δt=50; M7-M12: Δt=10.
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(table[i].delta_t, 50.0);
+  for (int i = 6; i < 12; ++i) EXPECT_EQ(table[i].delta_t, 10.0);
+  // Within each Δt group μ goes 4,4,4,5,5,5 and σ cycles 1.5,1.75,2.
+  EXPECT_EQ(table[0].mu, 4.0);
+  EXPECT_EQ(table[3].mu, 5.0);
+  EXPECT_EQ(table[0].sigma, 1.5);
+  EXPECT_EQ(table[2].sigma, 2.0);
+}
+
+TEST(TableIITest, LookupByName) {
+  EXPECT_EQ(TableIIByName("M5").mu, 5.0);
+  EXPECT_EQ(TableIIByName("M5").sigma, 1.75);
+  EXPECT_EQ(TableIIByName("M10").delta_t, 10.0);
+}
+
+TEST(TableIITest, MoreSigmaMoreDisorder) {
+  auto m1 = GenerateTableII(TableIIByName("M1"), 20000);
+  auto m3 = GenerateTableII(TableIIByName("M3"), 20000);
+  EXPECT_GT(ComputeDisorderStats(m3).out_of_order_fraction,
+            ComputeDisorderStats(m1).out_of_order_fraction);
+}
+
+TEST(TableIITest, SmallerDeltaTMoreDisorder) {
+  auto m1 = GenerateTableII(TableIIByName("M1"), 20000);
+  auto m7 = GenerateTableII(TableIIByName("M7"), 20000);
+  EXPECT_GT(ComputeDisorderStats(m7).out_of_order_fraction,
+            ComputeDisorderStats(m1).out_of_order_fraction);
+}
+
+TEST(S9Test, HasSkewedTailAndModerateDisorder) {
+  auto points = GenerateS9Simulated(30000);
+  ASSERT_EQ(points.size(), 30000u);
+  auto s = ComputeDisorderStats(points);
+  // Paper: 7.05% out of order; accept a loose band around it.
+  EXPECT_GT(s.out_of_order_fraction, 0.02);
+  EXPECT_LT(s.out_of_order_fraction, 0.20);
+  // Skew: max delay far above the mean.
+  EXPECT_GT(s.max_delay, 20.0 * s.mean_delay);
+}
+
+TEST(S9Test, VariableIntervalsWhenJittered) {
+  auto points = GenerateS9Simulated(5000, /*jitter_intervals=*/true);
+  std::sort(points.begin(), points.end(), OrderByGenerationTime());
+  std::set<int64_t> intervals;
+  for (size_t i = 1; i < points.size(); ++i) {
+    intervals.insert(points[i].generation_time -
+                     points[i - 1].generation_time);
+  }
+  EXPECT_GT(intervals.size(), 50u);
+}
+
+TEST(HTest, TinyOutOfOrderFractionAndSystematicDelays) {
+  HSimConfig c;
+  c.num_points = 200000;
+  auto points = GenerateHSimulated(c);
+  auto s = ComputeDisorderStats(points);
+  // Paper: 0.0375% out of order for H; ours should be well below 1%.
+  EXPECT_GT(s.out_of_order_fraction, 0.0);
+  EXPECT_LT(s.out_of_order_fraction, 0.01);
+  // Systematic mode: some delays reach toward the re-send boundary.
+  EXPECT_GT(s.max_delay, 10000.0);
+}
+
+TEST(HTest, DelaysAreAutocorrelated) {
+  HSimConfig c;
+  c.num_points = 100000;
+  c.outage_start_probability = 2e-3;  // denser outages for the ACF signal
+  auto points = GenerateHSimulated(c);
+  // Delays in generation order.
+  std::sort(points.begin(), points.end(), OrderByGenerationTime());
+  std::vector<double> delays;
+  delays.reserve(points.size());
+  for (const auto& p : points) {
+    delays.push_back(static_cast<double>(p.delay()));
+  }
+  auto acf = stats::Autocorrelation(delays, 5);
+  ASSERT_FALSE(acf.acf.empty());
+  EXPECT_GT(acf.acf[1], 3.0 * acf.conf_bound);
+}
+
+TEST(QueryWorkloadTest, RecentWindowAnchorsToMax) {
+  RecentQueryGenerator gen(5000);
+  auto q = gen.Next(100000);
+  EXPECT_EQ(q.lo, 95000);
+  EXPECT_EQ(q.hi, 100000);
+}
+
+TEST(QueryWorkloadTest, HistoricalWithinBounds) {
+  HistoricalQueryGenerator gen(1000, 3);
+  for (int i = 0; i < 200; ++i) {
+    auto q = gen.Next(0, 100000);
+    EXPECT_GE(q.lo, 0);
+    EXPECT_LE(q.hi, 100000);
+    EXPECT_EQ(q.hi - q.lo, 1000);
+  }
+}
+
+TEST(QueryWorkloadTest, HistoricalDegenerateSpan) {
+  HistoricalQueryGenerator gen(1000);
+  auto q = gen.Next(0, 500);  // window longer than history
+  EXPECT_EQ(q.lo, 0);
+}
+
+TEST(TraceIoTest, CsvRoundTrip) {
+  MemEnv env;
+  std::vector<DataPoint> points = {
+      {0, 5, 1.5}, {-10, 3, -2.75}, {1000000007, 1000000008, 0.1}};
+  ASSERT_TRUE(WriteTraceCsv(&env, "/t.csv", points).ok());
+  auto back = ReadTraceCsv(&env, "/t.csv");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, points);
+}
+
+TEST(TraceIoTest, MalformedRowRejected) {
+  MemEnv env;
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("/bad.csv", &f).ok());
+  ASSERT_TRUE(f->Append("generation_time,arrival_time,value\n1,2\n").ok());
+  ASSERT_TRUE(f->Close().ok());
+  EXPECT_TRUE(ReadTraceCsv(&env, "/bad.csv").status().IsCorruption());
+}
+
+TEST(TraceIoTest, LargeTraceRoundTrip) {
+  MemEnv env;
+  SyntheticConfig c;
+  c.num_points = 20000;
+  dist::LognormalDistribution d(4.0, 1.5);
+  auto points = GenerateSynthetic(c, d);
+  ASSERT_TRUE(WriteTraceCsv(&env, "/big.csv", points).ok());
+  auto back = ReadTraceCsv(&env, "/big.csv");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, points);
+}
+
+}  // namespace
+}  // namespace seplsm::workload

@@ -1,0 +1,275 @@
+// seplsm command-line tool: generate workloads, ingest traces, query,
+// and run the policy tuner without writing any code.
+//
+//   seplsm_cli generate --dataset=M5 --points=100000 --out=trace.csv
+//   seplsm_cli ingest   --trace=trace.csv --dir=/tmp/db --policy=pi_s \
+//                       --n=512 --nseq=256 [--wal] [--gorilla] [--bg]
+//   seplsm_cli query    --dir=/tmp/db --lo=0 --hi=100000 [--bucket=5000]
+//   seplsm_cli tune     --trace=trace.csv --n=512 [--granularity=512]
+//   seplsm_cli info     --dir=/tmp/db
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "seplsm/seplsm.h"
+
+namespace {
+
+using namespace seplsm;
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "true";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  long long GetInt(const std::string& key, long long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  bool GetBool(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: seplsm_cli <generate|ingest|query|tune|info> [flags]\n"
+               "  generate --dataset=M1..M12|s9|h --points=N --out=csv\n"
+               "  ingest   --trace=csv --dir=path [--policy=pi_c|pi_s]\n"
+               "           [--n=512] [--nseq=256] [--wal] [--gorilla] [--bg]\n"
+               "  query    --dir=path --lo=T --hi=T [--bucket=W]\n"
+               "  tune     --trace=csv [--n=512] [--granularity=S] [--step=K]\n"
+               "  info     --dir=path\n"
+               "  verify   --dir=path\n");
+  return 2;
+}
+
+int CmdGenerate(const Flags& flags) {
+  std::string dataset = flags.Get("dataset", "M5");
+  size_t points = static_cast<size_t>(flags.GetInt("points", 100'000));
+  std::string out = flags.Get("out", "trace.csv");
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  std::vector<DataPoint> trace;
+  if (dataset == "s9") {
+    trace = workload::GenerateS9Simulated(points, true, seed);
+  } else if (dataset == "h") {
+    workload::HSimConfig config;
+    config.num_points = points;
+    config.seed = seed;
+    trace = workload::GenerateHSimulated(config);
+  } else {
+    trace = workload::GenerateTableII(workload::TableIIByName(dataset),
+                                      points, seed);
+  }
+  auto stats = workload::ComputeDisorderStats(trace);
+  Status st = workload::WriteTraceCsv(Env::Default(), out, trace);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("wrote %zu points to %s (%.3f%% out of order, mean delay "
+              "%.1f)\n",
+              trace.size(), out.c_str(),
+              100.0 * stats.out_of_order_fraction, stats.mean_delay);
+  return 0;
+}
+
+int CmdIngest(const Flags& flags) {
+  std::string trace_path = flags.Get("trace", "");
+  std::string dir = flags.Get("dir", "");
+  if (trace_path.empty() || dir.empty()) {
+    return Fail("ingest requires --trace and --dir");
+  }
+  auto trace = workload::ReadTraceCsv(Env::Default(), trace_path);
+  if (!trace.ok()) return Fail(trace.status().ToString());
+
+  engine::Options options;
+  options.dir = dir;
+  size_t n = static_cast<size_t>(flags.GetInt("n", 512));
+  if (flags.Get("policy", "pi_c") == "pi_s") {
+    size_t nseq = static_cast<size_t>(flags.GetInt("nseq", n / 2));
+    options.policy = engine::PolicyConfig::Separation(n, nseq);
+  } else {
+    options.policy = engine::PolicyConfig::Conventional(n);
+  }
+  options.enable_wal = flags.GetBool("wal");
+  options.background_mode = flags.GetBool("bg");
+  if (flags.GetBool("gorilla")) {
+    options.value_encoding = format::ValueEncoding::kGorilla;
+  }
+
+  auto db = engine::TsEngine::Open(options);
+  if (!db.ok()) return Fail(db.status().ToString());
+  for (const auto& p : *trace) {
+    if (Status st = (*db)->Append(p); !st.ok()) return Fail(st.ToString());
+  }
+  if (Status st = (*db)->FlushAll(); !st.ok()) return Fail(st.ToString());
+  engine::Metrics m = (*db)->GetMetrics();
+  std::printf("ingested under %s\n%s\n",
+              (*db)->options().policy.ToString().c_str(),
+              m.ToString().c_str());
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  std::string dir = flags.Get("dir", "");
+  if (dir.empty()) return Fail("query requires --dir");
+  engine::Options options;
+  options.dir = dir;
+  auto db = engine::TsEngine::Open(options);
+  if (!db.ok()) return Fail(db.status().ToString());
+
+  int64_t hi_default = (*db)->MaxPersistedGenerationTime();
+  int64_t lo = flags.GetInt("lo", 0);
+  int64_t hi = flags.GetInt("hi", hi_default);
+  int64_t bucket = flags.GetInt("bucket", 0);
+
+  engine::QueryStats stats;
+  if (bucket > 0) {
+    std::vector<engine::TimeBucket> buckets;
+    if (Status st = (*db)->Downsample(lo, hi, bucket, &buckets, &stats);
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::printf("bucket_start,count,min,max,mean\n");
+    for (const auto& b : buckets) {
+      std::printf("%lld,%llu,%g,%g,%g\n",
+                  static_cast<long long>(b.bucket_start),
+                  static_cast<unsigned long long>(b.aggregates.count),
+                  b.aggregates.min, b.aggregates.max, b.aggregates.mean());
+    }
+  } else {
+    engine::Aggregates agg;
+    if (Status st = (*db)->Aggregate(lo, hi, &agg, &stats); !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::printf("count=%llu min=%g max=%g mean=%g first@%lld last@%lld\n",
+                static_cast<unsigned long long>(agg.count), agg.min, agg.max,
+                agg.mean(), static_cast<long long>(agg.first_time),
+                static_cast<long long>(agg.last_time));
+  }
+  std::printf("(read amplification %.2f, %llu files)\n",
+              stats.ReadAmplification(),
+              static_cast<unsigned long long>(stats.files_opened));
+  return 0;
+}
+
+int CmdTune(const Flags& flags) {
+  std::string trace_path = flags.Get("trace", "");
+  if (trace_path.empty()) return Fail("tune requires --trace");
+  auto trace = workload::ReadTraceCsv(Env::Default(), trace_path);
+  if (!trace.ok()) return Fail(trace.status().ToString());
+  size_t n = static_cast<size_t>(flags.GetInt("n", 512));
+
+  analyzer::DelayCollector collector(8192, 4096);
+  for (const auto& p : *trace) collector.Observe(p);
+  auto fit = analyzer::FitDelayDistribution(collector.sample());
+  if (!fit.ok()) return Fail(fit.status().ToString());
+  double delta_t = collector.EstimateDeltaT();
+
+  model::TuningOptions tuning;
+  tuning.sweep_step = static_cast<size_t>(flags.GetInt("step", 8));
+  tuning.granularity_sstable_points =
+      static_cast<size_t>(flags.GetInt("granularity", 0));
+  auto result = model::TunePolicy(*fit->distribution, delta_t, n, tuning);
+
+  std::printf("fitted: %s (KS %.4f), dt=%.2f\n",
+              fit->distribution->Name().c_str(), fit->ks_distance, delta_t);
+  std::printf("r_c = %.3f, min r_s = %.3f at n_seq = %zu\n",
+              result.wa_conventional, result.wa_separation_best,
+              result.best_nseq);
+  std::printf("recommendation: %s\n", result.recommended.ToString().c_str());
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  std::string dir = flags.Get("dir", "");
+  if (dir.empty()) return Fail("info requires --dir");
+  engine::Options options;
+  options.dir = dir;
+  auto db = engine::TsEngine::Open(options);
+  if (!db.ok()) return Fail(db.status().ToString());
+  engine::Aggregates agg;
+  if (Status st = (*db)->Aggregate(std::numeric_limits<int64_t>::min() / 2,
+                                   std::numeric_limits<int64_t>::max() / 2,
+                                   &agg);
+      !st.ok()) {
+    return Fail(st.ToString());
+  }
+  std::printf("points:     %llu\n",
+              static_cast<unsigned long long>(agg.count));
+  std::printf("time range: [%lld, %lld]\n",
+              static_cast<long long>(agg.first_time),
+              static_cast<long long>(agg.last_time));
+  std::printf("run files:  %zu (+%zu level-0)\n", (*db)->RunFileCount(),
+              (*db)->Level0FileCount());
+  return 0;
+}
+
+int CmdVerify(const Flags& flags) {
+  std::string dir = flags.Get("dir", "");
+  if (dir.empty()) return Fail("verify requires --dir");
+  auto report = storage::VerifyDatabase(Env::Default(), dir);
+  if (!report.ok()) return Fail(report.status().ToString());
+  for (const auto& t : report->tables) {
+    std::printf("%-40s %s", t.path.c_str(), t.ok ? "OK" : "CORRUPT");
+    if (t.ok) {
+      std::printf(" (%llu points, %llu blocks)",
+                  static_cast<unsigned long long>(t.point_count),
+                  static_cast<unsigned long long>(t.blocks));
+    } else {
+      std::printf(" -- %s", t.error.c_str());
+    }
+    std::printf("\n");
+  }
+  if (report->wal_present) {
+    std::printf("wal.log: %llu replayable records%s\n",
+                static_cast<unsigned long long>(report->wal_records),
+                report->wal_tail_truncated ? " (torn tail truncated)" : "");
+  }
+  std::printf("total: %zu tables, %llu points, %llu corrupt\n",
+              report->tables.size(),
+              static_cast<unsigned long long>(report->total_points),
+              static_cast<unsigned long long>(report->corrupt_tables));
+  return report->ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Flags flags(argc, argv);
+  std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "ingest") return CmdIngest(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "tune") return CmdTune(flags);
+  if (command == "info") return CmdInfo(flags);
+  if (command == "verify") return CmdVerify(flags);
+  return Usage();
+}
