@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_subsequent.dir/bench_fig5_subsequent.cc.o"
+  "CMakeFiles/bench_fig5_subsequent.dir/bench_fig5_subsequent.cc.o.d"
+  "bench_fig5_subsequent"
+  "bench_fig5_subsequent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_subsequent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

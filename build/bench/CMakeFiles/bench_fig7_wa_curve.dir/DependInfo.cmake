@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_wa_curve.cc" "bench/CMakeFiles/bench_fig7_wa_curve.dir/bench_fig7_wa_curve.cc.o" "gcc" "bench/CMakeFiles/bench_fig7_wa_curve.dir/bench_fig7_wa_curve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/seplsm_multi_series.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/seplsm_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/seplsm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/seplsm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/seplsm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/seplsm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/seplsm_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/seplsm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/seplsm_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/seplsm_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/seplsm_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seplsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_wa_curve.dir/bench_fig7_wa_curve.cc.o"
+  "CMakeFiles/bench_fig7_wa_curve.dir/bench_fig7_wa_curve.cc.o.d"
+  "bench_fig7_wa_curve"
+  "bench_fig7_wa_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_wa_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

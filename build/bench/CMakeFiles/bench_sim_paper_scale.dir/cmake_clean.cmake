@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_paper_scale.dir/bench_sim_paper_scale.cc.o"
+  "CMakeFiles/bench_sim_paper_scale.dir/bench_sim_paper_scale.cc.o.d"
+  "bench_sim_paper_scale"
+  "bench_sim_paper_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_paper_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_sensor_store.dir/multi_sensor_store.cpp.o"
+  "CMakeFiles/multi_sensor_store.dir/multi_sensor_store.cpp.o.d"
+  "multi_sensor_store"
+  "multi_sensor_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_sensor_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seplsm_analyzer.dir/adaptive_controller.cc.o"
+  "CMakeFiles/seplsm_analyzer.dir/adaptive_controller.cc.o.d"
+  "CMakeFiles/seplsm_analyzer.dir/fitter.cc.o"
+  "CMakeFiles/seplsm_analyzer.dir/fitter.cc.o.d"
+  "libseplsm_analyzer.a"
+  "libseplsm_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seplsm_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seplsm_common.dir/clock.cc.o"
+  "CMakeFiles/seplsm_common.dir/clock.cc.o.d"
+  "CMakeFiles/seplsm_common.dir/coding.cc.o"
+  "CMakeFiles/seplsm_common.dir/coding.cc.o.d"
+  "CMakeFiles/seplsm_common.dir/crc32c.cc.o"
+  "CMakeFiles/seplsm_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/seplsm_common.dir/logging.cc.o"
+  "CMakeFiles/seplsm_common.dir/logging.cc.o.d"
+  "CMakeFiles/seplsm_common.dir/random.cc.o"
+  "CMakeFiles/seplsm_common.dir/random.cc.o.d"
+  "CMakeFiles/seplsm_common.dir/status.cc.o"
+  "CMakeFiles/seplsm_common.dir/status.cc.o.d"
+  "libseplsm_common.a"
+  "libseplsm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seplsm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/empirical.cc" "src/dist/CMakeFiles/seplsm_dist.dir/empirical.cc.o" "gcc" "src/dist/CMakeFiles/seplsm_dist.dir/empirical.cc.o.d"
+  "/root/repo/src/dist/gamma.cc" "src/dist/CMakeFiles/seplsm_dist.dir/gamma.cc.o" "gcc" "src/dist/CMakeFiles/seplsm_dist.dir/gamma.cc.o.d"
+  "/root/repo/src/dist/mixture.cc" "src/dist/CMakeFiles/seplsm_dist.dir/mixture.cc.o" "gcc" "src/dist/CMakeFiles/seplsm_dist.dir/mixture.cc.o.d"
+  "/root/repo/src/dist/parametric.cc" "src/dist/CMakeFiles/seplsm_dist.dir/parametric.cc.o" "gcc" "src/dist/CMakeFiles/seplsm_dist.dir/parametric.cc.o.d"
+  "/root/repo/src/dist/shifted.cc" "src/dist/CMakeFiles/seplsm_dist.dir/shifted.cc.o" "gcc" "src/dist/CMakeFiles/seplsm_dist.dir/shifted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seplsm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/seplsm_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

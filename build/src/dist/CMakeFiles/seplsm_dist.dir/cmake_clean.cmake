@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seplsm_dist.dir/empirical.cc.o"
+  "CMakeFiles/seplsm_dist.dir/empirical.cc.o.d"
+  "CMakeFiles/seplsm_dist.dir/gamma.cc.o"
+  "CMakeFiles/seplsm_dist.dir/gamma.cc.o.d"
+  "CMakeFiles/seplsm_dist.dir/mixture.cc.o"
+  "CMakeFiles/seplsm_dist.dir/mixture.cc.o.d"
+  "CMakeFiles/seplsm_dist.dir/parametric.cc.o"
+  "CMakeFiles/seplsm_dist.dir/parametric.cc.o.d"
+  "CMakeFiles/seplsm_dist.dir/shifted.cc.o"
+  "CMakeFiles/seplsm_dist.dir/shifted.cc.o.d"
+  "libseplsm_dist.a"
+  "libseplsm_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seplsm_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

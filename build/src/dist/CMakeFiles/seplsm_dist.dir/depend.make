@@ -1,0 +1,2 @@
+# Empty dependencies file for seplsm_dist.
+# This may be replaced when dependencies are built.

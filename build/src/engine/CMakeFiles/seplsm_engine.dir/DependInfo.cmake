@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/aggregation.cc" "src/engine/CMakeFiles/seplsm_engine.dir/aggregation.cc.o" "gcc" "src/engine/CMakeFiles/seplsm_engine.dir/aggregation.cc.o.d"
+  "/root/repo/src/engine/metrics.cc" "src/engine/CMakeFiles/seplsm_engine.dir/metrics.cc.o" "gcc" "src/engine/CMakeFiles/seplsm_engine.dir/metrics.cc.o.d"
+  "/root/repo/src/engine/options.cc" "src/engine/CMakeFiles/seplsm_engine.dir/options.cc.o" "gcc" "src/engine/CMakeFiles/seplsm_engine.dir/options.cc.o.d"
+  "/root/repo/src/engine/ts_engine.cc" "src/engine/CMakeFiles/seplsm_engine.dir/ts_engine.cc.o" "gcc" "src/engine/CMakeFiles/seplsm_engine.dir/ts_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seplsm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/seplsm_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/seplsm_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/seplsm_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seplsm_engine.dir/aggregation.cc.o"
+  "CMakeFiles/seplsm_engine.dir/aggregation.cc.o.d"
+  "CMakeFiles/seplsm_engine.dir/metrics.cc.o"
+  "CMakeFiles/seplsm_engine.dir/metrics.cc.o.d"
+  "CMakeFiles/seplsm_engine.dir/options.cc.o"
+  "CMakeFiles/seplsm_engine.dir/options.cc.o.d"
+  "CMakeFiles/seplsm_engine.dir/ts_engine.cc.o"
+  "CMakeFiles/seplsm_engine.dir/ts_engine.cc.o.d"
+  "libseplsm_engine.a"
+  "libseplsm_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seplsm_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

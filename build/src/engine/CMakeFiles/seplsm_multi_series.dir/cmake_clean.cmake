@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seplsm_multi_series.dir/multi_series_db.cc.o"
+  "CMakeFiles/seplsm_multi_series.dir/multi_series_db.cc.o.d"
+  "libseplsm_multi_series.a"
+  "libseplsm_multi_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seplsm_multi_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

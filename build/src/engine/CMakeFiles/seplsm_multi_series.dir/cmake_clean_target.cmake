@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseplsm_multi_series.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seplsm_env.dir/fault_env.cc.o"
+  "CMakeFiles/seplsm_env.dir/fault_env.cc.o.d"
+  "CMakeFiles/seplsm_env.dir/latency_env.cc.o"
+  "CMakeFiles/seplsm_env.dir/latency_env.cc.o.d"
+  "CMakeFiles/seplsm_env.dir/mem_env.cc.o"
+  "CMakeFiles/seplsm_env.dir/mem_env.cc.o.d"
+  "CMakeFiles/seplsm_env.dir/posix_env.cc.o"
+  "CMakeFiles/seplsm_env.dir/posix_env.cc.o.d"
+  "libseplsm_env.a"
+  "libseplsm_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seplsm_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/block.cc" "src/format/CMakeFiles/seplsm_format.dir/block.cc.o" "gcc" "src/format/CMakeFiles/seplsm_format.dir/block.cc.o.d"
+  "/root/repo/src/format/table_format.cc" "src/format/CMakeFiles/seplsm_format.dir/table_format.cc.o" "gcc" "src/format/CMakeFiles/seplsm_format.dir/table_format.cc.o.d"
+  "/root/repo/src/format/value_codec.cc" "src/format/CMakeFiles/seplsm_format.dir/value_codec.cc.o" "gcc" "src/format/CMakeFiles/seplsm_format.dir/value_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seplsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

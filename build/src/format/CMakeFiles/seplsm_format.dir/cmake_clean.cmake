@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seplsm_format.dir/block.cc.o"
+  "CMakeFiles/seplsm_format.dir/block.cc.o.d"
+  "CMakeFiles/seplsm_format.dir/table_format.cc.o"
+  "CMakeFiles/seplsm_format.dir/table_format.cc.o.d"
+  "CMakeFiles/seplsm_format.dir/value_codec.cc.o"
+  "CMakeFiles/seplsm_format.dir/value_codec.cc.o.d"
+  "libseplsm_format.a"
+  "libseplsm_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seplsm_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seplsm_model.dir/arrival_model.cc.o"
+  "CMakeFiles/seplsm_model.dir/arrival_model.cc.o.d"
+  "CMakeFiles/seplsm_model.dir/subsequent_model.cc.o"
+  "CMakeFiles/seplsm_model.dir/subsequent_model.cc.o.d"
+  "CMakeFiles/seplsm_model.dir/tuner.cc.o"
+  "CMakeFiles/seplsm_model.dir/tuner.cc.o.d"
+  "CMakeFiles/seplsm_model.dir/wa_model.cc.o"
+  "CMakeFiles/seplsm_model.dir/wa_model.cc.o.d"
+  "CMakeFiles/seplsm_model.dir/wa_simulator.cc.o"
+  "CMakeFiles/seplsm_model.dir/wa_simulator.cc.o.d"
+  "libseplsm_model.a"
+  "libseplsm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seplsm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

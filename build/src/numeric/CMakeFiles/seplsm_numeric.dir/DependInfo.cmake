@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/integration.cc" "src/numeric/CMakeFiles/seplsm_numeric.dir/integration.cc.o" "gcc" "src/numeric/CMakeFiles/seplsm_numeric.dir/integration.cc.o.d"
+  "/root/repo/src/numeric/interpolation.cc" "src/numeric/CMakeFiles/seplsm_numeric.dir/interpolation.cc.o" "gcc" "src/numeric/CMakeFiles/seplsm_numeric.dir/interpolation.cc.o.d"
+  "/root/repo/src/numeric/root_finding.cc" "src/numeric/CMakeFiles/seplsm_numeric.dir/root_finding.cc.o" "gcc" "src/numeric/CMakeFiles/seplsm_numeric.dir/root_finding.cc.o.d"
+  "/root/repo/src/numeric/special_functions.cc" "src/numeric/CMakeFiles/seplsm_numeric.dir/special_functions.cc.o" "gcc" "src/numeric/CMakeFiles/seplsm_numeric.dir/special_functions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seplsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seplsm_numeric.dir/integration.cc.o"
+  "CMakeFiles/seplsm_numeric.dir/integration.cc.o.d"
+  "CMakeFiles/seplsm_numeric.dir/interpolation.cc.o"
+  "CMakeFiles/seplsm_numeric.dir/interpolation.cc.o.d"
+  "CMakeFiles/seplsm_numeric.dir/root_finding.cc.o"
+  "CMakeFiles/seplsm_numeric.dir/root_finding.cc.o.d"
+  "CMakeFiles/seplsm_numeric.dir/special_functions.cc.o"
+  "CMakeFiles/seplsm_numeric.dir/special_functions.cc.o.d"
+  "libseplsm_numeric.a"
+  "libseplsm_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seplsm_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorrelation.cc" "src/stats/CMakeFiles/seplsm_stats.dir/autocorrelation.cc.o" "gcc" "src/stats/CMakeFiles/seplsm_stats.dir/autocorrelation.cc.o.d"
+  "/root/repo/src/stats/ecdf.cc" "src/stats/CMakeFiles/seplsm_stats.dir/ecdf.cc.o" "gcc" "src/stats/CMakeFiles/seplsm_stats.dir/ecdf.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/seplsm_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/seplsm_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/quantile_sketch.cc" "src/stats/CMakeFiles/seplsm_stats.dir/quantile_sketch.cc.o" "gcc" "src/stats/CMakeFiles/seplsm_stats.dir/quantile_sketch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seplsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seplsm_stats.dir/autocorrelation.cc.o"
+  "CMakeFiles/seplsm_stats.dir/autocorrelation.cc.o.d"
+  "CMakeFiles/seplsm_stats.dir/ecdf.cc.o"
+  "CMakeFiles/seplsm_stats.dir/ecdf.cc.o.d"
+  "CMakeFiles/seplsm_stats.dir/histogram.cc.o"
+  "CMakeFiles/seplsm_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/seplsm_stats.dir/quantile_sketch.cc.o"
+  "CMakeFiles/seplsm_stats.dir/quantile_sketch.cc.o.d"
+  "libseplsm_stats.a"
+  "libseplsm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seplsm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/integrity.cc" "src/storage/CMakeFiles/seplsm_storage.dir/integrity.cc.o" "gcc" "src/storage/CMakeFiles/seplsm_storage.dir/integrity.cc.o.d"
+  "/root/repo/src/storage/sstable.cc" "src/storage/CMakeFiles/seplsm_storage.dir/sstable.cc.o" "gcc" "src/storage/CMakeFiles/seplsm_storage.dir/sstable.cc.o.d"
+  "/root/repo/src/storage/table_cache.cc" "src/storage/CMakeFiles/seplsm_storage.dir/table_cache.cc.o" "gcc" "src/storage/CMakeFiles/seplsm_storage.dir/table_cache.cc.o.d"
+  "/root/repo/src/storage/version.cc" "src/storage/CMakeFiles/seplsm_storage.dir/version.cc.o" "gcc" "src/storage/CMakeFiles/seplsm_storage.dir/version.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/seplsm_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/seplsm_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seplsm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/seplsm_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/seplsm_format.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

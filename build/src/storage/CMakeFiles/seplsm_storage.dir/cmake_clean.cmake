@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seplsm_storage.dir/integrity.cc.o"
+  "CMakeFiles/seplsm_storage.dir/integrity.cc.o.d"
+  "CMakeFiles/seplsm_storage.dir/sstable.cc.o"
+  "CMakeFiles/seplsm_storage.dir/sstable.cc.o.d"
+  "CMakeFiles/seplsm_storage.dir/table_cache.cc.o"
+  "CMakeFiles/seplsm_storage.dir/table_cache.cc.o.d"
+  "CMakeFiles/seplsm_storage.dir/version.cc.o"
+  "CMakeFiles/seplsm_storage.dir/version.cc.o.d"
+  "CMakeFiles/seplsm_storage.dir/wal.cc.o"
+  "CMakeFiles/seplsm_storage.dir/wal.cc.o.d"
+  "libseplsm_storage.a"
+  "libseplsm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seplsm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

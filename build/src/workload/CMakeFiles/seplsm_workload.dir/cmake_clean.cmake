@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seplsm_workload.dir/datasets.cc.o"
+  "CMakeFiles/seplsm_workload.dir/datasets.cc.o.d"
+  "CMakeFiles/seplsm_workload.dir/synthetic.cc.o"
+  "CMakeFiles/seplsm_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/seplsm_workload.dir/trace_io.cc.o"
+  "CMakeFiles/seplsm_workload.dir/trace_io.cc.o.d"
+  "libseplsm_workload.a"
+  "libseplsm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seplsm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_series_test.dir/multi_series_test.cc.o"
+  "CMakeFiles/multi_series_test.dir/multi_series_test.cc.o.d"
+  "multi_series_test"
+  "multi_series_test.pdb"
+  "multi_series_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_cache_test.dir/table_cache_test.cc.o"
+  "CMakeFiles/table_cache_test.dir/table_cache_test.cc.o.d"
+  "table_cache_test"
+  "table_cache_test.pdb"
+  "table_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

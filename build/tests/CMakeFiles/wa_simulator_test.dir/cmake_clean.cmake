@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wa_simulator_test.dir/wa_simulator_test.cc.o"
+  "CMakeFiles/wa_simulator_test.dir/wa_simulator_test.cc.o.d"
+  "wa_simulator_test"
+  "wa_simulator_test.pdb"
+  "wa_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wa_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seplsm_cli.dir/seplsm_cli.cc.o"
+  "CMakeFiles/seplsm_cli.dir/seplsm_cli.cc.o.d"
+  "seplsm_cli"
+  "seplsm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seplsm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
