@@ -21,6 +21,8 @@ struct QueryWorkloadResult {
   double mean_read_amplification = 0.0;
   double mean_latency_ns = 0.0;   ///< simulated device time per query
   double mean_files_opened = 0.0;
+  double mean_device_bytes = 0.0; ///< block bytes read from device per query
+  double cache_hit_rate = 0.0;    ///< 0 when the block cache is off
   uint64_t queries = 0;
 };
 
@@ -28,10 +30,17 @@ enum class QueryMode { kRecent, kHistorical };
 
 /// Ingests `points` under `policy`, issuing one `window`-long query every
 /// `query_every` ingested points (after a warm-up of 4 fills).
+/// `block_cache_bytes > 0` attaches a decoded-block cache (plus an open-
+/// reader table cache, its prerequisite) — the "+bc" rows of Fig. 13/14.
+/// `measure_repeat` issues every query twice and records the second run —
+/// the dashboard-refresh pattern the block cache exists for. A repeated
+/// query without any cache costs the same as the first (LatencyEnv has no
+/// page cache), so plain rows double as the uncached-repeat baseline.
 inline QueryWorkloadResult RunQueryWorkload(
     const engine::PolicyConfig& policy, const std::vector<DataPoint>& points,
     int64_t window, QueryMode mode, size_t query_every = 512,
-    size_t sstable_points = 512) {
+    size_t sstable_points = 512, size_t block_cache_bytes = 0,
+    bool measure_repeat = false) {
   MemEnv base;
   DeviceLatencyModel hdd;  // defaults: 8 ms seek, 100 MB/s
   LatencyEnv env(&base, hdd);
@@ -42,6 +51,10 @@ inline QueryWorkloadResult RunQueryWorkload(
   o.policy = policy;
   o.sstable_points = sstable_points;
   o.record_merge_events = false;
+  if (block_cache_bytes > 0) {
+    o.block_cache_bytes = block_cache_bytes;
+    o.table_cache_entries = 4096;
+  }
   auto open = engine::TsEngine::Open(o);
   if (!open.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
@@ -57,6 +70,9 @@ inline QueryWorkloadResult RunQueryWorkload(
   double total_ra = 0.0;
   double total_latency = 0.0;
   double total_files = 0.0;
+  double total_device_bytes = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
   int64_t max_written = std::numeric_limits<int64_t>::min();
   int64_t min_written = std::numeric_limits<int64_t>::max();
   size_t since_query = 0;
@@ -74,6 +90,9 @@ inline QueryWorkloadResult RunQueryWorkload(
             : historical.Next(min_written, max_written);
     std::vector<DataPoint> out;
     engine::QueryStats stats;
+    if (measure_repeat) {
+      if (!db->Query(q.lo, q.hi, &out, &stats).ok()) std::exit(1);
+    }
     int64_t nanos_before = env.simulated_nanos();
     if (!db->Query(q.lo, q.hi, &out, &stats).ok()) std::exit(1);
     int64_t nanos = env.simulated_nanos() - nanos_before;
@@ -81,6 +100,9 @@ inline QueryWorkloadResult RunQueryWorkload(
     total_ra += stats.ReadAmplification();
     total_latency += static_cast<double>(nanos);
     total_files += static_cast<double>(stats.files_opened);
+    total_device_bytes += static_cast<double>(stats.device_bytes_read);
+    cache_hits += stats.block_cache_hits;
+    cache_misses += stats.block_cache_misses;
     ++result.queries;
   }
   if (result.queries > 0) {
@@ -90,6 +112,12 @@ inline QueryWorkloadResult RunQueryWorkload(
         total_latency / static_cast<double>(result.queries);
     result.mean_files_opened =
         total_files / static_cast<double>(result.queries);
+    result.mean_device_bytes =
+        total_device_bytes / static_cast<double>(result.queries);
+  }
+  if (cache_hits + cache_misses > 0) {
+    result.cache_hit_rate = static_cast<double>(cache_hits) /
+                            static_cast<double>(cache_hits + cache_misses);
   }
   return result;
 }

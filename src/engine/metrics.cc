@@ -14,7 +14,13 @@ std::string Metrics::ToString() const {
   if (queries > 0) {
     out << " | queries=" << queries << " returned=" << points_returned
         << " scanned=" << disk_points_scanned
-        << " RA=" << ReadAmplification();
+        << " RA=" << ReadAmplification()
+        << " device_bytes=" << query_device_bytes_read;
+  }
+  if (block_cache_hits + block_cache_misses > 0) {
+    out << " | cache_hits=" << block_cache_hits
+        << " cache_misses=" << block_cache_misses
+        << " hit_rate=" << BlockCacheHitRate() * 100.0 << "%";
   }
   return out.str();
 }

@@ -24,9 +24,14 @@ struct MergeEvent {
 /// Per-query statistics (read amplification inputs, Fig. 12).
 struct QueryStats {
   uint64_t points_returned = 0;
-  uint64_t disk_points_scanned = 0;  ///< points decoded from disk blocks
+  uint64_t disk_points_scanned = 0;  ///< points scanned from disk blocks
   uint64_t files_opened = 0;
   uint64_t memtable_points = 0;
+  /// Bytes of block data read from the device for this query (block cache
+  /// hits read nothing; with the cache off this is every scanned block).
+  uint64_t device_bytes_read = 0;
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
 
   /// scanned / returned; 0 when nothing was returned.
   double ReadAmplification() const {
@@ -34,6 +39,15 @@ struct QueryStats {
                ? 0.0
                : static_cast<double>(disk_points_scanned) /
                      static_cast<double>(points_returned);
+  }
+
+  /// hits / (hits + misses); 0 when the cache was never consulted.
+  double BlockCacheHitRate() const {
+    uint64_t total = block_cache_hits + block_cache_misses;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(block_cache_hits) /
+                     static_cast<double>(total);
   }
 };
 
@@ -58,6 +72,9 @@ struct Metrics {
   uint64_t points_returned = 0;
   uint64_t disk_points_scanned = 0;
   uint64_t query_files_opened = 0;
+  uint64_t query_device_bytes_read = 0;
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
 
   std::vector<MergeEvent> merge_events;
 
@@ -84,6 +101,14 @@ struct Metrics {
                ? 0.0
                : static_cast<double>(disk_points_scanned) /
                      static_cast<double>(points_returned);
+  }
+
+  double BlockCacheHitRate() const {
+    uint64_t total = block_cache_hits + block_cache_misses;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(block_cache_hits) /
+                     static_cast<double>(total);
   }
 
   std::string ToString() const;

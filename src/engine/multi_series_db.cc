@@ -67,6 +67,13 @@ Result<std::unique_ptr<MultiSeriesDB>> MultiSeriesDB::Open(
   }
   SEPLSM_RETURN_IF_ERROR(
       options.base.env->CreateDirIfMissing(options.base.dir));
+  if (options.base.block_cache == nullptr &&
+      options.base.block_cache_bytes > 0) {
+    // One cache — one memory budget — for every series engine; each engine
+    // draws its own owner id so per-series file numbers never collide.
+    options.base.block_cache = std::make_shared<storage::BlockCache>(
+        options.base.block_cache_bytes, options.base.block_cache_shards);
+  }
   std::unique_ptr<MultiSeriesDB> db(new MultiSeriesDB(std::move(options)));
 
   // Recover existing series: every "s_*" child directory.
@@ -188,6 +195,9 @@ Metrics MultiSeriesDB::GetAggregateMetrics() {
     total.points_returned += m.points_returned;
     total.disk_points_scanned += m.disk_points_scanned;
     total.query_files_opened += m.query_files_opened;
+    total.query_device_bytes_read += m.query_device_bytes_read;
+    total.block_cache_hits += m.block_cache_hits;
+    total.block_cache_misses += m.block_cache_misses;
   }
   return total;
 }

@@ -58,6 +58,11 @@ class MultiSeriesDB {
   /// mode); NotFound for unknown series.
   Result<PolicyConfig> GetSeriesPolicy(const std::string& series);
 
+  /// The block cache shared by every series engine; null when disabled.
+  storage::BlockCache* block_cache() const {
+    return options_.base.block_cache.get();
+  }
+
  private:
   struct Series {
     std::unique_ptr<TsEngine> engine;

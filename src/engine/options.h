@@ -2,11 +2,16 @@
 #define SEPLSM_ENGINE_OPTIONS_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "common/clock.h"
 #include "env/env.h"
 #include "format/value_codec.h"
+
+namespace seplsm::storage {
+class BlockCache;
+}  // namespace seplsm::storage
 
 namespace seplsm::engine {
 
@@ -56,6 +61,19 @@ struct Options {
   /// and every access re-opens the file — the behaviour the HDD-latency
   /// experiments model, since the paper's testbed was not page-cache-hot.
   size_t table_cache_entries = 0;
+
+  /// Byte budget for the sharded LRU cache of decoded SSTable blocks
+  /// (storage/block_cache.h). 0 disables it and keeps the read path
+  /// byte-for-byte unchanged: every query re-reads and re-decodes blocks
+  /// from the device.
+  size_t block_cache_bytes = 0;
+  /// Shards (each its own mutex + LRU) in the block cache.
+  size_t block_cache_shards = 16;
+  /// Pre-built cache shared across engines (MultiSeriesDB gives all series
+  /// one budget). When null and `block_cache_bytes > 0` the engine creates
+  /// a private cache. Each engine draws a distinct owner id, so sharing
+  /// never mixes up file numbers between directories.
+  std::shared_ptr<storage::BlockCache> block_cache;
 
   /// Value-column codec for new SSTables (kGorilla shrinks smooth sensor
   /// series several-fold; WA in *points* is unchanged, WA in bytes drops).

@@ -80,9 +80,17 @@ Result<std::unique_ptr<TsEngine>> TsEngine::Open(Options options) {
 
 TsEngine::TsEngine(Options options)
     : options_(std::move(options)), max_seen_tg_(kNoData) {
+  if (options_.block_cache == nullptr && options_.block_cache_bytes > 0) {
+    options_.block_cache = std::make_shared<storage::BlockCache>(
+        options_.block_cache_bytes, options_.block_cache_shards);
+  }
+  if (options_.block_cache != nullptr) {
+    block_cache_owner_id_ = options_.block_cache->NewOwnerId();
+  }
   if (options_.table_cache_entries > 0) {
     table_cache_ = std::make_unique<storage::TableCache>(
-        options_.env, options_.table_cache_entries);
+        options_.env, options_.table_cache_entries,
+        options_.block_cache.get(), block_cache_owner_id_);
   }
   const PolicyConfig& p = options_.policy;
   if (p.kind == PolicyKind::kConventional) {
@@ -438,20 +446,26 @@ Status TsEngine::RemoveFileAndCount(const std::string& path) {
 
 Status TsEngine::RemoveTableAndCount(const storage::FileMetadata& file) {
   if (table_cache_ != nullptr) table_cache_->Erase(file.file_number);
+  if (options_.block_cache != nullptr) {
+    options_.block_cache->EraseFile(block_cache_owner_id_, file.file_number);
+  }
   return RemoveFileAndCount(file.path);
 }
 
 Status TsEngine::ReadTableRange(const storage::FileMetadata& file, int64_t lo,
                                 int64_t hi, std::vector<DataPoint>* out,
-                                uint64_t* points_scanned) {
+                                storage::ReadStats* stats) {
   if (table_cache_ != nullptr) {
     auto reader = table_cache_->Get(file.file_number, file.path);
     if (!reader.ok()) return reader.status();
-    return (*reader)->ReadRange(lo, hi, out, points_scanned);
+    return (*reader)->ReadRange(lo, hi, out, stats);
   }
-  auto reader = storage::SSTableReader::Open(options_.env, file.path);
+  auto reader = storage::SSTableReader::Open(
+      options_.env, file.path,
+      storage::BlockCacheHandle{options_.block_cache.get(),
+                                block_cache_owner_id_, file.file_number});
   if (!reader.ok()) return reader.status();
-  return (*reader)->ReadRange(lo, hi, out, points_scanned);
+  return (*reader)->ReadRange(lo, hi, out, stats);
 }
 
 Status TsEngine::ReadTableAll(const storage::FileMetadata& file,
@@ -534,24 +548,27 @@ Status TsEngine::Query(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
   // Lowest precedence first: run, then level 0 in flush order, then the
   // MemTables; later insertions overwrite earlier ones per key.
   std::map<int64_t, DataPoint> result;
+  storage::ReadStats reads;
   size_t begin, end;
   version_.OverlappingRunRange(lo, hi, &begin, &end);
   for (size_t i = begin; i < end; ++i) {
     const storage::FileMetadata& f = version_.run()[i];
     ++local.files_opened;
     std::vector<DataPoint> points;
-    SEPLSM_RETURN_IF_ERROR(
-        ReadTableRange(f, lo, hi, &points, &local.disk_points_scanned));
+    SEPLSM_RETURN_IF_ERROR(ReadTableRange(f, lo, hi, &points, &reads));
     for (const auto& p : points) result.insert_or_assign(p.generation_time, p);
   }
   for (size_t idx : version_.OverlappingLevel0(lo, hi)) {
     const storage::FileMetadata& f = version_.level0()[idx];
     ++local.files_opened;
     std::vector<DataPoint> points;
-    SEPLSM_RETURN_IF_ERROR(
-        ReadTableRange(f, lo, hi, &points, &local.disk_points_scanned));
+    SEPLSM_RETURN_IF_ERROR(ReadTableRange(f, lo, hi, &points, &reads));
     for (const auto& p : points) result.insert_or_assign(p.generation_time, p);
   }
+  local.disk_points_scanned = reads.points_scanned;
+  local.device_bytes_read = reads.device_bytes_read;
+  local.block_cache_hits = reads.cache_hits;
+  local.block_cache_misses = reads.cache_misses;
   std::vector<DataPoint> mem_points;
   if (options_.policy.kind == PolicyKind::kConventional) {
     c0_->CollectRange(lo, hi, &mem_points);
@@ -575,6 +592,9 @@ Status TsEngine::Query(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
   metrics_.points_returned += local.points_returned;
   metrics_.disk_points_scanned += local.disk_points_scanned;
   metrics_.query_files_opened += local.files_opened;
+  metrics_.query_device_bytes_read += local.device_bytes_read;
+  metrics_.block_cache_hits += local.block_cache_hits;
+  metrics_.block_cache_misses += local.block_cache_misses;
   if (stats != nullptr) *stats = local;
   return Status::OK();
 }

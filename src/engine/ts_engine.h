@@ -13,6 +13,7 @@
 #include "engine/aggregation.h"
 #include "engine/metrics.h"
 #include "engine/options.h"
+#include "storage/block_cache.h"
 #include "storage/memtable.h"
 #include "storage/table_cache.h"
 #include "storage/version.h"
@@ -103,6 +104,12 @@ class TsEngine {
   size_t RunFileCount();
   size_t Level0FileCount();
 
+  /// The decoded-block cache this engine reads through (possibly shared
+  /// with other engines); null when disabled.
+  storage::BlockCache* block_cache() const {
+    return options_.block_cache.get();
+  }
+
  private:
   explicit TsEngine(Options options);
 
@@ -140,7 +147,7 @@ class TsEngine {
   /// Reads [lo, hi] from one table via the table cache when enabled.
   Status ReadTableRange(const storage::FileMetadata& file, int64_t lo,
                         int64_t hi, std::vector<DataPoint>* out,
-                        uint64_t* points_scanned);
+                        storage::ReadStats* stats);
   Status ReadTableAll(const storage::FileMetadata& file,
                       std::vector<DataPoint>* out);
   Status RemoveTableAndCount(const storage::FileMetadata& file);
@@ -165,6 +172,7 @@ class TsEngine {
   std::unique_ptr<storage::WalWriter> wal_;
   bool wal_replaying_ = false;
   std::unique_ptr<storage::TableCache> table_cache_;
+  uint64_t block_cache_owner_id_ = 0;
 
   bool shutting_down_ = false;
   bool background_error_set_ = false;

@@ -1,0 +1,159 @@
+#include "storage/block_cache.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace seplsm::storage {
+
+namespace {
+
+/// 64-bit mix (splitmix64 finalizer) — cheap and good enough to spread
+/// sequential file numbers / offsets across shards and hash buckets.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+size_t BlockCache::KeyHash::operator()(const Key& k) const {
+  uint64_t h = Mix64(k.owner_id);
+  h = Mix64(h ^ k.file_number);
+  h = Mix64(h ^ k.offset);
+  return static_cast<size_t>(h);
+}
+
+BlockCache::BlockCache(size_t capacity_bytes, size_t num_shards)
+    : capacity_bytes_(capacity_bytes) {
+  size_t shards = std::max<size_t>(1, num_shards);
+  shard_capacity_ = std::max<size_t>(1, capacity_bytes_ / shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+BlockCache::Shard& BlockCache::ShardFor(const Key& key) {
+  return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const CachedBlock> BlockCache::Lookup(uint64_t owner_id,
+                                                      uint64_t file_number,
+                                                      uint64_t offset) {
+  Key key{owner_id, file_number, offset};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->block;
+}
+
+void BlockCache::Insert(uint64_t owner_id, uint64_t file_number,
+                        uint64_t offset,
+                        std::shared_ptr<const CachedBlock> block) {
+  if (block == nullptr) return;
+  Key key{owner_id, file_number, offset};
+  size_t charge = block->Charge();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Replace in place (concurrent misses on the same block both insert;
+    // the blocks are identical, so either copy is fine).
+    shard.charge -= it->second->charge;
+    it->second->block = std::move(block);
+    it->second->charge = charge;
+    shard.charge += charge;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(block), charge});
+    shard.index[key] = shard.lru.begin();
+    shard.charge += charge;
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  EvictOverBudget(shard);
+}
+
+void BlockCache::EvictOverBudget(Shard& shard) {
+  while (shard.charge > shard_capacity_ && !shard.lru.empty()) {
+    Entry& victim = shard.lru.back();
+    shard.charge -= victim.charge;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void BlockCache::EraseFile(uint64_t owner_id, uint64_t file_number) {
+  // Blocks of one file can land in any shard (offset is part of the hash),
+  // so scan them all. Files are small (a handful of blocks) and erase only
+  // runs at compaction-delete time, so the linear cost is irrelevant next
+  // to the file I/O that triggered it.
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.owner_id == owner_id && it->key.file_number == file_number) {
+        shard.charge -= it->charge;
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void BlockCache::Clear() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.charge = 0;
+  }
+}
+
+size_t BlockCache::TotalCharge() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->charge;
+  }
+  return total;
+}
+
+size_t BlockCache::TotalEntries() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+double BlockCache::HitRate() const {
+  uint64_t h = hits();
+  uint64_t m = misses();
+  return h + m == 0 ? 0.0
+                    : static_cast<double>(h) / static_cast<double>(h + m);
+}
+
+std::string BlockCache::StatsString() const {
+  std::ostringstream out;
+  out << "block_cache: capacity=" << capacity_bytes_
+      << "B shards=" << shards_.size() << " used=" << TotalCharge()
+      << "B entries=" << TotalEntries() << " hits=" << hits()
+      << " misses=" << misses() << " hit_rate=" << HitRate() * 100.0
+      << "% inserts=" << inserts() << " evictions=" << evictions();
+  return out.str();
+}
+
+}  // namespace seplsm::storage

@@ -1,0 +1,156 @@
+#ifndef SEPLSM_STORAGE_BLOCK_CACHE_H_
+#define SEPLSM_STORAGE_BLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/point.h"
+
+namespace seplsm::storage {
+
+/// A decoded SSTable block pinned in memory. Shared between the cache and
+/// in-flight reads, so eviction never invalidates a block a query is still
+/// iterating.
+struct CachedBlock {
+  std::vector<DataPoint> points;
+
+  /// Approximate memory footprint used for charge-based eviction.
+  size_t Charge() const {
+    return sizeof(CachedBlock) + points.capacity() * sizeof(DataPoint);
+  }
+};
+
+/// Sharded LRU cache of decoded SSTable blocks with a fixed byte budget.
+///
+/// Keys are `(owner_id, file_number, block_offset)`. File numbers are only
+/// unique within one engine directory, so each engine acquires a distinct
+/// `owner_id` via `NewOwnerId()`; that lets `MultiSeriesDB` share a single
+/// cache (one memory budget) across thousands of per-series engines without
+/// key collisions. SSTables are immutable and file numbers are never reused,
+/// so a cached block can never go stale; deleting a file only requires
+/// dropping its entries (`EraseFile`) to release memory early.
+///
+/// The byte budget is split evenly across `num_shards` shards, each with its
+/// own mutex + LRU list + hash map, so concurrent readers on different
+/// shards never contend. Hit/miss/insert/evict counters are lock-free
+/// atomics. A block whose charge exceeds a shard's budget is evicted again
+/// by the very insert that admitted it (callers keep their shared_ptr, so
+/// the read still succeeds); the cache never retains more than
+/// `capacity_bytes` across shards once an insert returns.
+class BlockCache {
+ public:
+  /// `capacity_bytes` is the total budget across all shards. `num_shards`
+  /// is clamped to at least 1; powers of two are not required.
+  explicit BlockCache(size_t capacity_bytes, size_t num_shards = 16);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Returns a distinct id for key-space isolation (one per engine).
+  uint64_t NewOwnerId() {
+    return next_owner_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Returns the cached block or nullptr; a hit moves the entry to the
+  /// front of its shard's LRU list.
+  std::shared_ptr<const CachedBlock> Lookup(uint64_t owner_id,
+                                            uint64_t file_number,
+                                            uint64_t offset);
+
+  /// Inserts (or replaces) the block for the key, charging
+  /// `block->Charge()` bytes and evicting LRU entries in the same shard
+  /// until the shard is back under budget.
+  void Insert(uint64_t owner_id, uint64_t file_number, uint64_t offset,
+              std::shared_ptr<const CachedBlock> block);
+
+  /// Drops every cached block of `(owner_id, file_number)` — called when a
+  /// compaction deletes the file. O(entries in the file's shards).
+  void EraseFile(uint64_t owner_id, uint64_t file_number);
+
+  /// Drops everything (tests).
+  void Clear();
+
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Current total charge across shards (takes every shard lock).
+  size_t TotalCharge() const;
+  /// Current number of cached blocks across shards.
+  size_t TotalEntries() const;
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t inserts() const { return inserts_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// hits / (hits + misses); 0 when the cache was never consulted.
+  double HitRate() const;
+
+  /// One-line human-readable summary (CLI `stats` output).
+  std::string StatsString() const;
+
+ private:
+  struct Key {
+    uint64_t owner_id;
+    uint64_t file_number;
+    uint64_t offset;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+
+  struct Entry {
+    Key key;
+    std::shared_ptr<const CachedBlock> block;
+    size_t charge;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    size_t charge = 0;
+  };
+
+  Shard& ShardFor(const Key& key);
+
+  /// Removes LRU entries until `shard.charge <= shard_capacity_`.
+  /// Caller holds the shard mutex.
+  void EvictOverBudget(Shard& shard);
+
+  size_t capacity_bytes_;
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> next_owner_id_{1};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+/// How a reader addresses the cache: which cache, which owner key space,
+/// which file. Default-constructed handle means "no cache" — the read path
+/// is byte-for-byte the pre-cache behaviour.
+struct BlockCacheHandle {
+  BlockCache* cache = nullptr;
+  uint64_t owner_id = 0;
+  uint64_t file_number = 0;
+
+  bool enabled() const { return cache != nullptr; }
+};
+
+}  // namespace seplsm::storage
+
+#endif  // SEPLSM_STORAGE_BLOCK_CACHE_H_

@@ -88,7 +88,7 @@ Result<FileMetadata> SSTableWriter::Finish() {
 }
 
 Result<std::unique_ptr<SSTableReader>> SSTableReader::Open(
-    Env* env, const std::string& path) {
+    Env* env, const std::string& path, BlockCacheHandle block_cache) {
   std::unique_ptr<RandomAccessFile> file;
   SEPLSM_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &file));
   uint64_t size = file->Size();
@@ -109,8 +109,8 @@ Result<std::unique_ptr<SSTableReader>> SSTableReader::Open(
       file->Read(footer.index_offset, footer.index_size, &index_data));
   std::vector<format::BlockIndexEntry> index;
   SEPLSM_RETURN_IF_ERROR(format::DecodeIndex(index_data, &index));
-  return std::unique_ptr<SSTableReader>(
-      new SSTableReader(std::move(file), footer, std::move(index)));
+  return std::unique_ptr<SSTableReader>(new SSTableReader(
+      std::move(file), footer, std::move(index), block_cache));
 }
 
 Status SSTableReader::ReadAll(std::vector<DataPoint>* out) const {
@@ -118,22 +118,45 @@ Status SSTableReader::ReadAll(std::vector<DataPoint>* out) const {
                    out, nullptr);
 }
 
+Result<std::shared_ptr<const CachedBlock>> SSTableReader::ReadBlock(
+    const format::BlockIndexEntry& entry, ReadStats* stats) const {
+  if (block_cache_.enabled()) {
+    auto cached = block_cache_.cache->Lookup(
+        block_cache_.owner_id, block_cache_.file_number, entry.offset);
+    if (cached != nullptr) {
+      if (stats != nullptr) ++stats->cache_hits;
+      return cached;
+    }
+    if (stats != nullptr) ++stats->cache_misses;
+  }
+  std::string data;
+  SEPLSM_RETURN_IF_ERROR(file_->Read(entry.offset, entry.size, &data));
+  if (data.size() != entry.size) {
+    return Status::Corruption("short block read");
+  }
+  auto block = std::make_shared<CachedBlock>();
+  SEPLSM_RETURN_IF_ERROR(format::DecodeBlock(data, &block->points));
+  if (stats != nullptr) stats->device_bytes_read += data.size();
+  // Insert only after a clean read + CRC check, so an IOError or corrupt
+  // block can never poison the cache.
+  if (block_cache_.enabled()) {
+    block_cache_.cache->Insert(block_cache_.owner_id,
+                               block_cache_.file_number, entry.offset, block);
+  }
+  return std::shared_ptr<const CachedBlock>(std::move(block));
+}
+
 Status SSTableReader::ReadRange(int64_t lo, int64_t hi,
                                 std::vector<DataPoint>* out,
-                                uint64_t* points_scanned) const {
+                                ReadStats* stats) const {
   for (const auto& entry : index_) {
     if (entry.min_generation_time > hi || entry.max_generation_time < lo) {
       continue;
     }
-    std::string data;
-    SEPLSM_RETURN_IF_ERROR(file_->Read(entry.offset, entry.size, &data));
-    if (data.size() != entry.size) {
-      return Status::Corruption("short block read");
-    }
-    std::vector<DataPoint> block_points;
-    SEPLSM_RETURN_IF_ERROR(format::DecodeBlock(data, &block_points));
-    if (points_scanned != nullptr) *points_scanned += block_points.size();
-    for (const auto& p : block_points) {
+    auto block = ReadBlock(entry, stats);
+    if (!block.ok()) return block.status();
+    if (stats != nullptr) stats->points_scanned += (*block)->points.size();
+    for (const auto& p : (*block)->points) {
       if (p.generation_time >= lo && p.generation_time <= hi) {
         out->push_back(p);
       }

@@ -12,8 +12,23 @@
 #include "env/env.h"
 #include "format/block.h"
 #include "format/table_format.h"
+#include "storage/block_cache.h"
 
 namespace seplsm::storage {
+
+/// Per-read accounting filled in by SSTableReader::ReadRange. All counters
+/// are deltas for the one call (the caller accumulates).
+struct ReadStats {
+  /// Points decoded and scanned (from device or cache) — the
+  /// read-amplification numerator.
+  uint64_t points_scanned = 0;
+  /// Bytes actually read from the device (block data only; cache hits read
+  /// nothing).
+  uint64_t device_bytes_read = 0;
+  /// Block cache hits / misses for this read (both 0 without a cache).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
 
 /// Immutable description of an on-disk SSTable (kept in the Version).
 struct FileMetadata {
@@ -68,9 +83,12 @@ class SSTableWriter {
 /// Reads an SSTable written by SSTableWriter.
 class SSTableReader {
  public:
-  /// Opens the file and loads footer + index.
-  static Result<std::unique_ptr<SSTableReader>> Open(Env* env,
-                                                     const std::string& path);
+  /// Opens the file and loads footer + index. When `block_cache` names a
+  /// cache, ReadRange consults it before touching the device and inserts
+  /// decoded blocks after a miss; a default handle keeps the uncached
+  /// behaviour byte-for-byte.
+  static Result<std::unique_ptr<SSTableReader>> Open(
+      Env* env, const std::string& path, BlockCacheHandle block_cache = {});
 
   uint64_t point_count() const { return footer_.point_count; }
   int64_t min_generation_time() const { return footer_.min_generation_time; }
@@ -81,20 +99,27 @@ class SSTableReader {
   Status ReadAll(std::vector<DataPoint>* out) const;
 
   /// Appends points with generation_time in [lo, hi]; reads only the blocks
-  /// whose index range overlaps. *points_scanned (optional) is incremented
-  /// by the number of points decoded from disk (>= number appended) — the
-  /// read-amplification numerator.
+  /// whose index range overlaps (served from the block cache when attached).
+  /// *stats (optional) is incremented with scan/device/cache counters.
   Status ReadRange(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
-                   uint64_t* points_scanned = nullptr) const;
+                   ReadStats* stats = nullptr) const;
 
  private:
   SSTableReader(std::unique_ptr<RandomAccessFile> file, format::Footer footer,
-                std::vector<format::BlockIndexEntry> index)
-      : file_(std::move(file)), footer_(footer), index_(std::move(index)) {}
+                std::vector<format::BlockIndexEntry> index,
+                BlockCacheHandle block_cache)
+      : file_(std::move(file)), footer_(footer), index_(std::move(index)),
+        block_cache_(block_cache) {}
+
+  /// Returns the decoded block for one index entry — from the cache on a
+  /// hit, from the device (then inserted) on a miss.
+  Result<std::shared_ptr<const CachedBlock>> ReadBlock(
+      const format::BlockIndexEntry& entry, ReadStats* stats) const;
 
   std::unique_ptr<RandomAccessFile> file_;
   format::Footer footer_;
   std::vector<format::BlockIndexEntry> index_;
+  BlockCacheHandle block_cache_;
 };
 
 /// Writes `points[begin, end)` (sorted) into one or more SSTables of at most

@@ -4,8 +4,10 @@
 
 namespace seplsm::storage {
 
-TableCache::TableCache(Env* env, size_t capacity)
-    : env_(env), capacity_(capacity) {
+TableCache::TableCache(Env* env, size_t capacity, BlockCache* block_cache,
+                       uint64_t block_cache_owner_id)
+    : env_(env), capacity_(capacity), block_cache_(block_cache),
+      block_cache_owner_id_(block_cache_owner_id) {
   assert(capacity > 0);
 }
 
@@ -23,7 +25,9 @@ Result<std::shared_ptr<SSTableReader>> TableCache::Get(
   }
   // Open outside the lock; concurrent misses on the same file may both
   // open, the second insert wins harmlessly.
-  auto opened = SSTableReader::Open(env_, path);
+  auto opened = SSTableReader::Open(
+      env_, path,
+      BlockCacheHandle{block_cache_, block_cache_owner_id_, file_number});
   if (!opened.ok()) return opened.status();
   std::shared_ptr<SSTableReader> reader = std::move(opened).value();
   std::lock_guard<std::mutex> lock(mutex_);

@@ -20,9 +20,14 @@ namespace seplsm::storage {
 ///
 /// Readers are shared; eviction or Erase only drops the cache's reference,
 /// so in-flight reads stay valid. Thread-safe.
+///
+/// When a `BlockCache` is attached (cache + owner id), every reader this
+/// cache opens is wired to it, so block reads through cached readers are
+/// served from memory on a hit.
 class TableCache {
  public:
-  TableCache(Env* env, size_t capacity);
+  TableCache(Env* env, size_t capacity, BlockCache* block_cache = nullptr,
+             uint64_t block_cache_owner_id = 0);
 
   /// Returns a cached reader or opens (and caches) one.
   Result<std::shared_ptr<SSTableReader>> Get(uint64_t file_number,
@@ -43,6 +48,8 @@ class TableCache {
 
   Env* env_;
   size_t capacity_;
+  BlockCache* block_cache_;  // may be null
+  uint64_t block_cache_owner_id_;
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;

@@ -71,14 +71,18 @@ TEST_F(SSTableTest, ReadRangeSelectsBlocks) {
   auto reader = SSTableReader::Open(&env_, "/t.sst");
   ASSERT_TRUE(reader.ok());
   std::vector<DataPoint> out;
-  uint64_t scanned = 0;
-  ASSERT_TRUE((*reader)->ReadRange(500, 520, &out, &scanned).ok());
+  ReadStats stats;
+  ASSERT_TRUE((*reader)->ReadRange(500, 520, &out, &stats).ok());
   ASSERT_EQ(out.size(), 3u);
   EXPECT_EQ(out[0].generation_time, 500);
   EXPECT_EQ(out[2].generation_time, 520);
   // Only the covering block(s) should be decoded, not the whole file.
-  EXPECT_LE(scanned, 20u);
-  EXPECT_GE(scanned, out.size());
+  EXPECT_LE(stats.points_scanned, 20u);
+  EXPECT_GE(stats.points_scanned, out.size());
+  // Without a cache attached every scanned block comes off the device.
+  EXPECT_GT(stats.device_bytes_read, 0u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
 }
 
 TEST_F(SSTableTest, ReadRangeOutsideKeySpaceEmpty) {

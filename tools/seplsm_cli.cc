@@ -58,13 +58,36 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+/// Applies the shared --cache-mb / --cache-shards knobs to engine options.
+void ApplyCacheFlags(const Flags& flags, engine::Options* options) {
+  long long cache_mb = flags.GetInt("cache-mb", 0);
+  if (cache_mb > 0) {
+    options->block_cache_bytes = static_cast<size_t>(cache_mb) << 20;
+    options->block_cache_shards =
+        static_cast<size_t>(flags.GetInt("cache-shards", 16));
+    // Keeping readers open is a prerequisite for block caching to pay off;
+    // pick a roomy default when the user asked for a cache.
+    if (options->table_cache_entries == 0) {
+      options->table_cache_entries = 1024;
+    }
+  }
+}
+
+void PrintCacheStats(engine::TsEngine* db) {
+  if (db->block_cache() != nullptr) {
+    std::printf("%s\n", db->block_cache()->StatsString().c_str());
+  }
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: seplsm_cli <generate|ingest|query|tune|info> [flags]\n"
                "  generate --dataset=M1..M12|s9|h --points=N --out=csv\n"
                "  ingest   --trace=csv --dir=path [--policy=pi_c|pi_s]\n"
                "           [--n=512] [--nseq=256] [--wal] [--gorilla] [--bg]\n"
+               "           [--cache-mb=M] [--cache-shards=S]\n"
                "  query    --dir=path --lo=T --hi=T [--bucket=W]\n"
+               "           [--repeat=R] [--cache-mb=M] [--cache-shards=S]\n"
                "  tune     --trace=csv [--n=512] [--granularity=S] [--step=K]\n"
                "  info     --dir=path\n"
                "  verify   --dir=path\n");
@@ -122,6 +145,7 @@ int CmdIngest(const Flags& flags) {
   if (flags.GetBool("gorilla")) {
     options.value_encoding = format::ValueEncoding::kGorilla;
   }
+  ApplyCacheFlags(flags, &options);
 
   auto db = engine::TsEngine::Open(options);
   if (!db.ok()) return Fail(db.status().ToString());
@@ -133,6 +157,7 @@ int CmdIngest(const Flags& flags) {
   std::printf("ingested under %s\n%s\n",
               (*db)->options().policy.ToString().c_str(),
               m.ToString().c_str());
+  PrintCacheStats(db->get());
   return 0;
 }
 
@@ -141,6 +166,7 @@ int CmdQuery(const Flags& flags) {
   if (dir.empty()) return Fail("query requires --dir");
   engine::Options options;
   options.dir = dir;
+  ApplyCacheFlags(flags, &options);
   auto db = engine::TsEngine::Open(options);
   if (!db.ok()) return Fail(db.status().ToString());
 
@@ -148,6 +174,16 @@ int CmdQuery(const Flags& flags) {
   int64_t lo = flags.GetInt("lo", 0);
   int64_t hi = flags.GetInt("hi", hi_default);
   int64_t bucket = flags.GetInt("bucket", 0);
+
+  // --repeat re-runs the same query; with --cache-mb the repeats are served
+  // from the block cache, which the stats line below makes visible.
+  long long repeat = flags.GetInt("repeat", 1);
+  for (long long r = 1; r < repeat; ++r) {
+    engine::Aggregates warm;
+    if (Status st = (*db)->Aggregate(lo, hi, &warm); !st.ok()) {
+      return Fail(st.ToString());
+    }
+  }
 
   engine::QueryStats stats;
   if (bucket > 0) {
@@ -173,9 +209,15 @@ int CmdQuery(const Flags& flags) {
                 agg.mean(), static_cast<long long>(agg.first_time),
                 static_cast<long long>(agg.last_time));
   }
-  std::printf("(read amplification %.2f, %llu files)\n",
+  std::printf("(read amplification %.2f, %llu files, %llu device bytes",
               stats.ReadAmplification(),
-              static_cast<unsigned long long>(stats.files_opened));
+              static_cast<unsigned long long>(stats.files_opened),
+              static_cast<unsigned long long>(stats.device_bytes_read));
+  if (stats.block_cache_hits + stats.block_cache_misses > 0) {
+    std::printf(", cache hit rate %.1f%%", stats.BlockCacheHitRate() * 100.0);
+  }
+  std::printf(")\n");
+  PrintCacheStats(db->get());
   return 0;
 }
 
