@@ -4,6 +4,33 @@
 
 namespace seplsm::engine {
 
+void Metrics::MergeFrom(const Metrics& other) {
+  points_ingested += other.points_ingested;
+  points_flushed += other.points_flushed;
+  points_rewritten += other.points_rewritten;
+  bytes_written += other.bytes_written;
+  flush_count += other.flush_count;
+  merge_count += other.merge_count;
+  files_created += other.files_created;
+  files_deleted += other.files_deleted;
+  wal_records += other.wal_records;
+  wal_bytes += other.wal_bytes;
+  wal_checkpoints += other.wal_checkpoints;
+  queries += other.queries;
+  points_returned += other.points_returned;
+  disk_points_scanned += other.disk_points_scanned;
+  query_files_opened += other.query_files_opened;
+  query_device_bytes_read += other.query_device_bytes_read;
+  block_cache_hits += other.block_cache_hits;
+  block_cache_misses += other.block_cache_misses;
+  snapshots_acquired += other.snapshots_acquired;
+  files_deferred_deleted += other.files_deferred_deleted;
+  merge_events.insert(merge_events.end(), other.merge_events.begin(),
+                      other.merge_events.end());
+  wa_timeline.insert(wa_timeline.end(), other.wa_timeline.begin(),
+                     other.wa_timeline.end());
+}
+
 std::string Metrics::ToString() const {
   std::ostringstream out;
   out << "ingested=" << points_ingested << " flushed=" << points_flushed
@@ -15,7 +42,11 @@ std::string Metrics::ToString() const {
     out << " | queries=" << queries << " returned=" << points_returned
         << " scanned=" << disk_points_scanned
         << " RA=" << ReadAmplification()
-        << " device_bytes=" << query_device_bytes_read;
+        << " device_bytes=" << query_device_bytes_read
+        << " snapshots=" << snapshots_acquired;
+  }
+  if (files_deferred_deleted > 0) {
+    out << " | deferred_deletes=" << files_deferred_deleted;
   }
   if (block_cache_hits + block_cache_misses > 0) {
     out << " | cache_hits=" << block_cache_hits

@@ -76,11 +76,25 @@ struct Metrics {
   uint64_t block_cache_hits = 0;
   uint64_t block_cache_misses = 0;
 
+  // Snapshot-isolated read path.
+  uint64_t snapshots_acquired = 0;  ///< version snapshots handed to readers
+  /// Table files whose deletion was routed through the deferred-delete list
+  /// (every compaction-retired file; `files_deleted` counts the physical
+  /// unlinks once the last referencing snapshot dropped).
+  uint64_t files_deferred_deleted = 0;
+
   std::vector<MergeEvent> merge_events;
 
   /// Cumulative (flushed + rewritten) after each ingest batch, when
   /// Options::record_wa_timeline is set.
   std::vector<uint64_t> wa_timeline;
+
+  /// Adds every counter of `other` into this and appends its event
+  /// vectors (`merge_events`, `wa_timeline`). This is THE way to aggregate
+  /// metrics across engines — when adding a counter field, update
+  /// MergeFrom (and the field-coverage test in tests/metrics_test.cc) or
+  /// the new field will be silently dropped from aggregates.
+  void MergeFrom(const Metrics& other);
 
   uint64_t points_written_total() const {
     return points_flushed + points_rewritten;

@@ -108,6 +108,7 @@ Status MultiSeriesDB::OpenSeriesLocked(const std::string& series,
     if (options_.adaptive) {
       entry.controller = std::make_unique<analyzer::AdaptiveController>(
           entry.engine.get(), options_.adaptive_options);
+      entry.observe_mutex = std::make_unique<std::mutex>();
     }
     it = series_.emplace(series, std::move(entry)).first;
   }
@@ -123,6 +124,11 @@ Status MultiSeriesDB::Append(const std::string& series,
     SEPLSM_RETURN_IF_ERROR(OpenSeriesLocked(series, &entry));
   }
   if (entry->controller != nullptr) {
+    // Observe mutates per-series analyzer state and may switch the engine
+    // policy; serialize it against concurrent appenders to the same series
+    // (the series map lock is already released here by design, so one slow
+    // series cannot stall appends to every other).
+    std::lock_guard<std::mutex> observe_lock(*entry->observe_mutex);
     SEPLSM_RETURN_IF_ERROR(entry->controller->Observe(point));
   }
   return entry->engine->Append(point);
@@ -179,25 +185,7 @@ Metrics MultiSeriesDB::GetAggregateMetrics() {
   Metrics total;
   for (auto& [name, entry] : series_) {
     (void)name;
-    Metrics m = entry.engine->GetMetrics();
-    total.points_ingested += m.points_ingested;
-    total.points_flushed += m.points_flushed;
-    total.points_rewritten += m.points_rewritten;
-    total.bytes_written += m.bytes_written;
-    total.flush_count += m.flush_count;
-    total.merge_count += m.merge_count;
-    total.files_created += m.files_created;
-    total.files_deleted += m.files_deleted;
-    total.wal_records += m.wal_records;
-    total.wal_bytes += m.wal_bytes;
-    total.wal_checkpoints += m.wal_checkpoints;
-    total.queries += m.queries;
-    total.points_returned += m.points_returned;
-    total.disk_points_scanned += m.disk_points_scanned;
-    total.query_files_opened += m.query_files_opened;
-    total.query_device_bytes_read += m.query_device_bytes_read;
-    total.block_cache_hits += m.block_cache_hits;
-    total.block_cache_misses += m.block_cache_misses;
+    total.MergeFrom(entry.engine->GetMetrics());
   }
   return total;
 }

@@ -51,7 +51,8 @@ class MultiSeriesDB {
   /// Per-series metrics; NotFound for unknown series.
   Result<Metrics> GetSeriesMetrics(const std::string& series);
 
-  /// Sum of all per-series counters (merge events are not aggregated).
+  /// Every per-series counter summed via Metrics::MergeFrom (merge-event /
+  /// timeline vectors are concatenated in series order).
   Metrics GetAggregateMetrics();
 
   /// The policy currently in effect for a series (useful with adaptive
@@ -67,6 +68,11 @@ class MultiSeriesDB {
   struct Series {
     std::unique_ptr<TsEngine> engine;
     std::unique_ptr<analyzer::AdaptiveController> controller;
+    /// Serializes AdaptiveController::Observe: the controller mutates
+    /// DelayCollector/DriftDetector state, so two threads appending to the
+    /// same series must not run it concurrently. Heap-allocated so Series
+    /// stays movable; the engine itself has its own internal locking.
+    std::unique_ptr<std::mutex> observe_mutex;
   };
 
   explicit MultiSeriesDB(MultiOptions options)

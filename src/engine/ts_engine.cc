@@ -38,12 +38,23 @@ std::vector<DataPoint> MergeSorted(const std::vector<DataPoint>& mem,
 }
 
 bool ParseTableFileNumber(const std::string& name, uint64_t* number) {
-  if (name.size() != 12 || name.substr(8) != ".sst") return false;
+  // TableFilePath zero-pads to 8 digits but numbers past 99'999'999 print
+  // wider, so accept any digit width — an exact-8 check would make recovery
+  // silently skip (and thus lose) those tables.
+  constexpr size_t kSuffixLen = 4;  // ".sst"
+  if (name.size() <= kSuffixLen ||
+      name.compare(name.size() - kSuffixLen, kSuffixLen, ".sst") != 0) {
+    return false;
+  }
   uint64_t n = 0;
-  for (int i = 0; i < 8; ++i) {
+  for (size_t i = 0; i < name.size() - kSuffixLen; ++i) {
     char c = name[i];
     if (c < '0' || c > '9') return false;
-    n = n * 10 + static_cast<uint64_t>(c - '0');
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (n > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return false;  // would overflow uint64_t
+    }
+    n = n * 10 + digit;
   }
   *number = n;
   return true;
@@ -70,6 +81,7 @@ Result<std::unique_ptr<TsEngine>> TsEngine::Open(Options options) {
   SEPLSM_RETURN_IF_ERROR(options.env->CreateDirIfMissing(options.dir));
   std::unique_ptr<TsEngine> engine(new TsEngine(std::move(options)));
   SEPLSM_RETURN_IF_ERROR(engine->Recover());
+  engine->CollectDeferredDeletes();  // files retired by recovery compaction
   if (engine->options_.background_mode) {
     engine->background_thread_ = std::thread([e = engine.get()] {
       e->BackgroundWork();
@@ -79,7 +91,10 @@ Result<std::unique_ptr<TsEngine>> TsEngine::Open(Options options) {
 }
 
 TsEngine::TsEngine(Options options)
-    : options_(std::move(options)), max_seen_tg_(kNoData) {
+    : options_(std::move(options)), max_seen_tg_(kNoData),
+      deleter_([this](const storage::FileMetadata& file) {
+        return RemoveTableFromDisk(file);
+      }) {
   if (options_.block_cache == nullptr && options_.block_cache_bytes > 0) {
     options_.block_cache = std::make_shared<storage::BlockCache>(
         options_.block_cache_bytes, options_.block_cache_shards);
@@ -107,7 +122,11 @@ TsEngine::~TsEngine() {
     shutting_down_ = true;
   }
   background_cv_.notify_all();
+  writer_cv_.notify_all();
   if (background_thread_.joinable()) background_thread_.join();
+  // No reader can outlive the engine, so every retired file is
+  // collectible now (best effort — failures leave orphans for recovery).
+  metrics_.files_deleted += deleter_.CollectGarbage();
 }
 
 Status TsEngine::Recover() {
@@ -139,7 +158,7 @@ Status TsEngine::Recover() {
               }
               return a.file_number < b.file_number;
             });
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   int64_t run_max = kNoData;
   for (auto& meta : found) {
     if (run_max == kNoData || meta.min_generation_time > run_max) {
@@ -151,9 +170,11 @@ Status TsEngine::Recover() {
   }
   max_seen_tg_ = MaxPersistedLocked();
   if (!options_.background_mode) {
-    // Fold straggler files into the run eagerly.
+    // Fold straggler files into the run eagerly (single-threaded here: the
+    // background thread has not started, so the lock dance inside
+    // CompactOneLevel0 is harmless).
     while (Level0FileCountLockedForRecovery() > 0) {
-      SEPLSM_RETURN_IF_ERROR(CompactOneLevel0Locked());
+      SEPLSM_RETURN_IF_ERROR(CompactOneLevel0(lock));
     }
   }
   if (options_.enable_wal) {
@@ -200,16 +221,26 @@ int64_t TsEngine::MaxPersistedLocked() const {
 }
 
 Status TsEngine::Append(const DataPoint& point) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (background_error_set_) return background_error_;
-  if (options_.background_mode) {
-    writer_cv_.wait(lock, [this] {
-      return version_.level0().size() < options_.max_level0_files ||
-             shutting_down_;
-    });
-    if (shutting_down_) return Status::Aborted("engine shutting down");
+  Status st;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (background_error_set_) return background_error_;
+    if (options_.background_mode) {
+      // The predicate must include the background error: if the compactor
+      // exits on failure while level 0 is full, no compaction will ever
+      // shrink it, and a writer waiting only on the file count would block
+      // forever.
+      writer_cv_.wait(lock, [this] {
+        return version_.level0().size() < options_.max_level0_files ||
+               shutting_down_ || background_error_set_;
+      });
+      if (background_error_set_) return background_error_;
+      if (shutting_down_) return Status::Aborted("engine shutting down");
+    }
+    st = AppendLocked(point);
   }
-  return AppendLocked(point);
+  CollectDeferredDeletes();
+  return st;
 }
 
 Status TsEngine::AppendLocked(const DataPoint& point) {
@@ -265,7 +296,7 @@ Status TsEngine::FlushAboveRunLocked(std::vector<DataPoint> points) {
   if (points.empty()) return Status::OK();
   int64_t run_max = version_.run().empty()
                         ? kNoData
-                        : version_.run().back().max_generation_time;
+                        : version_.run().back()->max_generation_time;
   if (run_max != kNoData && points.front().generation_time <= run_max) {
     // Defensive: overlap (e.g. right after a policy switch) — fall back to
     // a real merge.
@@ -294,12 +325,12 @@ Status TsEngine::MergeLocked(std::vector<DataPoint> points) {
   version_.OverlappingRunRange(lo, hi, &begin, &end);
 
   std::vector<DataPoint> disk_points;
-  std::vector<storage::FileMetadata> old_files;
+  std::vector<storage::FilePtr> old_files;
   uint64_t rewritten = 0;
   for (size_t i = begin; i < end; ++i) {
-    const storage::FileMetadata& f = version_.run()[i];
-    SEPLSM_RETURN_IF_ERROR(ReadTableAll(f, &disk_points));
-    rewritten += f.point_count;
+    const storage::FilePtr& f = version_.run()[i];
+    SEPLSM_RETURN_IF_ERROR(ReadTableAll(*f, &disk_points));
+    rewritten += f->point_count;
     old_files.push_back(f);
   }
   std::vector<DataPoint> merged = MergeSorted(points, disk_points);
@@ -316,8 +347,8 @@ Status TsEngine::MergeLocked(std::vector<DataPoint> points) {
   uint64_t output_files = new_files.size();
   SEPLSM_RETURN_IF_ERROR(
       version_.ReplaceRunSlice(begin, end, std::move(new_files)));
-  for (const auto& f : old_files) {
-    SEPLSM_RETURN_IF_ERROR(RemoveTableAndCount(f));
+  for (auto& f : old_files) {
+    ScheduleTableDeleteLocked(std::move(f));
   }
 
   metrics_.points_flushed += points.size();
@@ -361,54 +392,76 @@ Status TsEngine::FlushToLevel0Locked(std::vector<DataPoint> points) {
   return Status::OK();
 }
 
-Status TsEngine::CompactOneLevel0Locked() {
+Status TsEngine::CompactOneLevel0(std::unique_lock<std::mutex>& lock) {
   if (version_.level0().empty()) {
     return Status::NotFound("level 0 empty");
   }
-  storage::FileMetadata l0 = version_.PopLevel0Front();
-  std::vector<DataPoint> points;
-  SEPLSM_RETURN_IF_ERROR(ReadTableAll(l0, &points));
+  // Keep the file in the version (and thus in every snapshot) until the
+  // merged output is installed: a reader must never observe a window where
+  // the level-0 data is neither in level 0 nor in the run.
+  storage::FilePtr l0 = version_.level0().front();
 
   // Fast path: the file sits strictly above the run — adopt it unchanged.
   int64_t run_max = version_.run().empty()
                         ? kNoData
-                        : version_.run().back().max_generation_time;
-  if (run_max == kNoData || l0.min_generation_time > run_max) {
-    SEPLSM_RETURN_IF_ERROR(version_.AppendToRun(std::move(l0)));
-    return Status::OK();
+                        : version_.run().back()->max_generation_time;
+  if (run_max == kNoData || l0->min_generation_time > run_max) {
+    version_.PopLevel0Front();
+    return version_.AppendToRun(std::move(l0));
   }
 
   // Otherwise the level-0 contents are re-written into the run. Their
   // points were already flushed once; folding them in counts as rewrites,
   // as does every point of the overlapped run slice.
-  int64_t lo = points.front().generation_time;
-  int64_t hi = points.back().generation_time;
   size_t begin, end;
-  version_.OverlappingRunRange(lo, hi, &begin, &end);
+  version_.OverlappingRunRange(l0->min_generation_time,
+                               l0->max_generation_time, &begin, &end);
+  std::vector<storage::FilePtr> old_files(version_.run().begin() + begin,
+                                          version_.run().begin() + end);
+  // Reserve output file numbers now: writers allocate numbers under the
+  // lock we are about to release. Unused reservations just leave gaps.
+  uint64_t input_points = l0->point_count;
+  for (const auto& f : old_files) input_points += f->point_count;
+  uint64_t file_no = next_file_number_;
+  next_file_number_ += input_points / options_.sstable_points + 2;
+
+  // All table I/O runs without the engine lock, so ingest keeps flowing
+  // while the merge reads and writes. Safe because the compactor is the
+  // only run/level0-front mutator while the lock is released (writers only
+  // append level-0 files behind us), so `begin`/`end` and `l0` stay valid.
+  lock.unlock();
+  std::vector<DataPoint> points;
   std::vector<DataPoint> disk_points;
-  std::vector<storage::FileMetadata> old_files;
-  uint64_t rewritten = points.size();
-  for (size_t i = begin; i < end; ++i) {
-    const storage::FileMetadata& f = version_.run()[i];
-    SEPLSM_RETURN_IF_ERROR(ReadTableAll(f, &disk_points));
-    rewritten += f.point_count;
-    old_files.push_back(f);
+  Status st = ReadTableAll(*l0, &points);
+  for (const auto& f : old_files) {
+    if (!st.ok()) break;
+    st = ReadTableAll(*f, &disk_points);
   }
-  std::vector<DataPoint> merged = MergeSorted(points, disk_points);
   std::vector<storage::FileMetadata> new_files;
-  SEPLSM_RETURN_IF_ERROR(storage::WriteSortedPointsAsTables(
-      options_.env, options_.dir, merged, options_.sstable_points,
-      options_.points_per_block, &next_file_number_, &new_files,
-      options_.value_encoding));
+  if (st.ok()) {
+    std::vector<DataPoint> merged = MergeSorted(points, disk_points);
+    st = storage::WriteSortedPointsAsTables(
+        options_.env, options_.dir, merged, options_.sstable_points,
+        options_.points_per_block, &file_no, &new_files,
+        options_.value_encoding);
+  }
+  lock.lock();
+  // On failure the level-0 file is still in the version: no data was lost,
+  // and a later retry (or recovery) picks it up again.
+  SEPLSM_RETURN_IF_ERROR(st);
+
+  uint64_t rewritten = l0->point_count;
+  for (const auto& f : old_files) rewritten += f->point_count;
   for (const auto& f : new_files) {
     metrics_.bytes_written += f.file_bytes;
     ++metrics_.files_created;
   }
   SEPLSM_RETURN_IF_ERROR(
       version_.ReplaceRunSlice(begin, end, std::move(new_files)));
-  SEPLSM_RETURN_IF_ERROR(RemoveTableAndCount(l0));
-  for (const auto& f : old_files) {
-    SEPLSM_RETURN_IF_ERROR(RemoveTableAndCount(f));
+  version_.PopLevel0Front();  // == l0: the compactor is the only consumer
+  ScheduleTableDeleteLocked(std::move(l0));
+  for (auto& f : old_files) {
+    ScheduleTableDeleteLocked(std::move(f));
   }
   metrics_.points_rewritten += rewritten;
   ++metrics_.merge_count;
@@ -423,33 +476,44 @@ void TsEngine::BackgroundWork() {
     });
     if (shutting_down_ && version_.level0().empty()) return;
     if (!version_.level0().empty()) {
-      Status st = CompactOneLevel0Locked();
+      Status st = CompactOneLevel0(lock);
       if (!st.ok() && !st.IsNotFound()) {
         SEPLSM_LOG(Error) << "background compaction failed: "
                           << st.ToString();
         background_error_set_ = true;
         background_error_ = st;
+        background_cv_.notify_all();
         writer_cv_.notify_all();
         return;
       }
       writer_cv_.notify_all();
       background_cv_.notify_all();  // wake WaitForBackgroundIdle
+      lock.unlock();
+      CollectDeferredDeletes();
+      lock.lock();
     }
   }
 }
 
-Status TsEngine::RemoveFileAndCount(const std::string& path) {
-  SEPLSM_RETURN_IF_ERROR(options_.env->RemoveFile(path));
-  ++metrics_.files_deleted;
-  return Status::OK();
+void TsEngine::ScheduleTableDeleteLocked(storage::FilePtr file) {
+  ++metrics_.files_deferred_deleted;
+  deleter_.Schedule(std::move(file));
 }
 
-Status TsEngine::RemoveTableAndCount(const storage::FileMetadata& file) {
+Status TsEngine::RemoveTableFromDisk(const storage::FileMetadata& file) {
   if (table_cache_ != nullptr) table_cache_->Erase(file.file_number);
   if (options_.block_cache != nullptr) {
     options_.block_cache->EraseFile(block_cache_owner_id_, file.file_number);
   }
-  return RemoveFileAndCount(file.path);
+  return options_.env->RemoveFile(file.path);
+}
+
+void TsEngine::CollectDeferredDeletes() {
+  size_t deleted = deleter_.CollectGarbage();
+  if (deleted > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_.files_deleted += deleted;
+  }
 }
 
 Status TsEngine::ReadTableRange(const storage::FileMetadata& file, int64_t lo,
@@ -514,6 +578,7 @@ Status TsEngine::FlushAll() {
     SEPLSM_RETURN_IF_ERROR(DrainMemTablesLocked());
     if (wal_ != nullptr) SEPLSM_RETURN_IF_ERROR(wal_->Sync());
   }
+  CollectDeferredDeletes();
   return WaitForBackgroundIdle();
 }
 
@@ -528,14 +593,32 @@ Status TsEngine::Checkpoint() {
 }
 
 Status TsEngine::WaitForBackgroundIdle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (!options_.background_mode) return Status::OK();
-  background_cv_.notify_all();
-  background_cv_.wait(lock, [this] {
-    return background_error_set_ || version_.level0().empty();
-  });
-  if (background_error_set_) return background_error_;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!options_.background_mode) return Status::OK();
+    background_cv_.notify_all();
+    background_cv_.wait(lock, [this] {
+      return background_error_set_ || version_.level0().empty();
+    });
+    if (background_error_set_) return background_error_;
+  }
+  CollectDeferredDeletes();
   return Status::OK();
+}
+
+TsEngine::ReadSnapshot TsEngine::AcquireSnapshotLocked() {
+  ReadSnapshot snap;
+  snap.files = version_.Snapshot();
+  if (options_.policy.kind == PolicyKind::kConventional) {
+    snap.mems.push_back(c0_->SnapshotView());
+  } else {
+    // Same precedence the locked path used: C_seq first, C_nonseq second
+    // (later views win on equal keys).
+    snap.mems.push_back(cseq_->SnapshotView());
+    snap.mems.push_back(cnonseq_->SnapshotView());
+  }
+  ++metrics_.snapshots_acquired;
+  return snap;
 }
 
 Status TsEngine::Query(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
@@ -543,23 +626,32 @@ Status TsEngine::Query(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
   out->clear();
   if (lo > hi) return Status::InvalidArgument("Query: lo > hi");
   QueryStats local;
-  std::unique_lock<std::mutex> lock(mutex_);
+
+  // Capture the snapshot in O(files) under the lock; every disk read,
+  // block-cache lookup, and the merge below run without it, so a long
+  // historical query does not stall ingest or compaction. The snapshot's
+  // shared ownership keeps retired SSTables on disk until we are done.
+  ReadSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap = AcquireSnapshotLocked();
+  }
 
   // Lowest precedence first: run, then level 0 in flush order, then the
   // MemTables; later insertions overwrite earlier ones per key.
   std::map<int64_t, DataPoint> result;
   storage::ReadStats reads;
   size_t begin, end;
-  version_.OverlappingRunRange(lo, hi, &begin, &end);
+  snap.files.OverlappingRunRange(lo, hi, &begin, &end);
   for (size_t i = begin; i < end; ++i) {
-    const storage::FileMetadata& f = version_.run()[i];
+    const storage::FileMetadata& f = *snap.files.run()[i];
     ++local.files_opened;
     std::vector<DataPoint> points;
     SEPLSM_RETURN_IF_ERROR(ReadTableRange(f, lo, hi, &points, &reads));
     for (const auto& p : points) result.insert_or_assign(p.generation_time, p);
   }
-  for (size_t idx : version_.OverlappingLevel0(lo, hi)) {
-    const storage::FileMetadata& f = version_.level0()[idx];
+  for (size_t idx : snap.files.OverlappingLevel0(lo, hi)) {
+    const storage::FileMetadata& f = *snap.files.level0()[idx];
     ++local.files_opened;
     std::vector<DataPoint> points;
     SEPLSM_RETURN_IF_ERROR(ReadTableRange(f, lo, hi, &points, &reads));
@@ -570,11 +662,8 @@ Status TsEngine::Query(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
   local.block_cache_hits = reads.cache_hits;
   local.block_cache_misses = reads.cache_misses;
   std::vector<DataPoint> mem_points;
-  if (options_.policy.kind == PolicyKind::kConventional) {
-    c0_->CollectRange(lo, hi, &mem_points);
-  } else {
-    cseq_->CollectRange(lo, hi, &mem_points);
-    cnonseq_->CollectRange(lo, hi, &mem_points);
+  for (const auto& view : snap.mems) {
+    storage::MemTable::CollectRange(*view, lo, hi, &mem_points);
   }
   local.memtable_points = mem_points.size();
   for (const auto& p : mem_points) {
@@ -588,13 +677,20 @@ Status TsEngine::Query(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
   }
   local.points_returned = out->size();
 
-  ++metrics_.queries;
-  metrics_.points_returned += local.points_returned;
-  metrics_.disk_points_scanned += local.disk_points_scanned;
-  metrics_.query_files_opened += local.files_opened;
-  metrics_.query_device_bytes_read += local.device_bytes_read;
-  metrics_.block_cache_hits += local.block_cache_hits;
-  metrics_.block_cache_misses += local.block_cache_misses;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++metrics_.queries;
+    metrics_.points_returned += local.points_returned;
+    metrics_.disk_points_scanned += local.disk_points_scanned;
+    metrics_.query_files_opened += local.files_opened;
+    metrics_.query_device_bytes_read += local.device_bytes_read;
+    metrics_.block_cache_hits += local.block_cache_hits;
+    metrics_.block_cache_misses += local.block_cache_misses;
+  }
+  // Drop our file references, then sweep: if this query was the last
+  // reader of a compaction-retired table, unlink it now.
+  snap = ReadSnapshot();
+  CollectDeferredDeletes();
   if (stats != nullptr) *stats = local;
   return Status::OK();
 }
@@ -641,18 +737,21 @@ Status TsEngine::SwitchPolicy(const PolicyConfig& config) {
     return Status::InvalidArgument(
         "separation policy requires 0 < nseq_capacity < memtable_capacity");
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  SEPLSM_RETURN_IF_ERROR(DrainMemTablesLocked());
-  options_.policy = config;
-  if (config.kind == PolicyKind::kConventional) {
-    c0_ = std::make_unique<storage::MemTable>(config.memtable_capacity);
-    cseq_.reset();
-    cnonseq_.reset();
-  } else {
-    cseq_ = std::make_unique<storage::MemTable>(config.nseq_capacity);
-    cnonseq_ = std::make_unique<storage::MemTable>(config.nonseq_capacity());
-    c0_.reset();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    SEPLSM_RETURN_IF_ERROR(DrainMemTablesLocked());
+    options_.policy = config;
+    if (config.kind == PolicyKind::kConventional) {
+      c0_ = std::make_unique<storage::MemTable>(config.memtable_capacity);
+      cseq_.reset();
+      cnonseq_.reset();
+    } else {
+      cseq_ = std::make_unique<storage::MemTable>(config.nseq_capacity);
+      cnonseq_ = std::make_unique<storage::MemTable>(config.nonseq_capacity());
+      c0_.reset();
+    }
   }
+  CollectDeferredDeletes();
   return Status::OK();
 }
 
@@ -668,7 +767,7 @@ Status TsEngine::CheckInvariants() {
       !version_.run().empty()) {
     // Every in-order buffered point must sit above the persisted run.
     if (cseq_->min_generation_time() <=
-            version_.run().back().max_generation_time &&
+            version_.run().back()->max_generation_time &&
         !options_.background_mode) {
       return Status::Internal("C_seq holds points at or below LAST(R)");
     }

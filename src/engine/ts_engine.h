@@ -39,7 +39,14 @@ namespace seplsm::engine {
 /// compaction.
 ///
 /// Thread safety: all public methods are safe to call concurrently; the
-/// write path is serialized internally.
+/// write path is serialized internally. Reads are snapshot-isolated:
+/// `Query`/`Aggregate`/`Downsample` capture a reference-counted
+/// `VersionSnapshot` plus frozen MemTable views in O(files) under the
+/// engine mutex, then perform all SSTable I/O, block-cache lookups, and
+/// merging without it — a long historical query never stalls ingest, and
+/// ingest/compaction never mutate what a running query sees. Compaction
+/// retires SSTables through a deferred-delete list, so a file is unlinked
+/// only after the last snapshot referencing it drops (DESIGN.md §7).
 class TsEngine {
  public:
   /// Opens (and recovers) an engine in `options.dir`. Existing `*.sst`
@@ -113,6 +120,14 @@ class TsEngine {
  private:
   explicit TsEngine(Options options);
 
+  /// Everything a reader needs, captured under `mutex_`, read lock-free.
+  struct ReadSnapshot {
+    storage::VersionSnapshot files;
+    /// Frozen MemTable contents in precedence order (later views override
+    /// earlier ones on equal keys, and all override disk).
+    std::vector<storage::MemTable::View> mems;
+  };
+
   Status Recover();
 
   // --- Write path (mutex_ held) ---
@@ -133,12 +148,15 @@ class TsEngine {
   Status FlushToLevel0Locked(std::vector<DataPoint> points);
 
   /// Folds the oldest level-0 file into the run. Returns NotFound when
-  /// level 0 is empty.
-  Status CompactOneLevel0Locked();
+  /// level 0 is empty. `lock` (held on entry and exit) is released during
+  /// table I/O: in background mode the compactor is the only run mutator
+  /// and level-0 files are only appended behind the front, so the state
+  /// it captured stays valid, and readers keep the input files visible
+  /// through their snapshots until the output is installed atomically.
+  Status CompactOneLevel0(std::unique_lock<std::mutex>& lock);
 
   void MaybeRecordTimelineLocked();
   void BackgroundWork();
-  Status RemoveFileAndCount(const std::string& path);
   size_t Level0FileCountLockedForRecovery();
   std::string WalPath() const;
   Status RotateWalLocked();
@@ -150,7 +168,22 @@ class TsEngine {
                         storage::ReadStats* stats);
   Status ReadTableAll(const storage::FileMetadata& file,
                       std::vector<DataPoint>* out);
-  Status RemoveTableAndCount(const storage::FileMetadata& file);
+
+  /// Captures the snapshot a reader works from: shared file metadata plus
+  /// frozen MemTable views, O(files), no I/O.
+  ReadSnapshot AcquireSnapshotLocked();
+
+  /// Hands a file that just left the live version to the deferred-delete
+  /// list (unlinked once the last snapshot referencing it drops).
+  void ScheduleTableDeleteLocked(storage::FilePtr file);
+
+  /// The deferred deleter's delete_fn: evicts table/block-cache entries and
+  /// unlinks the file. Runs without `mutex_` held.
+  Status RemoveTableFromDisk(const storage::FileMetadata& file);
+
+  /// Physically deletes every retired file no snapshot references anymore.
+  /// Must be called WITHOUT `mutex_` held.
+  void CollectDeferredDeletes();
 
   int64_t MaxPersistedLocked() const;
 
@@ -173,6 +206,7 @@ class TsEngine {
   bool wal_replaying_ = false;
   std::unique_ptr<storage::TableCache> table_cache_;
   uint64_t block_cache_owner_id_ = 0;
+  storage::DeferredFileDeleter deleter_;
 
   bool shutting_down_ = false;
   bool background_error_set_ = false;

@@ -32,7 +32,7 @@ class FaultRandomAccessFile final : public RandomAccessFile {
       : env_(env), base_(std::move(base)) {}
 
   Status Read(uint64_t offset, size_t n, std::string* out) const override {
-    SEPLSM_RETURN_IF_ERROR(env_->CheckOp());
+    SEPLSM_RETURN_IF_ERROR(env_->CheckReadOp());
     return base_->Read(offset, n, out);
   }
   uint64_t Size() const override { return base_->Size(); }
@@ -62,9 +62,16 @@ Status FaultInjectionEnv::NewWritableFile(
   return Status::OK();
 }
 
+Status FaultInjectionEnv::CheckReadOp() {
+  if (fail_reads_.load(std::memory_order_relaxed)) {
+    return Status::IOError("injected read fault");
+  }
+  return CheckOp();
+}
+
 Status FaultInjectionEnv::NewRandomAccessFile(
     const std::string& fname, std::unique_ptr<RandomAccessFile>* file) {
-  SEPLSM_RETURN_IF_ERROR(CheckOp());
+  SEPLSM_RETURN_IF_ERROR(CheckReadOp());
   std::unique_ptr<RandomAccessFile> base_file;
   SEPLSM_RETURN_IF_ERROR(base_->NewRandomAccessFile(fname, &base_file));
   *file = std::make_unique<FaultRandomAccessFile>(this, std::move(base_file));

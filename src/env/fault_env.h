@@ -23,6 +23,14 @@ class FaultInjectionEnv final : public Env {
     ops_.store(0, std::memory_order_relaxed);
   }
 
+  /// Fails only the read side (NewRandomAccessFile / Read) while writes keep
+  /// succeeding — models a device that still accepts appends but cannot be
+  /// read back. Lets tests break compaction (which must read its inputs)
+  /// without breaking flushes.
+  void SetFailReads(bool fail) {
+    fail_reads_.store(fail, std::memory_order_relaxed);
+  }
+
   /// Number of I/O ops observed since the last SetFailAfterOps.
   int64_t ops() const { return ops_.load(std::memory_order_relaxed); }
 
@@ -53,10 +61,13 @@ class FaultInjectionEnv final : public Env {
 
   /// Internal: returns non-OK when the fault is tripped; counts the op.
   Status CheckOp();
+  /// Internal: CheckOp plus the reads-only fault.
+  Status CheckReadOp();
 
  private:
   Env* base_;
   std::atomic<int64_t> fail_after_ops_{-1};
+  std::atomic<bool> fail_reads_{false};
   std::atomic<int64_t> ops_{0};
 };
 

@@ -17,11 +17,11 @@ Result<std::shared_ptr<SSTableReader>> TableCache::Get(
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(file_number);
     if (it != index_.end()) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       lru_.splice(lru_.begin(), lru_, it->second);  // move to front
       return it->second->reader;
     }
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
   }
   // Open outside the lock; concurrent misses on the same file may both
   // open, the second insert wins harmlessly.

@@ -1,6 +1,7 @@
 #ifndef SEPLSM_STORAGE_TABLE_CACHE_H_
 #define SEPLSM_STORAGE_TABLE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -37,8 +38,8 @@ class TableCache {
   void Erase(uint64_t file_number);
 
   size_t size() const;
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
   struct Entry {
@@ -53,8 +54,9 @@ class TableCache {
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  // Atomics: queries read hit/miss totals without taking the cache lock.
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace seplsm::storage

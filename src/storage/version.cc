@@ -3,35 +3,60 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/logging.h"
+
 namespace seplsm::storage {
+
+void OverlappingRunRange(const std::vector<FilePtr>& run, int64_t lo,
+                         int64_t hi, size_t* begin, size_t* end) {
+  // First file with max >= lo.
+  auto first = std::partition_point(
+      run.begin(), run.end(),
+      [lo](const FilePtr& f) { return f->max_generation_time < lo; });
+  // First file with min > hi.
+  auto last = std::partition_point(
+      first, run.end(),
+      [hi](const FilePtr& f) { return f->min_generation_time <= hi; });
+  *begin = static_cast<size_t>(first - run.begin());
+  *end = static_cast<size_t>(last - run.begin());
+}
+
+std::vector<size_t> OverlappingLevel0(const std::vector<FilePtr>& level0,
+                                      int64_t lo, int64_t hi) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < level0.size(); ++i) {
+    if (level0[i]->Overlaps(lo, hi)) out.push_back(i);
+  }
+  return out;
+}
 
 int64_t Version::MaxPersistedGenerationTime() const {
   int64_t max_tg = std::numeric_limits<int64_t>::min();
   if (!run_.empty()) {
-    max_tg = std::max(max_tg, run_.back().max_generation_time);
+    max_tg = std::max(max_tg, run_.back()->max_generation_time);
   }
   for (const auto& f : level0_) {
-    max_tg = std::max(max_tg, f.max_generation_time);
+    max_tg = std::max(max_tg, f->max_generation_time);
   }
   return max_tg;
 }
 
 uint64_t Version::TotalPoints() const {
   uint64_t total = 0;
-  for (const auto& f : level0_) total += f.point_count;
-  for (const auto& f : run_) total += f.point_count;
+  for (const auto& f : level0_) total += f->point_count;
+  for (const auto& f : run_) total += f->point_count;
   return total;
 }
 
-FileMetadata Version::PopLevel0Front() {
-  FileMetadata f = std::move(level0_.front());
+FilePtr Version::PopLevel0Front() {
+  FilePtr f = std::move(level0_.front());
   level0_.erase(level0_.begin());
   return f;
 }
 
-Status Version::AppendToRun(FileMetadata file) {
+Status Version::AppendToRun(FilePtr file) {
   if (!run_.empty() &&
-      file.min_generation_time <= run_.back().max_generation_time) {
+      file->min_generation_time <= run_.back()->max_generation_time) {
     return Status::InvalidArgument(
         "AppendToRun: file overlaps or is below the run");
   }
@@ -44,49 +69,72 @@ Status Version::ReplaceRunSlice(size_t begin, size_t end,
   if (begin > end || end > run_.size()) {
     return Status::InvalidArgument("ReplaceRunSlice: bad slice");
   }
-  std::vector<FileMetadata> next;
+  std::vector<FilePtr> next;
   next.reserve(run_.size() - (end - begin) + replacements.size());
   next.insert(next.end(), run_.begin(), run_.begin() + begin);
-  next.insert(next.end(), std::make_move_iterator(replacements.begin()),
-              std::make_move_iterator(replacements.end()));
+  for (auto& r : replacements) {
+    next.push_back(std::make_shared<const FileMetadata>(std::move(r)));
+  }
   next.insert(next.end(), run_.begin() + end, run_.end());
   run_ = std::move(next);
   return CheckInvariants();
 }
 
-void Version::OverlappingRunRange(int64_t lo, int64_t hi, size_t* begin,
-                                  size_t* end) const {
-  // First file with max >= lo.
-  auto first = std::partition_point(
-      run_.begin(), run_.end(),
-      [lo](const FileMetadata& f) { return f.max_generation_time < lo; });
-  // First file with min > hi.
-  auto last = std::partition_point(
-      first, run_.end(),
-      [hi](const FileMetadata& f) { return f.min_generation_time <= hi; });
-  *begin = static_cast<size_t>(first - run_.begin());
-  *end = static_cast<size_t>(last - run_.begin());
-}
-
-std::vector<size_t> Version::OverlappingLevel0(int64_t lo, int64_t hi) const {
-  std::vector<size_t> out;
-  for (size_t i = 0; i < level0_.size(); ++i) {
-    if (level0_[i].Overlaps(lo, hi)) out.push_back(i);
-  }
-  return out;
-}
-
 Status Version::CheckInvariants() const {
   for (size_t i = 0; i < run_.size(); ++i) {
-    if (run_[i].min_generation_time > run_[i].max_generation_time) {
+    if (run_[i]->min_generation_time > run_[i]->max_generation_time) {
       return Status::Corruption("run file with inverted range");
     }
-    if (i > 0 && run_[i].min_generation_time <=
-                     run_[i - 1].max_generation_time) {
+    if (i > 0 && run_[i]->min_generation_time <=
+                     run_[i - 1]->max_generation_time) {
       return Status::Corruption("run files overlap or are unsorted");
     }
   }
   return Status::OK();
+}
+
+void DeferredFileDeleter::Schedule(FilePtr file) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.push_back(std::move(file));
+}
+
+size_t DeferredFileDeleter::CollectGarbage() {
+  std::vector<FilePtr> ready;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto mid = std::partition(
+        pending_.begin(), pending_.end(),
+        // use_count() == 1 means the pending list is the sole owner: the
+        // file left the live Version before Schedule, so no new snapshot
+        // can ever re-reference it.
+        [](const FilePtr& f) { return f.use_count() > 1; });
+    ready.assign(std::make_move_iterator(mid),
+                 std::make_move_iterator(pending_.end()));
+    pending_.erase(mid, pending_.end());
+  }
+  size_t deleted = 0;
+  std::vector<FilePtr> retry;
+  for (auto& f : ready) {
+    Status st = delete_fn_(*f);
+    if (st.ok()) {
+      ++deleted;
+    } else {
+      SEPLSM_LOG(Warn) << "deferred delete of " << f->path
+                          << " failed (will retry): " << st.ToString();
+      retry.push_back(std::move(f));
+    }
+  }
+  if (!retry.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.insert(pending_.end(), std::make_move_iterator(retry.begin()),
+                    std::make_move_iterator(retry.end()));
+  }
+  return deleted;
+}
+
+size_t DeferredFileDeleter::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
 }
 
 }  // namespace seplsm::storage

@@ -2,6 +2,9 @@
 #define SEPLSM_STORAGE_VERSION_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -9,6 +12,49 @@
 #include "storage/sstable.h"
 
 namespace seplsm::storage {
+
+/// Shared, immutable handle to one on-disk SSTable's metadata. The live
+/// `Version` and every outstanding `VersionSnapshot` co-own the metadata;
+/// the physical file may be unlinked only once no snapshot references it
+/// (see DeferredFileDeleter).
+using FilePtr = std::shared_ptr<const FileMetadata>;
+
+/// Returns [begin, end) indices of `run` files overlapping [lo, hi]; the
+/// vector must satisfy the run invariant (sorted, pairwise disjoint).
+void OverlappingRunRange(const std::vector<FilePtr>& run, int64_t lo,
+                         int64_t hi, size_t* begin, size_t* end);
+
+/// Indices of (possibly overlapping) `level0` files intersecting [lo, hi].
+std::vector<size_t> OverlappingLevel0(const std::vector<FilePtr>& level0,
+                                      int64_t lo, int64_t hi);
+
+/// An immutable, reference-counted view of the tree's file state, captured
+/// in O(files) under the engine mutex. Every `FilePtr` keeps its table's
+/// metadata — and, through the deferred-delete protocol, the file itself —
+/// alive for the snapshot's lifetime, so readers can perform all SSTable
+/// I/O and merging without any engine lock while compaction replaces and
+/// retires files concurrently.
+class VersionSnapshot {
+ public:
+  VersionSnapshot() = default;
+  VersionSnapshot(std::vector<FilePtr> run, std::vector<FilePtr> level0)
+      : run_(std::move(run)), level0_(std::move(level0)) {}
+
+  const std::vector<FilePtr>& run() const { return run_; }
+  const std::vector<FilePtr>& level0() const { return level0_; }
+
+  void OverlappingRunRange(int64_t lo, int64_t hi, size_t* begin,
+                           size_t* end) const {
+    storage::OverlappingRunRange(run_, lo, hi, begin, end);
+  }
+  std::vector<size_t> OverlappingLevel0(int64_t lo, int64_t hi) const {
+    return storage::OverlappingLevel0(level0_, lo, hi);
+  }
+
+ private:
+  std::vector<FilePtr> run_;
+  std::vector<FilePtr> level0_;
+};
 
 /// The persisted state of the tree:
 ///
@@ -18,11 +64,12 @@ namespace seplsm::storage {
 /// - `run`: level 1, kept sorted by min generation time with pairwise
 ///   disjoint ranges — the paper's single sorted *run* R.
 ///
-/// Not thread-safe; the engine serializes access.
+/// File metadata is held by shared ownership so `Snapshot()` can hand out
+/// stable views. Not thread-safe; the engine serializes mutation.
 class Version {
  public:
-  const std::vector<FileMetadata>& level0() const { return level0_; }
-  const std::vector<FileMetadata>& run() const { return run_; }
+  const std::vector<FilePtr>& level0() const { return level0_; }
+  const std::vector<FilePtr>& run() const { return run_; }
 
   bool empty() const { return level0_.empty() && run_.empty(); }
 
@@ -34,14 +81,22 @@ class Version {
   uint64_t TotalPoints() const;
   uint64_t TotalFiles() const { return level0_.size() + run_.size(); }
 
-  void AddLevel0(FileMetadata file) { level0_.push_back(std::move(file)); }
+  /// O(files) copy of the current file lists with shared ownership.
+  VersionSnapshot Snapshot() const { return VersionSnapshot(run_, level0_); }
 
-  /// Removes and returns the oldest level-0 file metadata.
-  FileMetadata PopLevel0Front();
+  void AddLevel0(FileMetadata file) {
+    level0_.push_back(std::make_shared<const FileMetadata>(std::move(file)));
+  }
+
+  /// Removes and returns the oldest level-0 file.
+  FilePtr PopLevel0Front();
 
   /// Appends a file strictly above the current run (C_seq flush fast path).
   /// Fails if the file overlaps the run.
-  Status AppendToRun(FileMetadata file);
+  Status AppendToRun(FileMetadata file) {
+    return AppendToRun(std::make_shared<const FileMetadata>(std::move(file)));
+  }
+  Status AppendToRun(FilePtr file);
 
   /// Replaces run files [begin, end) with `replacements` (sorted,
   /// non-overlapping, and fitting the gap). Indices into run().
@@ -50,17 +105,53 @@ class Version {
 
   /// Returns [begin, end) indices of run files overlapping [lo, hi].
   void OverlappingRunRange(int64_t lo, int64_t hi, size_t* begin,
-                           size_t* end) const;
+                           size_t* end) const {
+    storage::OverlappingRunRange(run_, lo, hi, begin, end);
+  }
 
   /// Indices of level0 files overlapping [lo, hi].
-  std::vector<size_t> OverlappingLevel0(int64_t lo, int64_t hi) const;
+  std::vector<size_t> OverlappingLevel0(int64_t lo, int64_t hi) const {
+    return storage::OverlappingLevel0(level0_, lo, hi);
+  }
 
   /// Verifies the run invariant (sorted, pairwise disjoint).
   Status CheckInvariants() const;
 
  private:
-  std::vector<FileMetadata> level0_;
-  std::vector<FileMetadata> run_;
+  std::vector<FilePtr> level0_;
+  std::vector<FilePtr> run_;
+};
+
+/// Thread-safe list of files that left the live Version but may still be
+/// referenced by snapshots. Compaction routes every table deletion through
+/// `Schedule`; the physical unlink (`delete_fn`, which also evicts table-
+/// and block-cache entries) runs from `CollectGarbage` only once the list
+/// holds the last reference — i.e. after the last snapshot referencing the
+/// file dropped. Failed deletions stay pending and are retried on the next
+/// collection.
+class DeferredFileDeleter {
+ public:
+  using DeleteFn = std::function<Status(const FileMetadata&)>;
+
+  explicit DeferredFileDeleter(DeleteFn delete_fn)
+      : delete_fn_(std::move(delete_fn)) {}
+
+  /// Hands the file over for deletion. The caller must already have removed
+  /// it from the live Version (so no new snapshot can reference it).
+  void Schedule(FilePtr file);
+
+  /// Physically deletes every scheduled file with no outstanding snapshot
+  /// references; returns how many were deleted. Never call while holding a
+  /// lock that `delete_fn` acquires.
+  size_t CollectGarbage();
+
+  /// Files still awaiting deletion (referenced by snapshots or retrying).
+  size_t pending() const;
+
+ private:
+  DeleteFn delete_fn_;
+  mutable std::mutex mutex_;
+  std::vector<FilePtr> pending_;
 };
 
 }  // namespace seplsm::storage

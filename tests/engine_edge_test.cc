@@ -231,6 +231,38 @@ TEST_F(EngineEdgeTest, LargeTimestampMagnitudes) {
   EXPECT_EQ(out[0].generation_time, base);
 }
 
+TEST_F(EngineEdgeTest, RecoversTablesWithWideFileNumbers) {
+  // Regression: recovery used to accept only exactly-8-digit "NNNNNNNN.sst"
+  // names, but TableFilePath prints numbers past 99'999'999 with 9+ digits.
+  // Those tables were silently skipped on reopen — durable, acknowledged
+  // data vanishing without any error.
+  const std::string dir = "/db";
+  ASSERT_TRUE(env_.CreateDirIfMissing(dir).ok());
+  std::vector<DataPoint> points;
+  for (int64_t t = 0; t < 32; ++t) points.push_back({t, t, 4.0});
+  uint64_t next_file_no = 100'000'000;  // first 9-digit file number
+  std::vector<storage::FileMetadata> files;
+  ASSERT_TRUE(storage::WriteSortedPointsAsTables(&env_, dir, points, 16, 4,
+                                                 &next_file_no, &files)
+                  .ok());
+  ASSERT_EQ(files.size(), 2u);
+
+  auto db = MustOpen(BaseOptions());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(0, 31, &out).ok());
+  ASSERT_EQ(out.size(), 32u) << "recovery dropped wide-numbered tables";
+  EXPECT_EQ(out[0].value, 4.0);
+
+  // New files must be numbered above the recovered ones, not under them.
+  for (int64_t t = 100; t < 140; ++t) {
+    ASSERT_TRUE(db->Append({t, t, 5.0}).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  ASSERT_TRUE(db->Query(0, 200, &out).ok());
+  EXPECT_EQ(out.size(), 72u);
+  EXPECT_TRUE(db->CheckInvariants().ok());
+}
+
 TEST_F(EngineEdgeTest, MetricsMergeEventsDisabled) {
   Options o = BaseOptions();
   o.policy = PolicyConfig::Conventional(4);

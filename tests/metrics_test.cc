@@ -1,0 +1,116 @@
+#include "engine/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace seplsm::engine {
+namespace {
+
+// One distinct value per counter so a transposed or dropped field in
+// MergeFrom shows up as a wrong sum, not a coincidence.
+Metrics DistinctMetrics(uint64_t base) {
+  Metrics m;
+  m.points_ingested = base + 1;
+  m.points_flushed = base + 2;
+  m.points_rewritten = base + 3;
+  m.bytes_written = base + 4;
+  m.flush_count = base + 5;
+  m.merge_count = base + 6;
+  m.files_created = base + 7;
+  m.files_deleted = base + 8;
+  m.wal_records = base + 9;
+  m.wal_bytes = base + 10;
+  m.wal_checkpoints = base + 11;
+  m.queries = base + 12;
+  m.points_returned = base + 13;
+  m.disk_points_scanned = base + 14;
+  m.query_files_opened = base + 15;
+  m.query_device_bytes_read = base + 16;
+  m.block_cache_hits = base + 17;
+  m.block_cache_misses = base + 18;
+  m.snapshots_acquired = base + 19;
+  m.files_deferred_deleted = base + 20;
+  return m;
+}
+
+constexpr size_t kCounterFields = 20;  // counters set by DistinctMetrics
+constexpr size_t kVectorFields = 2;    // merge_events, wa_timeline
+
+TEST(MetricsMergeTest, EveryFieldIsCovered) {
+  // If this fails you added a field to Metrics: extend MergeFrom,
+  // DistinctMetrics above, and EverySumIsCorrect below, then bump the
+  // constants. This is what keeps a new counter from being silently
+  // dropped by GetAggregateMetrics.
+  EXPECT_EQ(sizeof(Metrics), kCounterFields * sizeof(uint64_t) +
+                                 kVectorFields * sizeof(std::vector<uint64_t>))
+      << "Metrics gained a field not covered by the MergeFrom test";
+}
+
+TEST(MetricsMergeTest, EverySumIsCorrect) {
+  Metrics a = DistinctMetrics(100);
+  Metrics b = DistinctMetrics(10000);
+  a.MergeFrom(b);
+  const Metrics expect_a = DistinctMetrics(100);
+  const Metrics expect_b = DistinctMetrics(10000);
+  EXPECT_EQ(a.points_ingested, expect_a.points_ingested + expect_b.points_ingested);
+  EXPECT_EQ(a.points_flushed, expect_a.points_flushed + expect_b.points_flushed);
+  EXPECT_EQ(a.points_rewritten, expect_a.points_rewritten + expect_b.points_rewritten);
+  EXPECT_EQ(a.bytes_written, expect_a.bytes_written + expect_b.bytes_written);
+  EXPECT_EQ(a.flush_count, expect_a.flush_count + expect_b.flush_count);
+  EXPECT_EQ(a.merge_count, expect_a.merge_count + expect_b.merge_count);
+  EXPECT_EQ(a.files_created, expect_a.files_created + expect_b.files_created);
+  EXPECT_EQ(a.files_deleted, expect_a.files_deleted + expect_b.files_deleted);
+  EXPECT_EQ(a.wal_records, expect_a.wal_records + expect_b.wal_records);
+  EXPECT_EQ(a.wal_bytes, expect_a.wal_bytes + expect_b.wal_bytes);
+  EXPECT_EQ(a.wal_checkpoints, expect_a.wal_checkpoints + expect_b.wal_checkpoints);
+  EXPECT_EQ(a.queries, expect_a.queries + expect_b.queries);
+  EXPECT_EQ(a.points_returned, expect_a.points_returned + expect_b.points_returned);
+  EXPECT_EQ(a.disk_points_scanned,
+            expect_a.disk_points_scanned + expect_b.disk_points_scanned);
+  EXPECT_EQ(a.query_files_opened,
+            expect_a.query_files_opened + expect_b.query_files_opened);
+  EXPECT_EQ(a.query_device_bytes_read,
+            expect_a.query_device_bytes_read + expect_b.query_device_bytes_read);
+  EXPECT_EQ(a.block_cache_hits,
+            expect_a.block_cache_hits + expect_b.block_cache_hits);
+  EXPECT_EQ(a.block_cache_misses,
+            expect_a.block_cache_misses + expect_b.block_cache_misses);
+  EXPECT_EQ(a.snapshots_acquired,
+            expect_a.snapshots_acquired + expect_b.snapshots_acquired);
+  EXPECT_EQ(a.files_deferred_deleted,
+            expect_a.files_deferred_deleted + expect_b.files_deferred_deleted);
+}
+
+TEST(MetricsMergeTest, MergeIntoEmptyIsIdentityOnCounters) {
+  Metrics total;
+  Metrics b = DistinctMetrics(0);
+  total.MergeFrom(b);
+  EXPECT_EQ(total.points_ingested, b.points_ingested);
+  EXPECT_EQ(total.files_deferred_deleted, b.files_deferred_deleted);
+  EXPECT_EQ(total.WriteAmplification(), b.WriteAmplification());
+}
+
+TEST(MetricsMergeTest, EventVectorsAreConcatenatedInOrder) {
+  Metrics a;
+  MergeEvent e1;
+  e1.buffered_points = 11;
+  a.merge_events.push_back(e1);
+  a.wa_timeline = {1, 2};
+
+  Metrics b;
+  MergeEvent e2;
+  e2.buffered_points = 22;
+  MergeEvent e3;
+  e3.buffered_points = 33;
+  b.merge_events = {e2, e3};
+  b.wa_timeline = {3};
+
+  a.MergeFrom(b);
+  ASSERT_EQ(a.merge_events.size(), 3u);
+  EXPECT_EQ(a.merge_events[0].buffered_points, 11u);
+  EXPECT_EQ(a.merge_events[1].buffered_points, 22u);
+  EXPECT_EQ(a.merge_events[2].buffered_points, 33u);
+  EXPECT_EQ(a.wa_timeline, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace seplsm::engine

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "dist/parametric.h"
 #include "env/mem_env.h"
 #include "workload/synthetic.h"
@@ -134,6 +136,42 @@ TEST_F(MultiSeriesTest, PerSeriesAdaptivePolicies) {
   EXPECT_EQ(ordered_policy->kind, PolicyKind::kConventional);
   EXPECT_EQ(chaotic_policy->kind, PolicyKind::kSeparation)
       << "per-series tuning should separate only the disordered series";
+}
+
+TEST_F(MultiSeriesTest, ConcurrentAppendsSameSeriesWithController) {
+  // Regression: Append used to call AdaptiveController::Observe outside any
+  // lock, so two threads writing the same series raced on the controller's
+  // DelayCollector/DriftDetector state (a TSan-visible data race and, at
+  // worst, a policy switch decided on torn statistics). The per-series
+  // observe mutex serializes it; this test is run under the TSan CI job.
+  auto options = BaseOptions();
+  options.base.policy = PolicyConfig::Conventional(64);
+  options.adaptive = true;
+  options.adaptive_options.warmup_points = 256;
+  options.adaptive_options.check_interval = 256;
+  auto db = MustOpen(std::move(options));
+
+  constexpr int kThreads = 4;
+  constexpr int64_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      // Interleaved, distinct generation times per thread.
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        int64_t t = i * kThreads + w;
+        Status st = db->Append("shared", {t, t + 3, 1.0});
+        ASSERT_TRUE(st.ok()) << st.ToString();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ASSERT_TRUE(db->FlushAll().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query("shared", 0, kThreads * kPerThread, &out).ok());
+  EXPECT_EQ(out.size(), static_cast<size_t>(kThreads * kPerThread));
+  Metrics m = db->GetAggregateMetrics();
+  EXPECT_EQ(m.points_ingested, static_cast<uint64_t>(kThreads * kPerThread));
 }
 
 TEST_F(MultiSeriesTest, ManySeriesStress) {

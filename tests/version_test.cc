@@ -74,8 +74,8 @@ TEST(VersionTest, ReplaceRunSliceMiddle) {
                                             File(11, 151, 199)};
   ASSERT_TRUE(v.ReplaceRunSlice(1, 2, std::move(replacements)).ok());
   ASSERT_EQ(v.run().size(), 4u);
-  EXPECT_EQ(v.run()[1].file_number, 10u);
-  EXPECT_EQ(v.run()[2].file_number, 11u);
+  EXPECT_EQ(v.run()[1]->file_number, 10u);
+  EXPECT_EQ(v.run()[2]->file_number, 11u);
   EXPECT_TRUE(v.CheckInvariants().ok());
 }
 
@@ -100,8 +100,8 @@ TEST(VersionTest, Level0Fifo) {
   v.AddLevel0(File(5, 0, 10));
   v.AddLevel0(File(6, 5, 15));
   EXPECT_EQ(v.level0().size(), 2u);
-  FileMetadata f = v.PopLevel0Front();
-  EXPECT_EQ(f.file_number, 5u);
+  FilePtr f = v.PopLevel0Front();
+  EXPECT_EQ(f->file_number, 5u);
   EXPECT_EQ(v.level0().size(), 1u);
 }
 
@@ -129,6 +129,87 @@ TEST(VersionTest, TotalPointsSumsBothLevels) {
   ASSERT_TRUE(v.AppendToRun(File(1, 0, 9, 100)).ok());
   v.AddLevel0(File(2, 0, 9, 50));
   EXPECT_EQ(v.TotalPoints(), 150u);
+}
+
+TEST(VersionSnapshotTest, StableAcrossReplaceRunSlice) {
+  Version v;
+  ASSERT_TRUE(v.AppendToRun(File(1, 0, 99)).ok());
+  ASSERT_TRUE(v.AppendToRun(File(2, 100, 199)).ok());
+  v.AddLevel0(File(3, 50, 150));
+
+  VersionSnapshot snap = v.Snapshot();
+
+  // Mutate the live version: compact away file 2 and pop the level-0 file.
+  std::vector<FileMetadata> replacements = {File(10, 100, 199)};
+  ASSERT_TRUE(v.ReplaceRunSlice(1, 2, std::move(replacements)).ok());
+  FilePtr popped = v.PopLevel0Front();
+  EXPECT_EQ(popped->file_number, 3u);
+
+  // The snapshot still sees the pre-compaction state.
+  ASSERT_EQ(snap.run().size(), 2u);
+  EXPECT_EQ(snap.run()[0]->file_number, 1u);
+  EXPECT_EQ(snap.run()[1]->file_number, 2u);
+  ASSERT_EQ(snap.level0().size(), 1u);
+  EXPECT_EQ(snap.level0()[0]->file_number, 3u);
+
+  // And the live version sees the new state.
+  ASSERT_EQ(v.run().size(), 2u);
+  EXPECT_EQ(v.run()[1]->file_number, 10u);
+  EXPECT_TRUE(v.level0().empty());
+}
+
+TEST(VersionSnapshotTest, OverlapHelpersMatchLive) {
+  Version v;
+  ASSERT_TRUE(v.AppendToRun(File(1, 0, 99)).ok());
+  ASSERT_TRUE(v.AppendToRun(File(2, 100, 199)).ok());
+  v.AddLevel0(File(3, 50, 150));
+  VersionSnapshot snap = v.Snapshot();
+  size_t begin, end;
+  snap.OverlappingRunRange(120, 130, &begin, &end);
+  EXPECT_EQ(begin, 1u);
+  EXPECT_EQ(end, 2u);
+  auto hits = snap.OverlappingLevel0(140, 160);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+}
+
+TEST(DeferredFileDeleterTest, DeletesOnlyUnreferencedFiles) {
+  std::vector<uint64_t> deleted;
+  DeferredFileDeleter deleter([&](const FileMetadata& f) {
+    deleted.push_back(f.file_number);
+    return Status::OK();
+  });
+
+  FilePtr held = std::make_shared<const FileMetadata>(File(1, 0, 9));
+  FilePtr loose = std::make_shared<const FileMetadata>(File(2, 10, 19));
+  deleter.Schedule(held);  // test still holds a reference (a "snapshot")
+  deleter.Schedule(std::move(loose));
+  EXPECT_EQ(deleter.pending(), 2u);
+
+  EXPECT_EQ(deleter.CollectGarbage(), 1u);
+  ASSERT_EQ(deleted.size(), 1u);
+  EXPECT_EQ(deleted[0], 2u);
+  EXPECT_EQ(deleter.pending(), 1u);
+
+  held.reset();  // the last snapshot drops its reference
+  EXPECT_EQ(deleter.CollectGarbage(), 1u);
+  ASSERT_EQ(deleted.size(), 2u);
+  EXPECT_EQ(deleted[1], 1u);
+  EXPECT_EQ(deleter.pending(), 0u);
+}
+
+TEST(DeferredFileDeleterTest, FailedDeleteIsRetried) {
+  int attempts = 0;
+  DeferredFileDeleter deleter([&](const FileMetadata&) {
+    ++attempts;
+    return attempts == 1 ? Status::IOError("transient") : Status::OK();
+  });
+  deleter.Schedule(std::make_shared<const FileMetadata>(File(7, 0, 9)));
+  EXPECT_EQ(deleter.CollectGarbage(), 0u);  // first attempt fails
+  EXPECT_EQ(deleter.pending(), 1u);
+  EXPECT_EQ(deleter.CollectGarbage(), 1u);  // retried and succeeds
+  EXPECT_EQ(deleter.pending(), 0u);
+  EXPECT_EQ(attempts, 2);
 }
 
 }  // namespace
