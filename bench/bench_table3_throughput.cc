@@ -16,11 +16,22 @@
 // held the engine lock across its device I/O and ingest collapsed to the
 // reader's pace.
 
+// The third section measures multi-series parallel ingest: S series driven
+// by several client threads over one MultiSeriesDB, sweeping the shared
+// background pool size (--bg-threads-sweep, default 1,2,4,8). With the
+// shared JobScheduler, per-series flush/compaction jobs from different
+// series run on distinct workers, so throughput should grow with the pool
+// until it covers the series-level parallelism (on a single-core host the
+// sweep is flat — the pool cannot buy parallelism the machine lacks).
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <random>
 #include <thread>
 
 #include "bench_util.h"
+#include "engine/multi_series_db.h"
 #include "env/latency_env.h"
 #include "env/mem_env.h"
 #include "workload/datasets.h"
@@ -120,6 +131,88 @@ ConcurrentResult MeasureIngestUnderQueries(const engine::PolicyConfig& policy,
   return result;
 }
 
+struct ParallelIngestResult {
+  double points_per_ms = 0.0;
+  uint64_t bg_flush_jobs = 0;
+  uint64_t bg_compaction_jobs = 0;
+  uint64_t bg_queue_wait_micros = 0;
+  uint64_t writer_stalls = 0;
+  uint64_t writer_stall_micros = 0;
+};
+
+/// Mostly-increasing per-series keys (shuffled in small windows) so flushes
+/// and real compactions both occur.
+std::vector<int64_t> SeriesKeys(size_t n, uint32_t seed) {
+  std::vector<int64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<int64_t>(i);
+  std::mt19937 rng(seed);
+  constexpr size_t kWindow = 32;
+  for (size_t b = 0; b < n; b += kWindow) {
+    size_t e = std::min(b + kWindow, n);
+    std::shuffle(keys.begin() + b, keys.begin() + e, rng);
+  }
+  return keys;
+}
+
+/// `num_series` series over one MultiSeriesDB (MemEnv), ingested by
+/// `client_threads` client threads (series partitioned round-robin), with a
+/// `bg_threads`-worker shared scheduler doing all flush/compaction.
+ParallelIngestResult MeasureMultiSeriesParallelIngest(size_t bg_threads,
+                                                      size_t num_series,
+                                                      size_t client_threads,
+                                                      size_t points_per_series,
+                                                      size_t budget) {
+  MemEnv env;
+  engine::MultiSeriesDB::MultiOptions o;
+  o.base.env = &env;
+  o.base.dir = "/fleet";
+  o.base.policy = engine::PolicyConfig::Conventional(budget);
+  o.base.sstable_points = 512;
+  o.base.background_mode = true;
+  o.base.background_threads = bg_threads;
+  o.base.record_merge_events = false;
+  auto open = engine::MultiSeriesDB::Open(std::move(o));
+  if (!open.ok()) std::exit(1);
+  auto& db = *open;
+
+  std::vector<std::vector<int64_t>> keys(num_series);
+  for (size_t s = 0; s < num_series; ++s) {
+    keys[s] = SeriesKeys(points_per_series, static_cast<uint32_t>(s + 1));
+  }
+
+  std::atomic<bool> failed{false};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < client_threads; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t s = c; s < num_series; s += client_threads) {
+        std::string name = "series." + std::to_string(s);
+        for (int64_t t : keys[s]) {
+          if (!db->Append(name, {t, t, static_cast<double>(t)}).ok()) {
+            failed = true;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  auto end = std::chrono::steady_clock::now();
+  if (failed.load() || !db->FlushAll().ok()) std::exit(1);
+
+  double ms = std::chrono::duration<double, std::milli>(end - start).count();
+  engine::Metrics m = db->GetAggregateMetrics();
+  ParallelIngestResult r;
+  r.points_per_ms =
+      static_cast<double>(num_series * points_per_series) / ms;
+  r.bg_flush_jobs = m.bg_flush_jobs;
+  r.bg_compaction_jobs = m.bg_compaction_jobs;
+  r.bg_queue_wait_micros = m.bg_queue_wait_micros;
+  r.writer_stalls = m.writer_stalls;
+  r.writer_stall_micros = m.writer_stall_micros;
+  return r;
+}
+
 }  // namespace
 }  // namespace seplsm
 
@@ -184,5 +277,83 @@ int main(int argc, char** argv) {
   std::printf("\n(ratio ~1 means queries run off snapshots and never stall "
               "ingest; lock-held reads would pin it near the reader's "
               "device speed)\n");
+
+  // --- Multi-series parallel ingest vs shared-pool size (--json dumps the
+  // sweep for the checked-in BENCH_scheduler.json baseline).
+  std::string json_path;
+  std::vector<size_t> sweep = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--bg-threads-sweep=", 19) == 0) {
+      sweep.clear();
+      for (const char* p = argv[i] + 19; *p != '\0';) {
+        sweep.push_back(static_cast<size_t>(std::strtoull(p, nullptr, 10)));
+        p = std::strchr(p, ',');
+        if (p == nullptr) break;
+        ++p;
+      }
+    }
+  }
+  const size_t kSeries = 8;
+  const size_t kClients = 4;
+  const size_t per_series = std::max<size_t>(args.points / kSeries, 2'000);
+  std::printf("\n=== Multi-series parallel ingest (%zu series, %zu client "
+              "threads, MemEnv) vs shared background pool size ===\n",
+              kSeries, kClients);
+  std::printf("(host has %u hardware threads; speedup saturates there)\n\n",
+              std::thread::hardware_concurrency());
+  bench::TablePrinter ptable({"bg threads", "pts/ms", "speedup vs 1",
+                              "bg flushes", "bg compactions", "queue wait us",
+                              "writer stalls", "stall us"});
+  std::vector<std::pair<size_t, ParallelIngestResult>> sweep_results;
+  double base_tput = 0.0;
+  for (size_t bg : sweep) {
+    auto r = MeasureMultiSeriesParallelIngest(bg, kSeries, kClients,
+                                              per_series, n);
+    if (base_tput == 0.0) base_tput = r.points_per_ms;
+    sweep_results.emplace_back(bg, r);
+    ptable.AddRow({std::to_string(bg), bench::Fmt(r.points_per_ms, 1),
+                   bench::Fmt(r.points_per_ms / base_tput, 2),
+                   bench::Fmt(r.bg_flush_jobs),
+                   bench::Fmt(r.bg_compaction_jobs),
+                   bench::Fmt(r.bg_queue_wait_micros),
+                   bench::Fmt(r.writer_stalls),
+                   bench::Fmt(r.writer_stall_micros)});
+  }
+  ptable.Print();
+  std::printf("\n(one shared pool replaces one thread per series; on a "
+              "multi-core host throughput should rise monotonically until "
+              "the pool covers the series parallelism)\n");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "{\n  \"bench\": \"multi_series_parallel_ingest\",\n"
+                   "  \"series\": %zu,\n  \"client_threads\": %zu,\n"
+                   "  \"points_per_series\": %zu,\n"
+                   "  \"hardware_threads\": %u,\n  \"sweep\": [\n",
+                   kSeries, kClients, per_series,
+                   std::thread::hardware_concurrency());
+      for (size_t i = 0; i < sweep_results.size(); ++i) {
+        const auto& [bg, r] = sweep_results[i];
+        std::fprintf(
+            f,
+            "    {\"bg_threads\": %zu, \"points_per_ms\": %.1f, "
+            "\"speedup_vs_1\": %.3f, \"bg_flush_jobs\": %llu, "
+            "\"bg_compaction_jobs\": %llu, \"bg_queue_wait_micros\": %llu, "
+            "\"writer_stalls\": %llu, \"writer_stall_micros\": %llu}%s\n",
+            bg, r.points_per_ms, r.points_per_ms / base_tput,
+            static_cast<unsigned long long>(r.bg_flush_jobs),
+            static_cast<unsigned long long>(r.bg_compaction_jobs),
+            static_cast<unsigned long long>(r.bg_queue_wait_micros),
+            static_cast<unsigned long long>(r.writer_stalls),
+            static_cast<unsigned long long>(r.writer_stall_micros),
+            i + 1 < sweep_results.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::printf("(sweep written to %s)\n", json_path.c_str());
+    }
+  }
   return 0;
 }

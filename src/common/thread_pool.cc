@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace seplsm {
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : thread_count_(std::max<size_t>(1, num_threads)) {
+  threads_.reserve(thread_count_);
+  for (size_t i = 0; i < thread_count_; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::Submit(Priority priority, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return Status::Aborted("thread pool is shut down");
+    }
+    std::deque<Task>& queue = priority == Priority::kHigh ? high_ : low_;
+    queue.push_back(
+        Task{std::move(fn), priority, std::chrono::steady_clock::now()});
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] {
+      return shutdown_ || !high_.empty() || !low_.empty();
+    });
+    if (high_.empty() && low_.empty()) {
+      if (shutdown_) return;  // fully drained
+      continue;
+    }
+    std::deque<Task>& queue = high_.empty() ? low_ : high_;
+    Task task = std::move(queue.front());
+    queue.pop_front();
+    queue_wait_micros_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - task.enqueued)
+            .count());
+    ++busy_;
+    lock.unlock();
+    task.fn();
+    lock.lock();
+    --busy_;
+    ++(task.priority == Priority::kHigh ? executed_high_ : executed_low_);
+  }
+}
+
+ThreadPool::Stats ThreadPool::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.threads = thread_count_;
+  s.busy_workers = busy_;
+  s.queued_high = high_.size();
+  s.queued_low = low_.size();
+  s.executed_high = executed_high_;
+  s.executed_low = executed_low_;
+  s.queue_wait_micros = queue_wait_micros_;
+  return s;
+}
+
+}  // namespace seplsm

@@ -1,0 +1,132 @@
+#include "engine/job_scheduler.h"
+
+namespace seplsm::engine {
+
+JobScheduler::JobScheduler(size_t num_threads) : pool_(num_threads) {}
+
+JobScheduler::~JobScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  // Drains every outstanding dispatch; queued jobs of live tokens still run
+  // (engines drain their own tokens first, so in practice the pool is idle
+  // by the time the last engine releases its scheduler reference).
+  pool_.Shutdown();
+}
+
+std::shared_ptr<JobScheduler::Token> JobScheduler::RegisterToken() {
+  return std::make_shared<Token>();
+}
+
+Status JobScheduler::Submit(const std::shared_ptr<Token>& token, JobKind kind,
+                            Job job) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) {
+    return Status::Aborted("job scheduler is shut down");
+  }
+  if (token->canceled_) {
+    return Status::Aborted("job token is drained");
+  }
+  Token::QueuedJob queued{std::move(job), std::chrono::steady_clock::now()};
+  if (kind == JobKind::kFlush) {
+    token->flush_queue_.push_back(std::move(queued));
+    ++queued_flush_;
+  } else {
+    token->compaction_queue_.push_back(std::move(queued));
+    ++queued_compaction_;
+  }
+  DispatchLocked(token);
+  return Status::OK();
+}
+
+void JobScheduler::DispatchLocked(const std::shared_ptr<Token>& token) {
+  // At most one dispatch (queued or running) per token: this is what makes
+  // same-token jobs mutually exclusive. The pool priority reflects the
+  // token's most urgent pending kind; the worker re-picks flush-first at
+  // dispatch time, so the kind used here only orders tokens against each
+  // other in the pool queue.
+  if (token->canceled_ || token->running_ || token->pool_tasks_ > 0) return;
+  if (token->flush_queue_.empty() && token->compaction_queue_.empty()) return;
+  ThreadPool::Priority priority = token->flush_queue_.empty()
+                                      ? ThreadPool::Priority::kLow
+                                      : ThreadPool::Priority::kHigh;
+  ++token->pool_tasks_;
+  Status st = pool_.Submit(priority, [this, token] { RunOne(token); });
+  if (!st.ok()) {
+    // Pool already shut down: the dispatch never runs. Leave the queued
+    // jobs in place; DrainToken discards and counts them.
+    --token->pool_tasks_;
+  }
+}
+
+void JobScheduler::RunOne(const std::shared_ptr<Token>& token) {
+  Job job;
+  uint64_t wait_micros = 0;
+  JobKind kind;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --token->pool_tasks_;
+    if (token->canceled_ ||
+        (token->flush_queue_.empty() && token->compaction_queue_.empty())) {
+      drain_cv_.notify_all();
+      return;
+    }
+    std::deque<Token::QueuedJob>& queue = token->flush_queue_.empty()
+                                              ? token->compaction_queue_
+                                              : token->flush_queue_;
+    kind = token->flush_queue_.empty() ? JobKind::kCompaction
+                                       : JobKind::kFlush;
+    Token::QueuedJob queued = std::move(queue.front());
+    queue.pop_front();
+    --(kind == JobKind::kFlush ? queued_flush_ : queued_compaction_);
+    wait_micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - queued.enqueued)
+            .count());
+    queue_wait_micros_ += wait_micros;
+    token->running_ = true;
+    job = std::move(queued.fn);
+  }
+  job(wait_micros);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    token->running_ = false;
+    ++(kind == JobKind::kFlush ? executed_flush_ : executed_compaction_);
+    DispatchLocked(token);  // more queued work? grab another slot
+    drain_cv_.notify_all();
+  }
+}
+
+void JobScheduler::DrainToken(const std::shared_ptr<Token>& token) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  token->canceled_ = true;
+  canceled_jobs_ += token->flush_queue_.size() + token->compaction_queue_.size();
+  queued_flush_ -= token->flush_queue_.size();
+  queued_compaction_ -= token->compaction_queue_.size();
+  token->flush_queue_.clear();
+  token->compaction_queue_.clear();
+  // The running job finishes on its own (engines request cooperative
+  // cancellation via their own flags before draining); a queued dispatch
+  // runs as a no-op and decrements pool_tasks_.
+  drain_cv_.wait(lock, [&token] {
+    return !token->running_ && token->pool_tasks_ == 0;
+  });
+}
+
+JobScheduler::Stats JobScheduler::GetStats() const {
+  ThreadPool::Stats pool = pool_.GetStats();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.threads = pool.threads;
+  s.busy_workers = pool.busy_workers;
+  s.queued_flush = queued_flush_;
+  s.queued_compaction = queued_compaction_;
+  s.executed_flush = executed_flush_;
+  s.executed_compaction = executed_compaction_;
+  s.canceled_jobs = canceled_jobs_;
+  s.queue_wait_micros = queue_wait_micros_;
+  return s;
+}
+
+}  // namespace seplsm::engine

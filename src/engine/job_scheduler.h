@@ -1,0 +1,128 @@
+#ifndef SEPLSM_ENGINE_JOB_SCHEDULER_H_
+#define SEPLSM_ENGINE_JOB_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace seplsm::engine {
+
+/// Process-wide scheduler for engine background work, layered on a shared
+/// ThreadPool. One scheduler serves every series engine of a MultiSeriesDB,
+/// so a database with S series runs on a bounded worker pool instead of S
+/// dedicated background threads (Sarkar et al. treat compaction parallelism
+/// and scheduling as first-class LSM design axes; this is where the
+/// reproduction expresses them).
+///
+/// Semantics:
+/// - Two job kinds mapped to pool priorities: flushes dispatch before
+///   compactions, FIFO within a kind.
+/// - Per-engine tokens: jobs submitted on the same token never run
+///   concurrently with each other — an engine has at most one background
+///   job executing at any time, which preserves the single-compactor
+///   invariants TsEngine relies on — while jobs on different tokens run in
+///   parallel up to the pool size. When a token holds both kinds, a worker
+///   slot always takes its flush before its compaction.
+/// - Cancellation/drain: DrainToken drops the token's queued jobs, waits
+///   for its running job (if any) to finish, and only then returns — after
+///   which no code submitted on that token will ever run again. Engines
+///   call this from their destructor before tearing down state.
+///
+/// Shutdown: the destructor drains the underlying pool. Submit after
+/// shutdown returns Aborted rather than crashing.
+class JobScheduler {
+ public:
+  enum class JobKind { kFlush = 0, kCompaction = 1 };
+
+  /// A background job. Receives the time it spent queued (submit to
+  /// dispatch), so the submitting engine can account scheduler latency in
+  /// its own metrics.
+  using Job = std::function<void(uint64_t queue_wait_micros)>;
+
+  /// Per-engine registration handle. All state is guarded by the
+  /// scheduler's mutex; engines treat it as opaque.
+  class Token {
+   public:
+    Token() = default;
+    Token(const Token&) = delete;
+    Token& operator=(const Token&) = delete;
+
+   private:
+    friend class JobScheduler;
+    struct QueuedJob {
+      Job fn;
+      std::chrono::steady_clock::time_point enqueued;
+    };
+    std::deque<QueuedJob> flush_queue_;
+    std::deque<QueuedJob> compaction_queue_;
+    bool running_ = false;     ///< a worker is executing this token's job
+    size_t pool_tasks_ = 0;    ///< dispatches submitted, not yet started
+    bool canceled_ = false;    ///< DrainToken called; queued jobs dropped
+  };
+
+  struct Stats {
+    size_t threads = 0;
+    size_t busy_workers = 0;
+    size_t queued_flush = 0;       ///< jobs waiting across all tokens
+    size_t queued_compaction = 0;
+    uint64_t executed_flush = 0;
+    uint64_t executed_compaction = 0;
+    uint64_t canceled_jobs = 0;    ///< queued jobs dropped by DrainToken
+    /// Cumulative submit-to-dispatch latency over executed jobs.
+    uint64_t queue_wait_micros = 0;
+  };
+
+  explicit JobScheduler(size_t num_threads);
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Registers an engine. The returned token is shared between the engine
+  /// and any in-flight dispatches, so it stays valid through DrainToken.
+  std::shared_ptr<Token> RegisterToken();
+
+  /// Enqueues `job` on `token`. Jobs on one token execute one at a time in
+  /// (kind-priority, FIFO) order; flushes of any token dispatch before
+  /// compactions of any token. Returns Aborted after shutdown.
+  Status Submit(const std::shared_ptr<Token>& token, JobKind kind, Job job);
+
+  /// Drops the token's queued jobs and blocks until its running job (if
+  /// any) has completed. On return the scheduler holds no reference to the
+  /// submitting engine's code or data.
+  void DrainToken(const std::shared_ptr<Token>& token);
+
+  size_t thread_count() const { return pool_.thread_count(); }
+  Stats GetStats() const;
+
+ private:
+  void RunOne(const std::shared_ptr<Token>& token);
+  /// Submits a pool dispatch for `token` if it has runnable work and no
+  /// dispatch outstanding. Caller holds mutex_.
+  void DispatchLocked(const std::shared_ptr<Token>& token);
+
+  mutable std::mutex mutex_;
+  std::condition_variable drain_cv_;
+  bool shutdown_ = false;
+  size_t queued_flush_ = 0;
+  size_t queued_compaction_ = 0;
+  uint64_t executed_flush_ = 0;
+  uint64_t executed_compaction_ = 0;
+  uint64_t canceled_jobs_ = 0;
+  uint64_t queue_wait_micros_ = 0;
+  /// Declared last: destroyed first, so worker threads are joined before
+  /// the state above goes away.
+  ThreadPool pool_;
+};
+
+}  // namespace seplsm::engine
+
+#endif  // SEPLSM_ENGINE_JOB_SCHEDULER_H_

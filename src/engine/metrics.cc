@@ -23,6 +23,11 @@ void Metrics::MergeFrom(const Metrics& other) {
   query_device_bytes_read += other.query_device_bytes_read;
   block_cache_hits += other.block_cache_hits;
   block_cache_misses += other.block_cache_misses;
+  bg_flush_jobs += other.bg_flush_jobs;
+  bg_compaction_jobs += other.bg_compaction_jobs;
+  bg_queue_wait_micros += other.bg_queue_wait_micros;
+  writer_stalls += other.writer_stalls;
+  writer_stall_micros += other.writer_stall_micros;
   snapshots_acquired += other.snapshots_acquired;
   files_deferred_deleted += other.files_deferred_deleted;
   merge_events.insert(merge_events.end(), other.merge_events.begin(),
@@ -47,6 +52,13 @@ std::string Metrics::ToString() const {
   }
   if (files_deferred_deleted > 0) {
     out << " | deferred_deletes=" << files_deferred_deleted;
+  }
+  if (bg_flush_jobs + bg_compaction_jobs > 0) {
+    out << " | bg_flushes=" << bg_flush_jobs
+        << " bg_compactions=" << bg_compaction_jobs
+        << " bg_queue_wait_us=" << bg_queue_wait_micros
+        << " writer_stalls=" << writer_stalls
+        << " writer_stall_us=" << writer_stall_micros;
   }
   if (block_cache_hits + block_cache_misses > 0) {
     out << " | cache_hits=" << block_cache_hits

@@ -76,6 +76,18 @@ struct Metrics {
   uint64_t block_cache_hits = 0;
   uint64_t block_cache_misses = 0;
 
+  // Background scheduler (engine/job_scheduler.h). Jobs are counted when
+  // they execute, on the engine whose token submitted them.
+  uint64_t bg_flush_jobs = 0;       ///< flush jobs executed
+  uint64_t bg_compaction_jobs = 0;  ///< compaction jobs executed
+  /// Cumulative submit-to-dispatch latency of this engine's background
+  /// jobs — how long work sat in the shared queue behind other engines.
+  uint64_t bg_queue_wait_micros = 0;
+  uint64_t writer_stalls = 0;  ///< Appends that blocked on backpressure
+  /// Cumulative time Appends spent blocked because level 0 plus the
+  /// pending-flush queue were full — ingest time lost to background lag.
+  uint64_t writer_stall_micros = 0;
+
   // Snapshot-isolated read path.
   uint64_t snapshots_acquired = 0;  ///< version snapshots handed to readers
   /// Table files whose deletion was routed through the deferred-delete list

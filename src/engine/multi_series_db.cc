@@ -1,6 +1,7 @@
 #include "engine/multi_series_db.h"
 
 #include <cctype>
+#include <thread>
 
 namespace seplsm::engine {
 
@@ -74,6 +75,15 @@ Result<std::unique_ptr<MultiSeriesDB>> MultiSeriesDB::Open(
     options.base.block_cache = std::make_shared<storage::BlockCache>(
         options.base.block_cache_bytes, options.base.block_cache_shards);
   }
+  if (options.base.background_mode && options.base.job_scheduler == nullptr) {
+    // One pool — one thread budget — for every series engine. Per-engine
+    // tokens keep each series' flush/compaction serialized while distinct
+    // series run in parallel across the workers.
+    size_t threads = options.base.background_threads != 0
+                         ? options.base.background_threads
+                         : std::thread::hardware_concurrency();
+    options.base.job_scheduler = std::make_shared<JobScheduler>(threads);
+  }
   std::unique_ptr<MultiSeriesDB> db(new MultiSeriesDB(std::move(options)));
 
   // Recover existing series: every "s_*" child directory.
@@ -92,6 +102,29 @@ Result<std::unique_ptr<MultiSeriesDB>> MultiSeriesDB::Open(
     }
   }
   return db;
+}
+
+MultiSeriesDB::~MultiSeriesDB() {
+  // Engines first: each destructor drains its scheduler token. The shared
+  // scheduler (held by options_.base.job_scheduler) dies last, with every
+  // queue already empty.
+  series_.clear();
+}
+
+Status MultiSeriesDB::CloseSeries(const std::string& series) {
+  Series entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = series_.find(series);
+    if (it == series_.end()) return Status::NotFound("series " + series);
+    entry = std::move(it->second);
+    series_.erase(it);
+  }
+  // `entry` dies here, outside the map lock: the engine destructor drains
+  // this series' background jobs, which may take a while, and other series
+  // must keep appending meanwhile. (Members destruct controller-before-
+  // engine, so the controller never sees a dead engine.)
+  return Status::OK();
 }
 
 Status MultiSeriesDB::OpenSeriesLocked(const std::string& series,

@@ -31,8 +31,16 @@ class MultiSeriesDB {
     analyzer::AdaptiveController::Options adaptive_options;
   };
 
-  /// Opens the root directory and recovers every existing series.
+  /// Opens the root directory and recovers every existing series. In
+  /// background mode a shared `JobScheduler` (worker count =
+  /// `base.background_threads`, 0 = hardware concurrency) is created
+  /// unless the caller supplied one, so S series share one bounded pool
+  /// instead of running S background threads.
   static Result<std::unique_ptr<MultiSeriesDB>> Open(MultiOptions options);
+
+  /// Engines hold tokens into the shared scheduler, so they must be
+  /// destroyed (draining their jobs) before it.
+  ~MultiSeriesDB();
 
   /// Writes one point; creates the series on first use. Series ids may use
   /// any characters (escaped on disk).
@@ -44,6 +52,13 @@ class MultiSeriesDB {
 
   /// Drains every series.
   Status FlushAll();
+
+  /// Closes one series: cancels/drains its background jobs, flushes its
+  /// buffered data, and destroys its engine. Other series keep running —
+  /// their jobs on the shared scheduler are untouched. The caller must not
+  /// have concurrent operations in flight on the closed series. The series
+  /// reopens (recovering from disk) on the next Append to its id.
+  Status CloseSeries(const std::string& series);
 
   std::vector<std::string> ListSeries();
   size_t series_count();
@@ -62,6 +77,12 @@ class MultiSeriesDB {
   /// The block cache shared by every series engine; null when disabled.
   storage::BlockCache* block_cache() const {
     return options_.base.block_cache.get();
+  }
+
+  /// The background scheduler shared by every series engine; null when
+  /// background mode is off.
+  JobScheduler* job_scheduler() const {
+    return options_.base.job_scheduler.get();
   }
 
  private:

@@ -15,6 +15,8 @@ class BlockCache;
 
 namespace seplsm::engine {
 
+class JobScheduler;
+
 /// Which MemTable policy the engine runs (paper §I).
 enum class PolicyKind {
   kConventional,  ///< π_c: a single MemTable C0 of capacity n
@@ -85,8 +87,20 @@ struct Options {
   /// When false (default), flush/merge run synchronously inside Append,
   /// which makes WA experiments deterministic.
   bool background_mode = false;
-  /// Backpressure: Append blocks while level-0 holds this many files.
+  /// Backpressure: Append blocks while level-0 files plus not-yet-flushed
+  /// MemTable batches total this many.
   size_t max_level0_files = 64;
+
+  /// Shared background scheduler for flush/compaction jobs (engine/
+  /// job_scheduler.h). MultiSeriesDB sets one scheduler for every series
+  /// engine, so S series share a bounded worker pool instead of running S
+  /// background threads. When null and `background_mode` is set, the engine
+  /// creates a private single-worker scheduler — the same concurrency the
+  /// old per-engine background thread provided.
+  std::shared_ptr<JobScheduler> job_scheduler;
+  /// Worker count for the scheduler MultiSeriesDB (or the CLI --bg-threads
+  /// flag) creates. 0 means std::thread::hardware_concurrency().
+  size_t background_threads = 0;
 
   /// Write-ahead logging for MemTable durability (engine extension; see
   /// storage/wal.h). Buffered points are replayed on Open after a crash.

@@ -60,6 +60,16 @@ bool ParseTableFileNumber(const std::string& name, uint64_t* number) {
   return true;
 }
 
+std::vector<DataPoint> BatchPoints(const storage::MemTable::PointMap& batch) {
+  std::vector<DataPoint> points;
+  points.reserve(batch.size());
+  for (const auto& [t, p] : batch) {
+    (void)t;
+    points.push_back(p);
+  }
+  return points;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<TsEngine>> TsEngine::Open(Options options) {
@@ -83,9 +93,9 @@ Result<std::unique_ptr<TsEngine>> TsEngine::Open(Options options) {
   SEPLSM_RETURN_IF_ERROR(engine->Recover());
   engine->CollectDeferredDeletes();  // files retired by recovery compaction
   if (engine->options_.background_mode) {
-    engine->background_thread_ = std::thread([e = engine.get()] {
-      e->BackgroundWork();
-    });
+    // Recovery may have left level-0 files; start folding them now.
+    std::lock_guard<std::mutex> lock(engine->mutex_);
+    engine->MaybeScheduleCompactionLocked();
   }
   return engine;
 }
@@ -114,6 +124,14 @@ TsEngine::TsEngine(Options options)
     cseq_ = std::make_unique<storage::MemTable>(p.nseq_capacity);
     cnonseq_ = std::make_unique<storage::MemTable>(p.nonseq_capacity());
   }
+  if (options_.background_mode) {
+    if (options_.job_scheduler == nullptr) {
+      // Standalone engine: private single-worker scheduler, the same
+      // concurrency the old dedicated background thread provided.
+      options_.job_scheduler = std::make_shared<JobScheduler>(1);
+    }
+    job_token_ = options_.job_scheduler->RegisterToken();
+  }
 }
 
 TsEngine::~TsEngine() {
@@ -121,9 +139,27 @@ TsEngine::~TsEngine() {
     std::lock_guard<std::mutex> lock(mutex_);
     shutting_down_ = true;
   }
+  // Cooperative cancellation: a compaction mid-I/O aborts at its next
+  // check instead of merging to completion.
+  cancel_bg_.store(true, std::memory_order_relaxed);
   background_cv_.notify_all();
   writer_cv_.notify_all();
-  if (background_thread_.joinable()) background_thread_.join();
+  if (job_token_ != nullptr) {
+    // Drop this engine's queued jobs and wait out the running one; after
+    // this no scheduler worker can touch engine state.
+    options_.job_scheduler->DrainToken(job_token_);
+  }
+  // Batches accepted by Append but not yet flushed would be lost with the
+  // engine; write them to level 0 so a clean close + reopen reads them
+  // back (best effort — failures leave the WAL, when enabled, to replay).
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!pending_flushes_.empty()) {
+      std::vector<DataPoint> points = BatchPoints(*pending_flushes_.front());
+      if (!FlushToLevel0Locked(std::move(points)).ok()) break;
+      pending_flushes_.erase(pending_flushes_.begin());
+    }
+  }
   // No reader can outlive the engine, so every retired file is
   // collectible now (best effort — failures leave orphans for recovery).
   metrics_.files_deleted += deleter_.CollectGarbage();
@@ -185,7 +221,7 @@ Status TsEngine::Recover() {
     if (!replayed.ok()) return replayed.status();
     SEPLSM_RETURN_IF_ERROR(RotateWalLocked());
     for (const auto& p : *replayed) {
-      SEPLSM_RETURN_IF_ERROR(AppendLocked(p));
+      SEPLSM_RETURN_IF_ERROR(AppendLocked(p, lock));
     }
   }
   return Status::OK();
@@ -201,12 +237,12 @@ Status TsEngine::RotateWalLocked() {
   return Status::OK();
 }
 
-Status TsEngine::MaybeCheckpointWalLocked() {
+Status TsEngine::MaybeCheckpointWalLocked(std::unique_lock<std::mutex>& lock) {
   if (wal_ == nullptr ||
       wal_->bytes_written() < options_.wal_checkpoint_bytes) {
     return Status::OK();
   }
-  SEPLSM_RETURN_IF_ERROR(DrainMemTablesLocked());
+  SEPLSM_RETURN_IF_ERROR(DrainMemTablesLocked(lock));
   SEPLSM_RETURN_IF_ERROR(RotateWalLocked());
   ++metrics_.wal_checkpoints;
   return Status::OK();
@@ -226,24 +262,33 @@ Status TsEngine::Append(const DataPoint& point) {
     std::unique_lock<std::mutex> lock(mutex_);
     if (background_error_set_) return background_error_;
     if (options_.background_mode) {
-      // The predicate must include the background error: if the compactor
-      // exits on failure while level 0 is full, no compaction will ever
-      // shrink it, and a writer waiting only on the file count would block
-      // forever.
-      writer_cv_.wait(lock, [this] {
-        return version_.level0().size() < options_.max_level0_files ||
+      // Backpressure counts level-0 files plus frozen batches a flush job
+      // has not yet written, so async flushing cannot grow memory
+      // unboundedly. The predicate must include the background error: if a
+      // job dies while the count is at the cap, nothing will ever shrink
+      // it, and a writer waiting only on the count would block forever.
+      auto have_room = [this] {
+        return version_.level0().size() + pending_flushes_.size() <
+                   options_.max_level0_files ||
                shutting_down_ || background_error_set_;
-      });
+      };
+      if (!have_room()) {
+        ++metrics_.writer_stalls;
+        uint64_t start = options_.clock->NowMicros();
+        writer_cv_.wait(lock, have_room);
+        metrics_.writer_stall_micros += options_.clock->NowMicros() - start;
+      }
       if (background_error_set_) return background_error_;
       if (shutting_down_) return Status::Aborted("engine shutting down");
     }
-    st = AppendLocked(point);
+    st = AppendLocked(point, lock);
   }
   CollectDeferredDeletes();
   return st;
 }
 
-Status TsEngine::AppendLocked(const DataPoint& point) {
+Status TsEngine::AppendLocked(const DataPoint& point,
+                              std::unique_lock<std::mutex>& lock) {
   if (wal_ != nullptr && !wal_replaying_) {
     SEPLSM_RETURN_IF_ERROR(wal_->Append(point));
     if (options_.wal_sync_every_append) {
@@ -269,27 +314,36 @@ Status TsEngine::AppendLocked(const DataPoint& point) {
       if (cnonseq_->full()) st = HandleFullNonseq();
     }
   }
-  if (st.ok()) st = MaybeCheckpointWalLocked();
+  if (st.ok()) st = MaybeCheckpointWalLocked(lock);
   if (st.ok()) MaybeRecordTimelineLocked();
   return st;
 }
 
 Status TsEngine::HandleFullConventional() {
-  std::vector<DataPoint> points = c0_->Drain();
-  if (options_.background_mode) return FlushToLevel0Locked(std::move(points));
-  return MergeLocked(std::move(points));
+  if (options_.background_mode) return EnqueueFlushLocked(c0_.get());
+  return MergeLocked(c0_->Drain());
 }
 
 Status TsEngine::HandleFullSeq() {
-  std::vector<DataPoint> points = cseq_->Drain();
-  if (options_.background_mode) return FlushToLevel0Locked(std::move(points));
-  return FlushAboveRunLocked(std::move(points));
+  if (options_.background_mode) return EnqueueFlushLocked(cseq_.get());
+  return FlushAboveRunLocked(cseq_->Drain());
 }
 
 Status TsEngine::HandleFullNonseq() {
-  std::vector<DataPoint> points = cnonseq_->Drain();
-  if (options_.background_mode) return FlushToLevel0Locked(std::move(points));
-  return MergeLocked(std::move(points));
+  if (options_.background_mode) return EnqueueFlushLocked(cnonseq_.get());
+  return MergeLocked(cnonseq_->Drain());
+}
+
+Status TsEngine::EnqueueFlushLocked(storage::MemTable* mem) {
+  // Freeze the full MemTable into an immutable batch and hand it to a
+  // background flush job. The batch stays in `pending_flushes_` — and in
+  // every read snapshot — until its level-0 file is installed, so no
+  // accepted point ever becomes invisible. Clear() gives the MemTable a
+  // fresh map, leaving the frozen view untouched.
+  pending_flushes_.push_back(mem->SnapshotView());
+  mem->Clear();
+  MaybeScheduleFlushLocked();
+  return Status::OK();
 }
 
 Status TsEngine::FlushAboveRunLocked(std::vector<DataPoint> points) {
@@ -370,9 +424,8 @@ Status TsEngine::MergeLocked(std::vector<DataPoint> points) {
   return Status::OK();
 }
 
-Status TsEngine::FlushToLevel0Locked(std::vector<DataPoint> points) {
-  if (points.empty()) return Status::OK();
-  uint64_t file_no = next_file_number_++;
+Result<storage::FileMetadata> TsEngine::WriteTableFile(
+    const std::vector<DataPoint>& points, uint64_t file_no) {
   std::string path = storage::TableFilePath(options_.dir, file_no);
   storage::SSTableWriter writer(options_.env, path,
                                 options_.points_per_block,
@@ -383,13 +436,133 @@ Status TsEngine::FlushToLevel0Locked(std::vector<DataPoint> points) {
   auto meta = writer.Finish();
   if (!meta.ok()) return meta.status();
   meta.value().file_number = file_no;
+  return std::move(meta).value();
+}
+
+Status TsEngine::FlushToLevel0Locked(std::vector<DataPoint> points) {
+  if (points.empty()) return Status::OK();
+  uint64_t file_no = next_file_number_++;
+  auto meta = WriteTableFile(points, file_no);
+  if (!meta.ok()) return meta.status();
   metrics_.bytes_written += meta.value().file_bytes;
   ++metrics_.files_created;
   metrics_.points_flushed += points.size();
   ++metrics_.flush_count;
   version_.AddLevel0(std::move(meta).value());
+  MaybeScheduleCompactionLocked();
   background_cv_.notify_all();
   return Status::OK();
+}
+
+void TsEngine::MaybeScheduleFlushLocked() {
+  if (!options_.background_mode || flush_job_scheduled_ || shutting_down_ ||
+      background_error_set_ || pending_flushes_.empty()) {
+    return;
+  }
+  flush_job_scheduled_ = true;
+  Status st = options_.job_scheduler->Submit(
+      job_token_, JobScheduler::JobKind::kFlush,
+      [this](uint64_t wait) { FlushJob(wait); });
+  if (!st.ok()) {
+    // Submit only fails at scheduler shutdown; the engine destructor's
+    // synchronous drain still persists the batch.
+    flush_job_scheduled_ = false;
+  }
+}
+
+void TsEngine::MaybeScheduleCompactionLocked() {
+  if (!options_.background_mode || compaction_scheduled_ || shutting_down_ ||
+      background_error_set_ || version_.level0().empty()) {
+    return;
+  }
+  compaction_scheduled_ = true;
+  Status st = options_.job_scheduler->Submit(
+      job_token_, JobScheduler::JobKind::kCompaction,
+      [this](uint64_t wait) { CompactionJob(wait); });
+  if (!st.ok()) compaction_scheduled_ = false;
+}
+
+void TsEngine::FlushJob(uint64_t queue_wait_micros) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++metrics_.bg_flush_jobs;
+  metrics_.bg_queue_wait_micros += queue_wait_micros;
+  if (pending_flushes_.empty() || shutting_down_ || background_error_set_) {
+    flush_job_scheduled_ = false;
+    background_cv_.notify_all();
+    writer_cv_.notify_all();
+    return;
+  }
+  // One batch per job: the token re-enters the scheduler queue between
+  // batches, so engines sharing the pool interleave fairly.
+  storage::MemTable::View batch = pending_flushes_.front();
+  uint64_t file_no = next_file_number_++;
+  flush_inflight_ = true;
+  lock.unlock();
+
+  std::vector<DataPoint> points = BatchPoints(*batch);
+  auto meta = WriteTableFile(points, file_no);
+
+  lock.lock();
+  flush_inflight_ = false;
+  if (!meta.ok()) {
+    // The batch stays pending (and visible to readers); the engine is
+    // poisoned like any other background failure.
+    SEPLSM_LOG(Error) << "background flush failed: "
+                      << meta.status().ToString();
+    background_error_set_ = true;
+    background_error_ = meta.status();
+    flush_job_scheduled_ = false;
+    background_cv_.notify_all();
+    writer_cv_.notify_all();
+    return;
+  }
+  metrics_.bytes_written += meta.value().file_bytes;
+  ++metrics_.files_created;
+  metrics_.points_flushed += points.size();
+  ++metrics_.flush_count;
+  version_.AddLevel0(std::move(meta).value());
+  pending_flushes_.erase(pending_flushes_.begin());
+  MaybeScheduleCompactionLocked();
+  if (!pending_flushes_.empty() && !shutting_down_) {
+    Status st = options_.job_scheduler->Submit(
+        job_token_, JobScheduler::JobKind::kFlush,
+        [this](uint64_t wait) { FlushJob(wait); });
+    if (!st.ok()) flush_job_scheduled_ = false;
+  } else {
+    flush_job_scheduled_ = false;
+  }
+  background_cv_.notify_all();
+  writer_cv_.notify_all();
+}
+
+void TsEngine::CompactionJob(uint64_t queue_wait_micros) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++metrics_.bg_compaction_jobs;
+    metrics_.bg_queue_wait_micros += queue_wait_micros;
+    if (shutting_down_ || background_error_set_ ||
+        version_.level0().empty()) {
+      compaction_scheduled_ = false;
+      background_cv_.notify_all();
+      writer_cv_.notify_all();
+      return;
+    }
+    // One level-0 file per job (fairness, as above). CompactOneLevel0
+    // releases the lock during table I/O, so ingest keeps flowing.
+    Status st = CompactOneLevel0(lock);
+    compaction_scheduled_ = false;
+    if (!st.ok() && !st.IsNotFound() &&
+        !(st.IsAborted() && shutting_down_)) {
+      SEPLSM_LOG(Error) << "background compaction failed: " << st.ToString();
+      background_error_set_ = true;
+      background_error_ = st;
+    } else {
+      MaybeScheduleCompactionLocked();
+    }
+    background_cv_.notify_all();
+    writer_cv_.notify_all();
+  }
+  CollectDeferredDeletes();
 }
 
 Status TsEngine::CompactOneLevel0(std::unique_lock<std::mutex>& lock) {
@@ -432,12 +605,21 @@ Status TsEngine::CompactOneLevel0(std::unique_lock<std::mutex>& lock) {
   lock.unlock();
   std::vector<DataPoint> points;
   std::vector<DataPoint> disk_points;
-  Status st = ReadTableAll(*l0, &points);
+  // Cooperative cancellation between table reads: at shutdown the merge
+  // aborts instead of finishing a potentially large rewrite. Aborting is
+  // safe — nothing was installed, the inputs are all still live.
+  auto canceled = [this] {
+    return cancel_bg_.load(std::memory_order_relaxed);
+  };
+  Status st = canceled() ? Status::Aborted("engine shutting down")
+                         : ReadTableAll(*l0, &points);
   for (const auto& f : old_files) {
     if (!st.ok()) break;
-    st = ReadTableAll(*f, &disk_points);
+    st = canceled() ? Status::Aborted("engine shutting down")
+                    : ReadTableAll(*f, &disk_points);
   }
   std::vector<storage::FileMetadata> new_files;
+  if (st.ok() && canceled()) st = Status::Aborted("engine shutting down");
   if (st.ok()) {
     std::vector<DataPoint> merged = MergeSorted(points, disk_points);
     st = storage::WriteSortedPointsAsTables(
@@ -466,33 +648,6 @@ Status TsEngine::CompactOneLevel0(std::unique_lock<std::mutex>& lock) {
   metrics_.points_rewritten += rewritten;
   ++metrics_.merge_count;
   return Status::OK();
-}
-
-void TsEngine::BackgroundWork() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  for (;;) {
-    background_cv_.wait(lock, [this] {
-      return shutting_down_ || !version_.level0().empty();
-    });
-    if (shutting_down_ && version_.level0().empty()) return;
-    if (!version_.level0().empty()) {
-      Status st = CompactOneLevel0(lock);
-      if (!st.ok() && !st.IsNotFound()) {
-        SEPLSM_LOG(Error) << "background compaction failed: "
-                          << st.ToString();
-        background_error_set_ = true;
-        background_error_ = st;
-        background_cv_.notify_all();
-        writer_cv_.notify_all();
-        return;
-      }
-      writer_cv_.notify_all();
-      background_cv_.notify_all();  // wake WaitForBackgroundIdle
-      lock.unlock();
-      CollectDeferredDeletes();
-      lock.lock();
-    }
-  }
 }
 
 void TsEngine::ScheduleTableDeleteLocked(storage::FilePtr file) {
@@ -538,7 +693,22 @@ Status TsEngine::ReadTableAll(const storage::FileMetadata& file,
                         file.max_generation_time, out, nullptr);
 }
 
-Status TsEngine::DrainMemTablesLocked() {
+Status TsEngine::DrainMemTablesLocked(std::unique_lock<std::mutex>& lock) {
+  if (options_.background_mode) {
+    // Wait out an in-flight flush job (it holds a view of the front batch
+    // with a file number reserved), then persist the remaining frozen
+    // batches synchronously, oldest first, so "drained" really means
+    // everything accepted is on disk.
+    background_cv_.wait(lock, [this] {
+      return !flush_inflight_ || background_error_set_;
+    });
+    if (background_error_set_) return background_error_;
+    while (!pending_flushes_.empty()) {
+      std::vector<DataPoint> points = BatchPoints(*pending_flushes_.front());
+      SEPLSM_RETURN_IF_ERROR(FlushToLevel0Locked(std::move(points)));
+      pending_flushes_.erase(pending_flushes_.begin());
+    }
+  }
   if (options_.policy.kind == PolicyKind::kConventional) {
     if (!c0_->empty()) {
       std::vector<DataPoint> points = c0_->Drain();
@@ -575,7 +745,7 @@ Status TsEngine::DrainMemTablesLocked() {
 Status TsEngine::FlushAll() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    SEPLSM_RETURN_IF_ERROR(DrainMemTablesLocked());
+    SEPLSM_RETURN_IF_ERROR(DrainMemTablesLocked(lock));
     if (wal_ != nullptr) SEPLSM_RETURN_IF_ERROR(wal_->Sync());
   }
   CollectDeferredDeletes();
@@ -596,9 +766,14 @@ Status TsEngine::WaitForBackgroundIdle() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (!options_.background_mode) return Status::OK();
-    background_cv_.notify_all();
+    // Defensive: make sure jobs are queued for any outstanding work (e.g.
+    // a submit that failed at scheduler shutdown).
+    MaybeScheduleFlushLocked();
+    MaybeScheduleCompactionLocked();
     background_cv_.wait(lock, [this] {
-      return background_error_set_ || version_.level0().empty();
+      return background_error_set_ ||
+             (pending_flushes_.empty() && !flush_inflight_ &&
+              version_.level0().empty());
     });
     if (background_error_set_) return background_error_;
   }
@@ -609,6 +784,11 @@ Status TsEngine::WaitForBackgroundIdle() {
 TsEngine::ReadSnapshot TsEngine::AcquireSnapshotLocked() {
   ReadSnapshot snap;
   snap.files = version_.Snapshot();
+  // Frozen batches a flush job has not installed yet: oldest first, below
+  // the live MemTables, mirroring the order the data was accepted in.
+  for (const auto& batch : pending_flushes_) {
+    snap.mems.push_back(batch);
+  }
   if (options_.policy.kind == PolicyKind::kConventional) {
     snap.mems.push_back(c0_->SnapshotView());
   } else {
@@ -739,7 +919,7 @@ Status TsEngine::SwitchPolicy(const PolicyConfig& config) {
   }
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    SEPLSM_RETURN_IF_ERROR(DrainMemTablesLocked());
+    SEPLSM_RETURN_IF_ERROR(DrainMemTablesLocked(lock));
     options_.policy = config;
     if (config.kind == PolicyKind::kConventional) {
       c0_ = std::make_unique<storage::MemTable>(config.memtable_capacity);

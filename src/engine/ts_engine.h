@@ -1,16 +1,17 @@
 #ifndef SEPLSM_ENGINE_TS_ENGINE_H_
 #define SEPLSM_ENGINE_TS_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "common/point.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "engine/aggregation.h"
+#include "engine/job_scheduler.h"
 #include "engine/metrics.h"
 #include "engine/options.h"
 #include "storage/block_cache.h"
@@ -33,10 +34,14 @@ namespace seplsm::engine {
 ///   merge when full.
 ///
 /// Level 1 is always a single sorted run of non-overlapping SSTables. With
-/// `Options::background_mode` full MemTables are instead flushed to
-/// overlapping level-0 files and a background thread folds them into the
-/// run (the IoTDB variant of paper §V-C), so ingest never blocks on
-/// compaction.
+/// `Options::background_mode` a full MemTable is frozen into a pending
+/// flush batch and background jobs — submitted to a `JobScheduler`, shared
+/// across engines or a private single-worker fallback — write it to an
+/// overlapping level-0 file and fold level 0 into the run (the IoTDB
+/// variant of paper §V-C), so ingest blocks on neither flush I/O nor
+/// compaction. Per-engine scheduler tokens serialize this engine's jobs
+/// (one background job at a time, flush before compaction) while engines
+/// sharing a scheduler run in parallel (DESIGN.md §8).
 ///
 /// Thread safety: all public methods are safe to call concurrently; the
 /// write path is serialized internally. Reads are snapshot-isolated:
@@ -123,19 +128,21 @@ class TsEngine {
   /// Everything a reader needs, captured under `mutex_`, read lock-free.
   struct ReadSnapshot {
     storage::VersionSnapshot files;
-    /// Frozen MemTable contents in precedence order (later views override
+    /// Frozen MemTable contents in precedence order — pending flush
+    /// batches oldest first, then the live MemTables (later views override
     /// earlier ones on equal keys, and all override disk).
     std::vector<storage::MemTable::View> mems;
   };
 
   Status Recover();
 
-  // --- Write path (mutex_ held) ---
-  Status AppendLocked(const DataPoint& point);
+  // --- Write path (mutex_ held; `lock` owns mutex_ where passed) ---
+  Status AppendLocked(const DataPoint& point,
+                      std::unique_lock<std::mutex>& lock);
   Status HandleFullConventional();
   Status HandleFullSeq();
   Status HandleFullNonseq();
-  Status DrainMemTablesLocked();
+  Status DrainMemTablesLocked(std::unique_lock<std::mutex>& lock);
 
   /// Writes `points` (sorted) as run files strictly above the current run.
   /// Falls back to MergeLocked if an overlap exists.
@@ -144,8 +151,30 @@ class TsEngine {
   /// Merges `points` (sorted) with the overlapping slice of the run.
   Status MergeLocked(std::vector<DataPoint> points);
 
-  /// Background-mode flush of `points` to one level-0 file.
+  /// Background-mode synchronous flush of `points` to one level-0 file.
   Status FlushToLevel0Locked(std::vector<DataPoint> points);
+
+  /// Writes `points` (sorted) as one SSTable under reserved `file_no`.
+  /// Pure env I/O — called with or without `mutex_` held.
+  Result<storage::FileMetadata> WriteTableFile(
+      const std::vector<DataPoint>& points, uint64_t file_no);
+
+  /// Freezes `mem` into a pending flush batch and schedules a flush job.
+  /// Readers see the batch through snapshots until the job installs the
+  /// level-0 file.
+  Status EnqueueFlushLocked(storage::MemTable* mem);
+
+  /// Submit a flush/compaction job to the scheduler unless one is already
+  /// outstanding for this engine (jobs re-submit themselves while work
+  /// remains, one batch/file per job so engines sharing the pool
+  /// interleave fairly).
+  void MaybeScheduleFlushLocked();
+  void MaybeScheduleCompactionLocked();
+
+  /// Job bodies, run on scheduler workers (never concurrently with each
+  /// other: the token serializes them).
+  void FlushJob(uint64_t queue_wait_micros);
+  void CompactionJob(uint64_t queue_wait_micros);
 
   /// Folds the oldest level-0 file into the run. Returns NotFound when
   /// level 0 is empty. `lock` (held on entry and exit) is released during
@@ -156,11 +185,10 @@ class TsEngine {
   Status CompactOneLevel0(std::unique_lock<std::mutex>& lock);
 
   void MaybeRecordTimelineLocked();
-  void BackgroundWork();
   size_t Level0FileCountLockedForRecovery();
   std::string WalPath() const;
   Status RotateWalLocked();
-  Status MaybeCheckpointWalLocked();
+  Status MaybeCheckpointWalLocked(std::unique_lock<std::mutex>& lock);
 
   /// Reads [lo, hi] from one table via the table cache when enabled.
   Status ReadTableRange(const storage::FileMetadata& file, int64_t lo,
@@ -208,10 +236,22 @@ class TsEngine {
   uint64_t block_cache_owner_id_ = 0;
   storage::DeferredFileDeleter deleter_;
 
+  /// MemTable batches frozen by a full-MemTable Append, oldest first,
+  /// waiting for a flush job to write them to level 0. A batch stays here
+  /// (and thus in every read snapshot) until its file is installed, so
+  /// readers never lose sight of accepted data.
+  std::vector<storage::MemTable::View> pending_flushes_;
+  bool flush_inflight_ = false;        ///< flush job writing, mutex_ dropped
+  bool flush_job_scheduled_ = false;   ///< a flush job is queued or running
+  bool compaction_scheduled_ = false;  ///< a compaction job is queued/running
+  std::shared_ptr<JobScheduler::Token> job_token_;
+  /// Cooperative cancellation for the unlocked I/O inside a compaction:
+  /// set once at shutdown, checked between table reads.
+  std::atomic<bool> cancel_bg_{false};
+
   bool shutting_down_ = false;
   bool background_error_set_ = false;
   Status background_error_;
-  std::thread background_thread_;
 };
 
 }  // namespace seplsm::engine

@@ -27,12 +27,17 @@ Metrics DistinctMetrics(uint64_t base) {
   m.query_device_bytes_read = base + 16;
   m.block_cache_hits = base + 17;
   m.block_cache_misses = base + 18;
-  m.snapshots_acquired = base + 19;
-  m.files_deferred_deleted = base + 20;
+  m.bg_flush_jobs = base + 19;
+  m.bg_compaction_jobs = base + 20;
+  m.bg_queue_wait_micros = base + 21;
+  m.writer_stalls = base + 22;
+  m.writer_stall_micros = base + 23;
+  m.snapshots_acquired = base + 24;
+  m.files_deferred_deleted = base + 25;
   return m;
 }
 
-constexpr size_t kCounterFields = 20;  // counters set by DistinctMetrics
+constexpr size_t kCounterFields = 25;  // counters set by DistinctMetrics
 constexpr size_t kVectorFields = 2;    // merge_events, wa_timeline
 
 TEST(MetricsMergeTest, EveryFieldIsCovered) {
@@ -74,6 +79,14 @@ TEST(MetricsMergeTest, EverySumIsCorrect) {
             expect_a.block_cache_hits + expect_b.block_cache_hits);
   EXPECT_EQ(a.block_cache_misses,
             expect_a.block_cache_misses + expect_b.block_cache_misses);
+  EXPECT_EQ(a.bg_flush_jobs, expect_a.bg_flush_jobs + expect_b.bg_flush_jobs);
+  EXPECT_EQ(a.bg_compaction_jobs,
+            expect_a.bg_compaction_jobs + expect_b.bg_compaction_jobs);
+  EXPECT_EQ(a.bg_queue_wait_micros,
+            expect_a.bg_queue_wait_micros + expect_b.bg_queue_wait_micros);
+  EXPECT_EQ(a.writer_stalls, expect_a.writer_stalls + expect_b.writer_stalls);
+  EXPECT_EQ(a.writer_stall_micros,
+            expect_a.writer_stall_micros + expect_b.writer_stall_micros);
   EXPECT_EQ(a.snapshots_acquired,
             expect_a.snapshots_acquired + expect_b.snapshots_acquired);
   EXPECT_EQ(a.files_deferred_deleted,

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <fstream>
+#include <string>
 #include <thread>
 
 #include "dist/parametric.h"
@@ -172,6 +175,117 @@ TEST_F(MultiSeriesTest, ConcurrentAppendsSameSeriesWithController) {
   EXPECT_EQ(out.size(), static_cast<size_t>(kThreads * kPerThread));
   Metrics m = db->GetAggregateMetrics();
   EXPECT_EQ(m.points_ingested, static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+// Threads of the current process, from /proc (Linux-only; 0 elsewhere).
+size_t CurrentThreadCount() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return static_cast<size_t>(std::stoul(line.substr(8)));
+    }
+  }
+  return 0;
+}
+
+TEST_F(MultiSeriesTest, BackgroundSeriesShareOneBoundedPool) {
+  // The tentpole claim: S series in background mode use one scheduler with
+  // at most background_threads workers — not S background threads. Thread
+  // accounting via /proc pins it down exactly.
+  size_t before = CurrentThreadCount();
+  auto options = BaseOptions();
+  options.base.background_mode = true;
+  options.base.background_threads = 2;
+  auto db = MustOpen(std::move(options));
+
+  constexpr size_t kSeries = 16;
+  for (int64_t t = 0; t < 40; ++t) {
+    for (size_t s = 0; s < kSeries; ++s) {
+      ASSERT_TRUE(
+          db->Append("s" + std::to_string(s), {t, t, 1.0}).ok());
+    }
+  }
+  ASSERT_NE(db->job_scheduler(), nullptr);
+  EXPECT_EQ(db->job_scheduler()->thread_count(), 2u);
+  if (before > 0) {
+    // 16 engines, but only the 2 scheduler workers were added.
+    EXPECT_LE(CurrentThreadCount(), before + 2);
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  for (size_t s = 0; s < kSeries; ++s) {
+    std::vector<DataPoint> out;
+    ASSERT_TRUE(db->Query("s" + std::to_string(s), 0, 100, &out).ok());
+    EXPECT_EQ(out.size(), 40u);
+  }
+  Metrics m = db->GetAggregateMetrics();
+  EXPECT_GT(m.bg_flush_jobs, 0u);
+}
+
+TEST_F(MultiSeriesTest, SchedulerIsSharedAcrossSeries) {
+  auto options = BaseOptions();
+  options.base.background_mode = true;
+  options.base.background_threads = 1;
+  auto db = MustOpen(std::move(options));
+  ASSERT_TRUE(db->Append("a", {1, 1, 1.0}).ok());
+  ASSERT_TRUE(db->Append("b", {1, 1, 1.0}).ok());
+  ASSERT_TRUE(db->FlushAll().ok());
+  JobScheduler* shared = db->job_scheduler();
+  ASSERT_NE(shared, nullptr);
+  // Both engines submit into the one scheduler the DB owns; with
+  // background mode off it would not exist at all.
+  EXPECT_EQ(shared->thread_count(), 1u);
+  auto no_bg = MustOpen(BaseOptions());
+  EXPECT_EQ(no_bg->job_scheduler(), nullptr);
+}
+
+TEST_F(MultiSeriesTest, CloseSeriesWhileOthersKeepWriting) {
+  auto options = BaseOptions();
+  options.base.background_mode = true;
+  options.base.background_threads = 2;
+  options.base.max_level0_files = 2;  // constant compaction churn
+  auto db = MustOpen(std::move(options));
+
+  EXPECT_TRUE(db->CloseSeries("ghost").IsNotFound());
+
+  std::atomic<bool> closed{false};
+  std::thread writer([&] {
+    for (int64_t t = 0; t < 800; ++t) {
+      Status st = db->Append("keeper", {t, t, 1.0});
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+    while (!closed.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    for (int64_t t = 800; t < 900; ++t) {
+      ASSERT_TRUE(db->Append("keeper", {t, t, 1.0}).ok());
+    }
+  });
+
+  // Load the doomed series so it very likely has jobs in flight, then
+  // close it mid-churn.
+  for (int64_t t = 0; t < 400; ++t) {
+    ASSERT_TRUE(db->Append("doomed", {t, t, 2.0}).ok());
+  }
+  // The writer thread creates "keeper" on its first append; wait for that
+  // so series_count() below is deterministic.
+  while (db->series_count() < 2) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(db->CloseSeries("doomed").ok());
+  EXPECT_EQ(db->series_count(), 1u);
+  closed.store(true, std::memory_order_release);
+  writer.join();
+
+  ASSERT_TRUE(db->FlushAll().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query("keeper", 0, 1000, &out).ok());
+  EXPECT_EQ(out.size(), 900u);
+
+  // The closed series reopens from disk with everything it accepted.
+  ASSERT_TRUE(db->Append("doomed", {400, 400, 2.0}).ok());
+  ASSERT_TRUE(db->Query("doomed", 0, 1000, &out).ok());
+  EXPECT_EQ(out.size(), 401u);
 }
 
 TEST_F(MultiSeriesTest, ManySeriesStress) {

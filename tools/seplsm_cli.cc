@@ -85,7 +85,7 @@ int Usage() {
                "  generate --dataset=M1..M12|s9|h --points=N --out=csv\n"
                "  ingest   --trace=csv --dir=path [--policy=pi_c|pi_s]\n"
                "           [--n=512] [--nseq=256] [--wal] [--gorilla] [--bg]\n"
-               "           [--cache-mb=M] [--cache-shards=S]\n"
+               "           [--bg-threads=T] [--cache-mb=M] [--cache-shards=S]\n"
                "  query    --dir=path --lo=T --hi=T [--bucket=W]\n"
                "           [--repeat=R] [--cache-mb=M] [--cache-shards=S]\n"
                "  tune     --trace=csv [--n=512] [--granularity=S] [--step=K]\n"
@@ -142,6 +142,15 @@ int CmdIngest(const Flags& flags) {
   }
   options.enable_wal = flags.GetBool("wal");
   options.background_mode = flags.GetBool("bg");
+  // Worker count for the background scheduler (0 = hardware concurrency);
+  // a single engine uses at most one job at a time, but the flag matters
+  // once the same options template is reused across a fleet of series.
+  options.background_threads =
+      static_cast<size_t>(flags.GetInt("bg-threads", 0));
+  if (options.background_mode && options.background_threads > 0) {
+    options.job_scheduler =
+        std::make_shared<engine::JobScheduler>(options.background_threads);
+  }
   if (flags.GetBool("gorilla")) {
     options.value_encoding = format::ValueEncoding::kGorilla;
   }
