@@ -16,6 +16,8 @@ void Metrics::MergeFrom(const Metrics& other) {
   wal_records += other.wal_records;
   wal_bytes += other.wal_bytes;
   wal_checkpoints += other.wal_checkpoints;
+  compaction_bytes_read += other.compaction_bytes_read;
+  compaction_blocks_read += other.compaction_blocks_read;
   queries += other.queries;
   points_returned += other.points_returned;
   disk_points_scanned += other.disk_points_scanned;
@@ -43,6 +45,10 @@ std::string Metrics::ToString() const {
       << " WA=" << WriteAmplification() << " flushes=" << flush_count
       << " merges=" << merge_count << " files_created=" << files_created
       << " files_deleted=" << files_deleted << " bytes=" << bytes_written;
+  if (compaction_bytes_read + compaction_blocks_read > 0) {
+    out << " | compaction_read_bytes=" << compaction_bytes_read
+        << " compaction_read_blocks=" << compaction_blocks_read;
+  }
   if (queries > 0) {
     out << " | queries=" << queries << " returned=" << points_returned
         << " scanned=" << disk_points_scanned

@@ -67,6 +67,13 @@ struct Metrics {
   uint64_t wal_bytes = 0;
   uint64_t wal_checkpoints = 0;
 
+  // Compaction read traffic (device side; block-cache hits read nothing).
+  // Separate from the query counters so merge I/O is visible on its own —
+  // the materialized compactor read these bytes too, it just never
+  // reported them.
+  uint64_t compaction_bytes_read = 0;
+  uint64_t compaction_blocks_read = 0;
+
   // Read path (sums of QueryStats).
   uint64_t queries = 0;
   uint64_t points_returned = 0;

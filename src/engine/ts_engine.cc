@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "storage/iterator.h"
 
 namespace seplsm::engine {
 
@@ -13,29 +14,40 @@ namespace {
 
 constexpr int64_t kNoData = std::numeric_limits<int64_t>::min();
 
-/// Merges sorted `mem` (newer) and `disk` (older) into a sorted, deduped
-/// output; on equal generation times the newer point wins.
-std::vector<DataPoint> MergeSorted(const std::vector<DataPoint>& mem,
-                                   const std::vector<DataPoint>& disk) {
-  std::vector<DataPoint> out;
-  out.reserve(mem.size() + disk.size());
-  size_t i = 0, j = 0;
-  while (i < mem.size() && j < disk.size()) {
-    int64_t tm = mem[i].generation_time;
-    int64_t td = disk[j].generation_time;
-    if (tm < td) {
-      out.push_back(mem[i++]);
-    } else if (td < tm) {
-      out.push_back(disk[j++]);
-    } else {
-      out.push_back(mem[i++]);  // newer wins
-      ++j;
+/// Pass-through iterator that counts streamed points with generation time
+/// strictly greater than a threshold — the paper's "subsequent" disk points
+/// (Definition 4), tallied for merge events as the data flows by instead of
+/// over a materialized copy. Counts every point the source yields, including
+/// ones a downstream merge drops as duplicates (matching what the
+/// materialized merge counted). Only meaningful if the stream is consumed to
+/// the end.
+class SubsequentCountingIterator final : public storage::PointIterator {
+ public:
+  SubsequentCountingIterator(std::unique_ptr<storage::PointIterator> base,
+                             int64_t threshold, uint64_t* count)
+      : base_(std::move(base)), threshold_(threshold), count_(count) {
+    Account();
+  }
+
+  bool Valid() const override { return base_->Valid(); }
+  void Next() override {
+    base_->Next();
+    Account();
+  }
+  const DataPoint& point() const override { return base_->point(); }
+  Status status() const override { return base_->status(); }
+
+ private:
+  void Account() {
+    if (base_->Valid() && base_->point().generation_time > threshold_) {
+      ++*count_;
     }
   }
-  while (i < mem.size()) out.push_back(mem[i++]);
-  while (j < disk.size()) out.push_back(disk[j++]);
-  return out;
-}
+
+  std::unique_ptr<storage::PointIterator> base_;
+  int64_t threshold_;
+  uint64_t* count_;
+};
 
 bool ParseTableFileNumber(const std::string& name, uint64_t* number) {
   // TableFilePath zero-pads to 8 digits but numbers past 99'999'999 print
@@ -302,16 +314,16 @@ Status TsEngine::AppendLocked(const DataPoint& point,
   Status st;
   if (options_.policy.kind == PolicyKind::kConventional) {
     c0_->Add(point);
-    if (c0_->full()) st = HandleFullConventional();
+    if (c0_->full()) st = HandleFullConventional(lock);
   } else {
     // Definition 3: in-order iff generated after everything persisted.
     int64_t last = MaxPersistedLocked();
     if (point.generation_time > last) {
       cseq_->Add(point);
-      if (cseq_->full()) st = HandleFullSeq();
+      if (cseq_->full()) st = HandleFullSeq(lock);
     } else {
       cnonseq_->Add(point);
-      if (cnonseq_->full()) st = HandleFullNonseq();
+      if (cnonseq_->full()) st = HandleFullNonseq(lock);
     }
   }
   if (st.ok()) st = MaybeCheckpointWalLocked(lock);
@@ -319,19 +331,19 @@ Status TsEngine::AppendLocked(const DataPoint& point,
   return st;
 }
 
-Status TsEngine::HandleFullConventional() {
+Status TsEngine::HandleFullConventional(std::unique_lock<std::mutex>& lock) {
   if (options_.background_mode) return EnqueueFlushLocked(c0_.get());
-  return MergeLocked(c0_->Drain());
+  return MergeLocked(c0_->Drain(), lock);
 }
 
-Status TsEngine::HandleFullSeq() {
+Status TsEngine::HandleFullSeq(std::unique_lock<std::mutex>& lock) {
   if (options_.background_mode) return EnqueueFlushLocked(cseq_.get());
-  return FlushAboveRunLocked(cseq_->Drain());
+  return FlushAboveRunLocked(cseq_->Drain(), lock);
 }
 
-Status TsEngine::HandleFullNonseq() {
+Status TsEngine::HandleFullNonseq(std::unique_lock<std::mutex>& lock) {
   if (options_.background_mode) return EnqueueFlushLocked(cnonseq_.get());
-  return MergeLocked(cnonseq_->Drain());
+  return MergeLocked(cnonseq_->Drain(), lock);
 }
 
 Status TsEngine::EnqueueFlushLocked(storage::MemTable* mem) {
@@ -346,57 +358,120 @@ Status TsEngine::EnqueueFlushLocked(storage::MemTable* mem) {
   return Status::OK();
 }
 
-Status TsEngine::FlushAboveRunLocked(std::vector<DataPoint> points) {
+storage::MemTable::View TsEngine::EnterRunTurnstileLocked(
+    const std::vector<DataPoint>& points, std::unique_lock<std::mutex>& lock) {
+  // Register the drained points as a snapshot-visible frozen batch BEFORE
+  // waiting: a query racing this mutation must see them somewhere — they
+  // are already out of the MemTable, not yet in the run.
+  auto batch = std::make_shared<storage::MemTable::PointMap>();
+  for (const auto& p : points) {
+    batch->emplace_hint(batch->end(), p.generation_time, p);
+  }
+  sync_merge_batches_.push_back(batch);
+  const uint64_t ticket = sync_turnstile_next_++;
+  background_cv_.wait(
+      lock, [this, ticket] { return sync_turnstile_serving_ == ticket; });
+  return batch;
+}
+
+void TsEngine::LeaveRunTurnstileLocked(const storage::MemTable::View& batch) {
+  auto it = std::find(sync_merge_batches_.begin(), sync_merge_batches_.end(),
+                      batch);
+  assert(it != sync_merge_batches_.end());
+  sync_merge_batches_.erase(it);
+  ++sync_turnstile_serving_;
+  background_cv_.notify_all();
+}
+
+Status TsEngine::FlushAboveRunLocked(std::vector<DataPoint> points,
+                                     std::unique_lock<std::mutex>& lock) {
   if (points.empty()) return Status::OK();
+  storage::MemTable::View batch = EnterRunTurnstileLocked(points, lock);
+  // Check for overlap only now, with the turnstile held: a queued mutation
+  // ahead of us may have changed the run's upper bound while we waited.
   int64_t run_max = version_.run().empty()
                         ? kNoData
                         : version_.run().back()->max_generation_time;
+  Status st;
   if (run_max != kNoData && points.front().generation_time <= run_max) {
     // Defensive: overlap (e.g. right after a policy switch) — fall back to
     // a real merge.
-    return MergeLocked(std::move(points));
+    st = MergeTurnstileHeld(std::move(points), lock);
+  } else {
+    std::vector<storage::FileMetadata> files;
+    st = storage::WriteSortedPointsAsTables(
+        options_.env, options_.dir, points, options_.sstable_points,
+        options_.points_per_block, &next_file_number_, &files,
+        options_.value_encoding);
+    if (st.ok()) {
+      for (auto& f : files) {
+        metrics_.bytes_written += f.file_bytes;
+        ++metrics_.files_created;
+        st = version_.AppendToRun(std::move(f));
+        if (!st.ok()) break;
+      }
+    }
+    if (st.ok()) {
+      metrics_.points_flushed += points.size();
+      ++metrics_.flush_count;
+    }
   }
-  std::vector<storage::FileMetadata> files;
-  SEPLSM_RETURN_IF_ERROR(storage::WriteSortedPointsAsTables(
-      options_.env, options_.dir, points, options_.sstable_points,
-      options_.points_per_block, &next_file_number_, &files,
-      options_.value_encoding));
-  for (auto& f : files) {
-    metrics_.bytes_written += f.file_bytes;
-    ++metrics_.files_created;
-    SEPLSM_RETURN_IF_ERROR(version_.AppendToRun(std::move(f)));
-  }
-  metrics_.points_flushed += points.size();
-  ++metrics_.flush_count;
-  return Status::OK();
+  LeaveRunTurnstileLocked(batch);
+  return st;
 }
 
-Status TsEngine::MergeLocked(std::vector<DataPoint> points) {
+Status TsEngine::MergeLocked(std::vector<DataPoint> points,
+                             std::unique_lock<std::mutex>& lock) {
   if (points.empty()) return Status::OK();
-  int64_t lo = points.front().generation_time;
-  int64_t hi = points.back().generation_time;
+  storage::MemTable::View batch = EnterRunTurnstileLocked(points, lock);
+  Status st = MergeTurnstileHeld(std::move(points), lock);
+  LeaveRunTurnstileLocked(batch);
+  return st;
+}
+
+Status TsEngine::MergeTurnstileHeld(std::vector<DataPoint> points,
+                                    std::unique_lock<std::mutex>& lock) {
+  const int64_t lo = points.front().generation_time;
+  const int64_t hi = points.back().generation_time;
   size_t begin, end;
   version_.OverlappingRunRange(lo, hi, &begin, &end);
-
-  std::vector<DataPoint> disk_points;
-  std::vector<storage::FilePtr> old_files;
+  std::vector<storage::FilePtr> old_files(version_.run().begin() + begin,
+                                          version_.run().begin() + end);
   uint64_t rewritten = 0;
-  for (size_t i = begin; i < end; ++i) {
-    const storage::FilePtr& f = version_.run()[i];
-    SEPLSM_RETURN_IF_ERROR(ReadTableAll(*f, &disk_points));
-    rewritten += f->point_count;
-    old_files.push_back(f);
-  }
-  std::vector<DataPoint> merged = MergeSorted(points, disk_points);
+  for (const auto& f : old_files) rewritten += f->point_count;
+  // Reserve output file numbers: concurrent writers allocate numbers under
+  // the lock we are about to release. Dedup only shrinks the output, so
+  // input size bounds the file count; unused reservations just leave gaps.
+  uint64_t file_no = next_file_number_;
+  next_file_number_ +=
+      (points.size() + rewritten) / options_.sstable_points + 2;
 
+  // All table I/O streams without the engine lock — a merge of an
+  // arbitrarily large run slice no longer stalls ingest, and holds one
+  // block per input instead of three materialized copies. The turnstile
+  // guarantees we are the only run mutator, so `begin`/`end` stay valid;
+  // readers keep the inputs visible through their snapshots (files) and the
+  // turnstile batch (points) until the output is installed atomically.
+  lock.unlock();
   std::vector<storage::FileMetadata> new_files;
-  SEPLSM_RETURN_IF_ERROR(storage::WriteSortedPointsAsTables(
-      options_.env, options_.dir, merged, options_.sstable_points,
-      options_.points_per_block, &next_file_number_, &new_files,
-      options_.value_encoding));
+  storage::ReadStats rstats;
+  uint64_t disk_subsequent = 0;
+  Status st = StreamMergeToTables(
+      std::make_unique<storage::VectorIterator>(&points), old_files, &file_no,
+      &new_files, &rstats, lo,
+      options_.record_merge_events ? &disk_subsequent : nullptr);
+  lock.lock();
+  metrics_.compaction_bytes_read += rstats.device_bytes_read;
+  metrics_.compaction_blocks_read += rstats.blocks_read;
+  // On failure nothing was installed and the streaming writer already
+  // removed its partial outputs; the inputs are all still live.
+  SEPLSM_RETURN_IF_ERROR(st);
+
+  uint64_t output_points = 0;
   for (const auto& f : new_files) {
     metrics_.bytes_written += f.file_bytes;
     ++metrics_.files_created;
+    output_points += f.point_count;
   }
   uint64_t output_files = new_files.size();
   SEPLSM_RETURN_IF_ERROR(
@@ -412,11 +487,8 @@ Status TsEngine::MergeLocked(std::vector<DataPoint> points) {
     MergeEvent event;
     event.buffered_points = points.size();
     event.disk_points_rewritten = rewritten;
-    int64_t min_buffered = points.front().generation_time;
-    for (const auto& p : disk_points) {
-      if (p.generation_time > min_buffered) ++event.disk_points_subsequent;
-    }
-    event.output_points = merged.size();
+    event.disk_points_subsequent = disk_subsequent;
+    event.output_points = output_points;
     event.input_files = old_files.size();
     event.output_files = output_files;
     metrics_.merge_events.push_back(event);
@@ -424,19 +496,79 @@ Status TsEngine::MergeLocked(std::vector<DataPoint> points) {
   return Status::OK();
 }
 
-Result<storage::FileMetadata> TsEngine::WriteTableFile(
-    const std::vector<DataPoint>& points, uint64_t file_no) {
-  std::string path = storage::TableFilePath(options_.dir, file_no);
-  storage::SSTableWriter writer(options_.env, path,
-                                options_.points_per_block,
-                                options_.value_encoding);
-  for (const auto& p : points) {
-    SEPLSM_RETURN_IF_ERROR(writer.Add(p));
+Status TsEngine::StreamMergeToTables(
+    std::unique_ptr<storage::PointIterator> newest,
+    const std::vector<storage::FilePtr>& old_files, uint64_t* next_file_no,
+    std::vector<storage::FileMetadata>* new_files, storage::ReadStats* stats,
+    int64_t subsequent_threshold, uint64_t* disk_points_subsequent) {
+  storage::ReadOptions ropts;
+  // One-pass scan: never insert into the block cache (hot query blocks
+  // survive the merge), account device traffic to the compaction counters.
+  ropts.fill_cache = false;
+  ropts.stats = stats;
+  std::vector<std::unique_ptr<storage::PointIterator>> run_iters;
+  run_iters.reserve(old_files.size());
+  for (const auto& f : old_files) {
+    auto reader = OpenTableReader(*f);
+    if (!reader.ok()) return reader.status();
+    run_iters.push_back(std::make_unique<storage::SSTableIterator>(
+        std::shared_ptr<const storage::SSTableReader>(
+            std::move(reader).value()),
+        ropts));
   }
-  auto meta = writer.Finish();
-  if (!meta.ok()) return meta.status();
+  std::vector<std::unique_ptr<storage::PointIterator>> children;
+  children.push_back(std::move(newest));
+  if (!run_iters.empty()) {
+    // The overlapped run files are disjoint and ordered, so chaining them
+    // yields one sorted stream: the heap merge is 2-way no matter how many
+    // files overlap.
+    std::unique_ptr<storage::PointIterator> disk =
+        run_iters.size() == 1
+            ? std::move(run_iters[0])
+            : std::make_unique<storage::ConcatenatingIterator>(
+                  std::move(run_iters));
+    if (disk_points_subsequent != nullptr) {
+      disk = std::make_unique<SubsequentCountingIterator>(
+          std::move(disk), subsequent_threshold, disk_points_subsequent);
+    }
+    children.push_back(std::move(disk));
+  }
+  storage::MergingIterator merged(std::move(children));
+  return storage::WriteSortedPointsAsTables(
+      options_.env, options_.dir, &merged, options_.sstable_points,
+      options_.points_per_block, next_file_no, new_files,
+      options_.value_encoding, &cancel_bg_);
+}
+
+Result<storage::FileMetadata> TsEngine::WriteTableFile(
+    storage::PointIterator* input, uint64_t file_no) {
+  std::string path = storage::TableFilePath(options_.dir, file_no);
+  auto meta = [&]() -> Result<storage::FileMetadata> {
+    storage::SSTableWriter writer(options_.env, path,
+                                  options_.points_per_block,
+                                  options_.value_encoding);
+    for (; input->Valid(); input->Next()) {
+      SEPLSM_RETURN_IF_ERROR(writer.Add(input->point()));
+    }
+    SEPLSM_RETURN_IF_ERROR(input->status());
+    return writer.Finish();
+  }();
+  if (!meta.ok()) {
+    // Drop the partial table (after the writer is destroyed): recovery
+    // opens every *.sst and would fail on a truncated one. Best effort —
+    // on an env too broken to unlink, recovery still fails loudly rather
+    // than silently losing data.
+    options_.env->RemoveFile(path);
+    return meta.status();
+  }
   meta.value().file_number = file_no;
   return std::move(meta).value();
+}
+
+Result<storage::FileMetadata> TsEngine::WriteTableFile(
+    const std::vector<DataPoint>& points, uint64_t file_no) {
+  storage::VectorIterator input(&points);
+  return WriteTableFile(&input, file_no);
 }
 
 Status TsEngine::FlushToLevel0Locked(std::vector<DataPoint> points) {
@@ -499,8 +631,10 @@ void TsEngine::FlushJob(uint64_t queue_wait_micros) {
   flush_inflight_ = true;
   lock.unlock();
 
-  std::vector<DataPoint> points = BatchPoints(*batch);
-  auto meta = WriteTableFile(points, file_no);
+  // Stream the frozen view straight into the table writer — no
+  // materialized copy of the batch.
+  storage::MemTableViewIterator input(batch);
+  auto meta = WriteTableFile(&input, file_no);
 
   lock.lock();
   flush_inflight_ = false;
@@ -518,7 +652,7 @@ void TsEngine::FlushJob(uint64_t queue_wait_micros) {
   }
   metrics_.bytes_written += meta.value().file_bytes;
   ++metrics_.files_created;
-  metrics_.points_flushed += points.size();
+  metrics_.points_flushed += batch->size();
   ++metrics_.flush_count;
   version_.AddLevel0(std::move(meta).value());
   pending_flushes_.erase(pending_flushes_.begin());
@@ -598,36 +732,42 @@ Status TsEngine::CompactOneLevel0(std::unique_lock<std::mutex>& lock) {
   uint64_t file_no = next_file_number_;
   next_file_number_ += input_points / options_.sstable_points + 2;
 
-  // All table I/O runs without the engine lock, so ingest keeps flowing
-  // while the merge reads and writes. Safe because the compactor is the
-  // only run/level0-front mutator while the lock is released (writers only
-  // append level-0 files behind us), so `begin`/`end` and `l0` stay valid.
+  // All table I/O streams without the engine lock, so ingest keeps flowing
+  // while the merge reads and writes — and the merge holds one decoded
+  // block per input instead of materializing every overlapping file. Safe
+  // because the compactor is the only run/level0-front mutator while the
+  // lock is released (writers only append level-0 files behind us), so
+  // `begin`/`end` and `l0` stay valid. Cancellation (shutdown) is checked
+  // by the streaming writer between blocks; aborting is safe — nothing was
+  // installed, the inputs are all still live, and the writer removed its
+  // partial outputs.
   lock.unlock();
-  std::vector<DataPoint> points;
-  std::vector<DataPoint> disk_points;
-  // Cooperative cancellation between table reads: at shutdown the merge
-  // aborts instead of finishing a potentially large rewrite. Aborting is
-  // safe — nothing was installed, the inputs are all still live.
-  auto canceled = [this] {
-    return cancel_bg_.load(std::memory_order_relaxed);
-  };
-  Status st = canceled() ? Status::Aborted("engine shutting down")
-                         : ReadTableAll(*l0, &points);
-  for (const auto& f : old_files) {
-    if (!st.ok()) break;
-    st = canceled() ? Status::Aborted("engine shutting down")
-                    : ReadTableAll(*f, &disk_points);
-  }
   std::vector<storage::FileMetadata> new_files;
-  if (st.ok() && canceled()) st = Status::Aborted("engine shutting down");
-  if (st.ok()) {
-    std::vector<DataPoint> merged = MergeSorted(points, disk_points);
-    st = storage::WriteSortedPointsAsTables(
-        options_.env, options_.dir, merged, options_.sstable_points,
-        options_.points_per_block, &file_no, &new_files,
-        options_.value_encoding);
+  storage::ReadStats rstats;
+  Status st;
+  if (cancel_bg_.load(std::memory_order_relaxed)) {
+    st = Status::Aborted("engine shutting down");
+  } else {
+    storage::ReadOptions l0_opts;
+    l0_opts.fill_cache = false;
+    l0_opts.stats = &rstats;
+    auto l0_reader = OpenTableReader(*l0);
+    if (!l0_reader.ok()) {
+      st = l0_reader.status();
+    } else {
+      // The level-0 file is the newest data: first merge child, so its
+      // version wins on duplicate generation times.
+      st = StreamMergeToTables(
+          std::make_unique<storage::SSTableIterator>(
+              std::shared_ptr<const storage::SSTableReader>(
+                  std::move(l0_reader).value()),
+              l0_opts),
+          old_files, &file_no, &new_files, &rstats, 0, nullptr);
+    }
   }
   lock.lock();
+  metrics_.compaction_bytes_read += rstats.device_bytes_read;
+  metrics_.compaction_blocks_read += rstats.blocks_read;
   // On failure the level-0 file is still in the version: no data was lost,
   // and a later retry (or recovery) picks it up again.
   SEPLSM_RETURN_IF_ERROR(st);
@@ -671,26 +811,27 @@ void TsEngine::CollectDeferredDeletes() {
   }
 }
 
-Status TsEngine::ReadTableRange(const storage::FileMetadata& file, int64_t lo,
-                                int64_t hi, std::vector<DataPoint>* out,
-                                storage::ReadStats* stats) {
+Result<std::shared_ptr<storage::SSTableReader>> TsEngine::OpenTableReader(
+    const storage::FileMetadata& file) {
   if (table_cache_ != nullptr) {
     auto reader = table_cache_->Get(file.file_number, file.path);
     if (!reader.ok()) return reader.status();
-    return (*reader)->ReadRange(lo, hi, out, stats);
+    return std::move(reader).value();
   }
   auto reader = storage::SSTableReader::Open(
       options_.env, file.path,
       storage::BlockCacheHandle{options_.block_cache.get(),
                                 block_cache_owner_id_, file.file_number});
   if (!reader.ok()) return reader.status();
-  return (*reader)->ReadRange(lo, hi, out, stats);
+  return std::shared_ptr<storage::SSTableReader>(std::move(reader).value());
 }
 
-Status TsEngine::ReadTableAll(const storage::FileMetadata& file,
-                              std::vector<DataPoint>* out) {
-  return ReadTableRange(file, file.min_generation_time,
-                        file.max_generation_time, out, nullptr);
+Status TsEngine::ReadTableRange(const storage::FileMetadata& file, int64_t lo,
+                                int64_t hi, std::vector<DataPoint>* out,
+                                storage::ReadStats* stats) {
+  auto reader = OpenTableReader(file);
+  if (!reader.ok()) return reader.status();
+  return (*reader)->ReadRange(lo, hi, out, stats);
 }
 
 Status TsEngine::DrainMemTablesLocked(std::unique_lock<std::mutex>& lock) {
@@ -715,7 +856,7 @@ Status TsEngine::DrainMemTablesLocked(std::unique_lock<std::mutex>& lock) {
       if (options_.background_mode) {
         SEPLSM_RETURN_IF_ERROR(FlushToLevel0Locked(std::move(points)));
       } else {
-        SEPLSM_RETURN_IF_ERROR(MergeLocked(std::move(points)));
+        SEPLSM_RETURN_IF_ERROR(MergeLocked(std::move(points), lock));
       }
     }
   } else {
@@ -727,7 +868,7 @@ Status TsEngine::DrainMemTablesLocked(std::unique_lock<std::mutex>& lock) {
       if (options_.background_mode) {
         SEPLSM_RETURN_IF_ERROR(FlushToLevel0Locked(std::move(points)));
       } else {
-        SEPLSM_RETURN_IF_ERROR(MergeLocked(std::move(points)));
+        SEPLSM_RETURN_IF_ERROR(MergeLocked(std::move(points), lock));
       }
     }
     if (!cseq_->empty()) {
@@ -735,7 +876,7 @@ Status TsEngine::DrainMemTablesLocked(std::unique_lock<std::mutex>& lock) {
       if (options_.background_mode) {
         SEPLSM_RETURN_IF_ERROR(FlushToLevel0Locked(std::move(points)));
       } else {
-        SEPLSM_RETURN_IF_ERROR(FlushAboveRunLocked(std::move(points)));
+        SEPLSM_RETURN_IF_ERROR(FlushAboveRunLocked(std::move(points), lock));
       }
     }
   }
@@ -784,6 +925,12 @@ Status TsEngine::WaitForBackgroundIdle() {
 TsEngine::ReadSnapshot TsEngine::AcquireSnapshotLocked() {
   ReadSnapshot snap;
   snap.files = version_.Snapshot();
+  // Batches drained for a sync-mode run mutation that has not installed its
+  // output yet (oldest first): without these a query racing an unlocked
+  // merge would lose sight of accepted data. They predate everything below.
+  for (const auto& batch : sync_merge_batches_) {
+    snap.mems.push_back(batch);
+  }
   // Frozen batches a flush job has not installed yet: oldest first, below
   // the live MemTables, mirroring the order the data was accepted in.
   for (const auto& batch : pending_flushes_) {

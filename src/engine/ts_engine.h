@@ -139,23 +139,68 @@ class TsEngine {
   // --- Write path (mutex_ held; `lock` owns mutex_ where passed) ---
   Status AppendLocked(const DataPoint& point,
                       std::unique_lock<std::mutex>& lock);
-  Status HandleFullConventional();
-  Status HandleFullSeq();
-  Status HandleFullNonseq();
+  Status HandleFullConventional(std::unique_lock<std::mutex>& lock);
+  Status HandleFullSeq(std::unique_lock<std::mutex>& lock);
+  Status HandleFullNonseq(std::unique_lock<std::mutex>& lock);
   Status DrainMemTablesLocked(std::unique_lock<std::mutex>& lock);
 
   /// Writes `points` (sorted) as run files strictly above the current run.
-  /// Falls back to MergeLocked if an overlap exists.
-  Status FlushAboveRunLocked(std::vector<DataPoint> points);
+  /// Falls back to a merge if an overlap exists. Serialized through the run
+  /// turnstile (below); `lock` may be released while waiting for a turn.
+  Status FlushAboveRunLocked(std::vector<DataPoint> points,
+                             std::unique_lock<std::mutex>& lock);
 
-  /// Merges `points` (sorted) with the overlapping slice of the run.
-  Status MergeLocked(std::vector<DataPoint> points);
+  /// Merges `points` (sorted) with the overlapping slice of the run,
+  /// streaming block-in/block-out with `lock` released during table I/O.
+  /// Serialized through the run turnstile.
+  Status MergeLocked(std::vector<DataPoint> points,
+                     std::unique_lock<std::mutex>& lock);
+
+  /// Synchronous-mode run mutations (merges and above-run flushes) release
+  /// `mutex_` during table I/O, so they serialize among themselves through
+  /// a FIFO ticket turnstile: Enter registers `points` as a snapshot-visible
+  /// frozen batch (queries must never lose sight of drained-but-unmerged
+  /// data), takes a ticket, and waits for its turn; Leave unregisters the
+  /// batch and admits the next ticket. FIFO matters for correctness, not
+  /// just fairness: two queued batches can carry the same key, and the
+  /// later (newer) one must reach the run last. Returns the registered view
+  /// (identity for Leave).
+  storage::MemTable::View EnterRunTurnstileLocked(
+      const std::vector<DataPoint>& points,
+      std::unique_lock<std::mutex>& lock);
+  void LeaveRunTurnstileLocked(const storage::MemTable::View& batch);
+
+  /// The streaming merge body, run with the turnstile held: computes the
+  /// overlapping run slice, releases `lock` while a MergingIterator over
+  /// {points, run slice} drives the table writer, reacquires it, and
+  /// installs the result. Accounting (points_rewritten, merge events) is
+  /// computed from file metadata exactly as the materialized merge did.
+  Status MergeTurnstileHeld(std::vector<DataPoint> points,
+                            std::unique_lock<std::mutex>& lock);
+
+  /// Streams {newest, old_files} into new run tables via a MergingIterator.
+  /// Pure table I/O — must be called WITHOUT `mutex_` held. The run files
+  /// are chained (they are disjoint), so this is a 2-way merge regardless
+  /// of k. Reads use fill_cache=false and accumulate into *stats. When
+  /// `disk_points_subsequent` is non-null, disk points with generation time
+  /// greater than `subsequent_threshold` are counted as they stream by
+  /// (paper Definition 4, for merge events).
+  Status StreamMergeToTables(std::unique_ptr<storage::PointIterator> newest,
+                             const std::vector<storage::FilePtr>& old_files,
+                             uint64_t* next_file_no,
+                             std::vector<storage::FileMetadata>* new_files,
+                             storage::ReadStats* stats,
+                             int64_t subsequent_threshold,
+                             uint64_t* disk_points_subsequent);
 
   /// Background-mode synchronous flush of `points` to one level-0 file.
   Status FlushToLevel0Locked(std::vector<DataPoint> points);
 
-  /// Writes `points` (sorted) as one SSTable under reserved `file_no`.
-  /// Pure env I/O — called with or without `mutex_` held.
+  /// Writes everything `input` yields (sorted) as one SSTable under
+  /// reserved `file_no`; on failure the partial file is removed. Pure env
+  /// I/O — called with or without `mutex_` held.
+  Result<storage::FileMetadata> WriteTableFile(storage::PointIterator* input,
+                                               uint64_t file_no);
   Result<storage::FileMetadata> WriteTableFile(
       const std::vector<DataPoint>& points, uint64_t file_no);
 
@@ -190,12 +235,17 @@ class TsEngine {
   Status RotateWalLocked();
   Status MaybeCheckpointWalLocked(std::unique_lock<std::mutex>& lock);
 
+  /// Opens a reader for `file` — through the table cache when enabled,
+  /// directly (with this engine's block-cache handle) otherwise. Shared
+  /// ownership keeps the reader alive across an LRU eviction. Thread-safe
+  /// without `mutex_`.
+  Result<std::shared_ptr<storage::SSTableReader>> OpenTableReader(
+      const storage::FileMetadata& file);
+
   /// Reads [lo, hi] from one table via the table cache when enabled.
   Status ReadTableRange(const storage::FileMetadata& file, int64_t lo,
                         int64_t hi, std::vector<DataPoint>* out,
                         storage::ReadStats* stats);
-  Status ReadTableAll(const storage::FileMetadata& file,
-                      std::vector<DataPoint>* out);
 
   /// Captures the snapshot a reader works from: shared file metadata plus
   /// frozen MemTable views, O(files), no I/O.
@@ -241,6 +291,14 @@ class TsEngine {
   /// (and thus in every read snapshot) until its file is installed, so
   /// readers never lose sight of accepted data.
   std::vector<storage::MemTable::View> pending_flushes_;
+
+  /// Synchronous-mode run turnstile (see EnterRunTurnstileLocked): batches
+  /// drained for an in-flight or queued run mutation, oldest first, visible
+  /// to read snapshots below `pending_flushes_`; tickets serialize the
+  /// mutations FIFO while `mutex_` is released for merge I/O.
+  std::vector<storage::MemTable::View> sync_merge_batches_;
+  uint64_t sync_turnstile_next_ = 0;     ///< next ticket to hand out
+  uint64_t sync_turnstile_serving_ = 0;  ///< ticket allowed to mutate the run
   bool flush_inflight_ = false;        ///< flush job writing, mutex_ dropped
   bool flush_job_scheduled_ = false;   ///< a flush job is queued or running
   bool compaction_scheduled_ = false;  ///< a compaction job is queued/running

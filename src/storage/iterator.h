@@ -1,0 +1,181 @@
+#ifndef SEPLSM_STORAGE_ITERATOR_H_
+#define SEPLSM_STORAGE_ITERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/point.h"
+#include "common/status.h"
+#include "storage/block_cache.h"
+#include "storage/memtable.h"
+#include "storage/sstable.h"
+
+namespace seplsm::storage {
+
+/// A forward cursor over sorted points. The compaction/flush write loop is
+/// written once against this interface (WriteSortedPointsAsTables below), so
+/// memory stays bounded no matter how large the inputs are: an SSTable
+/// source holds one decoded block, a merge holds one position per child.
+///
+/// Contract: `point()` and `Next()` require `Valid()`. When `Valid()` turns
+/// false, `status()` distinguishes clean exhaustion (OK) from an error; a
+/// caller must check it before trusting that the stream was complete.
+class PointIterator {
+ public:
+  virtual ~PointIterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void Next() = 0;
+  virtual const DataPoint& point() const = 0;
+  virtual Status status() const = 0;
+};
+
+/// Adapter over a sorted vector (borrowed or owned).
+class VectorIterator final : public PointIterator {
+ public:
+  /// Borrows `points`; the vector must outlive the iterator.
+  explicit VectorIterator(const std::vector<DataPoint>* points)
+      : points_(points) {}
+  /// Owning overload.
+  explicit VectorIterator(std::vector<DataPoint> points)
+      : owned_(std::move(points)), points_(&owned_) {}
+
+  bool Valid() const override { return pos_ < points_->size(); }
+  void Next() override { ++pos_; }
+  const DataPoint& point() const override { return (*points_)[pos_]; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::vector<DataPoint> owned_;
+  const std::vector<DataPoint>* points_;
+  size_t pos_ = 0;
+};
+
+/// Adapter over a frozen MemTable view (shared ownership keeps the map
+/// alive, so the engine lock is not needed while iterating).
+class MemTableViewIterator final : public PointIterator {
+ public:
+  explicit MemTableViewIterator(MemTable::View view)
+      : view_(std::move(view)), it_(view_->begin()) {}
+
+  bool Valid() const override { return it_ != view_->end(); }
+  void Next() override { ++it_; }
+  const DataPoint& point() const override { return it_->second; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  MemTable::View view_;
+  MemTable::PointMap::const_iterator it_;
+};
+
+/// Streams an SSTable block by block: at most ONE decoded block is resident
+/// at a time (plus a shared_ptr when the block came from the cache). Blocks
+/// outside [options.lo, options.hi] are skipped via the index without being
+/// read. With `options.fill_cache == false` device reads bypass cache
+/// insertion — compaction scans use this so they cannot evict hot query
+/// blocks — while cache *hits* are still served.
+class SSTableIterator final : public PointIterator {
+ public:
+  /// Borrows `table`; the reader must outlive the iterator.
+  explicit SSTableIterator(const SSTableReader* table,
+                           ReadOptions options = {});
+  /// Shares ownership of `table` (e.g. a TableCache entry), so the iterator
+  /// keeps the reader alive across an LRU eviction.
+  explicit SSTableIterator(std::shared_ptr<const SSTableReader> table,
+                           ReadOptions options = {});
+
+  bool Valid() const override;
+  void Next() override;
+  const DataPoint& point() const override;
+  Status status() const override { return status_; }
+
+ private:
+  /// Advances `entry_`/`pos_` until they name a point in range, loading
+  /// blocks lazily; sets `done_` at the end of the range.
+  void SkipToNextInRange();
+
+  std::shared_ptr<const SSTableReader> owner_;  // null when borrowing
+  const SSTableReader* table_;
+  ReadOptions options_;
+  std::shared_ptr<const CachedBlock> block_;  // the single resident block
+  size_t entry_ = 0;  ///< next index entry to load
+  size_t pos_ = 0;    ///< position within `block_`
+  bool done_ = false;
+  Status status_;
+};
+
+/// Chains sorted children whose key ranges are non-decreasing across
+/// boundaries (e.g. consecutive files of the run, which are disjoint by
+/// invariant) into one sorted stream. This turns an N-file run slice into a
+/// single merge child, so merging it with a buffer is a 2-way merge
+/// regardless of how many files overlap. Ordering is verified as points are
+/// consumed; a violation surfaces as an Internal status rather than a
+/// silently mis-sorted output table.
+class ConcatenatingIterator final : public PointIterator {
+ public:
+  explicit ConcatenatingIterator(
+      std::vector<std::unique_ptr<PointIterator>> children);
+
+  bool Valid() const override {
+    return status_.ok() && cur_ < children_.size();
+  }
+  void Next() override;
+  const DataPoint& point() const override { return children_[cur_]->point(); }
+  Status status() const override { return status_; }
+
+ private:
+  void Settle();
+
+  std::vector<std::unique_ptr<PointIterator>> children_;
+  size_t cur_ = 0;
+  int64_t last_time_ = 0;
+  bool has_last_ = false;
+  Status status_;
+};
+
+/// Binary-heap k-way merge with LSM dedup semantics: children are given in
+/// precedence order (newest first); on equal generation times the child with
+/// the lowest index wins and every other point carrying that time — in later
+/// children or later in the same child — is consumed and dropped. This is
+/// exactly the "newer version wins" upsert rule the engine's materialized
+/// MergeSorted implemented. A child error stops the merge: Valid() turns
+/// false and status() carries the child's error.
+class MergingIterator final : public PointIterator {
+ public:
+  explicit MergingIterator(
+      std::vector<std::unique_ptr<PointIterator>> children);
+
+  bool Valid() const override { return status_.ok() && !heap_.empty(); }
+  void Next() override;
+  const DataPoint& point() const override {
+    return children_[heap_.top().child]->point();
+  }
+  Status status() const override { return status_; }
+
+ private:
+  struct HeapEntry {
+    int64_t time;
+    size_t child;
+  };
+  /// Min-heap on (time, child index): total order, so ties always surface
+  /// the lowest-index (newest) child first.
+  struct EntryGreater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.child > b.child;
+    }
+  };
+
+  /// Re-inserts `child` if it still has points; captures its error if not.
+  void PushChild(size_t child);
+
+  std::vector<std::unique_ptr<PointIterator>> children_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, EntryGreater> heap_;
+  Status status_;
+};
+
+}  // namespace seplsm::storage
+
+#endif  // SEPLSM_STORAGE_ITERATOR_H_

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "storage/iterator.h"
+
 namespace seplsm::storage {
 
 std::string TableFilePath(const std::string& dir, uint64_t file_number) {
@@ -119,7 +121,8 @@ Status SSTableReader::ReadAll(std::vector<DataPoint>* out) const {
 }
 
 Result<std::shared_ptr<const CachedBlock>> SSTableReader::ReadBlock(
-    const format::BlockIndexEntry& entry, ReadStats* stats) const {
+    const format::BlockIndexEntry& entry, ReadStats* stats,
+    bool fill_cache) const {
   if (block_cache_.enabled()) {
     auto cached = block_cache_.cache->Lookup(
         block_cache_.owner_id, block_cache_.file_number, entry.offset);
@@ -136,10 +139,15 @@ Result<std::shared_ptr<const CachedBlock>> SSTableReader::ReadBlock(
   }
   auto block = std::make_shared<CachedBlock>();
   SEPLSM_RETURN_IF_ERROR(format::DecodeBlock(data, &block->points));
-  if (stats != nullptr) stats->device_bytes_read += data.size();
+  if (stats != nullptr) {
+    stats->device_bytes_read += data.size();
+    ++stats->blocks_read;
+  }
   // Insert only after a clean read + CRC check, so an IOError or corrupt
-  // block can never poison the cache.
-  if (block_cache_.enabled()) {
+  // block can never poison the cache. One-pass scans (fill_cache == false)
+  // never insert: their blocks will not be re-read, and inserting them
+  // would evict blocks hot queries depend on.
+  if (block_cache_.enabled() && fill_cache) {
     block_cache_.cache->Insert(block_cache_.owner_id,
                                block_cache_.file_number, entry.offset, block);
   }
@@ -172,23 +180,10 @@ Status WriteSortedPointsAsTables(Env* env, const std::string& dir,
                                  uint64_t* next_file_no,
                                  std::vector<FileMetadata>* files,
                                  format::ValueEncoding encoding) {
-  assert(points_per_file > 0);
-  size_t i = 0;
-  while (i < points.size()) {
-    size_t take = std::min(points_per_file, points.size() - i);
-    uint64_t file_no = (*next_file_no)++;
-    std::string path = TableFilePath(dir, file_no);
-    SSTableWriter writer(env, path, points_per_block, encoding);
-    for (size_t j = 0; j < take; ++j) {
-      SEPLSM_RETURN_IF_ERROR(writer.Add(points[i + j]));
-    }
-    auto meta = writer.Finish();
-    if (!meta.ok()) return meta.status();
-    meta.value().file_number = file_no;
-    files->push_back(std::move(meta).value());
-    i += take;
-  }
-  return Status::OK();
+  VectorIterator input(&points);
+  return WriteSortedPointsAsTables(env, dir, &input, points_per_file,
+                                   points_per_block, next_file_no, files,
+                                   encoding);
 }
 
 }  // namespace seplsm::storage

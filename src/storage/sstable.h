@@ -1,7 +1,9 @@
 #ifndef SEPLSM_STORAGE_SSTABLE_H_
 #define SEPLSM_STORAGE_SSTABLE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,8 +18,11 @@
 
 namespace seplsm::storage {
 
-/// Per-read accounting filled in by SSTableReader::ReadRange. All counters
-/// are deltas for the one call (the caller accumulates).
+class PointIterator;  // storage/iterator.h
+
+/// Per-read accounting filled in by SSTableReader::ReadRange and
+/// SSTableIterator. All counters are deltas for the one call (the caller
+/// accumulates).
 struct ReadStats {
   /// Points decoded and scanned (from device or cache) — the
   /// read-amplification numerator.
@@ -25,9 +30,25 @@ struct ReadStats {
   /// Bytes actually read from the device (block data only; cache hits read
   /// nothing).
   uint64_t device_bytes_read = 0;
+  /// Blocks read from the device (cache hits excluded).
+  uint64_t blocks_read = 0;
   /// Block cache hits / misses for this read (both 0 without a cache).
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+};
+
+/// How a read consults the block cache and accounts itself.
+struct ReadOptions {
+  /// When false, device reads skip cache insertion (hits are still served):
+  /// one-pass scans — compaction above all — must not evict hot query
+  /// blocks.
+  bool fill_cache = true;
+  /// Optional accounting sink (counters are incremented, never reset).
+  ReadStats* stats = nullptr;
+  /// Generation-time range restriction, inclusive. Blocks entirely outside
+  /// are skipped via the index without being read.
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
 };
 
 /// Immutable description of an on-disk SSTable (kept in the Version).
@@ -104,6 +125,21 @@ class SSTableReader {
   Status ReadRange(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
                    ReadStats* stats = nullptr) const;
 
+  /// The per-block index loaded at Open (sorted by generation time).
+  const std::vector<format::BlockIndexEntry>& index() const { return index_; }
+
+  /// Returns the decoded block for one index entry — from the cache on a
+  /// hit, from the device on a miss. A device-read block is inserted into
+  /// the cache only when `fill_cache` is set (compaction scans pass false so
+  /// a merge cannot evict hot query blocks).
+  Result<std::shared_ptr<const CachedBlock>> ReadBlock(
+      const format::BlockIndexEntry& entry, ReadStats* stats,
+      bool fill_cache = true) const;
+
+  /// Block-streaming cursor over [options.lo, options.hi] — at most one
+  /// decoded block resident (storage/iterator.h).
+  std::unique_ptr<PointIterator> NewIterator(ReadOptions options = {}) const;
+
  private:
   SSTableReader(std::unique_ptr<RandomAccessFile> file, format::Footer footer,
                 std::vector<format::BlockIndexEntry> index,
@@ -111,25 +147,35 @@ class SSTableReader {
       : file_(std::move(file)), footer_(footer), index_(std::move(index)),
         block_cache_(block_cache) {}
 
-  /// Returns the decoded block for one index entry — from the cache on a
-  /// hit, from the device (then inserted) on a miss.
-  Result<std::shared_ptr<const CachedBlock>> ReadBlock(
-      const format::BlockIndexEntry& entry, ReadStats* stats) const;
-
   std::unique_ptr<RandomAccessFile> file_;
   format::Footer footer_;
   std::vector<format::BlockIndexEntry> index_;
   BlockCacheHandle block_cache_;
 };
 
-/// Writes `points[begin, end)` (sorted) into one or more SSTables of at most
+/// Writes `points` (sorted) into one or more SSTables of at most
 /// `points_per_file` points each, assigning file numbers via `next_file_no`.
 /// File paths are `<dir>/<number>.sst`. Appends metadata to *files.
+/// Delegates to the iterator overload below.
 Status WriteSortedPointsAsTables(
     Env* env, const std::string& dir, const std::vector<DataPoint>& points,
     size_t points_per_file, size_t points_per_block, uint64_t* next_file_no,
     std::vector<FileMetadata>* files,
     format::ValueEncoding encoding = format::ValueEncoding::kRaw);
+
+/// Iterator-driven overload: drains `input` block-in/block-out, so flush and
+/// compaction share one writer loop and peak memory stays bounded by the
+/// source's residency (one block per SSTable input) instead of the total
+/// input size. `cancel` (optional) is polled between blocks; on cancellation
+/// or any error, every file this call created is removed (best effort) and
+/// *files is left exactly as passed in, so an aborted merge can never leave
+/// partial tables for recovery to trip over. Returns Aborted on cancel.
+Status WriteSortedPointsAsTables(
+    Env* env, const std::string& dir, PointIterator* input,
+    size_t points_per_file, size_t points_per_block, uint64_t* next_file_no,
+    std::vector<FileMetadata>* files,
+    format::ValueEncoding encoding = format::ValueEncoding::kRaw,
+    const std::atomic<bool>* cancel = nullptr);
 
 /// Path helpers: `<dir>/<number>.sst`.
 std::string TableFilePath(const std::string& dir, uint64_t file_number);

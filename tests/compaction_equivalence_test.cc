@@ -1,0 +1,486 @@
+// Equivalence and robustness tests for the streaming k-way merge compaction
+// path: the rewritten merge must be point-for-point identical to the old
+// materialize-everything merge — same query results, same WA accounting,
+// same determinism — and must clean up after itself when I/O fails midway.
+// Also the cache-pollution regression test for fill_cache=false compaction
+// reads (a big merge must not evict hot query blocks).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/ts_engine.h"
+#include "env/fault_env.h"
+#include "env/mem_env.h"
+#include "storage/iterator.h"
+
+namespace seplsm::engine {
+namespace {
+
+class CompactionEquivalenceTest : public ::testing::Test {
+ protected:
+  Options BaseOptions(const std::string& dir = "/db") {
+    Options o;
+    o.env = &env_;
+    o.dir = dir;
+    o.sstable_points = 16;
+    o.points_per_block = 4;
+    return o;
+  }
+
+  std::unique_ptr<TsEngine> MustOpen(Options o) {
+    auto e = TsEngine::Open(std::move(o));
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    return std::move(e).value();
+  }
+
+  /// Full-range engine contents vs a last-write-wins model.
+  void ExpectMatchesModel(TsEngine* db,
+                          const std::map<int64_t, DataPoint>& model) {
+    std::vector<DataPoint> out;
+    ASSERT_TRUE(db->Query(std::numeric_limits<int64_t>::min(),
+                          std::numeric_limits<int64_t>::max(), &out)
+                    .ok());
+    ASSERT_EQ(out.size(), model.size());
+    size_t i = 0;
+    for (const auto& [t, p] : model) {
+      EXPECT_EQ(out[i].generation_time, t);
+      EXPECT_EQ(out[i].value, p.value) << "at t=" << t;
+      ++i;
+    }
+  }
+
+  MemEnv env_;
+};
+
+// --- Storage level: streaming merge == materialized reference merge ---
+
+TEST_F(CompactionEquivalenceTest, StreamingMergeMatchesMaterializedReference) {
+  // Two overlapping sorted sources with duplicate keys. Reference result:
+  // materialize via a map where the newer source wins, then cut tables with
+  // the vector writer (the seed's code path). Streaming result: a
+  // MergingIterator (newer first) driving the iterator writer directly.
+  Rng rng(42);
+  std::vector<DataPoint> older, newer;
+  int64_t t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += 1 + static_cast<int64_t>(rng.UniformU64(5));
+    older.push_back({t, t, static_cast<double>(i)});
+  }
+  t = 100;
+  for (int i = 0; i < 300; ++i) {
+    t += 1 + static_cast<int64_t>(rng.UniformU64(8));
+    newer.push_back({t, 100000 + t, 1000.0 + i});
+  }
+
+  std::map<int64_t, DataPoint> merged;
+  for (const auto& p : older) merged[p.generation_time] = p;
+  for (const auto& p : newer) merged[p.generation_time] = p;  // newer wins
+  std::vector<DataPoint> reference;
+  for (const auto& [key, p] : merged) {
+    (void)key;
+    reference.push_back(p);
+  }
+
+  uint64_t next_ref = 1;
+  std::vector<storage::FileMetadata> ref_files;
+  ASSERT_TRUE(storage::WriteSortedPointsAsTables(&env_, "/ref", reference, 64,
+                                                 8, &next_ref, &ref_files)
+                  .ok());
+
+  std::vector<std::unique_ptr<storage::PointIterator>> children;
+  children.push_back(std::make_unique<storage::VectorIterator>(&newer));
+  children.push_back(std::make_unique<storage::VectorIterator>(&older));
+  storage::MergingIterator input(std::move(children));
+  uint64_t next_stream = 1;
+  std::vector<storage::FileMetadata> stream_files;
+  ASSERT_TRUE(storage::WriteSortedPointsAsTables(&env_, "/stream", &input, 64,
+                                                 8, &next_stream,
+                                                 &stream_files)
+                  .ok());
+
+  ASSERT_EQ(stream_files.size(), ref_files.size());
+  for (size_t i = 0; i < stream_files.size(); ++i) {
+    EXPECT_EQ(stream_files[i].point_count, ref_files[i].point_count);
+    EXPECT_EQ(stream_files[i].min_generation_time,
+              ref_files[i].min_generation_time);
+    EXPECT_EQ(stream_files[i].max_generation_time,
+              ref_files[i].max_generation_time);
+    auto ref_r = storage::SSTableReader::Open(&env_, ref_files[i].path);
+    auto str_r = storage::SSTableReader::Open(&env_, stream_files[i].path);
+    ASSERT_TRUE(ref_r.ok() && str_r.ok());
+    std::vector<DataPoint> ref_pts, str_pts;
+    ASSERT_TRUE((*ref_r)->ReadAll(&ref_pts).ok());
+    ASSERT_TRUE((*str_r)->ReadAll(&str_pts).ok());
+    EXPECT_EQ(str_pts, ref_pts) << "file " << i;
+  }
+}
+
+// --- Engine level: fuzzed workloads vs a last-write-wins model ---
+
+TEST_F(CompactionEquivalenceTest, FuzzedWorkloadsMatchModelBothPolicies) {
+  struct Config {
+    const char* name;
+    PolicyConfig policy;
+  };
+  const Config kConfigs[] = {
+      {"conventional", PolicyConfig::Conventional(32)},
+      {"separation", PolicyConfig::Separation(32, 16)},
+  };
+  for (const auto& cfg : kConfigs) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      SCOPED_TRACE(testing::Message() << cfg.name << " seed=" << seed);
+      Options o = BaseOptions(std::string("/fuzz_") + cfg.name + "_" +
+                              std::to_string(seed));
+      o.policy = cfg.policy;
+      auto db = MustOpen(o);
+      std::map<int64_t, DataPoint> model;
+      Rng rng(seed);
+      int64_t t = 0;
+      for (int i = 0; i < 1500; ++i) {
+        t += 1 + rng.UniformInt(0, 3);
+        int64_t gt = t;
+        // A fifth of the points arrive late, with mixed delays — short hops
+        // and deep jumps both, so merges hit single- and many-file slices.
+        if (rng.Bernoulli(0.2)) {
+          gt = std::max<int64_t>(0, t - 1 - rng.UniformInt(0, 400));
+        }
+        DataPoint p{gt, i, 2.0 * static_cast<double>(gt) + 0.001 * i};
+        ASSERT_TRUE(db->Append(p).ok());
+        model[gt] = p;
+        if (i % 300 == 299) {
+          int64_t lo = rng.UniformInt(0, t);
+          int64_t hi = lo + rng.UniformInt(0, 500);
+          std::vector<DataPoint> out;
+          ASSERT_TRUE(db->Query(lo, hi, &out).ok());
+          std::vector<DataPoint> want;
+          for (auto it = model.lower_bound(lo);
+               it != model.end() && it->first <= hi; ++it) {
+            want.push_back(it->second);
+          }
+          ASSERT_EQ(out.size(), want.size()) << "[" << lo << "," << hi << "]";
+          for (size_t j = 0; j < out.size(); ++j) {
+            EXPECT_EQ(out[j].generation_time, want[j].generation_time);
+            EXPECT_EQ(out[j].value, want[j].value);
+          }
+        }
+      }
+      ASSERT_TRUE(db->FlushAll().ok());
+      ASSERT_TRUE(db->CheckInvariants().ok());
+      ExpectMatchesModel(db.get(), model);
+
+      // Accounting identities the streaming rewrite must preserve: every
+      // merge is recorded, and the cumulative rewrite counter is exactly
+      // the sum over events.
+      Metrics m = db->GetMetrics();
+      EXPECT_EQ(m.merge_events.size(), m.merge_count);
+      uint64_t rewritten = 0;
+      for (const auto& e : m.merge_events) {
+        rewritten += e.disk_points_rewritten;
+        EXPECT_LE(e.disk_points_subsequent, e.disk_points_rewritten);
+        EXPECT_LE(e.output_points,
+                  e.buffered_points + e.disk_points_rewritten);
+        EXPECT_GT(e.output_points, 0u);
+      }
+      EXPECT_EQ(m.points_rewritten, rewritten);
+      EXPECT_EQ(m.points_ingested, 1500u);
+    }
+  }
+}
+
+TEST_F(CompactionEquivalenceTest, IdenticalWorkloadsAreDeterministic) {
+  // Two engines fed the same byte-identical workload must agree on every
+  // counter and every merge event — synchronous-mode WA measurements rely
+  // on this reproducibility (ROADMAP: WA experiments are deterministic).
+  auto run = [&](const std::string& dir) {
+    Options o = BaseOptions(dir);
+    o.policy = PolicyConfig::Separation(24, 12);
+    auto db = MustOpen(o);
+    Rng rng(99);
+    int64_t t = 0;
+    for (int i = 0; i < 1000; ++i) {
+      t += 1 + rng.UniformInt(0, 2);
+      int64_t gt = rng.Bernoulli(0.3)
+                       ? std::max<int64_t>(0, t - 1 - rng.UniformInt(0, 300))
+                       : t;
+      EXPECT_TRUE(db->Append({gt, i, static_cast<double>(gt)}).ok());
+    }
+    EXPECT_TRUE(db->FlushAll().ok());
+    return db->GetMetrics();
+  };
+  Metrics a = run("/det_a");
+  Metrics b = run("/det_b");
+  EXPECT_EQ(a.points_flushed, b.points_flushed);
+  EXPECT_EQ(a.points_rewritten, b.points_rewritten);
+  EXPECT_EQ(a.merge_count, b.merge_count);
+  EXPECT_EQ(a.flush_count, b.flush_count);
+  EXPECT_EQ(a.files_created, b.files_created);
+  EXPECT_EQ(a.compaction_blocks_read, b.compaction_blocks_read);
+  EXPECT_EQ(a.compaction_bytes_read, b.compaction_bytes_read);
+  EXPECT_EQ(a.WriteAmplification(), b.WriteAmplification());
+  ASSERT_EQ(a.merge_events.size(), b.merge_events.size());
+  for (size_t i = 0; i < a.merge_events.size(); ++i) {
+    EXPECT_EQ(a.merge_events[i].buffered_points,
+              b.merge_events[i].buffered_points);
+    EXPECT_EQ(a.merge_events[i].disk_points_rewritten,
+              b.merge_events[i].disk_points_rewritten);
+    EXPECT_EQ(a.merge_events[i].disk_points_subsequent,
+              b.merge_events[i].disk_points_subsequent);
+    EXPECT_EQ(a.merge_events[i].output_points,
+              b.merge_events[i].output_points);
+  }
+}
+
+TEST_F(CompactionEquivalenceTest, GoldenRewriteAccounting) {
+  // Hand-computed scenario pinning the WA bookkeeping bit-for-bit.
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(4);
+  auto db = MustOpen(o);
+  // Batch 1: t=0..3 -> empty-slice merge, one run file [0..3].
+  for (int64_t t = 0; t < 4; ++t) {
+    ASSERT_TRUE(db->Append({t, t, 2.0 * t}).ok());
+  }
+  // Batch 2: t=4..7 -> no overlap, second run file [4..7].
+  for (int64_t t = 4; t < 8; ++t) {
+    ASSERT_TRUE(db->Append({t, t, 2.0 * t}).ok());
+  }
+  // Batch 3: {2, 9, 10, 11} -> lo=2 overlaps BOTH files: 8 points rewritten.
+  ASSERT_TRUE(db->Append({2, 100, 99.0}).ok());
+  for (int64_t t = 9; t < 12; ++t) {
+    ASSERT_TRUE(db->Append({t, 101, 2.0 * t}).ok());
+  }
+  Metrics m = db->GetMetrics();
+  EXPECT_EQ(m.merge_count, 3u);
+  EXPECT_EQ(m.points_flushed, 12u);
+  EXPECT_EQ(m.points_rewritten, 8u);
+  ASSERT_EQ(m.merge_events.size(), 3u);
+  EXPECT_EQ(m.merge_events[0].disk_points_rewritten, 0u);
+  EXPECT_EQ(m.merge_events[1].disk_points_rewritten, 0u);
+  const MergeEvent& e = m.merge_events[2];
+  EXPECT_EQ(e.buffered_points, 4u);
+  EXPECT_EQ(e.disk_points_rewritten, 8u);
+  // Disk points newer than the oldest buffered point (t=2): 3,4,5,6,7.
+  EXPECT_EQ(e.disk_points_subsequent, 5u);
+  EXPECT_EQ(e.input_files, 2u);
+  EXPECT_EQ(e.output_points, 11u);  // 12 keys, one duplicate (t=2)
+  EXPECT_GT(m.compaction_bytes_read, 0u);
+  EXPECT_GT(m.compaction_blocks_read, 0u);
+
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(0, 100, &out).ok());
+  ASSERT_EQ(out.size(), 11u);
+  EXPECT_EQ(out[2].generation_time, 2);
+  EXPECT_EQ(out[2].value, 99.0);  // the rewrite won over the original
+  ASSERT_TRUE(db->CheckInvariants().ok());
+}
+
+TEST_F(CompactionEquivalenceTest, CompactionReadCountersStayZeroWithoutReads) {
+  // A purely in-order workload never reads during run mutation — the new
+  // counters must not pick up flush traffic.
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(8);
+  auto db = MustOpen(o);
+  for (int64_t t = 0; t < 64; ++t) {
+    ASSERT_TRUE(db->Append({t, t, 1.0}).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  Metrics m = db->GetMetrics();
+  EXPECT_EQ(m.compaction_bytes_read, 0u);
+  EXPECT_EQ(m.compaction_blocks_read, 0u);
+  EXPECT_EQ(m.ToString().find("compaction_read_bytes"), std::string::npos);
+
+  // One out-of-order point forces a reading merge; the counters move and
+  // surface in ToString (what `seplsm_cli --stats` prints).
+  for (int64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(db->Append({i * 7 + 3, 1000 + i, 2.0}).ok());
+  }
+  m = db->GetMetrics();
+  EXPECT_GT(m.compaction_bytes_read, 0u);
+  EXPECT_GT(m.compaction_blocks_read, 0u);
+  EXPECT_NE(m.ToString().find("compaction_read_bytes"), std::string::npos);
+}
+
+// --- Fault injection: a failed merge must leave a recoverable directory ---
+
+TEST_F(CompactionEquivalenceTest, FaultMidMergeThenReopenRecoversAckedPoints) {
+  FaultInjectionEnv fault(&env_);
+  Options o = BaseOptions();
+  o.env = &fault;
+  o.policy = PolicyConfig::Conventional(8);
+  o.enable_wal = true;
+
+  std::map<int64_t, DataPoint> acked, attempted;
+  {
+    auto db = MustOpen(o);
+    // Phase 1: even keys, in order — builds a multi-file run.
+    for (int64_t j = 0; j < 32; ++j) {
+      DataPoint p{2 * j, j, static_cast<double>(2 * j)};
+      ASSERT_TRUE(db->Append(p).ok());
+      acked[p.generation_time] = p;
+      attempted[p.generation_time] = p;
+    }
+    // Phase 2: odd keys overlap the run, so draining C0 needs a reading,
+    // writing merge — which now dies partway through.
+    fault.SetFailAfterOps(10);
+    bool saw_failure = false;
+    for (int64_t j = 0; j < 24; ++j) {
+      DataPoint p{2 * j + 1, 100 + j, static_cast<double>(1000 + j)};
+      attempted[p.generation_time] = p;
+      Status st = db->Append(p);
+      if (st.ok()) {
+        acked[p.generation_time] = p;
+      } else {
+        saw_failure = true;
+      }
+    }
+    EXPECT_TRUE(saw_failure);
+    // Phase 3: fault clears; the engine must still be usable.
+    fault.SetFailAfterOps(-1);
+    DataPoint late{1001, 500, 7.0};
+    ASSERT_TRUE(db->Append(late).ok());
+    acked[late.generation_time] = late;
+    attempted[late.generation_time] = late;
+    ASSERT_TRUE(db->FlushAll().ok());
+    ASSERT_TRUE(db->CheckInvariants().ok());
+  }
+
+  // Reopen: recovery scans every *.sst in the directory — an aborted merge
+  // that left a partial table behind would fail right here.
+  auto db = MustOpen(o);
+  ASSERT_TRUE(db->CheckInvariants().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(std::numeric_limits<int64_t>::min(),
+                        std::numeric_limits<int64_t>::max(), &out)
+                  .ok());
+  // Everything acknowledged survives with its exact value; nothing appears
+  // that was never written (a failed append may legally survive via the
+  // WAL, so the upper bound is `attempted`).
+  std::map<int64_t, double> recovered;
+  for (const auto& p : out) recovered[p.generation_time] = p.value;
+  for (const auto& [t, p] : acked) {
+    ASSERT_TRUE(recovered.count(t)) << "acked point lost, t=" << t;
+    EXPECT_EQ(recovered[t], p.value) << "t=" << t;
+  }
+  for (const auto& [t, v] : recovered) {
+    ASSERT_TRUE(attempted.count(t)) << "phantom point, t=" << t;
+    EXPECT_EQ(attempted[t].value, v) << "t=" << t;
+  }
+}
+
+TEST_F(CompactionEquivalenceTest, BackgroundReadFaultIsStickyAndRecoverable) {
+  FaultInjectionEnv fault(&env_);
+  Options o = BaseOptions();
+  o.env = &fault;
+  o.policy = PolicyConfig::Conventional(8);
+  o.sstable_points = 16;
+  o.background_mode = true;
+  o.max_level0_files = 2;
+  o.enable_wal = true;
+
+  std::map<int64_t, DataPoint> acked, attempted;
+  {
+    auto db = MustOpen(o);
+    for (int64_t t = 0; t < 64; ++t) {
+      DataPoint p{t, t, static_cast<double>(t)};
+      ASSERT_TRUE(db->Append(p).ok());
+      acked[t] = p;
+      attempted[t] = p;
+    }
+    ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+    ASSERT_GT(db->RunFileCount(), 0u);
+
+    // Reads die: flushes keep landing in level 0 but the compactor cannot
+    // read its inputs. Backpressure + the stored background error must
+    // surface as a failed Append instead of a hang or a corrupt run.
+    fault.SetFailReads(true);
+    Status st;
+    for (int i = 0; i < 10'000 && st.ok(); ++i) {
+      DataPoint p{i % 64, 100 + i, 2.0};
+      attempted[p.generation_time] = p;
+      st = db->Append(p);
+      if (st.ok()) acked[p.generation_time] = p;
+    }
+    EXPECT_TRUE(st.IsIOError()) << st.ToString();
+    fault.SetFailReads(false);  // let shutdown clean up
+  }
+
+  // Reopen with healthy reads: every acknowledged point is recovered (the
+  // WAL covers what never reached level 0), and the directory recovers
+  // cleanly despite compactions having died mid-stream.
+  auto db = MustOpen(o);
+  ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+  ASSERT_TRUE(db->CheckInvariants().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(std::numeric_limits<int64_t>::min(),
+                        std::numeric_limits<int64_t>::max(), &out)
+                  .ok());
+  std::map<int64_t, double> recovered;
+  for (const auto& p : out) recovered[p.generation_time] = p.value;
+  for (const auto& [t, p] : acked) {
+    ASSERT_TRUE(recovered.count(t)) << "acked point lost, t=" << t;
+  }
+  for (const auto& [t, v] : recovered) {
+    (void)v;
+    ASSERT_TRUE(attempted.count(t)) << "phantom point, t=" << t;
+  }
+}
+
+// --- Cache pollution: compaction reads must not evict hot query blocks ---
+
+TEST_F(CompactionEquivalenceTest, LargeMergeDoesNotEvictHotBlocks) {
+  Options o = BaseOptions();
+  o.policy = PolicyConfig::Conventional(32);
+  o.sstable_points = 64;
+  o.points_per_block = 4;
+  // Budget sized to hold the hot region comfortably but nowhere near the
+  // merge's working set: if compaction reads were inserted, the merge
+  // below (256 blocks) would sweep the whole cache several times over.
+  o.block_cache_bytes = 8192;
+  o.block_cache_shards = 1;
+  auto db = MustOpen(o);
+
+  // Hot region B, far above everything else.
+  for (int64_t t = 100000; t < 100064; ++t) {
+    ASSERT_TRUE(db->Append({t, t, 1.0}).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(100000, 100063, &out).ok());  // warm the cache
+  ASSERT_EQ(out.size(), 64u);
+  storage::BlockCache* cache = db->block_cache();
+  ASSERT_NE(cache, nullptr);
+  const size_t entries_warm = cache->TotalEntries();
+  ASSERT_GT(entries_warm, 0u);
+
+  // Cold region A: 1024 in-order points (no reads — disjoint batches),
+  // then one out-of-order batch spanning all of A, forcing a merge that
+  // streams ~256 blocks through the compactor.
+  for (int64_t t = 0; t < 1024; ++t) {
+    ASSERT_TRUE(db->Append({t, 200000 + t, 0.5}).ok());
+  }
+  for (int64_t j = 0; j < 32; ++j) {
+    ASSERT_TRUE(db->Append({5 + 32 * j, 300000 + j, 9.0}).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  Metrics m = db->GetMetrics();
+  ASSERT_GE(m.compaction_blocks_read, 256u);
+  ASSERT_GT(m.compaction_bytes_read, 0u);
+
+  // The merge read far more than the cache budget, yet inserted nothing:
+  // B's blocks are all still resident and the re-query does zero device I/O.
+  EXPECT_EQ(cache->TotalEntries(), entries_warm);
+  QueryStats stats;
+  ASSERT_TRUE(db->Query(100000, 100063, &out, &stats).ok());
+  ASSERT_EQ(out.size(), 64u);
+  EXPECT_GT(stats.block_cache_hits, 0u);
+  EXPECT_EQ(stats.block_cache_misses, 0u);
+  EXPECT_EQ(stats.device_bytes_read, 0u);
+}
+
+}  // namespace
+}  // namespace seplsm::engine

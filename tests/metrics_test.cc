@@ -20,6 +20,8 @@ Metrics DistinctMetrics(uint64_t base) {
   m.wal_records = base + 9;
   m.wal_bytes = base + 10;
   m.wal_checkpoints = base + 11;
+  m.compaction_bytes_read = base + 26;
+  m.compaction_blocks_read = base + 27;
   m.queries = base + 12;
   m.points_returned = base + 13;
   m.disk_points_scanned = base + 14;
@@ -37,7 +39,7 @@ Metrics DistinctMetrics(uint64_t base) {
   return m;
 }
 
-constexpr size_t kCounterFields = 25;  // counters set by DistinctMetrics
+constexpr size_t kCounterFields = 27;  // counters set by DistinctMetrics
 constexpr size_t kVectorFields = 2;    // merge_events, wa_timeline
 
 TEST(MetricsMergeTest, EveryFieldIsCovered) {
@@ -67,6 +69,10 @@ TEST(MetricsMergeTest, EverySumIsCorrect) {
   EXPECT_EQ(a.wal_records, expect_a.wal_records + expect_b.wal_records);
   EXPECT_EQ(a.wal_bytes, expect_a.wal_bytes + expect_b.wal_bytes);
   EXPECT_EQ(a.wal_checkpoints, expect_a.wal_checkpoints + expect_b.wal_checkpoints);
+  EXPECT_EQ(a.compaction_bytes_read,
+            expect_a.compaction_bytes_read + expect_b.compaction_bytes_read);
+  EXPECT_EQ(a.compaction_blocks_read,
+            expect_a.compaction_blocks_read + expect_b.compaction_blocks_read);
   EXPECT_EQ(a.queries, expect_a.queries + expect_b.queries);
   EXPECT_EQ(a.points_returned, expect_a.points_returned + expect_b.points_returned);
   EXPECT_EQ(a.disk_points_scanned,

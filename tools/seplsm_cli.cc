@@ -88,9 +88,12 @@ int Usage() {
                "           [--bg-threads=T] [--cache-mb=M] [--cache-shards=S]\n"
                "  query    --dir=path --lo=T --hi=T [--bucket=W]\n"
                "           [--repeat=R] [--cache-mb=M] [--cache-shards=S]\n"
+               "           [--stats]\n"
                "  tune     --trace=csv [--n=512] [--granularity=S] [--step=K]\n"
-               "  info     --dir=path\n"
-               "  verify   --dir=path\n");
+               "  info     --dir=path [--stats]\n"
+               "  verify   --dir=path\n"
+               "  --stats prints the full engine counter line (incl. "
+               "compaction_read_bytes/blocks)\n");
   return 2;
 }
 
@@ -226,6 +229,11 @@ int CmdQuery(const Flags& flags) {
     std::printf(", cache hit rate %.1f%%", stats.BlockCacheHitRate() * 100.0);
   }
   std::printf(")\n");
+  if (flags.GetBool("stats")) {
+    // Cumulative engine counters for this process — recovery compactions
+    // (level-0 stragglers folded at Open) show up as compaction reads.
+    std::printf("%s\n", (*db)->GetMetrics().ToString().c_str());
+  }
   PrintCacheStats(db->get());
   return 0;
 }
@@ -279,6 +287,9 @@ int CmdInfo(const Flags& flags) {
               static_cast<long long>(agg.last_time));
   std::printf("run files:  %zu (+%zu level-0)\n", (*db)->RunFileCount(),
               (*db)->Level0FileCount());
+  if (flags.GetBool("stats")) {
+    std::printf("%s\n", (*db)->GetMetrics().ToString().c_str());
+  }
   return 0;
 }
 
