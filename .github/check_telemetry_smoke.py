@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validates the telemetry smoke artifacts produced in CI.
+
+Usage: check_telemetry_smoke.py <dir>
+
+Expects in <dir>:
+  stats.json        `seplsm_cli stats --json` output
+  stats.prom        `seplsm_cli stats --prometheus` output
+  spans.chrome.json Chrome trace_event capture (--trace-out, chrome format)
+  spans.jsonl       JSONL capture (--trace-out, jsonl format)
+
+Stdlib only (json, re, sys) so it runs on a bare CI python3.
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_stats_json(path):
+    doc = json.loads(path.read_text())
+    for key in ("series", "engine", "telemetry"):
+        if key not in doc:
+            fail(f"{path}: missing top-level key '{key}'")
+    counters = doc["engine"].get("counters", {})
+    for name in ("points_ingested", "points_flushed", "queries"):
+        if counters.get(name, 0) <= 0:
+            fail(f"{path}: engine counter '{name}' not positive: "
+                 f"{counters.get(name)}")
+    latency = doc["telemetry"].get("latency_micros", {})
+    if not latency:
+        fail(f"{path}: telemetry.latency_micros is empty")
+    # The smoke workload ingests and queries, so at minimum the append and
+    # query phases must report full percentile summaries.
+    for op in ("append", "query"):
+        summary = latency.get(op)
+        if summary is None:
+            fail(f"{path}: no latency summary for op '{op}' "
+                 f"(have: {sorted(latency)})")
+        for q in ("count", "p50", "p95", "p99", "max"):
+            if q not in summary:
+                fail(f"{path}: latency summary for '{op}' missing '{q}'")
+    if not any(op in latency for op in ("flush", "compaction")):
+        fail(f"{path}: neither flush nor compaction latency recorded "
+             f"(have: {sorted(latency)})")
+    print(f"ok: {path} ({sorted(latency)} phases)")
+
+
+def check_stats_prom(path):
+    text = path.read_text()
+    sample = re.compile(r"^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? "
+                        r"-?[0-9.eE+-]+(nan|inf)?$")
+    seen = set()
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        if not sample.match(line):
+            fail(f"{path}: malformed exposition line: {line!r}")
+        seen.add(line.split("{")[0].split(" ")[0])
+    for metric in ("seplsm_points_flushed_total", "seplsm_queries_total",
+                   "seplsm_op_latency_micros",
+                   "seplsm_write_amplification"):
+        if metric not in seen:
+            fail(f"{path}: metric '{metric}' not found")
+    if 'series="' not in text:
+        fail(f"{path}: no series label on any sample")
+    print(f"ok: {path} ({len(seen)} metric families)")
+
+
+def check_chrome_trace(path):
+    doc = json.loads(path.read_text())
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+    names = set()
+    for e in events:
+        if e.get("ph") == "M":
+            continue
+        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if key not in e:
+                fail(f"{path}: event missing '{key}': {e}")
+        names.add(e["name"])
+    for span in ("flush", "query"):
+        if span not in names:
+            fail(f"{path}: no '{span}' spans captured (have: {sorted(names)})")
+    print(f"ok: {path} ({len(events)} events, span types {sorted(names)})")
+
+
+def check_jsonl_trace(path):
+    types = set()
+    count = 0
+    for line in path.read_text().splitlines():
+        e = json.loads(line)
+        for key in ("type", "series", "start_nanos", "end_nanos",
+                    "duration_nanos"):
+            if key not in e:
+                fail(f"{path}: event missing '{key}': {line!r}")
+        if e["end_nanos"] < e["start_nanos"]:
+            fail(f"{path}: negative span: {line!r}")
+        types.add(e["type"])
+        count += 1
+    if count == 0:
+        fail(f"{path}: empty trace")
+    print(f"ok: {path} ({count} events, span types {sorted(types)})")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <dir>")
+    d = Path(sys.argv[1])
+    check_stats_json(d / "stats.json")
+    check_stats_prom(d / "stats.prom")
+    check_chrome_trace(d / "spans.chrome.json")
+    check_jsonl_trace(d / "spans.jsonl")
+    print("telemetry smoke: all artifacts valid")
+
+
+if __name__ == "__main__":
+    main()

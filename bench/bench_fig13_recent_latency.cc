@@ -12,8 +12,11 @@
 // the uncached baseline; with the cache the repeat is served from memory
 // and the simulated-HDD latency collapses.
 
+#include <cstring>
+
 #include "bench_query_util.h"
 #include "model/tuner.h"
+#include "telemetry/trace_export.h"
 #include "workload/datasets.h"
 
 int main(int argc, char** argv) {
@@ -21,6 +24,24 @@ int main(int argc, char** argv) {
   auto args = bench::BenchArgs::Parse(argc, argv, /*default_points=*/60'000);
   const size_t n = args.budget;
   const int64_t windows[] = {500, 1000, 5000};
+
+  // --trace-out=<file> captures engine spans (flush/compaction/query/...)
+  // from every workload run into one Chrome trace (--trace-format=jsonl for
+  // line-delimited JSON) — the Fig. 13 recipe in EXPERIMENTS.md §trace.
+  std::string trace_out;
+  std::string trace_format = "chrome";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) trace_out = argv[i] + 12;
+    if (std::strncmp(argv[i], "--trace-format=", 15) == 0) {
+      trace_format = argv[i] + 15;
+    }
+  }
+  std::shared_ptr<telemetry::Telemetry> telemetry;
+  if (!trace_out.empty()) {
+    telemetry::TelemetryOptions topts;
+    topts.trace_enabled = true;
+    telemetry = std::make_shared<telemetry::Telemetry>(topts);
+  }
 
   std::printf("=== Fig. 13: recent-data query latency (simulated HDD ns) "
               "===\n");
@@ -50,18 +71,19 @@ int main(int argc, char** argv) {
     double hit_cb = 0.0, hit_sb = 0.0;
     for (int64_t w : windows) {
       auto rc = bench::RunQueryWorkload(engine::PolicyConfig::Conventional(n),
-                                        points, w, bench::QueryMode::kRecent);
+                                        points, w, bench::QueryMode::kRecent,
+                                        512, 512, 0, false, telemetry);
       auto rs = bench::RunQueryWorkload(
           engine::PolicyConfig::Separation(n, nseq), points, w,
-          bench::QueryMode::kRecent);
+          bench::QueryMode::kRecent, 512, 512, 0, false, telemetry);
       auto rcb = bench::RunQueryWorkload(
           engine::PolicyConfig::Conventional(n), points, w,
           bench::QueryMode::kRecent, 512, 512, cache_bytes,
-          /*measure_repeat=*/true);
+          /*measure_repeat=*/true, telemetry);
       auto rsb = bench::RunQueryWorkload(
           engine::PolicyConfig::Separation(n, nseq), points, w,
           bench::QueryMode::kRecent, 512, 512, cache_bytes,
-          /*measure_repeat=*/true);
+          /*measure_repeat=*/true, telemetry);
       row_c.push_back(bench::Fmt(rc.mean_latency_ns, 0));
       row_s.push_back(bench::Fmt(rs.mean_latency_ns, 0));
       row_cb.push_back(bench::Fmt(rcb.mean_latency_ns, 0));
@@ -86,5 +108,20 @@ int main(int argc, char** argv) {
   }
   table.Print();
   table.WriteCsv(args.out);
+  if (telemetry != nullptr) {
+    if (telemetry::WriteTraceFile(*telemetry, trace_out, trace_format)) {
+      std::printf("(%llu spans captured, %llu dropped; trace written to %s "
+                  "[%s])\n",
+                  static_cast<unsigned long long>(
+                      telemetry->tracer().recorded()),
+                  static_cast<unsigned long long>(
+                      telemetry->tracer().dropped()),
+                  trace_out.c_str(), trace_format.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,164 @@
+// Telemetry overhead micro-benchmark: what a span costs, and what tracing
+// costs the append hot path.
+//
+// Three engine configurations are interleaved round-robin (so drift in
+// machine load hits them equally) and the per-append cost is the median
+// across rounds:
+//   baseline   no telemetry attached (the runtime-off default: one branch)
+//   attached   telemetry attached, tracing off (histograms live)
+//   tracing    telemetry attached, tracing on (sampled APPEND spans + ring)
+//
+// The acceptance gate: turning tracing ON over an already-attached hub may
+// cost at most 5% of append throughput (tracing only adds one ring write
+// per `append_span_sample_every` appends). Exit code 1 on violation, so CI
+// can run this binary directly. `--json=path` dumps the numbers for the
+// committed BENCH_telemetry.json snapshot; `--no-check` skips the gate.
+//
+//   --points=N    appends per round per configuration (default 200'000)
+//   --rounds=R    interleaved rounds (default 9, median taken)
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/ts_engine.h"
+#include "env/mem_env.h"
+#include "telemetry/telemetry.h"
+
+namespace {
+
+using namespace seplsm;
+
+enum class Config { kBaseline, kAttached, kTracing };
+
+/// One round: fresh engine, `points` in-order appends, ns per append.
+double MeasureAppendNs(Config config, size_t points) {
+  MemEnv env;
+  engine::Options o;
+  o.env = &env;
+  o.dir = "/tele";
+  o.policy = engine::PolicyConfig::Conventional(512);
+  o.sstable_points = 512;
+  o.record_merge_events = false;
+  std::shared_ptr<telemetry::Telemetry> telemetry;
+  if (config != Config::kBaseline) {
+    telemetry::TelemetryOptions topts;
+    topts.trace_enabled = config == Config::kTracing;
+    telemetry = std::make_shared<telemetry::Telemetry>(topts);
+    o.telemetry = telemetry;
+  }
+  auto open = engine::TsEngine::Open(o);
+  if (!open.ok()) std::exit(1);
+  auto& db = *open;
+  telemetry::Stopwatch watch;
+  for (size_t i = 0; i < points; ++i) {
+    int64_t t = static_cast<int64_t>(i);
+    if (!db->Append({t, t, 1.0}).ok()) std::exit(1);
+  }
+  return static_cast<double>(watch.ElapsedNanos()) /
+         static_cast<double>(points);
+}
+
+/// Raw cost of one RecordSpan call (histogram add + optional ring write).
+double MeasureRecordSpanNs(bool tracing_on) {
+  telemetry::TelemetryOptions topts;
+  topts.trace_enabled = tracing_on;
+  telemetry::Telemetry telemetry(topts);
+  constexpr size_t kCalls = 1'000'000;
+  telemetry::Stopwatch watch;
+  for (size_t i = 0; i < kCalls; ++i) {
+    int64_t t = static_cast<int64_t>(i);
+    telemetry.RecordSpan(telemetry::SpanType::kFlush, 1, t, t + 1000);
+  }
+  return static_cast<double>(watch.ElapsedNanos()) /
+         static_cast<double>(kCalls);
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t points = 200'000;
+  size_t rounds = 9;
+  std::string json_path;
+  bool check = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--points=", 9) == 0) {
+      points = static_cast<size_t>(std::strtoull(argv[i] + 9, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
+      rounds = static_cast<size_t>(std::strtoull(argv[i] + 9, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--no-check") == 0) {
+      check = false;
+    }
+  }
+  if (rounds == 0) rounds = 1;
+
+  std::vector<double> baseline, attached, tracing;
+  for (size_t r = 0; r < rounds; ++r) {
+    baseline.push_back(MeasureAppendNs(Config::kBaseline, points));
+    attached.push_back(MeasureAppendNs(Config::kAttached, points));
+    tracing.push_back(MeasureAppendNs(Config::kTracing, points));
+  }
+  const double base_ns = Median(baseline);
+  const double attached_ns = Median(attached);
+  const double tracing_ns = Median(tracing);
+  const double span_off_ns = MeasureRecordSpanNs(false);
+  const double span_on_ns = MeasureRecordSpanNs(true);
+
+  const double attach_overhead = attached_ns / base_ns - 1.0;
+  const double tracing_overhead = tracing_ns / attached_ns - 1.0;
+
+  std::printf("=== telemetry overhead (median of %zu rounds, %zu appends "
+              "each) ===\n\n",
+              rounds, points);
+  seplsm::bench::TablePrinter table({"config", "ns/append", "overhead"});
+  table.AddRow({"baseline (no telemetry)", seplsm::bench::Fmt(base_ns, 1),
+                "-"});
+  table.AddRow({"attached, tracing off", seplsm::bench::Fmt(attached_ns, 1),
+                seplsm::bench::Fmt(attach_overhead * 100.0, 1) + "%"});
+  table.AddRow({"attached, tracing on", seplsm::bench::Fmt(tracing_ns, 1),
+                seplsm::bench::Fmt(tracing_overhead * 100.0, 1) + "%"});
+  table.Print();
+  std::printf("\nRecordSpan: %.1f ns/span tracing off, %.1f ns/span tracing "
+              "on\n",
+              span_off_ns, span_on_ns);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(
+          f,
+          "{\n  \"bench\": \"telemetry_overhead\",\n"
+          "  \"points_per_round\": %zu,\n  \"rounds\": %zu,\n"
+          "  \"append_ns_baseline\": %.1f,\n"
+          "  \"append_ns_attached\": %.1f,\n"
+          "  \"append_ns_tracing\": %.1f,\n"
+          "  \"attach_overhead_pct\": %.2f,\n"
+          "  \"tracing_overhead_pct\": %.2f,\n"
+          "  \"record_span_ns_tracing_off\": %.1f,\n"
+          "  \"record_span_ns_tracing_on\": %.1f,\n"
+          "  \"gate\": \"tracing_overhead_pct <= 5\"\n}\n",
+          points, rounds, base_ns, attached_ns, tracing_ns,
+          attach_overhead * 100.0, tracing_overhead * 100.0, span_off_ns,
+          span_on_ns);
+      std::fclose(f);
+      std::printf("(written to %s)\n", json_path.c_str());
+    }
+  }
+
+  if (check && tracing_overhead > 0.05) {
+    std::fprintf(stderr,
+                 "FAIL: tracing-on append overhead %.1f%% exceeds the 5%% "
+                 "budget\n",
+                 tracing_overhead * 100.0);
+    return 1;
+  }
+  return 0;
+}

@@ -13,6 +13,8 @@
 #include "engine/ts_engine.h"
 #include "env/latency_env.h"
 #include "env/mem_env.h"
+#include "stats/histogram.h"
+#include "telemetry/telemetry.h"
 #include "workload/query_workload.h"
 
 namespace seplsm::bench {
@@ -20,6 +22,14 @@ namespace seplsm::bench {
 struct QueryWorkloadResult {
   double mean_read_amplification = 0.0;
   double mean_latency_ns = 0.0;   ///< simulated device time per query
+  // Tail of the simulated device time, from the same log-bucketed histogram
+  // the engine's telemetry registry uses (quantiles exact to within one
+  // geometric bucket; means are exact sums, identical to the old running
+  // accumulators).
+  double p50_latency_ns = 0.0;
+  double p95_latency_ns = 0.0;
+  double p99_latency_ns = 0.0;
+  double max_latency_ns = 0.0;
   double mean_files_opened = 0.0;
   double mean_device_bytes = 0.0; ///< block bytes read from device per query
   double cache_hit_rate = 0.0;    ///< 0 when the block cache is off
@@ -36,11 +46,14 @@ enum class QueryMode { kRecent, kHistorical };
 /// the dashboard-refresh pattern the block cache exists for. A repeated
 /// query without any cache costs the same as the first (LatencyEnv has no
 /// page cache), so plain rows double as the uncached-repeat baseline.
+/// A non-null `telemetry` is attached to the engine, so FLUSH/COMPACTION/
+/// QUERY spans from the workload land in its tracer/registry (--trace-out).
 inline QueryWorkloadResult RunQueryWorkload(
     const engine::PolicyConfig& policy, const std::vector<DataPoint>& points,
     int64_t window, QueryMode mode, size_t query_every = 512,
     size_t sstable_points = 512, size_t block_cache_bytes = 0,
-    bool measure_repeat = false) {
+    bool measure_repeat = false,
+    std::shared_ptr<telemetry::Telemetry> telemetry = nullptr) {
   MemEnv base;
   DeviceLatencyModel hdd;  // defaults: 8 ms seek, 100 MB/s
   LatencyEnv env(&base, hdd);
@@ -51,6 +64,7 @@ inline QueryWorkloadResult RunQueryWorkload(
   o.policy = policy;
   o.sstable_points = sstable_points;
   o.record_merge_events = false;
+  o.telemetry = std::move(telemetry);
   if (block_cache_bytes > 0) {
     o.block_cache_bytes = block_cache_bytes;
     o.table_cache_entries = 4096;
@@ -67,10 +81,13 @@ inline QueryWorkloadResult RunQueryWorkload(
   workload::HistoricalQueryGenerator historical(window, /*seed=*/913);
 
   QueryWorkloadResult result;
-  double total_ra = 0.0;
-  double total_latency = 0.0;
-  double total_files = 0.0;
-  double total_device_bytes = 0.0;
+  // One log-bucketed histogram per measured quantity, replacing the old
+  // ad-hoc running sums: mean() is the same exact sum/count, and the
+  // latency histogram adds the tail (p50/p95/p99/max) for free.
+  stats::LogHistogram ra_hist;
+  stats::LogHistogram latency_hist;
+  stats::LogHistogram files_hist;
+  stats::LogHistogram device_bytes_hist;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   int64_t max_written = std::numeric_limits<int64_t>::min();
@@ -97,23 +114,23 @@ inline QueryWorkloadResult RunQueryWorkload(
     if (!db->Query(q.lo, q.hi, &out, &stats).ok()) std::exit(1);
     int64_t nanos = env.simulated_nanos() - nanos_before;
     if (stats.points_returned == 0) continue;  // empty window: RA undefined
-    total_ra += stats.ReadAmplification();
-    total_latency += static_cast<double>(nanos);
-    total_files += static_cast<double>(stats.files_opened);
-    total_device_bytes += static_cast<double>(stats.device_bytes_read);
+    ra_hist.Add(stats.ReadAmplification());
+    latency_hist.Add(static_cast<double>(nanos));
+    files_hist.Add(static_cast<double>(stats.files_opened));
+    device_bytes_hist.Add(static_cast<double>(stats.device_bytes_read));
     cache_hits += stats.block_cache_hits;
     cache_misses += stats.block_cache_misses;
     ++result.queries;
   }
   if (result.queries > 0) {
-    result.mean_read_amplification =
-        total_ra / static_cast<double>(result.queries);
-    result.mean_latency_ns =
-        total_latency / static_cast<double>(result.queries);
-    result.mean_files_opened =
-        total_files / static_cast<double>(result.queries);
-    result.mean_device_bytes =
-        total_device_bytes / static_cast<double>(result.queries);
+    result.mean_read_amplification = ra_hist.mean();
+    result.mean_latency_ns = latency_hist.mean();
+    result.p50_latency_ns = latency_hist.Quantile(0.50);
+    result.p95_latency_ns = latency_hist.Quantile(0.95);
+    result.p99_latency_ns = latency_hist.Quantile(0.99);
+    result.max_latency_ns = latency_hist.max();
+    result.mean_files_opened = files_hist.mean();
+    result.mean_device_bytes = device_bytes_hist.mean();
   }
   if (cache_hits + cache_misses > 0) {
     result.cache_hit_rate = static_cast<double>(cache_hits) /

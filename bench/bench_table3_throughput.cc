@@ -26,7 +26,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <random>
 #include <thread>
 
@@ -34,14 +33,20 @@
 #include "engine/multi_series_db.h"
 #include "env/latency_env.h"
 #include "env/mem_env.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_export.h"
 #include "workload/datasets.h"
 #include "workload/query_workload.h"
 
 namespace seplsm {
 namespace {
 
-double MeasureThroughputPointsPerMs(const engine::PolicyConfig& policy,
-                                    const std::vector<DataPoint>& points) {
+// All timed sections use telemetry::Stopwatch — the same Clock path the
+// engine's spans measure with — instead of per-bench std::chrono plumbing.
+
+double MeasureThroughputPointsPerMs(
+    const engine::PolicyConfig& policy, const std::vector<DataPoint>& points,
+    std::shared_ptr<telemetry::Telemetry> telemetry) {
   MemEnv env;
   engine::Options o;
   o.env = &env;
@@ -50,16 +55,16 @@ double MeasureThroughputPointsPerMs(const engine::PolicyConfig& policy,
   o.sstable_points = 512;
   o.background_mode = true;
   o.record_merge_events = false;
+  o.telemetry = std::move(telemetry);
   auto open = engine::TsEngine::Open(o);
   if (!open.ok()) std::exit(1);
   auto& db = *open;
-  auto start = std::chrono::steady_clock::now();
+  telemetry::Stopwatch watch;
   for (const auto& p : points) {
     if (!db->Append(p).ok()) std::exit(1);
   }
-  auto end = std::chrono::steady_clock::now();
+  double ms = watch.ElapsedMillis();
   if (!db->FlushAll().ok()) std::exit(1);
-  double ms = std::chrono::duration<double, std::milli>(end - start).count();
   return static_cast<double>(points.size()) / ms;
 }
 
@@ -71,9 +76,9 @@ struct ConcurrentResult {
 /// Preloads the first half of `points`, then measures wall-clock ingest of
 /// the second half while (optionally) one thread runs historical queries
 /// over the preloaded range on a real-sleeping simulated HDD.
-ConcurrentResult MeasureIngestUnderQueries(const engine::PolicyConfig& policy,
-                                           const std::vector<DataPoint>& points,
-                                           bool with_queries) {
+ConcurrentResult MeasureIngestUnderQueries(
+    const engine::PolicyConfig& policy, const std::vector<DataPoint>& points,
+    bool with_queries, std::shared_ptr<telemetry::Telemetry> telemetry) {
   MemEnv base;
   DeviceLatencyModel hdd;  // 8 ms seek, 100 MB/s
   LatencyEnv env(&base, hdd, /*sleep_for_real=*/true);
@@ -84,6 +89,7 @@ ConcurrentResult MeasureIngestUnderQueries(const engine::PolicyConfig& policy,
   o.sstable_points = 512;
   o.background_mode = true;
   o.record_merge_events = false;
+  o.telemetry = std::move(telemetry);
   auto open = engine::TsEngine::Open(o);
   if (!open.ok()) std::exit(1);
   auto& db = *open;
@@ -115,16 +121,15 @@ ConcurrentResult MeasureIngestUnderQueries(const engine::PolicyConfig& policy,
     });
   }
 
-  auto start = std::chrono::steady_clock::now();
+  telemetry::Stopwatch watch;
   for (size_t i = half; i < points.size(); ++i) {
     if (!db->Append(points[i]).ok()) std::exit(1);
   }
-  auto end = std::chrono::steady_clock::now();
+  double ms = watch.ElapsedMillis();
   done.store(true, std::memory_order_release);
   if (reader.joinable()) reader.join();
   if (!db->FlushAll().ok()) std::exit(1);
 
-  double ms = std::chrono::duration<double, std::milli>(end - start).count();
   result.ingest_points_per_ms =
       static_cast<double>(points.size() - half) / ms;
   result.queries_completed = queries.load(std::memory_order_relaxed);
@@ -157,11 +162,10 @@ std::vector<int64_t> SeriesKeys(size_t n, uint32_t seed) {
 /// `num_series` series over one MultiSeriesDB (MemEnv), ingested by
 /// `client_threads` client threads (series partitioned round-robin), with a
 /// `bg_threads`-worker shared scheduler doing all flush/compaction.
-ParallelIngestResult MeasureMultiSeriesParallelIngest(size_t bg_threads,
-                                                      size_t num_series,
-                                                      size_t client_threads,
-                                                      size_t points_per_series,
-                                                      size_t budget) {
+ParallelIngestResult MeasureMultiSeriesParallelIngest(
+    size_t bg_threads, size_t num_series, size_t client_threads,
+    size_t points_per_series, size_t budget,
+    std::shared_ptr<telemetry::Telemetry> telemetry) {
   MemEnv env;
   engine::MultiSeriesDB::MultiOptions o;
   o.base.env = &env;
@@ -171,6 +175,7 @@ ParallelIngestResult MeasureMultiSeriesParallelIngest(size_t bg_threads,
   o.base.background_mode = true;
   o.base.background_threads = bg_threads;
   o.base.record_merge_events = false;
+  o.base.telemetry = std::move(telemetry);
   auto open = engine::MultiSeriesDB::Open(std::move(o));
   if (!open.ok()) std::exit(1);
   auto& db = *open;
@@ -181,7 +186,7 @@ ParallelIngestResult MeasureMultiSeriesParallelIngest(size_t bg_threads,
   }
 
   std::atomic<bool> failed{false};
-  auto start = std::chrono::steady_clock::now();
+  telemetry::Stopwatch watch;
   std::vector<std::thread> clients;
   for (size_t c = 0; c < client_threads; ++c) {
     clients.emplace_back([&, c] {
@@ -197,10 +202,9 @@ ParallelIngestResult MeasureMultiSeriesParallelIngest(size_t bg_threads,
     });
   }
   for (auto& t : clients) t.join();
-  auto end = std::chrono::steady_clock::now();
+  double ms = watch.ElapsedMillis();
   if (failed.load() || !db->FlushAll().ok()) std::exit(1);
 
-  double ms = std::chrono::duration<double, std::milli>(end - start).count();
   engine::Metrics m = db->GetAggregateMetrics();
   ParallelIngestResult r;
   r.points_per_ms =
@@ -221,6 +225,23 @@ int main(int argc, char** argv) {
   auto args = bench::BenchArgs::Parse(argc, argv, /*default_points=*/100'000);
   const size_t n = args.budget;
 
+  // --trace-out=<file> captures flush/compaction/queue-wait/stall spans
+  // from every measured engine into one trace file.
+  std::string trace_out;
+  std::string trace_format = "chrome";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) trace_out = argv[i] + 12;
+    if (std::strncmp(argv[i], "--trace-format=", 15) == 0) {
+      trace_format = argv[i] + 15;
+    }
+  }
+  std::shared_ptr<telemetry::Telemetry> telemetry;
+  if (!trace_out.empty()) {
+    telemetry::TelemetryOptions topts;
+    topts.trace_enabled = true;
+    telemetry = std::make_shared<telemetry::Telemetry>(topts);
+  }
+
   std::printf("=== Table III: write throughput (points/ms), bg compaction "
               "===\n");
   std::printf("(%zu points per dataset, n=%zu, pi_s uses n_seq=n/2)\n\n",
@@ -230,9 +251,9 @@ int main(int argc, char** argv) {
   for (const auto& config : workload::TableII()) {
     auto points = workload::GenerateTableII(config, args.points);
     double tc = MeasureThroughputPointsPerMs(
-        engine::PolicyConfig::Conventional(n), points);
+        engine::PolicyConfig::Conventional(n), points, telemetry);
     double ts = MeasureThroughputPointsPerMs(
-        engine::PolicyConfig::Separation(n, n / 2), points);
+        engine::PolicyConfig::Separation(n, n / 2), points, telemetry);
     table.AddRow({config.name, bench::Fmt(tc, 1), bench::Fmt(ts, 1),
                   bench::Fmt(ts / tc, 2)});
   }
@@ -262,8 +283,10 @@ int main(int argc, char** argv) {
         {"pi_s", engine::PolicyConfig::Separation(n, n / 2)},
     };
     for (const auto& pc : policies) {
-      auto alone = MeasureIngestUnderQueries(pc.policy, points, false);
-      auto busy = MeasureIngestUnderQueries(pc.policy, points, true);
+      auto alone = MeasureIngestUnderQueries(pc.policy, points, false,
+                                             telemetry);
+      auto busy = MeasureIngestUnderQueries(pc.policy, points, true,
+                                            telemetry);
       ctable.AddRow({configs[d].name, pc.name,
                      bench::Fmt(alone.ingest_points_per_ms, 1),
                      bench::Fmt(busy.ingest_points_per_ms, 1),
@@ -309,7 +332,7 @@ int main(int argc, char** argv) {
   double base_tput = 0.0;
   for (size_t bg : sweep) {
     auto r = MeasureMultiSeriesParallelIngest(bg, kSeries, kClients,
-                                              per_series, n);
+                                              per_series, n, telemetry);
     if (base_tput == 0.0) base_tput = r.points_per_ms;
     sweep_results.emplace_back(bg, r);
     ptable.AddRow({std::to_string(bg), bench::Fmt(r.points_per_ms, 1),
@@ -353,6 +376,21 @@ int main(int argc, char** argv) {
       std::fprintf(f, "  ]\n}\n");
       std::fclose(f);
       std::printf("(sweep written to %s)\n", json_path.c_str());
+    }
+  }
+  if (telemetry != nullptr) {
+    if (telemetry::WriteTraceFile(*telemetry, trace_out, trace_format)) {
+      std::printf("(%llu spans captured, %llu dropped; trace written to %s "
+                  "[%s])\n",
+                  static_cast<unsigned long long>(
+                      telemetry->tracer().recorded()),
+                  static_cast<unsigned long long>(
+                      telemetry->tracer().dropped()),
+                  trace_out.c_str(), trace_format.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_out.c_str());
+      return 1;
     }
   }
   return 0;

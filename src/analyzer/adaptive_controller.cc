@@ -1,8 +1,22 @@
 #include "analyzer/adaptive_controller.h"
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace seplsm::analyzer {
+
+namespace {
+
+/// Bumps a named counter on the engine's telemetry hub (no-op when
+/// observability is off). The controller's own instrumentation: tuning
+/// cadence and drift-triggered refits show up next to the POLICY_SWITCH
+/// spans the engine records.
+void BumpCounter(engine::TsEngine* engine, const char* name) {
+  telemetry::Telemetry* t = engine->options().telemetry.get();
+  if (telemetry::Active(t)) t->registry().GetCounter(name)->Add(1);
+}
+
+}  // namespace
 
 AdaptiveController::AdaptiveController(engine::TsEngine* engine,
                                        Options options)
@@ -36,6 +50,7 @@ Status AdaptiveController::Observe(const DataPoint& point) {
   if (drift_.IsDrift(collector_.RecentSample())) {
     SEPLSM_LOG(Info) << "delay drift detected after " << observed_
                      << " points; re-tuning";
+    BumpCounter(engine_, "analyzer_drift_detections");
     // Rebuild the profile from recent data only: the old reservoir mixes
     // both regimes. Timing statistics (Δt) keep their history.
     std::vector<double> recent = collector_.RecentSample();
@@ -68,7 +83,9 @@ Status AdaptiveController::RunTuning() {
   decision.chosen = tuned.recommended;
   decision.switched =
       !SameConfig(engine_->options().policy, tuned.recommended);
+  BumpCounter(engine_, "analyzer_tuning_decisions");
   if (decision.switched) {
+    BumpCounter(engine_, "analyzer_policy_switches");
     SEPLSM_LOG(Info) << "switching policy to "
                      << tuned.recommended.ToString()
                      << " (r_c=" << tuned.wa_conventional

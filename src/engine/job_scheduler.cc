@@ -19,6 +19,18 @@ std::shared_ptr<JobScheduler::Token> JobScheduler::RegisterToken() {
   return std::make_shared<Token>();
 }
 
+void JobScheduler::AttachTelemetry(
+    std::shared_ptr<telemetry::Telemetry> telemetry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!telemetry::Active(telemetry.get())) return;
+  telemetry_ = std::move(telemetry);
+  telemetry::MetricsRegistry& reg = telemetry_->registry();
+  executed_flush_counter_ = reg.GetCounter("scheduler_flush_jobs_executed");
+  executed_compaction_counter_ =
+      reg.GetCounter("scheduler_compaction_jobs_executed");
+  canceled_jobs_counter_ = reg.GetCounter("scheduler_jobs_canceled");
+}
+
 Status JobScheduler::Submit(const std::shared_ptr<Token>& token, JobKind kind,
                             Job job) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -93,6 +105,10 @@ void JobScheduler::RunOne(const std::shared_ptr<Token>& token) {
     std::lock_guard<std::mutex> lock(mutex_);
     token->running_ = false;
     ++(kind == JobKind::kFlush ? executed_flush_ : executed_compaction_);
+    telemetry::Counter* counter = kind == JobKind::kFlush
+                                      ? executed_flush_counter_
+                                      : executed_compaction_counter_;
+    if (counter != nullptr) counter->Add(1);
     DispatchLocked(token);  // more queued work? grab another slot
     drain_cv_.notify_all();
   }
@@ -101,7 +117,12 @@ void JobScheduler::RunOne(const std::shared_ptr<Token>& token) {
 void JobScheduler::DrainToken(const std::shared_ptr<Token>& token) {
   std::unique_lock<std::mutex> lock(mutex_);
   token->canceled_ = true;
-  canceled_jobs_ += token->flush_queue_.size() + token->compaction_queue_.size();
+  const size_t dropped =
+      token->flush_queue_.size() + token->compaction_queue_.size();
+  canceled_jobs_ += dropped;
+  if (canceled_jobs_counter_ != nullptr && dropped > 0) {
+    canceled_jobs_counter_->Add(dropped);
+  }
   queued_flush_ -= token->flush_queue_.size();
   queued_compaction_ -= token->compaction_queue_.size();
   token->flush_queue_.clear();

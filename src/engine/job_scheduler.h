@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "telemetry/telemetry.h"
 
 namespace seplsm::engine {
 
@@ -103,6 +104,13 @@ class JobScheduler {
   size_t thread_count() const { return pool_.thread_count(); }
   Stats GetStats() const;
 
+  /// Mirrors executed/canceled job counts into `telemetry`'s named counters
+  /// (scheduler_flush_jobs_executed, scheduler_compaction_jobs_executed,
+  /// scheduler_jobs_canceled). Queue-wait spans/histograms stay with the
+  /// submitting engines — they know which series waited — so attaching here
+  /// never double-counts latency. Call before submitting work.
+  void AttachTelemetry(std::shared_ptr<telemetry::Telemetry> telemetry);
+
  private:
   void RunOne(const std::shared_ptr<Token>& token);
   /// Submits a pool dispatch for `token` if it has runnable work and no
@@ -118,6 +126,11 @@ class JobScheduler {
   uint64_t executed_compaction_ = 0;
   uint64_t canceled_jobs_ = 0;
   uint64_t queue_wait_micros_ = 0;
+  /// Owns the registry the counters below live in (null = not attached).
+  std::shared_ptr<telemetry::Telemetry> telemetry_;
+  telemetry::Counter* executed_flush_counter_ = nullptr;
+  telemetry::Counter* executed_compaction_counter_ = nullptr;
+  telemetry::Counter* canceled_jobs_counter_ = nullptr;
   /// Declared last: destroyed first, so worker threads are joined before
   /// the state above goes away.
   ThreadPool pool_;

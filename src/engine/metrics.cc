@@ -4,34 +4,36 @@
 
 namespace seplsm::engine {
 
+namespace {
+
+/// Escapes a Prometheus label value: backslash, double quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 void Metrics::MergeFrom(const Metrics& other) {
-  points_ingested += other.points_ingested;
-  points_flushed += other.points_flushed;
-  points_rewritten += other.points_rewritten;
-  bytes_written += other.bytes_written;
-  flush_count += other.flush_count;
-  merge_count += other.merge_count;
-  files_created += other.files_created;
-  files_deleted += other.files_deleted;
-  wal_records += other.wal_records;
-  wal_bytes += other.wal_bytes;
-  wal_checkpoints += other.wal_checkpoints;
-  compaction_bytes_read += other.compaction_bytes_read;
-  compaction_blocks_read += other.compaction_blocks_read;
-  queries += other.queries;
-  points_returned += other.points_returned;
-  disk_points_scanned += other.disk_points_scanned;
-  query_files_opened += other.query_files_opened;
-  query_device_bytes_read += other.query_device_bytes_read;
-  block_cache_hits += other.block_cache_hits;
-  block_cache_misses += other.block_cache_misses;
-  bg_flush_jobs += other.bg_flush_jobs;
-  bg_compaction_jobs += other.bg_compaction_jobs;
-  bg_queue_wait_micros += other.bg_queue_wait_micros;
-  writer_stalls += other.writer_stalls;
-  writer_stall_micros += other.writer_stall_micros;
-  snapshots_acquired += other.snapshots_acquired;
-  files_deferred_deleted += other.files_deferred_deleted;
+#define SEPLSM_METRICS_MERGE_FIELD(name, help) name += other.name;
+  SEPLSM_METRICS_COUNTERS(SEPLSM_METRICS_MERGE_FIELD)
+#undef SEPLSM_METRICS_MERGE_FIELD
   merge_events.insert(merge_events.end(), other.merge_events.begin(),
                       other.merge_events.end());
   wa_timeline.insert(wa_timeline.end(), other.wa_timeline.begin(),
@@ -39,38 +41,64 @@ void Metrics::MergeFrom(const Metrics& other) {
 }
 
 std::string Metrics::ToString() const {
+  // Derived figures first (the paper's headline numbers), then every raw
+  // counter — an audit surface, so nothing is gated on being non-zero.
   std::ostringstream out;
-  out << "ingested=" << points_ingested << " flushed=" << points_flushed
-      << " rewritten=" << points_rewritten
-      << " WA=" << WriteAmplification() << " flushes=" << flush_count
-      << " merges=" << merge_count << " files_created=" << files_created
-      << " files_deleted=" << files_deleted << " bytes=" << bytes_written;
-  if (compaction_bytes_read + compaction_blocks_read > 0) {
-    out << " | compaction_read_bytes=" << compaction_bytes_read
-        << " compaction_read_blocks=" << compaction_blocks_read;
+  out << "WA=" << WriteAmplification() << " RA=" << ReadAmplification()
+      << " cache_hit_rate=" << BlockCacheHitRate() * 100.0 << "%";
+#define SEPLSM_METRICS_PRINT_FIELD(name, help) out << " " #name "=" << name;
+  SEPLSM_METRICS_COUNTERS(SEPLSM_METRICS_PRINT_FIELD)
+#undef SEPLSM_METRICS_PRINT_FIELD
+  out << " merge_events=" << merge_events.size()
+      << " wa_timeline=" << wa_timeline.size();
+  return out.str();
+}
+
+std::string Metrics::ToJson() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+#define SEPLSM_METRICS_JSON_FIELD(name, help)      \
+  if (!first) out << ",";                          \
+  first = false;                                   \
+  out << "\"" #name "\":" << name;
+  SEPLSM_METRICS_COUNTERS(SEPLSM_METRICS_JSON_FIELD)
+#undef SEPLSM_METRICS_JSON_FIELD
+  (void)first;
+  out << "},\"derived\":{\"write_amplification\":" << WriteAmplification()
+      << ",\"read_amplification\":" << ReadAmplification()
+      << ",\"block_cache_hit_rate\":" << BlockCacheHitRate()
+      << "},\"merge_events\":" << merge_events.size()
+      << ",\"wa_timeline\":" << wa_timeline.size() << "}";
+  return out.str();
+}
+
+std::string Metrics::ToPrometheus(const std::string& series) const {
+  std::string labels;
+  if (!series.empty()) {
+    labels = "{series=\"" + EscapeLabelValue(series) + "\"}";
   }
-  if (queries > 0) {
-    out << " | queries=" << queries << " returned=" << points_returned
-        << " scanned=" << disk_points_scanned
-        << " RA=" << ReadAmplification()
-        << " device_bytes=" << query_device_bytes_read
-        << " snapshots=" << snapshots_acquired;
-  }
-  if (files_deferred_deleted > 0) {
-    out << " | deferred_deletes=" << files_deferred_deleted;
-  }
-  if (bg_flush_jobs + bg_compaction_jobs > 0) {
-    out << " | bg_flushes=" << bg_flush_jobs
-        << " bg_compactions=" << bg_compaction_jobs
-        << " bg_queue_wait_us=" << bg_queue_wait_micros
-        << " writer_stalls=" << writer_stalls
-        << " writer_stall_us=" << writer_stall_micros;
-  }
-  if (block_cache_hits + block_cache_misses > 0) {
-    out << " | cache_hits=" << block_cache_hits
-        << " cache_misses=" << block_cache_misses
-        << " hit_rate=" << BlockCacheHitRate() * 100.0 << "%";
-  }
+  std::ostringstream out;
+#define SEPLSM_METRICS_PROM_FIELD(name, help)                         \
+  out << "# HELP seplsm_" #name "_total " << help << "\n"             \
+      << "# TYPE seplsm_" #name "_total counter\n"                    \
+      << "seplsm_" #name "_total" << labels << " " << name << "\n";
+  SEPLSM_METRICS_COUNTERS(SEPLSM_METRICS_PROM_FIELD)
+#undef SEPLSM_METRICS_PROM_FIELD
+  out << "# HELP seplsm_write_amplification points written over points "
+         "ingested\n"
+      << "# TYPE seplsm_write_amplification gauge\n"
+      << "seplsm_write_amplification" << labels << " " << WriteAmplification()
+      << "\n"
+      << "# HELP seplsm_read_amplification disk points scanned over points "
+         "returned\n"
+      << "# TYPE seplsm_read_amplification gauge\n"
+      << "seplsm_read_amplification" << labels << " " << ReadAmplification()
+      << "\n"
+      << "# HELP seplsm_block_cache_hit_rate hits over lookups\n"
+      << "# TYPE seplsm_block_cache_hit_rate gauge\n"
+      << "seplsm_block_cache_hit_rate" << labels << " " << BlockCacheHitRate()
+      << "\n";
   return out.str();
 }
 

@@ -51,56 +51,68 @@ struct QueryStats {
   }
 };
 
+/// Reflection list of every cumulative counter: X(field_name, help_text).
+/// Field declarations, MergeFrom, ToString, ToJson, ToPrometheus, and the
+/// coverage test in tests/metrics_test.cc all expand this list, so adding a
+/// counter here wires it through every aggregate and export surface at once
+/// — no export can silently miss a field. Notable semantics:
+/// - `wal_bytes` tracks the current log size (summed across engines by
+///   MergeFrom, like every other field).
+/// - `bg_queue_wait_micros` is this engine's cumulative submit-to-dispatch
+///   latency on the shared scheduler — time work sat behind other engines.
+/// - `writer_stall_micros` is time Appends spent blocked because level 0
+///   plus the pending-flush queue were full (ingest lost to background lag).
+/// - `files_deferred_deleted` counts files routed through the deferred-
+///   delete list; `files_deleted` counts the physical unlinks once the last
+///   referencing snapshot dropped.
+#define SEPLSM_METRICS_COUNTERS(X)                                           \
+  /* Write path (points are the unit of the paper's WA definition) */        \
+  X(points_ingested, "points accepted by Append")                            \
+  X(points_flushed, "points written memory to disk")                         \
+  X(points_rewritten, "points rewritten disk to disk by compaction")         \
+  X(bytes_written, "SSTable bytes written by flushes and compactions")       \
+  X(flush_count, "MemTable flushes")                                         \
+  X(merge_count, "merges/compactions into the sorted run")                   \
+  X(files_created, "SSTable files created")                                  \
+  X(files_deleted, "SSTable files unlinked from disk")                       \
+  X(wal_records, "points appended to the write-ahead log")                   \
+  X(wal_bytes, "write-ahead log size in bytes")                              \
+  X(wal_checkpoints, "write-ahead log checkpoint truncations")               \
+  /* Compaction read traffic (device side; cache hits read nothing) */       \
+  X(compaction_bytes_read, "device bytes read by compactions")               \
+  X(compaction_blocks_read, "SSTable blocks read by compactions")            \
+  /* Read path (sums of QueryStats) */                                       \
+  X(queries, "range queries served")                                         \
+  X(points_returned, "points returned to queries")                           \
+  X(disk_points_scanned, "disk points scanned for queries")                  \
+  X(query_files_opened, "SSTable opens on the query path")                   \
+  X(query_device_bytes_read, "device bytes read by queries")                 \
+  X(block_cache_hits, "block cache hits on the query path")                  \
+  X(block_cache_misses, "block cache misses on the query path")              \
+  /* Background scheduler (jobs counted where the token was submitted) */    \
+  X(bg_flush_jobs, "background flush jobs executed")                         \
+  X(bg_compaction_jobs, "background compaction jobs executed")               \
+  X(bg_queue_wait_micros, "microseconds background jobs waited in queue")    \
+  X(writer_stalls, "Appends that blocked on level-0 backpressure")           \
+  X(writer_stall_micros, "microseconds Appends spent stalled")               \
+  /* Snapshot-isolated read path */                                          \
+  X(snapshots_acquired, "version snapshots handed to readers")               \
+  X(files_deferred_deleted, "files routed through deferred deletion")
+
 /// Cumulative engine counters. Points are the unit of the paper's WA
-/// definition; bytes are tracked in parallel for completeness.
+/// definition; bytes are tracked in parallel for completeness. The fields
+/// are generated from SEPLSM_METRICS_COUNTERS above (one uint64_t each, in
+/// list order).
 struct Metrics {
-  // Write path.
-  uint64_t points_ingested = 0;
-  uint64_t points_flushed = 0;    ///< memory -> disk
-  uint64_t points_rewritten = 0;  ///< disk -> disk (compaction)
-  uint64_t bytes_written = 0;
-  uint64_t flush_count = 0;
-  uint64_t merge_count = 0;
-  uint64_t files_created = 0;
-  uint64_t files_deleted = 0;
-  uint64_t wal_records = 0;
-  uint64_t wal_bytes = 0;
-  uint64_t wal_checkpoints = 0;
+#define SEPLSM_METRICS_DECLARE_FIELD(name, help) uint64_t name = 0;
+  SEPLSM_METRICS_COUNTERS(SEPLSM_METRICS_DECLARE_FIELD)
+#undef SEPLSM_METRICS_DECLARE_FIELD
 
-  // Compaction read traffic (device side; block-cache hits read nothing).
-  // Separate from the query counters so merge I/O is visible on its own —
-  // the materialized compactor read these bytes too, it just never
-  // reported them.
-  uint64_t compaction_bytes_read = 0;
-  uint64_t compaction_blocks_read = 0;
-
-  // Read path (sums of QueryStats).
-  uint64_t queries = 0;
-  uint64_t points_returned = 0;
-  uint64_t disk_points_scanned = 0;
-  uint64_t query_files_opened = 0;
-  uint64_t query_device_bytes_read = 0;
-  uint64_t block_cache_hits = 0;
-  uint64_t block_cache_misses = 0;
-
-  // Background scheduler (engine/job_scheduler.h). Jobs are counted when
-  // they execute, on the engine whose token submitted them.
-  uint64_t bg_flush_jobs = 0;       ///< flush jobs executed
-  uint64_t bg_compaction_jobs = 0;  ///< compaction jobs executed
-  /// Cumulative submit-to-dispatch latency of this engine's background
-  /// jobs — how long work sat in the shared queue behind other engines.
-  uint64_t bg_queue_wait_micros = 0;
-  uint64_t writer_stalls = 0;  ///< Appends that blocked on backpressure
-  /// Cumulative time Appends spent blocked because level 0 plus the
-  /// pending-flush queue were full — ingest time lost to background lag.
-  uint64_t writer_stall_micros = 0;
-
-  // Snapshot-isolated read path.
-  uint64_t snapshots_acquired = 0;  ///< version snapshots handed to readers
-  /// Table files whose deletion was routed through the deferred-delete list
-  /// (every compaction-retired file; `files_deleted` counts the physical
-  /// unlinks once the last referencing snapshot dropped).
-  uint64_t files_deferred_deleted = 0;
+  /// Number of counter fields (everything the X-list declares).
+#define SEPLSM_METRICS_COUNT_FIELD(name, help) +1
+  static constexpr size_t kCounterCount =
+      0 SEPLSM_METRICS_COUNTERS(SEPLSM_METRICS_COUNT_FIELD);
+#undef SEPLSM_METRICS_COUNT_FIELD
 
   std::vector<MergeEvent> merge_events;
 
@@ -109,10 +121,8 @@ struct Metrics {
   std::vector<uint64_t> wa_timeline;
 
   /// Adds every counter of `other` into this and appends its event
-  /// vectors (`merge_events`, `wa_timeline`). This is THE way to aggregate
-  /// metrics across engines — when adding a counter field, update
-  /// MergeFrom (and the field-coverage test in tests/metrics_test.cc) or
-  /// the new field will be silently dropped from aggregates.
+  /// vectors (`merge_events`, `wa_timeline`). Expanded from the X-list, so
+  /// it can never miss a field.
   void MergeFrom(const Metrics& other);
 
   uint64_t points_written_total() const {
@@ -144,7 +154,19 @@ struct Metrics {
                      static_cast<double>(total);
   }
 
+  /// Derived figures (WA/RA/hit-rate) followed by every raw counter as
+  /// `name=value` — an audit surface, so no field is gated on being
+  /// non-zero — then the event-vector sizes.
   std::string ToString() const;
+
+  /// `{"counters":{...},"derived":{...},"merge_events":N,"wa_timeline":N}`.
+  /// Counters appear in declaration order; derived carries WA/RA/hit-rate.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition: `seplsm_<name>_total{series="..."} value`
+  /// per counter (HELP/TYPE lines from the X-list help strings) plus
+  /// derived gauges. An empty `series` omits the label set.
+  std::string ToPrometheus(const std::string& series = std::string()) const;
 };
 
 }  // namespace seplsm::engine

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <thread>
 
+#include "common/logging.h"
+
 namespace seplsm::engine {
 
 namespace {
@@ -84,7 +86,18 @@ Result<std::unique_ptr<MultiSeriesDB>> MultiSeriesDB::Open(
                          : std::thread::hardware_concurrency();
     options.base.job_scheduler = std::make_shared<JobScheduler>(threads);
   }
+  // One aggregate dump timer for the database instead of one per series.
+  const uint64_t dump_interval = options.base.stats_dump_interval_ms;
+  options.base.stats_dump_interval_ms = 0;
   std::unique_ptr<MultiSeriesDB> db(new MultiSeriesDB(std::move(options)));
+  if (dump_interval > 0) {
+    MultiSeriesDB* raw = db.get();
+    db->stats_dumper_.Start(dump_interval, [raw] {
+      SEPLSM_LOG(Info) << "stats dump [" << raw->options_.base.dir
+                       << ", series=" << raw->series_count()
+                       << "]: " << raw->GetAggregateMetrics().ToString();
+    });
+  }
 
   // Recover existing series: every "s_*" child directory.
   std::vector<std::string> children;
@@ -105,6 +118,8 @@ Result<std::unique_ptr<MultiSeriesDB>> MultiSeriesDB::Open(
 }
 
 MultiSeriesDB::~MultiSeriesDB() {
+  // The dump callback iterates the series map; stop it before teardown.
+  stats_dumper_.Stop();
   // Engines first: each destructor drains its scheduler token. The shared
   // scheduler (held by options_.base.job_scheduler) dies last, with every
   // queue already empty.
@@ -134,6 +149,9 @@ Status MultiSeriesDB::OpenSeriesLocked(const std::string& series,
     Options options = options_.base;
     options.dir =
         options_.base.dir + "/" + EscapeSeriesName(series);
+    // Spans and Prometheus lines carry the user-facing series id, not the
+    // escaped directory name.
+    options.series_name = series;
     auto engine = TsEngine::Open(std::move(options));
     if (!engine.ok()) return engine.status();
     Series entry;

@@ -11,6 +11,8 @@
 #include "common/point.h"
 #include "common/result.h"
 #include "engine/ts_engine.h"
+#include "telemetry/stats_dump.h"
+#include "telemetry/telemetry.h"
 
 namespace seplsm::engine {
 
@@ -85,6 +87,13 @@ class MultiSeriesDB {
     return options_.base.job_scheduler.get();
   }
 
+  /// The telemetry hub shared by every series engine (each registers its
+  /// series name, so spans/exports are labeled per series); null when
+  /// observability is off.
+  telemetry::Telemetry* telemetry() const {
+    return options_.base.telemetry.get();
+  }
+
  private:
   struct Series {
     std::unique_ptr<TsEngine> engine;
@@ -106,6 +115,9 @@ class MultiSeriesDB {
   MultiOptions options_;
   std::mutex mutex_;  // guards the series map only
   std::map<std::string, Series> series_;
+  /// One aggregate dump timer for the whole database (per-engine intervals
+  /// are zeroed in Open so S series never spawn S timer threads).
+  telemetry::StatsDumper stats_dumper_;
 };
 
 }  // namespace seplsm::engine

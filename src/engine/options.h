@@ -13,6 +13,10 @@ namespace seplsm::storage {
 class BlockCache;
 }  // namespace seplsm::storage
 
+namespace seplsm::telemetry {
+class Telemetry;
+}  // namespace seplsm::telemetry
+
 namespace seplsm::engine {
 
 class JobScheduler;
@@ -101,6 +105,21 @@ struct Options {
   /// Worker count for the scheduler MultiSeriesDB (or the CLI --bg-threads
   /// flag) creates. 0 means std::thread::hardware_concurrency().
   size_t background_threads = 0;
+
+  /// Observability hub (telemetry/telemetry.h): trace spans for
+  /// flush/compaction/queue-wait/stall/query/policy-switch, latency
+  /// histograms, and named counters. Shared like the block cache —
+  /// MultiSeriesDB gives every series engine one instance and each engine
+  /// registers `series_name` for span labeling. Null (default) disables all
+  /// instrumentation at the cost of one branch per site.
+  std::shared_ptr<telemetry::Telemetry> telemetry;
+  /// Label for this engine's spans and Prometheus lines. Empty: `dir` is
+  /// used.
+  std::string series_name;
+  /// When > 0 the engine logs Metrics::ToString() every this-many
+  /// milliseconds on a timer thread (telemetry/stats_dump.h). MultiSeriesDB
+  /// zeroes the per-engine interval and runs one aggregate dumper instead.
+  uint64_t stats_dump_interval_ms = 0;
 
   /// Write-ahead logging for MemTable durability (engine extension; see
   /// storage/wal.h). Buffered points are replayed on Open after a crash.

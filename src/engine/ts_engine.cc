@@ -109,6 +109,18 @@ Result<std::unique_ptr<TsEngine>> TsEngine::Open(Options options) {
     std::lock_guard<std::mutex> lock(engine->mutex_);
     engine->MaybeScheduleCompactionLocked();
   }
+  if (engine->options_.stats_dump_interval_ms > 0) {
+    // Started only after recovery, so a dump never observes a half-built
+    // engine. The raw pointer is safe: the dumper is a member, stopped in
+    // the destructor before any engine state is torn down.
+    TsEngine* raw = engine.get();
+    engine->stats_dumper_.Start(engine->options_.stats_dump_interval_ms,
+                                [raw] {
+                                  SEPLSM_LOG(Info)
+                                      << "stats dump [" << raw->options_.dir
+                                      << "]: " << raw->GetMetrics().ToString();
+                                });
+  }
   return engine;
 }
 
@@ -144,9 +156,24 @@ TsEngine::TsEngine(Options options)
     }
     job_token_ = options_.job_scheduler->RegisterToken();
   }
+  if (telemetry::Active(options_.telemetry.get())) {
+    telemetry_ = options_.telemetry.get();
+    telemetry_series_id_ = telemetry_->RegisterSeries(
+        options_.series_name.empty() ? options_.dir : options_.series_name);
+    // Idempotent when the cache/scheduler are shared: every engine attaches
+    // the same registry, and GetCounter is stable per name.
+    if (options_.block_cache != nullptr) {
+      options_.block_cache->AttachTelemetry(options_.telemetry);
+    }
+    if (options_.job_scheduler != nullptr) {
+      options_.job_scheduler->AttachTelemetry(options_.telemetry);
+    }
+  }
 }
 
 TsEngine::~TsEngine() {
+  // The dump callback reads engine state; stop it before teardown begins.
+  stats_dumper_.Stop();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutting_down_ = true;
@@ -269,6 +296,9 @@ int64_t TsEngine::MaxPersistedLocked() const {
 }
 
 Status TsEngine::Append(const DataPoint& point) {
+  const bool instrument = telemetry::Active(telemetry_);
+  const int64_t append_start =
+      instrument ? options_.clock->NowNanos() : 0;
   Status st;
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -286,9 +316,16 @@ Status TsEngine::Append(const DataPoint& point) {
       };
       if (!have_room()) {
         ++metrics_.writer_stalls;
-        uint64_t start = options_.clock->NowMicros();
+        const int64_t stall_start = options_.clock->NowNanos();
         writer_cv_.wait(lock, have_room);
-        metrics_.writer_stall_micros += options_.clock->NowMicros() - start;
+        const int64_t stall_end = options_.clock->NowNanos();
+        metrics_.writer_stall_micros +=
+            static_cast<uint64_t>((stall_end - stall_start) / 1000);
+        if (instrument) {
+          telemetry_->RecordSpan(telemetry::SpanType::kStall,
+                                 telemetry_series_id_, stall_start, stall_end,
+                                 /*points=*/1);
+        }
       }
       if (background_error_set_) return background_error_;
       if (shutting_down_) return Status::Aborted("engine shutting down");
@@ -296,7 +333,38 @@ Status TsEngine::Append(const DataPoint& point) {
     st = AppendLocked(point, lock);
   }
   CollectDeferredDeletes();
+  if (instrument) RecordAppendLatency(append_start);
   return st;
+}
+
+void TsEngine::RecordAppendLatency(int64_t start_nanos) {
+  const int64_t end_nanos = options_.clock->NowNanos();
+  telemetry_->registry().AddLatency(
+      telemetry::SpanType::kAppend,
+      static_cast<double>(end_nanos - start_nanos) / 1000.0);
+  const size_t every = telemetry_->options().append_span_sample_every;
+  if (every == 0 || !telemetry_->tracer().enabled()) return;
+  if ((append_tick_.fetch_add(1, std::memory_order_relaxed) + 1) % every !=
+      0) {
+    return;
+  }
+  telemetry::TraceEvent event;
+  event.type = telemetry::SpanType::kAppend;
+  event.series_id = telemetry_series_id_;
+  event.start_nanos = start_nanos;
+  event.end_nanos = end_nanos;
+  event.points = 1;
+  telemetry_->tracer().Record(event);
+}
+
+void TsEngine::RecordQueueWait(uint64_t queue_wait_micros) {
+  if (!telemetry::Active(telemetry_)) return;
+  // The scheduler measured the wait; reconstruct the span end-anchored at
+  // now (the job just started running).
+  const int64_t end_nanos = options_.clock->NowNanos();
+  telemetry_->RecordSpan(
+      telemetry::SpanType::kQueueWait, telemetry_series_id_,
+      end_nanos - static_cast<int64_t>(queue_wait_micros) * 1000, end_nanos);
 }
 
 Status TsEngine::AppendLocked(const DataPoint& point,
@@ -395,25 +463,33 @@ Status TsEngine::FlushAboveRunLocked(std::vector<DataPoint> points,
   Status st;
   if (run_max != kNoData && points.front().generation_time <= run_max) {
     // Defensive: overlap (e.g. right after a policy switch) — fall back to
-    // a real merge.
+    // a real merge (which records its own COMPACTION span).
     st = MergeTurnstileHeld(std::move(points), lock);
   } else {
+    telemetry::ScopedSpan span(telemetry_, options_.clock,
+                               telemetry::SpanType::kFlush,
+                               telemetry_series_id_);
     std::vector<storage::FileMetadata> files;
     st = storage::WriteSortedPointsAsTables(
         options_.env, options_.dir, points, options_.sstable_points,
         options_.points_per_block, &next_file_number_, &files,
         options_.value_encoding);
     if (st.ok()) {
+      uint64_t bytes_out = 0;
+      span.set_files(files.size());
       for (auto& f : files) {
         metrics_.bytes_written += f.file_bytes;
         ++metrics_.files_created;
+        bytes_out += f.file_bytes;
         st = version_.AppendToRun(std::move(f));
         if (!st.ok()) break;
       }
+      span.set_bytes(bytes_out);
     }
     if (st.ok()) {
       metrics_.points_flushed += points.size();
       ++metrics_.flush_count;
+      span.set_points(points.size());
     }
   }
   LeaveRunTurnstileLocked(batch);
@@ -431,6 +507,9 @@ Status TsEngine::MergeLocked(std::vector<DataPoint> points,
 
 Status TsEngine::MergeTurnstileHeld(std::vector<DataPoint> points,
                                     std::unique_lock<std::mutex>& lock) {
+  telemetry::ScopedSpan span(telemetry_, options_.clock,
+                             telemetry::SpanType::kCompaction,
+                             telemetry_series_id_);
   const int64_t lo = points.front().generation_time;
   const int64_t hi = points.back().generation_time;
   size_t begin, end;
@@ -468,12 +547,17 @@ Status TsEngine::MergeTurnstileHeld(std::vector<DataPoint> points,
   SEPLSM_RETURN_IF_ERROR(st);
 
   uint64_t output_points = 0;
+  uint64_t output_bytes = 0;
   for (const auto& f : new_files) {
     metrics_.bytes_written += f.file_bytes;
     ++metrics_.files_created;
     output_points += f.point_count;
+    output_bytes += f.file_bytes;
   }
   uint64_t output_files = new_files.size();
+  span.set_points(points.size() + rewritten);
+  span.set_bytes(output_bytes);
+  span.set_files(output_files);
   SEPLSM_RETURN_IF_ERROR(
       version_.ReplaceRunSlice(begin, end, std::move(new_files)));
   for (auto& f : old_files) {
@@ -573,6 +657,9 @@ Result<storage::FileMetadata> TsEngine::WriteTableFile(
 
 Status TsEngine::FlushToLevel0Locked(std::vector<DataPoint> points) {
   if (points.empty()) return Status::OK();
+  telemetry::ScopedSpan span(telemetry_, options_.clock,
+                             telemetry::SpanType::kFlush,
+                             telemetry_series_id_);
   uint64_t file_no = next_file_number_++;
   auto meta = WriteTableFile(points, file_no);
   if (!meta.ok()) return meta.status();
@@ -580,6 +667,9 @@ Status TsEngine::FlushToLevel0Locked(std::vector<DataPoint> points) {
   ++metrics_.files_created;
   metrics_.points_flushed += points.size();
   ++metrics_.flush_count;
+  span.set_points(points.size());
+  span.set_bytes(meta.value().file_bytes);
+  span.set_files(1);
   version_.AddLevel0(std::move(meta).value());
   MaybeScheduleCompactionLocked();
   background_cv_.notify_all();
@@ -615,6 +705,7 @@ void TsEngine::MaybeScheduleCompactionLocked() {
 }
 
 void TsEngine::FlushJob(uint64_t queue_wait_micros) {
+  RecordQueueWait(queue_wait_micros);
   std::unique_lock<std::mutex> lock(mutex_);
   ++metrics_.bg_flush_jobs;
   metrics_.bg_queue_wait_micros += queue_wait_micros;
@@ -629,6 +720,9 @@ void TsEngine::FlushJob(uint64_t queue_wait_micros) {
   storage::MemTable::View batch = pending_flushes_.front();
   uint64_t file_no = next_file_number_++;
   flush_inflight_ = true;
+  telemetry::ScopedSpan span(telemetry_, options_.clock,
+                             telemetry::SpanType::kFlush,
+                             telemetry_series_id_);
   lock.unlock();
 
   // Stream the frozen view straight into the table writer — no
@@ -654,6 +748,10 @@ void TsEngine::FlushJob(uint64_t queue_wait_micros) {
   ++metrics_.files_created;
   metrics_.points_flushed += batch->size();
   ++metrics_.flush_count;
+  span.set_points(batch->size());
+  span.set_bytes(meta.value().file_bytes);
+  span.set_files(1);
+  span.Finish();
   version_.AddLevel0(std::move(meta).value());
   pending_flushes_.erase(pending_flushes_.begin());
   MaybeScheduleCompactionLocked();
@@ -670,6 +768,7 @@ void TsEngine::FlushJob(uint64_t queue_wait_micros) {
 }
 
 void TsEngine::CompactionJob(uint64_t queue_wait_micros) {
+  RecordQueueWait(queue_wait_micros);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     ++metrics_.bg_compaction_jobs;
@@ -707,12 +806,17 @@ Status TsEngine::CompactOneLevel0(std::unique_lock<std::mutex>& lock) {
   // merged output is installed: a reader must never observe a window where
   // the level-0 data is neither in level 0 nor in the run.
   storage::FilePtr l0 = version_.level0().front();
+  telemetry::ScopedSpan span(telemetry_, options_.clock,
+                             telemetry::SpanType::kCompaction,
+                             telemetry_series_id_);
 
   // Fast path: the file sits strictly above the run — adopt it unchanged.
   int64_t run_max = version_.run().empty()
                         ? kNoData
                         : version_.run().back()->max_generation_time;
   if (run_max == kNoData || l0->min_generation_time > run_max) {
+    span.set_points(l0->point_count);
+    span.set_files(1);
     version_.PopLevel0Front();
     return version_.AppendToRun(std::move(l0));
   }
@@ -774,10 +878,15 @@ Status TsEngine::CompactOneLevel0(std::unique_lock<std::mutex>& lock) {
 
   uint64_t rewritten = l0->point_count;
   for (const auto& f : old_files) rewritten += f->point_count;
+  uint64_t bytes_out = 0;
   for (const auto& f : new_files) {
     metrics_.bytes_written += f.file_bytes;
     ++metrics_.files_created;
+    bytes_out += f.file_bytes;
   }
+  span.set_points(rewritten);
+  span.set_bytes(bytes_out);
+  span.set_files(new_files.size());
   SEPLSM_RETURN_IF_ERROR(
       version_.ReplaceRunSlice(begin, end, std::move(new_files)));
   version_.PopLevel0Front();  // == l0: the compactor is the only consumer
@@ -952,6 +1061,9 @@ Status TsEngine::Query(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
                        QueryStats* stats) {
   out->clear();
   if (lo > hi) return Status::InvalidArgument("Query: lo > hi");
+  telemetry::ScopedSpan span(telemetry_, options_.clock,
+                             telemetry::SpanType::kQuery,
+                             telemetry_series_id_);
   QueryStats local;
 
   // Capture the snapshot in O(files) under the lock; every disk read,
@@ -1018,6 +1130,9 @@ Status TsEngine::Query(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
   // reader of a compaction-retired table, unlink it now.
   snap = ReadSnapshot();
   CollectDeferredDeletes();
+  span.set_points(local.points_returned);
+  span.set_bytes(local.device_bytes_read);
+  span.set_files(local.files_opened);
   if (stats != nullptr) *stats = local;
   return Status::OK();
 }
@@ -1065,6 +1180,11 @@ Status TsEngine::SwitchPolicy(const PolicyConfig& config) {
         "separation policy requires 0 < nseq_capacity < memtable_capacity");
   }
   {
+    // The span covers the whole switch including the policy-mandated drain
+    // — the cost Fig. 10's π_adaptive pays at every transition.
+    telemetry::ScopedSpan span(telemetry_, options_.clock,
+                               telemetry::SpanType::kPolicySwitch,
+                               telemetry_series_id_);
     std::unique_lock<std::mutex> lock(mutex_);
     SEPLSM_RETURN_IF_ERROR(DrainMemTablesLocked(lock));
     options_.policy = config;
@@ -1076,6 +1196,13 @@ Status TsEngine::SwitchPolicy(const PolicyConfig& config) {
       cseq_ = std::make_unique<storage::MemTable>(config.nseq_capacity);
       cnonseq_ = std::make_unique<storage::MemTable>(config.nonseq_capacity());
       c0_.reset();
+    }
+    if (telemetry::Active(telemetry_)) {
+      telemetry_->registry()
+          .GetCounter(config.kind == PolicyKind::kSeparation
+                          ? "policy_switches_to_separation"
+                          : "policy_switches_to_conventional")
+          ->Add(1);
     }
   }
   CollectDeferredDeletes();

@@ -19,6 +19,8 @@
 #include "storage/table_cache.h"
 #include "storage/version.h"
 #include "storage/wal.h"
+#include "telemetry/stats_dump.h"
+#include "telemetry/telemetry.h"
 
 namespace seplsm::engine {
 
@@ -230,6 +232,15 @@ class TsEngine {
   Status CompactOneLevel0(std::unique_lock<std::mutex>& lock);
 
   void MaybeRecordTimelineLocked();
+
+  /// Feeds the append histogram on every call and emits one sampled APPEND
+  /// trace span per `append_span_sample_every` appends (unsampled, appends
+  /// would evict every flush/compaction span from the bounded ring).
+  void RecordAppendLatency(int64_t start_nanos);
+  /// Converts a scheduler-reported queue wait into a QUEUE_WAIT span +
+  /// histogram sample, attributed to this engine's series.
+  void RecordQueueWait(uint64_t queue_wait_micros);
+
   size_t Level0FileCountLockedForRecovery();
   std::string WalPath() const;
   Status RotateWalLocked();
@@ -279,6 +290,16 @@ class TsEngine {
 
   uint64_t next_file_number_ = 1;
   Metrics metrics_;
+  /// Cached from options_.telemetry (null = instrumentation off); the
+  /// shared_ptr in options_ keeps it alive.
+  telemetry::Telemetry* telemetry_ = nullptr;
+  /// Span label id from Telemetry::RegisterSeries(series_name | dir).
+  uint32_t telemetry_series_id_ = 0;
+  /// Append counter driving APPEND span sampling (atomic: Append holds
+  /// mutex_, but keeping it independent makes the sampler reusable).
+  std::atomic<uint64_t> append_tick_{0};
+  /// Periodic Metrics::ToString() logger (Options::stats_dump_interval_ms).
+  telemetry::StatsDumper stats_dumper_;
   uint64_t timeline_batch_accum_ = 0;
   std::unique_ptr<storage::WalWriter> wal_;
   bool wal_replaying_ = false;

@@ -52,6 +52,9 @@
 #include "storage/integrity.h"
 #include "stats/ecdf.h"
 #include "stats/histogram.h"
+#include "telemetry/stats_dump.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_export.h"
 #include "workload/datasets.h"
 #include "workload/query_workload.h"
 #include "workload/synthetic.h"

@@ -102,6 +102,22 @@ void LogHistogram::Add(double value) {
   ++counts_[BucketFor(value)];
 }
 
+void LogHistogram::Merge(const LogHistogram& other) {
+  assert(other.min_value_ == min_value_ && other.log_growth_ == log_growth_ &&
+         other.counts_.size() == counts_.size());
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 void LogHistogram::Clear() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;

@@ -54,6 +54,9 @@ class LogHistogram {
                         size_t max_buckets = 120);
 
   void Add(double value);
+  /// Adds `other`'s population; both histograms must share min_value/growth
+  /// (asserted) so buckets line up.
+  void Merge(const LogHistogram& other);
   void Clear();
 
   uint64_t count() const { return count_; }

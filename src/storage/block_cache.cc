@@ -48,9 +48,16 @@ std::shared_ptr<const CachedBlock> BlockCache::Lookup(uint64_t owner_id,
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::Counter* c =
+            miss_counter_.load(std::memory_order_relaxed)) {
+      c->Add(1);
+    }
     return nullptr;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::Counter* c = hit_counter_.load(std::memory_order_relaxed)) {
+    c->Add(1);
+  }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->block;
 }
@@ -144,6 +151,20 @@ double BlockCache::HitRate() const {
   uint64_t m = misses();
   return h + m == 0 ? 0.0
                     : static_cast<double>(h) / static_cast<double>(h + m);
+}
+
+void BlockCache::AttachTelemetry(
+    std::shared_ptr<telemetry::Telemetry> telemetry) {
+  if (!telemetry::Active(telemetry.get())) return;
+  std::lock_guard<std::mutex> lock(telemetry_mutex_);
+  telemetry_ = std::move(telemetry);
+  // Publish the pointers last: a racing lookup either misses the counters
+  // (fine — pre-attach events are not mirrored) or sees fully-built ones.
+  hit_counter_.store(telemetry_->registry().GetCounter("block_cache_hits"),
+                     std::memory_order_release);
+  miss_counter_.store(
+      telemetry_->registry().GetCounter("block_cache_misses"),
+      std::memory_order_release);
 }
 
 std::string BlockCache::StatsString() const {

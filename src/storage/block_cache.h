@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/point.h"
+#include "telemetry/telemetry.h"
 
 namespace seplsm::storage {
 
@@ -97,6 +98,13 @@ class BlockCache {
   /// One-line human-readable summary (CLI `stats` output).
   std::string StatsString() const;
 
+  /// Mirrors every subsequent hit/miss into `telemetry`'s
+  /// block_cache_hits / block_cache_misses named counters (live-updating
+  /// exports, vs. the engine Metrics counters which accumulate per query).
+  /// Safe to call while lookups race: the hot path reads one atomic
+  /// pointer, so unattached cost is a relaxed load.
+  void AttachTelemetry(std::shared_ptr<telemetry::Telemetry> telemetry);
+
  private:
   struct Key {
     uint64_t owner_id;
@@ -132,6 +140,13 @@ class BlockCache {
   size_t capacity_bytes_;
   size_t shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Keeps the registry the cached counter pointers live in alive
+  /// (write-once under telemetry_mutex_; hot paths only read the atomics).
+  std::mutex telemetry_mutex_;
+  std::shared_ptr<telemetry::Telemetry> telemetry_;
+  std::atomic<telemetry::Counter*> hit_counter_{nullptr};
+  std::atomic<telemetry::Counter*> miss_counter_{nullptr};
 
   std::atomic<uint64_t> next_owner_id_{1};
   std::atomic<uint64_t> hits_{0};

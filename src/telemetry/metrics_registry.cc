@@ -1,0 +1,146 @@
+#include "telemetry/metrics_registry.h"
+
+#include <sstream>
+
+namespace seplsm::telemetry {
+
+MetricsRegistry::MetricsRegistry() = default;
+
+void MetricsRegistry::AddLatency(SpanType op, double micros) {
+  OpHistogram& h = ops_[static_cast<size_t>(op)];
+  std::lock_guard<std::mutex> lock(h.mutex);
+  h.histogram.Add(micros);
+}
+
+LatencySummary MetricsRegistry::Summary(SpanType op) const {
+  const OpHistogram& h = ops_[static_cast<size_t>(op)];
+  std::lock_guard<std::mutex> lock(h.mutex);
+  LatencySummary s;
+  s.count = h.histogram.count();
+  if (s.count > 0) {
+    s.p50_micros = h.histogram.Quantile(0.50);
+    s.p95_micros = h.histogram.Quantile(0.95);
+    s.p99_micros = h.histogram.Quantile(0.99);
+    s.max_micros = h.histogram.max();
+    s.mean_micros = h.histogram.mean();
+  }
+  return s;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::CounterSnapshot() const {
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (size_t i = 0; i < kSpanTypeCount; ++i) {
+    // Copy out under other's lock, merge under ours: never hold both.
+    stats::LogHistogram copy{1.0, 1.5, 120};
+    {
+      std::lock_guard<std::mutex> lock(other.ops_[i].mutex);
+      copy = other.ops_[i].histogram;
+    }
+    std::lock_guard<std::mutex> lock(ops_[i].mutex);
+    ops_[i].histogram.Merge(copy);
+  }
+  for (const auto& [name, value] : other.CounterSnapshot()) {
+    GetCounter(name)->Add(value);
+  }
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream out;
+  out << "{\"latency_micros\":{";
+  bool first = true;
+  for (size_t i = 0; i < kSpanTypeCount; ++i) {
+    LatencySummary s = Summary(static_cast<SpanType>(i));
+    if (s.count == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << SpanTypeName(static_cast<SpanType>(i)) << "\":{"
+        << "\"count\":" << s.count << ",\"p50\":" << s.p50_micros
+        << ",\"p95\":" << s.p95_micros << ",\"p99\":" << s.p99_micros
+        << ",\"max\":" << s.max_micros << ",\"mean\":" << s.mean_micros
+        << "}";
+  }
+  out << "},\"counters\":{";
+  first = true;
+  for (const auto& [name, value] : CounterSnapshot()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << value;
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string MetricsRegistry::ToPrometheus(const std::string& series) const {
+  std::ostringstream out;
+  auto labels = [&series](const std::string& extra) {
+    std::string inner = extra;
+    if (!series.empty()) {
+      if (!inner.empty()) inner += ",";
+      // Escape backslash, quote, newline per the exposition format.
+      inner += "series=\"";
+      for (char c : series) {
+        if (c == '\\') inner += "\\\\";
+        else if (c == '"') inner += "\\\"";
+        else if (c == '\n') inner += "\\n";
+        else inner += c;
+      }
+      inner += "\"";
+    }
+    return inner.empty() ? std::string() : "{" + inner + "}";
+  };
+  out << "# HELP seplsm_op_latency_micros per-operation latency quantiles\n"
+      << "# TYPE seplsm_op_latency_micros summary\n";
+  for (size_t i = 0; i < kSpanTypeCount; ++i) {
+    LatencySummary s = Summary(static_cast<SpanType>(i));
+    if (s.count == 0) continue;
+    const std::string op(SpanTypeName(static_cast<SpanType>(i)));
+    const struct {
+      const char* quantile;
+      double value;
+    } rows[] = {{"0.5", s.p50_micros},
+                {"0.95", s.p95_micros},
+                {"0.99", s.p99_micros},
+                {"1", s.max_micros}};
+    for (const auto& row : rows) {
+      out << "seplsm_op_latency_micros"
+          << labels("op=\"" + op + "\",quantile=\"" + row.quantile + "\"")
+          << " " << row.value << "\n";
+    }
+    out << "seplsm_op_latency_micros_count" << labels("op=\"" + op + "\"")
+        << " " << s.count << "\n";
+  }
+  for (const auto& [name, value] : CounterSnapshot()) {
+    out << "# TYPE seplsm_" << name << "_total counter\n"
+        << "seplsm_" << name << "_total" << labels("") << " " << value
+        << "\n";
+  }
+  return out.str();
+}
+
+void MetricsRegistry::Clear() {
+  for (size_t i = 0; i < kSpanTypeCount; ++i) {
+    std::lock_guard<std::mutex> lock(ops_[i].mutex);
+    ops_[i].histogram.Clear();
+  }
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  counters_.clear();
+}
+
+}  // namespace seplsm::telemetry

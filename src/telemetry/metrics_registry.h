@@ -1,0 +1,96 @@
+#ifndef SEPLSM_TELEMETRY_METRICS_REGISTRY_H_
+#define SEPLSM_TELEMETRY_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "telemetry/trace_event.h"
+
+namespace seplsm::telemetry {
+
+/// Percentile summary of one operation's latency distribution, in
+/// microseconds (log-bucketed: quantiles are exact to within one geometric
+/// bucket, ~±25% at the default 1.5 growth).
+struct LatencySummary {
+  uint64_t count = 0;
+  double p50_micros = 0.0;
+  double p95_micros = 0.0;
+  double p99_micros = 0.0;
+  double max_micros = 0.0;
+  double mean_micros = 0.0;
+};
+
+/// A monotonically increasing named counter. Pointer-stable for the life of
+/// its registry, so hot paths (block cache hit/miss) cache the pointer and
+/// pay one relaxed fetch_add per event.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Central home of the engine's latency histograms (append, query, flush,
+/// compaction, queue wait, stall) plus free-form named counters.
+///
+/// One registry is shared by every engine attached to the same `Telemetry`
+/// — MultiSeriesDB hands all its series one instance — so per-series
+/// latencies aggregate into fleet-wide percentiles the same way
+/// Metrics::MergeFrom aggregates counters. `MergeFrom` exists for combining
+/// registries that were NOT shared (e.g. per-process exports).
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Thread-safe. `op` is the span type whose latency this is.
+  void AddLatency(SpanType op, double micros);
+
+  LatencySummary Summary(SpanType op) const;
+
+  /// Returns the counter registered under `name` (creating it on first
+  /// use). The pointer stays valid as long as the registry lives.
+  Counter* GetCounter(const std::string& name);
+
+  /// (name, value) for every registered counter, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> CounterSnapshot() const;
+
+  /// Adds `other`'s histograms and counters into this.
+  void MergeFrom(const MetricsRegistry& other);
+
+  /// {"latency_micros":{"append":{"count":..,"p50":..},..},"counters":{..}}
+  std::string ToJson() const;
+
+  /// Prometheus text exposition: `seplsm_op_latency_micros{op="flush",
+  /// quantile="p50"} v` summary lines per active op (plus `_count`) and
+  /// `seplsm_<name>_total` per registered counter. A non-empty `series`
+  /// adds a `series="..."` label to every line.
+  std::string ToPrometheus(const std::string& series = std::string()) const;
+
+  void Clear();
+
+ private:
+  struct OpHistogram {
+    mutable std::mutex mutex;
+    stats::LogHistogram histogram{1.0, 1.5, 120};  // micros
+  };
+
+  OpHistogram ops_[kSpanTypeCount];
+  mutable std::mutex counters_mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+};
+
+}  // namespace seplsm::telemetry
+
+#endif  // SEPLSM_TELEMETRY_METRICS_REGISTRY_H_

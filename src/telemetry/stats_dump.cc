@@ -1,0 +1,53 @@
+#include "telemetry/stats_dump.h"
+
+namespace seplsm::telemetry {
+
+void StatsDumper::Start(uint64_t interval_ms, Callback callback) {
+  if (interval_ms == 0 || !callback) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  stop_ = false;
+  callback_ = std::move(callback);
+  thread_ = std::thread([this, interval_ms] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                       [this] { return stop_; })) {
+        break;
+      }
+      // Run the dump without holding the lock so DumpNow()/Stop() from the
+      // callback's own logging path can't deadlock.
+      Callback cb = callback_;
+      lock.unlock();
+      cb();
+      lock.lock();
+    }
+    running_ = false;
+  });
+}
+
+void StatsDumper::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool StatsDumper::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+void StatsDumper::DumpNow() {
+  Callback cb;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cb = callback_;
+  }
+  if (cb) cb();
+}
+
+}  // namespace seplsm::telemetry

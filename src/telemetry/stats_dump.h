@@ -1,0 +1,52 @@
+#ifndef SEPLSM_TELEMETRY_STATS_DUMP_H_
+#define SEPLSM_TELEMETRY_STATS_DUMP_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace seplsm::telemetry {
+
+/// Periodically invokes a callback (typically "log Metrics::ToString()") on
+/// a dedicated timer thread. A dedicated thread rather than a JobScheduler
+/// job because a sleeping job would pin a scheduler worker between dumps.
+///
+/// Start() is idempotent-per-instance; the destructor (or Stop()) joins the
+/// thread. DumpNow() runs the callback synchronously on the caller's thread
+/// (used by tests and the CLI's final dump).
+class StatsDumper {
+ public:
+  using Callback = std::function<void()>;
+
+  StatsDumper() = default;
+  ~StatsDumper() { Stop(); }
+
+  StatsDumper(const StatsDumper&) = delete;
+  StatsDumper& operator=(const StatsDumper&) = delete;
+
+  /// Begins firing `callback` every `interval_ms`. No-op if already started
+  /// or interval_ms == 0.
+  void Start(uint64_t interval_ms, Callback callback);
+
+  /// Stops the timer thread and joins it. Safe to call when not started.
+  void Stop();
+
+  bool running() const;
+
+  /// Invokes the callback immediately on this thread (if one is set).
+  void DumpNow();
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  Callback callback_;
+  std::thread thread_;
+};
+
+}  // namespace seplsm::telemetry
+
+#endif  // SEPLSM_TELEMETRY_STATS_DUMP_H_

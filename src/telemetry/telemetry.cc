@@ -1,0 +1,27 @@
+#include "telemetry/telemetry.h"
+
+namespace seplsm::telemetry {
+
+Telemetry::Telemetry(TelemetryOptions options)
+    : options_(options),
+      tracer_(options.trace_capacity, options.trace_shards) {
+  tracer_.set_enabled(options.trace_enabled);
+}
+
+uint32_t Telemetry::RegisterSeries(const std::string& name) {
+  std::lock_guard<std::mutex> lock(series_mutex_);
+  auto it = series_ids_.find(name);
+  if (it != series_ids_.end()) return it->second;
+  series_names_.push_back(name);
+  uint32_t id = static_cast<uint32_t>(series_names_.size());  // ids from 1
+  series_ids_.emplace(name, id);
+  return id;
+}
+
+std::string Telemetry::SeriesName(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(series_mutex_);
+  if (id == 0 || id > series_names_.size()) return "";
+  return series_names_[id - 1];
+}
+
+}  // namespace seplsm::telemetry

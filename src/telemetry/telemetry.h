@@ -1,0 +1,172 @@
+#ifndef SEPLSM_TELEMETRY_TELEMETRY_H_
+#define SEPLSM_TELEMETRY_TELEMETRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace_recorder.h"
+
+/// Compile-out switch: building with -DSEPLSM_DISABLE_TELEMETRY (CMake
+/// option of the same name) turns every instrumentation site into dead code
+/// — `telemetry::Active(t)` becomes a constant false — for deployments that
+/// want the hot paths bit-identical to an uninstrumented build.
+#ifdef SEPLSM_DISABLE_TELEMETRY
+#define SEPLSM_TELEMETRY_ENABLED 0
+#else
+#define SEPLSM_TELEMETRY_ENABLED 1
+#endif
+
+namespace seplsm::telemetry {
+
+struct TelemetryOptions {
+  /// Total trace ring capacity in events.
+  size_t trace_capacity = 64 * 1024;
+  /// Shards in the ring (1 = deterministic eviction order, for tests).
+  size_t trace_shards = 8;
+  /// Start with the tracer recording? Histograms/counters are always live
+  /// while a Telemetry is attached; spans only flow when tracing is on
+  /// (the CLI's --no-trace default keeps this false).
+  bool trace_enabled = false;
+  /// Record one APPEND span per this many appends (histograms still see
+  /// every append). Appends are orders of magnitude more frequent than any
+  /// other event; unsampled they would evict every flush/compaction span
+  /// from the bounded ring. 0 disables APPEND spans entirely.
+  size_t append_span_sample_every = 1024;
+};
+
+/// The engine-facing telemetry handle: one event tracer + one metrics
+/// registry + the series-name table that labels events and exports.
+///
+/// Shared like the block cache and job scheduler: `Options::telemetry` is a
+/// shared_ptr, MultiSeriesDB hands every series engine the same instance,
+/// and each engine registers its series name for a label id. Null telemetry
+/// (the default) costs the hot paths a single pointer test.
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryOptions options = {});
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  TraceRecorder& tracer() { return tracer_; }
+  const TraceRecorder& tracer() const { return tracer_; }
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+
+  const TelemetryOptions& options() const { return options_; }
+
+  /// Returns a stable label id for `name` (idempotent per name).
+  uint32_t RegisterSeries(const std::string& name);
+
+  /// Name for a label id; "" for 0 (unlabeled) or unknown ids.
+  std::string SeriesName(uint32_t id) const;
+
+  /// Convenience for instrumentation sites: records a completed span and
+  /// feeds its duration into the latency histogram for `type`.
+  void RecordSpan(SpanType type, uint32_t series_id, int64_t start_nanos,
+                  int64_t end_nanos, uint64_t points = 0, uint64_t bytes = 0,
+                  uint64_t files = 0) {
+    registry_.AddLatency(
+        type, static_cast<double>(end_nanos - start_nanos) / 1000.0);
+    if (tracer_.enabled()) {
+      TraceEvent event;
+      event.type = type;
+      event.series_id = series_id;
+      event.start_nanos = start_nanos;
+      event.end_nanos = end_nanos;
+      event.points = points;
+      event.bytes = bytes;
+      event.files = files;
+      tracer_.Record(event);
+    }
+  }
+
+ private:
+  TelemetryOptions options_;
+  TraceRecorder tracer_;
+  MetricsRegistry registry_;
+
+  mutable std::mutex series_mutex_;
+  std::map<std::string, uint32_t> series_ids_;
+  std::vector<std::string> series_names_;  // index = id - 1
+};
+
+/// The instrumentation gate. Every call site tests `Active(tele)` before
+/// touching the clock, so a null telemetry costs one branch and a
+/// SEPLSM_DISABLE_TELEMETRY build compiles the whole site away.
+inline bool Active(const Telemetry* t) {
+#if SEPLSM_TELEMETRY_ENABLED
+  return t != nullptr;
+#else
+  (void)t;
+  return false;
+#endif
+}
+
+/// RAII span for call sites whose begin/end bracket a scope. Measures with
+/// the given clock and records on destruction (or early via Finish()).
+class ScopedSpan {
+ public:
+  ScopedSpan(Telemetry* telemetry, const Clock* clock, SpanType type,
+             uint32_t series_id)
+      : telemetry_(Active(telemetry) ? telemetry : nullptr), clock_(clock),
+        type_(type), series_id_(series_id),
+        start_nanos_(telemetry_ != nullptr ? clock->NowNanos() : 0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { Finish(); }
+
+  void set_points(uint64_t n) { points_ = n; }
+  void set_bytes(uint64_t n) { bytes_ = n; }
+  void set_files(uint64_t n) { files_ = n; }
+
+  void Finish() {
+    if (telemetry_ == nullptr) return;
+    telemetry_->RecordSpan(type_, series_id_, start_nanos_,
+                           clock_->NowNanos(), points_, bytes_, files_);
+    telemetry_ = nullptr;
+  }
+
+ private:
+  Telemetry* telemetry_;
+  const Clock* clock_;
+  SpanType type_;
+  uint32_t series_id_;
+  int64_t start_nanos_;
+  uint64_t points_ = 0;
+  uint64_t bytes_ = 0;
+  uint64_t files_ = 0;
+};
+
+/// Clock-backed stopwatch shared by benches so every harness times through
+/// the same path the engine's spans use (bench_query_util, bench_table3).
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock = SystemClock::Default())
+      : clock_(clock), start_nanos_(clock->NowNanos()) {}
+
+  void Reset() { start_nanos_ = clock_->NowNanos(); }
+  int64_t ElapsedNanos() const { return clock_->NowNanos() - start_nanos_; }
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+ private:
+  const Clock* clock_;
+  int64_t start_nanos_;
+};
+
+}  // namespace seplsm::telemetry
+
+#endif  // SEPLSM_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,62 @@
+#ifndef SEPLSM_TELEMETRY_TRACE_EVENT_H_
+#define SEPLSM_TELEMETRY_TRACE_EVENT_H_
+
+#include <cstdint>
+
+namespace seplsm::telemetry {
+
+/// The engine's event taxonomy. Every transient interaction the paper's
+/// evaluation cares about (Figs. 13/14, Table III tail behaviour) maps to
+/// one span type, so a latency spike in a trace can be attributed to the
+/// flush, merge, queue wait, or stall that caused it.
+enum class SpanType : uint8_t {
+  kAppend = 0,       ///< one Append call (sampled; see TelemetryOptions)
+  kFlush,            ///< MemTable batch -> SSTable (sync or background job)
+  kCompaction,       ///< merge of buffered/level-0 data into the run
+  kQueueWait,        ///< background job submit-to-dispatch latency
+  kStall,            ///< Append blocked on level-0 backpressure
+  kQuery,            ///< one Query/Aggregate/Downsample call
+  kPolicySwitch,     ///< π_c <-> π_s reconfiguration (instant event)
+  kSpanTypeCount,    ///< sentinel, keep last
+};
+
+inline constexpr size_t kSpanTypeCount =
+    static_cast<size_t>(SpanType::kSpanTypeCount);
+
+/// Stable lower-case names used by both export formats and the registry.
+inline const char* SpanTypeName(SpanType type) {
+  switch (type) {
+    case SpanType::kAppend: return "append";
+    case SpanType::kFlush: return "flush";
+    case SpanType::kCompaction: return "compaction";
+    case SpanType::kQueueWait: return "queue_wait";
+    case SpanType::kStall: return "stall";
+    case SpanType::kQuery: return "query";
+    case SpanType::kPolicySwitch: return "policy_switch";
+    case SpanType::kSpanTypeCount: break;
+  }
+  return "unknown";
+}
+
+/// One recorded span. Timestamps come from the engine's `Clock`
+/// (wall-clock by default, sim-clock under ManualClock), so traces of
+/// deterministic experiments are themselves deterministic. POD — copied
+/// into and out of the ring buffer wholesale.
+struct TraceEvent {
+  SpanType type = SpanType::kAppend;
+  uint32_t series_id = 0;   ///< Telemetry::RegisterSeries label; 0 = default
+  int64_t start_nanos = 0;
+  int64_t end_nanos = 0;    ///< == start_nanos for instant events
+  uint64_t points = 0;      ///< payload: points moved/returned/buffered
+  uint64_t bytes = 0;       ///< payload: bytes written/read
+  uint64_t files = 0;       ///< payload: files created/opened/merged
+  /// Global record order, assigned by the recorder: a stable tiebreak for
+  /// events with equal start times and proof of cross-thread ordering.
+  uint64_t seq = 0;
+
+  int64_t duration_nanos() const { return end_nanos - start_nanos; }
+};
+
+}  // namespace seplsm::telemetry
+
+#endif  // SEPLSM_TELEMETRY_TRACE_EVENT_H_

@@ -1,0 +1,117 @@
+#include "telemetry/trace_export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace seplsm::telemetry {
+
+namespace {
+
+// The span type names contain no characters needing JSON escapes; series
+// names come from user file paths, so escape the minimum set.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Writes `nanos` as fractional microseconds (Chrome's ts/dur unit) with
+/// all digits. Streaming a double here would round to 6 significant digits
+/// and collapse nearby timestamps on any trace longer than ~a second.
+void AppendMicros(std::ostringstream& out, int64_t nanos) {
+  uint64_t abs = nanos < 0 ? static_cast<uint64_t>(-nanos)
+                           : static_cast<uint64_t>(nanos);
+  if (nanos < 0) out << '-';
+  char frac[8];
+  std::snprintf(frac, sizeof(frac), ".%03llu",
+                static_cast<unsigned long long>(abs % 1000));
+  out << abs / 1000 << frac;
+}
+
+}  // namespace
+
+std::string ToJsonl(const std::vector<TraceEvent>& events,
+                    const Telemetry* telemetry) {
+  std::ostringstream out;
+  for (const TraceEvent& e : events) {
+    out << "{\"type\":\"" << SpanTypeName(e.type) << "\"";
+    if (telemetry != nullptr) {
+      out << ",\"series\":\"" << JsonEscape(telemetry->SeriesName(e.series_id))
+          << "\"";
+    } else {
+      out << ",\"series_id\":" << e.series_id;
+    }
+    out << ",\"start_nanos\":" << e.start_nanos
+        << ",\"end_nanos\":" << e.end_nanos
+        << ",\"duration_nanos\":" << e.duration_nanos();
+    if (e.points > 0) out << ",\"points\":" << e.points;
+    if (e.bytes > 0) out << ",\"bytes\":" << e.bytes;
+    if (e.files > 0) out << ",\"files\":" << e.files;
+    out << "}\n";
+  }
+  return out.str();
+}
+
+std::string ToChromeTrace(const std::vector<TraceEvent>& events,
+                          const Telemetry* telemetry) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  // One lane (tid) per series id; name the lanes up front via metadata
+  // events so chrome://tracing shows series names instead of bare ids.
+  std::set<uint32_t> series_seen;
+  for (const TraceEvent& e : events) series_seen.insert(e.series_id);
+  for (uint32_t id : series_seen) {
+    std::string name =
+        telemetry != nullptr ? telemetry->SeriesName(id) : std::string();
+    if (name.empty()) name = "series-" + std::to_string(id);
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << id
+        << ",\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
+  }
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << SpanTypeName(e.type)
+        << "\",\"cat\":\"seplsm\",\"ph\":\"X\",\"ts\":";
+    AppendMicros(out, e.start_nanos);
+    out << ",\"dur\":";
+    AppendMicros(out, e.duration_nanos());
+    out << ",\"pid\":1,\"tid\":" << e.series_id << ",\"args\":{";
+    out << "\"points\":" << e.points << ",\"bytes\":" << e.bytes
+        << ",\"files\":" << e.files << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool WriteTraceFile(const Telemetry& telemetry, const std::string& path,
+                    const std::string& format) {
+  std::vector<TraceEvent> events = telemetry.tracer().Snapshot();
+  std::string body;
+  if (format == "jsonl") {
+    body = ToJsonl(events, &telemetry);
+  } else if (format == "chrome") {
+    body = ToChromeTrace(events, &telemetry);
+  } else {
+    return false;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << body;
+  return static_cast<bool>(out);
+}
+
+}  // namespace seplsm::telemetry

@@ -1,0 +1,33 @@
+#ifndef SEPLSM_TELEMETRY_TRACE_EXPORT_H_
+#define SEPLSM_TELEMETRY_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_event.h"
+
+namespace seplsm::telemetry {
+
+/// One event per line:
+///   {"type":"flush","series":"cpu.load","start_nanos":..,"end_nanos":..,
+///    "duration_nanos":..,"points":..,"bytes":..,"files":..}
+/// Zero payload fields are omitted. `telemetry` (optional) resolves series
+/// ids to names; without it the numeric id is emitted as "series_id".
+std::string ToJsonl(const std::vector<TraceEvent>& events,
+                    const Telemetry* telemetry = nullptr);
+
+/// Chrome trace_event JSON (load in chrome://tracing or Perfetto): complete
+/// ("ph":"X") events, ts/dur in microseconds, one tid lane per series plus
+/// thread_name metadata so lanes are labeled with series names.
+std::string ToChromeTrace(const std::vector<TraceEvent>& events,
+                          const Telemetry* telemetry = nullptr);
+
+/// Snapshot `telemetry`'s tracer and write it to `path` in the given format
+/// ("jsonl" or "chrome"). Returns false on unknown format or I/O failure.
+bool WriteTraceFile(const Telemetry& telemetry, const std::string& path,
+                    const std::string& format);
+
+}  // namespace seplsm::telemetry
+
+#endif  // SEPLSM_TELEMETRY_TRACE_EXPORT_H_

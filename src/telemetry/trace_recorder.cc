@@ -1,0 +1,64 @@
+#include "telemetry/trace_recorder.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace seplsm::telemetry {
+
+TraceRecorder::TraceRecorder(size_t capacity, size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  if (capacity < num_shards) capacity = num_shards;
+  shard_capacity_ = capacity / num_shards;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->ring.resize(shard_capacity_);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+TraceRecorder::Shard& TraceRecorder::ShardForThisThread() {
+  size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return *shards_[h % shards_.size()];
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  if (!enabled()) return;
+  event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.next >= shard_capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.ring[shard.next % shard_capacity_] = event;
+  ++shard.next;
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    size_t held = static_cast<size_t>(
+        std::min<uint64_t>(shard->next, shard_capacity_));
+    for (size_t i = 0; i < held; ++i) out.push_back(shard->ring[i]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_nanos != b.start_nanos) {
+                return a.start_nanos < b.start_nanos;
+              }
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->next = 0;
+  }
+}
+
+}  // namespace seplsm::telemetry

@@ -1,0 +1,77 @@
+#ifndef SEPLSM_TELEMETRY_TRACE_RECORDER_H_
+#define SEPLSM_TELEMETRY_TRACE_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/trace_event.h"
+
+namespace seplsm::telemetry {
+
+/// A lock-cheap, bounded ring buffer of trace events.
+///
+/// The capacity is split across shards (each its own mutex + ring), with the
+/// shard picked by thread id, so writers on different threads almost never
+/// contend and a Record is one uncontended lock, one struct copy, and one
+/// relaxed fetch_add. When a shard's ring is full the oldest event in that
+/// shard is overwritten — recording never blocks and never allocates after
+/// construction; `dropped()` says how much history was lost.
+///
+/// Recording is gated by an atomic `enabled` flag (the CLI's `--no-trace`
+/// default): disabled, Record is a single relaxed load and branch, which is
+/// what keeps tier-1 numbers untouched when tracing is off.
+class TraceRecorder {
+ public:
+  /// `capacity` is the total event budget across shards (min 1 per shard).
+  /// `num_shards` = 1 makes eviction order deterministic (tests).
+  explicit TraceRecorder(size_t capacity = 64 * 1024, size_t num_shards = 8);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Records `event` (assigning its `seq`) unless disabled.
+  void Record(TraceEvent event);
+
+  /// Events recorded (including ones since overwritten).
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  /// Events lost to ring wraparound.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  size_t capacity() const { return shard_capacity_ * shards_.size(); }
+
+  /// Copies out every retained event, sorted by (start_nanos, seq).
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Drops retained events (counters keep running).
+  void Clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> ring;  // capacity() slots, filled circularly
+    uint64_t next = 0;             // total events written to this shard
+  };
+
+  Shard& ShardForThisThread();
+
+  std::atomic<bool> enabled_{true};
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace seplsm::telemetry
+
+#endif  // SEPLSM_TELEMETRY_TRACE_RECORDER_H_

@@ -292,7 +292,8 @@ TEST_F(CompactionEquivalenceTest, CompactionReadCountersStayZeroWithoutReads) {
   Metrics m = db->GetMetrics();
   EXPECT_EQ(m.compaction_bytes_read, 0u);
   EXPECT_EQ(m.compaction_blocks_read, 0u);
-  EXPECT_EQ(m.ToString().find("compaction_read_bytes"), std::string::npos);
+  // The full-audit ToString prints every counter, zero or not.
+  EXPECT_NE(m.ToString().find("compaction_bytes_read=0 "), std::string::npos);
 
   // One out-of-order point forces a reading merge; the counters move and
   // surface in ToString (what `seplsm_cli --stats` prints).
@@ -302,7 +303,8 @@ TEST_F(CompactionEquivalenceTest, CompactionReadCountersStayZeroWithoutReads) {
   m = db->GetMetrics();
   EXPECT_GT(m.compaction_bytes_read, 0u);
   EXPECT_GT(m.compaction_blocks_read, 0u);
-  EXPECT_NE(m.ToString().find("compaction_read_bytes"), std::string::npos);
+  EXPECT_NE(m.ToString().find("compaction_bytes_read="), std::string::npos);
+  EXPECT_EQ(m.ToString().find("compaction_bytes_read=0 "), std::string::npos);
 }
 
 // --- Fault injection: a failed merge must leave a recoverable directory ---

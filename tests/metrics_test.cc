@@ -2,109 +2,58 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 namespace seplsm::engine {
 namespace {
 
-// One distinct value per counter so a transposed or dropped field in
-// MergeFrom shows up as a wrong sum, not a coincidence.
+// One distinct value per counter (its 1-based position in the X-list) so a
+// transposed or dropped field in MergeFrom shows up as a wrong sum, not a
+// coincidence. Expanded from SEPLSM_METRICS_COUNTERS, so a new counter is
+// covered the moment it is added to the list.
 Metrics DistinctMetrics(uint64_t base) {
   Metrics m;
-  m.points_ingested = base + 1;
-  m.points_flushed = base + 2;
-  m.points_rewritten = base + 3;
-  m.bytes_written = base + 4;
-  m.flush_count = base + 5;
-  m.merge_count = base + 6;
-  m.files_created = base + 7;
-  m.files_deleted = base + 8;
-  m.wal_records = base + 9;
-  m.wal_bytes = base + 10;
-  m.wal_checkpoints = base + 11;
-  m.compaction_bytes_read = base + 26;
-  m.compaction_blocks_read = base + 27;
-  m.queries = base + 12;
-  m.points_returned = base + 13;
-  m.disk_points_scanned = base + 14;
-  m.query_files_opened = base + 15;
-  m.query_device_bytes_read = base + 16;
-  m.block_cache_hits = base + 17;
-  m.block_cache_misses = base + 18;
-  m.bg_flush_jobs = base + 19;
-  m.bg_compaction_jobs = base + 20;
-  m.bg_queue_wait_micros = base + 21;
-  m.writer_stalls = base + 22;
-  m.writer_stall_micros = base + 23;
-  m.snapshots_acquired = base + 24;
-  m.files_deferred_deleted = base + 25;
+  uint64_t k = 0;
+#define SEPLSM_TEST_SET_FIELD(name, help) m.name = base + ++k;
+  SEPLSM_METRICS_COUNTERS(SEPLSM_TEST_SET_FIELD)
+#undef SEPLSM_TEST_SET_FIELD
   return m;
 }
 
-constexpr size_t kCounterFields = 27;  // counters set by DistinctMetrics
-constexpr size_t kVectorFields = 2;    // merge_events, wa_timeline
+constexpr size_t kVectorFields = 2;  // merge_events, wa_timeline
 
 TEST(MetricsMergeTest, EveryFieldIsCovered) {
-  // If this fails you added a field to Metrics: extend MergeFrom,
-  // DistinctMetrics above, and EverySumIsCorrect below, then bump the
-  // constants. This is what keeps a new counter from being silently
-  // dropped by GetAggregateMetrics.
-  EXPECT_EQ(sizeof(Metrics), kCounterFields * sizeof(uint64_t) +
-                                 kVectorFields * sizeof(std::vector<uint64_t>))
-      << "Metrics gained a field not covered by the MergeFrom test";
+  // If this fails you added a field to Metrics outside the
+  // SEPLSM_METRICS_COUNTERS X-list. Add it to the list instead (or, for a
+  // new vector, bump kVectorFields and extend the concatenation test):
+  // fields outside the list are invisible to MergeFrom and every export
+  // surface, so GetAggregateMetrics would silently drop them.
+  EXPECT_EQ(sizeof(Metrics),
+            Metrics::kCounterCount * sizeof(uint64_t) +
+                kVectorFields * sizeof(std::vector<uint64_t>))
+      << "Metrics gained a field not declared via SEPLSM_METRICS_COUNTERS";
+  EXPECT_EQ(Metrics::kCounterCount, 27u);
 }
 
 TEST(MetricsMergeTest, EverySumIsCorrect) {
   Metrics a = DistinctMetrics(100);
-  Metrics b = DistinctMetrics(10000);
-  a.MergeFrom(b);
+  const Metrics b = DistinctMetrics(10000);
   const Metrics expect_a = DistinctMetrics(100);
-  const Metrics expect_b = DistinctMetrics(10000);
-  EXPECT_EQ(a.points_ingested, expect_a.points_ingested + expect_b.points_ingested);
-  EXPECT_EQ(a.points_flushed, expect_a.points_flushed + expect_b.points_flushed);
-  EXPECT_EQ(a.points_rewritten, expect_a.points_rewritten + expect_b.points_rewritten);
-  EXPECT_EQ(a.bytes_written, expect_a.bytes_written + expect_b.bytes_written);
-  EXPECT_EQ(a.flush_count, expect_a.flush_count + expect_b.flush_count);
-  EXPECT_EQ(a.merge_count, expect_a.merge_count + expect_b.merge_count);
-  EXPECT_EQ(a.files_created, expect_a.files_created + expect_b.files_created);
-  EXPECT_EQ(a.files_deleted, expect_a.files_deleted + expect_b.files_deleted);
-  EXPECT_EQ(a.wal_records, expect_a.wal_records + expect_b.wal_records);
-  EXPECT_EQ(a.wal_bytes, expect_a.wal_bytes + expect_b.wal_bytes);
-  EXPECT_EQ(a.wal_checkpoints, expect_a.wal_checkpoints + expect_b.wal_checkpoints);
-  EXPECT_EQ(a.compaction_bytes_read,
-            expect_a.compaction_bytes_read + expect_b.compaction_bytes_read);
-  EXPECT_EQ(a.compaction_blocks_read,
-            expect_a.compaction_blocks_read + expect_b.compaction_blocks_read);
-  EXPECT_EQ(a.queries, expect_a.queries + expect_b.queries);
-  EXPECT_EQ(a.points_returned, expect_a.points_returned + expect_b.points_returned);
-  EXPECT_EQ(a.disk_points_scanned,
-            expect_a.disk_points_scanned + expect_b.disk_points_scanned);
-  EXPECT_EQ(a.query_files_opened,
-            expect_a.query_files_opened + expect_b.query_files_opened);
-  EXPECT_EQ(a.query_device_bytes_read,
-            expect_a.query_device_bytes_read + expect_b.query_device_bytes_read);
-  EXPECT_EQ(a.block_cache_hits,
-            expect_a.block_cache_hits + expect_b.block_cache_hits);
-  EXPECT_EQ(a.block_cache_misses,
-            expect_a.block_cache_misses + expect_b.block_cache_misses);
-  EXPECT_EQ(a.bg_flush_jobs, expect_a.bg_flush_jobs + expect_b.bg_flush_jobs);
-  EXPECT_EQ(a.bg_compaction_jobs,
-            expect_a.bg_compaction_jobs + expect_b.bg_compaction_jobs);
-  EXPECT_EQ(a.bg_queue_wait_micros,
-            expect_a.bg_queue_wait_micros + expect_b.bg_queue_wait_micros);
-  EXPECT_EQ(a.writer_stalls, expect_a.writer_stalls + expect_b.writer_stalls);
-  EXPECT_EQ(a.writer_stall_micros,
-            expect_a.writer_stall_micros + expect_b.writer_stall_micros);
-  EXPECT_EQ(a.snapshots_acquired,
-            expect_a.snapshots_acquired + expect_b.snapshots_acquired);
-  EXPECT_EQ(a.files_deferred_deleted,
-            expect_a.files_deferred_deleted + expect_b.files_deferred_deleted);
+  a.MergeFrom(b);
+#define SEPLSM_TEST_CHECK_SUM(name, help) \
+  EXPECT_EQ(a.name, expect_a.name + b.name) << #name;
+  SEPLSM_METRICS_COUNTERS(SEPLSM_TEST_CHECK_SUM)
+#undef SEPLSM_TEST_CHECK_SUM
 }
 
 TEST(MetricsMergeTest, MergeIntoEmptyIsIdentityOnCounters) {
   Metrics total;
   Metrics b = DistinctMetrics(0);
   total.MergeFrom(b);
-  EXPECT_EQ(total.points_ingested, b.points_ingested);
-  EXPECT_EQ(total.files_deferred_deleted, b.files_deferred_deleted);
+#define SEPLSM_TEST_CHECK_IDENTITY(name, help) \
+  EXPECT_EQ(total.name, b.name) << #name;
+  SEPLSM_METRICS_COUNTERS(SEPLSM_TEST_CHECK_IDENTITY)
+#undef SEPLSM_TEST_CHECK_IDENTITY
   EXPECT_EQ(total.WriteAmplification(), b.WriteAmplification());
 }
 
@@ -129,6 +78,67 @@ TEST(MetricsMergeTest, EventVectorsAreConcatenatedInOrder) {
   EXPECT_EQ(a.merge_events[1].buffered_points, 22u);
   EXPECT_EQ(a.merge_events[2].buffered_points, 33u);
   EXPECT_EQ(a.wa_timeline, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+// The audit property the exports promise: every counter in the X-list
+// appears, by name, in ToString, ToJson, and ToPrometheus — including
+// zero-valued ones (the old ToString gated whole groups on activity and
+// silently omitted the WAL and query-file counters).
+TEST(MetricsExportTest, ToStringPrintsEveryCounter) {
+  const Metrics m;  // all zero: nothing may be elided
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("WA="), std::string::npos);  // engine_test.cc relies on it
+#define SEPLSM_TEST_CHECK_PRINTED(name, help) \
+  EXPECT_NE(s.find(#name "="), std::string::npos) << #name;
+  SEPLSM_METRICS_COUNTERS(SEPLSM_TEST_CHECK_PRINTED)
+#undef SEPLSM_TEST_CHECK_PRINTED
+}
+
+TEST(MetricsExportTest, ToStringShowsDistinctValues) {
+  const Metrics m = DistinctMetrics(500);
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("points_ingested=501"), std::string::npos) << s;
+  EXPECT_NE(s.find("files_deferred_deleted=527"), std::string::npos) << s;
+}
+
+TEST(MetricsExportTest, ToJsonContainsEveryCounterAndDerived) {
+  const Metrics m = DistinctMetrics(0);
+  const std::string j = m.ToJson();
+#define SEPLSM_TEST_CHECK_JSON(name, help) \
+  EXPECT_NE(j.find("\"" #name "\":"), std::string::npos) << #name;
+  SEPLSM_METRICS_COUNTERS(SEPLSM_TEST_CHECK_JSON)
+#undef SEPLSM_TEST_CHECK_JSON
+  EXPECT_NE(j.find("\"write_amplification\":"), std::string::npos);
+  EXPECT_NE(j.find("\"read_amplification\":"), std::string::npos);
+  EXPECT_NE(j.find("\"block_cache_hit_rate\":"), std::string::npos);
+  EXPECT_NE(j.find("\"points_ingested\":1"), std::string::npos) << j;
+}
+
+TEST(MetricsExportTest, ToPrometheusEmitsLabeledCounters) {
+  Metrics m;
+  m.points_flushed = 42;
+  const std::string p = m.ToPrometheus("engine.\"a\"");
+#define SEPLSM_TEST_CHECK_PROM(name, help)                       \
+  EXPECT_NE(p.find("seplsm_" #name "_total{series="), std::string::npos) \
+      << #name;                                                  \
+  EXPECT_NE(p.find("# TYPE seplsm_" #name "_total counter"),     \
+            std::string::npos)                                   \
+      << #name;
+  SEPLSM_METRICS_COUNTERS(SEPLSM_TEST_CHECK_PROM)
+#undef SEPLSM_TEST_CHECK_PROM
+  // Label escaping: the embedded quotes in the series name are escaped.
+  EXPECT_NE(p.find("seplsm_points_flushed_total{series=\"engine.\\\"a\\\"\"} "
+                   "42"),
+            std::string::npos)
+      << p;
+  // Derived gauges ride along.
+  EXPECT_NE(p.find("seplsm_write_amplification{series="), std::string::npos);
+
+  // Without a series the label set disappears entirely.
+  const std::string bare = m.ToPrometheus();
+  EXPECT_NE(bare.find("seplsm_points_flushed_total 42"), std::string::npos)
+      << bare;
+  EXPECT_EQ(bare.find("{series="), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,350 @@
+#include "telemetry/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "engine/ts_engine.h"
+#include "env/mem_env.h"
+#include "stats/histogram.h"
+#include "telemetry/trace_export.h"
+#include "telemetry/trace_recorder.h"
+
+namespace seplsm::telemetry {
+namespace {
+
+TraceEvent MakeEvent(SpanType type, uint32_t series, int64_t start,
+                     int64_t end) {
+  TraceEvent e;
+  e.type = type;
+  e.series_id = series;
+  e.start_nanos = start;
+  e.end_nanos = end;
+  return e;
+}
+
+// --- TraceRecorder -------------------------------------------------------
+
+TEST(TraceRecorderTest, RingWraparoundKeepsNewestEvents) {
+  // One shard makes eviction order deterministic: the ring holds exactly
+  // the last `capacity` events.
+  TraceRecorder recorder(/*capacity=*/8, /*num_shards=*/1);
+  for (int64_t i = 0; i < 20; ++i) {
+    recorder.Record(MakeEvent(SpanType::kFlush, 1, i, i + 1));
+  }
+  EXPECT_EQ(recorder.recorded(), 20u);
+  EXPECT_EQ(recorder.dropped(), 12u);
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].start_nanos, static_cast<int64_t>(12 + i));
+  }
+}
+
+TEST(TraceRecorderTest, SnapshotSortsAcrossShards) {
+  TraceRecorder recorder(/*capacity=*/64, /*num_shards=*/4);
+  // All records from this thread land in one shard, but Snapshot must sort
+  // by (start_nanos, seq) regardless of shard layout.
+  for (int64_t i = 10; i > 0; --i) {
+    recorder.Record(MakeEvent(SpanType::kQuery, 1, i * 100, i * 100 + 1));
+  }
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 10u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].start_nanos, events[i].start_nanos);
+  }
+}
+
+TEST(TraceRecorderTest, DisabledRecorderRetainsNothing) {
+  TraceRecorder recorder(/*capacity=*/8, /*num_shards=*/1);
+  recorder.set_enabled(false);
+  recorder.Record(MakeEvent(SpanType::kFlush, 1, 0, 1));
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+TEST(TraceRecorderTest, ConcurrentRecordingLosesNoCounts) {
+  // 8 writer threads hammer the sharded ring while a reader snapshots;
+  // run under TSan this is the data-race check for the recorder.
+  TraceRecorder recorder(/*capacity=*/1024, /*num_shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5'000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)recorder.Snapshot();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.Record(
+            MakeEvent(SpanType::kAppend, static_cast<uint32_t>(t), i, i + 1));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(recorder.recorded(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(recorder.dropped() + recorder.Snapshot().size(),
+            recorder.recorded());
+}
+
+// --- Telemetry + ScopedSpan ----------------------------------------------
+
+TEST(TelemetryTest, SeriesRegistrationIsIdempotent) {
+  Telemetry telemetry;
+  uint32_t a = telemetry.RegisterSeries("cpu.load");
+  uint32_t b = telemetry.RegisterSeries("mem.used");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(telemetry.RegisterSeries("cpu.load"), a);
+  EXPECT_EQ(telemetry.SeriesName(a), "cpu.load");
+  EXPECT_EQ(telemetry.SeriesName(0), "");
+  EXPECT_EQ(telemetry.SeriesName(999), "");
+}
+
+TEST(TelemetryTest, NestedScopedSpansRecordProperIntervals) {
+  TelemetryOptions topts;
+  topts.trace_enabled = true;
+  topts.trace_shards = 1;
+  Telemetry telemetry(topts);
+  ManualClock clock(1000);
+  uint32_t id = telemetry.RegisterSeries("s");
+
+  {
+    ScopedSpan outer(&telemetry, &clock, SpanType::kCompaction, id);
+    clock.AdvanceNanos(100);
+    {
+      ScopedSpan inner(&telemetry, &clock, SpanType::kFlush, id);
+      inner.set_points(7);
+      clock.AdvanceNanos(50);
+    }  // inner finishes at 1150
+    clock.AdvanceNanos(100);
+  }  // outer finishes at 1250
+
+  std::vector<TraceEvent> events = telemetry.tracer().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start time: outer first (it started earlier).
+  EXPECT_EQ(events[0].type, SpanType::kCompaction);
+  EXPECT_EQ(events[0].start_nanos, 1000);
+  EXPECT_EQ(events[0].end_nanos, 1250);
+  EXPECT_EQ(events[1].type, SpanType::kFlush);
+  EXPECT_EQ(events[1].start_nanos, 1100);
+  EXPECT_EQ(events[1].end_nanos, 1150);
+  EXPECT_EQ(events[1].points, 7u);
+  // The inner interval nests strictly inside the outer one.
+  EXPECT_GE(events[1].start_nanos, events[0].start_nanos);
+  EXPECT_LE(events[1].end_nanos, events[0].end_nanos);
+  // Both latencies reached the registry.
+  EXPECT_EQ(telemetry.registry().Summary(SpanType::kCompaction).count, 1u);
+  EXPECT_EQ(telemetry.registry().Summary(SpanType::kFlush).count, 1u);
+}
+
+TEST(TelemetryTest, FinishIsIdempotent) {
+  TelemetryOptions topts;
+  topts.trace_enabled = true;
+  Telemetry telemetry(topts);
+  ManualClock clock(0);
+  ScopedSpan span(&telemetry, &clock, SpanType::kQuery, 0);
+  clock.AdvanceNanos(10);
+  span.Finish();
+  span.Finish();  // destructor will be the third call
+  EXPECT_EQ(telemetry.tracer().recorded(), 1u);
+}
+
+TEST(TelemetryTest, NullTelemetryCostsNothing) {
+  // The disabled/zero-overhead contract: Active(nullptr) is false and a
+  // ScopedSpan over a null hub never touches the clock.
+  EXPECT_FALSE(Active(nullptr));
+  ScopedSpan span(nullptr, nullptr, SpanType::kAppend, 0);
+  span.set_points(1);
+  span.Finish();  // must not dereference the null clock
+}
+
+// --- Golden exports -------------------------------------------------------
+
+TEST(TraceExportTest, JsonlGolden) {
+  TelemetryOptions topts;
+  topts.trace_enabled = true;
+  topts.trace_shards = 1;
+  Telemetry telemetry(topts);
+  uint32_t id = telemetry.RegisterSeries("cpu");
+  TraceEvent e = MakeEvent(SpanType::kFlush, id, 2000, 5000);
+  e.points = 256;
+  e.bytes = 4096;
+  telemetry.tracer().Record(e);
+
+  EXPECT_EQ(ToJsonl(telemetry.tracer().Snapshot(), &telemetry),
+            "{\"type\":\"flush\",\"series\":\"cpu\",\"start_nanos\":2000,"
+            "\"end_nanos\":5000,\"duration_nanos\":3000,\"points\":256,"
+            "\"bytes\":4096}\n");
+}
+
+TEST(TraceExportTest, ChromeTraceGolden) {
+  TelemetryOptions topts;
+  topts.trace_enabled = true;
+  topts.trace_shards = 1;
+  Telemetry telemetry(topts);
+  uint32_t id = telemetry.RegisterSeries("cpu");
+  TraceEvent e = MakeEvent(SpanType::kCompaction, id, 1500, 4000);
+  e.files = 3;
+  telemetry.tracer().Record(e);
+
+  // ts/dur are microseconds with explicit 3-digit nano fractions — full
+  // precision, no scientific notation (chrome://tracing's unit contract).
+  EXPECT_EQ(
+      ToChromeTrace(telemetry.tracer().Snapshot(), &telemetry),
+      "{\"traceEvents\":["
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"cpu\"}},"
+      "{\"name\":\"compaction\",\"cat\":\"seplsm\",\"ph\":\"X\","
+      "\"ts\":1.500,\"dur\":2.500,\"pid\":1,\"tid\":1,"
+      "\"args\":{\"points\":0,\"bytes\":0,\"files\":3}}"
+      "]}");
+}
+
+// --- Histogram quantiles vs oracle ---------------------------------------
+
+TEST(MetricsRegistryTest, QuantilesTrackSortedVectorOracle) {
+  MetricsRegistry registry;
+  std::mt19937 rng(42);
+  // Log-uniform latencies across five orders of magnitude — the regime the
+  // geometric bucketing is built for.
+  std::uniform_real_distribution<double> exponent(0.0, 5.0);
+  std::vector<double> values;
+  for (int i = 0; i < 20'000; ++i) {
+    double v = std::pow(10.0, exponent(rng));
+    values.push_back(v);
+    registry.AddLatency(SpanType::kQuery, v);
+  }
+  std::sort(values.begin(), values.end());
+  LatencySummary s = registry.Summary(SpanType::kQuery);
+  ASSERT_EQ(s.count, values.size());
+  auto oracle = [&](double q) {
+    return values[static_cast<size_t>(q * (values.size() - 1))];
+  };
+  // Geometric buckets at growth 1.5: a quantile is exact to within one
+  // bucket, i.e. within a factor of 1.5 of the true order statistic.
+  for (auto [q, got] : {std::pair{0.50, s.p50_micros},
+                        std::pair{0.95, s.p95_micros},
+                        std::pair{0.99, s.p99_micros}}) {
+    double want = oracle(q);
+    EXPECT_GE(got, want / 1.5) << "q=" << q;
+    EXPECT_LE(got, want * 1.5) << "q=" << q;
+  }
+  EXPECT_NEAR(s.max_micros, values.back(), values.back() * 0.01);
+}
+
+TEST(MetricsRegistryTest, CountersAndMerge) {
+  MetricsRegistry a;
+  a.GetCounter("hits")->Add(3);
+  a.AddLatency(SpanType::kFlush, 100.0);
+  MetricsRegistry b;
+  b.GetCounter("hits")->Add(2);
+  b.GetCounter("misses")->Add(1);
+  b.AddLatency(SpanType::kFlush, 300.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetCounter("hits")->value(), 5u);
+  EXPECT_EQ(a.GetCounter("misses")->value(), 1u);
+  EXPECT_EQ(a.Summary(SpanType::kFlush).count, 2u);
+  // Pointer stability: the pre-merge pointer still works.
+  Counter* hits = a.GetCounter("hits");
+  hits->Add(1);
+  EXPECT_EQ(a.GetCounter("hits")->value(), 6u);
+}
+
+// --- Engine integration ---------------------------------------------------
+
+TEST(TelemetryEngineTest, EngineEmitsFlushCompactionAndQueueWaitSpans) {
+  MemEnv env;
+  TelemetryOptions topts;
+  topts.trace_enabled = true;
+  topts.append_span_sample_every = 64;
+  auto telemetry = std::make_shared<Telemetry>(topts);
+
+  engine::Options options;
+  options.env = &env;
+  options.dir = "/tele";
+  options.policy = engine::PolicyConfig::Conventional(128);
+  options.sstable_points = 64;
+  options.background_mode = true;
+  options.telemetry = telemetry;
+  options.series_name = "tele.series";
+  auto open = engine::TsEngine::Open(options);
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  auto& db = *open;
+
+  // Mildly out-of-order ingest so flushes AND real compactions happen.
+  std::mt19937 rng(7);
+  std::vector<int64_t> keys(4'000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = static_cast<int64_t>(i);
+  for (size_t b = 0; b < keys.size(); b += 16) {
+    std::shuffle(keys.begin() + b,
+                 keys.begin() + std::min(b + 16, keys.size()), rng);
+  }
+  for (int64_t t : keys) {
+    ASSERT_TRUE(db->Append({t, t, 1.0}).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(db->Query(0, 4'000, &out).ok());
+  EXPECT_EQ(out.size(), keys.size());
+
+  bool saw[kSpanTypeCount] = {};
+  for (const TraceEvent& e : telemetry->tracer().Snapshot()) {
+    saw[static_cast<size_t>(e.type)] = true;
+    EXPECT_EQ(telemetry->SeriesName(e.series_id), "tele.series");
+    EXPECT_GE(e.end_nanos, e.start_nanos);
+  }
+  EXPECT_TRUE(saw[static_cast<size_t>(SpanType::kFlush)]);
+  EXPECT_TRUE(saw[static_cast<size_t>(SpanType::kCompaction)]);
+  EXPECT_TRUE(saw[static_cast<size_t>(SpanType::kQueueWait)]);
+  EXPECT_TRUE(saw[static_cast<size_t>(SpanType::kQuery)]);
+  EXPECT_TRUE(saw[static_cast<size_t>(SpanType::kAppend)]);  // sampled
+
+  // Histograms saw every append, not one in sample_every.
+  EXPECT_EQ(telemetry->registry().Summary(SpanType::kAppend).count,
+            keys.size());
+  EXPECT_GT(telemetry->registry().Summary(SpanType::kFlush).count, 0u);
+  EXPECT_GT(telemetry->registry().Summary(SpanType::kQueueWait).count, 0u);
+
+  // Scheduler-side counters mirrored the executed jobs.
+  EXPECT_GT(
+      telemetry->registry().GetCounter("scheduler_flush_jobs_executed")->value() +
+          telemetry->registry()
+              .GetCounter("scheduler_compaction_jobs_executed")
+              ->value(),
+      0u);
+}
+
+TEST(TelemetryEngineTest, TracingOffStillFeedsHistograms) {
+  MemEnv env;
+  auto telemetry = std::make_shared<Telemetry>();  // trace_enabled=false
+  engine::Options options;
+  options.env = &env;
+  options.dir = "/quiet";
+  options.policy = engine::PolicyConfig::Conventional(64);
+  options.sstable_points = 64;
+  options.telemetry = telemetry;
+  auto open = engine::TsEngine::Open(options);
+  ASSERT_TRUE(open.ok());
+  for (int64_t t = 0; t < 500; ++t) {
+    ASSERT_TRUE((*open)->Append({t, t, 1.0}).ok());
+  }
+  ASSERT_TRUE((*open)->FlushAll().ok());
+  EXPECT_EQ(telemetry->tracer().recorded(), 0u);  // no spans retained
+  EXPECT_EQ(telemetry->registry().Summary(SpanType::kAppend).count, 500u);
+  // Synchronous π_c drains the memtable through the merge path, so the
+  // work shows up as COMPACTION latencies.
+  EXPECT_GT(telemetry->registry().Summary(SpanType::kCompaction).count, 0u);
+}
+
+}  // namespace
+}  // namespace seplsm::telemetry

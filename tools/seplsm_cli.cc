@@ -8,6 +8,7 @@
 //   seplsm_cli tune     --trace=trace.csv --n=512 [--granularity=512]
 //   seplsm_cli info     --dir=/tmp/db
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -79,21 +80,67 @@ void PrintCacheStats(engine::TsEngine* db) {
   }
 }
 
+/// Attaches a telemetry hub when observability flags ask for one (`force`
+/// makes one unconditionally — the stats command). Span tracing is on only
+/// when a --trace-out destination exists; histograms/counters are always
+/// live on the returned hub.
+std::shared_ptr<telemetry::Telemetry> ApplyTelemetryFlags(
+    const Flags& flags, engine::Options* options, bool force = false) {
+  const bool want_trace = !flags.Get("trace-out", "").empty();
+  if (!force && !want_trace && !flags.GetBool("telemetry")) return nullptr;
+  telemetry::TelemetryOptions topts;
+  topts.trace_enabled = want_trace;
+  auto telemetry = std::make_shared<telemetry::Telemetry>(topts);
+  options->telemetry = telemetry;
+  options->stats_dump_interval_ms =
+      static_cast<uint64_t>(flags.GetInt("stats-dump-ms", 0));
+  return telemetry;
+}
+
+/// Writes the captured span trace to --trace-out (no-op without the flag).
+int DumpTraceIfRequested(const Flags& flags,
+                         const telemetry::Telemetry* telemetry) {
+  std::string path = flags.Get("trace-out", "");
+  if (path.empty() || telemetry == nullptr) return 0;
+  std::string format = flags.Get("trace-format", "chrome");
+  if (!telemetry::WriteTraceFile(*telemetry, path, format)) {
+    return Fail("failed to write trace to " + path + " (format " + format +
+                "; expected chrome or jsonl)");
+  }
+  std::fprintf(stderr, "(%llu spans captured, %llu dropped; trace written "
+               "to %s [%s])\n",
+               static_cast<unsigned long long>(telemetry->tracer().recorded()),
+               static_cast<unsigned long long>(telemetry->tracer().dropped()),
+               path.c_str(), format.c_str());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: seplsm_cli <generate|ingest|query|tune|info> [flags]\n"
+               "usage: seplsm_cli <generate|ingest|query|tune|info|stats> "
+               "[flags]\n"
                "  generate --dataset=M1..M12|s9|h --points=N --out=csv\n"
                "  ingest   --trace=csv --dir=path [--policy=pi_c|pi_s]\n"
                "           [--n=512] [--nseq=256] [--wal] [--gorilla] [--bg]\n"
                "           [--bg-threads=T] [--cache-mb=M] [--cache-shards=S]\n"
+               "           [--trace-out=f] [--stats-dump-ms=T]\n"
                "  query    --dir=path --lo=T --hi=T [--bucket=W]\n"
                "           [--repeat=R] [--cache-mb=M] [--cache-shards=S]\n"
-               "           [--stats]\n"
+               "           [--stats] [--trace-out=f]\n"
                "  tune     --trace=csv [--n=512] [--granularity=S] [--step=K]\n"
                "  info     --dir=path [--stats]\n"
                "  verify   --dir=path\n"
+               "  stats    --dir=path [--trace=csv] [--queries=Q] [--json]\n"
+               "           [--prometheus] [--series=name] [--trace-out=f]\n"
+               "           [--trace-format=chrome|jsonl] + ingest flags\n"
                "  --stats prints the full engine counter line (incl. "
-               "compaction_read_bytes/blocks)\n");
+               "compaction_read_bytes/blocks)\n"
+               "  --trace-out captures engine spans (flush/compaction/query/"
+               "queue_wait/stall)\n"
+               "  stats runs an optional ingest+query workload with "
+               "telemetry on and reports\n"
+               "  per-phase latency percentiles (default text, --json, or "
+               "--prometheus)\n");
   return 2;
 }
 
@@ -158,6 +205,7 @@ int CmdIngest(const Flags& flags) {
     options.value_encoding = format::ValueEncoding::kGorilla;
   }
   ApplyCacheFlags(flags, &options);
+  auto telemetry = ApplyTelemetryFlags(flags, &options);
 
   auto db = engine::TsEngine::Open(options);
   if (!db.ok()) return Fail(db.status().ToString());
@@ -170,7 +218,10 @@ int CmdIngest(const Flags& flags) {
               (*db)->options().policy.ToString().c_str(),
               m.ToString().c_str());
   PrintCacheStats(db->get());
-  return 0;
+  if (telemetry != nullptr) {
+    std::printf("%s\n", telemetry->registry().ToJson().c_str());
+  }
+  return DumpTraceIfRequested(flags, telemetry.get());
 }
 
 int CmdQuery(const Flags& flags) {
@@ -179,6 +230,7 @@ int CmdQuery(const Flags& flags) {
   engine::Options options;
   options.dir = dir;
   ApplyCacheFlags(flags, &options);
+  auto telemetry = ApplyTelemetryFlags(flags, &options);
   auto db = engine::TsEngine::Open(options);
   if (!db.ok()) return Fail(db.status().ToString());
 
@@ -235,7 +287,7 @@ int CmdQuery(const Flags& flags) {
     std::printf("%s\n", (*db)->GetMetrics().ToString().c_str());
   }
   PrintCacheStats(db->get());
-  return 0;
+  return DumpTraceIfRequested(flags, telemetry.get());
 }
 
 int CmdTune(const Flags& flags) {
@@ -293,6 +345,79 @@ int CmdInfo(const Flags& flags) {
   return 0;
 }
 
+/// One-stop observability probe: open (or populate) a database with
+/// telemetry attached, optionally drive a query sweep, and report engine
+/// counters + per-phase latency percentiles as text, JSON, or Prometheus
+/// exposition. This is what the CI smoke job scrapes.
+int CmdStats(const Flags& flags) {
+  std::string dir = flags.Get("dir", "");
+  if (dir.empty()) return Fail("stats requires --dir");
+
+  engine::Options options;
+  options.dir = dir;
+  size_t n = static_cast<size_t>(flags.GetInt("n", 512));
+  if (flags.Get("policy", "pi_c") == "pi_s") {
+    size_t nseq = static_cast<size_t>(flags.GetInt("nseq", n / 2));
+    options.policy = engine::PolicyConfig::Separation(n, nseq);
+  } else {
+    options.policy = engine::PolicyConfig::Conventional(n);
+  }
+  options.enable_wal = flags.GetBool("wal");
+  options.background_mode = flags.GetBool("bg");
+  options.background_threads =
+      static_cast<size_t>(flags.GetInt("bg-threads", 0));
+  if (flags.GetBool("gorilla")) {
+    options.value_encoding = format::ValueEncoding::kGorilla;
+  }
+  ApplyCacheFlags(flags, &options);
+  std::string series = flags.Get("series", dir);
+  options.series_name = series;
+  auto telemetry = ApplyTelemetryFlags(flags, &options, /*force=*/true);
+
+  auto db = engine::TsEngine::Open(options);
+  if (!db.ok()) return Fail(db.status().ToString());
+
+  // Optional workload so the histograms have something to summarize:
+  // ingest a CSV trace, then sweep the persisted range with --queries
+  // aggregate queries (0 skips the sweep).
+  std::string trace_path = flags.Get("trace", "");
+  if (!trace_path.empty()) {
+    auto trace = workload::ReadTraceCsv(Env::Default(), trace_path);
+    if (!trace.ok()) return Fail(trace.status().ToString());
+    for (const auto& p : *trace) {
+      if (Status st = (*db)->Append(p); !st.ok()) return Fail(st.ToString());
+    }
+    if (Status st = (*db)->FlushAll(); !st.ok()) return Fail(st.ToString());
+  }
+  long long queries = flags.GetInt("queries", 8);
+  int64_t hi = (*db)->MaxPersistedGenerationTime();
+  if (queries > 0 && hi > 0) {
+    int64_t span = hi / queries;
+    for (long long q = 0; q < queries; ++q) {
+      std::vector<DataPoint> out;
+      int64_t lo = q * span;
+      if (Status st = (*db)->Query(lo, lo + std::max<int64_t>(span, 1), &out);
+          !st.ok()) {
+        return Fail(st.ToString());
+      }
+    }
+  }
+
+  engine::Metrics m = (*db)->GetMetrics();
+  if (flags.GetBool("json")) {
+    std::printf("{\"series\":\"%s\",\"engine\":%s,\"telemetry\":%s}\n",
+                series.c_str(), m.ToJson().c_str(),
+                telemetry->registry().ToJson().c_str());
+  } else if (flags.GetBool("prometheus")) {
+    std::printf("%s%s", m.ToPrometheus(series).c_str(),
+                telemetry->registry().ToPrometheus(series).c_str());
+  } else {
+    std::printf("%s\n%s\n", m.ToString().c_str(),
+                telemetry->registry().ToJson().c_str());
+  }
+  return DumpTraceIfRequested(flags, telemetry.get());
+}
+
 int CmdVerify(const Flags& flags) {
   std::string dir = flags.Get("dir", "");
   if (dir.empty()) return Fail("verify requires --dir");
@@ -333,5 +458,6 @@ int main(int argc, char** argv) {
   if (command == "tune") return CmdTune(flags);
   if (command == "info") return CmdInfo(flags);
   if (command == "verify") return CmdVerify(flags);
+  if (command == "stats") return CmdStats(flags);
   return Usage();
 }
