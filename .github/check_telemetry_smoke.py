@@ -33,6 +33,13 @@ def check_stats_json(path):
         if counters.get(name, 0) <= 0:
             fail(f"{path}: engine counter '{name}' not positive: "
                  f"{counters.get(name)}")
+    # The pruning counters must be exported even when zero (the smoke
+    # workload may not exercise summaries), so dashboards never see a gap.
+    for name in ("files_skipped", "blocks_skipped", "blooms_negative",
+                 "summary_hits"):
+        if name not in counters:
+            fail(f"{path}: pruning counter '{name}' absent from "
+                 f"engine.counters (have: {sorted(counters)})")
     latency = doc["telemetry"].get("latency_micros", {})
     if not latency:
         fail(f"{path}: telemetry.latency_micros is empty")
@@ -65,7 +72,11 @@ def check_stats_prom(path):
         seen.add(line.split("{")[0].split(" ")[0])
     for metric in ("seplsm_points_flushed_total", "seplsm_queries_total",
                    "seplsm_op_latency_micros",
-                   "seplsm_write_amplification"):
+                   "seplsm_write_amplification",
+                   "seplsm_files_skipped_total",
+                   "seplsm_blocks_skipped_total",
+                   "seplsm_blooms_negative_total",
+                   "seplsm_summary_hits_total"):
         if metric not in seen:
             fail(f"{path}: metric '{metric}' not found")
     if 'series="' not in text:

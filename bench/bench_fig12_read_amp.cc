@@ -4,6 +4,13 @@
 //
 // Expected shapes (paper §V-D1): π_s ≤ π_c per window (smaller SSTables
 // -> fewer useless points decoded), and RA decreases as the window grows.
+//
+// --json[=path] emits the RA grid as machine-readable JSON; RA is a pure
+// count ratio on a deterministic workload, so the values are bit-stable
+// across machines — what .github/check_bench_regression.py diffs against
+// the committed BENCH_fig12.json baseline.
+
+#include <cstring>
 
 #include "bench_query_util.h"
 #include "model/tuner.h"
@@ -15,9 +22,26 @@ int main(int argc, char** argv) {
   const size_t n = args.budget;
   const int64_t windows[] = {500, 1000, 5000};
 
+  bool emit_json = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      emit_json = true;
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+    }
+  }
+
   std::printf("=== Fig. 12: read amplification, recent-data queries ===\n");
   std::printf("(%zu points/dataset, n=%zu, windows 500/1000/5000)\n\n",
               args.points, n);
+
+  std::string json = "{\n  \"bench\": \"fig12_read_amp\",\n";
+  json += "  \"points\": " + std::to_string(args.points) + ",\n";
+  json += "  \"budget\": " + std::to_string(n) + ",\n";
+  json += "  \"rows\": [\n";
+  bool first_row = true;
 
   bench::TablePrinter table({"dataset", "policy", "w=500", "w=1000",
                              "w=5000"});
@@ -34,6 +58,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> row_c = {config.name, "pi_c"};
     std::vector<std::string> row_s = {
         config.name, "pi_s(ns=" + std::to_string(nseq) + ")"};
+    std::string json_c, json_s;
     for (int64_t w : windows) {
       auto rc = bench::RunQueryWorkload(engine::PolicyConfig::Conventional(n),
                                         points, w, bench::QueryMode::kRecent);
@@ -42,11 +67,38 @@ int main(int argc, char** argv) {
           bench::QueryMode::kRecent);
       row_c.push_back(bench::Fmt(rc.mean_read_amplification, 2));
       row_s.push_back(bench::Fmt(rs.mean_read_amplification, 2));
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), ", \"ra_w%lld\": %.4f",
+                    static_cast<long long>(w), rc.mean_read_amplification);
+      json_c += buf;
+      std::snprintf(buf, sizeof(buf), ", \"ra_w%lld\": %.4f",
+                    static_cast<long long>(w), rs.mean_read_amplification);
+      json_s += buf;
     }
     table.AddRow(row_c);
     table.AddRow(row_s);
+    for (const char* policy : {"pi_c", "pi_s"}) {
+      json += first_row ? "    " : ",\n    ";
+      first_row = false;
+      json += "{\"dataset\": \"" + std::string(config.name) +
+              "\", \"policy\": \"" + policy + "\"" +
+              (policy[3] == 'c' ? json_c : json_s) + "}";
+    }
   }
   table.Print();
   table.WriteCsv(args.out);
+  if (emit_json) {
+    json += "\n  ]\n}\n";
+    if (json_path.empty()) {
+      std::printf("%s", json.c_str());
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f != nullptr) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("(json written to %s)\n", json_path.c_str());
+      }
+    }
+  }
   return 0;
 }

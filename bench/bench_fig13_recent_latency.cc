@@ -30,10 +30,21 @@ int main(int argc, char** argv) {
   // line-delimited JSON) — the Fig. 13 recipe in EXPERIMENTS.md §trace.
   std::string trace_out;
   std::string trace_format = "chrome";
+  // --json[=path]: latency grid as JSON. The nanoseconds are LatencyEnv's
+  // simulated device time — a deterministic function of the workload, so
+  // the values are machine-independent and CI-diffable.
+  bool emit_json = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace-out=", 12) == 0) trace_out = argv[i] + 12;
     if (std::strncmp(argv[i], "--trace-format=", 15) == 0) {
       trace_format = argv[i] + 15;
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      emit_json = true;
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
     }
   }
   std::shared_ptr<telemetry::Telemetry> telemetry;
@@ -50,6 +61,23 @@ int main(int argc, char** argv) {
               args.points, n);
 
   const size_t cache_bytes = 64u << 20;
+  std::string json = "{\n  \"bench\": \"fig13_recent_latency\",\n";
+  json += "  \"points\": " + std::to_string(args.points) + ",\n";
+  json += "  \"budget\": " + std::to_string(n) + ",\n";
+  json += "  \"rows\": [\n";
+  bool first_json_row = true;
+  auto add_json_row = [&](const std::string& dataset, const char* policy,
+                          const double lat[3]) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"dataset\": \"%s\", \"policy\": \"%s\", "
+                  "\"lat_w500_ns\": %.0f, \"lat_w1000_ns\": %.0f, "
+                  "\"lat_w5000_ns\": %.0f}",
+                  first_json_row ? "    " : ",\n    ", dataset.c_str(),
+                  policy, lat[0], lat[1], lat[2]);
+    first_json_row = false;
+    json += buf;
+  };
   bench::TablePrinter table({"dataset", "policy", "w=500", "w=1000", "w=5000",
                              "files/query(w=5000)", "hit_rate(w=5000)"});
   for (const auto& config : workload::TableII()) {
@@ -69,6 +97,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> row_sb = {config.name, "pi_s+bc"};
     double files_c = 0.0, files_s = 0.0;
     double hit_cb = 0.0, hit_sb = 0.0;
+    double lat_c[3], lat_s[3], lat_cb[3], lat_sb[3];
+    int wi = 0;
     for (int64_t w : windows) {
       auto rc = bench::RunQueryWorkload(engine::PolicyConfig::Conventional(n),
                                         points, w, bench::QueryMode::kRecent,
@@ -92,7 +122,16 @@ int main(int argc, char** argv) {
       files_s = rs.mean_files_opened;
       hit_cb = rcb.cache_hit_rate;
       hit_sb = rsb.cache_hit_rate;
+      lat_c[wi] = rc.mean_latency_ns;
+      lat_s[wi] = rs.mean_latency_ns;
+      lat_cb[wi] = rcb.mean_latency_ns;
+      lat_sb[wi] = rsb.mean_latency_ns;
+      ++wi;
     }
+    add_json_row(config.name, "pi_c", lat_c);
+    add_json_row(config.name, "pi_s", lat_s);
+    add_json_row(config.name, "pi_c+bc", lat_cb);
+    add_json_row(config.name, "pi_s+bc", lat_sb);
     row_c.push_back(bench::Fmt(files_c, 1));
     row_s.push_back(bench::Fmt(files_s, 1));
     row_cb.push_back("-");
@@ -108,6 +147,19 @@ int main(int argc, char** argv) {
   }
   table.Print();
   table.WriteCsv(args.out);
+  if (emit_json) {
+    json += "\n  ]\n}\n";
+    if (json_path.empty()) {
+      std::printf("%s", json.c_str());
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f != nullptr) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("(json written to %s)\n", json_path.c_str());
+      }
+    }
+  }
   if (telemetry != nullptr) {
     if (telemetry::WriteTraceFile(*telemetry, trace_out, trace_format)) {
       std::printf("(%llu spans captured, %llu dropped; trace written to %s "

@@ -1,0 +1,212 @@
+// Read-path pruning A/B: the same flushed dataset queried with
+// Options::pruning on and off. The workload is fig13-style — dashboard
+// downsamples, whole-range aggregates, and narrow range reads — and the
+// headline number is how many fewer blocks the pruned read path decodes
+// (summary-served windows never touch a data block at all).
+//
+// Everything reported is a deterministic count (blocks, summary hits,
+// points), so the JSON is machine-independent and CI-diffable against the
+// committed BENCH_pruning.json. Exit code gates on correctness: answers
+// must be identical on vs off, and the blocks-read reduction must hold.
+
+#include <cinttypes>
+#include <cmath>
+#include <cstring>
+#include <random>
+
+#include "bench_util.h"
+#include "engine/aggregation.h"
+#include "env/mem_env.h"
+
+namespace {
+
+struct SideResult {
+  uint64_t blocks_read = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t summary_hits = 0;
+  uint64_t files_skipped = 0;
+  uint64_t disk_points_scanned = 0;
+  uint64_t queries = 0;
+  // Order-sensitive digests of every answer, compared across the two sides.
+  uint64_t point_digest = 0;
+  uint64_t count_digest = 0;
+  double sum_total = 0.0;
+};
+
+void DigestPoint(SideResult* r, const seplsm::DataPoint& p) {
+  uint64_t bits;
+  std::memcpy(&bits, &p.value, sizeof(bits));
+  uint64_t h = static_cast<uint64_t>(p.generation_time) * 1099511628211ull;
+  r->point_digest = (r->point_digest ^ h ^ bits) * 1099511628211ull;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace seplsm;
+  auto args = bench::BenchArgs::Parse(argc, argv, /*default_points=*/200'000);
+  bool emit_json = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      emit_json = true;
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+    }
+  }
+  const int64_t kWindow = 256;       // summary window (time units)
+  const int64_t kBucket = 1024;      // dashboard bucket width
+  const int64_t last = static_cast<int64_t>(args.points) - 1;
+
+  std::printf("=== pruning A/B: zone maps + summaries on the read path "
+              "===\n");
+  std::printf("(%zu points, summary window %" PRId64 ", bucket %" PRId64
+              ")\n\n",
+              args.points, kWindow, kBucket);
+
+  MemEnv env;
+  {
+    engine::Options o;
+    o.env = &env;
+    o.dir = "/prune";
+    o.policy = engine::PolicyConfig::Conventional(4096);
+    o.sstable_points = 4096;
+    o.points_per_block = 512;
+    o.summary_window = kWindow;
+    auto db = engine::TsEngine::Open(o);
+    if (!db.ok()) {
+      std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    for (int64_t t = 0; t <= last; ++t) {
+      DataPoint p{t, t + 5, std::sin(t * 0.002) * 100.0 + (t % 97)};
+      if (!(*db)->Append(p).ok()) return 1;
+    }
+    if (!(*db)->FlushAll().ok()) return 1;
+  }
+
+  auto run_side = [&](bool pruning) -> SideResult {
+    engine::Options o;
+    o.env = &env;
+    o.dir = "/prune";
+    o.policy = engine::PolicyConfig::Conventional(4096);
+    o.sstable_points = 4096;
+    o.points_per_block = 512;
+    o.summary_window = kWindow;
+    o.pruning = pruning;
+    auto db = engine::TsEngine::Open(o);
+    if (!db.ok()) {
+      std::fprintf(stderr, "reopen: %s\n", db.status().ToString().c_str());
+      std::exit(1);
+    }
+    SideResult r;
+    auto fold = [&](const engine::QueryStats& s) {
+      r.blocks_read += s.blocks_read;
+      r.blocks_skipped += s.pruning.blocks_skipped;
+      r.summary_hits += s.pruning.summary_hits;
+      r.files_skipped += s.pruning.files_skipped;
+      r.disk_points_scanned += s.disk_points_scanned;
+      ++r.queries;
+    };
+    auto digest_agg = [&](const engine::Aggregates& a) {
+      r.count_digest = (r.count_digest ^ a.count ^
+                        static_cast<uint64_t>(a.first_time) ^
+                        static_cast<uint64_t>(a.last_time)) *
+                       1099511628211ull;
+      r.sum_total += a.sum;
+    };
+    std::mt19937_64 rng(424242);
+    engine::QueryStats stats;
+    // (a) Dashboard downsamples: bucket grid over sliding aligned ranges.
+    for (int i = 0; i < 32; ++i) {
+      int64_t span = (last + 1) / 2;
+      int64_t lo = static_cast<int64_t>(rng() % (last + 1 - span));
+      lo -= lo % kBucket;  // bucket grid == summary grid alignment
+      std::vector<engine::TimeBucket> buckets;
+      if (!(*db)->Downsample(lo, lo + span, kBucket, &buckets, &stats).ok()) {
+        std::exit(1);
+      }
+      fold(stats);
+      for (const auto& b : buckets) digest_agg(b.aggregates);
+    }
+    // (b) Whole-range aggregates (the "min/max/avg of everything" tile).
+    for (int i = 0; i < 8; ++i) {
+      engine::Aggregates agg;
+      if (!(*db)->Aggregate(0, last, &agg, &stats).ok()) std::exit(1);
+      fold(stats);
+      digest_agg(agg);
+    }
+    // (c) Narrow range reads (point-level answers must stay identical).
+    for (int i = 0; i < 64; ++i) {
+      int64_t lo = static_cast<int64_t>(rng() % (last + 1 - 2000));
+      std::vector<DataPoint> out;
+      if (!(*db)->Query(lo, lo + 1999, &out, &stats).ok()) std::exit(1);
+      fold(stats);
+      for (const auto& p : out) DigestPoint(&r, p);
+    }
+    return r;
+  };
+
+  SideResult on = run_side(true);
+  SideResult off = run_side(false);
+
+  const bool identical =
+      on.point_digest == off.point_digest &&
+      on.count_digest == off.count_digest &&
+      std::abs(on.sum_total - off.sum_total) <=
+          1e-9 * std::max(1.0, std::abs(off.sum_total));
+  const double reduction =
+      static_cast<double>(off.blocks_read) /
+      static_cast<double>(on.blocks_read == 0 ? 1 : on.blocks_read);
+
+  bench::TablePrinter table({"side", "blocks_read", "blocks_skipped",
+                             "summary_hits", "files_skipped",
+                             "disk_points_scanned"});
+  table.AddRow({"pruning=on", bench::Fmt(on.blocks_read),
+                bench::Fmt(on.blocks_skipped), bench::Fmt(on.summary_hits),
+                bench::Fmt(on.files_skipped),
+                bench::Fmt(on.disk_points_scanned)});
+  table.AddRow({"pruning=off", bench::Fmt(off.blocks_read),
+                bench::Fmt(off.blocks_skipped), bench::Fmt(off.summary_hits),
+                bench::Fmt(off.files_skipped),
+                bench::Fmt(off.disk_points_scanned)});
+  table.Print();
+  table.WriteCsv(args.out);
+  std::printf("\nresults %s; blocks-read reduction %.1fx "
+              "(acceptance: identical and >= 5x)\n",
+              identical ? "identical" : "MISMATCH", reduction);
+
+  if (emit_json) {
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n  \"bench\": \"pruning_ab\",\n  \"points\": %zu,\n"
+        "  \"summary_window\": %" PRId64 ",\n  \"bucket\": %" PRId64 ",\n"
+        "  \"queries\": %" PRIu64 ",\n"
+        "  \"blocks_read_on\": %" PRIu64 ",\n"
+        "  \"blocks_read_off\": %" PRIu64 ",\n"
+        "  \"blocks_skipped_on\": %" PRIu64 ",\n"
+        "  \"summary_hits_on\": %" PRIu64 ",\n"
+        "  \"files_skipped_on\": %" PRIu64 ",\n"
+        "  \"disk_points_scanned_on\": %" PRIu64 ",\n"
+        "  \"disk_points_scanned_off\": %" PRIu64 ",\n"
+        "  \"blocks_read_reduction\": %.2f,\n"
+        "  \"results_identical\": %s\n}\n",
+        args.points, kWindow, kBucket, on.queries, on.blocks_read,
+        off.blocks_read, on.blocks_skipped, on.summary_hits,
+        on.files_skipped, on.disk_points_scanned, off.disk_points_scanned,
+        reduction, identical ? "true" : "false");
+    if (json_path.empty()) {
+      std::printf("%s", buf);
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f != nullptr) {
+        std::fputs(buf, f);
+        std::fclose(f);
+        std::printf("(json written to %s)\n", json_path.c_str());
+      }
+    }
+  }
+  return identical && reduction >= 5.0 ? 0 : 1;
+}

@@ -37,6 +37,24 @@ struct Aggregates {
     if (p.value < min) min = p.value;
     if (p.value > max) max = p.value;
   }
+
+  /// Merges a segment whose points all carry generation times >= everything
+  /// accumulated so far (segments must be folded in ascending time order —
+  /// what the summary pushdown walk guarantees). Produces exactly what
+  /// Accumulate over the concatenated point streams would have.
+  void MergeOrdered(const Aggregates& later) {
+    if (later.count == 0) return;
+    if (count == 0) {
+      *this = later;
+      return;
+    }
+    count += later.count;
+    sum += later.sum;
+    if (later.min < min) min = later.min;
+    if (later.max > max) max = later.max;
+    last_time = later.last_time;
+    last_value = later.last_value;
+  }
 };
 
 /// One bucket of a GROUP-BY-time downsampling query.

@@ -21,6 +21,30 @@ struct MergeEvent {
   uint64_t output_files = 0;
 };
 
+/// What the read path avoided doing, thanks to pruning metadata: files
+/// never opened, blocks never read, series lookups never made, aggregation
+/// windows answered without decoding a point. Threaded from
+/// Version/SSTable selection through QueryStats into the cumulative
+/// Metrics counters of the same names.
+struct PruningStats {
+  /// Files excluded by time-range metadata before any I/O.
+  uint64_t files_skipped = 0;
+  /// Blocks bypassed via index ranges or value zone maps (no device read,
+  /// no cache lookup).
+  uint64_t blocks_skipped = 0;
+  /// Series probes the Bloom filter answered "absent" (MultiSeriesDB).
+  uint64_t blooms_negative = 0;
+  /// Aggregation windows served from pre-aggregated summaries.
+  uint64_t summary_hits = 0;
+
+  void MergeFrom(const PruningStats& other) {
+    files_skipped += other.files_skipped;
+    blocks_skipped += other.blocks_skipped;
+    blooms_negative += other.blooms_negative;
+    summary_hits += other.summary_hits;
+  }
+};
+
 /// Per-query statistics (read amplification inputs, Fig. 12).
 struct QueryStats {
   uint64_t points_returned = 0;
@@ -32,6 +56,10 @@ struct QueryStats {
   uint64_t device_bytes_read = 0;
   uint64_t block_cache_hits = 0;
   uint64_t block_cache_misses = 0;
+  /// Blocks actually decoded for this query (device reads + cache hits).
+  uint64_t blocks_read = 0;
+  /// What pruning metadata let this query skip.
+  PruningStats pruning;
 
   /// scanned / returned; 0 when nothing was returned.
   double ReadAmplification() const {
@@ -97,7 +125,12 @@ struct QueryStats {
   X(writer_stall_micros, "microseconds Appends spent stalled")               \
   /* Snapshot-isolated read path */                                          \
   X(snapshots_acquired, "version snapshots handed to readers")               \
-  X(files_deferred_deleted, "files routed through deferred deletion")
+  X(files_deferred_deleted, "files routed through deferred deletion")        \
+  /* Read-path pruning (zone maps, summaries, series Bloom filters) */       \
+  X(files_skipped, "SSTables pruned from queries by time-range metadata")    \
+  X(blocks_skipped, "blocks pruned via index ranges or zone maps")           \
+  X(blooms_negative, "series probes answered absent by the Bloom filter")    \
+  X(summary_hits, "aggregation windows served from table summaries")
 
 /// Cumulative engine counters. Points are the unit of the paper's WA
 /// definition; bytes are tracked in parallel for completeness. The fields

@@ -90,6 +90,10 @@ Result<std::unique_ptr<MultiSeriesDB>> MultiSeriesDB::Open(
   const uint64_t dump_interval = options.base.stats_dump_interval_ms;
   options.base.stats_dump_interval_ms = 0;
   std::unique_ptr<MultiSeriesDB> db(new MultiSeriesDB(std::move(options)));
+  if (db->options_.series_bloom) {
+    db->series_bloom_ =
+        std::make_unique<SeriesBloom>(db->options_.series_bloom_bits);
+  }
   if (dump_interval > 0) {
     MultiSeriesDB* raw = db.get();
     db->stats_dumper_.Start(dump_interval, [raw] {
@@ -162,6 +166,9 @@ Status MultiSeriesDB::OpenSeriesLocked(const std::string& series,
       entry.observe_mutex = std::make_unique<std::mutex>();
     }
     it = series_.emplace(series, std::move(entry)).first;
+    // Publish to the bloom only after the engine opened: a failed open
+    // must not leave a "present" trace for a series that does not exist.
+    if (series_bloom_ != nullptr) series_bloom_->Insert(series);
   }
   *out = &it->second;
   return Status::OK();
@@ -187,6 +194,16 @@ Status MultiSeriesDB::Append(const std::string& series,
 
 Status MultiSeriesDB::Query(const std::string& series, int64_t lo, int64_t hi,
                             std::vector<DataPoint>* out, QueryStats* stats) {
+  // Negative probes resolve before the map mutex: a dashboard scanning ids
+  // that mostly do not exist here never contends with appenders.
+  if (series_bloom_ != nullptr && !series_bloom_->MayContain(series)) {
+    blooms_negative_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) {
+      *stats = QueryStats();
+      stats->pruning.blooms_negative = 1;
+    }
+    return Status::NotFound("series " + series);
+  }
   Series* entry = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -238,6 +255,9 @@ Metrics MultiSeriesDB::GetAggregateMetrics() {
     (void)name;
     total.MergeFrom(entry.engine->GetMetrics());
   }
+  // DB-level counter: bloom rejections never reach a series engine, so
+  // they are added here rather than in any per-series Metrics.
+  total.blooms_negative += blooms_negative_.load(std::memory_order_relaxed);
   return total;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SEPLSM_ENGINE_MULTI_SERIES_DB_H_
 #define SEPLSM_ENGINE_MULTI_SERIES_DB_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include "analyzer/adaptive_controller.h"
 #include "common/point.h"
 #include "common/result.h"
+#include "engine/series_bloom.h"
 #include "engine/ts_engine.h"
 #include "telemetry/stats_dump.h"
 #include "telemetry/telemetry.h"
@@ -31,6 +33,13 @@ class MultiSeriesDB {
     /// Attach an AdaptiveController per series (π_adaptive).
     bool adaptive = false;
     analyzer::AdaptiveController::Options adaptive_options;
+    /// Probe a lock-free Bloom filter of series ids before the map mutex,
+    /// so queries for absent series (decommissioned sensors, typos) skip
+    /// the lock and the lookup entirely (counted as `blooms_negative`).
+    bool series_bloom = true;
+    /// Filter size in bits (~10 bits per expected series for a ~1% false-
+    /// positive rate; default 64 Ki bits = 8 KiB).
+    size_t series_bloom_bits = 1 << 16;
   };
 
   /// Opens the root directory and recovers every existing series. In
@@ -115,6 +124,13 @@ class MultiSeriesDB {
   MultiOptions options_;
   std::mutex mutex_;  // guards the series map only
   std::map<std::string, Series> series_;
+  /// Built at Open (recovered series) and extended on series creation;
+  /// null when MultiOptions::series_bloom is off. Bits are never cleared —
+  /// see SeriesBloom for why CloseSeries staleness is benign.
+  std::unique_ptr<SeriesBloom> series_bloom_;
+  /// Series probes the bloom answered "absent" (no lock, no map lookup);
+  /// folded into GetAggregateMetrics().blooms_negative.
+  std::atomic<uint64_t> blooms_negative_{0};
   /// One aggregate dump timer for the whole database (per-engine intervals
   /// are zeroed in Open so S series never spawn S timer threads).
   telemetry::StatsDumper stats_dumper_;

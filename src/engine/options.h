@@ -85,6 +85,21 @@ struct Options {
   /// series several-fold; WA in *points* is unchanged, WA in bytes drops).
   format::ValueEncoding value_encoding = format::ValueEncoding::kRaw;
 
+  /// Write the v2 pruning-metadata section (per-block value zone maps +
+  /// per-window summaries) into new SSTables. Off, the writer emits
+  /// byte-identical v1 files; v1 files always stay readable either way.
+  bool table_metadata = true;
+  /// Summary window width in generation-time units (absolute alignment:
+  /// windows start at multiples of this). 0 writes zone maps but no
+  /// summaries. Downsampling pushes down only when the bucket grid aligns
+  /// with this width, so pick a divisor of common dashboard bucket widths.
+  int64_t summary_window = 64;
+  /// Use pruning metadata on the read path: summary-served aggregation and
+  /// zone-map block skipping. Off, queries behave exactly as before the
+  /// metadata existed (the A/B switch the pruning bench measures); the
+  /// metadata is still written per `table_metadata`.
+  bool pruning = true;
+
   /// When true, a full MemTable is flushed to an overlapping level-0 file
   /// and a background thread folds level-0 into the sorted run — the
   /// non-blocking variant of paper §V-C used for the throughput study.

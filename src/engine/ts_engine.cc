@@ -14,6 +14,18 @@ namespace {
 
 constexpr int64_t kNoData = std::numeric_limits<int64_t>::min();
 
+/// Start of the summary window containing `t` (floor division, so negative
+/// times land in the window that covers them, not the one above).
+int64_t FloorWindowStart(int64_t t, int64_t window) {
+  int64_t q = t / window;
+  if ((t % window) != 0 && ((t < 0) != (window < 0))) --q;
+  return q * window;
+}
+
+/// Pushdown walks give up past this many windows/buckets and fall back to a
+/// single point read — guards W=1 over a sparse multi-era series.
+constexpr int64_t kMaxPushdownWindows = 1 << 20;
+
 /// Pass-through iterator that counts streamed points with generation time
 /// strictly greater than a threshold — the paper's "subsequent" disk points
 /// (Definition 4), tallied for merge events as the data flows by instead of
@@ -473,7 +485,7 @@ Status TsEngine::FlushAboveRunLocked(std::vector<DataPoint> points,
     st = storage::WriteSortedPointsAsTables(
         options_.env, options_.dir, points, options_.sstable_points,
         options_.points_per_block, &next_file_number_, &files,
-        options_.value_encoding);
+        options_.value_encoding, MetaConfig());
     if (st.ok()) {
       uint64_t bytes_out = 0;
       span.set_files(files.size());
@@ -621,7 +633,7 @@ Status TsEngine::StreamMergeToTables(
   return storage::WriteSortedPointsAsTables(
       options_.env, options_.dir, &merged, options_.sstable_points,
       options_.points_per_block, next_file_no, new_files,
-      options_.value_encoding, &cancel_bg_);
+      options_.value_encoding, MetaConfig(), &cancel_bg_);
 }
 
 Result<storage::FileMetadata> TsEngine::WriteTableFile(
@@ -630,7 +642,7 @@ Result<storage::FileMetadata> TsEngine::WriteTableFile(
   auto meta = [&]() -> Result<storage::FileMetadata> {
     storage::SSTableWriter writer(options_.env, path,
                                   options_.points_per_block,
-                                  options_.value_encoding);
+                                  options_.value_encoding, MetaConfig());
     for (; input->Valid(); input->Next()) {
       SEPLSM_RETURN_IF_ERROR(writer.Add(input->point()));
     }
@@ -1057,6 +1069,70 @@ TsEngine::ReadSnapshot TsEngine::AcquireSnapshotLocked() {
   return snap;
 }
 
+Status TsEngine::QuerySnapshot(const ReadSnapshot& snap, int64_t lo,
+                               int64_t hi, std::vector<DataPoint>* out,
+                               QueryStats* local) {
+  // Lowest precedence first: run, then level 0 in flush order, then the
+  // MemTables; later insertions overwrite earlier ones per key.
+  std::map<int64_t, DataPoint> result;
+  storage::ReadStats reads;
+  size_t begin, end;
+  snap.files.OverlappingRunRange(lo, hi, &begin, &end);
+  local->pruning.files_skipped += snap.files.run().size() - (end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    const storage::FileMetadata& f = *snap.files.run()[i];
+    ++local->files_opened;
+    std::vector<DataPoint> points;
+    SEPLSM_RETURN_IF_ERROR(ReadTableRange(f, lo, hi, &points, &reads));
+    for (const auto& p : points) result.insert_or_assign(p.generation_time, p);
+  }
+  std::vector<size_t> level0 = snap.files.OverlappingLevel0(lo, hi);
+  local->pruning.files_skipped += snap.files.level0().size() - level0.size();
+  for (size_t idx : level0) {
+    const storage::FileMetadata& f = *snap.files.level0()[idx];
+    ++local->files_opened;
+    std::vector<DataPoint> points;
+    SEPLSM_RETURN_IF_ERROR(ReadTableRange(f, lo, hi, &points, &reads));
+    for (const auto& p : points) result.insert_or_assign(p.generation_time, p);
+  }
+  local->disk_points_scanned += reads.points_scanned;
+  local->device_bytes_read += reads.device_bytes_read;
+  local->block_cache_hits += reads.cache_hits;
+  local->block_cache_misses += reads.cache_misses;
+  local->blocks_read += reads.blocks_read + reads.cache_hits;
+  local->pruning.blocks_skipped += reads.blocks_skipped;
+  std::vector<DataPoint> mem_points;
+  for (const auto& view : snap.mems) {
+    storage::MemTable::CollectRange(*view, lo, hi, &mem_points);
+  }
+  local->memtable_points += mem_points.size();
+  for (const auto& p : mem_points) {
+    result.insert_or_assign(p.generation_time, p);
+  }
+
+  out->reserve(out->size() + result.size());
+  for (auto& [t, p] : result) {
+    (void)t;
+    out->push_back(p);
+  }
+  return Status::OK();
+}
+
+void TsEngine::AccumulateQueryMetrics(const QueryStats& local) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++metrics_.queries;
+  metrics_.points_returned += local.points_returned;
+  metrics_.disk_points_scanned += local.disk_points_scanned;
+  metrics_.query_files_opened += local.files_opened;
+  metrics_.query_device_bytes_read += local.device_bytes_read;
+  metrics_.block_cache_hits += local.block_cache_hits;
+  metrics_.block_cache_misses += local.block_cache_misses;
+  metrics_.files_skipped += local.pruning.files_skipped;
+  metrics_.blocks_skipped += local.pruning.blocks_skipped;
+  metrics_.blooms_negative += local.pruning.blooms_negative;
+  metrics_.summary_hits += local.pruning.summary_hits;
+}
+
 Status TsEngine::Query(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
                        QueryStats* stats) {
   out->clear();
@@ -1076,56 +1152,10 @@ Status TsEngine::Query(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
     snap = AcquireSnapshotLocked();
   }
 
-  // Lowest precedence first: run, then level 0 in flush order, then the
-  // MemTables; later insertions overwrite earlier ones per key.
-  std::map<int64_t, DataPoint> result;
-  storage::ReadStats reads;
-  size_t begin, end;
-  snap.files.OverlappingRunRange(lo, hi, &begin, &end);
-  for (size_t i = begin; i < end; ++i) {
-    const storage::FileMetadata& f = *snap.files.run()[i];
-    ++local.files_opened;
-    std::vector<DataPoint> points;
-    SEPLSM_RETURN_IF_ERROR(ReadTableRange(f, lo, hi, &points, &reads));
-    for (const auto& p : points) result.insert_or_assign(p.generation_time, p);
-  }
-  for (size_t idx : snap.files.OverlappingLevel0(lo, hi)) {
-    const storage::FileMetadata& f = *snap.files.level0()[idx];
-    ++local.files_opened;
-    std::vector<DataPoint> points;
-    SEPLSM_RETURN_IF_ERROR(ReadTableRange(f, lo, hi, &points, &reads));
-    for (const auto& p : points) result.insert_or_assign(p.generation_time, p);
-  }
-  local.disk_points_scanned = reads.points_scanned;
-  local.device_bytes_read = reads.device_bytes_read;
-  local.block_cache_hits = reads.cache_hits;
-  local.block_cache_misses = reads.cache_misses;
-  std::vector<DataPoint> mem_points;
-  for (const auto& view : snap.mems) {
-    storage::MemTable::CollectRange(*view, lo, hi, &mem_points);
-  }
-  local.memtable_points = mem_points.size();
-  for (const auto& p : mem_points) {
-    result.insert_or_assign(p.generation_time, p);
-  }
-
-  out->reserve(result.size());
-  for (auto& [t, p] : result) {
-    (void)t;
-    out->push_back(p);
-  }
+  SEPLSM_RETURN_IF_ERROR(QuerySnapshot(snap, lo, hi, out, &local));
   local.points_returned = out->size();
 
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++metrics_.queries;
-    metrics_.points_returned += local.points_returned;
-    metrics_.disk_points_scanned += local.disk_points_scanned;
-    metrics_.query_files_opened += local.files_opened;
-    metrics_.query_device_bytes_read += local.device_bytes_read;
-    metrics_.block_cache_hits += local.block_cache_hits;
-    metrics_.block_cache_misses += local.block_cache_misses;
-  }
+  AccumulateQueryMetrics(local);
   // Drop our file references, then sweep: if this query was the last
   // reader of a compaction-retired table, unlink it now.
   snap = ReadSnapshot();
@@ -1137,12 +1167,153 @@ Status TsEngine::Query(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
   return Status::OK();
 }
 
+Result<bool> TsEngine::WindowServableBySummaries(const ReadSnapshot& snap,
+                                                 int64_t ws, int64_t we,
+                                                 SummaryReaderCache* readers,
+                                                 QueryStats* local) {
+  // A level-0 file or a buffered point inside the window overrides disk
+  // data, so the summaries alone could double-count or miss an upsert.
+  if (!snap.files.OverlappingLevel0(ws, we).empty()) return false;
+  for (const auto& view : snap.mems) {
+    auto it = view->lower_bound(ws);
+    if (it != view->end() && it->first <= we) return false;
+  }
+  size_t begin, end;
+  snap.files.OverlappingRunRange(ws, we, &begin, &end);
+  for (size_t i = begin; i < end; ++i) {
+    const storage::FileMetadata& f = *snap.files.run()[i];
+    auto it = readers->find(f.file_number);
+    if (it == readers->end()) {
+      auto reader = OpenTableReader(f);
+      if (!reader.ok()) return reader.status();
+      it = readers->emplace(f.file_number, std::move(reader).value()).first;
+      ++local->files_opened;
+    }
+    const storage::SSTableReader* r = it->second.get();
+    if (!r->has_metadata() ||
+        r->metadata().summary_window != options_.summary_window) {
+      return false;  // v1 file (or other window width): point-read it
+    }
+  }
+  return true;
+}
+
+void TsEngine::MergeWindowSummaries(const ReadSnapshot& snap, int64_t ws,
+                                    int64_t we, SummaryReaderCache* readers,
+                                    Aggregates* agg, QueryStats* local) {
+  size_t begin, end;
+  snap.files.OverlappingRunRange(ws, we, &begin, &end);
+  for (size_t i = begin; i < end; ++i) {
+    const storage::FileMetadata& f = *snap.files.run()[i];
+    const format::TableMetadata& meta = readers->at(f.file_number)->metadata();
+    auto it = std::lower_bound(
+        meta.summaries.begin(), meta.summaries.end(), ws,
+        [](const format::WindowSummary& s, int64_t w) {
+          return s.window_start < w;
+        });
+    // Run files are time-disjoint and walked in run order, so partial
+    // summaries of one window merge in ascending time order.
+    for (; it != meta.summaries.end() && it->window_start == ws; ++it) {
+      Aggregates seg;
+      seg.count = it->count;
+      seg.sum = it->sum;
+      seg.min = it->min;
+      seg.max = it->max;
+      seg.first_time = it->first_time;
+      seg.first_value = it->first_value;
+      seg.last_time = it->last_time;
+      seg.last_value = it->last_value;
+      agg->MergeOrdered(seg);
+      ++local->pruning.summary_hits;
+    }
+  }
+}
+
+Status TsEngine::AggregateSnapshot(const ReadSnapshot& snap, int64_t lo,
+                                   int64_t hi, Aggregates* out,
+                                   QueryStats* local) {
+  *out = Aggregates();
+  // Folds [flo, fhi] into *out by point reads (summaries unusable there).
+  auto fallback = [&](int64_t flo, int64_t fhi) -> Status {
+    if (flo > fhi) return Status::OK();
+    std::vector<DataPoint> points;
+    SEPLSM_RETURN_IF_ERROR(QuerySnapshot(snap, flo, fhi, &points, local));
+    for (const auto& p : points) out->Accumulate(p);
+    return Status::OK();
+  };
+  const int64_t W = options_.summary_window;
+  if (!options_.pruning || W <= 0) return fallback(lo, hi);
+  // Clamp the window walk to the data actually present: an unbounded
+  // request (e.g. hi = INT64_MAX) must not iterate empty windows.
+  int64_t data_lo = std::numeric_limits<int64_t>::max();
+  int64_t data_hi = std::numeric_limits<int64_t>::min();
+  auto widen = [&](int64_t mn, int64_t mx) {
+    data_lo = std::min(data_lo, mn);
+    data_hi = std::max(data_hi, mx);
+  };
+  for (const auto& f : snap.files.run()) {
+    widen(f->min_generation_time, f->max_generation_time);
+  }
+  for (const auto& f : snap.files.level0()) {
+    widen(f->min_generation_time, f->max_generation_time);
+  }
+  for (const auto& view : snap.mems) {
+    if (!view->empty()) {
+      widen(view->begin()->first, view->rbegin()->first);
+    }
+  }
+  if (data_lo > data_hi) return Status::OK();  // nothing stored at all
+  const int64_t clo = std::max(lo, data_lo);
+  const int64_t chi = std::min(hi, data_hi);
+  if (clo > chi) return Status::OK();
+  if (clo > std::numeric_limits<int64_t>::max() - W ||
+      chi < std::numeric_limits<int64_t>::min() + W) {
+    return fallback(clo, chi);
+  }
+  // First aligned window fully inside [clo, chi]; FloorWindowStart handles
+  // negative times.
+  const int64_t ws0 = FloorWindowStart(clo + W - 1, W);
+  const int64_t we_end = FloorWindowStart(chi - W + 1, W) + W;
+  if (ws0 >= we_end) return fallback(clo, chi);
+  if ((we_end - ws0) / W > kMaxPushdownWindows) return fallback(clo, chi);
+  SummaryReaderCache readers;
+  int64_t pending = clo;
+  for (int64_t ws = ws0; ws < we_end; ws += W) {
+    auto servable = WindowServableBySummaries(snap, ws, ws + W - 1, &readers,
+                                              local);
+    if (!servable.ok()) return servable.status();
+    if (!servable.value()) continue;  // absorbed into the next point read
+    SEPLSM_RETURN_IF_ERROR(fallback(pending, ws - 1));
+    MergeWindowSummaries(snap, ws, ws + W - 1, &readers, out, local);
+    pending = ws + W;
+  }
+  return fallback(pending, chi);
+}
+
 Status TsEngine::Aggregate(int64_t lo, int64_t hi, Aggregates* out,
                            QueryStats* stats) {
   *out = Aggregates();
-  std::vector<DataPoint> points;
-  SEPLSM_RETURN_IF_ERROR(Query(lo, hi, &points, stats));
-  for (const auto& p : points) out->Accumulate(p);
+  if (lo > hi) return Status::InvalidArgument("Query: lo > hi");
+  telemetry::ScopedSpan span(telemetry_, options_.clock,
+                             telemetry::SpanType::kQuery,
+                             telemetry_series_id_);
+  QueryStats local;
+  ReadSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap = AcquireSnapshotLocked();
+  }
+  SEPLSM_RETURN_IF_ERROR(AggregateSnapshot(snap, lo, hi, out, &local));
+  // Aggregates cover the same points a Query would have returned; keeping
+  // points_returned equal on both paths keeps RA comparable on vs. off.
+  local.points_returned = out->count;
+  AccumulateQueryMetrics(local);
+  snap = ReadSnapshot();
+  CollectDeferredDeletes();
+  span.set_points(local.points_returned);
+  span.set_bytes(local.device_bytes_read);
+  span.set_files(local.files_opened);
+  if (stats != nullptr) *stats = local;
   return Status::OK();
 }
 
@@ -1153,9 +1324,95 @@ Status TsEngine::Downsample(int64_t lo, int64_t hi, int64_t bucket_width,
   if (bucket_width <= 0) {
     return Status::InvalidArgument("Downsample: bucket_width must be > 0");
   }
-  std::vector<DataPoint> points;
-  SEPLSM_RETURN_IF_ERROR(Query(lo, hi, &points, stats));
-  *out = BucketizePoints(points, lo, hi, bucket_width);
+  if (lo > hi) return Status::InvalidArgument("Query: lo > hi");
+  telemetry::ScopedSpan span(telemetry_, options_.clock,
+                             telemetry::SpanType::kQuery,
+                             telemetry_series_id_);
+  QueryStats local;
+  ReadSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap = AcquireSnapshotLocked();
+  }
+  const int64_t W = options_.summary_window;
+  // The bucket grid must coincide with the summary grid for pushdown:
+  // buckets are aligned to `lo`, so `lo` must sit on a window boundary and
+  // the width must be a whole number of windows.
+  const bool aligned =
+      options_.pruning && W > 0 && bucket_width % W == 0 &&
+      lo == FloorWindowStart(lo, W) &&
+      hi <= std::numeric_limits<int64_t>::max() - bucket_width &&
+      (hi - lo) / bucket_width < kMaxPushdownWindows;
+  Status st;
+  if (!aligned) {
+    std::vector<DataPoint> points;
+    st = QuerySnapshot(snap, lo, hi, &points, &local);
+    if (st.ok()) *out = BucketizePoints(points, lo, hi, bucket_width);
+  } else {
+    st = [&]() -> Status {
+      SummaryReaderCache readers;
+      // Point-reads one coalesced stretch of non-servable buckets and
+      // appends its non-empty buckets (grid-aligned since flo is).
+      auto flush = [&](int64_t flo, int64_t fhi) -> Status {
+        if (flo > fhi) return Status::OK();
+        std::vector<DataPoint> points;
+        SEPLSM_RETURN_IF_ERROR(QuerySnapshot(snap, flo, fhi, &points,
+                                             &local));
+        std::vector<TimeBucket> buckets =
+            BucketizePoints(points, flo, fhi, bucket_width);
+        out->insert(out->end(), buckets.begin(), buckets.end());
+        return Status::OK();
+      };
+      int64_t fb_start = 0;
+      bool has_fb = false;
+      for (int64_t bs = lo; bs <= hi; bs += bucket_width) {
+        const int64_t be = bs + bucket_width;  // exclusive
+        // A bucket truncated by `hi` has no full summary coverage.
+        bool servable = be - 1 <= hi;
+        for (int64_t ws = bs; ws < be && servable; ws += W) {
+          auto r = WindowServableBySummaries(snap, ws, ws + W - 1, &readers,
+                                             &local);
+          if (!r.ok()) return r.status();
+          servable = r.value();
+        }
+        if (!servable) {
+          if (!has_fb) {
+            fb_start = bs;
+            has_fb = true;
+          }
+          continue;
+        }
+        if (has_fb) {
+          SEPLSM_RETURN_IF_ERROR(flush(fb_start, bs - 1));
+          has_fb = false;
+        }
+        Aggregates agg;
+        for (int64_t ws = bs; ws < be; ws += W) {
+          MergeWindowSummaries(snap, ws, ws + W - 1, &readers, &agg, &local);
+        }
+        if (agg.count > 0) {
+          TimeBucket bucket;
+          bucket.bucket_start = bs;
+          bucket.bucket_end = be;
+          bucket.aggregates = agg;
+          out->push_back(bucket);
+        }
+      }
+      if (has_fb) return flush(fb_start, hi);
+      return Status::OK();
+    }();
+  }
+  if (!st.ok()) return st;
+  for (const auto& bucket : *out) {
+    local.points_returned += bucket.aggregates.count;
+  }
+  AccumulateQueryMetrics(local);
+  snap = ReadSnapshot();
+  CollectDeferredDeletes();
+  span.set_points(local.points_returned);
+  span.set_bytes(local.device_bytes_read);
+  span.set_files(local.files_opened);
+  if (stats != nullptr) *stats = local;
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -257,6 +258,54 @@ class TsEngine {
   Status ReadTableRange(const storage::FileMetadata& file, int64_t lo,
                         int64_t hi, std::vector<DataPoint>* out,
                         storage::ReadStats* stats);
+
+  /// Writer-side metadata section config from Options (zone maps +
+  /// summaries; disabled → byte-identical v1 output).
+  format::TableMetadataConfig MetaConfig() const {
+    format::TableMetadataConfig meta;
+    meta.enabled = options_.table_metadata;
+    meta.summary_window = options_.summary_window;
+    return meta;
+  }
+
+  /// Point-read core shared by Query and the pushdown fallback paths:
+  /// merges the snapshot's run/level0/MemTable contents over [lo, hi] with
+  /// newest-wins dedup, appending sorted points to *out and accumulating
+  /// read/pruning counters into *local (points_returned is the caller's).
+  Status QuerySnapshot(const ReadSnapshot& snap, int64_t lo, int64_t hi,
+                       std::vector<DataPoint>* out, QueryStats* local);
+
+  /// Per-query cache of run-file readers opened for summary lookups, so a
+  /// walk over many windows opens each file at most once.
+  using SummaryReaderCache =
+      std::map<uint64_t, std::shared_ptr<storage::SSTableReader>>;
+
+  /// Whether the aligned summary window [ws, we] can be answered purely
+  /// from run-file summaries: no level-0 file and no buffered point
+  /// intersects it, and every overlapping run file carries summaries of
+  /// exactly Options::summary_window width.
+  Result<bool> WindowServableBySummaries(const ReadSnapshot& snap, int64_t ws,
+                                         int64_t we,
+                                         SummaryReaderCache* readers,
+                                         QueryStats* local);
+
+  /// Folds every run-file summary for the window [ws, we] into *agg (files
+  /// are time-disjoint and walked in run order, so the merge is ordered).
+  void MergeWindowSummaries(const ReadSnapshot& snap, int64_t ws, int64_t we,
+                            SummaryReaderCache* readers, Aggregates* agg,
+                            QueryStats* local);
+
+  /// Summary-accelerated aggregation over [lo, hi] on a captured snapshot:
+  /// interior aligned windows that are clean come from summaries
+  /// (summary_hits), everything else — edges, level-0/MemTable overlaps,
+  /// unsummarized files — from coalesced point reads. Exactly equivalent to
+  /// folding Query's output.
+  Status AggregateSnapshot(const ReadSnapshot& snap, int64_t lo, int64_t hi,
+                           Aggregates* out, QueryStats* local);
+
+  /// Folds one query's stats into metrics_ under mutex_ (shared by
+  /// Query/Aggregate/Downsample).
+  void AccumulateQueryMetrics(const QueryStats& local);
 
   /// Captures the snapshot a reader works from: shared file metadata plus
   /// frozen MemTable views, O(files), no I/O.

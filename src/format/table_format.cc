@@ -1,5 +1,7 @@
 #include "format/table_format.h"
 
+#include <cstring>
+
 #include "common/coding.h"
 #include "common/crc32c.h"
 
@@ -48,27 +50,138 @@ Status DecodeIndex(std::string_view data,
   return Status::OK();
 }
 
+namespace {
+
+// Doubles travel as their IEEE-754 bit pattern in a fixed64.
+void PutDouble(std::string* dst, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+bool GetDouble(std::string_view* input, double* v) {
+  uint64_t bits;
+  if (!GetFixed64(input, &bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+}  // namespace
+
+void EncodeTableMetadata(const TableMetadata& meta, std::string* dst) {
+  std::string body;
+  PutVarint64(&body, meta.zone_maps.size());
+  for (const auto& z : meta.zone_maps) {
+    PutDouble(&body, z.min_value);
+    PutDouble(&body, z.max_value);
+  }
+  PutVarint64Signed(&body, meta.summary_window);
+  PutVarint64(&body, meta.summaries.size());
+  for (const auto& s : meta.summaries) {
+    PutVarint64Signed(&body, s.window_start);
+    PutVarint64(&body, s.count);
+    PutDouble(&body, s.sum);
+    PutDouble(&body, s.min);
+    PutDouble(&body, s.max);
+    PutVarint64Signed(&body, s.first_time);
+    PutDouble(&body, s.first_value);
+    PutVarint64Signed(&body, s.last_time);
+    PutDouble(&body, s.last_value);
+  }
+  PutFixed32(&body, crc32c::Mask(crc32c::Value(body)));
+  dst->append(body);
+}
+
+Status DecodeTableMetadata(std::string_view data, TableMetadata* meta) {
+  *meta = TableMetadata();
+  if (data.size() < 4) return Status::Corruption("table metadata too small");
+  std::string_view payload = data.substr(0, data.size() - 4);
+  uint32_t stored_crc =
+      crc32c::Unmask(DecodeFixed32(data.data() + data.size() - 4));
+  if (crc32c::Value(payload) != stored_crc) {
+    return Status::Corruption("table metadata checksum mismatch");
+  }
+  uint64_t zone_count;
+  if (!GetVarint64(&payload, &zone_count) ||
+      zone_count > payload.size() / 16) {
+    return Status::Corruption("table metadata zone count truncated");
+  }
+  meta->zone_maps.reserve(zone_count);
+  for (uint64_t i = 0; i < zone_count; ++i) {
+    BlockZoneMap z;
+    if (!GetDouble(&payload, &z.min_value) ||
+        !GetDouble(&payload, &z.max_value)) {
+      return Status::Corruption("table metadata zone map truncated");
+    }
+    meta->zone_maps.push_back(z);
+  }
+  uint64_t summary_count;
+  if (!GetVarint64Signed(&payload, &meta->summary_window) ||
+      !GetVarint64(&payload, &summary_count)) {
+    return Status::Corruption("table metadata summary header truncated");
+  }
+  if (meta->summary_window < 0) {
+    return Status::Corruption("table metadata negative summary window");
+  }
+  // Each summary is at least 9 bytes; bound reserve by the payload left.
+  if (summary_count > payload.size() / 9) {
+    return Status::Corruption("table metadata summary count truncated");
+  }
+  meta->summaries.reserve(summary_count);
+  for (uint64_t i = 0; i < summary_count; ++i) {
+    WindowSummary s;
+    if (!GetVarint64Signed(&payload, &s.window_start) ||
+        !GetVarint64(&payload, &s.count) || !GetDouble(&payload, &s.sum) ||
+        !GetDouble(&payload, &s.min) || !GetDouble(&payload, &s.max) ||
+        !GetVarint64Signed(&payload, &s.first_time) ||
+        !GetDouble(&payload, &s.first_value) ||
+        !GetVarint64Signed(&payload, &s.last_time) ||
+        !GetDouble(&payload, &s.last_value)) {
+      return Status::Corruption("table metadata summary truncated");
+    }
+    meta->summaries.push_back(s);
+  }
+  return Status::OK();
+}
+
 void EncodeFooter(const Footer& footer, std::string* dst) {
   PutFixed64(dst, footer.index_offset);
   PutFixed64(dst, footer.index_size);
   PutFixed64(dst, footer.point_count);
   PutFixed64(dst, static_cast<uint64_t>(footer.min_generation_time));
   PutFixed64(dst, static_cast<uint64_t>(footer.max_generation_time));
-  PutFixed64(dst, kTableMagic);
+  if (footer.has_metadata) {
+    PutFixed64(dst, footer.meta_offset);
+    PutFixed64(dst, footer.meta_size);
+    PutFixed64(dst, kTableMagicV2);
+  } else {
+    PutFixed64(dst, kTableMagic);
+  }
 }
 
 Status DecodeFooter(std::string_view data, Footer* footer) {
-  if (data.size() != kFooterSize) {
+  if (data.size() != kFooterSize && data.size() != kFooterV2Size) {
     return Status::Corruption("footer size mismatch");
   }
+  uint64_t magic = DecodeFixed64(data.data() + data.size() - 8);
   const char* p = data.data();
   footer->index_offset = DecodeFixed64(p);
   footer->index_size = DecodeFixed64(p + 8);
   footer->point_count = DecodeFixed64(p + 16);
   footer->min_generation_time = static_cast<int64_t>(DecodeFixed64(p + 24));
   footer->max_generation_time = static_cast<int64_t>(DecodeFixed64(p + 32));
-  uint64_t magic = DecodeFixed64(p + 40);
-  if (magic != kTableMagic) return Status::Corruption("bad table magic");
+  if (data.size() == kFooterSize) {
+    footer->meta_offset = 0;
+    footer->meta_size = 0;
+    footer->has_metadata = false;
+    if (magic != kTableMagic) return Status::Corruption("bad table magic");
+    return Status::OK();
+  }
+  footer->meta_offset = DecodeFixed64(p + 40);
+  footer->meta_size = DecodeFixed64(p + 48);
+  footer->has_metadata = true;
+  if (magic != kTableMagicV2) return Status::Corruption("bad table magic");
   return Status::OK();
 }
 

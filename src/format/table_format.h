@@ -10,19 +10,35 @@
 
 namespace seplsm::format {
 
-/// SSTable file layout:
+/// SSTable file layout (format v1):
 ///
 ///   Block 1 | Block 2 | ... | Index | Footer
+///
+/// and format v2 (adds a pruning-metadata section between data and index):
+///
+///   Block 1 | Block 2 | ... | Metadata | Index | Footer
 ///
 /// Index: varint entry count, then per block
 ///   {min_tg (zigzag varint), max_tg, offset (varint), size (varint),
 ///    point_count (varint)}, followed by a masked CRC-32C (fixed32).
 ///
-/// Footer (fixed size, at EOF):
+/// Metadata (v2 only; see TableMetadata below): per-block value zone maps
+/// plus per-window pre-aggregated summaries, followed by a masked CRC-32C.
+///
+/// v1 footer (fixed 48 bytes, at EOF):
 ///   index_offset (fixed64) | index_size (fixed64) | point_count (fixed64) |
 ///   min_tg (fixed64) | max_tg (fixed64) | magic (fixed64)
-inline constexpr uint64_t kTableMagic = 0x7365706C736D3144ULL;  // "seplsm1D"
+///
+/// v2 footer (fixed 64 bytes, at EOF): the same five fields, then
+///   meta_offset (fixed64) | meta_size (fixed64) | magicV2 (fixed64)
+///
+/// Readers look at the trailing 8 bytes to pick the version, so v1 files
+/// (and files written with metadata disabled, which are byte-identical to
+/// v1) keep reading exactly as before.
+inline constexpr uint64_t kTableMagic = 0x7365706C736D3144ULL;    // "seplsm1D"
+inline constexpr uint64_t kTableMagicV2 = 0x7365706C736D3244ULL;  // "seplsm2D"
 inline constexpr size_t kFooterSize = 6 * 8;
+inline constexpr size_t kFooterV2Size = 8 * 8;
 
 /// Location and key coverage of one data block inside an SSTable.
 struct BlockIndexEntry {
@@ -39,6 +55,52 @@ struct Footer {
   uint64_t point_count = 0;
   int64_t min_generation_time = 0;
   int64_t max_generation_time = 0;
+  /// v2 fields; both 0 (and has_metadata false) for v1 files.
+  uint64_t meta_offset = 0;
+  uint64_t meta_size = 0;
+  bool has_metadata = false;
+};
+
+/// Value range of one data block, parallel to the index entries (the
+/// time range already lives in BlockIndexEntry). Lets a reader skip blocks
+/// whose values cannot match a value predicate without reading them.
+struct BlockZoneMap {
+  double min_value = 0.0;
+  double max_value = 0.0;
+};
+
+/// Pre-aggregated summary of every point in one fixed time window
+/// [window_start, window_start + window). first/last are carried so a
+/// summary-served aggregate is bit-identical to folding the raw points.
+struct WindowSummary {
+  int64_t window_start = 0;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  int64_t first_time = 0;
+  double first_value = 0.0;
+  int64_t last_time = 0;
+  double last_value = 0.0;
+};
+
+/// The v2 metadata section. `zone_maps` is parallel to the block index;
+/// `summaries` covers windows of `summary_window` time units aligned to
+/// absolute time (floor(t / window) * window), sorted by window_start.
+/// `summary_window == 0` means no summaries were written.
+struct TableMetadata {
+  int64_t summary_window = 0;
+  std::vector<BlockZoneMap> zone_maps;
+  std::vector<WindowSummary> summaries;
+};
+
+/// Writer-side configuration for the v2 metadata section. Disabled, the
+/// writer emits byte-identical v1 files.
+struct TableMetadataConfig {
+  bool enabled = true;
+  /// Summary window width in generation-time units; 0 disables summaries
+  /// (zone maps are still written).
+  int64_t summary_window = 64;
 };
 
 void EncodeIndex(const std::vector<BlockIndexEntry>& entries,
@@ -46,7 +108,13 @@ void EncodeIndex(const std::vector<BlockIndexEntry>& entries,
 Status DecodeIndex(std::string_view data,
                    std::vector<BlockIndexEntry>* entries);
 
+void EncodeTableMetadata(const TableMetadata& meta, std::string* dst);
+Status DecodeTableMetadata(std::string_view data, TableMetadata* meta);
+
+/// Writes a v1 footer when `footer.has_metadata` is false, v2 otherwise.
 void EncodeFooter(const Footer& footer, std::string* dst);
+/// Accepts both footer versions: `data` must be exactly kFooterSize or
+/// kFooterV2Size bytes with the matching magic at the end.
 Status DecodeFooter(std::string_view data, Footer* footer);
 
 }  // namespace seplsm::format

@@ -36,25 +36,48 @@ void SSTableIterator::Next() {
 }
 
 void SSTableIterator::SkipToNextInRange() {
+  const bool value_prune =
+      options_.has_value_bounds() && table_->has_metadata() &&
+      !table_->metadata().zone_maps.empty();
   while (status_.ok() && !done_) {
     if (block_ != nullptr) {
       while (pos_ < block_->points.size()) {
-        int64_t t = block_->points[pos_].generation_time;
-        if (t > options_.hi) {
+        const DataPoint& p = block_->points[pos_];
+        if (p.generation_time > options_.hi) {
           // Points are sorted: nothing later can be back in range.
           done_ = true;
           block_.reset();
           return;
         }
-        if (t >= options_.lo) return;
+        if (p.generation_time >= options_.lo &&
+            p.value >= options_.value_lo && p.value <= options_.value_hi) {
+          return;
+        }
         ++pos_;
       }
       block_.reset();  // exhausted: release before loading the next one
     }
     const auto& index = table_->index();
-    while (entry_ < index.size() &&
-           index[entry_].max_generation_time < options_.lo) {
-      ++entry_;  // skipped via the index, never read
+    while (entry_ < index.size()) {
+      if (index[entry_].max_generation_time < options_.lo) {
+        // Skipped via the index: never read, never a cache lookup.
+        if (options_.stats != nullptr) ++options_.stats->blocks_skipped;
+        ++entry_;
+        continue;
+      }
+      if (index[entry_].min_generation_time > options_.hi) break;
+      if (value_prune) {
+        const format::BlockZoneMap& zone =
+            table_->metadata().zone_maps[entry_];
+        if (zone.min_value > options_.value_hi ||
+            zone.max_value < options_.value_lo) {
+          // Zone map proves no value in this block can match.
+          if (options_.stats != nullptr) ++options_.stats->blocks_skipped;
+          ++entry_;
+          continue;
+        }
+      }
+      break;
     }
     if (entry_ >= index.size() ||
         index[entry_].min_generation_time > options_.hi) {
@@ -84,6 +107,13 @@ ConcatenatingIterator::ConcatenatingIterator(
   Settle();
 }
 
+ConcatenatingIterator::ConcatenatingIterator(
+    std::vector<ChildFactory> factories)
+    : factories_(std::move(factories)) {
+  children_.resize(factories_.size());
+  Settle();
+}
+
 void ConcatenatingIterator::Next() {
   assert(Valid());
   last_time_ = children_[cur_]->point().generation_time;
@@ -94,7 +124,15 @@ void ConcatenatingIterator::Next() {
 
 void ConcatenatingIterator::Settle() {
   while (status_.ok() && cur_ < children_.size()) {
+    if (children_[cur_] == nullptr && cur_ < factories_.size()) {
+      children_[cur_] = factories_[cur_]();
+      factories_[cur_] = nullptr;  // the open table dies with the child
+    }
     PointIterator* it = children_[cur_].get();
+    if (it == nullptr) {  // factory pruned this child entirely
+      ++cur_;
+      continue;
+    }
     if (it->Valid()) {
       if (has_last_ && it->point().generation_time < last_time_) {
         status_ = Status::Internal(
@@ -106,6 +144,9 @@ void ConcatenatingIterator::Settle() {
       status_ = it->status();
       return;
     }
+    // Release the exhausted child before opening the next one: at most one
+    // table/iterator pair stays resident in the lazy form.
+    children_[cur_].reset();
     ++cur_;
   }
 }
@@ -150,6 +191,7 @@ Status WriteSortedPointsAsTables(Env* env, const std::string& dir,
                                  uint64_t* next_file_no,
                                  std::vector<FileMetadata>* files,
                                  format::ValueEncoding encoding,
+                                 format::TableMetadataConfig meta_config,
                                  const std::atomic<bool>* cancel) {
   assert(points_per_file > 0 && points_per_block > 0);
   const size_t base = files->size();
@@ -172,7 +214,8 @@ Status WriteSortedPointsAsTables(Env* env, const std::string& dir,
     std::string path = TableFilePath(dir, file_no);
     created.push_back(path);
     auto meta = [&]() -> Result<FileMetadata> {
-      SSTableWriter writer(env, path, points_per_block, encoding);
+      SSTableWriter writer(env, path, points_per_block, encoding,
+                           meta_config);
       size_t taken = 0;
       while (input->Valid() && taken < points_per_file) {
         // Cooperative cancellation at block granularity: a shutting-down

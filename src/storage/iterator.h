@@ -2,6 +2,7 @@
 #define SEPLSM_STORAGE_ITERATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
@@ -115,8 +116,16 @@ class SSTableIterator final : public PointIterator {
 /// silently mis-sorted output table.
 class ConcatenatingIterator final : public PointIterator {
  public:
+  /// Deferred child construction: each factory is invoked only when the
+  /// chain reaches it (and may return null to mean "fully pruned, nothing
+  /// to read"), so a chain over N files keeps at most one child — one
+  /// resident block, one open table — alive at a time and never touches the
+  /// block cache for files the scan finishes before.
+  using ChildFactory = std::function<std::unique_ptr<PointIterator>()>;
+
   explicit ConcatenatingIterator(
       std::vector<std::unique_ptr<PointIterator>> children);
+  explicit ConcatenatingIterator(std::vector<ChildFactory> factories);
 
   bool Valid() const override {
     return status_.ok() && cur_ < children_.size();
@@ -129,6 +138,7 @@ class ConcatenatingIterator final : public PointIterator {
   void Settle();
 
   std::vector<std::unique_ptr<PointIterator>> children_;
+  std::vector<ChildFactory> factories_;  ///< empty in the eager form
   size_t cur_ = 0;
   int64_t last_time_ = 0;
   bool has_last_ = false;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "common/coding.h"
 #include "storage/iterator.h"
 
 namespace seplsm::storage {
@@ -15,13 +16,49 @@ std::string TableFilePath(const std::string& dir, uint64_t file_number) {
   return dir + buf;
 }
 
+namespace {
+
+// Window index by floored division, correct for negative times too.
+int64_t WindowStart(int64_t t, int64_t window) {
+  int64_t q = t / window;
+  if (t % window != 0 && t < 0) --q;
+  return q * window;
+}
+
+}  // namespace
+
 SSTableWriter::SSTableWriter(Env* env, std::string path,
                              size_t points_per_block,
-                             format::ValueEncoding encoding)
+                             format::ValueEncoding encoding,
+                             format::TableMetadataConfig meta)
     : env_(env), path_(std::move(path)), points_per_block_(points_per_block),
-      block_(encoding) {
+      block_(encoding), meta_config_(meta) {
   assert(points_per_block_ > 0);
   open_status_ = env_->NewWritableFile(path_, &file_);
+}
+
+void SSTableWriter::AccumulateSummary(const DataPoint& point) {
+  const int64_t start = WindowStart(point.generation_time,
+                                    meta_config_.summary_window);
+  if (summary_open_ && start != cur_summary_.window_start) {
+    metadata_.summaries.push_back(cur_summary_);
+    summary_open_ = false;
+  }
+  if (!summary_open_) {
+    cur_summary_ = format::WindowSummary();
+    cur_summary_.window_start = start;
+    cur_summary_.min = point.value;
+    cur_summary_.max = point.value;
+    cur_summary_.first_time = point.generation_time;
+    cur_summary_.first_value = point.value;
+    summary_open_ = true;
+  }
+  ++cur_summary_.count;
+  cur_summary_.sum += point.value;
+  if (point.value < cur_summary_.min) cur_summary_.min = point.value;
+  if (point.value > cur_summary_.max) cur_summary_.max = point.value;
+  cur_summary_.last_time = point.generation_time;
+  cur_summary_.last_value = point.value;
 }
 
 Status SSTableWriter::Add(const DataPoint& point) {
@@ -32,8 +69,18 @@ Status SSTableWriter::Add(const DataPoint& point) {
     return Status::InvalidArgument("SSTableWriter: points out of order");
   }
   file_max_tg_ = point.generation_time;
-  if (block_.empty()) block_min_tg_ = point.generation_time;
+  if (block_.empty()) {
+    block_min_tg_ = point.generation_time;
+    block_min_value_ = point.value;
+    block_max_value_ = point.value;
+  } else {
+    if (point.value < block_min_value_) block_min_value_ = point.value;
+    if (point.value > block_max_value_) block_max_value_ = point.value;
+  }
   block_max_tg_ = point.generation_time;
+  if (meta_config_.enabled && meta_config_.summary_window > 0) {
+    AccumulateSummary(point);
+  }
   block_.Add(point);
   ++points_added_;
   if (block_.count() >= points_per_block_) {
@@ -55,6 +102,12 @@ Status SSTableWriter::FlushBlock() {
   SEPLSM_RETURN_IF_ERROR(file_->Append(data));
   offset_ += data.size();
   index_.push_back(entry);
+  if (meta_config_.enabled) {
+    format::BlockZoneMap zone;
+    zone.min_value = block_min_value_;
+    zone.max_value = block_max_value_;
+    metadata_.zone_maps.push_back(zone);
+  }
   ++block_count_;
   return Status::OK();
 }
@@ -65,10 +118,34 @@ Result<FileMetadata> SSTableWriter::Finish() {
     return Status::InvalidArgument("SSTableWriter: empty table");
   }
   SEPLSM_RETURN_IF_ERROR(FlushBlock());
+  format::Footer footer;
+  std::string meta_data;
+  if (meta_config_.enabled) {
+    if (summary_open_) {
+      metadata_.summaries.push_back(cur_summary_);
+      summary_open_ = false;
+    }
+    metadata_.summary_window =
+        meta_config_.summary_window > 0 ? meta_config_.summary_window : 0;
+    // Summaries only pay when a window folds several points; on sparse
+    // series (fewer than ~4 points per touched window) the section would
+    // rival the data blocks in size while saving almost no decoding. Drop
+    // them and keep only the zone maps; summary_window = 0 tells readers
+    // "no summary coverage", so aggregation falls back to point reads.
+    if (metadata_.summaries.size() * 4 > points_added_) {
+      metadata_.summaries.clear();
+      metadata_.summary_window = 0;
+    }
+    format::EncodeTableMetadata(metadata_, &meta_data);
+    footer.meta_offset = offset_;
+    footer.meta_size = meta_data.size();
+    footer.has_metadata = true;
+    SEPLSM_RETURN_IF_ERROR(file_->Append(meta_data));
+    offset_ += meta_data.size();
+  }
   std::string index_data;
   format::EncodeIndex(index_, &index_data);
   SEPLSM_RETURN_IF_ERROR(file_->Append(index_data));
-  format::Footer footer;
   footer.index_offset = offset_;
   footer.index_size = index_data.size();
   footer.point_count = points_added_;
@@ -97,22 +174,50 @@ Result<std::unique_ptr<SSTableReader>> SSTableReader::Open(
   if (size < format::kFooterSize) {
     return Status::Corruption(path + ": file smaller than footer");
   }
-  std::string footer_data;
-  SEPLSM_RETURN_IF_ERROR(
-      file->Read(size - format::kFooterSize, format::kFooterSize,
-                 &footer_data));
+  // The last 8 bytes carry the magic that picks the footer version, so v1
+  // files — and v2-era files written with metadata disabled — parse exactly
+  // as before.
+  size_t tail_size = size >= format::kFooterV2Size ? format::kFooterV2Size
+                                                   : format::kFooterSize;
+  std::string tail;
+  SEPLSM_RETURN_IF_ERROR(file->Read(size - tail_size, tail_size, &tail));
+  uint64_t magic =
+      DecodeFixed64(tail.data() + tail.size() - 8);
+  size_t footer_size = magic == format::kTableMagicV2 ? format::kFooterV2Size
+                                                      : format::kFooterSize;
+  if (footer_size > tail.size()) {
+    return Status::Corruption(path + ": file smaller than footer");
+  }
   format::Footer footer;
-  SEPLSM_RETURN_IF_ERROR(format::DecodeFooter(footer_data, &footer));
-  if (footer.index_offset + footer.index_size + format::kFooterSize != size) {
+  SEPLSM_RETURN_IF_ERROR(format::DecodeFooter(
+      std::string_view(tail).substr(tail.size() - footer_size), &footer));
+  if (footer.index_offset + footer.index_size + footer_size != size) {
     return Status::Corruption(path + ": footer does not match file size");
+  }
+  format::TableMetadata metadata;
+  if (footer.has_metadata) {
+    if (footer.meta_offset + footer.meta_size != footer.index_offset) {
+      return Status::Corruption(path + ": metadata does not abut index");
+    }
+    std::string meta_data;
+    SEPLSM_RETURN_IF_ERROR(
+        file->Read(footer.meta_offset, footer.meta_size, &meta_data));
+    if (meta_data.size() != footer.meta_size) {
+      return Status::Corruption(path + ": short metadata read");
+    }
+    SEPLSM_RETURN_IF_ERROR(format::DecodeTableMetadata(meta_data, &metadata));
   }
   std::string index_data;
   SEPLSM_RETURN_IF_ERROR(
       file->Read(footer.index_offset, footer.index_size, &index_data));
   std::vector<format::BlockIndexEntry> index;
   SEPLSM_RETURN_IF_ERROR(format::DecodeIndex(index_data, &index));
+  if (footer.has_metadata && metadata.zone_maps.size() != index.size()) {
+    return Status::Corruption(path + ": zone maps do not match block count");
+  }
   return std::unique_ptr<SSTableReader>(new SSTableReader(
-      std::move(file), footer, std::move(index), block_cache));
+      std::move(file), footer, std::move(index), std::move(metadata),
+      footer.has_metadata, block_cache));
 }
 
 Status SSTableReader::ReadAll(std::vector<DataPoint>* out) const {
@@ -159,6 +264,7 @@ Status SSTableReader::ReadRange(int64_t lo, int64_t hi,
                                 ReadStats* stats) const {
   for (const auto& entry : index_) {
     if (entry.min_generation_time > hi || entry.max_generation_time < lo) {
+      if (stats != nullptr) ++stats->blocks_skipped;
       continue;
     }
     auto block = ReadBlock(entry, stats);
@@ -179,11 +285,12 @@ Status WriteSortedPointsAsTables(Env* env, const std::string& dir,
                                  size_t points_per_block,
                                  uint64_t* next_file_no,
                                  std::vector<FileMetadata>* files,
-                                 format::ValueEncoding encoding) {
+                                 format::ValueEncoding encoding,
+                                 format::TableMetadataConfig meta) {
   VectorIterator input(&points);
   return WriteSortedPointsAsTables(env, dir, &input, points_per_file,
                                    points_per_block, next_file_no, files,
-                                   encoding);
+                                   encoding, meta);
 }
 
 }  // namespace seplsm::storage

@@ -32,6 +32,9 @@ struct ReadStats {
   uint64_t device_bytes_read = 0;
   /// Blocks read from the device (cache hits excluded).
   uint64_t blocks_read = 0;
+  /// Blocks pruned via index time ranges or metadata zone maps — bypassed
+  /// without a device read OR a cache lookup.
+  uint64_t blocks_skipped = 0;
   /// Block cache hits / misses for this read (both 0 without a cache).
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
@@ -49,6 +52,17 @@ struct ReadOptions {
   /// are skipped via the index without being read.
   int64_t lo = std::numeric_limits<int64_t>::min();
   int64_t hi = std::numeric_limits<int64_t>::max();
+  /// Value predicate, inclusive. With the defaults this is a no-op; when
+  /// narrowed, points outside are filtered out and — on tables carrying v2
+  /// zone maps — whole blocks whose value range cannot match are skipped
+  /// without touching the cache or the device.
+  double value_lo = -std::numeric_limits<double>::infinity();
+  double value_hi = std::numeric_limits<double>::infinity();
+
+  bool has_value_bounds() const {
+    return value_lo != -std::numeric_limits<double>::infinity() ||
+           value_hi != std::numeric_limits<double>::infinity();
+  }
 };
 
 /// Immutable description of an on-disk SSTable (kept in the Version).
@@ -69,21 +83,28 @@ struct FileMetadata {
 class SSTableWriter {
  public:
   /// `points_per_block` controls index granularity within the file;
-  /// `encoding` selects the value-column codec (see format/value_codec.h).
+  /// `encoding` selects the value-column codec (see format/value_codec.h);
+  /// `meta` controls the v2 pruning-metadata section (disabled, the output
+  /// is byte-identical to the v1 format).
   SSTableWriter(Env* env, std::string path, size_t points_per_block = 128,
-                format::ValueEncoding encoding = format::ValueEncoding::kRaw);
+                format::ValueEncoding encoding = format::ValueEncoding::kRaw,
+                format::TableMetadataConfig meta = {});
 
   /// Points must arrive in non-decreasing generation-time order.
   Status Add(const DataPoint& point);
 
-  /// Flushes remaining data, writes index + footer, closes the file, and
-  /// returns the metadata (file_number left 0 for the caller to assign).
+  /// Flushes remaining data, writes metadata (v2) + index + footer, closes
+  /// the file, and returns the metadata (file_number left 0 for the caller
+  /// to assign).
   Result<FileMetadata> Finish();
 
   uint64_t points_added() const { return points_added_; }
 
  private:
   Status FlushBlock();
+  /// Folds `point` into the running per-window summary, sealing the
+  /// previous window when the point crosses a window boundary.
+  void AccumulateSummary(const DataPoint& point);
 
   Env* env_;
   std::string path_;
@@ -92,10 +113,16 @@ class SSTableWriter {
   Status open_status_;
   format::BlockBuilder block_;
   std::vector<format::BlockIndexEntry> index_;
+  format::TableMetadataConfig meta_config_;
+  format::TableMetadata metadata_;
+  format::WindowSummary cur_summary_;
+  bool summary_open_ = false;
   uint64_t offset_ = 0;
   uint64_t points_added_ = 0;
   int64_t block_min_tg_ = 0;
   int64_t block_max_tg_ = 0;
+  double block_min_value_ = 0.0;
+  double block_max_value_ = 0.0;
   int64_t file_min_tg_ = 0;
   int64_t file_max_tg_ = 0;
   size_t block_count_ = 0;
@@ -128,6 +155,12 @@ class SSTableReader {
   /// The per-block index loaded at Open (sorted by generation time).
   const std::vector<format::BlockIndexEntry>& index() const { return index_; }
 
+  /// True when the file carries a v2 pruning-metadata section.
+  bool has_metadata() const { return has_metadata_; }
+  /// The decoded metadata section (empty default for v1 files). Zone maps,
+  /// when present, are parallel to index().
+  const format::TableMetadata& metadata() const { return metadata_; }
+
   /// Returns the decoded block for one index entry — from the cache on a
   /// hit, from the device on a miss. A device-read block is inserted into
   /// the cache only when `fill_cache` is set (compaction scans pass false so
@@ -143,13 +176,17 @@ class SSTableReader {
  private:
   SSTableReader(std::unique_ptr<RandomAccessFile> file, format::Footer footer,
                 std::vector<format::BlockIndexEntry> index,
+                format::TableMetadata metadata, bool has_metadata,
                 BlockCacheHandle block_cache)
       : file_(std::move(file)), footer_(footer), index_(std::move(index)),
+        metadata_(std::move(metadata)), has_metadata_(has_metadata),
         block_cache_(block_cache) {}
 
   std::unique_ptr<RandomAccessFile> file_;
   format::Footer footer_;
   std::vector<format::BlockIndexEntry> index_;
+  format::TableMetadata metadata_;
+  bool has_metadata_ = false;
   BlockCacheHandle block_cache_;
 };
 
@@ -161,7 +198,8 @@ Status WriteSortedPointsAsTables(
     Env* env, const std::string& dir, const std::vector<DataPoint>& points,
     size_t points_per_file, size_t points_per_block, uint64_t* next_file_no,
     std::vector<FileMetadata>* files,
-    format::ValueEncoding encoding = format::ValueEncoding::kRaw);
+    format::ValueEncoding encoding = format::ValueEncoding::kRaw,
+    format::TableMetadataConfig meta = {});
 
 /// Iterator-driven overload: drains `input` block-in/block-out, so flush and
 /// compaction share one writer loop and peak memory stays bounded by the
@@ -175,6 +213,7 @@ Status WriteSortedPointsAsTables(
     size_t points_per_file, size_t points_per_block, uint64_t* next_file_no,
     std::vector<FileMetadata>* files,
     format::ValueEncoding encoding = format::ValueEncoding::kRaw,
+    format::TableMetadataConfig meta = {},
     const std::atomic<bool>* cancel = nullptr);
 
 /// Path helpers: `<dir>/<number>.sst`.

@@ -442,7 +442,7 @@ TEST_F(TableWriterIteratorTest, CancelAbortsAndRemovesPartialFiles) {
   std::atomic<bool> cancel{true};
   Status st = WriteSortedPointsAsTables(&env_, "/db", &input, 30, 8, &next,
                                         &files, format::ValueEncoding::kRaw,
-                                        &cancel);
+                                        {}, &cancel);
   EXPECT_TRUE(st.IsAborted()) << st.ToString();
   EXPECT_TRUE(files.empty());
   EXPECT_TRUE(SstFiles(&env_, "/db").empty());
@@ -501,7 +501,7 @@ TEST_F(TableWriterIteratorTest, AppendsAfterExistingEntriesOnSuccess) {
   std::atomic<bool> cancel{true};
   Status st = WriteSortedPointsAsTables(&env_, "/db", &input2, 10, 4, &next,
                                         &files, format::ValueEncoding::kRaw,
-                                        &cancel);
+                                        {}, &cancel);
   EXPECT_TRUE(st.IsAborted());
   EXPECT_EQ(files.size(), 5u);  // restored to the pre-call state
 }

@@ -1,0 +1,313 @@
+// Read-path pruning: summary-served aggregation, zone-map block skipping,
+// and the MultiSeriesDB series Bloom filter. The invariant throughout is
+// that pruning is an optimization, never a semantic: every query answers
+// identically with Options::pruning on and off (bit-exact except aggregate
+// `sum`, where partial-sum re-association moves the last few ulps).
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/multi_series_db.h"
+#include "engine/series_bloom.h"
+#include "engine/ts_engine.h"
+#include "env/mem_env.h"
+#include "storage/iterator.h"
+#include "storage/sstable.h"
+
+namespace seplsm::engine {
+namespace {
+
+Options BaseOptions(Env* env, const std::string& dir, bool pruning) {
+  Options o;
+  o.env = env;
+  o.dir = dir;
+  o.policy = PolicyConfig::Conventional(256);
+  o.sstable_points = 256;
+  o.points_per_block = 32;
+  o.summary_window = 64;
+  o.pruning = pruning;
+  return o;
+}
+
+void ExpectSameAggregates(const Aggregates& a, const Aggregates& b) {
+  EXPECT_EQ(a.count, b.count);
+  // Everything is bit-exact except `sum`: summary partials re-associate the
+  // additions (per window, then across windows), so the two paths may
+  // differ by accumulated rounding — bounded here at 1e-12 relative.
+  EXPECT_NEAR(a.sum, b.sum, 1e-12 * std::max(1.0, std::abs(b.sum)));
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+  EXPECT_EQ(a.first_time, b.first_time);
+  EXPECT_EQ(a.last_time, b.last_time);
+  EXPECT_DOUBLE_EQ(a.first_value, b.first_value);
+  EXPECT_DOUBLE_EQ(a.last_value, b.last_value);
+}
+
+double Reading(int64_t t) { return std::sin(t * 0.013) * 40.0 + (t % 17); }
+
+// Dense in-order series, fully flushed: every interior window is servable.
+class PruningEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = TsEngine::Open(BaseOptions(&env_, "/db", true));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    for (int64_t t = 0; t < 4096; ++t) {
+      ASSERT_TRUE((*db)->Append({t, t + 3, Reading(t)}).ok());
+    }
+    ASSERT_TRUE((*db)->FlushAll().ok());
+  }
+
+  std::unique_ptr<TsEngine> Reopen(bool pruning) {
+    auto db = TsEngine::Open(BaseOptions(&env_, "/db", pruning));
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    return std::move(db).value();
+  }
+
+  MemEnv env_;
+};
+
+TEST_F(PruningEquivalenceTest, AggregateMatchesPointReads) {
+  auto on = Reopen(true);
+  auto off = Reopen(false);
+  // Edge-y ranges: window-aligned, unaligned both ends, sub-window,
+  // whole-series, past-the-data.
+  const int64_t ranges[][2] = {{0, 4095},    {64, 4031},  {1, 4094},
+                               {100, 3999},  {130, 140},  {0, 63},
+                               {4000, 9999}, {-500, 500}, {2048, 2048}};
+  for (auto [lo, hi] : ranges) {
+    Aggregates a, b;
+    QueryStats sa, sb;
+    ASSERT_TRUE(on->Aggregate(lo, hi, &a, &sa).ok());
+    ASSERT_TRUE(off->Aggregate(lo, hi, &b, &sb).ok());
+    ExpectSameAggregates(a, b);
+    EXPECT_EQ(sb.pruning.summary_hits, 0u);
+  }
+  // The wide aligned range must actually have used summaries.
+  Aggregates a;
+  QueryStats stats;
+  ASSERT_TRUE(on->Aggregate(0, 4095, &a, &stats).ok());
+  EXPECT_GT(stats.pruning.summary_hits, 0u);
+  EXPECT_EQ(stats.disk_points_scanned, 0u);  // fully summary-served
+}
+
+TEST_F(PruningEquivalenceTest, DownsampleMatchesPointReads) {
+  auto on = Reopen(true);
+  auto off = Reopen(false);
+  // Aligned (lo on the window grid, width a multiple of 64) and unaligned
+  // shapes; both must agree with the pruning-off engine bucket for bucket.
+  const int64_t shapes[][3] = {{0, 4095, 256},  {0, 4095, 64},
+                               {64, 4095, 128}, {0, 4000, 256},
+                               {7, 4088, 256},  {0, 4095, 100}};
+  for (auto [lo, hi, width] : shapes) {
+    std::vector<TimeBucket> a, b;
+    ASSERT_TRUE(on->Downsample(lo, hi, width, &a).ok());
+    ASSERT_TRUE(off->Downsample(lo, hi, width, &b).ok());
+    ASSERT_EQ(a.size(), b.size()) << lo << " " << hi << " " << width;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].bucket_start, b[i].bucket_start);
+      EXPECT_EQ(a[i].bucket_end, b[i].bucket_end);
+      ExpectSameAggregates(a[i].aggregates, b[i].aggregates);
+    }
+  }
+  std::vector<TimeBucket> buckets;
+  QueryStats stats;
+  ASSERT_TRUE(on->Downsample(0, 4095, 256, &buckets, &stats).ok());
+  EXPECT_GT(stats.pruning.summary_hits, 0u);
+  EXPECT_EQ(stats.disk_points_scanned, 0u);
+}
+
+TEST_F(PruningEquivalenceTest, NarrowQueryCountsSkippedFilesAndBlocks) {
+  auto on = Reopen(true);
+  std::vector<DataPoint> out;
+  QueryStats stats;
+  ASSERT_TRUE(on->Query(1000, 1031, &out, &stats).ok());
+  EXPECT_EQ(out.size(), 32u);
+  // 4096 points / 256 per file = 16 run files; all but one irrelevant.
+  EXPECT_GT(stats.pruning.files_skipped, 0u);
+  EXPECT_GT(stats.blocks_read, 0u);
+}
+
+TEST_F(PruningEquivalenceTest, MetricsCountersAccumulate) {
+  auto on = Reopen(true);
+  Aggregates a;
+  ASSERT_TRUE(on->Aggregate(0, 4095, &a).ok());
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(on->Query(1000, 1031, &out).ok());
+  Metrics m = on->GetMetrics();
+  EXPECT_GT(m.summary_hits, 0u);
+  EXPECT_GT(m.files_skipped, 0u);
+}
+
+// Buffered and out-of-order data override disk summaries; pushdown must
+// notice and fall back without changing any answer.
+TEST(PruningDirtyDataTest, MemTableAndLevel0ForceFallback) {
+  MemEnv env;
+  auto db = TsEngine::Open(BaseOptions(&env, "/db", true));
+  ASSERT_TRUE(db.ok());
+  for (int64_t t = 0; t < 2048; ++t) {
+    ASSERT_TRUE((*db)->Append({t, t + 3, Reading(t)}).ok());
+  }
+  ASSERT_TRUE((*db)->FlushAll().ok());
+  // Out-of-order upserts into flushed territory (new values win)...
+  for (int64_t t = 500; t < 520; ++t) {
+    ASSERT_TRUE((*db)->Append({t, t + 5000, -1000.0}).ok());
+  }
+  // ...plus fresh points still buffered in the MemTable.
+  for (int64_t t = 2048; t < 2100; ++t) {
+    ASSERT_TRUE((*db)->Append({t, t + 3, Reading(t)}).ok());
+  }
+  Aggregates a;
+  ASSERT_TRUE((*db)->Aggregate(0, 2099, &a).ok());
+  // Reference: fold the point query (always correct by construction).
+  std::vector<DataPoint> points;
+  ASSERT_TRUE((*db)->Query(0, 2099, &points).ok());
+  Aggregates ref;
+  for (const auto& p : points) ref.Accumulate(p);
+  ExpectSameAggregates(a, ref);
+  EXPECT_DOUBLE_EQ(a.min, -1000.0);  // the upserts are visible
+}
+
+// v1 tables (metadata off) must silently disable pushdown, not break it.
+TEST(PruningCompatTest, MixedV1AndV2TablesStayCorrect) {
+  MemEnv env;
+  {
+    Options o = BaseOptions(&env, "/db", true);
+    o.table_metadata = false;  // first half of the data lands in v1 files
+    auto db = TsEngine::Open(o);
+    ASSERT_TRUE(db.ok());
+    for (int64_t t = 0; t < 1024; ++t) {
+      ASSERT_TRUE((*db)->Append({t, t + 3, Reading(t)}).ok());
+    }
+    ASSERT_TRUE((*db)->FlushAll().ok());
+  }
+  auto db = TsEngine::Open(BaseOptions(&env, "/db", true));
+  ASSERT_TRUE(db.ok());
+  for (int64_t t = 1024; t < 2048; ++t) {
+    ASSERT_TRUE((*db)->Append({t, t + 3, Reading(t)}).ok());
+  }
+  ASSERT_TRUE((*db)->FlushAll().ok());
+  Aggregates a;
+  ASSERT_TRUE((*db)->Aggregate(0, 2047, &a).ok());
+  std::vector<DataPoint> points;
+  ASSERT_TRUE((*db)->Query(0, 2047, &points).ok());
+  ASSERT_EQ(points.size(), 2048u);
+  Aggregates ref;
+  for (const auto& p : points) ref.Accumulate(p);
+  ExpectSameAggregates(a, ref);
+}
+
+// Value zone maps at the storage layer: a reader given value bounds skips
+// blocks whose [min,max] value range cannot match.
+TEST(ZoneMapTest, ValueBoundsSkipBlocks) {
+  MemEnv env;
+  storage::SSTableWriter writer(&env, "/t.sst", 32,
+                                format::ValueEncoding::kRaw, {});
+  // Blocks 0..7 carry value plateaus 0, 100, 200, ...: disjoint zone maps.
+  for (int64_t t = 0; t < 256; ++t) {
+    ASSERT_TRUE(writer.Add({t, t, static_cast<double>((t / 32) * 100)}).ok());
+  }
+  auto meta = writer.Finish();
+  ASSERT_TRUE(meta.ok());
+  auto reader = storage::SSTableReader::Open(&env, "/t.sst", {});
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE((*reader)->has_metadata());
+  storage::ReadStats stats;
+  storage::ReadOptions opts;
+  opts.stats = &stats;
+  opts.value_lo = 300.0;
+  opts.value_hi = 300.0;  // only block 3 can match
+  auto it = (*reader)->NewIterator(opts);
+  size_t n = 0;
+  for (; it->Valid(); it->Next()) {
+    EXPECT_DOUBLE_EQ(it->point().value, 300.0);
+    ++n;
+  }
+  ASSERT_TRUE(it->status().ok());
+  EXPECT_EQ(n, 32u);
+  EXPECT_GE(stats.blocks_skipped, 6u);  // 7 of 8 blocks pruned, ±edge reads
+}
+
+TEST(SeriesBloomTest, InsertedIdsAlwaysHit) {
+  SeriesBloom bloom(1 << 12);
+  for (int i = 0; i < 200; ++i) {
+    bloom.Insert("sensor-" + std::to_string(i));
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(bloom.MayContain("sensor-" + std::to_string(i)));
+  }
+  // False positives exist but must be rare at ~10 bits/key.
+  int fp = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (bloom.MayContain("ghost-" + std::to_string(i))) ++fp;
+  }
+  EXPECT_LT(fp, 100);
+}
+
+TEST(SeriesBloomTest, AbsentSeriesSkipsLookup) {
+  MemEnv env;
+  MultiSeriesDB::MultiOptions mo;
+  mo.base.env = &env;
+  mo.base.dir = "/multi";
+  mo.base.policy = PolicyConfig::Conventional(64);
+  auto db = MultiSeriesDB::Open(mo);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Append("engine_temp", {1, 2, 3.0}).ok());
+  std::vector<DataPoint> out;
+  QueryStats stats;
+  // Existing series answers normally.
+  ASSERT_TRUE((*db)->Query("engine_temp", 0, 10, &out, &stats).ok());
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(stats.pruning.blooms_negative, 0u);
+  // Probe ids that were never created: NotFound via the bloom filter.
+  uint64_t negatives = 0;
+  for (int i = 0; i < 50; ++i) {
+    QueryStats s;
+    Status st = (*db)->Query("no-such-" + std::to_string(i), 0, 10, &out, &s);
+    EXPECT_TRUE(st.IsNotFound());
+    negatives += s.pruning.blooms_negative;
+  }
+  EXPECT_GT(negatives, 0u);
+  EXPECT_EQ((*db)->GetAggregateMetrics().blooms_negative, negatives);
+}
+
+TEST(SeriesBloomTest, RecoveredSeriesRepopulateFilter) {
+  MemEnv env;
+  MultiSeriesDB::MultiOptions mo;
+  mo.base.env = &env;
+  mo.base.dir = "/multi";
+  mo.base.policy = PolicyConfig::Conventional(64);
+  {
+    auto db = MultiSeriesDB::Open(mo);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Append("persisted", {1, 2, 3.0}).ok());
+    ASSERT_TRUE((*db)->FlushAll().ok());
+  }
+  auto db = MultiSeriesDB::Open(mo);
+  ASSERT_TRUE(db.ok());
+  std::vector<DataPoint> out;
+  EXPECT_TRUE((*db)->Query("persisted", 0, 10, &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(SeriesBloomTest, DisabledFilterStillAnswersNotFound) {
+  MemEnv env;
+  MultiSeriesDB::MultiOptions mo;
+  mo.base.env = &env;
+  mo.base.dir = "/multi";
+  mo.base.policy = PolicyConfig::Conventional(64);
+  mo.series_bloom = false;
+  auto db = MultiSeriesDB::Open(mo);
+  ASSERT_TRUE(db.ok());
+  std::vector<DataPoint> out;
+  QueryStats stats;
+  Status st = (*db)->Query("anything", 0, 10, &out, &stats);
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(stats.pruning.blooms_negative, 0u);
+  EXPECT_EQ((*db)->GetAggregateMetrics().blooms_negative, 0u);
+}
+
+}  // namespace
+}  // namespace seplsm::engine
