@@ -185,12 +185,65 @@ def compare_scheduler(gate, base, cur):
                              centry["speedup_vs_1"], bentry["speedup_vs_1"])
 
 
+def compare_wal(gate, base, cur):
+    """Durability and batching always gate; the speedup only on multicore.
+
+    Wall-clock appends/sec depends on the runner's fsync latency, so the
+    machine-independent invariants carry the gate: every mode must recover
+    every point on clean reopen, must log exactly one WAL record per append,
+    and group commit must demonstrably batch (points_per_fsync well above 1
+    at the top thread count). The headline group-vs-sync speedup is compared
+    against the baseline only when both runs had real parallelism.
+    """
+    if not require_same_config(gate, "wal", base, cur, ("points_per_run",)):
+        return
+    base_sweep = {(e["mode"], e["threads"]): e for e in base["sweep"]}
+    cur_sweep = {(e["mode"], e["threads"]): e for e in cur["sweep"]}
+    multicore = (base.get("hardware_threads", 1) > 1 and
+                 cur.get("hardware_threads", 1) > 1)
+    if not multicore:
+        gate.skip("wal speedup_group_vs_sync_8t assertion "
+                  f"(hardware_threads: baseline="
+                  f"{base.get('hardware_threads')}, current="
+                  f"{cur.get('hardware_threads')}; need > 1 on both)")
+    max_threads = max(t for (_, t) in base_sweep)
+    for key, bentry in base_sweep.items():
+        mode, threads = key
+        if key not in cur_sweep:
+            gate.fail(f"wal: {mode}/t{threads} missing from current sweep")
+            continue
+        centry = cur_sweep[key]
+        gate.check_true(f"wal {mode}/t{threads} recovered_ok",
+                        centry["recovered_ok"])
+        gate.check_equal(f"wal {mode}/t{threads} wal_records",
+                         centry["wal_records"], bentry["wal_records"])
+        if mode == "sync_each":
+            # The per-append contract: exactly one fsync per append.
+            gate.check_equal(f"wal {mode}/t{threads} fsyncs",
+                             centry["fsyncs"], centry["wal_records"])
+        if mode == "group" and threads == max_threads:
+            # Batching must be observable regardless of wall-clock speed:
+            # piled-up writers sharing fsyncs is a scheduling fact, not a
+            # timing one.
+            if centry["points_per_fsync"] < 2.0:
+                gate.fail(f"wal group/t{threads} points_per_fsync "
+                          f"{centry['points_per_fsync']:.2f} below the "
+                          f"2.0 batching floor")
+            else:
+                gate.checked += 1
+    if multicore:
+        gate.check_close("wal speedup_group_vs_sync_8t",
+                         cur["speedup_group_vs_sync_8t"],
+                         base["speedup_group_vs_sync_8t"])
+
+
 COMPARATORS = {
     "fig12_read_amp": compare_fig12,
     "fig13_recent_latency": compare_fig13,
     "micro_compaction_merge": compare_compaction,
     "pruning_ab": compare_pruning,
     "multi_series_parallel_ingest": compare_scheduler,
+    "wal_group_commit": compare_wal,
 }
 
 
@@ -302,6 +355,48 @@ def self_test():
     gate = Gate(DEFAULT_TOLERANCE)
     compare_compaction(gate, comp_base, comp_cur)
     assert gate.errors, "a dropped merge point must fail"
+
+
+    wal_base = {
+        "bench": "wal_group_commit", "points_per_run": 4000,
+        "hardware_threads": 1, "speedup_group_vs_sync_8t": 5.5,
+        "sweep": [
+            {"mode": "sync_each", "threads": 8, "appends_per_sec": 8000.0,
+             "wal_records": 4000, "fsyncs": 4000, "points_per_fsync": 1.0,
+             "max_group": 0, "recovered_points": 4000, "recovered_ok": True},
+            {"mode": "group", "threads": 8, "appends_per_sec": 45000.0,
+             "wal_records": 4000, "fsyncs": 500, "points_per_fsync": 8.0,
+             "max_group": 8, "recovered_points": 4000, "recovered_ok": True},
+        ],
+    }
+    wal_cur = json.loads(json.dumps(wal_base))
+    wal_cur["speedup_group_vs_sync_8t"] = 0.5  # would fail if asserted
+    gate = Gate(DEFAULT_TOLERANCE)
+    compare_wal(gate, wal_base, wal_cur)
+    assert not gate.errors, \
+        f"wal speedup must be skipped at hardware_threads=1: {gate.errors}"
+    assert gate.skipped, "the wal skip must be reported, not silent"
+
+    wal_lost = json.loads(json.dumps(wal_base))
+    wal_lost["sweep"][1]["recovered_ok"] = False
+    gate = Gate(DEFAULT_TOLERANCE)
+    compare_wal(gate, wal_base, wal_lost)
+    assert gate.errors, "a durability loss must fail the wal gate"
+
+    wal_nobatch = json.loads(json.dumps(wal_base))
+    wal_nobatch["sweep"][1]["points_per_fsync"] = 1.0
+    gate = Gate(DEFAULT_TOLERANCE)
+    compare_wal(gate, wal_base, wal_nobatch)
+    assert any("batching floor" in e for e in gate.errors), \
+        "group commit that stops batching must fail even on one core"
+
+    wal_multicore_base = json.loads(json.dumps(wal_base))
+    wal_multicore_base["hardware_threads"] = 8
+    wal_multicore_cur = json.loads(json.dumps(wal_multicore_base))
+    wal_multicore_cur["speedup_group_vs_sync_8t"] = 1.1
+    gate = Gate(DEFAULT_TOLERANCE)
+    compare_wal(gate, wal_multicore_base, wal_multicore_cur)
+    assert gate.errors, "a wal speedup collapse on multicore must fail"
 
     print("self-test: all gate behaviours verified")
 

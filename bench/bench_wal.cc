@@ -1,0 +1,268 @@
+// WAL durability-mode sweep: the same ingest driven through three WAL
+// configurations — buffered (fsync only at checkpoint), sync-every-append
+// (one fdatasync per point), and group commit (concurrent appends batched
+// into one multi-point record + one fdatasync per commit round) — across
+// writer-thread counts. The headline is the group-commit multiplier over
+// sync-every-append at high concurrency: N piled-up writers should share
+// ~1/N of the fsyncs for the same per-append durability guarantee.
+//
+// Runs on the real filesystem (PosixEnv) because the whole point is fsync
+// cost. Wall-clock throughput is machine-dependent, so the CI gate
+// (check_bench_regression.py) checks only the machine-independent shape:
+// recovery integrity, record accounting, observed batching, and — only on
+// multi-core runners — the speedup itself.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "engine/ts_engine.h"
+#include "env/env.h"
+#include "storage/wal_committer.h"
+
+namespace {
+
+using namespace seplsm;
+
+enum class Mode { kBuffered, kSyncEach, kGroup };
+
+const char* ModeName(Mode m) {
+  switch (m) {
+    case Mode::kBuffered:
+      return "buffered";
+    case Mode::kSyncEach:
+      return "sync_each";
+    case Mode::kGroup:
+      return "group";
+  }
+  return "?";
+}
+
+struct RunResult {
+  double appends_per_sec = 0.0;
+  uint64_t wal_records = 0;
+  uint64_t fsyncs = 0;
+  double points_per_fsync = 0.0;
+  uint64_t max_group = 0;
+  uint64_t recovered_points = 0;
+  bool recovered_ok = false;
+};
+
+void RemoveTree(Env* env, const std::string& dir) {
+  std::vector<std::string> children;
+  if (env->ListDir(dir, &children).ok()) {
+    for (const auto& c : children) (void)env->RemoveFile(dir + "/" + c);
+  }
+}
+
+engine::Options MakeOptions(Env* env, const std::string& dir, Mode mode,
+                            std::shared_ptr<storage::GroupCommitter> gc) {
+  engine::Options o;
+  o.env = env;
+  o.dir = dir;
+  // Isolate WAL cost: nothing ever flushes or checkpoints during the run.
+  o.policy = engine::PolicyConfig::Conventional(1u << 22);
+  o.sstable_points = 1u << 22;
+  o.wal_checkpoint_bytes = 1ull << 40;
+  o.enable_wal = true;
+  o.wal_sync_every_append = mode == Mode::kSyncEach;
+  o.wal_group_commit = mode == Mode::kGroup;
+  o.wal_committer = std::move(gc);
+  return o;
+}
+
+RunResult RunOne(Env* env, const std::string& dir, Mode mode, int threads,
+                 size_t total_points) {
+  RunResult r;
+  RemoveTree(env, dir);
+  (void)env->CreateDirIfMissing(dir);
+  auto gc = mode == Mode::kGroup ? std::make_shared<storage::GroupCommitter>()
+                                 : nullptr;
+  uint64_t elapsed_micros = 0;
+  {
+    auto db = engine::TsEngine::Open(MakeOptions(env, dir, mode, gc));
+    if (!db.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", dir.c_str(),
+                   db.status().ToString().c_str());
+      return r;
+    }
+    const size_t per_thread = total_points / threads;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const uint64_t start = SystemClock::Default()->NowMicros();
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        const int64_t base = static_cast<int64_t>(t) * per_thread;
+        for (size_t i = 0; i < per_thread; ++i) {
+          const int64_t tg = base + static_cast<int64_t>(i);
+          if (!(*db)->Append({tg, tg + 1, static_cast<double>(tg)}).ok()) {
+            return;
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    elapsed_micros = SystemClock::Default()->NowMicros() - start;
+
+    auto m = (*db)->GetMetrics();
+    r.wal_records = m.wal_records;
+    r.fsyncs = m.wal_syncs;
+  }
+  if (gc != nullptr) {
+    auto s = gc->GetStats();
+    r.fsyncs = s.syncs;
+    r.max_group = s.max_group_points;
+  }
+  if (r.fsyncs > 0) {
+    r.points_per_fsync = static_cast<double>(r.wal_records) / r.fsyncs;
+  }
+  const size_t done = (total_points / threads) * threads;
+  r.appends_per_sec = elapsed_micros > 0
+                          ? done * 1e6 / static_cast<double>(elapsed_micros)
+                          : 0.0;
+
+  // Reopen and count: every point of a clean shutdown must come back,
+  // regardless of mode (the WAL replays the never-flushed memtable).
+  {
+    auto db = engine::TsEngine::Open(MakeOptions(env, dir, mode, nullptr));
+    if (db.ok()) {
+      std::vector<DataPoint> out;
+      if ((*db)
+              ->Query(0, static_cast<int64_t>(total_points) + 1, &out)
+              .ok()) {
+        r.recovered_points = out.size();
+        r.recovered_ok = out.size() == done;
+      }
+    }
+  }
+  RemoveTree(env, dir);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool emit_json = false;
+  std::string json_path;
+  size_t total_points = 4000;
+  int repeat = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      emit_json = true;
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+    } else if (std::strncmp(argv[i], "--points=", 9) == 0) {
+      total_points = std::strtoull(argv[i] + 9, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      repeat = static_cast<int>(std::strtol(argv[i] + 9, nullptr, 10));
+    }
+  }
+
+  Env* env = Env::Default();
+  const std::string base_dir = "/tmp/seplsm_bench_wal";
+  (void)env->CreateDirIfMissing(base_dir);
+
+  const Mode modes[] = {Mode::kBuffered, Mode::kSyncEach, Mode::kGroup};
+  const int thread_counts[] = {1, 2, 4, 8};
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::printf("=== WAL durability modes: buffered vs sync-every-append vs "
+              "group commit ===\n");
+  std::printf("(%zu appends per run, PosixEnv at %s, %u hardware threads)\n\n",
+              total_points, base_dir.c_str(), hw);
+  std::printf("%-10s %8s %14s %12s %8s %9s %10s %6s\n", "mode", "threads",
+              "appends/s", "wal_records", "fsyncs", "pts/fsync", "max_group",
+              "ok");
+
+  struct Row {
+    Mode mode;
+    int threads;
+    RunResult r;
+  };
+  std::vector<Row> rows;
+  bool all_ok = true;
+  for (Mode mode : modes) {
+    for (int threads : thread_counts) {
+      const std::string dir =
+          base_dir + "/" + ModeName(mode) + "_t" + std::to_string(threads);
+      // Best of `repeat` runs: on a loaded (or single-core) machine a run
+      // can lose a scheduling quantum mid-measurement; the fastest run is
+      // the least-disturbed one. Durability is checked on EVERY run.
+      RunResult r;
+      for (int rep = 0; rep < repeat; ++rep) {
+        RunResult attempt = RunOne(env, dir, mode, threads, total_points);
+        all_ok = all_ok && attempt.recovered_ok;
+        if (rep == 0 || attempt.appends_per_sec > r.appends_per_sec) {
+          r = attempt;
+        }
+      }
+      std::printf("%-10s %8d %14.0f %12" PRIu64 " %8" PRIu64 " %9.2f "
+                  "%10" PRIu64 " %6s\n",
+                  ModeName(mode), threads, r.appends_per_sec, r.wal_records,
+                  r.fsyncs, r.points_per_fsync, r.max_group,
+                  r.recovered_ok ? "yes" : "NO");
+      rows.push_back({mode, threads, r});
+    }
+  }
+
+  double sync_8t = 0.0;
+  double group_8t = 0.0;
+  for (const auto& row : rows) {
+    if (row.threads != 8) continue;
+    if (row.mode == Mode::kSyncEach) sync_8t = row.r.appends_per_sec;
+    if (row.mode == Mode::kGroup) group_8t = row.r.appends_per_sec;
+  }
+  const double speedup = sync_8t > 0 ? group_8t / sync_8t : 0.0;
+  std::printf("\ngroup-commit speedup vs sync-every-append at 8 threads: "
+              "%.2fx\n",
+              speedup);
+  if (!all_ok) {
+    std::fprintf(stderr,
+                 "FAIL: a durability mode lost points on clean reopen\n");
+  }
+
+  if (emit_json) {
+    std::string out;
+    out += "{\n  \"bench\": \"wal_group_commit\",\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"points_per_run\": %zu,\n  \"hardware_threads\": %u,\n",
+                  total_points, hw);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"speedup_group_vs_sync_8t\": %.3f,\n  \"sweep\": [\n",
+                  speedup);
+    out += buf;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"mode\": \"%s\", \"threads\": %d, \"appends_per_sec\": "
+          "%.1f, \"wal_records\": %" PRIu64 ", \"fsyncs\": %" PRIu64
+          ", \"points_per_fsync\": %.2f, \"max_group\": %" PRIu64
+          ", \"recovered_points\": %" PRIu64 ", \"recovered_ok\": %s}%s\n",
+          ModeName(row.mode), row.threads, row.r.appends_per_sec,
+          row.r.wal_records, row.r.fsyncs, row.r.points_per_fsync,
+          row.r.max_group, row.r.recovered_points,
+          row.r.recovered_ok ? "true" : "false",
+          i + 1 < rows.size() ? "," : "");
+      out += buf;
+    }
+    out += "  ]\n}\n";
+    if (json_path.empty()) {
+      std::fputs(out.c_str(), stdout);
+    } else {
+      FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f != nullptr) {
+        std::fputs(out.c_str(), f);
+        std::fclose(f);
+      }
+    }
+  }
+  return all_ok ? 0 : 1;
+}

@@ -106,6 +106,9 @@ struct QueryStats {
   X(wal_records, "points appended to the write-ahead log")                   \
   X(wal_bytes, "write-ahead log size in bytes")                              \
   X(wal_checkpoints, "write-ahead log checkpoint truncations")               \
+  X(wal_syncs, "write-ahead log fsyncs issued by this engine")               \
+  X(wal_durable_bytes, "log bytes covered by a successful fsync")            \
+  X(wal_tail_truncations, "recoveries that dropped a torn/corrupt WAL tail") \
   /* Compaction read traffic (device side; cache hits read nothing) */       \
   X(compaction_bytes_read, "device bytes read by compactions")               \
   X(compaction_blocks_read, "SSTable blocks read by compactions")            \

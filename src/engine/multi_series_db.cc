@@ -86,6 +86,13 @@ Result<std::unique_ptr<MultiSeriesDB>> MultiSeriesDB::Open(
                          : std::thread::hardware_concurrency();
     options.base.job_scheduler = std::make_shared<JobScheduler>(threads);
   }
+  if (options.base.enable_wal && options.base.wal_group_commit &&
+      options.base.wal_committer == nullptr) {
+    // One commit thread — one fsync stream — for every series engine:
+    // concurrent appends across series batch into shared commit rounds
+    // instead of issuing a serialized fsync per series.
+    options.base.wal_committer = std::make_shared<storage::GroupCommitter>();
+  }
   // One aggregate dump timer for the database instead of one per series.
   const uint64_t dump_interval = options.base.stats_dump_interval_ms;
   options.base.stats_dump_interval_ms = 0;

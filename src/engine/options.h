@@ -11,6 +11,7 @@
 
 namespace seplsm::storage {
 class BlockCache;
+class GroupCommitter;
 }  // namespace seplsm::storage
 
 namespace seplsm::telemetry {
@@ -142,8 +143,20 @@ struct Options {
   /// fsync the log on every Append (safest, slowest). Off: the log is
   /// buffered and synced at flush boundaries.
   bool wal_sync_every_append = false;
+  /// Route WAL appends through a GroupCommitter (storage/wal_committer.h):
+  /// the same per-append durability as `wal_sync_every_append` — Append
+  /// returns only after the point's record is fsynced — but concurrent
+  /// appends across threads and series share one batched record + fsync.
+  /// Takes precedence over `wal_sync_every_append` when both are set.
+  bool wal_group_commit = false;
+  /// Shared commit thread for group commit, like the scheduler and
+  /// telemetry hubs: MultiSeriesDB (or the caller) sets one committer for
+  /// every series engine so their fsyncs coalesce. When null and
+  /// `wal_group_commit` is set, the engine creates a private one.
+  std::shared_ptr<storage::GroupCommitter> wal_committer;
   /// When the log grows past this, the engine drains the MemTables and
-  /// truncates it.
+  /// retires it (crash-safe rotation: new log beside the old, sync, rename,
+  /// directory sync).
   uint64_t wal_checkpoint_bytes = 8ull << 20;
 
   /// Record one MergeEvent per compaction (measured subsequent points,

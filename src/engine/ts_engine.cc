@@ -168,6 +168,12 @@ TsEngine::TsEngine(Options options)
     }
     job_token_ = options_.job_scheduler->RegisterToken();
   }
+  if (options_.enable_wal && options_.wal_group_commit &&
+      options_.wal_committer == nullptr) {
+    // Standalone engine: private commit thread (MultiSeriesDB shares one
+    // committer across every series engine so their fsyncs coalesce).
+    options_.wal_committer = std::make_shared<storage::GroupCommitter>();
+  }
   if (telemetry::Active(options_.telemetry.get())) {
     telemetry_ = options_.telemetry.get();
     telemetry_series_id_ = telemetry_->RegisterSeries(
@@ -179,6 +185,9 @@ TsEngine::TsEngine(Options options)
     }
     if (options_.job_scheduler != nullptr) {
       options_.job_scheduler->AttachTelemetry(options_.telemetry);
+    }
+    if (options_.wal_committer != nullptr) {
+      options_.wal_committer->AttachTelemetry(options_.telemetry);
     }
   }
 }
@@ -209,6 +218,22 @@ TsEngine::~TsEngine() {
       std::vector<DataPoint> points = BatchPoints(*pending_flushes_.front());
       if (!FlushToLevel0Locked(std::move(points)).ok()) break;
       pending_flushes_.erase(pending_flushes_.begin());
+    }
+  }
+  if (wal_handle_ != nullptr) {
+    // Deregister waits out queued and in-flight commits for this handle;
+    // after it no commit round can touch wal_.
+    options_.wal_committer->Deregister(wal_handle_);
+    wal_handle_ = nullptr;
+  }
+  if (wal_ != nullptr) {
+    // A buffered write can defer its error to close time; losing that
+    // error silently would report durability the log does not have. The
+    // file itself stays behind either way, so recovery replays it.
+    Status st = wal_->Close();
+    if (!st.ok()) {
+      SEPLSM_LOG(Error) << "wal close failed (log retained for recovery): "
+                        << st.ToString();
     }
   }
   // No reader can outlive the engine, so every retired file is
@@ -265,36 +290,128 @@ Status TsEngine::Recover() {
     }
   }
   if (options_.enable_wal) {
-    // Replay buffered points lost with the last process, then start a fresh
-    // log and re-log them (they are buffered again). Replay is idempotent:
-    // generation time keys the upsert.
-    auto replayed = storage::ReadWal(options_.env, WalPath());
+    // Replay buffered points lost with the last process. Replay is
+    // idempotent: generation time keys the upsert.
+    bool tail_truncated = false;
+    auto replayed =
+        storage::ReadWal(options_.env, WalPath(), &tail_truncated);
     if (!replayed.ok()) return replayed.status();
-    SEPLSM_RETURN_IF_ERROR(RotateWalLocked());
-    for (const auto& p : *replayed) {
-      SEPLSM_RETURN_IF_ERROR(AppendLocked(p, lock));
+    if (tail_truncated) {
+      ++metrics_.wal_tail_truncations;
+      SEPLSM_LOG(Warn) << "wal replay [" << options_.dir
+                       << "]: dropped torn/corrupt tail after "
+                       << replayed->size() << " points";
     }
+    // Rotation writes the replayed points into the NEW log and fsyncs it
+    // before the rename retires the old one, so a crash at any instant of
+    // recovery leaves the points in at least one complete log. (The old
+    // sequence — truncate, then re-log — had a window where they were in
+    // neither.)
+    SEPLSM_RETURN_IF_ERROR(RotateWalLocked(&*replayed));
+    // Re-insert into the MemTables. The points are already in the rotated
+    // log, so AppendLocked must not re-log them — and must not checkpoint
+    // mid-loop, which would retire the log out from under the
+    // not-yet-reinserted tail.
+    wal_replaying_ = true;
+    Status replay_st;
+    for (const auto& p : *replayed) {
+      replay_st = AppendLocked(p, lock);
+      if (!replay_st.ok()) break;
+    }
+    wal_replaying_ = false;
+    SEPLSM_RETURN_IF_ERROR(replay_st);
   }
   return Status::OK();
 }
 
 std::string TsEngine::WalPath() const { return options_.dir + "/wal.log"; }
 
-Status TsEngine::RotateWalLocked() {
-  wal_.reset();  // closes (and with PosixEnv flushes) the old log
-  auto writer = storage::WalWriter::Open(options_.env, WalPath());
+Status TsEngine::RotateWalLocked(const std::vector<DataPoint>* relog_points) {
+  // Quiesce the committer first: with mutex_ held by our caller (so nothing
+  // new is enqueued) and the barrier passed, no commit round can touch the
+  // writer we are about to close.
+  if (wal_handle_ != nullptr) {
+    options_.wal_committer->Barrier(wal_handle_);
+  }
+  if (wal_ != nullptr) {
+    Status close = wal_->Close();
+    wal_.reset();
+    if (!close.ok()) {
+      // A deferred write error means the old log may be incomplete;
+      // retiring it anyway would drop whatever the error swallowed.
+      SEPLSM_LOG(Error) << "wal rotation aborted, old log retained: "
+                        << close.ToString();
+      return close;
+    }
+  }
+  // Never truncate in place: build the replacement beside the old log,
+  // make it durable, then atomically rename it over. A crash at any step
+  // leaves either the complete old log or the complete new one.
+  const std::string path = WalPath();
+  const std::string tmp = path + ".new";
+  auto writer = storage::WalWriter::Open(options_.env, tmp);
   if (!writer.ok()) return writer.status();
-  wal_ = std::move(writer).value();
+  Status st;
+  if (relog_points != nullptr && !relog_points->empty()) {
+    st = (*writer)->AppendBatch(*relog_points);
+  }
+  if (st.ok()) st = (*writer)->Sync();
+  Status close = (*writer)->Close();
+  if (st.ok()) st = close;
+  // On failure the stray `tmp` is harmless: recovery ignores it and the
+  // next rotation overwrites it.
+  SEPLSM_RETURN_IF_ERROR(st);
+  SEPLSM_RETURN_IF_ERROR(options_.env->RenameFile(tmp, path));
+  // Make the rename durable. This directory fsync also covers every
+  // SSTable created here since the last one, so checkpointed tables'
+  // directory entries are durable before the old log becomes unreachable.
+  SEPLSM_RETURN_IF_ERROR(options_.env->SyncDir(options_.dir));
+  auto reopened = storage::WalWriter::OpenAppend(options_.env, path);
+  if (!reopened.ok()) return reopened.status();
+  wal_ = std::move(reopened).value();
+  metrics_.wal_bytes = wal_->bytes_written();
+  metrics_.wal_durable_bytes = wal_->bytes_written();
+  if (options_.wal_group_commit && options_.wal_committer != nullptr) {
+    if (wal_handle_ == nullptr) {
+      wal_handle_ = options_.wal_committer->Register(wal_.get());
+    } else {
+      options_.wal_committer->SetWriter(wal_handle_, wal_.get());
+    }
+  }
   return Status::OK();
 }
 
+Status TsEngine::DrainForWalRetireLocked(std::unique_lock<std::mutex>& lock) {
+  while (true) {
+    SEPLSM_RETURN_IF_ERROR(DrainMemTablesLocked(lock));
+    if (!sync_merge_batches_.empty()) {
+      // In-flight turnstile mutations started by concurrent appends: wait
+      // them out (they need mutex_, which the wait releases).
+      background_cv_.wait(lock, [this] {
+        return sync_merge_batches_.empty() || background_error_set_;
+      });
+      if (background_error_set_) return background_error_;
+    }
+    const bool mems_empty =
+        options_.policy.kind == PolicyKind::kConventional
+            ? c0_->empty()
+            : (cseq_->empty() && cnonseq_->empty());
+    if (mems_empty && pending_flushes_.empty() &&
+        sync_merge_batches_.empty()) {
+      // Nothing buffered, and the lock is held from this check until the
+      // caller's rotation: every WAL record's point is on disk.
+      return Status::OK();
+    }
+  }
+}
+
 Status TsEngine::MaybeCheckpointWalLocked(std::unique_lock<std::mutex>& lock) {
-  if (wal_ == nullptr ||
+  if (wal_ == nullptr || wal_replaying_ ||
       wal_->bytes_written() < options_.wal_checkpoint_bytes) {
     return Status::OK();
   }
-  SEPLSM_RETURN_IF_ERROR(DrainMemTablesLocked(lock));
-  SEPLSM_RETURN_IF_ERROR(RotateWalLocked());
+  SEPLSM_RETURN_IF_ERROR(DrainForWalRetireLocked(lock));
+  SEPLSM_RETURN_IF_ERROR(RotateWalLocked(nullptr));
   ++metrics_.wal_checkpoints;
   return Status::OK();
 }
@@ -312,6 +429,7 @@ Status TsEngine::Append(const DataPoint& point) {
   const int64_t append_start =
       instrument ? options_.clock->NowNanos() : 0;
   Status st;
+  storage::GroupCommitter::Ticket ticket;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (background_error_set_) return background_error_;
@@ -342,7 +460,21 @@ Status TsEngine::Append(const DataPoint& point) {
       if (background_error_set_) return background_error_;
       if (shutting_down_) return Status::Aborted("engine shutting down");
     }
-    st = AppendLocked(point, lock);
+    st = AppendLocked(point, lock, &ticket);
+  }
+  if (st.ok() && ticket != nullptr) {
+    // Group commit: the point is in the MemTable and its record is queued;
+    // block — with no engine lock held — until the commit thread's fsync
+    // covers it. An OK here carries the same guarantee as
+    // wal_sync_every_append: the point is on the device.
+    st = options_.wal_committer->Wait(ticket);
+    if (st.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (wal_ != nullptr) {
+        metrics_.wal_durable_bytes =
+            std::max(metrics_.wal_durable_bytes, wal_->bytes_written());
+      }
+    }
   }
   CollectDeferredDeletes();
   if (instrument) RecordAppendLatency(append_start);
@@ -380,11 +512,30 @@ void TsEngine::RecordQueueWait(uint64_t queue_wait_micros) {
 }
 
 Status TsEngine::AppendLocked(const DataPoint& point,
-                              std::unique_lock<std::mutex>& lock) {
+                              std::unique_lock<std::mutex>& lock,
+                              storage::GroupCommitter::Ticket* ticket) {
+  if (options_.enable_wal && wal_ == nullptr && !wal_replaying_) {
+    // A failed rotation leaves the engine without a live log (the old one
+    // was retired, the replacement never opened). Acking appends in this
+    // state would hand out durability the store cannot provide — the
+    // crash-matrix test catches exactly this as acked-point loss.
+    return Status::IOError("wal unavailable after failed rotation");
+  }
   if (wal_ != nullptr && !wal_replaying_) {
-    SEPLSM_RETURN_IF_ERROR(wal_->Append(point));
-    if (options_.wal_sync_every_append) {
-      SEPLSM_RETURN_IF_ERROR(wal_->Sync());
+    if (wal_handle_ != nullptr && ticket != nullptr) {
+      // Group commit: hand the point to the shared commit thread.
+      // Enqueuing under mutex_ makes WAL record order match MemTable
+      // insert order; the caller Waits on the ticket only after releasing
+      // the lock, so appends from other threads pile into the same fsync.
+      *ticket = options_.wal_committer->Enqueue(wal_handle_, point);
+      if (*ticket == nullptr) {
+        return Status::Aborted("wal committer shutting down");
+      }
+    } else {
+      SEPLSM_RETURN_IF_ERROR(wal_->Append(point));
+      if (options_.wal_sync_every_append) {
+        SEPLSM_RETURN_IF_ERROR(SyncWalLocked());
+      }
     }
     ++metrics_.wal_records;
     metrics_.wal_bytes = wal_->bytes_written();
@@ -1004,11 +1155,39 @@ Status TsEngine::DrainMemTablesLocked(std::unique_lock<std::mutex>& lock) {
   return Status::OK();
 }
 
+Status TsEngine::SyncWalLocked() {
+  if (wal_ == nullptr) return Status::OK();
+  if (wal_handle_ != nullptr) {
+    // Everything already enqueued (Enqueue happens under mutex_, which we
+    // hold) must reach the device; the barrier waits out the committer's
+    // in-flight rounds, after which the direct Sync below covers any bytes
+    // the rounds buffered but did not yet sync.
+    options_.wal_committer->Barrier(wal_handle_);
+  }
+  const bool instrument = telemetry::Active(telemetry_);
+  const int64_t sync_start = instrument ? options_.clock->NowNanos() : 0;
+  const uint64_t durable_before = metrics_.wal_durable_bytes;
+  SEPLSM_RETURN_IF_ERROR(wal_->Sync());
+  ++metrics_.wal_syncs;
+  metrics_.wal_durable_bytes = wal_->bytes_written();
+  if (instrument) {
+    const uint64_t newly_durable =
+        metrics_.wal_durable_bytes > durable_before
+            ? metrics_.wal_durable_bytes - durable_before
+            : 0;
+    telemetry_->RecordSpan(telemetry::SpanType::kWalSync,
+                           telemetry_series_id_, sync_start,
+                           options_.clock->NowNanos(), /*points=*/0,
+                           /*bytes=*/newly_durable);
+  }
+  return Status::OK();
+}
+
 Status TsEngine::FlushAll() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     SEPLSM_RETURN_IF_ERROR(DrainMemTablesLocked(lock));
-    if (wal_ != nullptr) SEPLSM_RETURN_IF_ERROR(wal_->Sync());
+    SEPLSM_RETURN_IF_ERROR(SyncWalLocked());
   }
   CollectDeferredDeletes();
   return WaitForBackgroundIdle();
@@ -1018,7 +1197,10 @@ Status TsEngine::Checkpoint() {
   SEPLSM_RETURN_IF_ERROR(FlushAll());
   std::unique_lock<std::mutex> lock(mutex_);
   if (wal_ != nullptr) {
-    SEPLSM_RETURN_IF_ERROR(RotateWalLocked());
+    // FlushAll ran without this lock held throughout, so appends may have
+    // slipped in since; re-drain until quiescent before retiring the log.
+    SEPLSM_RETURN_IF_ERROR(DrainForWalRetireLocked(lock));
+    SEPLSM_RETURN_IF_ERROR(RotateWalLocked(nullptr));
     ++metrics_.wal_checkpoints;
   }
   return Status::OK();

@@ -20,6 +20,7 @@
 #include "storage/table_cache.h"
 #include "storage/version.h"
 #include "storage/wal.h"
+#include "storage/wal_committer.h"
 #include "telemetry/stats_dump.h"
 #include "telemetry/telemetry.h"
 
@@ -140,8 +141,14 @@ class TsEngine {
   Status Recover();
 
   // --- Write path (mutex_ held; `lock` owns mutex_ where passed) ---
+  /// With group commit, `ticket` (when non-null) receives the committer
+  /// ticket for this point's WAL record; the caller must Wait on it AFTER
+  /// releasing `mutex_` — waiting under the lock would cap every commit
+  /// round at one point. Null `ticket` (recovery replay, internal callers)
+  /// uses the direct WAL path.
   Status AppendLocked(const DataPoint& point,
-                      std::unique_lock<std::mutex>& lock);
+                      std::unique_lock<std::mutex>& lock,
+                      storage::GroupCommitter::Ticket* ticket = nullptr);
   Status HandleFullConventional(std::unique_lock<std::mutex>& lock);
   Status HandleFullSeq(std::unique_lock<std::mutex>& lock);
   Status HandleFullNonseq(std::unique_lock<std::mutex>& lock);
@@ -244,8 +251,25 @@ class TsEngine {
 
   size_t Level0FileCountLockedForRecovery();
   std::string WalPath() const;
-  Status RotateWalLocked();
+  /// Crash-safe WAL retirement: quiesces the committer, closes the old
+  /// writer (checked), writes `relog_points` (may be null/empty) into
+  /// `wal.log.new`, syncs and closes it, renames it over `wal.log`, syncs
+  /// the directory, and reopens the result as the live appendable writer.
+  /// At no instant is there a moment where un-persisted data exists only in
+  /// a destroyed log: a crash anywhere leaves either the old complete log
+  /// or the new complete log. `mutex_` must be held throughout.
+  Status RotateWalLocked(const std::vector<DataPoint>* relog_points);
   Status MaybeCheckpointWalLocked(std::unique_lock<std::mutex>& lock);
+  /// Drains until nothing buffered remains at an instant where `lock` is
+  /// continuously held through the caller's rotation. A plain drain is not
+  /// enough before retiring the log: sync-mode merges and background
+  /// flushes release `mutex_` during table I/O, so concurrent appends can
+  /// slip in — and their WAL records live in the log about to be retired,
+  /// so their points must be on disk first.
+  Status DrainForWalRetireLocked(std::unique_lock<std::mutex>& lock);
+  /// fsyncs the live WAL (via the committer's Barrier when group commit is
+  /// on) and advances the durable high-water metrics.
+  Status SyncWalLocked();
 
   /// Opens a reader for `file` — through the table cache when enabled,
   /// directly (with this engine's block-cache handle) otherwise. Shared
@@ -351,7 +375,14 @@ class TsEngine {
   telemetry::StatsDumper stats_dumper_;
   uint64_t timeline_batch_accum_ = 0;
   std::unique_ptr<storage::WalWriter> wal_;
+  /// Set during the recovery re-insert loop: replayed points are already in
+  /// the freshly rotated log, so AppendLocked must not re-log them, and
+  /// MaybeCheckpointWalLocked must not retire the log out from under the
+  /// not-yet-reinserted tail.
   bool wal_replaying_ = false;
+  /// This engine's registration with Options::wal_committer (null when
+  /// group commit is off). Re-pointed at the new writer on every rotation.
+  storage::GroupCommitter::Handle* wal_handle_ = nullptr;
   std::unique_ptr<storage::TableCache> table_cache_;
   uint64_t block_cache_owner_id_ = 0;
   storage::DeferredFileDeleter deleter_;

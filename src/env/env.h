@@ -11,7 +11,14 @@
 
 namespace seplsm {
 
-/// Append-only file handle used by the SSTable writer.
+/// Append-only file handle used by the SSTable writer and the WAL.
+///
+/// Durability contract: `Flush` pushes buffered bytes to the file system
+/// (visible to readers, not crash-durable); `Sync` additionally forces them
+/// to the device (`fdatasync` under PosixEnv) — data acknowledged by a
+/// successful `Sync` must survive a crash. `Close` flushes and releases the
+/// handle; its Status must be checked, since a buffered write can fail as
+/// late as close.
 class WritableFile {
  public:
   virtual ~WritableFile() = default;
@@ -46,6 +53,36 @@ class Env {
   virtual Status NewRandomAccessFile(
       const std::string& fname,
       std::unique_ptr<RandomAccessFile>* file) = 0;
+
+  /// Opens `fname` for appending, preserving existing contents (created
+  /// when absent). The base implementation emulates append by rewriting the
+  /// current contents through NewWritableFile; envs with native append
+  /// (PosixEnv via O_APPEND, MemEnv by seeding the buffer) override it.
+  virtual Status NewAppendableFile(const std::string& fname,
+                                   std::unique_ptr<WritableFile>* file) {
+    std::string existing;
+    if (FileExists(fname)) {
+      std::unique_ptr<RandomAccessFile> reader;
+      SEPLSM_RETURN_IF_ERROR(NewRandomAccessFile(fname, &reader));
+      SEPLSM_RETURN_IF_ERROR(
+          reader->Read(0, static_cast<size_t>(reader->Size()), &existing));
+    }
+    SEPLSM_RETURN_IF_ERROR(NewWritableFile(fname, file));
+    if (!existing.empty()) {
+      SEPLSM_RETURN_IF_ERROR((*file)->Append(existing));
+    }
+    return Status::OK();
+  }
+
+  /// Durability barrier for directory metadata: after a successful SyncDir,
+  /// every create/rename/remove previously performed inside `dirname` must
+  /// survive a crash. On Posix this is an fsync of the directory fd — a file
+  /// fsync alone does not make its directory entry durable. Envs without
+  /// real directories treat it as a no-op.
+  virtual Status SyncDir(const std::string& dirname) {
+    (void)dirname;
+    return Status::OK();
+  }
 
   virtual bool FileExists(const std::string& fname) = 0;
   virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;

@@ -1,28 +1,43 @@
 #include "env/fault_env.h"
 
+#include <algorithm>
+
 namespace seplsm {
 
 namespace {
 
 class FaultWritableFile final : public WritableFile {
  public:
-  FaultWritableFile(FaultInjectionEnv* env, std::unique_ptr<WritableFile> base)
-      : env_(env), base_(std::move(base)) {}
+  FaultWritableFile(FaultInjectionEnv* env, std::string fname,
+                    std::unique_ptr<WritableFile> base, uint64_t initial_bytes)
+      : env_(env),
+        fname_(std::move(fname)),
+        base_(std::move(base)),
+        bytes_(initial_bytes) {}
 
   Status Append(std::string_view data) override {
     SEPLSM_RETURN_IF_ERROR(env_->CheckOp());
-    return base_->Append(data);
+    SEPLSM_RETURN_IF_ERROR(base_->Append(data));
+    bytes_ += data.size();
+    return Status::OK();
   }
   Status Flush() override { return base_->Flush(); }
   Status Sync() override {
-    SEPLSM_RETURN_IF_ERROR(env_->CheckOp());
-    return base_->Sync();
+    SEPLSM_RETURN_IF_ERROR(env_->CheckSyncOp());
+    // Flush first so the base env's published contents cover everything the
+    // sync acknowledges (MemEnv publishes on Flush, PosixEnv on write(2)).
+    SEPLSM_RETURN_IF_ERROR(base_->Flush());
+    SEPLSM_RETURN_IF_ERROR(base_->Sync());
+    env_->MarkSynced(fname_, bytes_);
+    return Status::OK();
   }
   Status Close() override { return base_->Close(); }
 
  private:
   FaultInjectionEnv* env_;
+  std::string fname_;
   std::unique_ptr<WritableFile> base_;
+  uint64_t bytes_;  ///< total file size after our appends
 };
 
 class FaultRandomAccessFile final : public RandomAccessFile {
@@ -53,20 +68,86 @@ Status FaultInjectionEnv::CheckOp() {
   return Status::OK();
 }
 
-Status FaultInjectionEnv::NewWritableFile(
-    const std::string& fname, std::unique_ptr<WritableFile>* file) {
-  SEPLSM_RETURN_IF_ERROR(CheckOp());
-  std::unique_ptr<WritableFile> base_file;
-  SEPLSM_RETURN_IF_ERROR(base_->NewWritableFile(fname, &base_file));
-  *file = std::make_unique<FaultWritableFile>(this, std::move(base_file));
-  return Status::OK();
-}
-
 Status FaultInjectionEnv::CheckReadOp() {
   if (fail_reads_.load(std::memory_order_relaxed)) {
     return Status::IOError("injected read fault");
   }
   return CheckOp();
+}
+
+Status FaultInjectionEnv::CheckSyncOp() {
+  if (fail_syncs_.load(std::memory_order_relaxed)) {
+    return Status::IOError("injected sync fault");
+  }
+  return CheckOp();
+}
+
+void FaultInjectionEnv::MarkSynced(const std::string& fname, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tracked_.find(fname);
+  if (it != tracked_.end()) {
+    it->second.synced_bytes = std::max(it->second.synced_bytes, bytes);
+  }
+}
+
+std::string FaultInjectionEnv::ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return "";
+  return path.substr(0, slash);
+}
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* file) {
+  SEPLSM_RETURN_IF_ERROR(CheckOp());
+  const bool existed = base_->FileExists(fname);
+  std::unique_ptr<WritableFile> base_file;
+  SEPLSM_RETURN_IF_ERROR(base_->NewWritableFile(fname, &base_file));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A truncating create restarts durability from zero even for a file that
+    // was durable before: the truncation is modeled as hitting the device
+    // immediately, so a crash now leaves an empty file, not the old bytes.
+    // This is the harshest outcome Posix permits and the one that exposes
+    // truncate-in-place WAL rotation.
+    auto it = tracked_.find(fname);
+    if (it != tracked_.end()) {
+      it->second.synced_bytes = 0;  // entry durability carries over
+    } else {
+      FileState state;
+      state.synced_bytes = 0;
+      state.entry_durable = existed;  // entry predates us -> durable
+      tracked_.emplace(fname, state);
+    }
+  }
+  *file = std::make_unique<FaultWritableFile>(this, fname,
+                                              std::move(base_file), 0);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewAppendableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* file) {
+  SEPLSM_RETURN_IF_ERROR(CheckOp());
+  uint64_t existing = 0;
+  const bool existed = base_->FileExists(fname);
+  if (existed) {
+    SEPLSM_RETURN_IF_ERROR(base_->GetFileSize(fname, &existing));
+  }
+  std::unique_ptr<WritableFile> base_file;
+  SEPLSM_RETURN_IF_ERROR(base_->NewAppendableFile(fname, &base_file));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tracked_.find(fname);
+    if (it == tracked_.end()) {
+      // First touch: whatever is on "disk" predates us and is durable.
+      FileState state;
+      state.synced_bytes = existing;
+      state.entry_durable = existed;
+      tracked_.emplace(fname, state);
+    }
+  }
+  *file = std::make_unique<FaultWritableFile>(this, fname,
+                                              std::move(base_file), existing);
+  return Status::OK();
 }
 
 Status FaultInjectionEnv::NewRandomAccessFile(
@@ -75,6 +156,135 @@ Status FaultInjectionEnv::NewRandomAccessFile(
   std::unique_ptr<RandomAccessFile> base_file;
   SEPLSM_RETURN_IF_ERROR(base_->NewRandomAccessFile(fname, &base_file));
   *file = std::make_unique<FaultRandomAccessFile>(this, std::move(base_file));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
+  SEPLSM_RETURN_IF_ERROR(base_->RemoveFile(fname));
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Unlinks are modeled as immediately durable (no resurrection after
+  // crash); dropping the state keeps SimulateCrash from re-creating it.
+  tracked_.erase(fname);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& src,
+                                     const std::string& dst) {
+  PendingRename undo;
+  undo.src = src;
+  undo.dst = dst;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    undo.dst_existed = base_->FileExists(dst);
+    if (undo.dst_existed) {
+      SEPLSM_RETURN_IF_ERROR(ReadBaseFile(dst, &undo.old_dst_contents));
+    }
+    auto dst_it = tracked_.find(dst);
+    if (dst_it != tracked_.end()) {
+      undo.dst_was_tracked = true;
+      undo.old_dst_state = dst_it->second;
+    }
+    SEPLSM_RETURN_IF_ERROR(base_->RenameFile(src, dst));
+    // The moved file keeps its content durability but its directory entry
+    // under the new name is volatile until the next SyncDir.
+    FileState moved;
+    auto src_it = tracked_.find(src);
+    if (src_it != tracked_.end()) {
+      moved = src_it->second;
+      tracked_.erase(src_it);
+    } else {
+      uint64_t size = 0;
+      (void)base_->GetFileSize(dst, &size);
+      moved.synced_bytes = size;  // untracked source: previously durable
+      moved.entry_durable = true;
+    }
+    undo.src_entry_durable = moved.entry_durable;
+    moved.entry_durable = false;
+    tracked_[dst] = moved;
+    pending_renames_.push_back(std::move(undo));
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dirname) {
+  SEPLSM_RETURN_IF_ERROR(CheckSyncOp());
+  SEPLSM_RETURN_IF_ERROR(base_->SyncDir(dirname));
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [path, state] : tracked_) {
+    if (ParentDir(path) == dirname) state.entry_durable = true;
+  }
+  pending_renames_.erase(
+      std::remove_if(pending_renames_.begin(), pending_renames_.end(),
+                     [&](const PendingRename& r) {
+                       return ParentDir(r.dst) == dirname;
+                     }),
+      pending_renames_.end());
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::ReadBaseFile(const std::string& fname,
+                                       std::string* out) {
+  std::unique_ptr<RandomAccessFile> f;
+  SEPLSM_RETURN_IF_ERROR(base_->NewRandomAccessFile(fname, &f));
+  return f->Read(0, static_cast<size_t>(f->Size()), out);
+}
+
+Status FaultInjectionEnv::WriteBaseFile(const std::string& fname,
+                                        const std::string& contents) {
+  std::unique_ptr<WritableFile> f;
+  SEPLSM_RETURN_IF_ERROR(base_->NewWritableFile(fname, &f));
+  SEPLSM_RETURN_IF_ERROR(f->Append(contents));
+  return f->Close();
+}
+
+Status FaultInjectionEnv::SimulateCrash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // 1. Roll back renames whose directory entry never became durable,
+  //    newest first so chained renames unwind in order. The renamed file's
+  //    bytes travel back to the source name together with their tracking
+  //    state; the destination reverts to its pre-rename contents.
+  for (auto it = pending_renames_.rbegin(); it != pending_renames_.rend();
+       ++it) {
+    std::string current;
+    if (base_->FileExists(it->dst)) {
+      SEPLSM_RETURN_IF_ERROR(ReadBaseFile(it->dst, &current));
+      SEPLSM_RETURN_IF_ERROR(WriteBaseFile(it->src, current));
+    }
+    auto state_it = tracked_.find(it->dst);
+    if (state_it != tracked_.end()) {
+      FileState restored = state_it->second;
+      restored.entry_durable = it->src_entry_durable;
+      tracked_[it->src] = restored;
+      tracked_.erase(state_it);
+    }
+    if (it->dst_existed) {
+      SEPLSM_RETURN_IF_ERROR(WriteBaseFile(it->dst, it->old_dst_contents));
+      if (it->dst_was_tracked) tracked_[it->dst] = it->old_dst_state;
+    } else if (base_->FileExists(it->dst)) {
+      SEPLSM_RETURN_IF_ERROR(base_->RemoveFile(it->dst));
+      tracked_.erase(it->dst);
+    }
+  }
+  pending_renames_.clear();
+  // 2. Apply per-file durability: drop files whose entry never hit the
+  //    directory, truncate the rest to their last-synced prefix.
+  for (auto& [path, state] : tracked_) {
+    if (!base_->FileExists(path)) continue;
+    if (!state.entry_durable) {
+      SEPLSM_RETURN_IF_ERROR(base_->RemoveFile(path));
+      continue;
+    }
+    uint64_t size = 0;
+    SEPLSM_RETURN_IF_ERROR(base_->GetFileSize(path, &size));
+    if (size > state.synced_bytes) {
+      std::string contents;
+      SEPLSM_RETURN_IF_ERROR(ReadBaseFile(path, &contents));
+      contents.resize(static_cast<size_t>(state.synced_bytes));
+      SEPLSM_RETURN_IF_ERROR(WriteBaseFile(path, contents));
+    }
+  }
+  // The survivors are the new durable baseline.
+  tracked_.clear();
   return Status::OK();
 }
 

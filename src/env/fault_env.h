@@ -2,17 +2,39 @@
 #define SEPLSM_ENV_FAULT_ENV_H_
 
 #include <atomic>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "env/env.h"
 
 namespace seplsm {
 
-/// Fault-injection wrapper: after `fail_after_ops` successful I/O operations
-/// (appends + reads + opens), every subsequent operation returns IOError.
-/// Used by robustness tests to check that the engine surfaces errors as
-/// Status instead of crashing or corrupting state.
+/// Fault-injection wrapper with two cooperating roles:
+///
+/// 1. **Error injection** — after `fail_after_ops` successful I/O operations
+///    (appends + reads + opens + syncs + dir syncs), every subsequent
+///    operation returns IOError; `SetFailReads`/`SetFailSyncs` break one
+///    operation class selectively. Robustness tests use this to check that
+///    the engine surfaces errors as Status instead of crashing.
+///
+/// 2. **Crash simulation** — the env tracks, per file written through it,
+///    how many bytes the last successful Sync covered and whether the
+///    file's directory entry was made durable by a SyncDir. `SimulateCrash`
+///    rewinds the base env to exactly what a power loss would leave:
+///    * un-synced bytes past the last Sync are dropped (a truncating
+///      create counts as "synced to 0 immediately" — the harshest legal
+///      outcome, which is precisely what catches truncate-in-place bugs);
+///    * files created since the last SyncDir of their directory lose their
+///      directory entry entirely, even if their contents were fsynced;
+///    * renames not yet covered by a SyncDir are rolled back (the
+///      pre-rename destination is restored).
+///    Files that existed before this env first touched them are considered
+///    durable as-is; RemoveFile is modeled as immediately durable (no
+///    unlink resurrection). Call SimulateCrash only after the writers are
+///    closed/destroyed, the way a test tears the engine down first.
 class FaultInjectionEnv final : public Env {
  public:
   explicit FaultInjectionEnv(Env* base) : base_(base) {}
@@ -31,11 +53,26 @@ class FaultInjectionEnv final : public Env {
     fail_reads_.store(fail, std::memory_order_relaxed);
   }
 
+  /// Fails only WritableFile::Sync and SyncDir while buffered writes keep
+  /// succeeding — models a device whose write cache accepts data but whose
+  /// flush command errors. Data "written" under this fault must be treated
+  /// as volatile.
+  void SetFailSyncs(bool fail) {
+    fail_syncs_.store(fail, std::memory_order_relaxed);
+  }
+
   /// Number of I/O ops observed since the last SetFailAfterOps.
   int64_t ops() const { return ops_.load(std::memory_order_relaxed); }
 
+  /// Rewinds the base env to the durable state (see class comment), then
+  /// resets the tracking so the survivors form the new durable baseline.
+  /// Does not touch the fail switches; disarm them before reopening.
+  Status SimulateCrash();
+
   Status NewWritableFile(const std::string& fname,
                          std::unique_ptr<WritableFile>* file) override;
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* file) override;
   Status NewRandomAccessFile(
       const std::string& fname,
       std::unique_ptr<RandomAccessFile>* file) override;
@@ -45,12 +82,8 @@ class FaultInjectionEnv final : public Env {
   Status GetFileSize(const std::string& fname, uint64_t* size) override {
     return base_->GetFileSize(fname, size);
   }
-  Status RemoveFile(const std::string& fname) override {
-    return base_->RemoveFile(fname);
-  }
-  Status RenameFile(const std::string& src, const std::string& dst) override {
-    return base_->RenameFile(src, dst);
-  }
+  Status RemoveFile(const std::string& fname) override;
+  Status RenameFile(const std::string& src, const std::string& dst) override;
   Status CreateDirIfMissing(const std::string& dirname) override {
     return base_->CreateDirIfMissing(dirname);
   }
@@ -58,17 +91,52 @@ class FaultInjectionEnv final : public Env {
                  std::vector<std::string>* children) override {
     return base_->ListDir(dirname, children);
   }
+  Status SyncDir(const std::string& dirname) override;
 
   /// Internal: returns non-OK when the fault is tripped; counts the op.
   Status CheckOp();
   /// Internal: CheckOp plus the reads-only fault.
   Status CheckReadOp();
+  /// Internal: CheckOp plus the syncs-only fault.
+  Status CheckSyncOp();
+  /// Internal: a tracked file's Sync succeeded covering `bytes`.
+  void MarkSynced(const std::string& fname, uint64_t bytes);
 
  private:
+  /// Durability bookkeeping for one file written through this env.
+  struct FileState {
+    uint64_t synced_bytes = 0;  ///< prefix covered by the last Sync
+    bool entry_durable = false; ///< dir entry survived a SyncDir (or predates us)
+  };
+
+  /// Undo record for a rename not yet covered by SyncDir.
+  struct PendingRename {
+    std::string src;
+    std::string dst;
+    bool dst_existed = false;
+    std::string old_dst_contents;    ///< base contents of dst pre-rename
+    bool dst_was_tracked = false;
+    FileState old_dst_state;
+    /// Whether the SOURCE entry was durable pre-rename: a rollback must
+    /// restore the source with its old durability, not the destination
+    /// entry's (always-volatile) flag — else a crash would delete both
+    /// names, an outcome Posix never produces.
+    bool src_entry_durable = false;
+  };
+
+  static std::string ParentDir(const std::string& path);
+  Status ReadBaseFile(const std::string& fname, std::string* out);
+  Status WriteBaseFile(const std::string& fname, const std::string& contents);
+
   Env* base_;
   std::atomic<int64_t> fail_after_ops_{-1};
   std::atomic<bool> fail_reads_{false};
+  std::atomic<bool> fail_syncs_{false};
   std::atomic<int64_t> ops_{0};
+
+  std::mutex mutex_;                        ///< guards the tracking state
+  std::map<std::string, FileState> tracked_;
+  std::vector<PendingRename> pending_renames_;
 };
 
 }  // namespace seplsm

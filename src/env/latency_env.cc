@@ -89,6 +89,20 @@ Status LatencyEnv::NewWritableFile(const std::string& fname,
   return Status::OK();
 }
 
+Status LatencyEnv::NewAppendableFile(const std::string& fname,
+                                     std::unique_ptr<WritableFile>* file) {
+  std::unique_ptr<WritableFile> base_file;
+  SEPLSM_RETURN_IF_ERROR(base_->NewAppendableFile(fname, &base_file));
+  *file = std::make_unique<LatencyWritableFile>(this, std::move(base_file));
+  return Status::OK();
+}
+
+Status LatencyEnv::SyncDir(const std::string& dirname) {
+  // A directory fsync costs a seek like any other flush command.
+  if (model_.charge_writes) Charge(model_.seek_nanos);
+  return base_->SyncDir(dirname);
+}
+
 Status LatencyEnv::NewRandomAccessFile(
     const std::string& fname, std::unique_ptr<RandomAccessFile>* file) {
   opens_.fetch_add(1, std::memory_order_relaxed);

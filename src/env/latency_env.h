@@ -30,10 +30,13 @@ class LatencyEnv final : public Env {
 
   Status NewWritableFile(const std::string& fname,
                          std::unique_ptr<WritableFile>* file) override;
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* file) override;
   Status NewRandomAccessFile(
       const std::string& fname,
       std::unique_ptr<RandomAccessFile>* file) override;
   bool FileExists(const std::string& fname) override;
+  Status SyncDir(const std::string& dirname) override;
   Status GetFileSize(const std::string& fname, uint64_t* size) override;
   Status RemoveFile(const std::string& fname) override;
   Status RenameFile(const std::string& src, const std::string& dst) override;

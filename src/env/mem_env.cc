@@ -29,8 +29,8 @@ class MemRandomAccessFile final : public RandomAccessFile {
 
 class MemWritableFile final : public WritableFile {
  public:
-  MemWritableFile(MemEnv* env, std::string fname)
-      : env_(env), fname_(std::move(fname)) {}
+  MemWritableFile(MemEnv* env, std::string fname, std::string initial = "")
+      : env_(env), fname_(std::move(fname)), buffer_(std::move(initial)) {}
 
   ~MemWritableFile() override { PublishLocked(); }
 
@@ -62,6 +62,20 @@ class MemWritableFile final : public WritableFile {
 Status MemEnv::NewWritableFile(const std::string& fname,
                                std::unique_ptr<WritableFile>* file) {
   *file = std::make_unique<MemWritableFile>(this, fname);
+  return Status::OK();
+}
+
+Status MemEnv::NewAppendableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* file) {
+  // Seed the write buffer with the current contents; publishing then
+  // re-stores old + new bytes, exactly like O_APPEND on a real fs.
+  std::string existing;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = files_.find(fname);
+    if (it != files_.end()) existing = *it->second;
+  }
+  *file = std::make_unique<MemWritableFile>(this, fname, std::move(existing));
   return Status::OK();
 }
 

@@ -1,7 +1,11 @@
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <string>
 #include <system_error>
 
 #include "env/env.h"
@@ -16,42 +20,75 @@ Status ErrnoStatus(const std::string& context) {
   return Status::IOError(context + ": " + std::strerror(errno));
 }
 
+/// fd-based writable file: a user-space buffer in front of write(2), with
+/// Sync() = flush + fdatasync so acknowledged-durable bytes really reach
+/// the device. The previous FILE*-based implementation's Sync was fflush
+/// only — nothing ever hit the platter, and wal_sync_every_append was a
+/// silent no-op.
 class PosixWritableFile final : public WritableFile {
  public:
-  PosixWritableFile(std::string fname, std::FILE* f)
-      : fname_(std::move(fname)), file_(f) {}
+  PosixWritableFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {}
 
   ~PosixWritableFile() override {
-    if (file_ != nullptr) std::fclose(file_);
+    if (fd_ >= 0) {
+      // Best effort: callers that care about the result use Close().
+      (void)FlushBuffered();
+      ::close(fd_);
+    }
   }
 
   Status Append(std::string_view data) override {
-    if (file_ == nullptr) return Status::IOError(fname_ + ": closed");
-    size_t written = std::fwrite(data.data(), 1, data.size(), file_);
-    if (written != data.size()) return ErrnoStatus(fname_ + " write");
+    if (fd_ < 0) return Status::IOError(fname_ + ": closed");
+    buffer_.append(data.data(), data.size());
+    if (buffer_.size() >= kBufferBytes) return FlushBuffered();
     return Status::OK();
   }
 
   Status Flush() override {
-    if (file_ != nullptr && std::fflush(file_) != 0) {
-      return ErrnoStatus(fname_ + " flush");
-    }
+    if (fd_ < 0) return Status::IOError(fname_ + ": closed");
+    return FlushBuffered();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IOError(fname_ + ": closed");
+    SEPLSM_RETURN_IF_ERROR(FlushBuffered());
+    // fdatasync: file contents durable; size-change metadata is included,
+    // timestamps are not (we never rely on them).
+    if (::fdatasync(fd_) != 0) return ErrnoStatus(fname_ + " fdatasync");
     return Status::OK();
   }
 
-  Status Sync() override { return Flush(); }
-
   Status Close() override {
-    if (file_ == nullptr) return Status::OK();
-    int rc = std::fclose(file_);
-    file_ = nullptr;
-    if (rc != 0) return ErrnoStatus(fname_ + " close");
-    return Status::OK();
+    if (fd_ < 0) return Status::OK();
+    Status st = FlushBuffered();
+    if (::close(fd_) != 0 && st.ok()) st = ErrnoStatus(fname_ + " close");
+    fd_ = -1;
+    return st;
   }
 
  private:
+  static constexpr size_t kBufferBytes = 64 * 1024;
+
+  Status FlushBuffered() {
+    const char* p = buffer_.data();
+    size_t left = buffer_.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus(fname_ + " write");
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    buffer_.clear();
+    return Status::OK();
+  }
+
   std::string fname_;
-  std::FILE* file_;
+  int fd_;
+  std::string buffer_;
 };
 
 class PosixRandomAccessFile final : public RandomAccessFile {
@@ -89,10 +126,12 @@ class PosixEnv final : public Env {
  public:
   Status NewWritableFile(const std::string& fname,
                          std::unique_ptr<WritableFile>* file) override {
-    std::FILE* f = std::fopen(fname.c_str(), "wb");
-    if (f == nullptr) return ErrnoStatus(fname + " open for write");
-    *file = std::make_unique<PosixWritableFile>(fname, f);
-    return Status::OK();
+    return OpenWritable(fname, O_CREAT | O_TRUNC | O_WRONLY, file);
+  }
+
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* file) override {
+    return OpenWritable(fname, O_CREAT | O_APPEND | O_WRONLY, file);
   }
 
   Status NewRandomAccessFile(
@@ -154,6 +193,24 @@ class PosixEnv final : public Env {
       children->push_back(entry.path().filename().string());
     }
     if (ec) return Status::IOError(dirname + " list: " + ec.message());
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dirname) override {
+    int fd = ::open(dirname.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus(dirname + " open dir");
+    Status st;
+    if (::fsync(fd) != 0) st = ErrnoStatus(dirname + " fsync dir");
+    ::close(fd);
+    return st;
+  }
+
+ private:
+  Status OpenWritable(const std::string& fname, int flags,
+                      std::unique_ptr<WritableFile>* file) {
+    int fd = ::open(fname.c_str(), flags | O_CLOEXEC, 0644);
+    if (fd < 0) return ErrnoStatus(fname + " open for write");
+    *file = std::make_unique<PosixWritableFile>(fname, fd);
     return Status::OK();
   }
 };

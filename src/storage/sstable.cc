@@ -156,6 +156,14 @@ Result<FileMetadata> SSTableWriter::Finish() {
   SEPLSM_RETURN_IF_ERROR(file_->Append(footer_data));
   SEPLSM_RETURN_IF_ERROR(file_->Sync());
   SEPLSM_RETURN_IF_ERROR(file_->Close());
+  // The file's bytes are durable, but its directory entry is not until the
+  // parent directory is fsynced. Without this a crash after a compaction
+  // could drop the *new* tables while the old ones were already unlinked —
+  // losing points whose WAL records were retired at an earlier checkpoint.
+  size_t slash = path_.find_last_of('/');
+  if (slash != std::string::npos) {
+    SEPLSM_RETURN_IF_ERROR(env_->SyncDir(path_.substr(0, slash)));
+  }
 
   FileMetadata meta;
   meta.path = path_;

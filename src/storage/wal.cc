@@ -7,36 +7,70 @@
 
 namespace seplsm::storage {
 
+namespace {
+
+void EncodePoint(const DataPoint& point, std::string* payload) {
+  PutVarint64Signed(payload, point.generation_time);
+  PutVarint64Signed(payload, point.arrival_time - point.generation_time);
+  uint64_t bits;
+  std::memcpy(&bits, &point.value, sizeof(bits));
+  PutFixed64(payload, bits);
+}
+
+}  // namespace
+
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env,
                                                    const std::string& path) {
   std::unique_ptr<WritableFile> file;
   SEPLSM_RETURN_IF_ERROR(env->NewWritableFile(path, &file));
-  // Make the (empty) truncation visible immediately, so a rotation is
-  // durable even before the first record lands.
-  SEPLSM_RETURN_IF_ERROR(file->Flush());
-  return std::unique_ptr<WalWriter>(new WalWriter(std::move(file)));
+  return std::unique_ptr<WalWriter>(new WalWriter(std::move(file), 0));
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::OpenAppend(
+    Env* env, const std::string& path) {
+  uint64_t existing = 0;
+  if (env->FileExists(path)) {
+    SEPLSM_RETURN_IF_ERROR(env->GetFileSize(path, &existing));
+  }
+  std::unique_ptr<WritableFile> file;
+  SEPLSM_RETURN_IF_ERROR(env->NewAppendableFile(path, &file));
+  return std::unique_ptr<WalWriter>(new WalWriter(std::move(file), existing));
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) (void)file_->Close();
 }
 
 Status WalWriter::Append(const DataPoint& point) {
-  std::string payload;
-  PutVarint64Signed(&payload, point.generation_time);
-  PutVarint64Signed(&payload, point.arrival_time - point.generation_time);
-  uint64_t bits;
-  std::memcpy(&bits, &point.value, sizeof(bits));
-  PutFixed64(&payload, bits);
+  return AppendBatch(&point, 1);
+}
 
+Status WalWriter::AppendBatch(const DataPoint* points, size_t count) {
+  if (count == 0) return Status::OK();
+  if (file_ == nullptr) return Status::IOError("wal writer closed");
+  std::string payload;
+  payload.reserve(count * 20);
+  for (size_t i = 0; i < count; ++i) EncodePoint(points[i], &payload);
   std::string record;
   PutFixed32(&record, static_cast<uint32_t>(payload.size()));
   PutFixed32(&record, crc32c::Mask(crc32c::Value(payload)));
   record += payload;
   SEPLSM_RETURN_IF_ERROR(file_->Append(record));
-  bytes_written_ += record.size();
+  bytes_written_.fetch_add(record.size(), std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status WalWriter::Sync() {
+  if (file_ == nullptr) return Status::IOError("wal writer closed");
   SEPLSM_RETURN_IF_ERROR(file_->Flush());
   return file_->Sync();
+}
+
+Status WalWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status st = file_->Close();
+  file_.reset();
+  return st;
 }
 
 Result<std::vector<DataPoint>> ReadWal(Env* env, const std::string& path,
@@ -62,19 +96,31 @@ Result<std::vector<DataPoint>> ReadWal(Env* env, const std::string& path,
       if (tail_truncated != nullptr) *tail_truncated = true;
       break;  // corrupt tail
     }
-    DataPoint p;
-    int64_t delay;
-    uint64_t bits;
+    // One or more point encodings back to back; a record whose CRC passed
+    // but whose body does not decode cleanly still stops replay (encoder
+    // bug or version skew, not a torn write — but the safe reaction is the
+    // same: trust nothing at or past it).
     std::string_view body = payload;
-    if (!GetVarint64Signed(&body, &p.generation_time) ||
-        !GetVarint64Signed(&body, &delay) || !GetFixed64(&body, &bits) ||
-        !body.empty()) {
+    std::vector<DataPoint> batch;
+    bool bad = false;
+    while (!body.empty()) {
+      DataPoint p;
+      int64_t delay;
+      uint64_t bits;
+      if (!GetVarint64Signed(&body, &p.generation_time) ||
+          !GetVarint64Signed(&body, &delay) || !GetFixed64(&body, &bits)) {
+        bad = true;
+        break;
+      }
+      p.arrival_time = p.generation_time + delay;
+      std::memcpy(&p.value, &bits, sizeof(p.value));
+      batch.push_back(p);
+    }
+    if (bad) {
       if (tail_truncated != nullptr) *tail_truncated = true;
       break;
     }
-    p.arrival_time = p.generation_time + delay;
-    std::memcpy(&p.value, &bits, sizeof(p.value));
-    points.push_back(p);
+    points.insert(points.end(), batch.begin(), batch.end());
   }
   return points;
 }

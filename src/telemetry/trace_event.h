@@ -17,6 +17,7 @@ enum class SpanType : uint8_t {
   kStall,            ///< Append blocked on level-0 backpressure
   kQuery,            ///< one Query/Aggregate/Downsample call
   kPolicySwitch,     ///< π_c <-> π_s reconfiguration (instant event)
+  kWalSync,          ///< one WAL fsync (group commit or sync-every-append)
   kSpanTypeCount,    ///< sentinel, keep last
 };
 
@@ -33,6 +34,7 @@ inline const char* SpanTypeName(SpanType type) {
     case SpanType::kStall: return "stall";
     case SpanType::kQuery: return "query";
     case SpanType::kPolicySwitch: return "policy_switch";
+    case SpanType::kWalSync: return "wal_sync";
     case SpanType::kSpanTypeCount: break;
   }
   return "unknown";

@@ -134,6 +134,46 @@ TEST_P(EnvContractTest, OverwriteReplacesContents) {
   EXPECT_EQ(ReadWhole(env_, path), "v2");
 }
 
+TEST_P(EnvContractTest, AppendableFileCreatesWhenMissing) {
+  std::string path = dir_ + "/app.bin";
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewAppendableFile(path, &f).ok());
+  ASSERT_TRUE(f->Append("abc").ok());
+  ASSERT_TRUE(f->Close().ok());
+  EXPECT_EQ(ReadWhole(env_, path), "abc");
+}
+
+TEST_P(EnvContractTest, AppendableFileContinuesExisting) {
+  std::string path = dir_ + "/app2.bin";
+  WriteFile(env_, path, "head-");
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewAppendableFile(path, &f).ok());
+  ASSERT_TRUE(f->Append("tail").ok());
+  ASSERT_TRUE(f->Close().ok());
+  EXPECT_EQ(ReadWhole(env_, path), "head-tail");
+}
+
+TEST_P(EnvContractTest, SyncMakesDataReadable) {
+  // The functional half of the durability contract (crash semantics are
+  // covered by the fault env): after Sync, a concurrent reader sees every
+  // appended byte even while the file stays open for writing.
+  std::string path = dir_ + "/sync.bin";
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile(path, &f).ok());
+  ASSERT_TRUE(f->Append("durable").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  EXPECT_EQ(ReadWhole(env_, path), "durable");
+  ASSERT_TRUE(f->Append("+more").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  EXPECT_EQ(ReadWhole(env_, path), "durable+more");
+  ASSERT_TRUE(f->Close().ok());
+}
+
+TEST_P(EnvContractTest, SyncDirSucceeds) {
+  WriteFile(env_, dir_ + "/x.bin", "x");
+  EXPECT_TRUE(env_->SyncDir(dir_).ok());
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, EnvContractTest,
                          ::testing::Values("mem", "posix"),
                          [](const auto& info) { return info.param; });
@@ -218,6 +258,159 @@ TEST(FaultEnvTest, DisarmedPassesThrough) {
   FaultInjectionEnv env(&base);
   WriteFile(&env, "/f", "data");
   EXPECT_EQ(ReadWhole(&env, "/f"), "data");
+}
+
+TEST(FaultEnvTest, FailSyncsBreaksOnlySyncs) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  env.SetFailSyncs(true);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("/db/f", &f).ok());
+  ASSERT_TRUE(f->Append("abc").ok());       // buffered writes still succeed
+  EXPECT_TRUE(f->Sync().IsIOError());       // flush command errors
+  EXPECT_TRUE(env.SyncDir("/db").IsIOError());
+  env.SetFailSyncs(false);
+  EXPECT_TRUE(f->Sync().ok());
+}
+
+// --- SimulateCrash: the power-loss model the WAL crash matrix relies on ---
+
+TEST(FaultEnvCrashTest, UnsyncedTailIsDropped) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env.NewWritableFile("/db/f", &f).ok());
+    ASSERT_TRUE(f->Append("synced").ok());
+    ASSERT_TRUE(f->Sync().ok());
+    ASSERT_TRUE(f->Append("-volatile").ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  ASSERT_TRUE(env.SyncDir("/db").ok());  // entry durable, tail still volatile
+  ASSERT_TRUE(env.SimulateCrash().ok());
+  EXPECT_EQ(ReadWhole(&base, "/db/f"), "synced");
+}
+
+TEST(FaultEnvCrashTest, FileWithoutDirSyncLosesItsEntry) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env.NewWritableFile("/db/f", &f).ok());
+    ASSERT_TRUE(f->Append("content").ok());
+    ASSERT_TRUE(f->Sync().ok());  // content durable, entry not
+    ASSERT_TRUE(f->Close().ok());
+  }
+  ASSERT_TRUE(env.SimulateCrash().ok());
+  EXPECT_FALSE(base.FileExists("/db/f"));
+}
+
+TEST(FaultEnvCrashTest, PreexistingFilesAreDurableAsIs) {
+  MemEnv base;
+  WriteFile(&base, "/db/old", "ancient");
+  FaultInjectionEnv env(&base);
+  ASSERT_TRUE(env.SimulateCrash().ok());
+  EXPECT_EQ(ReadWhole(&base, "/db/old"), "ancient");
+}
+
+TEST(FaultEnvCrashTest, TruncatingCreateIsImmediatelyEmpty) {
+  // The harsh model that exposes truncate-in-place WAL rotation: re-creating
+  // a durable file truncates it on the device at once, so a crash right
+  // after leaves an empty file, not the old bytes.
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env.NewWritableFile("/db/f", &f).ok());
+    ASSERT_TRUE(f->Append("v1").ok());
+    ASSERT_TRUE(f->Sync().ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  ASSERT_TRUE(env.SyncDir("/db").ok());
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env.NewWritableFile("/db/f", &f).ok());  // truncating create
+    ASSERT_TRUE(f->Append("v2-unsynced").ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  ASSERT_TRUE(env.SimulateCrash().ok());
+  ASSERT_TRUE(base.FileExists("/db/f"));
+  EXPECT_EQ(ReadWhole(&base, "/db/f"), "");
+}
+
+TEST(FaultEnvCrashTest, UnsyncedRenameRollsBack) {
+  MemEnv base;
+  WriteFile(&base, "/db/dst", "old-dst");
+  FaultInjectionEnv env(&base);
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env.NewWritableFile("/db/src", &f).ok());
+    ASSERT_TRUE(f->Append("new").ok());
+    ASSERT_TRUE(f->Sync().ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  ASSERT_TRUE(env.RenameFile("/db/src", "/db/dst").ok());
+  ASSERT_TRUE(env.SimulateCrash().ok());  // no SyncDir: rename undone
+  // The pre-rename destination is restored; the source was created in this
+  // epoch without a directory sync, so its entry is gone too.
+  EXPECT_EQ(ReadWhole(&base, "/db/dst"), "old-dst");
+  EXPECT_FALSE(base.FileExists("/db/src"));
+}
+
+TEST(FaultEnvCrashTest, UnsyncedRenameOfDurableSourceKeepsTheSource) {
+  // A rename of a previously-durable file, crash before SyncDir: the file
+  // must still exist under its OLD name — a crash can undo the rename, but
+  // never delete both names.
+  MemEnv base;
+  WriteFile(&base, "/db/src", "payload");
+  FaultInjectionEnv env(&base);
+  ASSERT_TRUE(env.RenameFile("/db/src", "/db/dst").ok());
+  ASSERT_TRUE(env.SimulateCrash().ok());
+  EXPECT_EQ(ReadWhole(&base, "/db/src"), "payload");
+  EXPECT_FALSE(base.FileExists("/db/dst"));
+}
+
+TEST(FaultEnvCrashTest, DirSyncedRenameSurvives) {
+  MemEnv base;
+  WriteFile(&base, "/db/dst", "old-dst");
+  FaultInjectionEnv env(&base);
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env.NewWritableFile("/db/src", &f).ok());
+    ASSERT_TRUE(f->Append("new").ok());
+    ASSERT_TRUE(f->Sync().ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  ASSERT_TRUE(env.RenameFile("/db/src", "/db/dst").ok());
+  ASSERT_TRUE(env.SyncDir("/db").ok());
+  ASSERT_TRUE(env.SimulateCrash().ok());
+  EXPECT_EQ(ReadWhole(&base, "/db/dst"), "new");
+  EXPECT_FALSE(base.FileExists("/db/src"));
+}
+
+TEST(FaultEnvCrashTest, RemoveIsImmediatelyDurable) {
+  MemEnv base;
+  WriteFile(&base, "/db/f", "x");
+  FaultInjectionEnv env(&base);
+  ASSERT_TRUE(env.RemoveFile("/db/f").ok());
+  ASSERT_TRUE(env.SimulateCrash().ok());
+  EXPECT_FALSE(base.FileExists("/db/f"));  // no unlink resurrection
+}
+
+TEST(FaultEnvCrashTest, AppendableFileFirstTouchKeepsExistingDurable) {
+  MemEnv base;
+  WriteFile(&base, "/db/log", "prefix");
+  FaultInjectionEnv env(&base);
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env.NewAppendableFile("/db/log", &f).ok());
+    ASSERT_TRUE(f->Append("-unsynced").ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  ASSERT_TRUE(env.SimulateCrash().ok());
+  // The pre-existing prefix predates the env and stays; the un-synced
+  // appended tail is dropped.
+  EXPECT_EQ(ReadWhole(&base, "/db/log"), "prefix");
 }
 
 }  // namespace

@@ -96,6 +96,93 @@ TEST(WalTest, CorruptMiddleStopsReplay) {
   EXPECT_TRUE(back->empty());
 }
 
+TEST(WalTest, BatchRecordRoundTrip) {
+  MemEnv env;
+  auto writer = WalWriter::Open(&env, "/wal");
+  ASSERT_TRUE(writer.ok());
+  // One multi-point record followed by a single-point record: replay walks
+  // through both framings in one log.
+  ASSERT_TRUE((*writer)->AppendBatch(SamplePoints()).ok());
+  ASSERT_TRUE((*writer)->Append({999, 1000, 7.0}).ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  auto back = ReadWal(&env, "/wal");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 4u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ((*back)[i], SamplePoints()[i]);
+  EXPECT_EQ((*back)[3], (DataPoint{999, 1000, 7.0}));
+}
+
+TEST(WalTest, EmptyBatchIsNoOp) {
+  MemEnv env;
+  auto writer = WalWriter::Open(&env, "/wal");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendBatch(nullptr, 0).ok());
+  EXPECT_EQ((*writer)->bytes_written(), 0u);
+}
+
+TEST(WalTest, TornBatchRecordDropsWholeBatch) {
+  MemEnv env;
+  {
+    auto writer = WalWriter::Open(&env, "/wal");
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append({1, 2, 1.0}).ok());
+    ASSERT_TRUE((*writer)->AppendBatch(SamplePoints()).ok());
+    ASSERT_TRUE((*writer)->Sync().ok());
+  }
+  // Chop into the batch record: its CRC fails, so ALL of its points are
+  // distrusted — only the intact first record survives.
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env.NewRandomAccessFile("/wal", &f).ok());
+  std::string contents;
+  ASSERT_TRUE(f->Read(0, f->Size() - 2, &contents).ok());
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env.NewWritableFile("/wal", &w).ok());
+  ASSERT_TRUE(w->Append(contents).ok());
+  ASSERT_TRUE(w->Close().ok());
+
+  bool truncated = false;
+  auto back = ReadWal(&env, "/wal", &truncated);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(truncated);
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ((*back)[0], (DataPoint{1, 2, 1.0}));
+}
+
+TEST(WalTest, OpenAppendContinuesExistingLog) {
+  MemEnv env;
+  uint64_t first_size = 0;
+  {
+    auto writer = WalWriter::Open(&env, "/wal");
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append({1, 2, 1.0}).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+    first_size = (*writer)->bytes_written();
+  }
+  {
+    auto writer = WalWriter::OpenAppend(&env, "/wal");
+    ASSERT_TRUE(writer.ok());
+    // bytes_written starts at the existing size, so checkpoint policies see
+    // the true log length.
+    EXPECT_EQ((*writer)->bytes_written(), first_size);
+    ASSERT_TRUE((*writer)->Append({2, 3, 2.0}).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto back = ReadWal(&env, "/wal");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0], (DataPoint{1, 2, 1.0}));
+  EXPECT_EQ((*back)[1], (DataPoint{2, 3, 2.0}));
+}
+
+TEST(WalTest, CloseIsIdempotentAndSurfacesState) {
+  MemEnv env;
+  auto writer = WalWriter::Open(&env, "/wal");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append({1, 2, 1.0}).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  ASSERT_TRUE((*writer)->Close().ok());  // second close: no-op
+}
+
 TEST(WalTest, BytesWrittenGrows) {
   MemEnv env;
   auto writer = WalWriter::Open(&env, "/wal");

@@ -121,7 +121,8 @@ int Usage() {
                "[flags]\n"
                "  generate --dataset=M1..M12|s9|h --points=N --out=csv\n"
                "  ingest   --trace=csv --dir=path [--policy=pi_c|pi_s]\n"
-               "           [--n=512] [--nseq=256] [--wal] [--gorilla] [--bg]\n"
+               "           [--n=512] [--nseq=256] [--wal] [--wal-sync-every]\n"
+               "           [--wal-group-commit] [--gorilla] [--bg]\n"
                "           [--bg-threads=T] [--cache-mb=M] [--cache-shards=S]\n"
                "           [--trace-out=f] [--stats-dump-ms=T]\n"
                "  query    --dir=path --lo=T --hi=T [--bucket=W]\n"
@@ -191,6 +192,11 @@ int CmdIngest(const Flags& flags) {
     options.policy = engine::PolicyConfig::Conventional(n);
   }
   options.enable_wal = flags.GetBool("wal");
+  options.wal_sync_every_append = flags.GetBool("wal-sync-every");
+  options.wal_group_commit = flags.GetBool("wal-group-commit");
+  if (options.wal_sync_every_append || options.wal_group_commit) {
+    options.enable_wal = true;  // durable modes imply the log itself
+  }
   options.background_mode = flags.GetBool("bg");
   // Worker count for the background scheduler (0 = hardware concurrency);
   // a single engine uses at most one job at a time, but the flag matters
@@ -363,6 +369,11 @@ int CmdStats(const Flags& flags) {
     options.policy = engine::PolicyConfig::Conventional(n);
   }
   options.enable_wal = flags.GetBool("wal");
+  options.wal_sync_every_append = flags.GetBool("wal-sync-every");
+  options.wal_group_commit = flags.GetBool("wal-group-commit");
+  if (options.wal_sync_every_append || options.wal_group_commit) {
+    options.enable_wal = true;
+  }
   options.background_mode = flags.GetBool("bg");
   options.background_threads =
       static_cast<size_t>(flags.GetInt("bg-threads", 0));
