@@ -181,8 +181,17 @@ def compare_scheduler(gate, base, cur):
                         centry["bg_flush_jobs"] + centry["bg_compaction_jobs"]
                         > 0)
         if multicore:
-            gate.check_close(f"scheduler bg_threads={threads} speedup_vs_1",
-                             centry["speedup_vs_1"], bentry["speedup_vs_1"])
+            # Either side may have recorded null (machine-skipped on a
+            # 1-thread host, even if hardware_threads was reported > 1 by a
+            # later regeneration): nothing to compare then.
+            if (centry.get("speedup_vs_1") is None or
+                    bentry.get("speedup_vs_1") is None):
+                gate.skip(f"scheduler bg_threads={threads} speedup_vs_1 "
+                          f"(recorded as null)")
+            else:
+                gate.check_close(
+                    f"scheduler bg_threads={threads} speedup_vs_1",
+                    centry["speedup_vs_1"], bentry["speedup_vs_1"])
 
 
 def compare_wal(gate, base, cur):
@@ -237,6 +246,61 @@ def compare_wal(gate, base, cur):
                          base["speedup_group_vs_sync_8t"])
 
 
+def compare_ingest(gate, base, cur):
+    """Point accounting always gates; throughput scaling only on multicore.
+
+    Every row must ingest exactly the configured number of points and log
+    exactly one WAL record per point (batching changes framing, never
+    count), and the writers=1 rows must carry a populated stall histogram
+    (zero stalls is fine; a missing histogram means the telemetry plumbing
+    broke). points/sec, ns/point, and stall microseconds are wall-clock —
+    advisory only. speedup_vs_1 gates like the scheduler bench: only when
+    both runs saw real parallelism, and the 8-writer/2048-series row must
+    then clear the 3.0x acceptance floor from the tentpole issue.
+    """
+    if not require_same_config(gate, "ingest", base, cur,
+                               ("points_per_config", "batch", "budget")):
+        return
+    base_rows = {(r["writers"], r["series"]): r for r in base["rows"]}
+    cur_rows = {(r["writers"], r["series"]): r for r in cur["rows"]}
+    multicore = (base.get("hardware_threads", 1) > 1 and
+                 cur.get("hardware_threads", 1) > 1)
+    if not multicore:
+        gate.skip("ingest speedup_vs_1 assertions "
+                  f"(hardware_threads: baseline="
+                  f"{base.get('hardware_threads')}, current="
+                  f"{cur.get('hardware_threads')}; need > 1 on both)")
+    for key, bentry in base_rows.items():
+        writers, series = key
+        if key not in cur_rows:
+            gate.fail(f"ingest: writers={writers}/series={series} missing "
+                      f"from current sweep")
+            continue
+        centry = cur_rows[key]
+        gate.check_equal(f"ingest w{writers}/s{series} points_ingested",
+                         centry["points_ingested"], centry["points_total"])
+        gate.check_equal(f"ingest w{writers}/s{series} wal_records",
+                         centry["wal_records"], centry["points_total"])
+        gate.check_true(f"ingest w{writers}/s{series} stall histogram "
+                        f"present",
+                        "stall_count" in centry and
+                        centry["stall_count"] >= centry["writer_stalls"])
+        if multicore:
+            if (centry.get("speedup_vs_1") is None or
+                    bentry.get("speedup_vs_1") is None):
+                gate.skip(f"ingest w{writers}/s{series} speedup_vs_1 "
+                          f"(recorded as null)")
+                continue
+            gate.check_close(f"ingest w{writers}/s{series} speedup_vs_1",
+                             centry["speedup_vs_1"], bentry["speedup_vs_1"])
+            if writers >= 8 and series >= 2048:
+                gate.checked += 1
+                if centry["speedup_vs_1"] < 3.0:
+                    gate.fail(f"ingest w{writers}/s{series} speedup_vs_1 "
+                              f"{centry['speedup_vs_1']} < 3.0 acceptance "
+                              f"floor")
+
+
 COMPARATORS = {
     "fig12_read_amp": compare_fig12,
     "fig13_recent_latency": compare_fig13,
@@ -244,6 +308,7 @@ COMPARATORS = {
     "pruning_ab": compare_pruning,
     "multi_series_parallel_ingest": compare_scheduler,
     "wal_group_commit": compare_wal,
+    "ingest_multicore": compare_ingest,
 }
 
 
@@ -322,6 +387,63 @@ def self_test():
     gate = Gate(DEFAULT_TOLERANCE)
     compare_scheduler(gate, sched_base, sched_cur)
     assert gate.errors, "a 5x speedup regression on multicore must fail"
+
+    sched_null = json.loads(json.dumps(sched_base))
+    sched_null["sweep"][0]["speedup_vs_1"] = None  # 1-core regeneration
+    gate = Gate(DEFAULT_TOLERANCE)
+    compare_scheduler(gate, sched_base, sched_null)
+    assert not gate.errors, \
+        f"null speedups must skip, not crash the gate: {gate.errors}"
+    assert gate.skipped, "the null skip must be reported"
+
+    ing_base = {
+        "bench": "ingest_multicore", "points_per_config": 96000,
+        "batch": 64, "budget": 512, "hardware_threads": 1,
+        "rows": [
+            {"writers": 1, "series": 2048, "points_total": 96000,
+             "points_per_sec": 4.0e6, "speedup_vs_1": None,
+             "points_ingested": 96000, "wal_records": 96000,
+             "writer_stalls": 0, "stall_count": 0,
+             "stall_p50_micros": 0.0, "stall_p99_micros": 0.0},
+            {"writers": 8, "series": 2048, "points_total": 96000,
+             "points_per_sec": 3.5e6, "speedup_vs_1": None,
+             "points_ingested": 96000, "wal_records": 96000,
+             "writer_stalls": 2, "stall_count": 2,
+             "stall_p50_micros": 10.0, "stall_p99_micros": 50.0},
+        ],
+    }
+    ing_cur = json.loads(json.dumps(ing_base))
+    ing_cur["rows"][1]["points_per_sec"] = 0.5e6  # slow is fine: no gate
+    gate = Gate(DEFAULT_TOLERANCE)
+    compare_ingest(gate, ing_base, ing_cur)
+    assert not gate.errors, \
+        f"ingest wall-clock must not gate on a 1-core host: {gate.errors}"
+    assert gate.skipped, "the 1-core ingest skip must be reported"
+
+    ing_lost = json.loads(json.dumps(ing_base))
+    ing_lost["rows"][0]["points_ingested"] = 95999  # dropped a point
+    gate = Gate(DEFAULT_TOLERANCE)
+    compare_ingest(gate, ing_base, ing_lost)
+    assert gate.errors, "a dropped point must fail the ingest gate"
+
+    ing_unlogged = json.loads(json.dumps(ing_base))
+    ing_unlogged["rows"][1]["wal_records"] = 1500  # batching ate records
+    gate = Gate(DEFAULT_TOLERANCE)
+    compare_ingest(gate, ing_base, ing_unlogged)
+    assert gate.errors, \
+        "batching must never change the WAL record count (one per point)"
+
+    ing_mc_base = json.loads(json.dumps(ing_base))
+    ing_mc_base["hardware_threads"] = 8
+    for row in ing_mc_base["rows"]:
+        row["speedup_vs_1"] = 1.0 if row["writers"] == 1 else 4.2
+    ing_mc_cur = json.loads(json.dumps(ing_mc_base))
+    ing_mc_cur["rows"][1]["speedup_vs_1"] = 2.0  # scaling collapsed
+    gate = Gate(DEFAULT_TOLERANCE)
+    compare_ingest(gate, ing_mc_base, ing_mc_cur)
+    assert gate.errors, "a multicore scaling collapse must fail"
+    assert any("acceptance floor" in e for e in gate.errors), \
+        "the 8-writer/2048-series row must enforce the 3.0x floor"
 
     fig12_base = {
         "bench": "fig12_read_amp", "points": 1000, "budget": 512,

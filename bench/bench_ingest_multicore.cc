@@ -1,0 +1,288 @@
+// Multicore ingest scaling: W pinned writer threads drive S series through
+// MultiSeriesDB::AppendBatch over MemEnv, sweeping writers {1,2,4,8} x
+// series {1,64,2048}. Reports aggregate points/sec, points/sec per writer,
+// ns per point, writer-stall p50/p99 (from the engine's own telemetry
+// histograms), and shard-lock contention.
+//
+// Honest-numbers policy: each writer is pinned to a distinct core when the
+// host has one to give (pthread_setaffinity_np; "pinned" in the JSON says
+// whether it stuck), and speedup_vs_1 is emitted as null whenever the host
+// has a single hardware thread — a 1-core box cannot demonstrate scaling,
+// and pretending otherwise is how BENCH_scheduler.json's old numbers went
+// stale. The regression checker gates only the machine-independent rows
+// (point accounting, WAL record counts, stall-histogram presence) unless
+// both baseline and current run were truly multicore.
+//
+// Work assignment: the point stream is cut into fixed-size batches; batch b
+// goes to series (b % S) and writer (b % W). With W > S writers share
+// series, so per-series generation times may arrive slightly out of order
+// across writers — deliberate: that is the workload the paper's engine is
+// for, and it keeps the batch path's in-order/out-of-order classification
+// honest under concurrency.
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/multi_series_db.h"
+#include "env/mem_env.h"
+#include "format/simd.h"
+#include "telemetry/telemetry.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace seplsm {
+namespace {
+
+/// Pins the calling thread to `core` (mod the host's cpu count). Returns
+/// false where unsupported or refused; the bench proceeds unpinned.
+bool PinToCore(unsigned core) {
+#if defined(__linux__)
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % hw, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+struct ConfigResult {
+  size_t writers = 0;
+  size_t series = 0;
+  size_t shards = 0;
+  uint64_t points_total = 0;
+  double points_per_sec = 0.0;
+  double ns_per_point = 0.0;
+  bool pinned = false;
+  // Machine-independent accounting (always gated by the checker).
+  uint64_t points_ingested = 0;
+  uint64_t wal_records = 0;
+  uint64_t writer_stalls = 0;
+  uint64_t shard_lock_waits = 0;
+  // Stall latency distribution from the engine's kStall histogram.
+  telemetry::LatencySummary stall;
+};
+
+/// One measured configuration: `writers` threads push `total_points` in
+/// `batch`-point AppendBatch calls across `num_series` series.
+ConfigResult MeasureConfig(size_t writers, size_t num_series,
+                           size_t total_points, size_t batch, size_t budget) {
+  MemEnv env;
+  auto telemetry = std::make_shared<telemetry::Telemetry>();
+  engine::MultiSeriesDB::MultiOptions o;
+  o.base.env = &env;
+  o.base.dir = "/ingest";
+  o.base.policy = engine::PolicyConfig::Conventional(budget);
+  o.base.sstable_points = 512;
+  o.base.background_mode = true;
+  o.base.record_merge_events = false;
+  o.base.telemetry = telemetry;
+  // Full durable write path: group-commit WAL, so each AppendBatch is one
+  // multi-point record + one shared fsync ticket. wal_records (one per
+  // point, regardless of batching/framing) is what the regression gate
+  // pins.
+  o.base.enable_wal = true;
+  o.base.wal_group_commit = true;
+  auto open = engine::MultiSeriesDB::Open(std::move(o));
+  if (!open.ok()) std::exit(1);
+  auto& db = *open;
+
+  const size_t num_batches = (total_points + batch - 1) / batch;
+  std::atomic<bool> failed{false};
+  std::atomic<unsigned> pinned_ok{0};
+
+  telemetry::Stopwatch watch;
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      if (PinToCore(static_cast<unsigned>(w))) {
+        pinned_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::vector<DataPoint> buf;
+      buf.reserve(batch);
+      for (size_t b = w; b < num_batches; b += writers) {
+        const size_t s = b % num_series;
+        const size_t begin = b * batch;
+        const size_t end = std::min(begin + batch, total_points);
+        buf.clear();
+        for (size_t i = begin; i < end; ++i) {
+          // Per-series time advances with the series' batch sequence
+          // number, so each batch is internally sorted and successive
+          // batches of one series are monotone when W <= S.
+          const int64_t t =
+              static_cast<int64_t>((b / num_series) * batch + (i - begin));
+          buf.push_back({t, t, static_cast<double>(t)});
+        }
+        const std::string name = "series." + std::to_string(s);
+        if (!db->AppendBatch(name, buf.data(), buf.size()).ok()) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_ns = static_cast<double>(watch.ElapsedNanos());
+  if (failed.load() || !db->FlushAll().ok()) std::exit(1);
+
+  engine::Metrics m = db->GetAggregateMetrics();
+  ConfigResult r;
+  r.writers = writers;
+  r.series = num_series;
+  r.shards = db->shard_count();
+  r.points_total = total_points;
+  r.points_per_sec = static_cast<double>(total_points) * 1e9 / elapsed_ns;
+  r.ns_per_point = elapsed_ns / static_cast<double>(total_points);
+  r.pinned = pinned_ok.load() == writers;
+  r.points_ingested = m.points_ingested;
+  r.wal_records = m.wal_records;
+  r.writer_stalls = m.writer_stalls;
+  r.shard_lock_waits = m.shard_lock_waits;
+  r.stall = telemetry->registry().Summary(telemetry::SpanType::kStall);
+  return r;
+}
+
+std::vector<size_t> ParseSizeList(const char* p) {
+  std::vector<size_t> out;
+  while (*p != '\0') {
+    out.push_back(static_cast<size_t>(std::strtoull(p, nullptr, 10)));
+    p = std::strchr(p, ',');
+    if (p == nullptr) break;
+    ++p;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace seplsm
+
+int main(int argc, char** argv) {
+  using namespace seplsm;
+  auto args = bench::BenchArgs::Parse(argc, argv, /*default_points=*/96'000);
+
+  std::vector<size_t> writers_sweep = {1, 2, 4, 8};
+  std::vector<size_t> series_sweep = {1, 64, 2048};
+  size_t batch = 64;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--writers-sweep=", 16) == 0) {
+      writers_sweep = ParseSizeList(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--series-sweep=", 15) == 0) {
+      series_sweep = ParseSizeList(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+      batch = std::max<size_t>(1, std::strtoull(argv[i] + 8, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("=== Multicore batched ingest: writers x series sweep "
+              "(MemEnv, AppendBatch(%zu)) ===\n",
+              batch);
+  std::printf("(%zu points per config, budget n=%zu, host has %u hardware "
+              "thread%s, simd=%s)\n\n",
+              args.points, args.budget, hw, hw == 1 ? "" : "s",
+              format::SimdLevelName());
+  if (hw == 1) {
+    std::printf("NOTE: single hardware thread — speedup_vs_1 will be null "
+                "in the JSON (cannot be demonstrated here)\n\n");
+  }
+
+  bench::TablePrinter table(
+      {"series", "writers", "pts/sec", "pts/sec/writer", "ns/pt",
+       "speedup vs 1", "stalls", "stall p50 us", "stall p99 us",
+       "shard waits", "pinned"});
+  std::vector<ConfigResult> results;
+  for (size_t s : series_sweep) {
+    double base_tput = 0.0;
+    for (size_t w : writers_sweep) {
+      ConfigResult r =
+          MeasureConfig(w, s, args.points, batch, args.budget);
+      if (w == writers_sweep.front()) base_tput = r.points_per_sec;
+      results.push_back(r);
+      table.AddRow(
+          {std::to_string(s), std::to_string(w),
+           bench::Fmt(r.points_per_sec, 0),
+           bench::Fmt(r.points_per_sec / static_cast<double>(w), 0),
+           bench::Fmt(r.ns_per_point, 1),
+           hw > 1 ? bench::Fmt(r.points_per_sec / base_tput, 2)
+                  : std::string("n/a"),
+           bench::Fmt(r.writer_stalls), bench::Fmt(r.stall.p50_micros, 1),
+           bench::Fmt(r.stall.p99_micros, 1),
+           bench::Fmt(r.shard_lock_waits),
+           r.pinned ? std::string("yes") : std::string("no")});
+    }
+  }
+  table.Print();
+  std::printf("\n(points/sec should scale with writers once series spread "
+              "across shards; ns/pt at writers=1 series=1 is the "
+              "single-thread append floor)\n");
+  table.WriteCsv(args.out);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"ingest_multicore\",\n"
+                 "  \"points_per_config\": %zu,\n  \"batch\": %zu,\n"
+                 "  \"budget\": %zu,\n  \"hardware_threads\": %u,\n"
+                 "  \"simd\": \"%s\",\n  \"rows\": [\n",
+                 args.points, batch, args.budget, hw,
+                 format::SimdLevelName());
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ConfigResult& r = results[i];
+      // speedup_vs_1 keys off the first writers entry of the same series
+      // count; null on a 1-thread host (machine-skipped, never faked).
+      double base = 0.0;
+      for (const ConfigResult& q : results) {
+        if (q.series == r.series) {
+          base = q.points_per_sec;
+          break;
+        }
+      }
+      char speedup[32];
+      if (hw > 1 && base > 0.0) {
+        std::snprintf(speedup, sizeof(speedup), "%.3f",
+                      r.points_per_sec / base);
+      } else {
+        std::snprintf(speedup, sizeof(speedup), "null");
+      }
+      std::fprintf(
+          f,
+          "    {\"writers\": %zu, \"series\": %zu, \"shards\": %zu, "
+          "\"points_total\": %llu, \"points_per_sec\": %.1f, "
+          "\"ns_per_point\": %.1f, \"speedup_vs_1\": %s, "
+          "\"pinned\": %s, \"points_ingested\": %llu, "
+          "\"wal_records\": %llu, \"writer_stalls\": %llu, "
+          "\"shard_lock_waits\": %llu, \"stall_count\": %llu, "
+          "\"stall_p50_micros\": %.1f, \"stall_p99_micros\": %.1f}%s\n",
+          r.writers, r.series, r.shards,
+          static_cast<unsigned long long>(r.points_total), r.points_per_sec,
+          r.ns_per_point, speedup, r.pinned ? "true" : "false",
+          static_cast<unsigned long long>(r.points_ingested),
+          static_cast<unsigned long long>(r.wal_records),
+          static_cast<unsigned long long>(r.writer_stalls),
+          static_cast<unsigned long long>(r.shard_lock_waits),
+          static_cast<unsigned long long>(r.stall.count),
+          r.stall.p50_micros, r.stall.p99_micros,
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("(sweep written to %s)\n", json_path.c_str());
+  }
+  return 0;
+}

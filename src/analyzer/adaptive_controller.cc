@@ -62,6 +62,14 @@ Status AdaptiveController::Observe(const DataPoint& point) {
   return Status::OK();
 }
 
+Status AdaptiveController::ObserveBatch(const DataPoint* points,
+                                        size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    SEPLSM_RETURN_IF_ERROR(Observe(points[i]));
+  }
+  return Status::OK();
+}
+
 Status AdaptiveController::RunTuning() {
   auto fit = FitDelayDistribution(collector_.sample(), options_.fitter);
   if (!fit.ok()) return fit.status();

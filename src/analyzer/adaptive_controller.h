@@ -53,6 +53,12 @@ class AdaptiveController {
   /// Feeds one point's statistics; may trigger a policy switch.
   Status Observe(const DataPoint& point);
 
+  /// Feeds a whole batch in one call (the batched-append path): the caller
+  /// pays one call — and, in MultiSeriesDB, one shard-lock hold — per
+  /// batch instead of per point. Statistics and tuning triggers are
+  /// identical to `count` sequential Observes.
+  Status ObserveBatch(const DataPoint* points, size_t count);
+
   const std::vector<Decision>& decisions() const { return decisions_; }
   const DelayCollector& collector() const { return collector_; }
 

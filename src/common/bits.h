@@ -2,6 +2,7 @@
 #define SEPLSM_COMMON_BITS_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 
@@ -9,57 +10,101 @@ namespace seplsm {
 
 /// Appends bits (MSB-first within the stream) to a byte buffer. Used by the
 /// Gorilla-style value compressor in format/.
+///
+/// Word-at-a-time: bits accumulate right-aligned in a 64-bit register and
+/// whole bytes flush at once, so a 20-bit Write costs a shift, an OR, and
+/// two byte stores instead of twenty single-bit iterations. The emitted
+/// byte stream is identical to the historical bit-by-bit writer (the
+/// on-disk Gorilla format depends on it; golden blocks in tests/data/ pin
+/// it).
 class BitWriter {
  public:
   explicit BitWriter(std::string* out) : out_(out) {}
 
   /// Writes the low `count` bits of `bits`, most significant first.
+  /// count must be in [0, 64].
   void Write(uint64_t bits, int count) {
-    for (int i = count - 1; i >= 0; --i) {
-      current_ = static_cast<uint8_t>((current_ << 1) |
-                                      ((bits >> i) & 1));
-      if (++filled_ == 8) {
-        out_->push_back(static_cast<char>(current_));
-        current_ = 0;
-        filled_ = 0;
-      }
+    if (count <= 0) return;
+    if (count < 64) bits &= (uint64_t{1} << count) - 1;
+    // Between calls acc_bits_ < 8, so space >= 57; a split is only needed
+    // for writes of 58+ bits into a non-empty accumulator.
+    const int space = 64 - acc_bits_;
+    if (count > space) {
+      const int lo = count - space;
+      acc_ = (acc_ << space) | (bits >> lo);
+      acc_bits_ = 64;
+      FlushFullBytes();
+      bits &= (uint64_t{1} << lo) - 1;  // lo <= 7 here
+      count = lo;
     }
+    // count == 64 implies an empty accumulator (space was 64), where a
+    // 64-bit shift would be UB.
+    acc_ = (count == 64) ? bits : ((acc_ << count) | bits);
+    acc_bits_ += count;
+    FlushFullBytes();
   }
 
   void WriteBit(bool bit) { Write(bit ? 1 : 0, 1); }
 
   /// Pads the final partial byte with zeros.
   void Finish() {
-    if (filled_ > 0) {
-      current_ = static_cast<uint8_t>(current_ << (8 - filled_));
-      out_->push_back(static_cast<char>(current_));
-      current_ = 0;
-      filled_ = 0;
+    if (acc_bits_ > 0) {
+      acc_ <<= 8 - acc_bits_;  // acc_bits_ < 8 between calls
+      acc_bits_ = 8;
+      FlushFullBytes();
     }
   }
 
  private:
+  void FlushFullBytes() {
+    while (acc_bits_ >= 8) {
+      acc_bits_ -= 8;
+      out_->push_back(static_cast<char>((acc_ >> acc_bits_) & 0xFF));
+    }
+  }
+
   std::string* out_;
-  uint8_t current_ = 0;
-  int filled_ = 0;
+  uint64_t acc_ = 0;  ///< low acc_bits_ bits valid; higher bits are stale
+  int acc_bits_ = 0;  ///< < 8 between public calls
 };
 
-/// Reads bits written by BitWriter. Returns false on underflow.
+/// Reads bits written by BitWriter. Returns false on underflow (consuming
+/// nothing). Word-at-a-time: a Read loads up to eight bytes in one step
+/// and extracts the field with two shifts — no per-bit loop.
 class BitReader {
  public:
   explicit BitReader(std::string_view data) : data_(data) {}
 
+  /// Reads `count` bits ([0, 64]) MSB-first into *bits.
   bool Read(int count, uint64_t* bits) {
-    uint64_t value = 0;
-    for (int i = 0; i < count; ++i) {
-      size_t byte = pos_ / 8;
-      if (byte >= data_.size()) return false;
-      int shift = 7 - static_cast<int>(pos_ % 8);
-      value = (value << 1) |
-              ((static_cast<uint8_t>(data_[byte]) >> shift) & 1);
-      ++pos_;
+    if (count <= 0) {
+      *bits = 0;
+      return true;
     }
-    *bits = value;
+    const size_t total_bits = data_.size() * 8;
+    if (static_cast<size_t>(count) > total_bits - pos_ ||
+        pos_ > total_bits) {
+      return false;
+    }
+    const size_t byte = pos_ >> 3;
+    const int off = static_cast<int>(pos_ & 7);
+    if (off + count <= 64) {
+      // The field lives inside one 8-byte window: drop the `off` consumed
+      // bits off the top, right-align the wanted `count`.
+      uint64_t word = LoadBE64(byte);
+      word <<= off;  // off < 8, never 64
+      *bits = (count == 64) ? word : (word >> (64 - count));
+      pos_ += count;
+      return true;
+    }
+    // Field spans nine bytes (off > 0 and count > 56): take what the first
+    // window holds, then the remainder (< 8 bits) from the next byte.
+    const int first = 64 - off;
+    const uint64_t hi = (LoadBE64(byte) << off) >> off;  // low `first` bits
+    const int rest = count - first;
+    const uint64_t next = static_cast<uint8_t>(data_[byte + 8]);
+    *bits = (hi << rest) | (next >> (8 - rest));
+    pos_ += count;
     return true;
   }
 
@@ -74,6 +119,23 @@ class BitReader {
   size_t position() const { return pos_; }
 
  private:
+  /// Eight bytes starting at `byte` as a big-endian word (the stream is
+  /// MSB-first), zero-padded past the end of the buffer.
+  uint64_t LoadBE64(size_t byte) const {
+    if (byte + 8 <= data_.size()) {
+      uint64_t w;
+      std::memcpy(&w, data_.data() + byte, 8);
+      return __builtin_bswap64(w);  // little-endian host (see coding.h)
+    }
+    uint64_t w = 0;
+    const size_t n = data_.size() - byte;
+    for (size_t i = 0; i < n; ++i) {
+      w |= static_cast<uint64_t>(static_cast<uint8_t>(data_[byte + i]))
+           << (56 - 8 * i);
+    }
+    return w;
+  }
+
   std::string_view data_;
   size_t pos_ = 0;
 };

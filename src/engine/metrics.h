@@ -133,7 +133,9 @@ struct QueryStats {
   X(files_skipped, "SSTables pruned from queries by time-range metadata")    \
   X(blocks_skipped, "blocks pruned via index ranges or zone maps")           \
   X(blooms_negative, "series probes answered absent by the Bloom filter")    \
-  X(summary_hits, "aggregation windows served from table summaries")
+  X(summary_hits, "aggregation windows served from table summaries")         \
+  /* Sharded multi-series ingest plane (MultiSeriesDB lock striping) */      \
+  X(shard_lock_waits, "appends that contended on a MultiSeriesDB shard lock")
 
 /// Cumulative engine counters. Points are the unit of the paper's WA
 /// definition; bytes are tracked in parallel for completeness. The fields

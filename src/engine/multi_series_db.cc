@@ -1,6 +1,8 @@
 #include "engine/multi_series_db.h"
 
+#include <algorithm>
 #include <cctype>
+#include <functional>
 #include <thread>
 
 #include "common/logging.h"
@@ -19,6 +21,21 @@ int HexValue(char c) {
   if (c >= 'a' && c <= 'f') return c - 'a' + 10;
   if (c >= 'A' && c <= 'F') return c - 'A' + 10;
   return -1;
+}
+
+/// Stripe count: next power of two >= 4× the core count, capped. More
+/// stripes than writers keeps the collision probability low (W writers on
+/// 4W stripes ≈ 12% chance any two share one) at 1.5 KiB per stripe.
+size_t ResolveShardCount(size_t requested) {
+  size_t target = requested;
+  if (target == 0) {
+    size_t hw = std::thread::hardware_concurrency();
+    target = (hw == 0 ? 1 : hw) * 4;
+  }
+  target = std::min<size_t>(target, 256);
+  size_t n = 1;
+  while (n < target) n <<= 1;
+  return n;
 }
 
 }  // namespace
@@ -63,6 +80,23 @@ Result<std::string> MultiSeriesDB::UnescapeSeriesName(
   return out;
 }
 
+MultiSeriesDB::Shard& MultiSeriesDB::ShardFor(const std::string& series) {
+  return *shards_[std::hash<std::string>{}(series) & shard_mask_];
+}
+
+std::unique_lock<std::mutex> MultiSeriesDB::LockShard(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // The stripe is held: either two writers hashed onto it or an
+    // aggregate walk is passing through. Count it — climbing
+    // shard_lock_waits is the Prometheus-visible signal that the stripe
+    // count no longer matches the writer count.
+    shard_lock_waits_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
 Result<std::unique_ptr<MultiSeriesDB>> MultiSeriesDB::Open(
     MultiOptions options) {
   if (options.base.dir.empty()) {
@@ -97,6 +131,13 @@ Result<std::unique_ptr<MultiSeriesDB>> MultiSeriesDB::Open(
   const uint64_t dump_interval = options.base.stats_dump_interval_ms;
   options.base.stats_dump_interval_ms = 0;
   std::unique_ptr<MultiSeriesDB> db(new MultiSeriesDB(std::move(options)));
+  const size_t shard_count =
+      ResolveShardCount(db->options_.ingest_shards);
+  db->shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    db->shards_.push_back(std::make_unique<Shard>());
+  }
+  db->shard_mask_ = shard_count - 1;
   if (db->options_.series_bloom) {
     db->series_bloom_ =
         std::make_unique<SeriesBloom>(db->options_.series_bloom_bits);
@@ -117,46 +158,50 @@ Result<std::unique_ptr<MultiSeriesDB>> MultiSeriesDB::Open(
   // directories as children too; MemEnv needs the probe below.
   Status st = db->options_.base.env->ListDir(db->options_.base.dir, &children);
   if (st.ok()) {
-    std::lock_guard<std::mutex> lock(db->mutex_);
     for (const auto& child : children) {
       auto name = UnescapeSeriesName(child);
       if (!name.ok()) continue;  // unrelated file
+      Shard& shard = db->ShardFor(*name);
+      std::lock_guard<std::mutex> lock(shard.mutex);
       Series* series = nullptr;
-      SEPLSM_RETURN_IF_ERROR(db->OpenSeriesLocked(*name, &series));
+      SEPLSM_RETURN_IF_ERROR(db->OpenSeriesLocked(shard, *name, &series));
     }
   }
   return db;
 }
 
 MultiSeriesDB::~MultiSeriesDB() {
-  // The dump callback iterates the series map; stop it before teardown.
+  // The dump callback iterates the shards; stop it before teardown.
   stats_dumper_.Stop();
   // Engines first: each destructor drains its scheduler token. The shared
   // scheduler (held by options_.base.job_scheduler) dies last, with every
   // queue already empty.
-  series_.clear();
+  shards_.clear();
 }
 
 Status MultiSeriesDB::CloseSeries(const std::string& series) {
   Series entry;
+  Shard& shard = ShardFor(series);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = series_.find(series);
-    if (it == series_.end()) return Status::NotFound("series " + series);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.series.find(series);
+    if (it == shard.series.end()) return Status::NotFound("series " + series);
     entry = std::move(it->second);
-    series_.erase(it);
+    shard.series.erase(it);
   }
-  // `entry` dies here, outside the map lock: the engine destructor drains
+  // `entry` dies here, outside the shard lock: the engine destructor drains
   // this series' background jobs, which may take a while, and other series
-  // must keep appending meanwhile. (Members destruct controller-before-
-  // engine, so the controller never sees a dead engine.)
+  // — including same-shard ones — must keep appending meanwhile. (Members
+  // destruct controller-before-engine, so the controller never sees a dead
+  // engine.)
   return Status::OK();
 }
 
-Status MultiSeriesDB::OpenSeriesLocked(const std::string& series,
+Status MultiSeriesDB::OpenSeriesLocked(Shard& shard,
+                                       const std::string& series,
                                        Series** out) {
-  auto it = series_.find(series);
-  if (it == series_.end()) {
+  auto it = shard.series.find(series);
+  if (it == shard.series.end()) {
     Options options = options_.base;
     options.dir =
         options_.base.dir + "/" + EscapeSeriesName(series);
@@ -170,9 +215,8 @@ Status MultiSeriesDB::OpenSeriesLocked(const std::string& series,
     if (options_.adaptive) {
       entry.controller = std::make_unique<analyzer::AdaptiveController>(
           entry.engine.get(), options_.adaptive_options);
-      entry.observe_mutex = std::make_unique<std::mutex>();
     }
-    it = series_.emplace(series, std::move(entry)).first;
+    it = shard.series.emplace(series, std::move(entry)).first;
     // Publish to the bloom only after the engine opened: a failed open
     // must not leave a "present" trace for a series that does not exist.
     if (series_bloom_ != nullptr) series_bloom_->Insert(series);
@@ -183,26 +227,37 @@ Status MultiSeriesDB::OpenSeriesLocked(const std::string& series,
 
 Status MultiSeriesDB::Append(const std::string& series,
                              const DataPoint& point) {
+  return AppendBatch(series, &point, 1);
+}
+
+Status MultiSeriesDB::AppendBatch(const std::string& series,
+                                  const DataPoint* points, size_t count) {
+  if (count == 0) return Status::OK();
+  Shard& shard = ShardFor(series);
   Series* entry = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    SEPLSM_RETURN_IF_ERROR(OpenSeriesLocked(series, &entry));
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    SEPLSM_RETURN_IF_ERROR(OpenSeriesLocked(shard, series, &entry));
+    if (entry->controller != nullptr) {
+      // Observe runs under the shard lock (it mutates per-series analyzer
+      // state and may switch the engine policy); one ObserveBatch call per
+      // batch. With lock striping this no longer serializes unrelated
+      // series — only same-shard colliders wait, and those show up in
+      // shard_lock_waits.
+      SEPLSM_RETURN_IF_ERROR(entry->controller->ObserveBatch(points, count));
+    }
   }
-  if (entry->controller != nullptr) {
-    // Observe mutates per-series analyzer state and may switch the engine
-    // policy; serialize it against concurrent appenders to the same series
-    // (the series map lock is already released here by design, so one slow
-    // series cannot stall appends to every other).
-    std::lock_guard<std::mutex> observe_lock(*entry->observe_mutex);
-    SEPLSM_RETURN_IF_ERROR(entry->controller->Observe(point));
-  }
-  return entry->engine->Append(point);
+  // The engine has its own internal locking; map nodes are pointer-stable,
+  // and CloseSeries requires no in-flight operations on the closed series,
+  // so `entry` stays valid here without the shard lock.
+  if (count == 1) return entry->engine->Append(points[0]);
+  return entry->engine->AppendBatch(points, count);
 }
 
 Status MultiSeriesDB::Query(const std::string& series, int64_t lo, int64_t hi,
                             std::vector<DataPoint>* out, QueryStats* stats) {
-  // Negative probes resolve before the map mutex: a dashboard scanning ids
-  // that mostly do not exist here never contends with appenders.
+  // Negative probes resolve before any shard mutex: a dashboard scanning
+  // ids that mostly do not exist here never contends with appenders.
   if (series_bloom_ != nullptr && !series_bloom_->MayContain(series)) {
     blooms_negative_.fetch_add(1, std::memory_order_relaxed);
     if (stats != nullptr) {
@@ -211,11 +266,12 @@ Status MultiSeriesDB::Query(const std::string& series, int64_t lo, int64_t hi,
     }
     return Status::NotFound("series " + series);
   }
+  Shard& shard = ShardFor(series);
   Series* entry = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = series_.find(series);
-    if (it == series_.end()) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.series.find(series);
+    if (it == shard.series.end()) {
       return Status::NotFound("series " + series);
     }
     entry = &it->second;
@@ -224,55 +280,81 @@ Status MultiSeriesDB::Query(const std::string& series, int64_t lo, int64_t hi,
 }
 
 Status MultiSeriesDB::FlushAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& [name, entry] : series_) {
-    (void)name;
-    SEPLSM_RETURN_IF_ERROR(entry.engine->FlushAll());
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto& [name, entry] : shard->series) {
+      (void)name;
+      SEPLSM_RETURN_IF_ERROR(entry.engine->FlushAll());
+    }
   }
   return Status::OK();
 }
 
 std::vector<std::string> MultiSeriesDB::ListSeries() {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
-  out.reserve(series_.size());
-  for (const auto& [name, entry] : series_) {
-    (void)entry;
-    out.push_back(name);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [name, entry] : shard->series) {
+      (void)entry;
+      out.push_back(name);
+    }
   }
+  // Stripe layout is an implementation detail; callers see sorted ids
+  // exactly as the single-registry version returned them.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 size_t MultiSeriesDB::series_count() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return series_.size();
+  size_t n = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    n += shard->series.size();
+  }
+  return n;
 }
 
 Result<Metrics> MultiSeriesDB::GetSeriesMetrics(const std::string& series) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = series_.find(series);
-  if (it == series_.end()) return Status::NotFound("series " + series);
+  Shard& shard = ShardFor(series);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.series.find(series);
+  if (it == shard.series.end()) return Status::NotFound("series " + series);
   return it->second.engine->GetMetrics();
 }
 
 Metrics MultiSeriesDB::GetAggregateMetrics() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Metrics total;
-  for (auto& [name, entry] : series_) {
-    (void)name;
-    total.MergeFrom(entry.engine->GetMetrics());
+  // Walk shards collecting engine pointers name-sorted first, so the
+  // aggregate's concatenated event vectors keep the stripe-independent
+  // series order the single-registry version had.
+  std::vector<std::pair<std::string, Metrics>> per_series;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto& [name, entry] : shard->series) {
+      per_series.emplace_back(name, entry.engine->GetMetrics());
+    }
   }
-  // DB-level counter: bloom rejections never reach a series engine, so
-  // they are added here rather than in any per-series Metrics.
+  std::sort(per_series.begin(), per_series.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  Metrics total;
+  for (auto& [name, metrics] : per_series) {
+    (void)name;
+    total.MergeFrom(metrics);
+  }
+  // DB-level counters: bloom rejections and shard contention never reach a
+  // series engine, so they are added here rather than in any per-series
+  // Metrics.
   total.blooms_negative += blooms_negative_.load(std::memory_order_relaxed);
+  total.shard_lock_waits +=
+      shard_lock_waits_.load(std::memory_order_relaxed);
   return total;
 }
 
 Result<PolicyConfig> MultiSeriesDB::GetSeriesPolicy(
     const std::string& series) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = series_.find(series);
-  if (it == series_.end()) return Status::NotFound("series " + series);
+  Shard& shard = ShardFor(series);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.series.find(series);
+  if (it == shard.series.end()) return Status::NotFound("series " + series);
   return it->second.engine->options().policy;
 }
 

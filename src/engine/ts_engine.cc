@@ -424,6 +424,33 @@ int64_t TsEngine::MaxPersistedLocked() const {
   return version_.empty() ? kNoData : version_.MaxPersistedGenerationTime();
 }
 
+void TsEngine::WaitForWriteRoomLocked(std::unique_lock<std::mutex>& lock,
+                                      uint64_t points, bool instrument) {
+  // Backpressure counts level-0 files plus frozen batches a flush job
+  // has not yet written, so async flushing cannot grow memory
+  // unboundedly. The predicate must include the background error: if a
+  // job dies while the count is at the cap, nothing will ever shrink
+  // it, and a writer waiting only on the count would block forever.
+  auto have_room = [this] {
+    return version_.level0().size() + pending_flushes_.size() <
+               options_.max_level0_files ||
+           shutting_down_ || background_error_set_;
+  };
+  if (!have_room()) {
+    ++metrics_.writer_stalls;
+    const int64_t stall_start = options_.clock->NowNanos();
+    writer_cv_.wait(lock, have_room);
+    const int64_t stall_end = options_.clock->NowNanos();
+    metrics_.writer_stall_micros +=
+        static_cast<uint64_t>((stall_end - stall_start) / 1000);
+    if (instrument) {
+      telemetry_->RecordSpan(telemetry::SpanType::kStall,
+                             telemetry_series_id_, stall_start, stall_end,
+                             points);
+    }
+  }
+}
+
 Status TsEngine::Append(const DataPoint& point) {
   const bool instrument = telemetry::Active(telemetry_);
   const int64_t append_start =
@@ -434,29 +461,7 @@ Status TsEngine::Append(const DataPoint& point) {
     std::unique_lock<std::mutex> lock(mutex_);
     if (background_error_set_) return background_error_;
     if (options_.background_mode) {
-      // Backpressure counts level-0 files plus frozen batches a flush job
-      // has not yet written, so async flushing cannot grow memory
-      // unboundedly. The predicate must include the background error: if a
-      // job dies while the count is at the cap, nothing will ever shrink
-      // it, and a writer waiting only on the count would block forever.
-      auto have_room = [this] {
-        return version_.level0().size() + pending_flushes_.size() <
-                   options_.max_level0_files ||
-               shutting_down_ || background_error_set_;
-      };
-      if (!have_room()) {
-        ++metrics_.writer_stalls;
-        const int64_t stall_start = options_.clock->NowNanos();
-        writer_cv_.wait(lock, have_room);
-        const int64_t stall_end = options_.clock->NowNanos();
-        metrics_.writer_stall_micros +=
-            static_cast<uint64_t>((stall_end - stall_start) / 1000);
-        if (instrument) {
-          telemetry_->RecordSpan(telemetry::SpanType::kStall,
-                                 telemetry_series_id_, stall_start, stall_end,
-                                 /*points=*/1);
-        }
-      }
+      WaitForWriteRoomLocked(lock, /*points=*/1, instrument);
       if (background_error_set_) return background_error_;
       if (shutting_down_) return Status::Aborted("engine shutting down");
     }
@@ -481,7 +486,45 @@ Status TsEngine::Append(const DataPoint& point) {
   return st;
 }
 
-void TsEngine::RecordAppendLatency(int64_t start_nanos) {
+Status TsEngine::AppendBatch(const DataPoint* points, size_t count) {
+  if (count == 0) return Status::OK();
+  if (count == 1) return Append(points[0]);
+  const bool instrument = telemetry::Active(telemetry_);
+  const int64_t append_start = instrument ? options_.clock->NowNanos() : 0;
+  Status st;
+  storage::GroupCommitter::Ticket ticket;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (background_error_set_) return background_error_;
+    if (options_.background_mode) {
+      // Admission is batch-granular: one room check up front, then the
+      // whole batch goes in. Level 0 can overshoot the cap by the flushes
+      // one batch triggers — bounded, and the next writer absorbs the wait.
+      WaitForWriteRoomLocked(lock, count, instrument);
+      if (background_error_set_) return background_error_;
+      if (shutting_down_) return Status::Aborted("engine shutting down");
+    }
+    st = AppendBatchLocked(points, count, lock, &ticket);
+  }
+  if (st.ok() && ticket != nullptr) {
+    // One Wait covers the whole batch: EnqueueBatch put every point into
+    // the same commit round, so this OK means all `count` points are on
+    // the device.
+    st = options_.wal_committer->Wait(ticket);
+    if (st.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (wal_ != nullptr) {
+        metrics_.wal_durable_bytes =
+            std::max(metrics_.wal_durable_bytes, wal_->bytes_written());
+      }
+    }
+  }
+  CollectDeferredDeletes();
+  if (instrument) RecordAppendLatency(append_start, count);
+  return st;
+}
+
+void TsEngine::RecordAppendLatency(int64_t start_nanos, uint64_t points) {
   const int64_t end_nanos = options_.clock->NowNanos();
   telemetry_->registry().AddLatency(
       telemetry::SpanType::kAppend,
@@ -497,7 +540,7 @@ void TsEngine::RecordAppendLatency(int64_t start_nanos) {
   event.series_id = telemetry_series_id_;
   event.start_nanos = start_nanos;
   event.end_nanos = end_nanos;
-  event.points = 1;
+  event.points = points;
   telemetry_->tracer().Record(event);
 }
 
@@ -559,6 +602,60 @@ Status TsEngine::AppendLocked(const DataPoint& point,
   }
   if (st.ok()) st = MaybeCheckpointWalLocked(lock);
   if (st.ok()) MaybeRecordTimelineLocked();
+  return st;
+}
+
+Status TsEngine::AppendBatchLocked(const DataPoint* points, size_t count,
+                                   std::unique_lock<std::mutex>& lock,
+                                   storage::GroupCommitter::Ticket* ticket) {
+  if (options_.enable_wal && wal_ == nullptr && !wal_replaying_) {
+    return Status::IOError("wal unavailable after failed rotation");
+  }
+  if (wal_ != nullptr && !wal_replaying_) {
+    if (wal_handle_ != nullptr && ticket != nullptr) {
+      // Group commit: the whole batch is one enqueue and one ticket — one
+      // lock hold on the committer, one slot in the next commit round.
+      *ticket =
+          options_.wal_committer->EnqueueBatch(wal_handle_, points, count);
+      if (*ticket == nullptr) {
+        return Status::Aborted("wal committer shutting down");
+      }
+    } else {
+      // Direct WAL path: ONE multi-point CRC-framed record (recovery
+      // replays it all-or-nothing) and, in sync-every-append mode, ONE
+      // fsync for the batch — the batch is the durability unit.
+      SEPLSM_RETURN_IF_ERROR(wal_->AppendBatch(points, count));
+      if (options_.wal_sync_every_append) {
+        SEPLSM_RETURN_IF_ERROR(SyncWalLocked());
+      }
+    }
+    metrics_.wal_records += count;
+    metrics_.wal_bytes = wal_->bytes_written();
+  }
+  Status st;
+  for (size_t i = 0; st.ok() && i < count; ++i) {
+    const DataPoint& point = points[i];
+    ++metrics_.points_ingested;
+    max_seen_tg_ = std::max(max_seen_tg_, point.generation_time);
+    if (options_.policy.kind == PolicyKind::kConventional) {
+      c0_->Add(point);
+      if (c0_->full()) st = HandleFullConventional(lock);
+    } else {
+      // Each point is classified individually: a mid-batch flush moves the
+      // persisted horizon, which can flip later points of the same batch
+      // from non-sequential to sequential (Definition 3 is stateful).
+      int64_t last = MaxPersistedLocked();
+      if (point.generation_time > last) {
+        cseq_->Add(point);
+        if (cseq_->full()) st = HandleFullSeq(lock);
+      } else {
+        cnonseq_->Add(point);
+        if (cnonseq_->full()) st = HandleFullNonseq(lock);
+      }
+    }
+  }
+  if (st.ok()) st = MaybeCheckpointWalLocked(lock);
+  if (st.ok()) MaybeRecordTimelineLocked(count);
   return st;
 }
 
@@ -1678,9 +1775,10 @@ size_t TsEngine::Level0FileCount() {
   return version_.level0().size();
 }
 
-void TsEngine::MaybeRecordTimelineLocked() {
+void TsEngine::MaybeRecordTimelineLocked(uint64_t appended) {
   if (!options_.record_wa_timeline) return;
-  if (++timeline_batch_accum_ >= options_.wa_timeline_batch) {
+  timeline_batch_accum_ += appended;
+  if (timeline_batch_accum_ >= options_.wa_timeline_batch) {
     timeline_batch_accum_ = 0;
     metrics_.wa_timeline.push_back(metrics_.points_written_total());
   }

@@ -71,6 +71,17 @@ class TsEngine {
   /// Ingests one point (upsert by generation time).
   Status Append(const DataPoint& point);
 
+  /// Ingests `count` points as ONE batch: one mutex acquisition, one
+  /// backpressure check, one WAL record (one group-commit enqueue + wait
+  /// when the committer is on), one telemetry span/histogram sample, one
+  /// checkpoint check. Equivalent to `count` sequential Appends — same
+  /// MemTable contents, same WAL bytes modulo record framing, same query
+  /// results — at a fraction of the per-point overhead. Durability ack is
+  /// batch-granular: an OK means every point of the batch is on the device;
+  /// an error means the batch must be retried as a unit (recovery replays
+  /// multi-point WAL records all-or-nothing).
+  Status AppendBatch(const DataPoint* points, size_t count);
+
   /// Drains every MemTable to disk (flushing/merging per policy semantics)
   /// and, in background mode, waits for level 0 to fully fold into the run.
   Status FlushAll();
@@ -149,6 +160,18 @@ class TsEngine {
   Status AppendLocked(const DataPoint& point,
                       std::unique_lock<std::mutex>& lock,
                       storage::GroupCommitter::Ticket* ticket = nullptr);
+  /// Batch core: one WAL record / one EnqueueBatch ticket for all `count`
+  /// points, then the per-point MemTable inserts (each point classified
+  /// seq/nonseq individually — a mid-batch flush can move the persisted
+  /// horizon). Checkpoint and timeline checks run once per batch.
+  Status AppendBatchLocked(const DataPoint* points, size_t count,
+                           std::unique_lock<std::mutex>& lock,
+                           storage::GroupCommitter::Ticket* ticket);
+  /// Shared backpressure wait for Append/AppendBatch (background mode):
+  /// blocks while level 0 + pending flushes are at the cap, counting the
+  /// stall once and attributing `points` to its span.
+  void WaitForWriteRoomLocked(std::unique_lock<std::mutex>& lock,
+                              uint64_t points, bool instrument);
   Status HandleFullConventional(std::unique_lock<std::mutex>& lock);
   Status HandleFullSeq(std::unique_lock<std::mutex>& lock);
   Status HandleFullNonseq(std::unique_lock<std::mutex>& lock);
@@ -239,12 +262,14 @@ class TsEngine {
   /// through their snapshots until the output is installed atomically.
   Status CompactOneLevel0(std::unique_lock<std::mutex>& lock);
 
-  void MaybeRecordTimelineLocked();
+  void MaybeRecordTimelineLocked(uint64_t appended = 1);
 
   /// Feeds the append histogram on every call and emits one sampled APPEND
   /// trace span per `append_span_sample_every` appends (unsampled, appends
   /// would evict every flush/compaction span from the bounded ring).
-  void RecordAppendLatency(int64_t start_nanos);
+  /// `points` > 1 marks a batch: one histogram sample and at most one span
+  /// for the whole call, with the span carrying the batch size.
+  void RecordAppendLatency(int64_t start_nanos, uint64_t points = 1);
   /// Converts a scheduler-reported queue wait into a QUEUE_WAIT span +
   /// histogram sample, attributed to this engine's series.
   void RecordQueueWait(uint64_t queue_wait_micros);

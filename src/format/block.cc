@@ -4,18 +4,15 @@
 
 #include "common/coding.h"
 #include "common/crc32c.h"
+#include "format/simd.h"
 
 namespace seplsm::format {
 
 void BlockBuilder::Add(const DataPoint& point) {
-  if (count_ == 0) {
-    PutVarint64Signed(&times_, point.generation_time);
-  } else {
-    assert(point.generation_time >= last_generation_time_);
-    PutVarint64Signed(&times_, point.generation_time - last_generation_time_);
-  }
+  assert(count_ == 0 || point.generation_time >= last_generation_time_);
   last_generation_time_ = point.generation_time;
-  PutVarint64Signed(&delays_, point.arrival_time - point.generation_time);
+  times_.push_back(point.generation_time);
+  delays_.push_back(point.arrival_time - point.generation_time);
   values_.push_back(point.value);
   ++count_;
 }
@@ -24,8 +21,16 @@ std::string BlockBuilder::Finish() {
   std::string out;
   PutVarint64(&out, count_);
   out.push_back(static_cast<char>(encoding_));
-  out += times_;
-  out += delays_;
+  // Delta the time column in place, back to front (entry 0 stays the
+  // absolute first timestamp — the format's anchor), then emit both
+  // columns as whole-column zigzag varint runs. Sorted input makes every
+  // delta non-negative and usually tiny, which is exactly the one-byte
+  // fast path of EncodeZigZagVarints.
+  for (size_t i = count_; i-- > 1;) {
+    times_[i] -= times_[i - 1];
+  }
+  EncodeZigZagVarints(times_.data(), count_, &out);
+  EncodeZigZagVarints(delays_.data(), count_, &out);
   EncodeValues(encoding_, values_, &out);
   PutFixed32(&out, crc32c::Mask(crc32c::Value(out)));
   Reset();
@@ -58,23 +63,29 @@ Status DecodeBlock(std::string_view data, std::vector<DataPoint>* out) {
     return Status::Corruption("block value encoding unknown");
   }
   payload.remove_prefix(1);
+  // Any valid block spends >= 1 byte per time plus >= 1 byte per delay, so
+  // a count claiming more than half the remaining payload is corrupt —
+  // reject it before sizing buffers from it.
+  if (count > payload.size() / 2 + 1) {
+    return Status::Corruption("block count implausible");
+  }
   size_t base = out->size();
   out->resize(base + count);
+  std::vector<int64_t> column(count);
+  if (!DecodeZigZagVarints(&payload, count, column.data())) {
+    return Status::Corruption("block time truncated");
+  }
   int64_t t = 0;
   for (uint64_t i = 0; i < count; ++i) {
-    int64_t delta;
-    if (!GetVarint64Signed(&payload, &delta)) {
-      return Status::Corruption("block time truncated");
-    }
-    t = (i == 0) ? delta : t + delta;
+    t = (i == 0) ? column[i] : t + column[i];
     (*out)[base + i].generation_time = t;
   }
+  if (!DecodeZigZagVarints(&payload, count, column.data())) {
+    return Status::Corruption("block delay truncated");
+  }
   for (uint64_t i = 0; i < count; ++i) {
-    int64_t delay;
-    if (!GetVarint64Signed(&payload, &delay)) {
-      return Status::Corruption("block delay truncated");
-    }
-    (*out)[base + i].arrival_time = (*out)[base + i].generation_time + delay;
+    (*out)[base + i].arrival_time = (*out)[base + i].generation_time +
+                                    column[i];
   }
   std::vector<double> values;
   SEPLSM_RETURN_IF_ERROR(DecodeValues(encoding, payload, count, &values));

@@ -39,8 +39,11 @@ class BlockBuilder {
 
  private:
   ValueEncoding encoding_;
-  std::string times_;
-  std::string delays_;
+  /// Columns buffered raw; Finish() delta-computes and varint-encodes them
+  /// whole-column through the SIMD dispatch layer (format/simd.h) instead
+  /// of per-Add — byte output is unchanged.
+  std::vector<int64_t> times_;   ///< absolute generation times
+  std::vector<int64_t> delays_;  ///< arrival - generation per point
   std::vector<double> values_;
   size_t count_ = 0;
   int64_t last_generation_time_ = 0;

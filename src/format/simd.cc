@@ -1,0 +1,291 @@
+#include "format/simd.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/coding.h"
+
+#if !defined(SEPLSM_SIMD_DISABLED) && (defined(__x86_64__) || defined(_M_X64))
+#define SEPLSM_HAVE_SSE2 1
+#include <emmintrin.h>
+#endif
+#if !defined(SEPLSM_SIMD_DISABLED) && defined(__aarch64__)
+#define SEPLSM_HAVE_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace seplsm::format {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels: these DEFINE the byte format. Every vector
+// variant below must match them bit for bit (fuzz-verified).
+// ---------------------------------------------------------------------------
+
+namespace scalar {
+
+size_t CountOneByteVarints(const uint8_t* data, size_t len) {
+  size_t i = 0;
+  while (i < len && data[i] < 0x80) ++i;
+  return i;
+}
+
+void EncodeF64LE(const double* values, size_t count, std::string* dst) {
+  // coding.h already assumes a little-endian host, so the value column is
+  // the in-memory representation (identical bytes to a PutFixed64 loop).
+  const size_t base = dst->size();
+  dst->resize(base + count * 8);
+  if (count != 0) std::memcpy(dst->data() + base, values, count * 8);
+}
+
+void DecodeF64LE(const char* data, size_t count, double* out) {
+  if (count != 0) std::memcpy(out, data, count * 8);
+}
+
+void EncodeZigZagVarints(const int64_t* values, size_t count,
+                         std::string* dst) {
+  for (size_t i = 0; i < count; ++i) PutVarint64Signed(dst, values[i]);
+}
+
+bool DecodeZigZagVarints(std::string_view* input, size_t count,
+                         int64_t* out) {
+  for (size_t i = 0; i < count; ++i) {
+    if (!GetVarint64Signed(input, &out[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace scalar
+
+namespace {
+
+/// Batched varint decode shared by every vector level: scan for a run of
+/// one-byte varints with the level's byte-scan kernel, decode the run with
+/// a branch-free loop (each byte IS the zigzag value), and only fall into
+/// the generic multi-byte path at run boundaries. Accepts exactly the
+/// byte sequences a GetVarint64Signed loop accepts, fills the same prefix
+/// of `out` before reporting truncation.
+bool DecodeZigZagVarintsRuns(std::string_view* input, size_t count,
+                             int64_t* out,
+                             size_t (*scan)(const uint8_t*, size_t)) {
+  size_t i = 0;
+  while (i < count) {
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(input->data());
+    const size_t run = scan(p, input->size());
+    const size_t take = std::min(run, count - i);
+    for (size_t j = 0; j < take; ++j) {
+      out[i + j] = ZigZagDecode(p[j]);
+    }
+    input->remove_prefix(take);
+    i += take;
+    if (i < count) {
+      // The next byte (if any) has its high bit set: multi-byte varint,
+      // or truncated input — the generic parser decides.
+      if (!GetVarint64Signed(input, &out[i])) return false;
+      ++i;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+#if defined(SEPLSM_HAVE_SSE2)
+
+namespace sse2 {
+
+size_t CountOneByteVarints(const uint8_t* data, size_t len) {
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(v));
+    if (mask != 0) return i + std::countr_zero(mask);
+  }
+  return i + scalar::CountOneByteVarints(data + i, len - i);
+}
+
+void EncodeF64LE(const double* values, size_t count, std::string* dst) {
+  const size_t base = dst->size();
+  dst->resize(base + count * 8);
+  char* p = dst->data() + base;
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(p + i * 8),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + i)));
+  }
+  if (i < count) std::memcpy(p + i * 8, values + i, 8);
+}
+
+void DecodeF64LE(const char* data, size_t count, double* out) {
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(out + i),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i * 8)));
+  }
+  if (i < count) std::memcpy(out + i, data + i * 8, 8);
+}
+
+void EncodeZigZagVarints(const int64_t* values, size_t count,
+                         std::string* dst) {
+  size_t i = 0;
+  while (i < count) {
+    if (count - i >= 8) {
+      // ZigZag eight lanes at once. SSE2 has no 64-bit arithmetic shift;
+      // v >> 63 is rebuilt by replicating each lane's high dword and
+      // arithmetic-shifting that by 31 — all-ones for negative lanes.
+      __m128i z[4];
+      __m128i acc = _mm_setzero_si128();
+      for (int k = 0; k < 4; ++k) {
+        __m128i x = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(values + i + 2 * k));
+        __m128i sign = _mm_srai_epi32(
+            _mm_shuffle_epi32(x, _MM_SHUFFLE(3, 3, 1, 1)), 31);
+        z[k] = _mm_xor_si128(_mm_slli_epi64(x, 1), sign);
+        acc = _mm_or_si128(acc, z[k]);
+      }
+      const uint64_t or_all = static_cast<uint64_t>(_mm_cvtsi128_si64(
+          _mm_or_si128(acc, _mm_unpackhi_epi64(acc, acc))));
+      if (or_all < 0x80) {
+        // Every zigzag fits one varint byte (the common case for sorted
+        // time deltas): the encoded form is just the low byte of each
+        // lane — emit all eight with no per-value branch.
+        char buf[8];
+        for (int k = 0; k < 4; ++k) {
+          buf[2 * k] = static_cast<char>(_mm_cvtsi128_si64(z[k]));
+          buf[2 * k + 1] = static_cast<char>(
+              _mm_cvtsi128_si64(_mm_unpackhi_epi64(z[k], z[k])));
+        }
+        dst->append(buf, 8);
+        i += 8;
+        continue;
+      }
+    }
+    // Mixed-width chunk (or tail): generic encoder, one chunk at a time so
+    // the next iteration re-probes for a fast run.
+    const size_t end = std::min(count, i + 8);
+    for (; i < end; ++i) PutVarint64Signed(dst, values[i]);
+  }
+}
+
+bool DecodeZigZagVarints(std::string_view* input, size_t count,
+                         int64_t* out) {
+  return DecodeZigZagVarintsRuns(input, count, out, &CountOneByteVarints);
+}
+
+}  // namespace sse2
+
+#endif  // SEPLSM_HAVE_SSE2
+
+#if defined(SEPLSM_HAVE_NEON)
+
+namespace neon {
+
+size_t CountOneByteVarints(const uint8_t* data, size_t len) {
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    uint8x16_t v = vld1q_u8(data + i);
+    if (vmaxvq_u8(v) >= 0x80) {
+      return i + scalar::CountOneByteVarints(data + i, 16);
+    }
+  }
+  return i + scalar::CountOneByteVarints(data + i, len - i);
+}
+
+bool DecodeZigZagVarints(std::string_view* input, size_t count,
+                         int64_t* out) {
+  return DecodeZigZagVarintsRuns(input, count, out, &CountOneByteVarints);
+}
+
+}  // namespace neon
+
+#endif  // SEPLSM_HAVE_NEON
+
+// ---------------------------------------------------------------------------
+// Dispatch: resolved once per process into a kernel table.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Kernels {
+  SimdLevel level;
+  const char* name;
+  size_t (*count_one_byte)(const uint8_t*, size_t);
+  void (*enc_f64)(const double*, size_t, std::string*);
+  void (*dec_f64)(const char*, size_t, double*);
+  void (*enc_zz)(const int64_t*, size_t, std::string*);
+  bool (*dec_zz)(std::string_view*, size_t, int64_t*);
+};
+
+constexpr Kernels kScalarKernels = {
+    SimdLevel::kScalar,        "scalar",
+    &scalar::CountOneByteVarints, &scalar::EncodeF64LE,
+    &scalar::DecodeF64LE,         &scalar::EncodeZigZagVarints,
+    &scalar::DecodeZigZagVarints,
+};
+
+bool EnvForcesScalar() {
+  const char* env = std::getenv("SEPLSM_SIMD");
+  if (env == nullptr) return false;
+  const std::string_view v(env);
+  return v == "off" || v == "OFF" || v == "0" || v == "scalar";
+}
+
+Kernels Resolve() {
+  if (EnvForcesScalar()) return kScalarKernels;
+#if defined(SEPLSM_HAVE_SSE2)
+  // SSE2 is architectural baseline on x86-64: no cpuid probe needed.
+  return Kernels{SimdLevel::kSSE2,         "sse2",
+                 &sse2::CountOneByteVarints, &sse2::EncodeF64LE,
+                 &sse2::DecodeF64LE,         &sse2::EncodeZigZagVarints,
+                 &sse2::DecodeZigZagVarints};
+#elif defined(SEPLSM_HAVE_NEON)
+  // NEON is architectural baseline on arm64. Only the byte-scan and the
+  // run-decode ride it today; the other kernels use the scalar reference
+  // (memcpy already saturates the copy kernels there).
+  return Kernels{SimdLevel::kNEON,           "neon",
+                 &neon::CountOneByteVarints, &scalar::EncodeF64LE,
+                 &scalar::DecodeF64LE,       &scalar::EncodeZigZagVarints,
+                 &neon::DecodeZigZagVarints};
+#else
+  return kScalarKernels;
+#endif
+}
+
+const Kernels& Active() {
+  static const Kernels kernels = Resolve();
+  return kernels;
+}
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() { return Active().level; }
+
+const char* SimdLevelName() { return Active().name; }
+
+size_t CountOneByteVarints(const uint8_t* data, size_t len) {
+  return Active().count_one_byte(data, len);
+}
+
+void EncodeF64LE(const double* values, size_t count, std::string* dst) {
+  Active().enc_f64(values, count, dst);
+}
+
+void DecodeF64LE(const char* data, size_t count, double* out) {
+  Active().dec_f64(data, count, out);
+}
+
+void EncodeZigZagVarints(const int64_t* values, size_t count,
+                         std::string* dst) {
+  Active().enc_zz(values, count, dst);
+}
+
+bool DecodeZigZagVarints(std::string_view* input, size_t count,
+                         int64_t* out) {
+  return Active().dec_zz(input, count, out);
+}
+
+}  // namespace seplsm::format

@@ -1,0 +1,79 @@
+#ifndef SEPLSM_FORMAT_SIMD_H_
+#define SEPLSM_FORMAT_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace seplsm::format {
+
+/// Runtime-dispatched SIMD layer for the block codecs (DESIGN.md §13).
+///
+/// Every kernel has a scalar reference implementation and, per
+/// architecture, a vector fast path that produces BYTE-IDENTICAL output —
+/// the on-disk format is defined by the scalar code, the SIMD paths are
+/// pure speed. tests/codec_simd_test.cc fuzzes the equivalence (≥1000
+/// seeded iterations) and pins golden encoded blocks, so a fast path that
+/// drifts from the reference cannot land.
+///
+/// Dispatch is resolved once per process:
+///  - compiled out entirely with -DSEPLSM_SIMD=OFF (macro
+///    SEPLSM_SIMD_DISABLED) — CI keeps a scalar-only matrix leg;
+///  - forced to scalar at runtime with SEPLSM_SIMD=off|0|scalar in the
+///    environment (used to A/B the paths on one binary);
+///  - otherwise SSE2 on x86-64 (baseline, always present) and NEON on
+///    arm64 where a kernel has a NEON variant (the rest use scalar).
+enum class SimdLevel {
+  kScalar = 0,
+  kSSE2,
+  kNEON,
+};
+
+/// The level the kernels below actually dispatch to (cached).
+SimdLevel ActiveSimdLevel();
+
+/// "scalar" | "sse2" | "neon" — for bench/telemetry JSON.
+const char* SimdLevelName();
+
+/// Length of the longest prefix of `data` whose bytes all have the high
+/// bit clear — i.e. how many complete one-byte varints start the buffer.
+/// The workhorse of batched varint decode: regular time series encode
+/// almost every time/delay delta in one byte, so the decode loop rides
+/// this 16-bytes-per-instruction scan instead of a per-byte branch.
+size_t CountOneByteVarints(const uint8_t* data, size_t len);
+
+/// Appends `count` doubles to *dst as little-endian IEEE-754 fixed64 —
+/// the kRaw value column.
+void EncodeF64LE(const double* values, size_t count, std::string* dst);
+
+/// Decodes `count` little-endian fixed64 doubles from `data` (which must
+/// hold at least count * 8 bytes) into `out`.
+void DecodeF64LE(const char* data, size_t count, double* out);
+
+/// Appends `count` int64s as zigzag varints to *dst (identical bytes to a
+/// PutVarint64Signed loop). Fast path: chunks whose zigzag values all fit
+/// one byte are emitted with no per-value branch.
+void EncodeZigZagVarints(const int64_t* values, size_t count,
+                         std::string* dst);
+
+/// Decodes exactly `count` zigzag varints from the front of *input into
+/// `out`, consuming them; false on truncation/overflow (same acceptance
+/// set as a GetVarint64Signed loop, and the same prefix of `out` filled).
+bool DecodeZigZagVarints(std::string_view* input, size_t count, int64_t* out);
+
+/// Scalar reference implementations — the format-defining code paths.
+/// Exposed so the equivalence fuzz can compare them against the
+/// dispatched kernels inside one binary.
+namespace scalar {
+size_t CountOneByteVarints(const uint8_t* data, size_t len);
+void EncodeF64LE(const double* values, size_t count, std::string* dst);
+void DecodeF64LE(const char* data, size_t count, double* out);
+void EncodeZigZagVarints(const int64_t* values, size_t count,
+                         std::string* dst);
+bool DecodeZigZagVarints(std::string_view* input, size_t count, int64_t* out);
+}  // namespace scalar
+
+}  // namespace seplsm::format
+
+#endif  // SEPLSM_FORMAT_SIMD_H_

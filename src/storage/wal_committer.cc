@@ -56,6 +56,29 @@ GroupCommitter::Ticket GroupCommitter::Enqueue(Handle* handle,
   return ticket;
 }
 
+GroupCommitter::Ticket GroupCommitter::EnqueueBatch(Handle* handle,
+                                                    const DataPoint* points,
+                                                    size_t count) {
+  if (count == 0) return nullptr;
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_cv_.wait(lock, [&] {
+    return stop_ || queue_.size() < options_.max_queue_points;
+  });
+  if (stop_) return nullptr;
+  Ticket ticket = std::make_shared<CommitWait>();
+  // All entries share one ticket; pending_ and the done flag tolerate the
+  // N-fold bookkeeping (done is idempotent, pending_ is ±N symmetric).
+  // Pushing the whole batch under this single lock hold is what guarantees
+  // one commit round covers it: the ticket must not complete while part of
+  // the batch is still queued.
+  for (size_t i = 0; i < count; ++i) {
+    queue_.push_back(Entry{handle, points[i], ticket});
+  }
+  handle->pending_ += count;
+  worker_cv_.notify_one();
+  return ticket;
+}
+
 Status GroupCommitter::Wait(const Ticket& ticket) {
   if (ticket == nullptr) return Status::Aborted("wal committer stopped");
   std::unique_lock<std::mutex> lock(mutex_);

@@ -104,6 +104,16 @@ class GroupCommitter {
   /// null ticket only when the committer is shutting down.
   Ticket Enqueue(Handle* handle, const DataPoint& point);
 
+  /// Queues `count` points under ONE lock hold with ONE shared ticket — the
+  /// whole batch lands in the same commit round (CommitLoop drains the
+  /// entire queue per round, so entries pushed together are never split
+  /// across fsyncs) and the caller pays one Enqueue/Wait pair regardless of
+  /// batch size. Blocks until the queue has room for at least one point,
+  /// then admits the whole batch (bounded overshoot of max_queue_points by
+  /// one batch, so a batch larger than the queue cap cannot deadlock).
+  /// Returns null on shutdown or when count == 0.
+  Ticket EnqueueBatch(Handle* handle, const DataPoint* points, size_t count);
+
   /// Blocks until the ticket's commit round finished; returns the round's
   /// durability verdict (the fsync Status on failure).
   Status Wait(const Ticket& ticket);

@@ -1,0 +1,271 @@
+// The scalar kernels in format::scalar define the on-disk byte format; the
+// dispatched (possibly SIMD) kernels must match them bit for bit. These
+// fuzz loops run the two side by side in one binary — >= 1000 seeded
+// iterations per property — and the golden blocks in tests/data/ pin the
+// absolute bytes so neither path can drift even in lockstep. Corrupt and
+// truncated inputs must always come back as a Status (or a false), never a
+// crash; the loops also run under the ASan job.
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "env/env.h"
+#include "format/block.h"
+#include "format/simd.h"
+#include "format/value_codec.h"
+
+namespace seplsm::format {
+namespace {
+
+constexpr size_t kFuzzIters = 1200;
+
+/// Random signed value whose magnitude spans the full varint width range:
+/// small deltas (the hot path) through 10-byte encodings.
+int64_t RandomValue(std::mt19937_64& rng) {
+  const int shift = static_cast<int>(rng() % 64);
+  int64_t v = static_cast<int64_t>(rng() >> shift);
+  if (rng() % 2 == 0) v = -v;
+  return v;
+}
+
+TEST(CodecSimdTest, DispatchReportsAConsistentLevel) {
+  const SimdLevel level = ActiveSimdLevel();
+  const std::string name = SimdLevelName();
+  switch (level) {
+    case SimdLevel::kScalar:
+      EXPECT_EQ(name, "scalar");
+      break;
+    case SimdLevel::kSSE2:
+      EXPECT_EQ(name, "sse2");
+      break;
+    case SimdLevel::kNEON:
+      EXPECT_EQ(name, "neon");
+      break;
+  }
+}
+
+TEST(CodecSimdTest, ZigZagEncodeMatchesScalarFuzz) {
+  std::mt19937_64 rng(20220811);
+  for (size_t iter = 0; iter < kFuzzIters; ++iter) {
+    const size_t count = rng() % 300;
+    std::vector<int64_t> values(count);
+    const bool all_small = iter % 3 == 0;  // stress the 8-lane fast path
+    for (auto& v : values) {
+      v = all_small ? static_cast<int64_t>(rng() % 64) : RandomValue(rng);
+    }
+    std::string dispatched, reference;
+    EncodeZigZagVarints(values.data(), count, &dispatched);
+    scalar::EncodeZigZagVarints(values.data(), count, &reference);
+    ASSERT_EQ(dispatched, reference) << "iter " << iter;
+
+    // Cross-decode: each decoder over the shared bytes, identical output
+    // and identical leftover input.
+    std::string_view in_d(dispatched), in_s(reference);
+    std::vector<int64_t> out_d(count), out_s(count);
+    ASSERT_TRUE(DecodeZigZagVarints(&in_d, count, out_d.data()));
+    ASSERT_TRUE(scalar::DecodeZigZagVarints(&in_s, count, out_s.data()));
+    ASSERT_EQ(out_d, values) << "iter " << iter;
+    ASSERT_EQ(out_s, values) << "iter " << iter;
+    ASSERT_EQ(in_d.size(), in_s.size());
+  }
+}
+
+TEST(CodecSimdTest, ZigZagDecodeTruncationMatchesScalar) {
+  std::mt19937_64 rng(99);
+  for (size_t iter = 0; iter < kFuzzIters; ++iter) {
+    const size_t count = 1 + rng() % 64;
+    std::vector<int64_t> values(count);
+    for (auto& v : values) v = RandomValue(rng);
+    std::string encoded;
+    scalar::EncodeZigZagVarints(values.data(), count, &encoded);
+    // Cut anywhere, including zero: both decoders must agree on success,
+    // on decoded prefix, and on bytes consumed.
+    const size_t cut = rng() % (encoded.size() + 1);
+    std::string_view in_d(encoded.data(), cut), in_s(encoded.data(), cut);
+    std::vector<int64_t> out_d(count, -1), out_s(count, -1);
+    const bool ok_d = DecodeZigZagVarints(&in_d, count, out_d.data());
+    const bool ok_s = scalar::DecodeZigZagVarints(&in_s, count, out_s.data());
+    ASSERT_EQ(ok_d, ok_s) << "iter " << iter << " cut " << cut;
+    ASSERT_EQ(in_d.size(), in_s.size()) << "iter " << iter;
+    ASSERT_EQ(out_d, out_s) << "iter " << iter;
+    if (cut == encoded.size()) ASSERT_TRUE(ok_d);
+  }
+}
+
+TEST(CodecSimdTest, F64ColumnMatchesScalarFuzz) {
+  std::mt19937_64 rng(4242);
+  for (size_t iter = 0; iter < kFuzzIters; ++iter) {
+    const size_t count = rng() % 200;
+    // Arbitrary bit patterns: NaNs, infinities, denormals included — the
+    // copy kernels must be bit-transparent.
+    std::vector<double> values(count);
+    for (auto& v : values) {
+      const uint64_t bits = rng();
+      std::memcpy(&v, &bits, sizeof(v));
+    }
+    std::string enc_d, enc_s;
+    EncodeF64LE(values.data(), count, &enc_d);
+    scalar::EncodeF64LE(values.data(), count, &enc_s);
+    ASSERT_EQ(enc_d, enc_s) << "iter " << iter;
+
+    if (count == 0) continue;  // memcmp on a null data() is UB
+    std::vector<double> dec_d(count), dec_s(count);
+    DecodeF64LE(enc_d.data(), count, dec_d.data());
+    scalar::DecodeF64LE(enc_s.data(), count, dec_s.data());
+    ASSERT_EQ(std::memcmp(dec_d.data(), values.data(), count * 8), 0);
+    ASSERT_EQ(std::memcmp(dec_s.data(), values.data(), count * 8), 0);
+  }
+}
+
+TEST(CodecSimdTest, CountOneByteVarintsMatchesScalar) {
+  std::mt19937_64 rng(31337);
+  for (size_t iter = 0; iter < kFuzzIters; ++iter) {
+    const size_t len = rng() % 128;
+    std::vector<uint8_t> data(len);
+    for (auto& b : data) {
+      // Bias toward long one-byte runs so the vector path's early-exit and
+      // full-run branches both fire.
+      b = static_cast<uint8_t>(rng() % (iter % 2 == 0 ? 128 : 256));
+    }
+    ASSERT_EQ(CountOneByteVarints(data.data(), len),
+              scalar::CountOneByteVarints(data.data(), len))
+        << "iter " << iter;
+  }
+}
+
+std::vector<DataPoint> RandomSortedPoints(std::mt19937_64& rng, size_t n) {
+  std::vector<DataPoint> points;
+  int64_t t = static_cast<int64_t>(rng() % 1000);
+  for (size_t i = 0; i < n; ++i) {
+    t += static_cast<int64_t>(rng() % 1000);
+    // Exact-in-double values so equality comparison is exact.
+    points.push_back({t, t + static_cast<int64_t>(rng() % 100),
+                      static_cast<double>(rng() % (1 << 20)) / 16.0});
+  }
+  return points;
+}
+
+TEST(CodecSimdTest, BlockRoundTripFuzzBothEncodings) {
+  std::mt19937_64 rng(777);
+  for (size_t iter = 0; iter < 1000; ++iter) {
+    const auto points = RandomSortedPoints(rng, 1 + rng() % 200);
+    for (ValueEncoding enc :
+         {ValueEncoding::kRaw, ValueEncoding::kGorilla}) {
+      BlockBuilder builder(enc);
+      for (const auto& p : points) builder.Add(p);
+      const std::string block = builder.Finish();
+      std::vector<DataPoint> out;
+      ASSERT_TRUE(DecodeBlock(block, &out).ok()) << "iter " << iter;
+      ASSERT_EQ(out, points) << "iter " << iter;
+    }
+  }
+}
+
+TEST(CodecSimdTest, TruncatedBlocksNeverCrash) {
+  std::mt19937_64 rng(555);
+  const auto points = RandomSortedPoints(rng, 150);
+  for (ValueEncoding enc : {ValueEncoding::kRaw, ValueEncoding::kGorilla}) {
+    BlockBuilder builder(enc);
+    for (const auto& p : points) builder.Add(p);
+    const std::string block = builder.Finish();
+    for (size_t len = 0; len < block.size(); ++len) {
+      std::vector<DataPoint> out;
+      const Status st = DecodeBlock(std::string_view(block.data(), len), &out);
+      EXPECT_FALSE(st.ok()) << "prefix " << len << " must not verify";
+    }
+  }
+}
+
+TEST(CodecSimdTest, CorruptBlocksNeverCrash) {
+  std::mt19937_64 rng(12321);
+  const auto points = RandomSortedPoints(rng, 120);
+  for (ValueEncoding enc : {ValueEncoding::kRaw, ValueEncoding::kGorilla}) {
+    BlockBuilder builder(enc);
+    for (const auto& p : points) builder.Add(p);
+    const std::string block = builder.Finish();
+    for (size_t iter = 0; iter < kFuzzIters; ++iter) {
+      std::string bad = block;
+      const size_t flips = 1 + rng() % 4;
+      for (size_t f = 0; f < flips; ++f) {
+        bad[rng() % bad.size()] ^= static_cast<char>(1 + rng() % 255);
+      }
+      std::vector<DataPoint> out;
+      DecodeBlock(bad, &out).ok();  // any Status is fine; crashing is not
+    }
+  }
+}
+
+/// The Gorilla bit-reader sits below the CRC, so feed it raw garbage too —
+/// the decoder must stop with a Status on any input.
+TEST(CodecSimdTest, GorillaDecodeOnGarbageNeverCrashes) {
+  std::mt19937_64 rng(88);
+  for (size_t iter = 0; iter < kFuzzIters; ++iter) {
+    const size_t len = rng() % 256;
+    std::string data(len, '\0');
+    for (auto& c : data) c = static_cast<char>(rng());
+    std::vector<double> out;
+    DecodeValues(ValueEncoding::kGorilla, data, 1 + rng() % 64, &out).ok();
+    ASSERT_LE(out.size(), 64u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden blocks: absolute bytes committed in tests/data/. A change here
+// means the on-disk format changed — that is a format revision, not a
+// refactor. Regeneration steps live in tests/data/README.md.
+// ---------------------------------------------------------------------------
+
+/// Must match the generator in tests/data/README.md exactly.
+std::vector<DataPoint> GoldenBlockPoints() {
+  std::vector<DataPoint> points;
+  int64_t t = 0;
+  for (int i = 0; i < 400; ++i) {
+    t += (i % 7 == 0) ? 1'000'000 + i : 1 + (i % 5);
+    points.push_back({t, t + (i % 11),
+                      static_cast<double>((i * i) % 1000) / 16.0});
+  }
+  return points;
+}
+
+std::string ReadWhole(const std::string& path) {
+  std::unique_ptr<RandomAccessFile> file;
+  EXPECT_TRUE(Env::Default()->NewRandomAccessFile(path, &file).ok())
+      << path << " missing — regenerate per tests/data/README.md";
+  std::string data;
+  EXPECT_TRUE(file->Read(0, file->Size(), &data).ok());
+  return data;
+}
+
+class CodecGoldenTest : public ::testing::TestWithParam<ValueEncoding> {};
+
+TEST_P(CodecGoldenTest, GoldenBlockDecodesAndReencodesIdentically) {
+  const ValueEncoding enc = GetParam();
+  const std::string path =
+      std::string(SEPLSM_TEST_DATA_DIR) +
+      (enc == ValueEncoding::kRaw ? "/golden_block_raw.blk"
+                                  : "/golden_block_gorilla.blk");
+  const std::string golden = ReadWhole(path);
+  ASSERT_FALSE(golden.empty());
+
+  const std::vector<DataPoint> expected = GoldenBlockPoints();
+  std::vector<DataPoint> out;
+  ASSERT_TRUE(DecodeBlock(golden, &out).ok());
+  EXPECT_EQ(out, expected);
+
+  BlockBuilder builder(enc);
+  for (const auto& p : expected) builder.Add(p);
+  EXPECT_EQ(builder.Finish(), golden)
+      << "re-encoded bytes drifted from the committed golden block";
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEncodings, CodecGoldenTest,
+                         ::testing::Values(ValueEncoding::kRaw,
+                                           ValueEncoding::kGorilla));
+
+}  // namespace
+}  // namespace seplsm::format

@@ -215,8 +215,14 @@ int CmdIngest(const Flags& flags) {
 
   auto db = engine::TsEngine::Open(options);
   if (!db.ok()) return Fail(db.status().ToString());
-  for (const auto& p : *trace) {
-    if (Status st = (*db)->Append(p); !st.ok()) return Fail(st.ToString());
+  // Batched ingest: one WAL record, one durability ack, and one lock
+  // round-trip per chunk instead of per point.
+  constexpr size_t kIngestBatch = 256;
+  for (size_t i = 0; i < trace->size(); i += kIngestBatch) {
+    const size_t n = std::min(kIngestBatch, trace->size() - i);
+    if (Status st = (*db)->AppendBatch(trace->data() + i, n); !st.ok()) {
+      return Fail(st.ToString());
+    }
   }
   if (Status st = (*db)->FlushAll(); !st.ok()) return Fail(st.ToString());
   engine::Metrics m = (*db)->GetMetrics();
@@ -395,8 +401,12 @@ int CmdStats(const Flags& flags) {
   if (!trace_path.empty()) {
     auto trace = workload::ReadTraceCsv(Env::Default(), trace_path);
     if (!trace.ok()) return Fail(trace.status().ToString());
-    for (const auto& p : *trace) {
-      if (Status st = (*db)->Append(p); !st.ok()) return Fail(st.ToString());
+    constexpr size_t kIngestBatch = 256;
+    for (size_t i = 0; i < trace->size(); i += kIngestBatch) {
+      const size_t n = std::min(kIngestBatch, trace->size() - i);
+      if (Status st = (*db)->AppendBatch(trace->data() + i, n); !st.ok()) {
+        return Fail(st.ToString());
+      }
     }
     if (Status st = (*db)->FlushAll(); !st.ok()) return Fail(st.ToString());
   }
