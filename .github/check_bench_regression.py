@@ -301,6 +301,51 @@ def compare_ingest(gate, base, cur):
                               f"floor")
 
 
+def compare_compaction_scaling(gate, base, cur):
+    """The bounded-rewrite acceptance: per-job counts are deterministic.
+
+    Every gated number is a point count derived from merge_events, so the
+    comparison is exact up to tolerance on any machine. Beyond matching the
+    baseline, two absolute floors re-assert the tentpole claim on the
+    current run itself: the four_level per-job mean must stay within 2x
+    from 1x to 16x volume (bounded rewrites), the two_level one must grow
+    >= 8x (the unbounded baseline it is compared against), and no
+    four_level job may exceed the configured input-file cap.
+    """
+    if not require_same_config(gate, "compaction_scaling", base, cur,
+                               ("points_base", "budget", "cap")):
+        return
+    base_rows = {(r["config"], r["volume_factor"]): r for r in base["rows"]}
+    cur_rows = {(r["config"], r["volume_factor"]): r for r in cur["rows"]}
+    if set(base_rows) - set(cur_rows):
+        gate.fail(f"compaction_scaling: rows missing from current run: "
+                  f"{sorted(set(base_rows) - set(cur_rows))}")
+        return
+    for key, brow in base_rows.items():
+        crow = cur_rows[key]
+        label = f"compaction_scaling {key[0]}/{key[1]}x"
+        for metric in ("wa", "jobs", "per_job_points_mean",
+                       "per_job_points_p99"):
+            gate.check_close(f"{label} {metric}", crow[metric], brow[metric])
+        if key[0] == "four_level":
+            gate.check_true(f"{label} max_input_files <= cap",
+                            crow["max_input_files"] <= cur["cap"])
+    gate.check_close("compaction_scaling growth_two_level",
+                     cur["growth_two_level"], base["growth_two_level"])
+    gate.check_close("compaction_scaling growth_four_level",
+                     cur["growth_four_level"], base["growth_four_level"])
+    gate.checked += 1
+    if cur["growth_four_level"] >= 2.0:
+        gate.fail(f"compaction_scaling growth_four_level "
+                  f"{cur['growth_four_level']} >= 2.0 bounded-rewrite "
+                  f"ceiling")
+    gate.checked += 1
+    if cur["growth_two_level"] < 8.0:
+        gate.fail(f"compaction_scaling growth_two_level "
+                  f"{cur['growth_two_level']} < 8.0 unbounded-baseline "
+                  f"floor (the comparison lost its contrast)")
+
+
 COMPARATORS = {
     "fig12_read_amp": compare_fig12,
     "fig13_recent_latency": compare_fig13,
@@ -309,6 +354,7 @@ COMPARATORS = {
     "multi_series_parallel_ingest": compare_scheduler,
     "wal_group_commit": compare_wal,
     "ingest_multicore": compare_ingest,
+    "compaction_scaling": compare_compaction_scaling,
 }
 
 
@@ -519,6 +565,55 @@ def self_test():
     gate = Gate(DEFAULT_TOLERANCE)
     compare_wal(gate, wal_multicore_base, wal_multicore_cur)
     assert gate.errors, "a wal speedup collapse on multicore must fail"
+
+    scal_base = {
+        "bench": "compaction_scaling", "points_base": 8000, "budget": 512,
+        "cap": 8, "growth_two_level": 15.7, "growth_four_level": 1.1,
+        "rows": [
+            {"config": "two_level", "volume_factor": 1, "wa": 7.7,
+             "jobs": 15, "per_job_points_mean": 4096.0,
+             "per_job_points_p99": 7680, "max_input_files": 14},
+            {"config": "four_level", "volume_factor": 1, "wa": 8.1,
+             "jobs": 22, "per_job_points_mean": 2955.0,
+             "per_job_points_p99": 4096, "max_input_files": 8},
+            {"config": "two_level", "volume_factor": 16, "wa": 125.5,
+             "jobs": 250, "per_job_points_mean": 64233.0,
+             "per_job_points_p99": 126976, "max_input_files": 249},
+            {"config": "four_level", "volume_factor": 16, "wa": 22.1,
+             "jobs": 907, "per_job_points_mean": 3125.0,
+             "per_job_points_p99": 4096, "max_input_files": 8},
+        ],
+    }
+    scal_cur = json.loads(json.dumps(scal_base))
+    gate = Gate(DEFAULT_TOLERANCE)
+    compare_compaction_scaling(gate, scal_base, scal_cur)
+    assert not gate.errors, \
+        f"identical compaction_scaling must pass: {gate.errors}"
+
+    scal_unbounded = json.loads(json.dumps(scal_base))
+    # Bounded rewrites broke: the deep tree's 16x per-job mean tripled.
+    scal_unbounded["rows"][3]["per_job_points_mean"] = 9375.0
+    scal_unbounded["growth_four_level"] = 3.17
+    gate = Gate(DEFAULT_TOLERANCE)
+    compare_compaction_scaling(gate, scal_base, scal_unbounded)
+    assert any("bounded-rewrite ceiling" in e for e in gate.errors), \
+        "a four_level per-job blowup must trip the 2x ceiling"
+
+    scal_capped = json.loads(json.dumps(scal_base))
+    scal_capped["rows"][1]["max_input_files"] = 20  # cap stopped applying
+    gate = Gate(DEFAULT_TOLERANCE)
+    compare_compaction_scaling(gate, scal_base, scal_capped)
+    assert gate.errors, "a job exceeding the input-file cap must fail"
+
+    scal_flat = json.loads(json.dumps(scal_base))
+    # The two_level contrast collapsed (e.g. the workload stopped being
+    # out-of-order): the comparison is meaningless, fail loudly.
+    scal_flat["rows"][2]["per_job_points_mean"] = 5000.0
+    scal_flat["growth_two_level"] = 1.2
+    gate = Gate(DEFAULT_TOLERANCE)
+    compare_compaction_scaling(gate, scal_base, scal_flat)
+    assert any("lost its contrast" in e for e in gate.errors), \
+        "a flat two_level growth must trip the 8x floor"
 
     print("self-test: all gate behaviours verified")
 

@@ -36,10 +36,22 @@ def check_stats_json(path):
     # The pruning counters must be exported even when zero (the smoke
     # workload may not exercise summaries), so dashboards never see a gap.
     for name in ("files_skipped", "blocks_skipped", "blooms_negative",
-                 "summary_hits"):
+                 "summary_hits", "compaction_bytes_written"):
         if name not in counters:
-            fail(f"{path}: pruning counter '{name}' absent from "
+            fail(f"{path}: counter '{name}' absent from "
                  f"engine.counters (have: {sorted(counters)})")
+    # Per-level breakdown: one entry per tree level, level 1 always exists.
+    levels = doc["engine"].get("levels")
+    if not isinstance(levels, list) or len(levels) < 2:
+        fail(f"{path}: engine.levels missing or fewer than 2 entries: "
+             f"{levels!r}")
+    for entry in levels:
+        for key in ("level", "files", "bytes", "points", "compactions",
+                    "compaction_bytes_read", "compaction_bytes_written"):
+            if key not in entry:
+                fail(f"{path}: engine.levels entry missing '{key}': {entry}")
+    if sum(e["compactions"] for e in levels) <= 0:
+        fail(f"{path}: no level recorded a compaction: {levels}")
     latency = doc["telemetry"].get("latency_micros", {})
     if not latency:
         fail(f"{path}: telemetry.latency_micros is empty")
@@ -76,11 +88,18 @@ def check_stats_prom(path):
                    "seplsm_files_skipped_total",
                    "seplsm_blocks_skipped_total",
                    "seplsm_blooms_negative_total",
-                   "seplsm_summary_hits_total"):
+                   "seplsm_summary_hits_total",
+                   "seplsm_compaction_bytes_written_total",
+                   "seplsm_level_files",
+                   "seplsm_level_points",
+                   "seplsm_level_compactions_total",
+                   "seplsm_level_compaction_bytes_written_total"):
         if metric not in seen:
             fail(f"{path}: metric '{metric}' not found")
     if 'series="' not in text:
         fail(f"{path}: no series label on any sample")
+    if 'level="1"' not in text:
+        fail(f"{path}: no level label on any sample")
     print(f"ok: {path} ({len(seen)} metric families)")
 
 

@@ -1,0 +1,251 @@
+// Compaction-scaling study: per-job rewrite cost as data volume grows,
+// two-level (the paper's shape) vs a deeper time-partitioned tree.
+//
+// The two-level tree merges every MemTable fill into ONE sorted run, so a
+// fully out-of-order workload makes each merge rewrite the whole run: the
+// per-job input grows linearly with accumulated volume and so does the
+// write stall the job inflicts. The N-level tree bounds every job — the
+// L1 overlap is held near the level trigger by the cascade, deeper jobs
+// take one file plus a capped next-level overlap — so per-job input stays
+// flat no matter how much data has accumulated.
+//
+// Workload: a seeded shuffle of [0, V) generation times (100% out-of-order
+// in expectation), π_c, synchronous mode, MemEnv. Every gated number is a
+// deterministic point count from merge_events; wall-clock latencies are
+// printed for orientation but never gate (see check_bench_regression.py).
+//
+// Volumes {1x, 4x, 16x} of --points, two configs each:
+//
+//   two_level   num_levels=2 explicit (seed shape, unbounded merges)
+//   four_level  num_levels=4, max_compaction_input_files=--cap
+//
+// Acceptance (the tentpole's bounded-rewrite claim, gated in CI):
+// four_level per-job mean grows < 2x from 1x to 16x volume while
+// two_level grows >= 8x.
+//
+//   --points=N   base volume (default 8'000; CI baseline scale)
+//   --budget=N   MemTable points (default 512, the paper's n)
+//   --cap=N      four_level input-file cap (default 8)
+//   --json=path  machine-readable summary for the regression gate
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "engine/ts_engine.h"
+#include "env/mem_env.h"
+
+namespace {
+
+using namespace seplsm;
+
+struct RowResult {
+  std::string config;
+  size_t volume_factor = 0;
+  uint64_t points = 0;
+  double wa = 0.0;
+  uint64_t jobs = 0;
+  double per_job_points_mean = 0.0;
+  uint64_t per_job_points_p99 = 0;
+  uint64_t max_input_files = 0;
+  uint64_t compaction_bytes_written = 0;
+  uint64_t deepest_level = 0;
+  double append_p99_micros = 0.0;  // wall-clock: advisory only
+};
+
+std::vector<DataPoint> ShuffledWorkload(size_t volume, uint64_t seed) {
+  std::vector<DataPoint> points;
+  points.reserve(volume);
+  for (size_t i = 0; i < volume; ++i) {
+    points.push_back({static_cast<int64_t>(i), static_cast<int64_t>(i), 1.0});
+  }
+  Rng rng(seed);
+  // Fisher-Yates: each fill of the MemTable spans the whole time range, so
+  // every merge in the two-level tree overlaps the entire run.
+  for (size_t i = volume; i > 1; --i) {
+    std::swap(points[i - 1], points[rng.UniformU64(i)]);
+  }
+  return points;
+}
+
+RowResult RunConfig(const std::string& config, size_t num_levels, size_t cap,
+                    size_t volume_factor, size_t base_points, size_t budget) {
+  MemEnv env;
+  engine::Options o;
+  o.env = &env;
+  o.dir = "/db";
+  o.policy = engine::PolicyConfig::Conventional(budget);
+  o.sstable_points = budget;
+  o.num_levels = num_levels;  // explicit: ignores $SEPLSM_NUM_LEVELS
+  o.max_compaction_input_files = cap;
+  auto open = engine::TsEngine::Open(o);
+  if (!open.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 open.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto& db = *open;
+
+  const uint64_t volume = volume_factor * base_points;
+  auto workload = ShuffledWorkload(volume, /*seed=*/42 + volume_factor);
+  std::vector<double> append_micros;
+  append_micros.reserve(workload.size());
+  for (const auto& p : workload) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Status st = db->Append(p);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!st.ok()) {
+      std::fprintf(stderr, "append failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    append_micros.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+
+  engine::Metrics m = db->GetMetrics();
+  RowResult r;
+  r.config = config;
+  r.volume_factor = volume_factor;
+  r.points = volume;
+  r.wa = m.WriteAmplification();
+  r.jobs = m.merge_events.size();
+  std::vector<uint64_t> per_job;
+  per_job.reserve(m.merge_events.size());
+  for (const auto& e : m.merge_events) {
+    per_job.push_back(e.buffered_points + e.disk_points_rewritten);
+    r.max_input_files = std::max(r.max_input_files, e.input_files);
+    r.deepest_level = std::max<uint64_t>(r.deepest_level, e.level);
+  }
+  if (!per_job.empty()) {
+    uint64_t sum = 0;
+    for (uint64_t v : per_job) sum += v;
+    r.per_job_points_mean =
+        static_cast<double>(sum) / static_cast<double>(per_job.size());
+    std::sort(per_job.begin(), per_job.end());
+    size_t idx = (per_job.size() * 99 + 99) / 100;  // ceil(0.99 * n)
+    r.per_job_points_p99 = per_job[std::min(idx, per_job.size()) - 1];
+  }
+  r.compaction_bytes_written = m.compaction_bytes_written;
+  if (!append_micros.empty()) {
+    std::sort(append_micros.begin(), append_micros.end());
+    size_t idx = (append_micros.size() * 99 + 99) / 100;
+    r.append_p99_micros = append_micros[std::min(idx, append_micros.size()) - 1];
+  }
+  return r;
+}
+
+double GrowthRatio(const std::vector<RowResult>& rows,
+                   const std::string& config) {
+  double at1 = 0.0, at16 = 0.0;
+  for (const auto& r : rows) {
+    if (r.config != config) continue;
+    if (r.volume_factor == 1) at1 = r.per_job_points_mean;
+    if (r.volume_factor == 16) at16 = r.per_job_points_mean;
+  }
+  return at1 > 0.0 ? at16 / at1 : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::Parse(argc, argv, /*default_points=*/8'000);
+  size_t cap = 8;
+  bool emit_json = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--cap=", 6) == 0) {
+      cap = std::max<size_t>(2, std::strtoull(a + 6, nullptr, 10));
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      emit_json = true;
+      json_path = a + 7;
+    } else if (std::strcmp(a, "--json") == 0) {
+      emit_json = true;
+    }
+  }
+
+  std::printf("=== compaction scaling: per-job rewrite vs data volume ===\n");
+  std::printf("(base=%zu points, budget=%zu, shuffled 100%% OOO, "
+              "four_level cap=%zu)\n\n",
+              args.points, args.budget, cap);
+
+  std::vector<RowResult> rows;
+  for (size_t factor : {1u, 4u, 16u}) {
+    rows.push_back(RunConfig("two_level", 2, /*cap=*/0, factor, args.points,
+                             args.budget));
+    rows.push_back(RunConfig("four_level", 4, cap, factor, args.points,
+                             args.budget));
+  }
+
+  bench::TablePrinter table({"config", "volume", "points", "WA", "jobs",
+                             "job_mean_pts", "job_p99_pts", "max_in_files",
+                             "append_p99_us"});
+  for (const auto& r : rows) {
+    table.AddRow({r.config, std::to_string(r.volume_factor) + "x",
+                  bench::Fmt(r.points), bench::Fmt(r.wa, 2),
+                  bench::Fmt(r.jobs), bench::Fmt(r.per_job_points_mean, 1),
+                  bench::Fmt(r.per_job_points_p99),
+                  bench::Fmt(r.max_input_files),
+                  bench::Fmt(r.append_p99_micros, 1)});
+  }
+  table.Print();
+  table.WriteCsv(args.out);
+
+  const double growth_two = GrowthRatio(rows, "two_level");
+  const double growth_four = GrowthRatio(rows, "four_level");
+  std::printf("\nper-job mean growth 1x -> 16x: two_level %.2fx, "
+              "four_level %.2fx\n",
+              growth_two, growth_four);
+  const bool bounded_ok = growth_four < 2.0 && growth_two >= 8.0;
+  std::printf("acceptance: four_level bounded (< 2x) while two_level "
+              "unbounded (>= 8x): %s\n",
+              bounded_ok ? "PASS" : "FAIL");
+
+  if (emit_json) {
+    std::string json = "{\n  \"bench\": \"compaction_scaling\",\n";
+    json += "  \"points_base\": " + std::to_string(args.points) + ",\n";
+    json += "  \"budget\": " + std::to_string(args.budget) + ",\n";
+    json += "  \"cap\": " + std::to_string(cap) + ",\n";
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"growth_two_level\": %.3f,\n"
+                  "  \"growth_four_level\": %.3f,\n",
+                  growth_two, growth_four);
+    json += buf;
+    json += "  \"rows\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"config\": \"%s\", \"volume_factor\": %zu, "
+          "\"points\": %" PRIu64 ", \"wa\": %.3f, \"jobs\": %" PRIu64
+          ", \"per_job_points_mean\": %.1f, \"per_job_points_p99\": %" PRIu64
+          ", \"max_input_files\": %" PRIu64 ", \"deepest_level\": %" PRIu64
+          ", \"compaction_bytes_written\": %" PRIu64
+          ", \"append_p99_micros\": %.1f}%s\n",
+          r.config.c_str(), r.volume_factor, r.points, r.wa, r.jobs,
+          r.per_job_points_mean, r.per_job_points_p99, r.max_input_files,
+          r.deepest_level, r.compaction_bytes_written, r.append_p99_micros,
+          i + 1 < rows.size() ? "," : "");
+      json += buf;
+    }
+    json += "  ]\n}\n";
+    if (json_path.empty()) {
+      std::printf("%s", json.c_str());
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f != nullptr) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("(json written to %s)\n", json_path.c_str());
+      }
+    }
+  }
+  return bounded_ok ? 0 : 1;
+}

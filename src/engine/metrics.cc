@@ -38,6 +38,12 @@ void Metrics::MergeFrom(const Metrics& other) {
                       other.merge_events.end());
   wa_timeline.insert(wa_timeline.end(), other.wa_timeline.begin(),
                      other.wa_timeline.end());
+  if (other.level_stats.size() > level_stats.size()) {
+    level_stats.resize(other.level_stats.size());
+  }
+  for (size_t n = 0; n < other.level_stats.size(); ++n) {
+    level_stats[n].MergeFrom(other.level_stats[n]);
+  }
 }
 
 std::string Metrics::ToString() const {
@@ -51,6 +57,10 @@ std::string Metrics::ToString() const {
 #undef SEPLSM_METRICS_PRINT_FIELD
   out << " merge_events=" << merge_events.size()
       << " wa_timeline=" << wa_timeline.size();
+  for (size_t n = 0; n < level_stats.size(); ++n) {
+    out << " L" << n << "=" << level_stats[n].files << "f/"
+        << level_stats[n].points << "p";
+  }
   return out.str();
 }
 
@@ -68,7 +78,18 @@ std::string Metrics::ToJson() const {
   out << "},\"derived\":{\"write_amplification\":" << WriteAmplification()
       << ",\"read_amplification\":" << ReadAmplification()
       << ",\"block_cache_hit_rate\":" << BlockCacheHitRate()
-      << "},\"merge_events\":" << merge_events.size()
+      << "},\"levels\":[";
+  for (size_t n = 0; n < level_stats.size(); ++n) {
+    const LevelStats& l = level_stats[n];
+    if (n > 0) out << ",";
+    out << "{\"level\":" << n << ",\"files\":" << l.files
+        << ",\"bytes\":" << l.bytes << ",\"points\":" << l.points
+        << ",\"compactions\":" << l.compactions
+        << ",\"compaction_bytes_read\":" << l.compaction_bytes_read
+        << ",\"compaction_bytes_written\":" << l.compaction_bytes_written
+        << "}";
+  }
+  out << "],\"merge_events\":" << merge_events.size()
       << ",\"wa_timeline\":" << wa_timeline.size() << "}";
   return out.str();
 }
@@ -99,6 +120,49 @@ std::string Metrics::ToPrometheus(const std::string& series) const {
       << "# TYPE seplsm_block_cache_hit_rate gauge\n"
       << "seplsm_block_cache_hit_rate" << labels << " " << BlockCacheHitRate()
       << "\n";
+  if (!level_stats.empty()) {
+    // One family per quantity with a `level` label (plus the series label
+    // when present), following the Prometheus idiom for small breakdowns.
+    auto level_labels = [&](size_t n) {
+      std::string l = "{";
+      if (!series.empty()) {
+        l += "series=\"" + EscapeLabelValue(series) + "\",";
+      }
+      l += "level=\"" + std::to_string(n) + "\"}";
+      return l;
+    };
+    struct Family {
+      const char* name;
+      const char* type;
+      const char* help;
+      uint64_t LevelStats::* field;
+    };
+    static constexpr Family kFamilies[] = {
+        {"seplsm_level_files", "gauge", "files currently in the level",
+         &LevelStats::files},
+        {"seplsm_level_bytes", "gauge", "bytes currently in the level",
+         &LevelStats::bytes},
+        {"seplsm_level_points", "gauge", "points currently in the level",
+         &LevelStats::points},
+        {"seplsm_level_compactions_total", "counter",
+         "compaction jobs that wrote into the level",
+         &LevelStats::compactions},
+        {"seplsm_level_compaction_bytes_read_total", "counter",
+         "device bytes read by compactions into the level",
+         &LevelStats::compaction_bytes_read},
+        {"seplsm_level_compaction_bytes_written_total", "counter",
+         "table bytes written by compactions into the level",
+         &LevelStats::compaction_bytes_written},
+    };
+    for (const Family& fam : kFamilies) {
+      out << "# HELP " << fam.name << " " << fam.help << "\n"
+          << "# TYPE " << fam.name << " " << fam.type << "\n";
+      for (size_t n = 0; n < level_stats.size(); ++n) {
+        out << fam.name << level_labels(n) << " "
+            << level_stats[n].*(fam.field) << "\n";
+      }
+    }
+  }
   return out.str();
 }
 

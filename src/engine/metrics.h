@@ -19,6 +19,30 @@ struct MergeEvent {
   uint64_t output_points = 0;
   uint64_t input_files = 0;
   uint64_t output_files = 0;
+  /// Destination tree level of the merge (1 = the paper's run; deeper
+  /// levels only appear under Options::num_levels > 2).
+  uint32_t level = 1;
+};
+
+/// Per-level compaction traffic and occupancy, index = tree level. The
+/// `files`/`bytes`/`points` entries are gauges refreshed from the live
+/// Version on every GetMetrics; the rest are cumulative counters.
+struct LevelStats {
+  uint64_t files = 0;                     ///< files currently in the level
+  uint64_t bytes = 0;                     ///< bytes currently in the level
+  uint64_t points = 0;                    ///< points currently in the level
+  uint64_t compactions = 0;               ///< jobs that wrote INTO this level
+  uint64_t compaction_bytes_read = 0;     ///< device bytes read by those jobs
+  uint64_t compaction_bytes_written = 0;  ///< table bytes written by them
+
+  void MergeFrom(const LevelStats& other) {
+    files += other.files;
+    bytes += other.bytes;
+    points += other.points;
+    compactions += other.compactions;
+    compaction_bytes_read += other.compaction_bytes_read;
+    compaction_bytes_written += other.compaction_bytes_written;
+  }
 };
 
 /// What the read path avoided doing, thanks to pruning metadata: files
@@ -135,7 +159,10 @@ struct QueryStats {
   X(blooms_negative, "series probes answered absent by the Bloom filter")    \
   X(summary_hits, "aggregation windows served from table summaries")         \
   /* Sharded multi-series ingest plane (MultiSeriesDB lock striping) */      \
-  X(shard_lock_waits, "appends that contended on a MultiSeriesDB shard lock")
+  X(shard_lock_waits,                                                         \
+    "appends that contended on a MultiSeriesDB shard lock")                   \
+  /* Multi-level compaction (the read-side twin is compaction_bytes_read) */  \
+  X(compaction_bytes_written, "table bytes written by compactions")
 
 /// Cumulative engine counters. Points are the unit of the paper's WA
 /// definition; bytes are tracked in parallel for completeness. The fields
@@ -158,9 +185,14 @@ struct Metrics {
   /// Options::record_wa_timeline is set.
   std::vector<uint64_t> wa_timeline;
 
+  /// Per-level breakdown (index = level); sized to the engine's
+  /// Options::num_levels. Gauge entries (files/bytes/points) reflect the
+  /// Version at GetMetrics time, counter entries accumulate.
+  std::vector<LevelStats> level_stats;
+
   /// Adds every counter of `other` into this and appends its event
-  /// vectors (`merge_events`, `wa_timeline`). Expanded from the X-list, so
-  /// it can never miss a field.
+  /// vectors (`merge_events`, `wa_timeline`) and merges `level_stats`
+  /// element-wise. Expanded from the X-list, so it can never miss a field.
   void MergeFrom(const Metrics& other);
 
   uint64_t points_written_total() const {

@@ -2,8 +2,10 @@
 #define SEPLSM_ENGINE_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "env/env.h"
@@ -12,6 +14,7 @@
 namespace seplsm::storage {
 class BlockCache;
 class GroupCommitter;
+enum class LevelLayout : uint8_t;
 }  // namespace seplsm::storage
 
 namespace seplsm::telemetry {
@@ -46,6 +49,16 @@ struct PolicyConfig {
   }
 
   std::string ToString() const;
+};
+
+/// Which file a compaction job picks from a sorted source level (the
+/// compaction design space's "granularity + data movement" policy knob).
+/// Stacked (tiering) source levels always pick the oldest file — their
+/// recency ordering makes any other pick unsound.
+enum class CompactionFilePick {
+  kOldest,       ///< front of the level (FIFO; matches flush order)
+  kMostOverlap,  ///< file with the most overlapping bytes in the next level
+  kRoundRobin,   ///< cycle through the level by index (RocksDB-style cursor)
 };
 
 /// Engine configuration.
@@ -100,6 +113,39 @@ struct Options {
   /// metadata existed (the A/B switch the pruning bench measures); the
   /// metadata is still written per `table_metadata`.
   bool pruning = true;
+
+  /// Depth of the tree. 2 (level 0 + one sorted run) reproduces the
+  /// paper's shape bit-for-bit and is the effective default. 0 means
+  /// "auto": TsEngine::Open resolves it from $SEPLSM_NUM_LEVELS (else 2)
+  /// and $SEPLSM_LEVEL_LAYOUT — the hook the CI matrix leg uses to push
+  /// every existing suite through a 4-level tree. Setting any explicit
+  /// value >= 2 ignores the environment entirely (how accounting-sensitive
+  /// tests pin themselves to the seed shape).
+  size_t num_levels = 0;
+  /// Per-level layout (leveling vs. tiering vs. hybrid). Empty: level 0
+  /// stacked, every deeper level sorted — classic leveling. Entries beyond
+  /// the vector default to sorted; level 0 is forced stacked.
+  std::vector<storage::LevelLayout> level_layouts;
+  /// Which file a job picks from a sorted source level.
+  CompactionFilePick file_pick = CompactionFilePick::kOldest;
+  /// Schedule an L0->L1 compaction once level 0 holds this many files.
+  /// 1 reproduces the seed's eager fold-every-flush behaviour.
+  size_t level0_compaction_trigger = 1;
+  /// File-count trigger for level n >= 1 is
+  /// level_base_files * level_size_ratio^(n-1); the deepest level never
+  /// triggers. Together these bound a job's inputs to O(size_ratio) files.
+  size_t level_base_files = 8;
+  double level_size_ratio = 4.0;
+  /// Explicit per-level file-count triggers overriding the geometric rule;
+  /// entry [n] applies to level n (entries [0] and beyond-the-end are
+  /// ignored in favour of level0_compaction_trigger / the geometric rule).
+  std::vector<size_t> level_file_triggers;
+  /// Cap on total input files (source + overlap) per compaction job; a
+  /// burst of flushes can otherwise snowball one job into an unbounded
+  /// stall. 0 = unlimited (seed behaviour). Values < 2 are clamped to 2 so
+  /// every job still makes progress. Applies to file compactions only,
+  /// never to in-memory merges.
+  size_t max_compaction_input_files = 0;
 
   /// When true, a full MemTable is flushed to an overlapping level-0 file
   /// and a background thread folds level-0 into the sorted run — the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <limits>
 #include <map>
 
@@ -112,6 +113,41 @@ Result<std::unique_ptr<TsEngine>> TsEngine::Open(Options options) {
   if (options.sstable_points == 0 || options.points_per_block == 0) {
     return Status::InvalidArgument("sstable_points/points_per_block");
   }
+  if (options.num_levels == 0) {
+    // Auto shape: default two levels, overridable through the environment
+    // so whole test/CI suites can run against a deeper tree without code
+    // changes. An explicitly configured engine ignores the environment.
+    options.num_levels = 2;
+    if (const char* env_levels = std::getenv("SEPLSM_NUM_LEVELS")) {
+      char* parse_end = nullptr;
+      unsigned long v = std::strtoul(env_levels, &parse_end, 10);
+      if (parse_end != env_levels && *parse_end == '\0' && v >= 2 && v <= 64) {
+        options.num_levels = static_cast<size_t>(v);
+      }
+    }
+    if (options.level_layouts.empty()) {
+      if (const char* env_layout = std::getenv("SEPLSM_LEVEL_LAYOUT")) {
+        const std::string layout(env_layout);
+        if (layout == "tiering") {
+          options.level_layouts.assign(options.num_levels,
+                                       storage::LevelLayout::kStacked);
+        } else if (layout == "hybrid") {
+          // Stacked everywhere except the deepest level, which stays a
+          // sorted run so old data remains merge-compacted and summarized.
+          options.level_layouts.assign(options.num_levels,
+                                       storage::LevelLayout::kStacked);
+          options.level_layouts.back() = storage::LevelLayout::kSorted;
+        }
+      }
+    }
+  } else if (options.num_levels < 2) {
+    return Status::InvalidArgument("num_levels must be >= 2 (0 = auto)");
+  }
+  if (!options.level_layouts.empty() &&
+      options.level_layouts.size() != options.num_levels) {
+    return Status::InvalidArgument(
+        "level_layouts must be empty or have num_levels entries");
+  }
   SEPLSM_RETURN_IF_ERROR(options.env->CreateDirIfMissing(options.dir));
   std::unique_ptr<TsEngine> engine(new TsEngine(std::move(options)));
   SEPLSM_RETURN_IF_ERROR(engine->Recover());
@@ -141,6 +177,10 @@ TsEngine::TsEngine(Options options)
       deleter_([this](const storage::FileMetadata& file) {
         return RemoveTableFromDisk(file);
       }) {
+  version_ = storage::Version(options_.num_levels, options_.level_layouts);
+  compaction_scheduled_.assign(options_.num_levels, 0);
+  rr_cursor_.assign(options_.num_levels, 0);
+  metrics_.level_stats.resize(options_.num_levels);
   if (options_.block_cache == nullptr && options_.block_cache_bytes > 0) {
     options_.block_cache = std::make_shared<storage::BlockCache>(
         options_.block_cache_bytes, options_.block_cache_shards);
@@ -282,12 +322,15 @@ Status TsEngine::Recover() {
   }
   max_seen_tg_ = MaxPersistedLocked();
   if (!options_.background_mode) {
-    // Fold straggler files into the run eagerly (single-threaded here: the
+    // Fold straggler files into level 1 eagerly (single-threaded here: the
     // background thread has not started, so the lock dance inside
-    // CompactOneLevel0 is harmless).
+    // CompactLevel is harmless), then let the cascade redistribute across
+    // deeper levels. Recovery flattens the tree into levels 0/1 first
+    // because on-disk files carry no level tag.
     while (Level0FileCountLockedForRecovery() > 0) {
-      SEPLSM_RETURN_IF_ERROR(CompactOneLevel0(lock));
+      SEPLSM_RETURN_IF_ERROR(CompactLevel(0, lock));
     }
+    SEPLSM_RETURN_IF_ERROR(CascadeCompactionsTurnstileHeld(lock));
   }
   if (options_.enable_wal) {
     // Replay buffered points lost with the last process. Replay is
@@ -717,7 +760,10 @@ Status TsEngine::FlushAboveRunLocked(std::vector<DataPoint> points,
   storage::MemTable::View batch = EnterRunTurnstileLocked(points, lock);
   // Check for overlap only now, with the turnstile held: a queued mutation
   // ahead of us may have changed the run's upper bound while we waited.
-  int64_t run_max = version_.run().empty()
+  // A stacked level 1 accepts any file, so the flush path always applies.
+  const bool stacked_l1 =
+      version_.layout(1) == storage::LevelLayout::kStacked;
+  int64_t run_max = stacked_l1 || version_.run().empty()
                         ? kNoData
                         : version_.run().back()->max_generation_time;
   Status st;
@@ -752,6 +798,7 @@ Status TsEngine::FlushAboveRunLocked(std::vector<DataPoint> points,
       span.set_points(points.size());
     }
   }
+  if (st.ok()) st = CascadeCompactionsTurnstileHeld(lock);
   LeaveRunTurnstileLocked(batch);
   return st;
 }
@@ -761,15 +808,61 @@ Status TsEngine::MergeLocked(std::vector<DataPoint> points,
   if (points.empty()) return Status::OK();
   storage::MemTable::View batch = EnterRunTurnstileLocked(points, lock);
   Status st = MergeTurnstileHeld(std::move(points), lock);
+  if (st.ok()) st = CascadeCompactionsTurnstileHeld(lock);
   LeaveRunTurnstileLocked(batch);
   return st;
 }
 
+Status TsEngine::CascadeCompactionsTurnstileHeld(
+    std::unique_lock<std::mutex>& lock) {
+  // Background mode pushes files down through per-level jobs instead, and
+  // under the default two levels there is nothing below the run to push to
+  // (the deepest level never compacts), so this is a no-op in both cases.
+  if (options_.background_mode) return Status::OK();
+  for (size_t n = 1; n + 1 < version_.num_levels(); ++n) {
+    while (LevelNeedsCompactionLocked(n)) {
+      SEPLSM_RETURN_IF_ERROR(CompactLevel(n, lock));
+    }
+  }
+  return Status::OK();
+}
+
 Status TsEngine::MergeTurnstileHeld(std::vector<DataPoint> points,
                                     std::unique_lock<std::mutex>& lock) {
+  if (version_.layout(1) == storage::LevelLayout::kStacked) {
+    // Tiering at level 1: ingest never merges — cut the batch into tables
+    // and stack them; the cascade moves whole files down later.
+    telemetry::ScopedSpan span(telemetry_, options_.clock,
+                               telemetry::SpanType::kFlush,
+                               telemetry_series_id_);
+    std::vector<storage::FileMetadata> files;
+    Status st = storage::WriteSortedPointsAsTables(
+        options_.env, options_.dir, points, options_.sstable_points,
+        options_.points_per_block, &next_file_number_, &files,
+        options_.value_encoding, MetaConfig());
+    if (st.ok()) {
+      uint64_t bytes_out = 0;
+      span.set_files(files.size());
+      for (auto& f : files) {
+        metrics_.bytes_written += f.file_bytes;
+        ++metrics_.files_created;
+        bytes_out += f.file_bytes;
+        st = version_.AppendToLevel(1, std::move(f));
+        if (!st.ok()) break;
+      }
+      span.set_bytes(bytes_out);
+    }
+    if (st.ok()) {
+      metrics_.points_flushed += points.size();
+      ++metrics_.flush_count;
+      span.set_points(points.size());
+    }
+    return st;
+  }
   telemetry::ScopedSpan span(telemetry_, options_.clock,
                              telemetry::SpanType::kCompaction,
                              telemetry_series_id_);
+  span.set_level(1);
   const int64_t lo = points.front().generation_time;
   const int64_t hi = points.back().generation_time;
   size_t begin, end;
@@ -827,6 +920,11 @@ Status TsEngine::MergeTurnstileHeld(std::vector<DataPoint> points,
   metrics_.points_flushed += points.size();
   metrics_.points_rewritten += rewritten;
   ++metrics_.merge_count;
+  metrics_.compaction_bytes_written += output_bytes;
+  LevelStats& lstats = metrics_.level_stats[1];
+  ++lstats.compactions;
+  lstats.compaction_bytes_read += rstats.device_bytes_read;
+  lstats.compaction_bytes_written += output_bytes;
   if (options_.record_merge_events) {
     MergeEvent event;
     event.buffered_points = points.size();
@@ -952,16 +1050,104 @@ void TsEngine::MaybeScheduleFlushLocked() {
   }
 }
 
+size_t TsEngine::LevelTriggerLocked(size_t level) const {
+  if (level == 0) {
+    return std::max<size_t>(1, options_.level0_compaction_trigger);
+  }
+  if (level < options_.level_file_triggers.size() &&
+      options_.level_file_triggers[level] > 0) {
+    return options_.level_file_triggers[level];
+  }
+  // Geometric sizing: level n holds base * ratio^(n-1) files before it
+  // spills into n+1 (multiplied out to avoid pow's libm rounding).
+  double trigger = static_cast<double>(options_.level_base_files);
+  const double ratio = options_.level_size_ratio > 1.0
+                           ? options_.level_size_ratio
+                           : 1.0;
+  for (size_t n = 1; n < level && trigger < 1e18; ++n) trigger *= ratio;
+  if (trigger < 1.0) trigger = 1.0;
+  if (trigger > 1e18) trigger = 1e18;
+  return static_cast<size_t>(trigger);
+}
+
+bool TsEngine::LevelNeedsCompactionLocked(size_t level) const {
+  if (level + 1 >= version_.num_levels()) return false;  // deepest: never
+  return version_.level(level).size() >= LevelTriggerLocked(level);
+}
+
+bool TsEngine::AnyLevelNeedsCompactionLocked() const {
+  for (size_t n = 0; n < version_.num_levels(); ++n) {
+    if (LevelNeedsCompactionLocked(n)) return true;
+  }
+  return false;
+}
+
+size_t TsEngine::PickCompactionFileLocked(size_t level, size_t target) {
+  const std::vector<storage::FilePtr>& files = version_.level(level);
+  switch (options_.file_pick) {
+    case CompactionFilePick::kRoundRobin: {
+      size_t idx = rr_cursor_[level] % files.size();
+      rr_cursor_[level] = idx + 1;
+      return idx;
+    }
+    case CompactionFilePick::kMostOverlap: {
+      const bool sorted_target =
+          version_.layout(target) == storage::LevelLayout::kSorted;
+      size_t best = 0;
+      uint64_t best_points = 0;
+      for (size_t i = 0; i < files.size(); ++i) {
+        uint64_t pts = 0;
+        if (sorted_target) {
+          size_t b, e;
+          version_.OverlappingLevelRange(target,
+                                         files[i]->min_generation_time,
+                                         files[i]->max_generation_time, &b,
+                                         &e);
+          for (size_t j = b; j < e; ++j) {
+            pts += version_.level(target)[j]->point_count;
+          }
+        } else {
+          for (const auto& t : version_.level(target)) {
+            if (t->Overlaps(files[i]->min_generation_time,
+                            files[i]->max_generation_time)) {
+              pts += t->point_count;
+            }
+          }
+        }
+        if (i == 0 || pts > best_points) {
+          best = i;
+          best_points = pts;
+        }
+      }
+      return best;
+    }
+    case CompactionFilePick::kOldest:
+    default: {
+      // Earliest-created file; file numbers are allocation-ordered.
+      size_t best = 0;
+      for (size_t i = 1; i < files.size(); ++i) {
+        if (files[i]->file_number < files[best]->file_number) best = i;
+      }
+      return best;
+    }
+  }
+}
+
 void TsEngine::MaybeScheduleCompactionLocked() {
-  if (!options_.background_mode || compaction_scheduled_ || shutting_down_ ||
-      background_error_set_ || version_.level0().empty()) {
+  if (!options_.background_mode || shutting_down_ || background_error_set_) {
     return;
   }
-  compaction_scheduled_ = true;
-  Status st = options_.job_scheduler->Submit(
-      job_token_, JobScheduler::JobKind::kCompaction,
-      [this](uint64_t wait) { CompactionJob(wait); });
-  if (!st.ok()) compaction_scheduled_ = false;
+  for (size_t level = 0; level + 1 < version_.num_levels(); ++level) {
+    if (compaction_scheduled_[level] != 0 ||
+        !LevelNeedsCompactionLocked(level)) {
+      continue;
+    }
+    compaction_scheduled_[level] = 1;
+    Status st = options_.job_scheduler->Submit(
+        job_token_, JobScheduler::JobKind::kCompaction,
+        [this, level](uint64_t wait) { CompactionJob(level, wait); });
+    if (!st.ok()) compaction_scheduled_[level] = 0;
+  }
 }
 
 void TsEngine::FlushJob(uint64_t queue_wait_micros) {
@@ -1027,23 +1213,23 @@ void TsEngine::FlushJob(uint64_t queue_wait_micros) {
   writer_cv_.notify_all();
 }
 
-void TsEngine::CompactionJob(uint64_t queue_wait_micros) {
+void TsEngine::CompactionJob(size_t level, uint64_t queue_wait_micros) {
   RecordQueueWait(queue_wait_micros);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     ++metrics_.bg_compaction_jobs;
     metrics_.bg_queue_wait_micros += queue_wait_micros;
     if (shutting_down_ || background_error_set_ ||
-        version_.level0().empty()) {
-      compaction_scheduled_ = false;
+        !LevelNeedsCompactionLocked(level)) {
+      compaction_scheduled_[level] = 0;
       background_cv_.notify_all();
       writer_cv_.notify_all();
       return;
     }
-    // One level-0 file per job (fairness, as above). CompactOneLevel0
-    // releases the lock during table I/O, so ingest keeps flowing.
-    Status st = CompactOneLevel0(lock);
-    compaction_scheduled_ = false;
+    // One file per job (fairness, as above). CompactLevel releases the
+    // lock during table I/O, so ingest keeps flowing.
+    Status st = CompactLevel(level, lock);
+    compaction_scheduled_[level] = 0;
     if (!st.ok() && !st.IsNotFound() &&
         !(st.IsAborted() && shutting_down_)) {
       SEPLSM_LOG(Error) << "background compaction failed: " << st.ToString();
@@ -1058,104 +1244,229 @@ void TsEngine::CompactionJob(uint64_t queue_wait_micros) {
   CollectDeferredDeletes();
 }
 
-Status TsEngine::CompactOneLevel0(std::unique_lock<std::mutex>& lock) {
-  if (version_.level0().empty()) {
-    return Status::NotFound("level 0 empty");
+Status TsEngine::CompactLevel(size_t level,
+                              std::unique_lock<std::mutex>& lock) {
+  const size_t target = level + 1;
+  if (target >= version_.num_levels()) {
+    return Status::InvalidArgument("CompactLevel: no deeper level");
+  }
+  if (version_.level(level).empty()) {
+    return Status::NotFound("compaction source level empty");
   }
   // Keep the file in the version (and thus in every snapshot) until the
   // merged output is installed: a reader must never observe a window where
-  // the level-0 data is neither in level 0 nor in the run.
-  storage::FilePtr l0 = version_.level0().front();
+  // the data is in neither level. A stacked source must surrender its
+  // oldest (front) file — arrival order is its recency order, and moving a
+  // newer file below an older one would flip upsert precedence; a sorted
+  // source is pairwise disjoint, so any pick policy is sound.
+  const bool stacked_src =
+      version_.layout(level) == storage::LevelLayout::kStacked;
+  const size_t src_idx =
+      stacked_src ? 0 : PickCompactionFileLocked(level, target);
+  storage::FilePtr src = version_.level(level)[src_idx];
   telemetry::ScopedSpan span(telemetry_, options_.clock,
                              telemetry::SpanType::kCompaction,
                              telemetry_series_id_);
+  span.set_level(static_cast<uint32_t>(target));
 
-  // Fast path: the file sits strictly above the run — adopt it unchanged.
-  int64_t run_max = version_.run().empty()
-                        ? kNoData
-                        : version_.run().back()->max_generation_time;
-  if (run_max == kNoData || l0->min_generation_time > run_max) {
-    span.set_points(l0->point_count);
+  if (version_.layout(target) == storage::LevelLayout::kStacked) {
+    // Tiering target: zero-I/O move. Back-append keeps recency order — the
+    // shallower level always holds the newer version of any shared key.
+    span.set_points(src->point_count);
     span.set_files(1);
-    version_.PopLevel0Front();
-    return version_.AppendToRun(std::move(l0));
+    ++metrics_.level_stats[target].compactions;
+    return version_.MoveFile(level, src_idx, target);
   }
 
-  // Otherwise the level-0 contents are re-written into the run. Their
-  // points were already flushed once; folding them in counts as rewrites,
-  // as does every point of the overlapped run slice.
+  // Fast path: the file sits strictly above the target level — adopt it
+  // unchanged.
+  int64_t target_max =
+      version_.level(target).empty()
+          ? kNoData
+          : version_.level(target).back()->max_generation_time;
+  if (target_max == kNoData || src->min_generation_time > target_max) {
+    span.set_points(src->point_count);
+    span.set_files(1);
+    version_.RemoveFileAt(level, src_idx);
+    return version_.AppendToLevel(target, std::move(src));
+  }
+
   size_t begin, end;
-  version_.OverlappingRunRange(l0->min_generation_time,
-                               l0->max_generation_time, &begin, &end);
-  std::vector<storage::FilePtr> old_files(version_.run().begin() + begin,
-                                          version_.run().begin() + end);
+  version_.OverlappingLevelRange(target, src->min_generation_time,
+                                 src->max_generation_time, &begin, &end);
+  if (begin == end && (level > 0 || version_.num_levels() > 2)) {
+    // The file fits a gap between target files: adopt it unchanged (same
+    // FilePtr — no I/O, no copy, nothing to delete). The default two-level
+    // shape skips this and runs the full merge below so its accounting
+    // stays bit-identical to the original single-run engine.
+    span.set_points(src->point_count);
+    span.set_files(1);
+    SEPLSM_RETURN_IF_ERROR(version_.InsertFileAt(target, begin, src));
+    version_.RemoveFileAt(level, src_idx);
+    return Status::OK();
+  }
+
+  // Otherwise the source contents are re-written into the target level.
+  // Their points were already flushed once; folding them in counts as
+  // rewrites, as does every point of the overlapped target slice.
+  std::vector<storage::FilePtr> old_files(
+      version_.level(target).begin() + begin,
+      version_.level(target).begin() + end);
+
+  // Bounded jobs: with a cap of K input files, merge the source's head
+  // with the first K-1 overlapping target files and rewrite the residual
+  // source tail back in place, so the next job on this level resumes from
+  // the boundary. Progress is guaranteed: the boundary is at least the
+  // first overlap file's max, which is >= the source's min, so the head is
+  // never empty. A cap below 2 could never make progress and is clamped.
+  size_t cap = options_.max_compaction_input_files;
+  if (cap == 1) cap = 2;
+  const bool capped = cap > 0 && old_files.size() + 1 > cap;
+  int64_t split_max = 0;
+  if (capped) {
+    old_files.resize(cap - 1);
+    end = begin + (cap - 1);
+    // Overlap files beyond the cap have min > split_max (disjoint sorted
+    // level), so split_max < INT64_MAX here and split_max + 1 is safe.
+    split_max = old_files.back()->max_generation_time;
+  }
+
   // Reserve output file numbers now: writers allocate numbers under the
   // lock we are about to release. Unused reservations just leave gaps.
-  uint64_t input_points = l0->point_count;
+  uint64_t input_points = src->point_count;
   for (const auto& f : old_files) input_points += f->point_count;
   uint64_t file_no = next_file_number_;
   next_file_number_ += input_points / options_.sstable_points + 2;
+  if (capped) {
+    // The residual tail gets its own table(s) from the same reservation.
+    next_file_number_ += src->point_count / options_.sstable_points + 2;
+  }
 
   // All table I/O streams without the engine lock, so ingest keeps flowing
   // while the merge reads and writes — and the merge holds one decoded
   // block per input instead of materializing every overlapping file. Safe
-  // because the compactor is the only run/level0-front mutator while the
-  // lock is released (writers only append level-0 files behind us), so
-  // `begin`/`end` and `l0` stay valid. Cancellation (shutdown) is checked
-  // by the streaming writer between blocks; aborting is safe — nothing was
+  // because the compactor is the only mutator of levels >= 1 while the
+  // lock is released (the job token serializes background jobs; the run
+  // turnstile or single-threaded recovery covers sync mode) and writers
+  // only append level-0 files behind the front, so `begin`/`end`, `src`,
+  // and `src_idx` stay valid. Cancellation (shutdown) is checked by the
+  // streaming writer between blocks; aborting is safe — nothing was
   // installed, the inputs are all still live, and the writer removed its
   // partial outputs.
   lock.unlock();
   std::vector<storage::FileMetadata> new_files;
+  std::vector<storage::FileMetadata> residual_files;
   storage::ReadStats rstats;
+  uint64_t tail_points = 0;
   Status st;
   if (cancel_bg_.load(std::memory_order_relaxed)) {
     st = Status::Aborted("engine shutting down");
+  } else if (capped) {
+    // Split the source at the cap boundary: the head merges with the
+    // retained overlap, the tail is rewritten back into the source level.
+    std::vector<DataPoint> head, tail;
+    st = ReadTableRange(*src, src->min_generation_time, split_max, &head,
+                        &rstats);
+    if (st.ok()) {
+      st = ReadTableRange(*src, split_max + 1, src->max_generation_time,
+                          &tail, &rstats);
+    }
+    if (st.ok()) {
+      tail_points = tail.size();
+      // The source holds the newest version of every key it carries: first
+      // merge child, so it wins on duplicate generation times.
+      st = StreamMergeToTables(
+          std::make_unique<storage::VectorIterator>(&head), old_files,
+          &file_no, &new_files, &rstats, 0, nullptr);
+    }
+    if (st.ok() && !tail.empty()) {
+      st = storage::WriteSortedPointsAsTables(
+          options_.env, options_.dir, tail, options_.sstable_points,
+          options_.points_per_block, &file_no, &residual_files,
+          options_.value_encoding, MetaConfig());
+    }
   } else {
-    storage::ReadOptions l0_opts;
-    l0_opts.fill_cache = false;
-    l0_opts.stats = &rstats;
-    auto l0_reader = OpenTableReader(*l0);
-    if (!l0_reader.ok()) {
-      st = l0_reader.status();
+    storage::ReadOptions src_opts;
+    src_opts.fill_cache = false;
+    src_opts.stats = &rstats;
+    auto src_reader = OpenTableReader(*src);
+    if (!src_reader.ok()) {
+      st = src_reader.status();
     } else {
-      // The level-0 file is the newest data: first merge child, so its
-      // version wins on duplicate generation times.
+      // The source file is the newest data for every key it holds: first
+      // merge child, so its version wins on duplicate generation times.
       st = StreamMergeToTables(
           std::make_unique<storage::SSTableIterator>(
               std::shared_ptr<const storage::SSTableReader>(
-                  std::move(l0_reader).value()),
-              l0_opts),
+                  std::move(src_reader).value()),
+              src_opts),
           old_files, &file_no, &new_files, &rstats, 0, nullptr);
     }
   }
   lock.lock();
   metrics_.compaction_bytes_read += rstats.device_bytes_read;
   metrics_.compaction_blocks_read += rstats.blocks_read;
-  // On failure the level-0 file is still in the version: no data was lost,
+  // On failure the source file is still in the version: no data was lost,
   // and a later retry (or recovery) picks it up again.
   SEPLSM_RETURN_IF_ERROR(st);
 
-  uint64_t rewritten = l0->point_count;
+  uint64_t rewritten = src->point_count;
   for (const auto& f : old_files) rewritten += f->point_count;
   uint64_t bytes_out = 0;
+  uint64_t output_points = tail_points;
   for (const auto& f : new_files) {
     metrics_.bytes_written += f.file_bytes;
     ++metrics_.files_created;
     bytes_out += f.file_bytes;
+    output_points += f.point_count;
   }
+  for (const auto& f : residual_files) {
+    metrics_.bytes_written += f.file_bytes;
+    ++metrics_.files_created;
+    bytes_out += f.file_bytes;
+  }
+  const uint64_t output_files = new_files.size() + residual_files.size();
+  const uint64_t input_files = old_files.size() + 1;
   span.set_points(rewritten);
   span.set_bytes(bytes_out);
-  span.set_files(new_files.size());
+  span.set_files(output_files);
   SEPLSM_RETURN_IF_ERROR(
-      version_.ReplaceRunSlice(begin, end, std::move(new_files)));
-  version_.PopLevel0Front();  // == l0: the compactor is the only consumer
-  ScheduleTableDeleteLocked(std::move(l0));
+      version_.ReplaceLevelSlice(target, begin, end, std::move(new_files)));
+  if (capped) {
+    // The residual replaces the source file in place: for a sorted source
+    // its pieces stay inside the old range, for a stacked one they are
+    // disjoint fragments of a single arrival, so order among them is
+    // immaterial.
+    SEPLSM_RETURN_IF_ERROR(version_.ReplaceLevelSlice(
+        level, src_idx, src_idx + 1, std::move(residual_files)));
+  } else {
+    version_.RemoveFileAt(level, src_idx);
+  }
+  ScheduleTableDeleteLocked(std::move(src));
   for (auto& f : old_files) {
     ScheduleTableDeleteLocked(std::move(f));
   }
   metrics_.points_rewritten += rewritten;
   ++metrics_.merge_count;
+  metrics_.compaction_bytes_written += bytes_out;
+  LevelStats& lstats = metrics_.level_stats[target];
+  ++lstats.compactions;
+  lstats.compaction_bytes_read += rstats.device_bytes_read;
+  lstats.compaction_bytes_written += bytes_out;
+  if (options_.record_merge_events &&
+      (level > 0 || version_.num_levels() > 2 ||
+       options_.max_compaction_input_files > 0)) {
+    // The default two-level level-0 fold records no event, matching the
+    // original engine; deeper trees and capped jobs do, so per-job input
+    // sizes are observable (level = destination).
+    MergeEvent event;
+    event.disk_points_rewritten = rewritten;
+    event.output_points = output_points;
+    event.input_files = input_files;
+    event.output_files = output_files;
+    event.level = static_cast<uint32_t>(target);
+    metrics_.merge_events.push_back(event);
+  }
   return Status::OK();
 }
 
@@ -1314,7 +1625,7 @@ Status TsEngine::WaitForBackgroundIdle() {
     background_cv_.wait(lock, [this] {
       return background_error_set_ ||
              (pending_flushes_.empty() && !flush_inflight_ &&
-              version_.level0().empty());
+              !AnyLevelNeedsCompactionLocked());
     });
     if (background_error_set_) return background_error_;
   }
@@ -1351,28 +1662,42 @@ TsEngine::ReadSnapshot TsEngine::AcquireSnapshotLocked() {
 Status TsEngine::QuerySnapshot(const ReadSnapshot& snap, int64_t lo,
                                int64_t hi, std::vector<DataPoint>* out,
                                QueryStats* local) {
-  // Lowest precedence first: run, then level 0 in flush order, then the
-  // MemTables; later insertions overwrite earlier ones per key.
+  // Lowest precedence first: the deepest level up to level 1, then level 0
+  // in flush order, then the MemTables; later insertions overwrite earlier
+  // ones per key. The newest version of any key always lives in the
+  // shallowest level holding it, so depth order is recency order.
   std::map<int64_t, DataPoint> result;
   storage::ReadStats reads;
-  size_t begin, end;
-  snap.files.OverlappingRunRange(lo, hi, &begin, &end);
-  local->pruning.files_skipped += snap.files.run().size() - (end - begin);
-  for (size_t i = begin; i < end; ++i) {
-    const storage::FileMetadata& f = *snap.files.run()[i];
-    ++local->files_opened;
-    std::vector<DataPoint> points;
-    SEPLSM_RETURN_IF_ERROR(ReadTableRange(f, lo, hi, &points, &reads));
-    for (const auto& p : points) result.insert_or_assign(p.generation_time, p);
-  }
-  std::vector<size_t> level0 = snap.files.OverlappingLevel0(lo, hi);
-  local->pruning.files_skipped += snap.files.level0().size() - level0.size();
-  for (size_t idx : level0) {
-    const storage::FileMetadata& f = *snap.files.level0()[idx];
-    ++local->files_opened;
-    std::vector<DataPoint> points;
-    SEPLSM_RETURN_IF_ERROR(ReadTableRange(f, lo, hi, &points, &reads));
-    for (const auto& p : points) result.insert_or_assign(p.generation_time, p);
+  for (size_t n = snap.files.num_levels(); n-- > 0;) {
+    const std::vector<storage::FilePtr>& files = snap.files.level(n);
+    if (n > 0 && snap.files.layout(n) == storage::LevelLayout::kSorted) {
+      size_t begin, end;
+      snap.files.OverlappingLevelRange(n, lo, hi, &begin, &end);
+      local->pruning.files_skipped += files.size() - (end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        ++local->files_opened;
+        std::vector<DataPoint> points;
+        SEPLSM_RETURN_IF_ERROR(
+            ReadTableRange(*files[i], lo, hi, &points, &reads));
+        for (const auto& p : points) {
+          result.insert_or_assign(p.generation_time, p);
+        }
+      }
+    } else {
+      // Stacked level: arrival order, oldest first — matching the
+      // insert-wins precedence of the map fold.
+      std::vector<size_t> overlap = storage::OverlappingLevel0(files, lo, hi);
+      local->pruning.files_skipped += files.size() - overlap.size();
+      for (size_t idx : overlap) {
+        ++local->files_opened;
+        std::vector<DataPoint> points;
+        SEPLSM_RETURN_IF_ERROR(
+            ReadTableRange(*files[idx], lo, hi, &points, &reads));
+        for (const auto& p : points) {
+          result.insert_or_assign(p.generation_time, p);
+        }
+      }
+    }
   }
   local->disk_points_scanned += reads.points_scanned;
   local->device_bytes_read += reads.device_bytes_read;
@@ -1450,60 +1775,83 @@ Result<bool> TsEngine::WindowServableBySummaries(const ReadSnapshot& snap,
                                                  int64_t ws, int64_t we,
                                                  SummaryReaderCache* readers,
                                                  QueryStats* local) {
-  // A level-0 file or a buffered point inside the window overrides disk
-  // data, so the summaries alone could double-count or miss an upsert.
-  if (!snap.files.OverlappingLevel0(ws, we).empty()) return false;
+  // A stacked file (level 0 or a tiering level) or a buffered point inside
+  // the window overrides disk data, so the summaries alone could
+  // double-count or miss an upsert.
+  for (size_t n = 0; n < snap.files.num_levels(); ++n) {
+    if (n > 0 && snap.files.layout(n) == storage::LevelLayout::kSorted) {
+      continue;
+    }
+    if (!storage::OverlappingLevel0(snap.files.level(n), ws, we).empty()) {
+      return false;
+    }
+  }
   for (const auto& view : snap.mems) {
     auto it = view->lower_bound(ws);
     if (it != view->end() && it->first <= we) return false;
   }
-  size_t begin, end;
-  snap.files.OverlappingRunRange(ws, we, &begin, &end);
-  for (size_t i = begin; i < end; ++i) {
-    const storage::FileMetadata& f = *snap.files.run()[i];
-    auto it = readers->find(f.file_number);
-    if (it == readers->end()) {
-      auto reader = OpenTableReader(f);
-      if (!reader.ok()) return reader.status();
-      it = readers->emplace(f.file_number, std::move(reader).value()).first;
-      ++local->files_opened;
-    }
-    const storage::SSTableReader* r = it->second.get();
-    if (!r->has_metadata() ||
-        r->metadata().summary_window != options_.summary_window) {
-      return false;  // v1 file (or other window width): point-read it
+  // Two sorted levels overlapping the same window can hold two versions of
+  // one key, and their summaries would double-count it — serve a window
+  // from summaries only when a single sorted level owns it.
+  size_t levels_overlapping = 0;
+  for (size_t n = 1; n < snap.files.num_levels(); ++n) {
+    if (snap.files.layout(n) != storage::LevelLayout::kSorted) continue;
+    size_t begin, end;
+    snap.files.OverlappingLevelRange(n, ws, we, &begin, &end);
+    if (end > begin) ++levels_overlapping;
+    for (size_t i = begin; i < end; ++i) {
+      const storage::FileMetadata& f = *snap.files.level(n)[i];
+      auto it = readers->find(f.file_number);
+      if (it == readers->end()) {
+        auto reader = OpenTableReader(f);
+        if (!reader.ok()) return reader.status();
+        it = readers->emplace(f.file_number, std::move(reader).value()).first;
+        ++local->files_opened;
+      }
+      const storage::SSTableReader* r = it->second.get();
+      if (!r->has_metadata() ||
+          r->metadata().summary_window != options_.summary_window) {
+        return false;  // v1 file (or other window width): point-read it
+      }
     }
   }
-  return true;
+  return levels_overlapping <= 1;
 }
 
 void TsEngine::MergeWindowSummaries(const ReadSnapshot& snap, int64_t ws,
                                     int64_t we, SummaryReaderCache* readers,
                                     Aggregates* agg, QueryStats* local) {
-  size_t begin, end;
-  snap.files.OverlappingRunRange(ws, we, &begin, &end);
-  for (size_t i = begin; i < end; ++i) {
-    const storage::FileMetadata& f = *snap.files.run()[i];
-    const format::TableMetadata& meta = readers->at(f.file_number)->metadata();
-    auto it = std::lower_bound(
-        meta.summaries.begin(), meta.summaries.end(), ws,
-        [](const format::WindowSummary& s, int64_t w) {
-          return s.window_start < w;
-        });
-    // Run files are time-disjoint and walked in run order, so partial
-    // summaries of one window merge in ascending time order.
-    for (; it != meta.summaries.end() && it->window_start == ws; ++it) {
-      Aggregates seg;
-      seg.count = it->count;
-      seg.sum = it->sum;
-      seg.min = it->min;
-      seg.max = it->max;
-      seg.first_time = it->first_time;
-      seg.first_value = it->first_value;
-      seg.last_time = it->last_time;
-      seg.last_value = it->last_value;
-      agg->MergeOrdered(seg);
-      ++local->pruning.summary_hits;
+  // WindowServableBySummaries admitted this window, so at most one sorted
+  // level has files in it; walking every sorted level visits exactly that
+  // one's slice.
+  for (size_t n = 1; n < snap.files.num_levels(); ++n) {
+    if (snap.files.layout(n) != storage::LevelLayout::kSorted) continue;
+    size_t begin, end;
+    snap.files.OverlappingLevelRange(n, ws, we, &begin, &end);
+    for (size_t i = begin; i < end; ++i) {
+      const storage::FileMetadata& f = *snap.files.level(n)[i];
+      const format::TableMetadata& meta =
+          readers->at(f.file_number)->metadata();
+      auto it = std::lower_bound(
+          meta.summaries.begin(), meta.summaries.end(), ws,
+          [](const format::WindowSummary& s, int64_t w) {
+            return s.window_start < w;
+          });
+      // A level's files are time-disjoint and walked in level order, so
+      // partial summaries of one window merge in ascending time order.
+      for (; it != meta.summaries.end() && it->window_start == ws; ++it) {
+        Aggregates seg;
+        seg.count = it->count;
+        seg.sum = it->sum;
+        seg.min = it->min;
+        seg.max = it->max;
+        seg.first_time = it->first_time;
+        seg.first_value = it->first_value;
+        seg.last_time = it->last_time;
+        seg.last_value = it->last_value;
+        agg->MergeOrdered(seg);
+        ++local->pruning.summary_hits;
+      }
     }
   }
 }
@@ -1530,11 +1878,10 @@ Status TsEngine::AggregateSnapshot(const ReadSnapshot& snap, int64_t lo,
     data_lo = std::min(data_lo, mn);
     data_hi = std::max(data_hi, mx);
   };
-  for (const auto& f : snap.files.run()) {
-    widen(f->min_generation_time, f->max_generation_time);
-  }
-  for (const auto& f : snap.files.level0()) {
-    widen(f->min_generation_time, f->max_generation_time);
+  for (size_t n = 0; n < snap.files.num_levels(); ++n) {
+    for (const auto& f : snap.files.level(n)) {
+      widen(f->min_generation_time, f->max_generation_time);
+    }
   }
   for (const auto& view : snap.mems) {
     if (!view->empty()) {
@@ -1747,6 +2094,22 @@ Status TsEngine::SwitchPolicy(const PolicyConfig& config) {
 
 Metrics TsEngine::GetMetrics() {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Refresh the per-level occupancy gauges; the compaction counters in the
+  // same structs accumulate at compaction time.
+  if (metrics_.level_stats.size() < version_.num_levels()) {
+    metrics_.level_stats.resize(version_.num_levels());
+  }
+  for (size_t n = 0; n < version_.num_levels(); ++n) {
+    LevelStats& l = metrics_.level_stats[n];
+    const std::vector<storage::FilePtr>& files = version_.level(n);
+    l.files = files.size();
+    l.bytes = 0;
+    l.points = 0;
+    for (const auto& f : files) {
+      l.bytes += f->file_bytes;
+      l.points += f->point_count;
+    }
+  }
   return metrics_;
 }
 
@@ -1773,6 +2136,11 @@ size_t TsEngine::RunFileCount() {
 size_t TsEngine::Level0FileCount() {
   std::lock_guard<std::mutex> lock(mutex_);
   return version_.level0().size();
+}
+
+size_t TsEngine::LevelFileCount(size_t level) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return level < version_.num_levels() ? version_.level(level).size() : 0;
 }
 
 void TsEngine::MaybeRecordTimelineLocked(uint64_t appended) {

@@ -130,6 +130,10 @@ class TsEngine {
   const Options& options() const { return options_; }
   size_t RunFileCount();
   size_t Level0FileCount();
+  /// Files currently in tree level `level` (0 <= level < NumLevels()).
+  size_t LevelFileCount(size_t level);
+  /// Depth of the tree after Open resolved Options::num_levels.
+  size_t NumLevels() const { return options_.num_levels; }
 
   /// The decoded-block cache this engine reads through (possibly shared
   /// with other engines); null when disabled.
@@ -245,22 +249,47 @@ class TsEngine {
   /// Submit a flush/compaction job to the scheduler unless one is already
   /// outstanding for this engine (jobs re-submit themselves while work
   /// remains, one batch/file per job so engines sharing the pool
-  /// interleave fairly).
+  /// interleave fairly). Compactions are tracked per level: at most one
+  /// outstanding job per level per engine (the token still serializes
+  /// their execution).
   void MaybeScheduleFlushLocked();
   void MaybeScheduleCompactionLocked();
 
   /// Job bodies, run on scheduler workers (never concurrently with each
   /// other: the token serializes them).
   void FlushJob(uint64_t queue_wait_micros);
-  void CompactionJob(uint64_t queue_wait_micros);
+  void CompactionJob(size_t level, uint64_t queue_wait_micros);
 
-  /// Folds the oldest level-0 file into the run. Returns NotFound when
-  /// level 0 is empty. `lock` (held on entry and exit) is released during
-  /// table I/O: in background mode the compactor is the only run mutator
-  /// and level-0 files are only appended behind the front, so the state
-  /// it captured stays valid, and readers keep the input files visible
-  /// through their snapshots until the output is installed atomically.
-  Status CompactOneLevel0(std::unique_lock<std::mutex>& lock);
+  /// File-count trigger for `level` (level0_compaction_trigger for level 0,
+  /// the geometric level_base_files * ratio^(n-1) rule — or the explicit
+  /// level_file_triggers override — above it).
+  size_t LevelTriggerLocked(size_t level) const;
+  /// Whether `level` is at/over its trigger. The deepest level never is.
+  bool LevelNeedsCompactionLocked(size_t level) const;
+  bool AnyLevelNeedsCompactionLocked() const;
+  /// Index of the file CompactLevel(level) should move into level+1,
+  /// following Options::file_pick. Stacked levels always yield the front
+  /// (oldest) file: their recency order makes any other pick unsound.
+  size_t PickCompactionFileLocked(size_t level, size_t target);
+
+  /// Folds one file of `level` into `level + 1`. Returns NotFound when the
+  /// level is empty. With `level == 0` under the default two-level shape
+  /// this is byte-for-byte the paper's fold-level-0-into-the-run job.
+  /// `lock` (held on entry and exit) is released during table I/O: the
+  /// compactor is the only mutator of levels >= 1 while it runs (the job
+  /// token in background mode, the run turnstile or recovery in sync
+  /// mode), level-0 files are only appended behind the front, and readers
+  /// keep the input files visible through their snapshots until the output
+  /// is installed atomically. Honors Options::max_compaction_input_files
+  /// by merging only a prefix of the overlap and re-writing the source
+  /// residual back in place.
+  Status CompactLevel(size_t level, std::unique_lock<std::mutex>& lock);
+
+  /// Sync-mode cascade, run with the run turnstile held (or from the
+  /// single-threaded recovery path): while any level 1..N-2 is over its
+  /// trigger, push files down one CompactLevel at a time. No-op in
+  /// background mode (per-level jobs cover it) and under num_levels == 2.
+  Status CascadeCompactionsTurnstileHeld(std::unique_lock<std::mutex>& lock);
 
   void MaybeRecordTimelineLocked(uint64_t appended = 1);
 
@@ -427,7 +456,11 @@ class TsEngine {
   uint64_t sync_turnstile_serving_ = 0;  ///< ticket allowed to mutate the run
   bool flush_inflight_ = false;        ///< flush job writing, mutex_ dropped
   bool flush_job_scheduled_ = false;   ///< a flush job is queued or running
-  bool compaction_scheduled_ = false;  ///< a compaction job is queued/running
+  /// Per-level "a compaction job is queued/running" flags (index = source
+  /// level); at most one outstanding job per level per engine.
+  std::vector<uint8_t> compaction_scheduled_;
+  /// Per-level round-robin pick cursors (CompactionFilePick::kRoundRobin).
+  std::vector<size_t> rr_cursor_;
   std::shared_ptr<JobScheduler::Token> job_token_;
   /// Cooperative cancellation for the unlocked I/O inside a compaction:
   /// set once at shutdown, checked between table reads.

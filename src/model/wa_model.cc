@@ -29,6 +29,26 @@ double WaModel::ConventionalWa(size_t n) const {
   return wa;
 }
 
+double WaModel::MultiLevelMigration(size_t n, size_t num_levels) const {
+  if (num_levels <= 2 || n == 0) return 0.0;
+  double nd = static_cast<double>(n);
+  // P(a fill contains at least one out-of-order point): only such fills
+  // produce files whose ranges interleave with already-migrated data, so
+  // only they can pay rewrite I/O on a level hop (in-order files take the
+  // gap-insert / append / MoveFile fast paths for free).
+  double expected_ooo = std::max(0.0, nd - arrival_.ExpectedInOrder(nd));
+  double p_overlap = 1.0 - std::exp(-expected_ooo);
+  // An overlapping hop rewrites the migrating file once (per-point cost 1)
+  // plus, at whole-SSTable granularity, the boundary file it lands in.
+  double boundary = 0.0;
+  if (granularity_sstable_points_ > 0) {
+    double sstable = static_cast<double>(granularity_sstable_points_);
+    double zeta = subsequent_.Estimate(n);
+    boundary = std::max(0.0, sstable - zeta) / nd;
+  }
+  return static_cast<double>(num_levels - 2) * p_overlap * (1.0 + boundary);
+}
+
 SeparationBreakdown WaModel::SeparationDetail(size_t n, size_t n_seq) const {
   SeparationBreakdown out;
   double nd = static_cast<double>(n);

@@ -60,9 +60,40 @@ class WaModel {
   /// r_c(n) = ζ(n)/n + 1 (Eq. 3).
   double ConventionalWa(size_t n) const;
 
+  /// Expected extra write amplification from migrating points through the
+  /// levels below L1 when the tree runs with `num_levels > 2` — an
+  /// *extension* of the paper's two-level estimators (which this engine's
+  /// default configuration matches exactly; the term is 0 for
+  /// num_levels <= 2). Each point makes `num_levels - 2` hops from L1 to
+  /// the deepest level. A hop is free when the migrating file lands in a
+  /// next-level gap or the target level is stacked (the engine adopts the
+  /// file without I/O); it rewrites the file — and, at SSTable
+  /// granularity, one boundary file — only when out-of-order points
+  /// widened its range into the next level's files. The per-hop overlap
+  /// probability is approximated by P(a C0 fill contains at least one
+  /// out-of-order point), the same proxy the granularity correction uses,
+  /// making this an upper-bound-flavoured estimate: purely in-order
+  /// workloads migrate for free and the term vanishes.
+  double MultiLevelMigration(size_t n, size_t num_levels) const;
+
+  /// r_c for an N-level tree: Eq. 3 plus the migration term.
+  double ConventionalWaMultiLevel(size_t n, size_t num_levels) const {
+    return ConventionalWa(n) + MultiLevelMigration(n, num_levels);
+  }
+
   /// r_s with C_seq capacity n_seq out of total budget n (corrected Eq. 5).
   double SeparationWa(size_t n, size_t n_seq) const {
     return SeparationDetail(n, n_seq).wa;
+  }
+
+  /// r_s for an N-level tree: corrected Eq. 5 plus the migration term.
+  /// Under separation only C_nonseq merges disturb the run, so the hop
+  /// overlap is driven by the same fill-level OOO probability; the shared
+  /// term keeps the two policies comparable (their *difference* — the
+  /// quantity the tuner optimizes — is unchanged by the extension).
+  double SeparationWaMultiLevel(size_t n, size_t n_seq,
+                                size_t num_levels) const {
+    return SeparationWa(n, n_seq) + MultiLevelMigration(n, num_levels);
   }
 
   /// Full phase accounting behind r_s.

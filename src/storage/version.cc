@@ -7,6 +7,8 @@
 
 namespace seplsm::storage {
 
+const std::vector<FilePtr> VersionSnapshot::kEmptyLevel;
+
 void OverlappingRunRange(const std::vector<FilePtr>& run, int64_t lo,
                          int64_t hi, size_t* begin, size_t* end) {
   // First file with max >= lo.
@@ -30,64 +32,140 @@ std::vector<size_t> OverlappingLevel0(const std::vector<FilePtr>& level0,
   return out;
 }
 
+Version::Version(size_t num_levels, std::vector<LevelLayout> layouts) {
+  if (num_levels < 2) num_levels = 2;
+  levels_.resize(num_levels);
+  layouts_ = std::move(layouts);
+  layouts_.resize(num_levels, LevelLayout::kSorted);
+  // Level 0 is the flush stack regardless of configuration.
+  layouts_[0] = LevelLayout::kStacked;
+}
+
+bool Version::empty() const {
+  for (const auto& lvl : levels_) {
+    if (!lvl.empty()) return false;
+  }
+  return true;
+}
+
 int64_t Version::MaxPersistedGenerationTime() const {
   int64_t max_tg = std::numeric_limits<int64_t>::min();
-  if (!run_.empty()) {
-    max_tg = std::max(max_tg, run_.back()->max_generation_time);
-  }
-  for (const auto& f : level0_) {
-    max_tg = std::max(max_tg, f->max_generation_time);
+  for (size_t n = 0; n < levels_.size(); ++n) {
+    const auto& lvl = levels_[n];
+    if (lvl.empty()) continue;
+    if (n > 0 && layouts_[n] == LevelLayout::kSorted) {
+      max_tg = std::max(max_tg, lvl.back()->max_generation_time);
+    } else {
+      for (const auto& f : lvl) {
+        max_tg = std::max(max_tg, f->max_generation_time);
+      }
+    }
   }
   return max_tg;
 }
 
 uint64_t Version::TotalPoints() const {
   uint64_t total = 0;
-  for (const auto& f : level0_) total += f->point_count;
-  for (const auto& f : run_) total += f->point_count;
+  for (const auto& lvl : levels_) {
+    for (const auto& f : lvl) total += f->point_count;
+  }
   return total;
 }
 
-FilePtr Version::PopLevel0Front() {
-  FilePtr f = std::move(level0_.front());
-  level0_.erase(level0_.begin());
+uint64_t Version::TotalFiles() const {
+  uint64_t total = 0;
+  for (const auto& lvl : levels_) total += lvl.size();
+  return total;
+}
+
+FilePtr Version::RemoveFileAt(size_t level, size_t index) {
+  auto& lvl = levels_[level];
+  FilePtr f = std::move(lvl[index]);
+  lvl.erase(lvl.begin() + static_cast<std::ptrdiff_t>(index));
   return f;
 }
 
-Status Version::AppendToRun(FilePtr file) {
-  if (!run_.empty() &&
-      file->min_generation_time <= run_.back()->max_generation_time) {
+Status Version::AppendToLevel(size_t level, FilePtr file) {
+  if (level >= levels_.size()) {
+    return Status::InvalidArgument("AppendToLevel: no such level");
+  }
+  auto& lvl = levels_[level];
+  if (layouts_[level] == LevelLayout::kSorted && !lvl.empty() &&
+      file->min_generation_time <= lvl.back()->max_generation_time) {
     return Status::InvalidArgument(
         "AppendToRun: file overlaps or is below the run");
   }
-  run_.push_back(std::move(file));
+  lvl.push_back(std::move(file));
   return Status::OK();
 }
 
-Status Version::ReplaceRunSlice(size_t begin, size_t end,
-                                std::vector<FileMetadata> replacements) {
-  if (begin > end || end > run_.size()) {
+Status Version::ReplaceLevelSlice(size_t level, size_t begin, size_t end,
+                                  std::vector<FileMetadata> replacements) {
+  if (level >= levels_.size()) {
+    return Status::InvalidArgument("ReplaceLevelSlice: no such level");
+  }
+  auto& lvl = levels_[level];
+  if (begin > end || end > lvl.size()) {
     return Status::InvalidArgument("ReplaceRunSlice: bad slice");
   }
   std::vector<FilePtr> next;
-  next.reserve(run_.size() - (end - begin) + replacements.size());
-  next.insert(next.end(), run_.begin(), run_.begin() + begin);
+  next.reserve(lvl.size() - (end - begin) + replacements.size());
+  next.insert(next.end(), lvl.begin(),
+              lvl.begin() + static_cast<std::ptrdiff_t>(begin));
   for (auto& r : replacements) {
     next.push_back(std::make_shared<const FileMetadata>(std::move(r)));
   }
-  next.insert(next.end(), run_.begin() + end, run_.end());
-  run_ = std::move(next);
+  next.insert(next.end(), lvl.begin() + static_cast<std::ptrdiff_t>(end),
+              lvl.end());
+  lvl = std::move(next);
   return CheckInvariants();
 }
 
+Status Version::ReplaceFileAt(size_t level, size_t index, FileMetadata file,
+                              FilePtr* old_file) {
+  if (level >= levels_.size() || index >= levels_[level].size()) {
+    return Status::InvalidArgument("ReplaceFileAt: bad level or index");
+  }
+  FilePtr replacement = std::make_shared<const FileMetadata>(std::move(file));
+  std::swap(levels_[level][index], replacement);
+  if (old_file != nullptr) *old_file = std::move(replacement);
+  return CheckInvariants();
+}
+
+Status Version::InsertFileAt(size_t level, size_t index, FilePtr file) {
+  if (level >= levels_.size() || index > levels_[level].size()) {
+    return Status::InvalidArgument("InsertFileAt: bad level or index");
+  }
+  auto& lvl = levels_[level];
+  lvl.insert(lvl.begin() + static_cast<std::ptrdiff_t>(index),
+             std::move(file));
+  return CheckInvariants();
+}
+
+Status Version::MoveFile(size_t from_level, size_t index, size_t to_level) {
+  if (from_level >= levels_.size() || to_level >= levels_.size() ||
+      index >= levels_[from_level].size()) {
+    return Status::InvalidArgument("MoveFile: bad level or index");
+  }
+  if (layouts_[to_level] != LevelLayout::kStacked) {
+    return Status::InvalidArgument("MoveFile: target level is not stacked");
+  }
+  levels_[to_level].push_back(RemoveFileAt(from_level, index));
+  return Status::OK();
+}
+
 Status Version::CheckInvariants() const {
-  for (size_t i = 0; i < run_.size(); ++i) {
-    if (run_[i]->min_generation_time > run_[i]->max_generation_time) {
-      return Status::Corruption("run file with inverted range");
-    }
-    if (i > 0 && run_[i]->min_generation_time <=
-                     run_[i - 1]->max_generation_time) {
-      return Status::Corruption("run files overlap or are unsorted");
+  for (size_t n = 0; n < levels_.size(); ++n) {
+    const auto& lvl = levels_[n];
+    const bool sorted = n > 0 && layouts_[n] == LevelLayout::kSorted;
+    for (size_t i = 0; i < lvl.size(); ++i) {
+      if (lvl[i]->min_generation_time > lvl[i]->max_generation_time) {
+        return Status::Corruption("run file with inverted range");
+      }
+      if (sorted && i > 0 &&
+          lvl[i]->min_generation_time <= lvl[i - 1]->max_generation_time) {
+        return Status::Corruption("run files overlap or are unsorted");
+      }
     }
   }
   return Status::OK();

@@ -19,6 +19,19 @@ namespace seplsm::storage {
 /// (see DeferredFileDeleter).
 using FilePtr = std::shared_ptr<const FileMetadata>;
 
+/// How one level organizes its files (the compaction design space's
+/// "layout" primitive):
+///
+/// - `kSorted` ("leveling"): one sorted run — files pairwise disjoint and
+///   ordered by generation time, so a point query touches at most one file
+///   and a range query a contiguous slice.
+/// - `kStacked` ("tiering"): files stack in arrival order and may overlap;
+///   writes into the level are O(1) appends (no merge), reads must consult
+///   every overlapping file, newest (back) wins.
+///
+/// Level 0 is always stacked (flush order); level 1+ defaults to sorted.
+enum class LevelLayout : uint8_t { kSorted, kStacked };
+
 /// Returns [begin, end) indices of `run` files overlapping [lo, hi]; the
 /// vector must satisfy the run invariant (sorted, pairwise disjoint).
 void OverlappingRunRange(const std::vector<FilePtr>& run, int64_t lo,
@@ -37,41 +50,78 @@ std::vector<size_t> OverlappingLevel0(const std::vector<FilePtr>& level0,
 class VersionSnapshot {
  public:
   VersionSnapshot() = default;
-  VersionSnapshot(std::vector<FilePtr> run, std::vector<FilePtr> level0)
-      : run_(std::move(run)), level0_(std::move(level0)) {}
+  /// Legacy two-level shape: level 0 plus the sorted run (level 1).
+  VersionSnapshot(std::vector<FilePtr> run, std::vector<FilePtr> level0) {
+    levels_.reserve(2);
+    levels_.push_back(std::move(level0));
+    levels_.push_back(std::move(run));
+    layouts_ = {LevelLayout::kStacked, LevelLayout::kSorted};
+  }
+  VersionSnapshot(std::vector<std::vector<FilePtr>> levels,
+                  std::vector<LevelLayout> layouts)
+      : levels_(std::move(levels)), layouts_(std::move(layouts)) {}
 
-  const std::vector<FilePtr>& run() const { return run_; }
-  const std::vector<FilePtr>& level0() const { return level0_; }
+  size_t num_levels() const { return levels_.size(); }
+  const std::vector<FilePtr>& level(size_t n) const { return levels_[n]; }
+  LevelLayout layout(size_t n) const { return layouts_[n]; }
+
+  /// Legacy accessors: level 1 is "the run", level 0 the flush stack.
+  const std::vector<FilePtr>& run() const {
+    return levels_.size() > 1 ? levels_[1] : kEmptyLevel;
+  }
+  const std::vector<FilePtr>& level0() const {
+    return levels_.empty() ? kEmptyLevel : levels_[0];
+  }
 
   void OverlappingRunRange(int64_t lo, int64_t hi, size_t* begin,
                            size_t* end) const {
-    storage::OverlappingRunRange(run_, lo, hi, begin, end);
+    storage::OverlappingRunRange(run(), lo, hi, begin, end);
   }
   std::vector<size_t> OverlappingLevel0(int64_t lo, int64_t hi) const {
-    return storage::OverlappingLevel0(level0_, lo, hi);
+    return storage::OverlappingLevel0(level0(), lo, hi);
+  }
+  /// Overlap slice of a sorted level; for stacked levels use
+  /// storage::OverlappingLevel0 on level(n) instead.
+  void OverlappingLevelRange(size_t n, int64_t lo, int64_t hi, size_t* begin,
+                             size_t* end) const {
+    storage::OverlappingRunRange(levels_[n], lo, hi, begin, end);
   }
 
  private:
-  std::vector<FilePtr> run_;
-  std::vector<FilePtr> level0_;
+  static const std::vector<FilePtr> kEmptyLevel;
+  std::vector<std::vector<FilePtr>> levels_;
+  std::vector<LevelLayout> layouts_;
 };
 
-/// The persisted state of the tree:
+/// The persisted state of the tree, generalized to N levels:
 ///
-/// - `level0`: recently flushed SSTables, in flush order; files may overlap
-///   each other and the run. Only populated when the engine runs the
+/// - Level 0: recently flushed SSTables, in flush order; files may overlap
+///   each other and deeper levels. Only populated when the engine runs the
 ///   background-compaction variant (paper §V-C); empty in synchronous mode.
-/// - `run`: level 1, kept sorted by min generation time with pairwise
-///   disjoint ranges — the paper's single sorted *run* R.
+/// - Levels 1..N-1: time-partitioned runs. A `kSorted` level is kept sorted
+///   by min generation time with pairwise disjoint ranges; level 1 in the
+///   default two-level configuration is the paper's single sorted *run* R.
+///   A `kStacked` level holds possibly-overlapping files in arrival order
+///   (newest at the back).
 ///
-/// File metadata is held by shared ownership so `Snapshot()` can hand out
-/// stable views. Not thread-safe; the engine serializes mutation.
+/// Data always enters at level 1 (flush/merge) and migrates toward the
+/// deepest level through bounded per-file compaction jobs. File metadata is
+/// held by shared ownership so `Snapshot()` can hand out stable views. Not
+/// thread-safe; the engine serializes mutation.
 class Version {
  public:
-  const std::vector<FilePtr>& level0() const { return level0_; }
-  const std::vector<FilePtr>& run() const { return run_; }
+  explicit Version(size_t num_levels = 2,
+                   std::vector<LevelLayout> layouts = {});
 
-  bool empty() const { return level0_.empty() && run_.empty(); }
+  size_t num_levels() const { return levels_.size(); }
+  LevelLayout layout(size_t n) const { return layouts_[n]; }
+  const std::vector<FilePtr>& level(size_t n) const { return levels_[n]; }
+
+  /// Legacy accessors: level 1 is "the run", level 0 the flush stack.
+  const std::vector<FilePtr>& level0() const { return levels_[0]; }
+  const std::vector<FilePtr>& run() const { return levels_[1]; }
+
+  bool empty() const;
 
   /// Max generation time across all persisted data: LAST(R).t_g in the
   /// paper (the engine also folds in level0 in background mode).
@@ -79,47 +129,96 @@ class Version {
   int64_t MaxPersistedGenerationTime() const;
 
   uint64_t TotalPoints() const;
-  uint64_t TotalFiles() const { return level0_.size() + run_.size(); }
+  uint64_t TotalFiles() const;
 
   /// O(files) copy of the current file lists with shared ownership.
-  VersionSnapshot Snapshot() const { return VersionSnapshot(run_, level0_); }
+  VersionSnapshot Snapshot() const {
+    return VersionSnapshot(levels_, layouts_);
+  }
 
   void AddLevel0(FileMetadata file) {
-    level0_.push_back(std::make_shared<const FileMetadata>(std::move(file)));
+    levels_[0].push_back(
+        std::make_shared<const FileMetadata>(std::move(file)));
   }
 
   /// Removes and returns the oldest level-0 file.
-  FilePtr PopLevel0Front();
+  FilePtr PopLevel0Front() { return RemoveFileAt(0, 0); }
+
+  /// Removes and returns the file at `index` in `level`.
+  FilePtr RemoveFileAt(size_t level, size_t index);
 
   /// Appends a file strictly above the current run (C_seq flush fast path).
   /// Fails if the file overlaps the run.
   Status AppendToRun(FileMetadata file) {
-    return AppendToRun(std::make_shared<const FileMetadata>(std::move(file)));
+    return AppendToLevel(
+        1, std::make_shared<const FileMetadata>(std::move(file)));
   }
-  Status AppendToRun(FilePtr file);
+  Status AppendToRun(FilePtr file) { return AppendToLevel(1, std::move(file)); }
+
+  /// Appends a file to `level`. For a sorted level the file must lie
+  /// strictly above the level's current max; a stacked level accepts any
+  /// file (arrival order, newest at the back).
+  Status AppendToLevel(size_t level, FileMetadata file) {
+    return AppendToLevel(
+        level, std::make_shared<const FileMetadata>(std::move(file)));
+  }
+  Status AppendToLevel(size_t level, FilePtr file);
 
   /// Replaces run files [begin, end) with `replacements` (sorted,
   /// non-overlapping, and fitting the gap). Indices into run().
   Status ReplaceRunSlice(size_t begin, size_t end,
-                         std::vector<FileMetadata> replacements);
+                         std::vector<FileMetadata> replacements) {
+    return ReplaceLevelSlice(1, begin, end, std::move(replacements));
+  }
+
+  /// Replaces files [begin, end) of `level` with `replacements`; with
+  /// begin == end this inserts into a gap. The level invariant is
+  /// re-checked after the splice.
+  Status ReplaceLevelSlice(size_t level, size_t begin, size_t end,
+                           std::vector<FileMetadata> replacements);
+
+  /// Replaces the single file at `index` in `level` with `file`, returning
+  /// the displaced FilePtr through `old_file` (for deferred deletion).
+  Status ReplaceFileAt(size_t level, size_t index, FileMetadata file,
+                       FilePtr* old_file);
+
+  /// Inserts an existing file (same FilePtr, no metadata copy, no deletion
+  /// involved) at `index` in `level` — the gap-adoption path when a
+  /// compaction finds no next-level overlap. The level invariant is
+  /// re-checked after the insert.
+  Status InsertFileAt(size_t level, size_t index, FilePtr file);
+
+  /// Moves the file at `index` in `from_level` to the back of `to_level`
+  /// without any I/O (tiering's zero-copy data movement). The target must
+  /// be a stacked level; with the forced oldest-first pick on stacked
+  /// source levels, back-append preserves recency order.
+  Status MoveFile(size_t from_level, size_t index, size_t to_level);
 
   /// Returns [begin, end) indices of run files overlapping [lo, hi].
   void OverlappingRunRange(int64_t lo, int64_t hi, size_t* begin,
                            size_t* end) const {
-    storage::OverlappingRunRange(run_, lo, hi, begin, end);
+    storage::OverlappingRunRange(levels_[1], lo, hi, begin, end);
+  }
+
+  /// Overlap slice of a sorted level; for stacked levels use
+  /// OverlappingLevel0-style linear scans on level(n) instead.
+  void OverlappingLevelRange(size_t level, int64_t lo, int64_t hi,
+                             size_t* begin, size_t* end) const {
+    storage::OverlappingRunRange(levels_[level], lo, hi, begin, end);
   }
 
   /// Indices of level0 files overlapping [lo, hi].
   std::vector<size_t> OverlappingLevel0(int64_t lo, int64_t hi) const {
-    return storage::OverlappingLevel0(level0_, lo, hi);
+    return storage::OverlappingLevel0(levels_[0], lo, hi);
   }
 
-  /// Verifies the run invariant (sorted, pairwise disjoint).
+  /// Verifies every level's invariant: no inverted ranges anywhere, and
+  /// sorted levels pairwise disjoint and ordered.
   Status CheckInvariants() const;
 
  private:
-  std::vector<FilePtr> level0_;
-  std::vector<FilePtr> run_;
+  std::vector<std::vector<FilePtr>> levels_;
+  std::vector<LevelLayout> layouts_;
 };
 
 /// Thread-safe list of files that left the live Version but may still be

@@ -71,7 +71,7 @@ class Telemetry {
   /// feeds its duration into the latency histogram for `type`.
   void RecordSpan(SpanType type, uint32_t series_id, int64_t start_nanos,
                   int64_t end_nanos, uint64_t points = 0, uint64_t bytes = 0,
-                  uint64_t files = 0) {
+                  uint64_t files = 0, uint32_t level = 0) {
     registry_.AddLatency(
         type, static_cast<double>(end_nanos - start_nanos) / 1000.0);
     if (tracer_.enabled()) {
@@ -83,6 +83,7 @@ class Telemetry {
       event.points = points;
       event.bytes = bytes;
       event.files = files;
+      event.level = level;
       tracer_.Record(event);
     }
   }
@@ -127,11 +128,13 @@ class ScopedSpan {
   void set_points(uint64_t n) { points_ = n; }
   void set_bytes(uint64_t n) { bytes_ = n; }
   void set_files(uint64_t n) { files_ = n; }
+  void set_level(uint32_t n) { level_ = n; }
 
   void Finish() {
     if (telemetry_ == nullptr) return;
     telemetry_->RecordSpan(type_, series_id_, start_nanos_,
-                           clock_->NowNanos(), points_, bytes_, files_);
+                           clock_->NowNanos(), points_, bytes_, files_,
+                           level_);
     telemetry_ = nullptr;
   }
 
@@ -144,6 +147,7 @@ class ScopedSpan {
   uint64_t points_ = 0;
   uint64_t bytes_ = 0;
   uint64_t files_ = 0;
+  uint32_t level_ = 0;
 };
 
 /// Clock-backed stopwatch shared by benches so every harness times through

@@ -52,6 +52,9 @@ struct TraceEvent {
   uint64_t points = 0;      ///< payload: points moved/returned/buffered
   uint64_t bytes = 0;       ///< payload: bytes written/read
   uint64_t files = 0;       ///< payload: files created/opened/merged
+  /// Payload: destination tree level of a compaction/flush span (0 means
+  /// "not level-attributed" — level 0 itself is only ever a source).
+  uint32_t level = 0;
   /// Global record order, assigned by the recorder: a stable tiebreak for
   /// events with equal start times and proof of cross-thread ordering.
   uint64_t seq = 0;

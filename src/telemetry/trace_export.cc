@@ -58,6 +58,7 @@ std::string ToJsonl(const std::vector<TraceEvent>& events,
     if (e.points > 0) out << ",\"points\":" << e.points;
     if (e.bytes > 0) out << ",\"bytes\":" << e.bytes;
     if (e.files > 0) out << ",\"files\":" << e.files;
+    if (e.level > 0) out << ",\"level\":" << e.level;
     out << "}\n";
   }
   return out.str();
@@ -91,7 +92,7 @@ std::string ToChromeTrace(const std::vector<TraceEvent>& events,
     AppendMicros(out, e.duration_nanos());
     out << ",\"pid\":1,\"tid\":" << e.series_id << ",\"args\":{";
     out << "\"points\":" << e.points << ",\"bytes\":" << e.bytes
-        << ",\"files\":" << e.files << "}}";
+        << ",\"files\":" << e.files << ",\"level\":" << e.level << "}}";
   }
   out << "]}";
   return out.str();

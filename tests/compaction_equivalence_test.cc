@@ -239,6 +239,7 @@ TEST_F(CompactionEquivalenceTest, IdenticalWorkloadsAreDeterministic) {
 TEST_F(CompactionEquivalenceTest, GoldenRewriteAccounting) {
   // Hand-computed scenario pinning the WA bookkeeping bit-for-bit.
   Options o = BaseOptions();
+  o.num_levels = 2;  // the golden numbers assume the seed tree
   o.policy = PolicyConfig::Conventional(4);
   auto db = MustOpen(o);
   // Batch 1: t=0..3 -> empty-slice merge, one run file [0..3].
@@ -283,6 +284,7 @@ TEST_F(CompactionEquivalenceTest, CompactionReadCountersStayZeroWithoutReads) {
   // A purely in-order workload never reads during run mutation — the new
   // counters must not pick up flush traffic.
   Options o = BaseOptions();
+  o.num_levels = 2;  // counter expectations assume the seed tree
   o.policy = PolicyConfig::Conventional(8);
   auto db = MustOpen(o);
   for (int64_t t = 0; t < 64; ++t) {
@@ -378,6 +380,7 @@ TEST_F(CompactionEquivalenceTest, BackgroundReadFaultIsStickyAndRecoverable) {
   FaultInjectionEnv fault(&env_);
   Options o = BaseOptions();
   o.env = &fault;
+  o.num_levels = 2;  // the fault fires on compaction reads: pin the seed tree
   o.policy = PolicyConfig::Conventional(8);
   o.sstable_points = 16;
   o.background_mode = true;
@@ -436,6 +439,7 @@ TEST_F(CompactionEquivalenceTest, BackgroundReadFaultIsStickyAndRecoverable) {
 
 TEST_F(CompactionEquivalenceTest, LargeMergeDoesNotEvictHotBlocks) {
   Options o = BaseOptions();
+  o.num_levels = 2;  // needs the seed tree's whole-run rewriting merge
   o.policy = PolicyConfig::Conventional(32);
   o.sstable_points = 64;
   o.points_per_block = 4;

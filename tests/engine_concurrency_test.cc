@@ -176,6 +176,7 @@ TEST_F(EngineConcurrencyTest, ManyReadersWritersChurn) {
   // sees heavy snapshot/compaction overlap with zero races and that every
   // retired file is eventually collected.
   Options o = BaseOptions();
+  o.num_levels = 2;  // tiering retires no files: pin the rewriting seed tree
   o.policy = PolicyConfig::Conventional(8);
   o.background_mode = true;
   o.max_level0_files = 2;
@@ -250,6 +251,7 @@ TEST_F(EngineConcurrencyTest, WriterUnblocksOnBackgroundCompactionError) {
   FaultInjectionEnv fault_env(&env_);
   Options o = BaseOptions();
   o.env = &fault_env;
+  o.num_levels = 2;  // the fault fires on compaction reads: pin the seed tree
   o.policy = PolicyConfig::Conventional(4);
   o.sstable_points = 16;
   o.background_mode = true;
@@ -408,6 +410,7 @@ TEST_F(EngineConcurrencyTest, BackgroundErrorStaysOnItsEngine) {
   Options oa = BaseOptions();
   oa.env = &fault_env;
   oa.dir = "/db_a";
+  oa.num_levels = 2;  // the fault fires on compaction reads: pin the seed tree
   oa.policy = PolicyConfig::Conventional(4);
   oa.sstable_points = 16;
   oa.background_mode = true;

@@ -73,6 +73,7 @@ TEST_F(EngineEdgeTest, MemTableCapacityOne) {
 
 TEST_F(EngineEdgeTest, SSTablePointsOne) {
   Options o = BaseOptions();
+  o.num_levels = 2;  // RunFileCount is shape-sensitive: pin the seed tree
   o.policy = PolicyConfig::Conventional(4);
   o.sstable_points = 1;
   auto db = MustOpen(o);
@@ -127,6 +128,7 @@ TEST_F(EngineEdgeTest, OutOfOrderPointIntoRunGap) {
 
 TEST_F(EngineEdgeTest, SeparationAllPointsOutOfOrderAfterSeed) {
   Options o = BaseOptions();
+  o.num_levels = 2;  // merge accounting is shape-sensitive: pin the seed tree
   o.policy = PolicyConfig::Separation(8, 4);
   auto db = MustOpen(o);
   // Seed the disk with a high key, then send only stale points.
@@ -265,6 +267,7 @@ TEST_F(EngineEdgeTest, RecoversTablesWithWideFileNumbers) {
 
 TEST_F(EngineEdgeTest, MetricsMergeEventsDisabled) {
   Options o = BaseOptions();
+  o.num_levels = 2;  // merge accounting is shape-sensitive: pin the seed tree
   o.policy = PolicyConfig::Conventional(4);
   o.record_merge_events = false;
   auto db = MustOpen(o);

@@ -118,6 +118,7 @@ TEST_F(EngineTest, UpsertNewestWins) {
 
 TEST_F(EngineTest, OutOfOrderTriggersRewrite) {
   Options o = BaseOptions();
+  o.num_levels = 2;  // rewrite accounting assumes the seed tree
   o.policy = PolicyConfig::Conventional(4);
   auto db = MustOpen(o);
   // Fill disk with 0..15.
@@ -164,6 +165,7 @@ TEST_F(EngineTest, SeparationClassifiesAgainstDisk) {
 
 TEST_F(EngineTest, SeparationNonseqFullTriggersMerge) {
   Options o = BaseOptions();
+  o.num_levels = 2;  // merge accounting assumes the seed tree
   o.policy = PolicyConfig::Separation(8, 6);  // C_nonseq capacity 2
   auto db = MustOpen(o);
   for (int64_t t = 0; t < 60; ++t) ASSERT_TRUE(db->Append(P(t * 10)).ok());

@@ -28,6 +28,7 @@ double MeasureWa(Env* env, const PolicyConfig& policy,
   Options o;
   o.env = env;
   o.dir = "/wa_run";
+  o.num_levels = 2;  // the WA estimators model the two-level tree
   o.policy = policy;
   o.sstable_points = sstable_points;
   auto open = TsEngine::Open(o);
@@ -163,6 +164,7 @@ TEST(ModelVsEngineTest, MeasuredSubsequentPointsTrackZeta) {
   Options o;
   o.env = &env;
   o.dir = "/fig5";
+  o.num_levels = 2;  // zeta tracks the two-level tree's merges
   o.policy = PolicyConfig::Conventional(256);
   o.sstable_points = 512;
   auto open = TsEngine::Open(o);
@@ -196,6 +198,7 @@ TEST(EndToEndTest, S9WorkloadThroughFullStack) {
   Options o;
   o.env = &env;
   o.dir = "/s9";
+  o.num_levels = 2;  // WA expectations assume the seed tree
   // Paper uses memory budget 8 for S-9 because the dataset is small.
   o.policy = PolicyConfig::Separation(8, 4);
   o.sstable_points = 512;

@@ -174,6 +174,44 @@ TEST(WaModelTest, SeparationBreakdownConsistent) {
   EXPECT_NEAR(b.wa, (b.n_arrive + b.n_cur + b.n_bef) / b.n_arrive, 1e-12);
 }
 
+TEST(WaModelTest, MultiLevelMigrationZeroAtTwoLevels) {
+  // The N-level extension must be exactly the paper's estimator at the
+  // default configuration: no migration term at num_levels <= 2.
+  dist::LognormalDistribution d(4.0, 1.5);
+  WaModel m(d, 50.0);
+  EXPECT_EQ(m.MultiLevelMigration(512, 2), 0.0);
+  EXPECT_EQ(m.ConventionalWaMultiLevel(512, 2), m.ConventionalWa(512));
+  EXPECT_EQ(m.SeparationWaMultiLevel(512, 256, 2),
+            m.SeparationWa(512, 256));
+}
+
+TEST(WaModelTest, MultiLevelMigrationGrowsWithDepthAndDisorder) {
+  dist::LognormalDistribution d(5.0, 2.0);
+  WaModel m(d, 50.0);
+  double hop3 = m.MultiLevelMigration(512, 3);
+  double hop4 = m.MultiLevelMigration(512, 4);
+  EXPECT_GT(hop3, 0.0);
+  // Each extra level adds one hop of identical expected cost.
+  EXPECT_NEAR(hop4, 2.0 * hop3, 1e-12);
+  // At most one rewrite per hop without the granularity correction.
+  EXPECT_LE(hop3, 1.0);
+  // Purely in-order data migrates through gap-inserts for free.
+  dist::UniformDistribution ordered(0.0, 1.0);
+  WaModel m2(ordered, 1000.0);
+  EXPECT_NEAR(m2.MultiLevelMigration(512, 4), 0.0, 1e-3);
+}
+
+TEST(WaModelTest, MultiLevelMigrationPreservesPolicyGap) {
+  // The migration term is shared by both policies, so the tuner's
+  // objective — the r_c - r_s gap — is unchanged by the extension.
+  dist::LognormalDistribution d(6.0, 2.0);
+  WaModel m(d, 10.0);
+  double gap2 = m.ConventionalWa(512) - m.SeparationWa(512, 256);
+  double gap4 = m.ConventionalWaMultiLevel(512, 4) -
+                m.SeparationWaMultiLevel(512, 256, 4);
+  EXPECT_NEAR(gap2, gap4, 1e-12);
+}
+
 TEST(WaModelTest, SeverelyDisorderedFavorsSeparation) {
   // Heavy disorder: out-of-order points are common and π_c merges on every
   // MemTable fill; accumulating them (π_s) must help.

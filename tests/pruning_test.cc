@@ -24,6 +24,10 @@ Options BaseOptions(Env* env, const std::string& dir, bool pruning) {
   Options o;
   o.env = env;
   o.dir = dir;
+  // Summary-served aggregation engages on the sorted run; pin the seed
+  // tree so the "summaries were actually used" assertions stay meaningful
+  // under the deep-tree CI leg.
+  o.num_levels = 2;
   o.policy = PolicyConfig::Conventional(256);
   o.sstable_points = 256;
   o.points_per_block = 32;

@@ -206,7 +206,7 @@ TEST(TraceExportTest, ChromeTraceGolden) {
       "\"args\":{\"name\":\"cpu\"}},"
       "{\"name\":\"compaction\",\"cat\":\"seplsm\",\"ph\":\"X\","
       "\"ts\":1.500,\"dur\":2.500,\"pid\":1,\"tid\":1,"
-      "\"args\":{\"points\":0,\"bytes\":0,\"files\":3}}"
+      "\"args\":{\"points\":0,\"bytes\":0,\"files\":3,\"level\":0}}"
       "]}");
 }
 

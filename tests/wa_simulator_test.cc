@@ -46,6 +46,7 @@ TEST_P(WaSimulatorTest, MatchesEngineExactly) {
   engine::Options o;
   o.env = &env;
   o.dir = "/sim";
+  o.num_levels = 2;  // the keys-only simulator models the two-level tree
   o.policy = c.policy;
   o.sstable_points = c.sstable_points;
   auto db = engine::TsEngine::Open(o);

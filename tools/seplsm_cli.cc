@@ -46,6 +46,12 @@ class Flags {
                                : std::strtoll(it->second.c_str(), nullptr, 10);
   }
 
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
   bool GetBool(const std::string& key) const {
     return values_.count(key) > 0;
   }
@@ -72,6 +78,56 @@ void ApplyCacheFlags(const Flags& flags, engine::Options* options) {
       options->table_cache_entries = 1024;
     }
   }
+}
+
+/// Applies the tree-shape knobs (--num-levels, --level-layout, --file-pick,
+/// --level-base-files, --size-ratio, --max-compaction-input-files). Without
+/// flags the options keep num_levels=0 (auto), so $SEPLSM_NUM_LEVELS still
+/// applies; an explicit --num-levels pins the shape like it does in tests.
+int ApplyTreeFlags(const Flags& flags, engine::Options* options) {
+  options->num_levels = static_cast<size_t>(flags.GetInt("num-levels", 0));
+  std::string layout = flags.Get("level-layout", "");
+  if (!layout.empty()) {
+    size_t n = options->num_levels > 0 ? options->num_levels : 2;
+    if (layout == "tiering") {
+      options->level_layouts.assign(n, storage::LevelLayout::kStacked);
+    } else if (layout == "hybrid") {
+      options->level_layouts.assign(n, storage::LevelLayout::kStacked);
+      options->level_layouts.back() = storage::LevelLayout::kSorted;
+    } else if (layout == "leveling") {
+      options->level_layouts.clear();
+    } else {
+      return Fail("unknown --level-layout '" + layout +
+                  "' (expected leveling, tiering, or hybrid)");
+    }
+  }
+  std::string pick = flags.Get("file-pick", "oldest");
+  if (pick == "oldest") {
+    options->file_pick = engine::CompactionFilePick::kOldest;
+  } else if (pick == "most-overlap") {
+    options->file_pick = engine::CompactionFilePick::kMostOverlap;
+  } else if (pick == "round-robin") {
+    options->file_pick = engine::CompactionFilePick::kRoundRobin;
+  } else {
+    return Fail("unknown --file-pick '" + pick +
+                "' (expected oldest, most-overlap, or round-robin)");
+  }
+  options->level_base_files = static_cast<size_t>(
+      flags.GetInt("level-base-files",
+                   static_cast<long long>(options->level_base_files)));
+  options->level_size_ratio =
+      flags.GetDouble("size-ratio", options->level_size_ratio);
+  options->max_compaction_input_files = static_cast<size_t>(
+      flags.GetInt("max-compaction-input-files", 0));
+  return 0;
+}
+
+void PrintLevelFileCounts(engine::TsEngine* db) {
+  std::printf("levels:     %zu (", db->NumLevels());
+  for (size_t n = 0; n < db->NumLevels(); ++n) {
+    std::printf("%sL%zu=%zu", n > 0 ? " " : "", n, db->LevelFileCount(n));
+  }
+  std::printf(")\n");
 }
 
 void PrintCacheStats(engine::TsEngine* db) {
@@ -125,6 +181,11 @@ int Usage() {
                "           [--wal-group-commit] [--gorilla] [--bg]\n"
                "           [--bg-threads=T] [--cache-mb=M] [--cache-shards=S]\n"
                "           [--trace-out=f] [--stats-dump-ms=T]\n"
+               "           [--num-levels=N] "
+               "[--level-layout=leveling|tiering|hybrid]\n"
+               "           [--file-pick=oldest|most-overlap|round-robin]\n"
+               "           [--level-base-files=K] [--size-ratio=R]\n"
+               "           [--max-compaction-input-files=C]\n"
                "  query    --dir=path --lo=T --hi=T [--bucket=W]\n"
                "           [--repeat=R] [--cache-mb=M] [--cache-shards=S]\n"
                "           [--stats] [--trace-out=f]\n"
@@ -211,6 +272,7 @@ int CmdIngest(const Flags& flags) {
     options.value_encoding = format::ValueEncoding::kGorilla;
   }
   ApplyCacheFlags(flags, &options);
+  if (int rc = ApplyTreeFlags(flags, &options); rc != 0) return rc;
   auto telemetry = ApplyTelemetryFlags(flags, &options);
 
   auto db = engine::TsEngine::Open(options);
@@ -229,6 +291,7 @@ int CmdIngest(const Flags& flags) {
   std::printf("ingested under %s\n%s\n",
               (*db)->options().policy.ToString().c_str(),
               m.ToString().c_str());
+  PrintLevelFileCounts(db->get());
   PrintCacheStats(db->get());
   if (telemetry != nullptr) {
     std::printf("%s\n", telemetry->registry().ToJson().c_str());
@@ -242,6 +305,7 @@ int CmdQuery(const Flags& flags) {
   engine::Options options;
   options.dir = dir;
   ApplyCacheFlags(flags, &options);
+  if (int rc = ApplyTreeFlags(flags, &options); rc != 0) return rc;
   auto telemetry = ApplyTelemetryFlags(flags, &options);
   auto db = engine::TsEngine::Open(options);
   if (!db.ok()) return Fail(db.status().ToString());
@@ -335,6 +399,7 @@ int CmdInfo(const Flags& flags) {
   if (dir.empty()) return Fail("info requires --dir");
   engine::Options options;
   options.dir = dir;
+  if (int rc = ApplyTreeFlags(flags, &options); rc != 0) return rc;
   auto db = engine::TsEngine::Open(options);
   if (!db.ok()) return Fail(db.status().ToString());
   engine::Aggregates agg;
@@ -351,6 +416,7 @@ int CmdInfo(const Flags& flags) {
               static_cast<long long>(agg.last_time));
   std::printf("run files:  %zu (+%zu level-0)\n", (*db)->RunFileCount(),
               (*db)->Level0FileCount());
+  PrintLevelFileCounts(db->get());
   if (flags.GetBool("stats")) {
     std::printf("%s\n", (*db)->GetMetrics().ToString().c_str());
   }
@@ -387,6 +453,7 @@ int CmdStats(const Flags& flags) {
     options.value_encoding = format::ValueEncoding::kGorilla;
   }
   ApplyCacheFlags(flags, &options);
+  if (int rc = ApplyTreeFlags(flags, &options); rc != 0) return rc;
   std::string series = flags.Get("series", dir);
   options.series_name = series;
   auto telemetry = ApplyTelemetryFlags(flags, &options, /*force=*/true);
