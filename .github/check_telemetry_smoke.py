@@ -1,13 +1,24 @@
 #!/usr/bin/env python3
 """Validates the telemetry smoke artifacts produced in CI.
 
-Usage: check_telemetry_smoke.py <dir>
+Usage: check_telemetry_smoke.py <dir>             stats/trace artifacts
+       check_telemetry_smoke.py <dir> --exporter  live-exporter artifacts
 
-Expects in <dir>:
+Default mode expects in <dir>:
   stats.json        `seplsm_cli stats --json` output
   stats.prom        `seplsm_cli stats --prometheus` output
   spans.chrome.json Chrome trace_event capture (--trace-out, chrome format)
   spans.jsonl       JSONL capture (--trace-out, jsonl format)
+
+--exporter mode expects curl captures of the five live endpoints served by
+`seplsm_cli serve` under concurrent ingest:
+  metrics           /metrics      Prometheus exposition (strictly validated:
+                                  HELP/TYPE per family, no duplicate family,
+                                  cumulative histogram buckets, +Inf==_count)
+  stats             /stats        full JSON stats
+  healthz           /healthz      health verdict
+  debug_lsm         /debug/lsm    per-series LSM shape
+  debug_policy      /debug/policy adaptive-policy decision audit
 
 Stdlib only (json, re, sys) so it runs on a bare CI python3.
 """
@@ -140,9 +151,147 @@ def check_jsonl_trace(path):
     print(f"ok: {path} ({count} events, span types {sorted(types)})")
 
 
+SAMPLE_RE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})? "
+                       r"(-?[0-9.eE+-]+(?:nan|inf)?)$")
+
+
+def parse_exposition(path):
+    """Parses an exposition strictly: returns (types, helps, samples) where
+    samples are (name, labels_text, float_value) tuples."""
+    types, helps, samples = {}, set(), []
+    for line in path.read_text().splitlines():
+        if not line:
+            fail(f"{path}: blank line in exposition")
+        if line.startswith("# HELP "):
+            helps.add(line.split()[2])
+        elif line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) < 4:
+                fail(f"{path}: malformed TYPE line: {line!r}")
+            if parts[2] in types:
+                fail(f"{path}: family declared twice: {parts[2]}")
+            types[parts[2]] = parts[3]
+        elif line.startswith("#"):
+            fail(f"{path}: unknown comment line: {line!r}")
+        else:
+            m = SAMPLE_RE.match(line)
+            if not m:
+                fail(f"{path}: malformed exposition line: {line!r}")
+            samples.append((m.group(1), m.group(2) or "",
+                            float(m.group(3))))
+    return types, helps, samples
+
+
+def family_of(name, types):
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = name[:-len(suffix)] if name.endswith(suffix) else None
+        if base and types.get(base) in ("histogram", "summary"):
+            return base
+    return None
+
+
+def check_exporter_metrics(path):
+    types, helps, samples = parse_exposition(path)
+    for name, _, _ in samples:
+        family = family_of(name, types)
+        if family is None:
+            fail(f"{path}: sample '{name}' has no TYPE declaration")
+        if family not in helps:
+            fail(f"{path}: family '{family}' missing HELP")
+        if types[family] == "counter" and not family.endswith("_total"):
+            fail(f"{path}: counter family '{family}' does not end in _total")
+    # Histogram buckets: cumulative, nondecreasing, +Inf present and equal
+    # to _count — per op label group.
+    for family, typ in types.items():
+        if typ != "histogram":
+            continue
+        buckets, counts = {}, {}
+        for name, labels, value in samples:
+            le = re.search(r'le="([^"]*)"', labels)
+            group = re.sub(r',?le="[^"]*"', "", labels)
+            if name == family + "_bucket" and le:
+                upper = float("inf") if le.group(1) == "+Inf" \
+                    else float(le.group(1))
+                buckets.setdefault(group, []).append((upper, value))
+            elif name == family + "_count":
+                counts[group] = value
+        if not buckets:
+            fail(f"{path}: histogram '{family}' emitted no buckets")
+        for group, series in buckets.items():
+            for (lo_le, lo_v), (hi_le, hi_v) in zip(series, series[1:]):
+                if hi_le <= lo_le:
+                    fail(f"{path}: {family}{group}: le not increasing")
+                if hi_v < lo_v:
+                    fail(f"{path}: {family}{group}: buckets not cumulative")
+            if series[-1][0] != float("inf"):
+                fail(f"{path}: {family}{group}: missing le=\"+Inf\"")
+            if group not in counts or series[-1][1] != counts[group]:
+                fail(f"{path}: {family}{group}: +Inf bucket != _count")
+    for metric in ("seplsm_points_ingested_total",
+                   "seplsm_writer_stall_micros_total",
+                   "seplsm_stall_wal_commit_micros_total",
+                   "seplsm_stall_shard_lock_micros_total",
+                   "seplsm_level_compaction_debt_bytes",
+                   "seplsm_op_latency_micros",
+                   "seplsm_op_duration_micros"):
+        if metric not in types:
+            fail(f"{path}: family '{metric}' not exported")
+    ingested = [v for n, _, v in samples
+                if n == "seplsm_points_ingested_total"]
+    if not ingested or sum(ingested) <= 0:
+        fail(f"{path}: no points ingested during the serve window")
+    print(f"ok: {path} ({len(types)} families, all declared)")
+
+
+def check_exporter_json(d):
+    stats = json.loads((d / "stats").read_text())
+    for key in ("dir", "series_count", "engine", "health"):
+        if key not in stats:
+            fail(f"{d / 'stats'}: missing key '{key}'")
+    if stats["series_count"] <= 0:
+        fail(f"{d / 'stats'}: no series registered")
+
+    healthz = json.loads((d / "healthz").read_text())
+    if healthz.get("ok") is not True:
+        fail(f"{d / 'healthz'}: serve DB reported unhealthy: {healthz}")
+
+    lsm = json.loads((d / "debug_lsm").read_text())
+    series = lsm.get("series")
+    if not isinstance(series, list) or not series:
+        fail(f"{d / 'debug_lsm'}: no per-series LSM entries")
+    for entry in series:
+        if "lsm" not in entry or "levels" not in entry["lsm"]:
+            fail(f"{d / 'debug_lsm'}: entry missing lsm.levels: {entry}")
+
+    policy = json.loads((d / "debug_policy").read_text())
+    if "adaptive" not in policy or "series" not in policy:
+        fail(f"{d / 'debug_policy'}: missing adaptive/series keys")
+    if policy["adaptive"]:
+        audited = [e for e in policy["series"] if e.get("audit")]
+        if not audited:
+            fail(f"{d / 'debug_policy'}: adaptive on but no audit entries")
+        for entry in audited:
+            for key in ("entries", "dropped"):
+                if key not in entry["audit"]:
+                    fail(f"{d / 'debug_policy'}: audit missing '{key}'")
+    print(f"ok: {d}/stats,healthz,debug_lsm,debug_policy "
+          f"({stats['series_count']} series)")
+
+
+def check_exporter(d):
+    check_exporter_metrics(d / "metrics")
+    check_exporter_json(d)
+    print("exporter smoke: all endpoints valid")
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[2] == "--exporter":
+        check_exporter(Path(sys.argv[1]))
+        return
     if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} <dir>")
+        fail(f"usage: {sys.argv[0]} <dir> [--exporter]")
     d = Path(sys.argv[1])
     check_stats_json(d / "stats.json")
     check_stats_prom(d / "stats.prom")

@@ -1,11 +1,32 @@
 #include "analyzer/adaptive_controller.h"
 
+#include <cstdio>
+#include <sstream>
+
 #include "common/logging.h"
 #include "telemetry/telemetry.h"
 
 namespace seplsm::analyzer {
 
 namespace {
+
+std::string JsonString(const std::string& value) {
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
 
 /// Bumps a named counter on the engine's telemetry hub (no-op when
 /// observability is off). The controller's own instrumentation: tuning
@@ -43,7 +64,7 @@ Status AdaptiveController::Observe(const DataPoint& point) {
 
   if (!drift_.has_reference()) {
     // First decision after warm-up: fit, tune, install reference profile.
-    SEPLSM_RETURN_IF_ERROR(RunTuning());
+    SEPLSM_RETURN_IF_ERROR(RunTuning("warmup"));
     drift_.SetReference(collector_.sample());
     return Status::OK();
   }
@@ -56,7 +77,7 @@ Status AdaptiveController::Observe(const DataPoint& point) {
     std::vector<double> recent = collector_.RecentSample();
     collector_.ResetDelays();
     for (double d : recent) collector_.AddDelay(d);
-    SEPLSM_RETURN_IF_ERROR(RunTuning());
+    SEPLSM_RETURN_IF_ERROR(RunTuning("drift"));
     drift_.SetReference(collector_.sample());
   }
   return Status::OK();
@@ -70,7 +91,48 @@ Status AdaptiveController::ObserveBatch(const DataPoint* points,
   return Status::OK();
 }
 
-Status AdaptiveController::RunTuning() {
+std::string AdaptiveController::AuditEntry::ToJson() const {
+  std::ostringstream out;
+  out << "{\"at_points\":" << at_points
+      << ",\"trigger\":" << JsonString(trigger)
+      << ",\"delta_t\":" << delta_t
+      << ",\"median_delay\":" << median_delay
+      << ",\"p99_delay\":" << p99_delay
+      << ",\"ooo_rate\":" << ooo_rate
+      << ",\"fitted_family\":" << JsonString(fitted_family)
+      << ",\"wa_conventional\":" << wa_conventional
+      << ",\"wa_separation_best\":" << wa_separation_best
+      << ",\"chosen\":" << JsonString(chosen)
+      << ",\"switched\":" << (switched ? "true" : "false") << "}";
+  return out.str();
+}
+
+std::vector<AdaptiveController::AuditEntry> AdaptiveController::AuditLog()
+    const {
+  std::lock_guard<std::mutex> lock(audit_mutex_);
+  return {audit_.begin(), audit_.end()};
+}
+
+uint64_t AdaptiveController::audit_dropped() const {
+  std::lock_guard<std::mutex> lock(audit_mutex_);
+  return audit_dropped_;
+}
+
+std::string AdaptiveController::AuditJson() const {
+  std::lock_guard<std::mutex> lock(audit_mutex_);
+  std::ostringstream out;
+  out << "{\"dropped\":" << audit_dropped_ << ",\"entries\":[";
+  bool first = true;
+  for (const AuditEntry& entry : audit_) {
+    if (!first) out << ",";
+    first = false;
+    out << entry.ToJson();
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status AdaptiveController::RunTuning(const char* trigger) {
   auto fit = FitDelayDistribution(collector_.sample(), options_.fitter);
   if (!fit.ok()) return fit.status();
 
@@ -99,6 +161,34 @@ Status AdaptiveController::RunTuning() {
                      << " (r_c=" << tuned.wa_conventional
                      << ", r_s*=" << tuned.wa_separation_best << ")";
     SEPLSM_RETURN_IF_ERROR(engine_->SwitchPolicy(tuned.recommended));
+  }
+  if (options_.audit_capacity > 0) {
+    AuditEntry entry;
+    entry.at_points = decision.at_points;
+    entry.trigger = trigger;
+    entry.delta_t = delta_t;
+    entry.median_delay = collector_.MedianDelay();
+    entry.p99_delay = collector_.P99Delay();
+    const std::vector<double>& sample = collector_.sample();
+    if (!sample.empty()) {
+      size_t ooo = 0;
+      for (double d : sample) {
+        if (d > delta_t) ++ooo;
+      }
+      entry.ooo_rate =
+          static_cast<double>(ooo) / static_cast<double>(sample.size());
+    }
+    entry.fitted_family = decision.fitted_family;
+    entry.wa_conventional = decision.wa_conventional;
+    entry.wa_separation_best = decision.wa_separation_best;
+    entry.chosen = decision.chosen.ToString();
+    entry.switched = decision.switched;
+    std::lock_guard<std::mutex> lock(audit_mutex_);
+    audit_.push_back(std::move(entry));
+    while (audit_.size() > options_.audit_capacity) {
+      audit_.pop_front();
+      ++audit_dropped_;
+    }
   }
   decisions_.push_back(std::move(decision));
   return Status::OK();

@@ -2,6 +2,8 @@
 #define SEPLSM_ANALYZER_ADAPTIVE_CONTROLLER_H_
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,9 @@ class AdaptiveController {
     DriftDetector::Options drift;
     FitterOptions fitter;
     model::TuningOptions tuning;
+    /// Bounded length of the policy-decision audit ring (oldest entries are
+    /// evicted; `audit_dropped()` counts evictions). 0 disables auditing.
+    size_t audit_capacity = 256;
   };
 
   /// A tuning decision that was applied (or re-confirmed).
@@ -43,6 +48,29 @@ class AdaptiveController {
     double wa_separation_best = 0.0;
     engine::PolicyConfig chosen;
     bool switched = false;           ///< engine policy actually changed
+  };
+
+  /// One audited tuning decision: the Decision plus the analyzer inputs it
+  /// was derived from, as observed at decision time. This is the
+  /// `/debug/policy` record (DESIGN.md §15): enough to answer "why did the
+  /// controller pick (or keep) this policy?" after the fact.
+  struct AuditEntry {
+    uint64_t at_points = 0;      ///< points observed when decided
+    std::string trigger;         ///< "warmup" or "drift"
+    double delta_t = 0.0;        ///< estimated generation interval Δt
+    double median_delay = 0.0;   ///< streaming P50 of delays
+    double p99_delay = 0.0;      ///< streaming P99 of delays
+    /// Estimated out-of-order rate: the fraction of the sampled delays
+    /// exceeding Δt (a point delayed by more than one generation interval
+    /// lands behind at least one later point).
+    double ooo_rate = 0.0;
+    std::string fitted_family;   ///< delay-distribution family that won
+    double wa_conventional = 0.0;    ///< predicted r_c (π_c)
+    double wa_separation_best = 0.0; ///< predicted best r_s (π_s)
+    std::string chosen;          ///< PolicyConfig::ToString() of the pick
+    bool switched = false;       ///< engine policy actually changed
+
+    std::string ToJson() const;
   };
 
   /// `engine` must outlive the controller.
@@ -62,8 +90,19 @@ class AdaptiveController {
   const std::vector<Decision>& decisions() const { return decisions_; }
   const DelayCollector& collector() const { return collector_; }
 
+  /// Snapshot of the audit ring, oldest first. Thread-safe (unlike
+  /// `decisions()`, which follows the controller's external-synchronization
+  /// contract): HTTP exporter threads read this while the write path holds
+  /// the shard lock.
+  std::vector<AuditEntry> AuditLog() const;
+  /// Entries evicted from the ring so far (ring overflow, not data loss —
+  /// the Prometheus counters still carry the totals).
+  uint64_t audit_dropped() const;
+  /// The audit ring as a JSON array (the `/debug/policy` payload body).
+  std::string AuditJson() const;
+
  private:
-  Status RunTuning();
+  Status RunTuning(const char* trigger);
   static bool SameConfig(const engine::PolicyConfig& a,
                          const engine::PolicyConfig& b);
 
@@ -74,6 +113,14 @@ class AdaptiveController {
   std::vector<Decision> decisions_;
   uint64_t observed_ = 0;
   uint64_t next_check_ = 0;
+
+  /// Audit ring: written by RunTuning (under the caller's write-path
+  /// synchronization), read by exporter scrape threads — hence its own
+  /// mutex even though the rest of the controller is externally
+  /// synchronized.
+  mutable std::mutex audit_mutex_;
+  std::deque<AuditEntry> audit_;
+  uint64_t audit_dropped_ = 0;
 };
 
 }  // namespace seplsm::analyzer

@@ -87,6 +87,7 @@ std::string Metrics::ToJson() const {
         << ",\"compactions\":" << l.compactions
         << ",\"compaction_bytes_read\":" << l.compaction_bytes_read
         << ",\"compaction_bytes_written\":" << l.compaction_bytes_written
+        << ",\"compaction_debt_bytes\":" << l.compaction_debt_bytes
         << "}";
   }
   out << "],\"merge_events\":" << merge_events.size()
@@ -153,6 +154,9 @@ std::string Metrics::ToPrometheus(const std::string& series) const {
         {"seplsm_level_compaction_bytes_written_total", "counter",
          "table bytes written by compactions into the level",
          &LevelStats::compaction_bytes_written},
+        {"seplsm_level_compaction_debt_bytes", "gauge",
+         "bytes the level holds beyond its compaction trigger",
+         &LevelStats::compaction_debt_bytes},
     };
     for (const Family& fam : kFamilies) {
       out << "# HELP " << fam.name << " " << fam.help << "\n"
@@ -164,6 +168,15 @@ std::string Metrics::ToPrometheus(const std::string& series) const {
     }
   }
   return out.str();
+}
+
+std::vector<std::string> Metrics::CounterNames() {
+  std::vector<std::string> names;
+  names.reserve(kCounterCount);
+#define SEPLSM_METRICS_NAME_FIELD(name, help) names.emplace_back(#name);
+  SEPLSM_METRICS_COUNTERS(SEPLSM_METRICS_NAME_FIELD)
+#undef SEPLSM_METRICS_NAME_FIELD
+  return names;
 }
 
 }  // namespace seplsm::engine

@@ -5,6 +5,10 @@
 #include <string>
 #include <vector>
 
+namespace seplsm::storage {
+class QueryExplain;
+}  // namespace seplsm::storage
+
 namespace seplsm::engine {
 
 /// One compaction of buffered points into the run.
@@ -34,6 +38,10 @@ struct LevelStats {
   uint64_t compactions = 0;               ///< jobs that wrote INTO this level
   uint64_t compaction_bytes_read = 0;     ///< device bytes read by those jobs
   uint64_t compaction_bytes_written = 0;  ///< table bytes written by them
+  /// Gauge: bytes this level holds beyond its compaction trigger — how far
+  /// behind the background plane is. 0 when the level is under trigger or
+  /// is the deepest level (which never compacts out).
+  uint64_t compaction_debt_bytes = 0;
 
   void MergeFrom(const LevelStats& other) {
     files += other.files;
@@ -42,6 +50,7 @@ struct LevelStats {
     compactions += other.compactions;
     compaction_bytes_read += other.compaction_bytes_read;
     compaction_bytes_written += other.compaction_bytes_written;
+    compaction_debt_bytes += other.compaction_debt_bytes;
   }
 };
 
@@ -84,6 +93,10 @@ struct QueryStats {
   uint64_t blocks_read = 0;
   /// What pruning metadata let this query skip.
   PruningStats pruning;
+  /// When non-null, the query records a per-file/per-block decision trail
+  /// into this recorder (EXPLAIN). Purely observational: results are
+  /// bit-identical with and without it. Not owned; must outlive the call.
+  storage::QueryExplain* explain = nullptr;
 
   /// scanned / returned; 0 when nothing was returned.
   double ReadAmplification() const {
@@ -150,6 +163,14 @@ struct QueryStats {
   X(bg_queue_wait_micros, "microseconds background jobs waited in queue")    \
   X(writer_stalls, "Appends that blocked on level-0 backpressure")           \
   X(writer_stall_micros, "microseconds Appends spent stalled")               \
+  /* Stall attribution: where the write path actually waited. The          */\
+  /* backpressure share is writer_stall_micros itself; these split out     */\
+  /* the other two wait sites so a stalled ingest plane can be diagnosed   */\
+  /* from /metrics alone.                                                  */\
+  X(stall_wal_commit_micros,                                                 \
+    "microseconds Appends waited on WAL group-commit durability")            \
+  X(stall_shard_lock_micros,                                                 \
+    "microseconds appends waited on a contended MultiSeriesDB shard lock")   \
   /* Snapshot-isolated read path */                                          \
   X(snapshots_acquired, "version snapshots handed to readers")               \
   X(files_deferred_deleted, "files routed through deferred deletion")        \
@@ -237,6 +258,12 @@ struct Metrics {
   /// per counter (HELP/TYPE lines from the X-list help strings) plus
   /// derived gauges. An empty `series` omits the label set.
   std::string ToPrometheus(const std::string& series = std::string()) const;
+
+  /// Every counter field name, in declaration order. Used by exporters that
+  /// combine this exposition with MetricsRegistry::ToPrometheus to exclude
+  /// same-named telemetry counters (one document must not declare a family
+  /// twice).
+  static std::vector<std::string> CounterNames();
 };
 
 }  // namespace seplsm::engine

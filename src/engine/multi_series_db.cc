@@ -2,14 +2,36 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <functional>
+#include <sstream>
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/http_exporter.h"
+#include "storage/query_explain.h"
 
 namespace seplsm::engine {
 
 namespace {
+
+std::string JsonEscaped(const std::string& value) {
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
 
 bool IsSafeChar(char c) {
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -90,9 +112,16 @@ std::unique_lock<std::mutex> MultiSeriesDB::LockShard(Shard& shard) {
     // The stripe is held: either two writers hashed onto it or an
     // aggregate walk is passing through. Count it — climbing
     // shard_lock_waits is the Prometheus-visible signal that the stripe
-    // count no longer matches the writer count.
+    // count no longer matches the writer count — and time the blocked
+    // acquisition so the stall can be attributed (stall_shard_lock_micros
+    // vs. WAL-commit vs. backpressure; DESIGN.md §15).
     shard_lock_waits_.fetch_add(1, std::memory_order_relaxed);
+    const int64_t start = options_.base.clock->NowNanos();
     lock.lock();
+    shard_lock_wait_micros_.fetch_add(
+        static_cast<uint64_t>(
+            (options_.base.clock->NowNanos() - start) / 1000),
+        std::memory_order_relaxed);
   }
   return lock;
 }
@@ -167,10 +196,16 @@ Result<std::unique_ptr<MultiSeriesDB>> MultiSeriesDB::Open(
       SEPLSM_RETURN_IF_ERROR(db->OpenSeriesLocked(shard, *name, &series));
     }
   }
+  // Register the HTTP surface last: handlers observe a fully recovered
+  // database.
+  db->RegisterExporterEndpoints();
   return db;
 }
 
 MultiSeriesDB::~MultiSeriesDB() {
+  // Endpoint handlers walk the shards; deregistration blocks until every
+  // in-flight scrape left, so no handler can observe the teardown below.
+  DeregisterExporterEndpoints();
   // The dump callback iterates the shards; stop it before teardown.
   stats_dumper_.Stop();
   // Engines first: each destructor drains its scheduler token. The shared
@@ -208,6 +243,9 @@ Status MultiSeriesDB::OpenSeriesLocked(Shard& shard,
     // Spans and Prometheus lines carry the user-facing series id, not the
     // escaped directory name.
     options.series_name = series;
+    // The database registers one aggregate endpoint set on the shared
+    // exporter; thousands of child engines must not each claim /metrics.
+    options.http_exporter = nullptr;
     auto engine = TsEngine::Open(std::move(options));
     if (!engine.ok()) return engine.status();
     Series entry;
@@ -261,8 +299,13 @@ Status MultiSeriesDB::Query(const std::string& series, int64_t lo, int64_t hi,
   if (series_bloom_ != nullptr && !series_bloom_->MayContain(series)) {
     blooms_negative_.fetch_add(1, std::memory_order_relaxed);
     if (stats != nullptr) {
+      // The reset wipes the caller's explain attachment; save it so the
+      // bloom rejection itself lands in the trace.
+      storage::QueryExplain* explain = stats->explain;
       *stats = QueryStats();
+      stats->explain = explain;
       stats->pruning.blooms_negative = 1;
+      if (explain != nullptr) explain->RecordBloomNegative(series);
     }
     return Status::NotFound("series " + series);
   }
@@ -346,6 +389,8 @@ Metrics MultiSeriesDB::GetAggregateMetrics() {
   total.blooms_negative += blooms_negative_.load(std::memory_order_relaxed);
   total.shard_lock_waits +=
       shard_lock_waits_.load(std::memory_order_relaxed);
+  total.stall_shard_lock_micros +=
+      shard_lock_wait_micros_.load(std::memory_order_relaxed);
   return total;
 }
 
@@ -356,6 +401,170 @@ Result<PolicyConfig> MultiSeriesDB::GetSeriesPolicy(
   auto it = shard.series.find(series);
   if (it == shard.series.end()) return Status::NotFound("series " + series);
   return it->second.engine->options().policy;
+}
+
+std::string MultiSeriesDB::HealthJson(bool* ok) {
+  std::vector<std::pair<std::string, std::string>> unhealthy;
+  size_t total = 0;
+  bool all_ok = true;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto& [name, entry] : shard->series) {
+      ++total;
+      EngineHealth health = entry.engine->GetHealth();
+      if (!health.ok) {
+        all_ok = false;
+        unhealthy.emplace_back(name, health.ToJson());
+      }
+    }
+  }
+  if (ok != nullptr) *ok = all_ok;
+  std::sort(unhealthy.begin(), unhealthy.end());
+  constexpr size_t kMaxUnhealthy = 16;
+  const size_t shown = std::min(unhealthy.size(), kMaxUnhealthy);
+  std::ostringstream out;
+  out << "{\"ok\":" << (all_ok ? "true" : "false")
+      << ",\"series_count\":" << total << ",\"unhealthy_count\":"
+      << unhealthy.size() << ",\"unhealthy\":[";
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) out << ",";
+    out << "{\"series\":" << JsonEscaped(unhealthy[i].first)
+        << ",\"health\":" << unhealthy[i].second << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string MultiSeriesDB::DebugLsmJson(size_t max_series) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto& [name, entry] : shard->series) {
+      entries.emplace_back(name, entry.engine->DebugLsmJson());
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const size_t total = entries.size();
+  const size_t shown = std::min(total, max_series);
+  std::ostringstream out;
+  out << "{\"series_count\":" << total
+      << ",\"series_omitted\":" << total - shown << ",\"series\":[";
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) out << ",";
+    out << "{\"series\":" << JsonEscaped(entries[i].first)
+        << ",\"lsm\":" << entries[i].second << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string MultiSeriesDB::DebugPolicyJson(size_t max_series) {
+  struct Row {
+    std::string name;
+    std::string policy;
+    std::string audit;  ///< empty when the series has no controller
+  };
+  std::vector<Row> rows;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto& [name, entry] : shard->series) {
+      Row row;
+      row.name = name;
+      row.policy = entry.engine->options().policy.ToString();
+      if (entry.controller != nullptr) {
+        row.audit = entry.controller->AuditJson();
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.name < b.name; });
+  const size_t total = rows.size();
+  const size_t shown = std::min(total, max_series);
+  std::ostringstream out;
+  out << "{\"adaptive\":" << (options_.adaptive ? "true" : "false")
+      << ",\"series_count\":" << total
+      << ",\"series_omitted\":" << total - shown << ",\"series\":[";
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) out << ",";
+    out << "{\"series\":" << JsonEscaped(rows[i].name)
+        << ",\"policy\":" << JsonEscaped(rows[i].policy) << ",\"audit\":"
+        << (rows[i].audit.empty() ? "null" : rows[i].audit) << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void MultiSeriesDB::RegisterExporterEndpoints() {
+  obs::HttpExporter* exporter = options_.base.http_exporter.get();
+  if (exporter == nullptr) return;
+  MultiSeriesDB* db = this;
+  auto add = [&](const std::string& path, obs::HttpExporter::Handler h) {
+    exporter->RegisterHandler(path, std::move(h));
+    exporter_paths_.push_back(path);
+  };
+  // `db` (this) is safe to capture: the destructor deregisters these paths
+  // before any shard is torn down, and deregistration drains in-flight
+  // handler invocations.
+  add("/metrics", [db](const obs::HttpExporter::Request&) {
+    obs::HttpExporter::Response response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    std::string body = db->GetAggregateMetrics().ToPrometheus();
+    telemetry::Telemetry* t = db->telemetry();
+    if (telemetry::Active(t)) {
+      // The engine counter names double in the telemetry registry
+      // (BumpCounter mirrors); exclude them so no family is emitted twice.
+      body += t->registry().ToPrometheus(std::string(),
+                                         Metrics::CounterNames());
+    }
+    response.body = std::move(body);
+    return response;
+  });
+  add("/stats", [db](const obs::HttpExporter::Request&) {
+    obs::HttpExporter::Response response;
+    response.content_type = "application/json";
+    std::ostringstream body;
+    body << "{\"dir\":" << JsonEscaped(db->options_.base.dir)
+         << ",\"series_count\":" << db->series_count()
+         << ",\"engine\":" << db->GetAggregateMetrics().ToJson();
+    telemetry::Telemetry* t = db->telemetry();
+    if (telemetry::Active(t)) {
+      body << ",\"telemetry\":" << t->registry().ToJson();
+    }
+    body << ",\"health\":" << db->HealthJson() << "}";
+    response.body = body.str();
+    return response;
+  });
+  add("/healthz", [db](const obs::HttpExporter::Request&) {
+    obs::HttpExporter::Response response;
+    response.content_type = "application/json";
+    bool ok = true;
+    response.body = db->HealthJson(&ok);
+    response.status = ok ? 200 : 503;
+    return response;
+  });
+  add("/debug/lsm", [db](const obs::HttpExporter::Request&) {
+    obs::HttpExporter::Response response;
+    response.content_type = "application/json";
+    response.body = db->DebugLsmJson();
+    return response;
+  });
+  add("/debug/policy", [db](const obs::HttpExporter::Request&) {
+    obs::HttpExporter::Response response;
+    response.content_type = "application/json";
+    response.body = db->DebugPolicyJson();
+    return response;
+  });
+}
+
+void MultiSeriesDB::DeregisterExporterEndpoints() {
+  obs::HttpExporter* exporter = options_.base.http_exporter.get();
+  if (exporter == nullptr) return;
+  for (const std::string& path : exporter_paths_) {
+    exporter->DeregisterHandler(path);
+  }
+  exporter_paths_.clear();
 }
 
 }  // namespace seplsm::engine

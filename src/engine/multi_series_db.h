@@ -133,6 +133,20 @@ class MultiSeriesDB {
     return options_.base.telemetry.get();
   }
 
+  /// Database-wide health: the conjunction of every series engine's
+  /// EngineHealth. `*ok` (when non-null) receives the verdict; the JSON
+  /// lists the unhealthy series (capped) with their full health records.
+  std::string HealthJson(bool* ok = nullptr);
+
+  /// Per-series LSM shape (TsEngine::DebugLsmJson), capped at `max_series`
+  /// series sorted by id — the `/debug/lsm` payload.
+  std::string DebugLsmJson(size_t max_series = 16);
+
+  /// Per-series adaptive-policy audit rings (AdaptiveController::AuditJson)
+  /// — the `/debug/policy` payload. Series without a controller (adaptive
+  /// off) are listed with their static policy only.
+  std::string DebugPolicyJson(size_t max_series = 64);
+
  private:
   struct Series {
     std::unique_ptr<TsEngine> engine;
@@ -161,6 +175,12 @@ class MultiSeriesDB {
                           Series** out);
   static std::string EscapeSeriesName(const std::string& series);
   static Result<std::string> UnescapeSeriesName(const std::string& escaped);
+  /// Registers the database-wide endpoint set on the shared exporter (the
+  /// per-series engines have their exporter pointer cleared, so the DB owns
+  /// /metrics, /stats, /healthz, /debug/lsm and /debug/policy). No-op when
+  /// no exporter was supplied.
+  void RegisterExporterEndpoints();
+  void DeregisterExporterEndpoints();
 
   MultiOptions options_;
   /// Fixed at Open (power of two); shards themselves are heap-allocated so
@@ -177,6 +197,13 @@ class MultiSeriesDB {
   /// Shard-lock acquisitions that found the stripe held (ingest-plane
   /// contention); folded into GetAggregateMetrics().shard_lock_waits.
   std::atomic<uint64_t> shard_lock_waits_{0};
+  /// Microseconds those contended acquisitions spent blocked (stall
+  /// attribution, DESIGN.md §15); folded into
+  /// GetAggregateMetrics().stall_shard_lock_micros.
+  std::atomic<uint64_t> shard_lock_wait_micros_{0};
+  /// Paths this DB registered on the shared exporter (deregistered — with
+  /// the in-flight-drain guarantee — before any shard is torn down).
+  std::vector<std::string> exporter_paths_;
   /// One aggregate dump timer for the whole database (per-engine intervals
   /// are zeroed in Open so S series never spawn S timer threads).
   telemetry::StatsDumper stats_dumper_;

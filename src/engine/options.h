@@ -21,6 +21,10 @@ namespace seplsm::telemetry {
 class Telemetry;
 }  // namespace seplsm::telemetry
 
+namespace seplsm::obs {
+class HttpExporter;
+}  // namespace seplsm::obs
+
 namespace seplsm::engine {
 
 class JobScheduler;
@@ -182,6 +186,15 @@ struct Options {
   /// milliseconds on a timer thread (telemetry/stats_dump.h). MultiSeriesDB
   /// zeroes the per-engine interval and runs one aggregate dumper instead.
   uint64_t stats_dump_interval_ms = 0;
+
+  /// Live observability plane (obs/http_exporter.h): a running exporter to
+  /// register /metrics, /stats, /healthz, /debug/lsm handlers on. Shared
+  /// like the cache/scheduler/telemetry hubs — MultiSeriesDB registers
+  /// DB-wide aggregate endpoints and clears this for its child engines so
+  /// per-series engines do not fight over paths. A standalone TsEngine with
+  /// an exporter set registers its own endpoints in Open and deregisters
+  /// them in Close. Null (default): no HTTP surface.
+  std::shared_ptr<obs::HttpExporter> http_exporter;
 
   /// Write-ahead logging for MemTable durability (engine extension; see
   /// storage/wal.h). Buffered points are replayed on Open after a crash.

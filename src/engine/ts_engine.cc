@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <map>
+#include <sstream>
 
 #include "common/logging.h"
+#include "obs/http_exporter.h"
 #include "storage/iterator.h"
+#include "storage/query_explain.h"
 
 namespace seplsm::engine {
 
@@ -83,6 +87,31 @@ bool ParseTableFileNumber(const std::string& name, uint64_t* number) {
   }
   *number = n;
   return true;
+}
+
+/// Minimal JSON string escaping for health/debug payloads (quote,
+/// backslash, control characters).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 std::vector<DataPoint> BatchPoints(const storage::MemTable::PointMap& batch) {
@@ -169,6 +198,7 @@ Result<std::unique_ptr<TsEngine>> TsEngine::Open(Options options) {
                                       << "]: " << raw->GetMetrics().ToString();
                                 });
   }
+  engine->RegisterExporterEndpoints();
   return engine;
 }
 
@@ -233,6 +263,9 @@ TsEngine::TsEngine(Options options)
 }
 
 TsEngine::~TsEngine() {
+  // HTTP handlers read engine state; Deregister blocks until in-flight
+  // requests drain, so after this no handler can observe teardown.
+  DeregisterExporterEndpoints();
   // The dump callback reads engine state; stop it before teardown begins.
   stats_dumper_.Stop();
   {
@@ -515,10 +548,14 @@ Status TsEngine::Append(const DataPoint& point) {
     // block — with no engine lock held — until the commit thread's fsync
     // covers it. An OK here carries the same guarantee as
     // wal_sync_every_append: the point is on the device.
+    const int64_t wait_start = options_.clock->NowNanos();
     st = options_.wal_committer->Wait(ticket);
-    if (st.ok()) {
+    const uint64_t wait_micros = static_cast<uint64_t>(
+        (options_.clock->NowNanos() - wait_start) / 1000);
+    {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (wal_ != nullptr) {
+      metrics_.stall_wal_commit_micros += wait_micros;
+      if (st.ok() && wal_ != nullptr) {
         metrics_.wal_durable_bytes =
             std::max(metrics_.wal_durable_bytes, wal_->bytes_written());
       }
@@ -553,10 +590,14 @@ Status TsEngine::AppendBatch(const DataPoint* points, size_t count) {
     // One Wait covers the whole batch: EnqueueBatch put every point into
     // the same commit round, so this OK means all `count` points are on
     // the device.
+    const int64_t wait_start = options_.clock->NowNanos();
     st = options_.wal_committer->Wait(ticket);
-    if (st.ok()) {
+    const uint64_t wait_micros = static_cast<uint64_t>(
+        (options_.clock->NowNanos() - wait_start) / 1000);
+    {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (wal_ != nullptr) {
+      metrics_.stall_wal_commit_micros += wait_micros;
+      if (st.ok() && wal_ != nullptr) {
         metrics_.wal_durable_bytes =
             std::max(metrics_.wal_durable_bytes, wal_->bytes_written());
       }
@@ -1508,10 +1549,11 @@ Result<std::shared_ptr<storage::SSTableReader>> TsEngine::OpenTableReader(
 
 Status TsEngine::ReadTableRange(const storage::FileMetadata& file, int64_t lo,
                                 int64_t hi, std::vector<DataPoint>* out,
-                                storage::ReadStats* stats) {
+                                storage::ReadStats* stats,
+                                storage::QueryExplain* explain) {
   auto reader = OpenTableReader(file);
   if (!reader.ok()) return reader.status();
-  return (*reader)->ReadRange(lo, hi, out, stats);
+  return (*reader)->ReadRange(lo, hi, out, stats, explain);
 }
 
 Status TsEngine::DrainMemTablesLocked(std::unique_lock<std::mutex>& lock) {
@@ -1668,17 +1710,28 @@ Status TsEngine::QuerySnapshot(const ReadSnapshot& snap, int64_t lo,
   // shallowest level holding it, so depth order is recency order.
   std::map<int64_t, DataPoint> result;
   storage::ReadStats reads;
+  storage::QueryExplain* explain = local->explain;
   for (size_t n = snap.files.num_levels(); n-- > 0;) {
     const std::vector<storage::FilePtr>& files = snap.files.level(n);
     if (n > 0 && snap.files.layout(n) == storage::LevelLayout::kSorted) {
       size_t begin, end;
       snap.files.OverlappingLevelRange(n, lo, hi, &begin, &end);
       local->pruning.files_skipped += files.size() - (end - begin);
+      if (explain != nullptr && files.size() > end - begin) {
+        explain->RecordFilesSkipped(static_cast<int32_t>(n),
+                                    files.size() - (end - begin), lo, hi);
+      }
       for (size_t i = begin; i < end; ++i) {
         ++local->files_opened;
+        if (explain != nullptr) {
+          explain->RecordFileOpened(files[i]->file_number,
+                                    static_cast<int32_t>(n),
+                                    files[i]->min_generation_time,
+                                    files[i]->max_generation_time);
+        }
         std::vector<DataPoint> points;
         SEPLSM_RETURN_IF_ERROR(
-            ReadTableRange(*files[i], lo, hi, &points, &reads));
+            ReadTableRange(*files[i], lo, hi, &points, &reads, explain));
         for (const auto& p : points) {
           result.insert_or_assign(p.generation_time, p);
         }
@@ -1688,11 +1741,21 @@ Status TsEngine::QuerySnapshot(const ReadSnapshot& snap, int64_t lo,
       // insert-wins precedence of the map fold.
       std::vector<size_t> overlap = storage::OverlappingLevel0(files, lo, hi);
       local->pruning.files_skipped += files.size() - overlap.size();
+      if (explain != nullptr && files.size() > overlap.size()) {
+        explain->RecordFilesSkipped(static_cast<int32_t>(n),
+                                    files.size() - overlap.size(), lo, hi);
+      }
       for (size_t idx : overlap) {
         ++local->files_opened;
+        if (explain != nullptr) {
+          explain->RecordFileOpened(files[idx]->file_number,
+                                    static_cast<int32_t>(n),
+                                    files[idx]->min_generation_time,
+                                    files[idx]->max_generation_time);
+        }
         std::vector<DataPoint> points;
         SEPLSM_RETURN_IF_ERROR(
-            ReadTableRange(*files[idx], lo, hi, &points, &reads));
+            ReadTableRange(*files[idx], lo, hi, &points, &reads, explain));
         for (const auto& p : points) {
           result.insert_or_assign(p.generation_time, p);
         }
@@ -1710,6 +1773,9 @@ Status TsEngine::QuerySnapshot(const ReadSnapshot& snap, int64_t lo,
     storage::MemTable::CollectRange(*view, lo, hi, &mem_points);
   }
   local->memtable_points += mem_points.size();
+  if (explain != nullptr && !mem_points.empty()) {
+    explain->RecordMemtableScan(mem_points.size());
+  }
   for (const auto& p : mem_points) {
     result.insert_or_assign(p.generation_time, p);
   }
@@ -1745,6 +1811,7 @@ Status TsEngine::Query(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
                              telemetry::SpanType::kQuery,
                              telemetry_series_id_);
   QueryStats local;
+  if (stats != nullptr) local.explain = stats->explain;
 
   // Capture the snapshot in O(files) under the lock; every disk read,
   // block-cache lookup, and the merge below run without it, so a long
@@ -1778,17 +1845,26 @@ Result<bool> TsEngine::WindowServableBySummaries(const ReadSnapshot& snap,
   // A stacked file (level 0 or a tiering level) or a buffered point inside
   // the window overrides disk data, so the summaries alone could
   // double-count or miss an upsert.
+  storage::QueryExplain* explain = local->explain;
   for (size_t n = 0; n < snap.files.num_levels(); ++n) {
     if (n > 0 && snap.files.layout(n) == storage::LevelLayout::kSorted) {
       continue;
     }
     if (!storage::OverlappingLevel0(snap.files.level(n), ws, we).empty()) {
+      if (explain != nullptr) {
+        explain->RecordWindowFallback(ws, we, "stacked-file-overlap");
+      }
       return false;
     }
   }
   for (const auto& view : snap.mems) {
     auto it = view->lower_bound(ws);
-    if (it != view->end() && it->first <= we) return false;
+    if (it != view->end() && it->first <= we) {
+      if (explain != nullptr) {
+        explain->RecordWindowFallback(ws, we, "buffered-point");
+      }
+      return false;
+    }
   }
   // Two sorted levels overlapping the same window can hold two versions of
   // one key, and their summaries would double-count it — serve a window
@@ -1811,16 +1887,26 @@ Result<bool> TsEngine::WindowServableBySummaries(const ReadSnapshot& snap,
       const storage::SSTableReader* r = it->second.get();
       if (!r->has_metadata() ||
           r->metadata().summary_window != options_.summary_window) {
+        if (explain != nullptr) {
+          explain->RecordWindowFallback(ws, we, "unsummarized-file");
+        }
         return false;  // v1 file (or other window width): point-read it
       }
     }
   }
-  return levels_overlapping <= 1;
+  if (levels_overlapping > 1) {
+    if (explain != nullptr) {
+      explain->RecordWindowFallback(ws, we, "multi-level-overlap");
+    }
+    return false;
+  }
+  return true;
 }
 
 void TsEngine::MergeWindowSummaries(const ReadSnapshot& snap, int64_t ws,
                                     int64_t we, SummaryReaderCache* readers,
                                     Aggregates* agg, QueryStats* local) {
+  const uint64_t hits_before = local->pruning.summary_hits;
   // WindowServableBySummaries admitted this window, so at most one sorted
   // level has files in it; walking every sorted level visits exactly that
   // one's slice.
@@ -1853,6 +1939,10 @@ void TsEngine::MergeWindowSummaries(const ReadSnapshot& snap, int64_t ws,
         ++local->pruning.summary_hits;
       }
     }
+  }
+  if (local->explain != nullptr) {
+    local->explain->RecordSummaryWindowServed(
+        ws, we, local->pruning.summary_hits - hits_before);
   }
 }
 
@@ -1924,6 +2014,7 @@ Status TsEngine::Aggregate(int64_t lo, int64_t hi, Aggregates* out,
                              telemetry::SpanType::kQuery,
                              telemetry_series_id_);
   QueryStats local;
+  if (stats != nullptr) local.explain = stats->explain;
   ReadSnapshot snap;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -1955,6 +2046,7 @@ Status TsEngine::Downsample(int64_t lo, int64_t hi, int64_t bucket_width,
                              telemetry::SpanType::kQuery,
                              telemetry_series_id_);
   QueryStats local;
+  if (stats != nullptr) local.explain = stats->explain;
   ReadSnapshot snap;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -2109,8 +2201,202 @@ Metrics TsEngine::GetMetrics() {
       l.bytes += f->file_bytes;
       l.points += f->point_count;
     }
+    // Debt: bytes of the files compaction must move out of this level to
+    // drop back under its trigger (the oldest ones — what kOldest picks).
+    // The deepest level never compacts out, so it carries no debt.
+    l.compaction_debt_bytes = 0;
+    if (n + 1 < version_.num_levels() && !files.empty()) {
+      const size_t trigger = LevelTriggerLocked(n);
+      if (files.size() >= trigger) {
+        const size_t excess =
+            std::min(files.size(), files.size() - trigger + 1);
+        for (size_t i = 0; i < excess; ++i) {
+          l.compaction_debt_bytes += files[i]->file_bytes;
+        }
+      }
+    }
   }
   return metrics_;
+}
+
+EngineHealth TsEngine::GetHealth() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EngineHealth h;
+  if (background_error_set_) {
+    h.background_error = background_error_.ToString();
+  }
+  h.wal_enabled = options_.enable_wal;
+  h.wal_open = wal_ != nullptr;
+  h.wal_tail_truncations = metrics_.wal_tail_truncations;
+  h.committer_registered = wal_handle_ != nullptr;
+  if (options_.wal_committer != nullptr) {
+    const storage::GroupCommitter::Stats cs =
+        options_.wal_committer->GetStats();
+    h.committer_commits = cs.commits;
+    h.committer_syncs = cs.syncs;
+  }
+  h.pending_flushes = pending_flushes_.size();
+  h.level0_files = version_.level0().size();
+  h.writer_stalls = metrics_.writer_stalls;
+  h.ok = !background_error_set_ &&
+         (!options_.enable_wal || wal_ != nullptr || shutting_down_);
+  return h;
+}
+
+std::string EngineHealth::ToJson() const {
+  std::ostringstream out;
+  out << "{\"ok\":" << (ok ? "true" : "false")
+      << ",\"background_error\":\"" << JsonEscape(background_error) << "\""
+      << ",\"wal\":{\"enabled\":" << (wal_enabled ? "true" : "false")
+      << ",\"open\":" << (wal_open ? "true" : "false")
+      << ",\"tail_truncations\":" << wal_tail_truncations << "}"
+      << ",\"committer\":{\"registered\":"
+      << (committer_registered ? "true" : "false")
+      << ",\"commits\":" << committer_commits
+      << ",\"syncs\":" << committer_syncs << "}"
+      << ",\"pending_flushes\":" << pending_flushes
+      << ",\"level0_files\":" << level0_files
+      << ",\"writer_stalls\":" << writer_stalls << "}";
+  return out.str();
+}
+
+std::string TsEngine::DebugLsmJson(size_t max_files_per_level) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"num_levels\":" << version_.num_levels() << ",\"levels\":[";
+  for (size_t n = 0; n < version_.num_levels(); ++n) {
+    const std::vector<storage::FilePtr>& files = version_.level(n);
+    uint64_t bytes = 0, points = 0;
+    int64_t min_t = std::numeric_limits<int64_t>::max();
+    int64_t max_t = std::numeric_limits<int64_t>::min();
+    // Intra-level overlap: redundant span length as a fraction of the
+    // total span the files claim (0 = disjoint, as a sorted run must be;
+    // stacked levels report how much of their data is multiply covered).
+    uint64_t covered = 0;
+    std::vector<std::pair<int64_t, int64_t>> spans;
+    spans.reserve(files.size());
+    for (const auto& f : files) {
+      bytes += f->file_bytes;
+      points += f->point_count;
+      min_t = std::min(min_t, f->min_generation_time);
+      max_t = std::max(max_t, f->max_generation_time);
+      covered += static_cast<uint64_t>(f->max_generation_time -
+                                       f->min_generation_time) + 1;
+      spans.emplace_back(f->min_generation_time, f->max_generation_time);
+    }
+    std::sort(spans.begin(), spans.end());
+    uint64_t union_len = 0;
+    int64_t cur_lo = 0, cur_hi = 0;
+    bool open = false;
+    for (const auto& [slo, shi] : spans) {
+      if (!open || slo > cur_hi + 1) {
+        if (open) {
+          union_len += static_cast<uint64_t>(cur_hi - cur_lo) + 1;
+        }
+        cur_lo = slo;
+        cur_hi = shi;
+        open = true;
+      } else {
+        cur_hi = std::max(cur_hi, shi);
+      }
+    }
+    if (open) union_len += static_cast<uint64_t>(cur_hi - cur_lo) + 1;
+    const double overlap_fraction =
+        covered == 0 ? 0.0
+                     : static_cast<double>(covered - union_len) /
+                           static_cast<double>(covered);
+    const bool deepest = n + 1 == version_.num_levels();
+    uint64_t debt = 0;
+    if (!deepest && !files.empty()) {
+      const size_t trigger = LevelTriggerLocked(n);
+      if (files.size() >= trigger) {
+        const size_t excess =
+            std::min(files.size(), files.size() - trigger + 1);
+        for (size_t i = 0; i < excess; ++i) debt += files[i]->file_bytes;
+      }
+    }
+    if (n > 0) out << ",";
+    out << "{\"level\":" << n << ",\"layout\":\""
+        << (version_.layout(n) == storage::LevelLayout::kSorted ? "sorted"
+                                                                : "stacked")
+        << "\",\"files\":" << files.size() << ",\"bytes\":" << bytes
+        << ",\"points\":" << points;
+    if (!files.empty()) {
+      out << ",\"min_time\":" << min_t << ",\"max_time\":" << max_t;
+    }
+    out << ",\"overlap_fraction\":" << overlap_fraction
+        << ",\"compaction_trigger\":" << (deepest ? 0 : LevelTriggerLocked(n))
+        << ",\"compaction_debt_bytes\":" << debt << ",\"file_list\":[";
+    const size_t shown = std::min(files.size(), max_files_per_level);
+    for (size_t i = 0; i < shown; ++i) {
+      if (i > 0) out << ",";
+      out << "{\"file\":" << files[i]->file_number
+          << ",\"points\":" << files[i]->point_count
+          << ",\"min_time\":" << files[i]->min_generation_time
+          << ",\"max_time\":" << files[i]->max_generation_time << "}";
+    }
+    out << "],\"files_omitted\":" << files.size() - shown << "}";
+  }
+  out << "],\"pending_flushes\":" << pending_flushes_.size() << "}";
+  return out.str();
+}
+
+void TsEngine::RegisterExporterEndpoints() {
+  obs::HttpExporter* exporter = options_.http_exporter.get();
+  if (exporter == nullptr) return;
+  const std::string series =
+      options_.series_name.empty() ? options_.dir : options_.series_name;
+  auto add = [&](const std::string& path, obs::HttpExporter::Handler h) {
+    exporter->RegisterHandler(path, std::move(h));
+    exporter_paths_.push_back(path);
+  };
+  add("/metrics", [this, series](const obs::HttpExporter::Request&) {
+    obs::HttpExporter::Response resp;
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = GetMetrics().ToPrometheus(series);
+    if (telemetry::Active(telemetry_)) {
+      // Exclude engine-counter names: this document already declares those
+      // families above, and one exposition must not declare a family twice.
+      resp.body +=
+          telemetry_->registry().ToPrometheus(series, Metrics::CounterNames());
+    }
+    return resp;
+  });
+  add("/stats", [this, series](const obs::HttpExporter::Request&) {
+    obs::HttpExporter::Response resp;
+    resp.content_type = "application/json";
+    std::ostringstream body;
+    body << "{\"series\":\"" << JsonEscape(series) << "\",\"engine\":"
+         << GetMetrics().ToJson();
+    if (telemetry::Active(telemetry_)) {
+      body << ",\"telemetry\":" << telemetry_->registry().ToJson();
+    }
+    body << ",\"health\":" << GetHealth().ToJson() << "}";
+    resp.body = body.str();
+    return resp;
+  });
+  add("/healthz", [this](const obs::HttpExporter::Request&) {
+    const EngineHealth h = GetHealth();
+    obs::HttpExporter::Response resp;
+    resp.status = h.ok ? 200 : 503;
+    resp.content_type = "application/json";
+    resp.body = h.ToJson();
+    return resp;
+  });
+  add("/debug/lsm", [this](const obs::HttpExporter::Request&) {
+    obs::HttpExporter::Response resp;
+    resp.content_type = "application/json";
+    resp.body = DebugLsmJson();
+    return resp;
+  });
+}
+
+void TsEngine::DeregisterExporterEndpoints() {
+  if (exporter_paths_.empty()) return;
+  for (const auto& path : exporter_paths_) {
+    options_.http_exporter->DeregisterHandler(path);
+  }
+  exporter_paths_.clear();
 }
 
 Status TsEngine::CheckInvariants() {

@@ -26,6 +26,32 @@
 
 namespace seplsm::engine {
 
+/// One-shot health snapshot for /healthz and `seplsm_cli doctor`: the
+/// sticky background error, WAL rotation state, group-commit registration,
+/// and write-path backlog. `ok` folds the hard failures; the rest is
+/// context for diagnosing them.
+struct EngineHealth {
+  bool ok = true;
+  /// Sticky background error (empty when none). Any flush/compaction
+  /// failure poisons the engine permanently, so this is the primary signal.
+  std::string background_error;
+  bool wal_enabled = false;
+  /// A live appendable WAL writer exists. False with wal_enabled set means
+  /// a rotation failed and left durability dark — a hard failure.
+  bool wal_open = false;
+  uint64_t wal_tail_truncations = 0;
+  /// Group-commit committer this engine is registered with (false also
+  /// when group commit is simply off).
+  bool committer_registered = false;
+  uint64_t committer_commits = 0;
+  uint64_t committer_syncs = 0;
+  uint64_t pending_flushes = 0;
+  uint64_t level0_files = 0;
+  uint64_t writer_stalls = 0;
+
+  std::string ToJson() const;
+};
+
 /// A leveled LSM-tree engine for time-series points keyed by generation
 /// time, supporting the paper's two write policies:
 ///
@@ -120,6 +146,16 @@ class TsEngine {
 
   /// Copy of the cumulative counters.
   Metrics GetMetrics();
+
+  /// Health snapshot (no I/O): sticky background error, WAL/committer
+  /// state, backlog gauges. `ok` is false on a background error or a
+  /// WAL-enabled engine without a live log writer.
+  EngineHealth GetHealth();
+
+  /// Per-level tree shape as JSON for /debug/lsm: layout, occupancy, time
+  /// range, intra-level overlap fraction, compaction trigger and debt, and
+  /// a capped file listing. Snapshot-consistent (one mutex hold).
+  std::string DebugLsmJson(size_t max_files_per_level = 8);
 
   /// Blocks until level 0 is empty (no-op in synchronous mode).
   Status WaitForBackgroundIdle();
@@ -333,9 +369,18 @@ class TsEngine {
       const storage::FileMetadata& file);
 
   /// Reads [lo, hi] from one table via the table cache when enabled.
+  /// `explain` (optional) receives per-block read/skip events.
   Status ReadTableRange(const storage::FileMetadata& file, int64_t lo,
                         int64_t hi, std::vector<DataPoint>* out,
-                        storage::ReadStats* stats);
+                        storage::ReadStats* stats,
+                        storage::QueryExplain* explain = nullptr);
+
+  /// Registers this engine's /metrics, /stats, /healthz, /debug/lsm
+  /// handlers on Options::http_exporter (no-op when unset). Called once at
+  /// the end of Open; the destructor deregisters before teardown so no
+  /// handler can observe a dying engine.
+  void RegisterExporterEndpoints();
+  void DeregisterExporterEndpoints();
 
   /// Writer-side metadata section config from Options (zone maps +
   /// summaries; disabled → byte-identical v1 output).
@@ -469,6 +514,10 @@ class TsEngine {
   bool shutting_down_ = false;
   bool background_error_set_ = false;
   Status background_error_;
+
+  /// Paths this engine registered on Options::http_exporter (empty when no
+  /// exporter); deregistered first thing in the destructor.
+  std::vector<std::string> exporter_paths_;
 };
 
 }  // namespace seplsm::engine

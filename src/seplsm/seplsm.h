@@ -48,10 +48,12 @@
 #include "model/tuner.h"
 #include "model/wa_model.h"
 #include "model/wa_simulator.h"
+#include "obs/http_exporter.h"
 #include "stats/autocorrelation.h"
-#include "storage/integrity.h"
 #include "stats/ecdf.h"
 #include "stats/histogram.h"
+#include "storage/integrity.h"
+#include "storage/query_explain.h"
 #include "telemetry/stats_dump.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace_export.h"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace seplsm::stats {
@@ -87,6 +88,14 @@ size_t LogHistogram::BucketFor(double value) const {
   double b = std::log(value / min_value_) / log_growth_;
   size_t i = static_cast<size_t>(b) + 1;
   return std::min(i, counts_.size() - 1);
+}
+
+double LogHistogram::bucket_upper(size_t i) const {
+  if (i + 1 >= counts_.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Bucket 0 is [0, min_value); bucket i covers up to min_value * g^i.
+  return min_value_ * std::exp(log_growth_ * static_cast<double>(i));
 }
 
 void LogHistogram::Add(double value) {

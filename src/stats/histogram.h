@@ -64,6 +64,16 @@ class LogHistogram {
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
   double max() const { return max_; }
   double min() const { return count_ ? min_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Bucket accessors (Prometheus native-histogram export): bucket 0 covers
+  /// [0, min_value); bucket i covers [min_value*g^(i-1), min_value*g^i);
+  /// the last bucket absorbs everything above. `bucket_upper(i)` is the
+  /// exclusive upper edge (+inf for the last bucket) — a monotonically
+  /// increasing `le` boundary sequence.
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  double bucket_upper(size_t i) const;
 
  private:
   size_t BucketFor(double value) const;

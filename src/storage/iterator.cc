@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "storage/query_explain.h"
+
 namespace seplsm::storage {
 
 // --- SSTableIterator ---
@@ -62,6 +64,9 @@ void SSTableIterator::SkipToNextInRange() {
       if (index[entry_].max_generation_time < options_.lo) {
         // Skipped via the index: never read, never a cache lookup.
         if (options_.stats != nullptr) ++options_.stats->blocks_skipped;
+        if (options_.explain != nullptr) {
+          options_.explain->RecordBlockSkippedIndex();
+        }
         ++entry_;
         continue;
       }
@@ -73,6 +78,9 @@ void SSTableIterator::SkipToNextInRange() {
             zone.max_value < options_.value_lo) {
           // Zone map proves no value in this block can match.
           if (options_.stats != nullptr) ++options_.stats->blocks_skipped;
+          if (options_.explain != nullptr) {
+            options_.explain->RecordBlockSkippedZoneMap();
+          }
           ++entry_;
           continue;
         }
@@ -90,6 +98,7 @@ void SSTableIterator::SkipToNextInRange() {
       status_ = block.status();
       return;
     }
+    if (options_.explain != nullptr) options_.explain->RecordBlockRead();
     block_ = std::move(block).value();
     if (options_.stats != nullptr) {
       options_.stats->points_scanned += block_->points.size();

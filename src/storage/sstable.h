@@ -19,6 +19,7 @@
 namespace seplsm::storage {
 
 class PointIterator;  // storage/iterator.h
+class QueryExplain;   // storage/query_explain.h
 
 /// Per-read accounting filled in by SSTableReader::ReadRange and
 /// SSTableIterator. All counters are deltas for the one call (the caller
@@ -58,6 +59,10 @@ struct ReadOptions {
   /// without touching the cache or the device.
   double value_lo = -std::numeric_limits<double>::infinity();
   double value_hi = std::numeric_limits<double>::infinity();
+  /// Optional per-query decision trace (storage/query_explain.h): block
+  /// reads and index/zone-map skips are recorded alongside the `stats`
+  /// counters. Not thread-safe — one QueryExplain per query invocation.
+  QueryExplain* explain = nullptr;
 
   bool has_value_bounds() const {
     return value_lo != -std::numeric_limits<double>::infinity() ||
@@ -148,9 +153,11 @@ class SSTableReader {
 
   /// Appends points with generation_time in [lo, hi]; reads only the blocks
   /// whose index range overlaps (served from the block cache when attached).
-  /// *stats (optional) is incremented with scan/device/cache counters.
+  /// *stats (optional) is incremented with scan/device/cache counters;
+  /// *explain (optional) records the per-block outcomes.
   Status ReadRange(int64_t lo, int64_t hi, std::vector<DataPoint>* out,
-                   ReadStats* stats = nullptr) const;
+                   ReadStats* stats = nullptr,
+                   QueryExplain* explain = nullptr) const;
 
   /// The per-block index loaded at Open (sorted by generation time).
   const std::vector<format::BlockIndexEntry>& index() const { return index_; }

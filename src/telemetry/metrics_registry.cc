@@ -1,5 +1,8 @@
 #include "telemetry/metrics_registry.h"
 
+#include <algorithm>
+#include <cmath>
+#include <set>
 #include <sstream>
 
 namespace seplsm::telemetry {
@@ -25,6 +28,12 @@ LatencySummary MetricsRegistry::Summary(SpanType op) const {
     s.mean_micros = h.histogram.mean();
   }
   return s;
+}
+
+stats::LogHistogram MetricsRegistry::HistogramSnapshot(SpanType op) const {
+  const OpHistogram& h = ops_[static_cast<size_t>(op)];
+  std::lock_guard<std::mutex> lock(h.mutex);
+  return h.histogram;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
@@ -87,7 +96,9 @@ std::string MetricsRegistry::ToJson() const {
   return out.str();
 }
 
-std::string MetricsRegistry::ToPrometheus(const std::string& series) const {
+std::string MetricsRegistry::ToPrometheus(
+    const std::string& series,
+    const std::vector<std::string>& exclude_counters) const {
   std::ostringstream out;
   auto labels = [&series](const std::string& extra) {
     std::string inner = extra;
@@ -126,8 +137,58 @@ std::string MetricsRegistry::ToPrometheus(const std::string& series) const {
     out << "seplsm_op_latency_micros_count" << labels("op=\"" + op + "\"")
         << " " << s.count << "\n";
   }
+  // Native le-bucket histograms, straight from the LogHistogram buckets.
+  // Only boundaries where the cumulative count advances are emitted (plus
+  // the mandatory +Inf bucket): cumulative histograms stay exact under
+  // boundary subsetting, and 120 mostly-empty buckets per op would bloat
+  // every scrape.
+  out << "# HELP seplsm_op_duration_micros per-operation latency "
+         "distribution (log-scaled buckets)\n"
+      << "# TYPE seplsm_op_duration_micros histogram\n";
+  for (size_t i = 0; i < kSpanTypeCount; ++i) {
+    stats::LogHistogram h = HistogramSnapshot(static_cast<SpanType>(i));
+    if (h.count() == 0) continue;
+    const std::string op(SpanTypeName(static_cast<SpanType>(i)));
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.num_buckets(); ++b) {
+      if (h.bucket_count(b) == 0) continue;
+      cumulative += h.bucket_count(b);
+      const double upper = h.bucket_upper(b);
+      std::ostringstream le;
+      if (std::isinf(upper)) {
+        le << "+Inf";
+      } else {
+        le << upper;
+      }
+      out << "seplsm_op_duration_micros_bucket"
+          << labels("op=\"" + op + "\",le=\"" + le.str() + "\"") << " "
+          << cumulative << "\n";
+    }
+    if (cumulative != h.count()) {
+      // The last finite bucket did not absorb everything (it always should;
+      // belt and braces for future bucket layouts).
+      out << "seplsm_op_duration_micros_bucket"
+          << labels("op=\"" + op + "\",le=\"+Inf\"") << " " << h.count()
+          << "\n";
+    } else if (!std::isinf(h.bucket_upper(h.num_buckets() - 1)) ||
+               h.bucket_count(h.num_buckets() - 1) == 0) {
+      // No +Inf line was emitted above: the exposition format requires one.
+      out << "seplsm_op_duration_micros_bucket"
+          << labels("op=\"" + op + "\",le=\"+Inf\"") << " " << h.count()
+          << "\n";
+    }
+    out << "seplsm_op_duration_micros_sum" << labels("op=\"" + op + "\"")
+        << " " << h.sum() << "\n"
+        << "seplsm_op_duration_micros_count" << labels("op=\"" + op + "\"")
+        << " " << h.count() << "\n";
+  }
+  const std::set<std::string> excluded(exclude_counters.begin(),
+                                       exclude_counters.end());
   for (const auto& [name, value] : CounterSnapshot()) {
-    out << "# TYPE seplsm_" << name << "_total counter\n"
+    if (excluded.count(name) != 0) continue;
+    out << "# HELP seplsm_" << name << "_total telemetry counter " << name
+        << "\n"
+        << "# TYPE seplsm_" << name << "_total counter\n"
         << "seplsm_" << name << "_total" << labels("") << " " << value
         << "\n";
   }

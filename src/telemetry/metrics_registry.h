@@ -59,6 +59,10 @@ class MetricsRegistry {
 
   LatencySummary Summary(SpanType op) const;
 
+  /// Copy of the op's full latency histogram (bucket-level access for the
+  /// native-histogram Prometheus export and tests).
+  stats::LogHistogram HistogramSnapshot(SpanType op) const;
+
   /// Returns the counter registered under `name` (creating it on first
   /// use). The pointer stays valid as long as the registry lives.
   Counter* GetCounter(const std::string& name);
@@ -72,11 +76,21 @@ class MetricsRegistry {
   /// {"latency_micros":{"append":{"count":..,"p50":..},..},"counters":{..}}
   std::string ToJson() const;
 
-  /// Prometheus text exposition: `seplsm_op_latency_micros{op="flush",
-  /// quantile="p50"} v` summary lines per active op (plus `_count`) and
-  /// `seplsm_<name>_total` per registered counter. A non-empty `series`
-  /// adds a `series="..."` label to every line.
-  std::string ToPrometheus(const std::string& series = std::string()) const;
+  /// Prometheus text exposition, promtool-conformant (`# HELP`/`# TYPE`
+  /// for every family, escaped label values):
+  /// - `seplsm_op_latency_micros{op=,quantile=}` summary per active op
+  ///   (plus `_count`) — the compact quantile view dashboards key on;
+  /// - `seplsm_op_duration_micros` native histogram per active op:
+  ///   cumulative `_bucket{le="..."}` lines derived from the LogHistogram
+  ///   buckets, then `_sum` and `_count`;
+  /// - `seplsm_<name>_total` per registered counter.
+  /// A non-empty `series` adds a `series="..."` label to every line.
+  /// Counters named in `exclude_counters` are omitted — the combined
+  /// `/metrics` document already emits those families from
+  /// engine::Metrics, and one exposition must not declare a family twice.
+  std::string ToPrometheus(
+      const std::string& series = std::string(),
+      const std::vector<std::string>& exclude_counters = {}) const;
 
   void Clear();
 

@@ -230,5 +230,92 @@ TEST_F(AdaptiveControllerTest, NoSpuriousSwitchesOnStableStream) {
   EXPECT_LE(switches, 1u);  // at most the initial switch
 }
 
+// The two-regime stream from SwitchesOnDrift, factored for the audit tests:
+// guarantees at least two tuning decisions (warmup, then drift).
+std::vector<DataPoint> TwoRegimeStream() {
+  workload::SyntheticConfig sc1;
+  sc1.num_points = 3000;
+  sc1.delta_t = 1000.0;
+  sc1.seed = 1;
+  dist::UniformDistribution mild(0.0, 5.0);
+  auto points = workload::GenerateSynthetic(sc1, mild);
+
+  workload::SyntheticConfig sc2;
+  sc2.num_points = 3000;
+  sc2.delta_t = 10.0;
+  sc2.seed = 2;
+  sc2.start_time = points.back().generation_time + 1000;
+  dist::LognormalDistribution severe(6.0, 2.0);
+  auto part2 = workload::GenerateSynthetic(sc2, severe);
+  points.insert(points.end(), part2.begin(), part2.end());
+  return points;
+}
+
+TEST_F(AdaptiveControllerTest, AuditRingRecordsEveryDecision) {
+  auto db = OpenEngine();
+  auto options = FastOptions();
+  options.drift.min_samples = 256;
+  AdaptiveController controller(db.get(), options);
+  for (const auto& p : TwoRegimeStream()) {
+    ASSERT_TRUE(controller.Observe(p).ok());
+  }
+  ASSERT_GE(controller.decisions().size(), 2u);
+
+  auto audit = controller.AuditLog();
+  ASSERT_EQ(audit.size(), controller.decisions().size());
+  EXPECT_EQ(controller.audit_dropped(), 0u);
+  EXPECT_EQ(audit.front().trigger, "warmup");
+  EXPECT_EQ(audit.back().trigger, "drift");
+  for (const auto& entry : audit) {
+    EXPECT_GT(entry.at_points, 0u);
+    EXPECT_GE(entry.ooo_rate, 0.0);
+    EXPECT_LE(entry.ooo_rate, 1.0);
+    EXPECT_GT(entry.wa_conventional, 0.0);
+    EXPECT_GT(entry.wa_separation_best, 0.0);
+    EXPECT_FALSE(entry.chosen.empty());
+    EXPECT_FALSE(entry.fitted_family.empty());
+  }
+  // The severe-disorder regime pushed most delays past its Δt.
+  EXPECT_GT(audit.back().ooo_rate, audit.front().ooo_rate);
+
+  std::string json = controller.AuditJson();
+  EXPECT_NE(json.find("\"entries\""), std::string::npos);
+  EXPECT_NE(json.find("\"trigger\":\"warmup\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+}
+
+TEST_F(AdaptiveControllerTest, AuditRingEvictsOldestWhenFull) {
+  auto db = OpenEngine();
+  auto options = FastOptions();
+  options.drift.min_samples = 256;
+  options.audit_capacity = 1;
+  AdaptiveController controller(db.get(), options);
+  for (const auto& p : TwoRegimeStream()) {
+    ASSERT_TRUE(controller.Observe(p).ok());
+  }
+  ASSERT_GE(controller.decisions().size(), 2u);
+  auto audit = controller.AuditLog();
+  ASSERT_EQ(audit.size(), 1u);
+  EXPECT_EQ(audit.back().trigger, "drift");  // oldest (warmup) evicted
+  EXPECT_GE(controller.audit_dropped(), 1u);
+}
+
+TEST_F(AdaptiveControllerTest, AuditDisabledByZeroCapacity) {
+  auto db = OpenEngine();
+  auto options = FastOptions();
+  options.audit_capacity = 0;
+  AdaptiveController controller(db.get(), options);
+  workload::SyntheticConfig sc;
+  sc.num_points = 2000;
+  sc.delta_t = 50.0;
+  dist::LognormalDistribution delay(4.0, 1.5);
+  for (const auto& p : workload::GenerateSynthetic(sc, delay)) {
+    ASSERT_TRUE(controller.Observe(p).ok());
+  }
+  ASSERT_GE(controller.decisions().size(), 1u);
+  EXPECT_TRUE(controller.AuditLog().empty());
+  EXPECT_EQ(controller.audit_dropped(), 0u);
+}
+
 }  // namespace
 }  // namespace seplsm::analyzer

@@ -1,0 +1,300 @@
+// The embedded HTTP exporter (DESIGN.md §15): lifecycle, protocol edges
+// (404/405/400/HEAD/index), the deregistration drain guarantee, and the
+// engine/MultiSeriesDB endpoint integration — including concurrent scrapes
+// while writers append.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/multi_series_db.h"
+#include "engine/ts_engine.h"
+#include "env/mem_env.h"
+#include "obs/http_exporter.h"
+
+namespace seplsm::obs {
+namespace {
+
+/// Minimal blocking HTTP/1.1 client: one request, reads to EOF (the
+/// exporter always closes), returns the raw response.
+std::string HttpGet(uint16_t port, const std::string& request_text) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  size_t sent = 0;
+  while (sent < request_text.size()) {
+    ssize_t n = ::send(fd, request_text.data() + sent,
+                       request_text.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[2048];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return HttpGet(port, "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+int StatusOf(const std::string& response) {
+  if (response.rfind("HTTP/1.1 ", 0) != 0) return -1;
+  return std::atoi(response.c_str() + 9);
+}
+
+std::string BodyOf(const std::string& response) {
+  size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+TEST(HttpExporterTest, LifecycleAndEphemeralPort) {
+  HttpExporter exporter;
+  EXPECT_FALSE(exporter.running());
+  EXPECT_EQ(exporter.port(), 0);
+  ASSERT_TRUE(exporter.Start().ok());
+  EXPECT_TRUE(exporter.running());
+  EXPECT_NE(exporter.port(), 0);
+  ASSERT_TRUE(exporter.Start().ok());  // idempotent
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+  exporter.Stop();  // idempotent
+}
+
+TEST(HttpExporterTest, DispatchAndProtocolEdges) {
+  HttpExporter exporter;
+  exporter.RegisterHandler("/hello", [](const HttpExporter::Request& req) {
+    HttpExporter::Response resp;
+    resp.body = "hi " + req.query;
+    return resp;
+  });
+  ASSERT_TRUE(exporter.Start().ok());
+  const uint16_t port = exporter.port();
+
+  std::string ok = Get(port, "/hello?who=x");
+  EXPECT_EQ(StatusOf(ok), 200);
+  EXPECT_EQ(BodyOf(ok), "hi who=x");
+
+  EXPECT_EQ(StatusOf(Get(port, "/missing")), 404);
+  EXPECT_EQ(StatusOf(HttpGet(port,
+                             "POST /hello HTTP/1.1\r\nHost: t\r\n\r\n")),
+            405);
+  EXPECT_EQ(StatusOf(HttpGet(port, "garbage\r\n\r\n")), 400);
+
+  // HEAD: headers with the true Content-Length, no body.
+  std::string head =
+      HttpGet(port, "HEAD /hello HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(StatusOf(head), 200);
+  EXPECT_NE(head.find("Content-Length: 3"), std::string::npos);
+  EXPECT_EQ(BodyOf(head), "");
+
+  // The index lists registered paths.
+  std::string index = Get(port, "/");
+  EXPECT_EQ(StatusOf(index), 200);
+  EXPECT_NE(BodyOf(index).find("/hello"), std::string::npos);
+
+  const HttpExporter::Stats stats = exporter.GetStats();
+  EXPECT_GE(stats.connections_accepted, 5u);
+  EXPECT_GE(stats.requests_served, 3u);
+  EXPECT_GE(stats.not_found, 1u);
+  EXPECT_GE(stats.rejected, 2u);
+  exporter.Stop();
+}
+
+TEST(HttpExporterTest, HandlerExceptionBecomes500) {
+  HttpExporter exporter;
+  exporter.RegisterHandler("/throws", [](const HttpExporter::Request&) {
+    throw std::runtime_error("boom");
+    return HttpExporter::Response{};
+  });
+  ASSERT_TRUE(exporter.Start().ok());
+  EXPECT_EQ(StatusOf(Get(exporter.port(), "/throws")), 500);
+  exporter.Stop();
+}
+
+TEST(HttpExporterTest, DeregisterBlocksUntilHandlerDrains) {
+  HttpExporter exporter;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool handler_entered = false;
+  bool release_handler = false;
+  std::atomic<bool> handler_finished{false};
+
+  exporter.RegisterHandler("/slow", [&](const HttpExporter::Request&) {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      handler_entered = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release_handler; });
+    }
+    handler_finished.store(true, std::memory_order_release);
+    return HttpExporter::Response{};
+  });
+  ASSERT_TRUE(exporter.Start().ok());
+  const uint16_t port = exporter.port();
+
+  std::thread client([&] { Get(port, "/slow"); });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return handler_entered; });
+  }
+  // Handler is now parked inside the slot; releasing it shortly after the
+  // deregistration started lets the drain actually block first.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::lock_guard<std::mutex> lock(mutex);
+    release_handler = true;
+    cv.notify_all();
+  });
+  exporter.DeregisterHandler("/slow");
+  // The guarantee under test: deregistration returned only after the
+  // in-flight invocation left the handler.
+  EXPECT_TRUE(handler_finished.load(std::memory_order_acquire));
+  client.join();
+  releaser.join();
+  EXPECT_EQ(StatusOf(Get(port, "/slow")), 404);
+  exporter.Stop();
+}
+
+TEST(HttpExporterTest, EngineEndpointsServeAndDeregister) {
+  MemEnv env;
+  auto exporter = std::make_shared<HttpExporter>();
+  ASSERT_TRUE(exporter->Start().ok());
+
+  engine::Options options;
+  options.env = &env;
+  options.dir = "/db";
+  options.num_levels = 2;
+  options.series_name = "sensor\"a\\b";  // exercises label escaping too
+  options.http_exporter = exporter;
+  telemetry::TelemetryOptions topts;
+  options.telemetry = std::make_shared<telemetry::Telemetry>(topts);
+  {
+    auto db = engine::TsEngine::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    for (int64_t t = 0; t < 2000; ++t) {
+      ASSERT_TRUE((*db)->Append({t, t, 0.5 * t}).ok());
+    }
+    ASSERT_TRUE((*db)->FlushAll().ok());
+
+    std::string metrics = Get(exporter->port(), "/metrics");
+    EXPECT_EQ(StatusOf(metrics), 200);
+    EXPECT_NE(metrics.find("seplsm_points_ingested_total"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("seplsm_level_compaction_debt_bytes"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("sensor\\\"a\\\\b"), std::string::npos);
+
+    std::string stats = Get(exporter->port(), "/stats");
+    EXPECT_EQ(StatusOf(stats), 200);
+    EXPECT_NE(stats.find("\"levels\""), std::string::npos);
+    EXPECT_NE(stats.find("\"health\""), std::string::npos);
+
+    std::string healthz = Get(exporter->port(), "/healthz");
+    EXPECT_EQ(StatusOf(healthz), 200);
+    EXPECT_NE(BodyOf(healthz).find("\"ok\":true"), std::string::npos);
+
+    std::string lsm = Get(exporter->port(), "/debug/lsm");
+    EXPECT_EQ(StatusOf(lsm), 200);
+    EXPECT_NE(BodyOf(lsm).find("\"levels\""), std::string::npos);
+  }
+  // Engine death deregistered every path; the exporter lives on.
+  EXPECT_TRUE(exporter->running());
+  EXPECT_EQ(StatusOf(Get(exporter->port(), "/metrics")), 404);
+  exporter->Stop();
+}
+
+TEST(HttpExporterMultiSeriesTest, AggregateEndpointsUnderConcurrentIngest) {
+  MemEnv env;
+  auto exporter = std::make_shared<HttpExporter>();
+  ASSERT_TRUE(exporter->Start().ok());
+
+  engine::MultiSeriesDB::MultiOptions mopts;
+  mopts.base.env = &env;
+  mopts.base.dir = "/multi";
+  mopts.base.num_levels = 2;
+  mopts.base.http_exporter = exporter;
+  mopts.adaptive = true;
+  mopts.adaptive_options.warmup_points = 256;
+  mopts.adaptive_options.check_interval = 256;
+  telemetry::TelemetryOptions topts;
+  mopts.base.telemetry = std::make_shared<telemetry::Telemetry>(topts);
+  auto db = engine::MultiSeriesDB::Open(std::move(mopts));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      std::string series = "s" + std::to_string(w);
+      int64_t t = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<DataPoint> batch;
+        batch.reserve(64);
+        for (int i = 0; i < 64; ++i) {
+          ++t;
+          int64_t delay = (t % 9 == 0) ? 4 : 0;
+          batch.push_back({t - delay, t, static_cast<double>(t % 100)});
+        }
+        if (!(*db)->AppendBatch(series, batch.data(), batch.size()).ok()) {
+          return;
+        }
+      }
+    });
+  }
+
+  // Scrape every endpoint repeatedly while the writers run.
+  const uint16_t port = exporter->port();
+  for (int round = 0; round < 10; ++round) {
+    for (const char* path :
+         {"/metrics", "/stats", "/healthz", "/debug/lsm", "/debug/policy"}) {
+      std::string response = Get(port, path);
+      EXPECT_EQ(StatusOf(response), 200) << path;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+
+  std::string metrics = BodyOf(Get(port, "/metrics"));
+  EXPECT_NE(metrics.find("seplsm_points_ingested_total"), std::string::npos);
+  std::string policy = BodyOf(Get(port, "/debug/policy"));
+  EXPECT_NE(policy.find("\"adaptive\":true"), std::string::npos);
+  // Warmup is 256 points and the writers pushed far more, so each series
+  // controller recorded at least one audited decision.
+  EXPECT_NE(policy.find("\"trigger\":\"warmup\""), std::string::npos);
+  EXPECT_NE(policy.find("\"ooo_rate\""), std::string::npos);
+  std::string lsm = BodyOf(Get(port, "/debug/lsm"));
+  EXPECT_NE(lsm.find("\"series_count\":2"), std::string::npos);
+
+  db->reset();  // deregisters the DB paths
+  EXPECT_EQ(StatusOf(Get(port, "/debug/policy")), 404);
+  exporter->Stop();
+}
+
+}  // namespace
+}  // namespace seplsm::obs

@@ -9,10 +9,13 @@
 //   seplsm_cli info     --dir=/tmp/db
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "seplsm/seplsm.h"
 
@@ -173,8 +176,8 @@ int DumpTraceIfRequested(const Flags& flags,
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: seplsm_cli <generate|ingest|query|tune|info|stats> "
-               "[flags]\n"
+               "usage: seplsm_cli <generate|ingest|query|explain|tune|info|"
+               "verify|stats|doctor|serve> [flags]\n"
                "  generate --dataset=M1..M12|s9|h --points=N --out=csv\n"
                "  ingest   --trace=csv --dir=path [--policy=pi_c|pi_s]\n"
                "           [--n=512] [--nseq=256] [--wal] [--wal-sync-every]\n"
@@ -189,9 +192,19 @@ int Usage() {
                "  query    --dir=path --lo=T --hi=T [--bucket=W]\n"
                "           [--repeat=R] [--cache-mb=M] [--cache-shards=S]\n"
                "           [--stats] [--trace-out=f]\n"
+               "  explain  --dir=path --lo=T --hi=T [--bucket=W] [--raw]\n"
+               "           [--json] [--max-events=N] — run the query with a\n"
+               "           decision trace attached and print it\n"
                "  tune     --trace=csv [--n=512] [--granularity=S] [--step=K]\n"
                "  info     --dir=path [--stats]\n"
                "  verify   --dir=path\n"
+               "  doctor   --dir=path [--strict] — one-shot read-only health\n"
+               "           check (file inventory, CRCs, level invariants,\n"
+               "           WAL tail); exit 1 on problems\n"
+               "  serve    --dir=path [--port=P] [--port-file=f]\n"
+               "           [--duration-ms=T] [--series=S] [--adaptive]\n"
+               "           [--bg] [--wal] — live exporter under synthetic\n"
+               "           concurrent ingest (the CI smoke harness)\n"
                "  stats    --dir=path [--trace=csv] [--queries=Q] [--json]\n"
                "           [--prometheus] [--series=name] [--trace-out=f]\n"
                "           [--trace-format=chrome|jsonl] + ingest flags\n"
@@ -497,13 +510,330 @@ int CmdStats(const Flags& flags) {
                 series.c_str(), m.ToJson().c_str(),
                 telemetry->registry().ToJson().c_str());
   } else if (flags.GetBool("prometheus")) {
+    // The engine counter names double in the telemetry registry (the
+    // engine mirrors them); exclude so no family appears twice.
     std::printf("%s%s", m.ToPrometheus(series).c_str(),
-                telemetry->registry().ToPrometheus(series).c_str());
+                telemetry->registry()
+                    .ToPrometheus(series, engine::Metrics::CounterNames())
+                    .c_str());
   } else {
     std::printf("%s\n%s\n", m.ToString().c_str(),
                 telemetry->registry().ToJson().c_str());
   }
   return DumpTraceIfRequested(flags, telemetry.get());
+}
+
+/// Runs one query/aggregate/downsample with a QueryExplain attached and
+/// prints the decision trace. Results are bit-identical with or without the
+/// trace (tests/explain_test.cc proves it), so this is safe on live data.
+int CmdExplain(const Flags& flags) {
+  std::string dir = flags.Get("dir", "");
+  if (dir.empty()) return Fail("explain requires --dir");
+  engine::Options options;
+  options.dir = dir;
+  ApplyCacheFlags(flags, &options);
+  if (int rc = ApplyTreeFlags(flags, &options); rc != 0) return rc;
+  auto db = engine::TsEngine::Open(options);
+  if (!db.ok()) return Fail(db.status().ToString());
+
+  int64_t lo = flags.GetInt("lo", 0);
+  int64_t hi = flags.GetInt("hi", (*db)->MaxPersistedGenerationTime());
+  int64_t bucket = flags.GetInt("bucket", 0);
+
+  storage::QueryExplain explain(
+      static_cast<size_t>(flags.GetInt("max-events", 4096)));
+  engine::QueryStats stats;
+  stats.explain = &explain;
+  if (bucket > 0) {
+    std::vector<engine::TimeBucket> buckets;
+    if (Status st = (*db)->Downsample(lo, hi, bucket, &buckets, &stats);
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::printf("downsample [%lld, %lld] bucket=%lld -> %zu buckets\n",
+                static_cast<long long>(lo), static_cast<long long>(hi),
+                static_cast<long long>(bucket), buckets.size());
+  } else if (flags.GetBool("raw")) {
+    std::vector<DataPoint> out;
+    if (Status st = (*db)->Query(lo, hi, &out, &stats); !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::printf("query [%lld, %lld] -> %zu points\n",
+                static_cast<long long>(lo), static_cast<long long>(hi),
+                out.size());
+  } else {
+    engine::Aggregates agg;
+    if (Status st = (*db)->Aggregate(lo, hi, &agg, &stats); !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::printf("aggregate [%lld, %lld] -> count=%llu min=%g max=%g "
+                "mean=%g\n",
+                static_cast<long long>(lo), static_cast<long long>(hi),
+                static_cast<unsigned long long>(agg.count), agg.min, agg.max,
+                agg.mean());
+  }
+  if (flags.GetBool("json")) {
+    std::printf("%s\n", explain.ToJson().c_str());
+  } else {
+    std::printf("%s", explain.ToText().c_str());
+  }
+  return 0;
+}
+
+/// Read-only inspection of one engine directory for `doctor`: file
+/// inventory (v1/v2), deep CRC verification, the recovery-shape level
+/// invariants, and the WAL tail. Never opens a TsEngine — recovery
+/// compacts stragglers and rotates the WAL, and a doctor must not mutate
+/// the patient.
+void DoctorOneDir(Env* env, const std::string& dir, const std::string& label,
+                  bool strict, size_t* problems, size_t* warnings) {
+  auto report = storage::VerifyDatabase(env, dir);
+  if (!report.ok()) {
+    std::printf("%s: ERROR %s\n", label.c_str(),
+                report.status().ToString().c_str());
+    ++*problems;
+    return;
+  }
+  for (const auto& t : report->tables) {
+    if (!t.ok) {
+      std::printf("%s: CORRUPT %s -- %s\n", label.c_str(), t.path.c_str(),
+                  t.error.c_str());
+      ++*problems;
+    }
+  }
+
+  // Inventory + level invariants, reconstructed exactly the way recovery
+  // does (files carry no level tag): sort by min generation time, greedily
+  // extend the sorted run, everything overlapping falls to level 0.
+  struct TableInfo {
+    uint64_t number = 0;
+    int64_t min_t = 0;
+    int64_t max_t = 0;
+    bool v2 = false;
+  };
+  std::vector<TableInfo> tables;
+  std::vector<std::string> children;
+  if (Status st = env->ListDir(dir, &children); !st.ok()) {
+    std::printf("%s: ERROR %s\n", label.c_str(), st.ToString().c_str());
+    ++*problems;
+    return;
+  }
+  for (const auto& name : children) {
+    const size_t dot = name.rfind(".sst");
+    if (dot == std::string::npos || dot + 4 != name.size() || dot == 0) {
+      continue;
+    }
+    bool digits = true;
+    for (size_t i = 0; i < dot; ++i) {
+      digits = digits && name[i] >= '0' && name[i] <= '9';
+    }
+    if (!digits) continue;
+    auto reader =
+        storage::SSTableReader::Open(env, dir + "/" + name);
+    if (!reader.ok()) continue;  // already reported by VerifyDatabase
+    TableInfo info;
+    info.number = std::strtoull(name.c_str(), nullptr, 10);
+    info.min_t = (*reader)->min_generation_time();
+    info.max_t = (*reader)->max_generation_time();
+    info.v2 = (*reader)->has_metadata();
+    tables.push_back(info);
+  }
+  std::sort(tables.begin(), tables.end(),
+            [](const TableInfo& a, const TableInfo& b) {
+              if (a.min_t != b.min_t) return a.min_t < b.min_t;
+              return a.number < b.number;
+            });
+  size_t v2 = 0, stragglers = 0, inverted = 0;
+  bool have_run = false;
+  int64_t run_max = 0;
+  for (const auto& t : tables) {
+    if (t.v2) ++v2;
+    if (t.min_t > t.max_t) {
+      std::printf("%s: INVARIANT %08llu.sst has inverted time range "
+                  "[%lld, %lld]\n",
+                  label.c_str(), static_cast<unsigned long long>(t.number),
+                  static_cast<long long>(t.min_t),
+                  static_cast<long long>(t.max_t));
+      ++inverted;
+      ++*problems;
+      continue;
+    }
+    if (!have_run || t.min_t > run_max) {
+      have_run = true;
+      run_max = t.max_t;
+    } else {
+      ++stragglers;  // would recover into level 0
+    }
+  }
+  std::printf("%s: %zu tables (v1=%zu v2=%zu), %llu points, "
+              "%zu level-0 stragglers\n",
+              label.c_str(), tables.size(), tables.size() - v2, v2,
+              static_cast<unsigned long long>(report->total_points),
+              stragglers);
+  if (report->wal_present) {
+    std::printf("%s: wal %llu replayable records%s\n", label.c_str(),
+                static_cast<unsigned long long>(report->wal_records),
+                report->wal_tail_truncated ? " (TORN TAIL: will be "
+                                             "truncated on recovery)"
+                                           : "");
+    if (report->wal_tail_truncated) {
+      // Recoverable by design (the tail is dropped and logged), so a
+      // warning unless --strict.
+      if (strict) {
+        ++*problems;
+      } else {
+        ++*warnings;
+      }
+    }
+  }
+}
+
+/// One-shot health check with a doctor's contract: observe, report, never
+/// treat. Exit 0 = healthy, 1 = problems found, 2 = usage.
+int CmdDoctor(const Flags& flags) {
+  std::string dir = flags.Get("dir", "");
+  if (dir.empty()) return Fail("doctor requires --dir");
+  const bool strict = flags.GetBool("strict");
+  Env* env = Env::Default();
+  size_t problems = 0, warnings = 0;
+
+  // A multi-series root holds "s_*" child directories; doctor each series
+  // plus the root itself (a standalone engine keeps tables at the root).
+  std::vector<std::string> children;
+  std::vector<std::string> series_dirs;
+  if (Status st = env->ListDir(dir, &children); !st.ok()) {
+    return Fail(st.ToString());
+  }
+  std::sort(children.begin(), children.end());
+  for (const auto& child : children) {
+    if (child.rfind("s_", 0) != 0) continue;
+    std::vector<std::string> probe;
+    if (env->ListDir(dir + "/" + child, &probe).ok()) {
+      series_dirs.push_back(child);
+    }
+  }
+  DoctorOneDir(env, dir, dir, strict, &problems, &warnings);
+  for (const auto& child : series_dirs) {
+    DoctorOneDir(env, dir + "/" + child, dir + "/" + child, strict,
+                 &problems, &warnings);
+  }
+  if (problems == 0) {
+    std::printf("doctor: OK (%zu warning%s)\n", warnings,
+                warnings == 1 ? "" : "s");
+    return 0;
+  }
+  std::printf("doctor: %zu problem%s, %zu warning%s\n", problems,
+              problems == 1 ? "" : "s", warnings, warnings == 1 ? "" : "s");
+  return 1;
+}
+
+/// Live exporter under synthetic concurrent ingest: opens a MultiSeriesDB
+/// with the HTTP exporter attached, appends from `--series` writer threads
+/// for `--duration-ms`, and keeps every endpoint scrapeable meanwhile.
+/// This is the CI smoke harness (--port-file hands the ephemeral port to
+/// the curl loop).
+int CmdServe(const Flags& flags) {
+  std::string dir = flags.Get("dir", "");
+  if (dir.empty()) return Fail("serve requires --dir");
+
+  engine::MultiSeriesDB::MultiOptions mopts;
+  mopts.base.dir = dir;
+  size_t n = static_cast<size_t>(flags.GetInt("n", 512));
+  if (flags.Get("policy", "pi_c") == "pi_s") {
+    size_t nseq = static_cast<size_t>(flags.GetInt("nseq", n / 2));
+    mopts.base.policy = engine::PolicyConfig::Separation(n, nseq);
+  } else {
+    mopts.base.policy = engine::PolicyConfig::Conventional(n);
+  }
+  mopts.base.enable_wal = flags.GetBool("wal");
+  mopts.base.wal_group_commit = flags.GetBool("wal-group-commit");
+  if (mopts.base.wal_group_commit) mopts.base.enable_wal = true;
+  mopts.base.background_mode = flags.GetBool("bg");
+  mopts.adaptive = flags.GetBool("adaptive");
+  telemetry::TelemetryOptions topts;
+  mopts.base.telemetry = std::make_shared<telemetry::Telemetry>(topts);
+
+  obs::HttpExporter::Options eopts;
+  eopts.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  auto exporter = std::make_shared<obs::HttpExporter>(eopts);
+  if (Status st = exporter->Start(); !st.ok()) return Fail(st.ToString());
+  mopts.base.http_exporter = exporter;
+
+  auto db = engine::MultiSeriesDB::Open(std::move(mopts));
+  if (!db.ok()) return Fail(db.status().ToString());
+
+  // Announce readiness only after Open: every endpoint is registered now.
+  std::printf("serving on 127.0.0.1:%u\n",
+              static_cast<unsigned>(exporter->port()));
+  std::fflush(stdout);
+  std::string port_file = flags.Get("port-file", "");
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) return Fail("cannot write " + port_file);
+    std::fprintf(f, "%u\n", static_cast<unsigned>(exporter->port()));
+    std::fclose(f);
+  }
+
+  const long long duration_ms = flags.GetInt("duration-ms", 3000);
+  const size_t series_count =
+      static_cast<size_t>(std::max(1LL, flags.GetInt("series", 4)));
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> appended{0};
+  std::vector<std::thread> writers;
+  writers.reserve(series_count);
+  for (size_t s = 0; s < series_count; ++s) {
+    writers.emplace_back([&, s] {
+      const std::string name = "serve_s" + std::to_string(s);
+      uint64_t state = 0x9E3779B97F4A7C15ULL ^ (s + 1);
+      int64_t t = 0;
+      std::vector<DataPoint> batch(64);
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (auto& p : batch) {
+          state ^= state << 13;
+          state ^= state >> 7;
+          state ^= state << 17;
+          // Mildly disordered stream: ~12% of points delayed a few slots.
+          const int64_t delay =
+              (state & 7) == 0 ? static_cast<int64_t>((state >> 3) & 7) : 0;
+          ++t;
+          p.generation_time = t > delay ? t - delay : t;
+          p.arrival_time = t;
+          p.value = static_cast<double>(state & 1023) / 16.0;
+        }
+        if (!(*db)->AppendBatch(name, batch.data(), batch.size()).ok()) {
+          return;
+        }
+        appended.fetch_add(batch.size(), std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+  if (Status st = (*db)->FlushAll(); !st.ok()) return Fail(st.ToString());
+
+  const obs::HttpExporter::Stats estats = exporter->GetStats();
+  engine::Metrics m = (*db)->GetAggregateMetrics();
+  std::printf("appended %llu points across %zu series\n",
+              static_cast<unsigned long long>(
+                  appended.load(std::memory_order_relaxed)),
+              series_count);
+  std::printf("exporter: %llu connections, %llu requests (%llu not found, "
+              "%llu rejected)\n",
+              static_cast<unsigned long long>(estats.connections_accepted),
+              static_cast<unsigned long long>(estats.requests_served),
+              static_cast<unsigned long long>(estats.not_found),
+              static_cast<unsigned long long>(estats.rejected));
+  std::printf("stalls: backpressure=%lluus wal_commit=%lluus "
+              "shard_lock=%lluus\n",
+              static_cast<unsigned long long>(m.writer_stall_micros),
+              static_cast<unsigned long long>(m.stall_wal_commit_micros),
+              static_cast<unsigned long long>(m.stall_shard_lock_micros));
+  // DB first (deregisters its endpoints, draining in-flight scrapes), then
+  // the exporter.
+  db->reset();
+  exporter->Stop();
+  return 0;
 }
 
 int CmdVerify(const Flags& flags) {
@@ -547,5 +877,8 @@ int main(int argc, char** argv) {
   if (command == "info") return CmdInfo(flags);
   if (command == "verify") return CmdVerify(flags);
   if (command == "stats") return CmdStats(flags);
+  if (command == "explain") return CmdExplain(flags);
+  if (command == "doctor") return CmdDoctor(flags);
+  if (command == "serve") return CmdServe(flags);
   return Usage();
 }
